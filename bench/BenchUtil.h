@@ -1,0 +1,58 @@
+//===- BenchUtil.h - Shared helpers for the table harnesses -----*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small shared utilities for the bench binaries that regenerate the
+/// paper's tables. Every harness accepts:
+///
+///   --full        paper-scale test counts (slow)
+///   --kernels=N   explicit override of the per-mode test count
+///   --seed=N      campaign seed base
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_BENCH_BENCHUTIL_H
+#define CLFUZZ_BENCH_BENCHUTIL_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace clfuzz::bench {
+
+struct HarnessArgs {
+  bool Full = false;
+  unsigned Kernels = 0; ///< 0 = harness default
+  uint64_t Seed = 100000;
+};
+
+inline HarnessArgs parseArgs(int Argc, char **Argv) {
+  HarnessArgs A;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--full") == 0)
+      A.Full = true;
+    else if (std::strncmp(Argv[I], "--kernels=", 10) == 0)
+      A.Kernels = static_cast<unsigned>(std::atoi(Argv[I] + 10));
+    else if (std::strncmp(Argv[I], "--seed=", 7) == 0)
+      A.Seed = static_cast<uint64_t>(std::atoll(Argv[I] + 7));
+    else
+      std::fprintf(stderr, "warning: unknown argument '%s'\n", Argv[I]);
+  }
+  return A;
+}
+
+inline void printRule(unsigned Width = 78) {
+  for (unsigned I = 0; I != Width; ++I)
+    std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+} // namespace clfuzz::bench
+
+#endif // CLFUZZ_BENCH_BENCHUTIL_H

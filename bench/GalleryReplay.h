@@ -1,0 +1,67 @@
+//===- GalleryReplay.h - Shared Figure 1/2 replay harness -------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_BENCH_GALLERYREPLAY_H
+#define CLFUZZ_BENCH_GALLERYREPLAY_H
+
+#include "BenchUtil.h"
+#include "corpus/Gallery.h"
+#include "device/DeviceConfig.h"
+#include "support/StringUtil.h"
+
+#include <cstdio>
+
+namespace clfuzz::bench {
+
+/// Shared replay used by the fig1/fig2 harnesses.
+inline int replayGallery(const std::vector<GalleryEntry> &Entries,
+                         const char *Title) {
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  std::printf("%s\n\n", Title);
+  unsigned Reproduced = 0, Total = 0;
+  for (const GalleryEntry &E : Entries) {
+    RunOutcome Ref = runTestOnReference(E.Test, true);
+    std::printf("Figure %s: %s\n", E.Id.c_str(), E.Caption.c_str());
+    if (Ref.ok() && !Ref.OutputHead.empty())
+      std::printf("  reference result: %s\n",
+                  toHex(Ref.OutputHead[0]).c_str());
+    for (const GalleryEntry::Expectation &X : E.Buggy) {
+      ++Total;
+      const DeviceConfig &C = configById(Registry, X.ConfigId);
+      RunOutcome O = runTestOnConfig(E.Test, C, X.Opt);
+      const char *Verdict = "NOT reproduced";
+      if (X.ExpectedStatus != RunStatus::Ok) {
+        if (O.Status != RunStatus::Ok) {
+          Verdict = "reproduced";
+          ++Reproduced;
+        }
+      } else if (O.Status != RunStatus::Ok) {
+        Verdict = "reproduced (pre-empted by crash/ICE model)";
+        ++Reproduced;
+      } else if (Ref.ok() && O.OutputHash != Ref.OutputHash) {
+        Verdict = "reproduced";
+        ++Reproduced;
+      }
+      std::printf("  config %2d%c: %-3s", X.ConfigId, X.Opt ? '+' : '-',
+                  runStatusName(O.Status));
+      if (O.ok() && !O.OutputHead.empty())
+        std::printf(" result=%s", toHex(O.OutputHead[0]).c_str());
+      if (!O.ok())
+        std::printf(" (%s)", O.Message.c_str());
+      std::printf("  -> %s\n", Verdict);
+    }
+    std::printf("\n");
+  }
+  printRule();
+  std::printf("bug expectations reproduced: %u / %u\n", Reproduced,
+              Total);
+  return Reproduced == Total ? 0 : 1;
+}
+
+} // namespace clfuzz::bench
+
+#endif // CLFUZZ_BENCH_GALLERYREPLAY_H

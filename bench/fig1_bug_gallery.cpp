@@ -1,0 +1,23 @@
+//===- fig1_bug_gallery.cpp - Reproduces Figure 1 ------------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Replays the Figure 1 kernels (compiler bugs of the configurations
+/// below the reliability threshold) against the simulated zoo and
+/// prints expected-vs-observed per configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "GalleryReplay.h"
+
+using namespace clfuzz;
+using namespace clfuzz::bench;
+
+int main() {
+  return replayGallery(
+      buildFigure1Gallery(),
+      "Figure 1: compiler bugs of the below-threshold configurations");
+}

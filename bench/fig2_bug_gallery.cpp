@@ -1,0 +1,23 @@
+//===- fig2_bug_gallery.cpp - Reproduces Figure 2 ------------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Replays the Figure 1 kernels (compiler bugs of the configurations
+/// below the reliability threshold) against the simulated zoo and
+/// prints expected-vs-observed per configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "GalleryReplay.h"
+
+using namespace clfuzz;
+using namespace clfuzz::bench;
+
+int main() {
+  return replayGallery(
+      buildFigure2Gallery(),
+      "Figure 2: compiler bugs of the above-threshold configurations");
+}

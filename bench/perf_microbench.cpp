@@ -1,0 +1,131 @@
+//===- perf_microbench.cpp - google-benchmark microbenchmarks ------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Throughput microbenchmarks for the pipeline stages: kernel
+/// generation per mode, parsing, the optimisation pipeline, bytecode
+/// codegen, VM execution, and the end-to-end driver path. These bound
+/// how large a campaign a given time budget affords (the paper ran
+/// ~58,000 tests per configuration pair).
+///
+//===----------------------------------------------------------------------===//
+
+#include "device/Driver.h"
+#include "gen/Generator.h"
+#include "minicl/Parser.h"
+#include "minicl/Printer.h"
+#include "opt/Pass.h"
+#include "vm/Codegen.h"
+#include "vm/VM.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace clfuzz;
+
+static void BM_GenerateKernel(benchmark::State &State) {
+  GenMode Mode = static_cast<GenMode>(State.range(0));
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    GenOptions GO;
+    GO.Mode = Mode;
+    GO.Seed = Seed++;
+    GeneratedKernel K = generateKernel(GO);
+    benchmark::DoNotOptimize(K.Source.data());
+  }
+  State.SetLabel(genModeName(Mode));
+}
+BENCHMARK(BM_GenerateKernel)->DenseRange(0, 5);
+
+namespace {
+
+GeneratedKernel &sampleKernel() {
+  static GeneratedKernel K = [] {
+    GenOptions GO;
+    GO.Mode = GenMode::All;
+    GO.Seed = 12345;
+    return generateKernel(GO);
+  }();
+  return K;
+}
+
+} // namespace
+
+static void BM_ParseAndSema(benchmark::State &State) {
+  const std::string &Source = sampleKernel().Source;
+  for (auto _ : State) {
+    ASTContext Ctx;
+    DiagEngine Diags;
+    bool Ok = parseProgram(Source, Ctx, Diags);
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetBytesProcessed(State.iterations() * Source.size());
+}
+BENCHMARK(BM_ParseAndSema);
+
+static void BM_OptimisePipeline(benchmark::State &State) {
+  const std::string &Source = sampleKernel().Source;
+  for (auto _ : State) {
+    ASTContext Ctx;
+    DiagEngine Diags;
+    parseProgram(Source, Ctx, Diags);
+    PassManager PM = buildPipeline(PassOptions::o2(), Ctx);
+    PM.run(Ctx);
+    benchmark::DoNotOptimize(&Ctx);
+  }
+}
+BENCHMARK(BM_OptimisePipeline);
+
+static void BM_Codegen(benchmark::State &State) {
+  const std::string &Source = sampleKernel().Source;
+  ASTContext Ctx;
+  DiagEngine Diags;
+  parseProgram(Source, Ctx, Diags);
+  for (auto _ : State) {
+    CodegenResult CR = compileToBytecode(Ctx, {});
+    benchmark::DoNotOptimize(CR.Module.Functions.data());
+  }
+}
+BENCHMARK(BM_Codegen);
+
+static void BM_VmExecution(benchmark::State &State) {
+  GeneratedKernel &K = sampleKernel();
+  ASTContext Ctx;
+  DiagEngine Diags;
+  parseProgram(K.Source, Ctx, Diags);
+  CodegenResult CR = compileToBytecode(Ctx, {});
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    std::vector<Buffer> Buffers;
+    for (const BufferSpec &Spec : K.Buffers) {
+      Buffer B;
+      B.Space = Spec.Space;
+      B.Bytes = Spec.InitBytes;
+      Buffers.push_back(std::move(B));
+    }
+    std::vector<KernelArg> Args;
+    for (unsigned I = 0; I != Buffers.size(); ++I)
+      Args.push_back(KernelArg::buffer(I));
+    LaunchOptions LO;
+    LO.Range = K.Range;
+    LaunchResult LR = launchKernel(CR.Module, Buffers, Args, LO);
+    Steps += LR.StepsExecuted;
+    benchmark::DoNotOptimize(LR.Status);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Steps));
+  State.SetLabel("items = VM instructions");
+}
+BENCHMARK(BM_VmExecution);
+
+static void BM_EndToEndDriver(benchmark::State &State) {
+  TestCase T = TestCase::fromGenerated(sampleKernel());
+  for (auto _ : State) {
+    RunOutcome O = runTestOnReference(T, /*Optimize=*/true);
+    benchmark::DoNotOptimize(O.OutputHash);
+  }
+}
+BENCHMARK(BM_EndToEndDriver);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+//===- table1_classification.cpp - Reproduces Table 1 -------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces Table 1 (§7.1): every configuration runs the initial
+/// kernel set (100 kernels per mode at full scale) with and without
+/// optimisations; a configuration is above the reliability threshold
+/// when at most 25% of its results are build failures, crashes,
+/// timeouts or majority-vote wrong-code results. The final column
+/// compares our classification against the paper's.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "oracle/Campaign.h"
+#include "support/StringUtil.h"
+
+#include <cstdio>
+
+using namespace clfuzz;
+using namespace clfuzz::bench;
+
+int main(int Argc, char **Argv) {
+  HarnessArgs Args = parseArgs(Argc, Argv);
+  unsigned PerMode = Args.Kernels ? Args.Kernels : (Args.Full ? 100 : 10);
+
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  CampaignSettings S;
+  S.KernelsPerMode = PerMode;
+  S.SeedBase = Args.Seed;
+  S.BaseGen.MinThreads = 48;
+  S.BaseGen.MaxThreads = 256;
+
+  std::printf("Table 1: configuration classification against the 25%% "
+              "reliability threshold\n");
+  std::printf("(%u kernels per mode, %u total per configuration run "
+              "at both opt levels)\n\n",
+              PerMode, PerMode * 6 * 2);
+
+  std::vector<ReliabilityRow> Rows =
+      classifyConfigurations(Registry, S);
+
+  printRule();
+  std::printf("%-5s %-34s %-11s %7s %7s  %-9s %s\n", "Conf.", "Device",
+              "Type", "fail%", "w", "above?", "paper");
+  printRule();
+  unsigned Agreements = 0;
+  for (const ReliabilityRow &Row : Rows) {
+    const DeviceConfig &C = configById(Registry, Row.ConfigId);
+    bool Agrees = Row.AboveThreshold == C.PaperAboveThreshold;
+    Agreements += Agrees;
+    std::printf("%-5d %-34s %-11s %6.1f%% %7u  %-9s %s %s\n", C.Id,
+                C.Device.c_str(), C.typeName(),
+                100.0 * Row.Counts.failureFraction(), Row.Counts.W,
+                Row.AboveThreshold ? "yes" : "no",
+                C.PaperAboveThreshold ? "yes" : "no",
+                Agrees ? "" : "  <-- MISMATCH");
+  }
+  printRule();
+  std::printf("classification agreement with the paper: %u / %zu\n",
+              Agreements, Rows.size());
+  return 0;
+}

@@ -1,0 +1,173 @@
+//===- table3_emi_benchmarks.cpp - Reproduces Table 3 --------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces Table 3 (§7.2): EMI testing over the benchmark suite.
+/// For each (benchmark, configuration) the cell reports the *worst*
+/// outcome over all EMI variants (substitutions on/off, optimisations
+/// on/off), in the paper's decreasing severity order:
+///
+///   w  - some variant computed a result differing from the base
+///   c  - some variant crashed (compiler or runtime)
+///   to - some variant timed out
+///   ng - the configuration cannot run the base benchmark at all
+///   ok - all variants matched the base
+///
+/// Superscripts: e = only with substitutions enabled, d = only with
+/// substitutions disabled, ? = either way. Altera (20, 21) is excluded
+/// as in the paper (offline compilation); the racy spmv and myocyte
+/// are excluded as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "corpus/Benchmarks.h"
+#include "emi/Emi.h"
+#include "oracle/Oracle.h"
+#include "support/StringUtil.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace clfuzz;
+using namespace clfuzz::bench;
+
+namespace {
+
+/// Worst-outcome lattice per the paper's ordering.
+enum class Cell : uint8_t { Ok, Timeout, Crash, Wrong, NoGen };
+
+struct CellState {
+  Cell Worst = Cell::Ok;
+  bool WithSubst = false; ///< observed with substitutions on
+  bool WithoutSubst = false;
+
+  void observe(Cell C, bool Subst) {
+    if (static_cast<int>(C) > static_cast<int>(Worst)) {
+      Worst = C;
+      WithSubst = Subst;
+      WithoutSubst = !Subst;
+    } else if (C == Worst && C != Cell::Ok) {
+      (Subst ? WithSubst : WithoutSubst) = true;
+    }
+  }
+
+  std::string str() const {
+    const char *Base;
+    switch (Worst) {
+    case Cell::Ok:
+      return "ok";
+    case Cell::NoGen:
+      return "ng";
+    case Cell::Timeout:
+      Base = "to";
+      break;
+    case Cell::Crash:
+      Base = "c";
+      break;
+    case Cell::Wrong:
+      Base = "w";
+      break;
+    }
+    const char *Sup = WithSubst && WithoutSubst ? "?"
+                      : WithSubst              ? "e"
+                                               : "d";
+    return std::string(Base) + Sup;
+  }
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  HarnessArgs Args = parseArgs(Argc, Argv);
+  unsigned VariantsPerSide = Args.Kernels
+                                 ? Args.Kernels
+                                 : (Args.Full ? 125 : 6);
+
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  std::vector<Benchmark> Suite = emiBenchmarkSuite();
+
+  std::printf("Table 3: EMI testing over the Parboil/Rodinia mini-suite "
+              "(%u variants x subst on/off x opt on/off per cell)\n",
+              VariantsPerSide);
+  std::printf("(myocyte and spmv excluded: data races, as in the "
+              "paper; configs 20/21 excluded: offline compilation)\n\n");
+
+  std::printf("%-11s", "Benchmark");
+  for (const DeviceConfig &C : Registry)
+    if (C.Id <= 19)
+      std::printf("%5d", C.Id);
+  std::printf("\n");
+  printRule(11 + 5 * 19);
+
+  for (const Benchmark &B : Suite) {
+    std::map<int, CellState> Row;
+    // The base must run; "ng" when a configuration cannot produce the
+    // expected output with an empty EMI block.
+    RunOutcome BaseRef = runTestOnReference(B.Test, true);
+    for (const DeviceConfig &C : Registry) {
+      if (C.Id > 19)
+        continue;
+      CellState &State = Row[C.Id];
+      // Base check per configuration (both opt levels must produce
+      // the reference result for "generation" to succeed).
+      bool BaseOk = false;
+      for (bool Opt : {false, true}) {
+        RunOutcome O = runTestOnConfig(B.Test, C, Opt);
+        if (O.ok() && BaseRef.ok() &&
+            O.OutputHash == BaseRef.OutputHash)
+          BaseOk = true;
+      }
+      if (!BaseOk) {
+        State.observe(Cell::NoGen, false);
+        continue;
+      }
+      for (bool Subst : {false, true}) {
+        for (unsigned V = 0; V != VariantsPerSide; ++V) {
+          InjectOptions IO;
+          IO.Seed = Args.Seed + V * 7 + Subst * 1000;
+          IO.NumBlocks = 1 + V % 2;
+          IO.Substitutions = Subst;
+          std::vector<PruneOptions> Sweep = paperPruneSweep(IO.Seed);
+          IO.Prune = Sweep[V % Sweep.size()];
+          TestCase Variant;
+          DiagEngine Diags;
+          if (!injectEmiIntoTest(B.Test, IO, Variant, Diags))
+            continue;
+          for (bool Opt : {false, true}) {
+            RunOutcome O = runTestOnConfig(Variant, C, Opt);
+            switch (O.Status) {
+            case RunStatus::Ok:
+              if (BaseRef.ok() && O.OutputHash != BaseRef.OutputHash)
+                State.observe(Cell::Wrong, Subst);
+              break;
+            case RunStatus::Crash:
+            case RunStatus::BuildFailure:
+              // The paper merges compiler and runtime errors into "c"
+              // for this experiment (§7.2 footnote).
+              State.observe(Cell::Crash, Subst);
+              break;
+            case RunStatus::Timeout:
+              State.observe(Cell::Timeout, Subst);
+              break;
+            }
+          }
+        }
+      }
+    }
+    std::printf("%-11s", B.Name.c_str());
+    for (const DeviceConfig &C : Registry)
+      if (C.Id <= 19)
+        std::printf("%5s", Row[C.Id].str().c_str());
+    std::printf("\n");
+  }
+  printRule(11 + 5 * 19);
+  std::printf("\nlegend: w = wrong result, c = crash/compile error, "
+              "to = timeout, ng = cannot run base, ok = all variants "
+              "agree; superscript e/d/? = needs substitutions "
+              "enabled/disabled/either\n");
+  return 0;
+}

@@ -1,0 +1,542 @@
+//===- Benchmarks.cpp - Mini Parboil/Rodinia benchmark suite -----------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Benchmarks.h"
+#include "support/Rng.h"
+#include "support/StringUtil.h"
+
+#include <cstring>
+
+using namespace clfuzz;
+
+unsigned Benchmark::linesOfCode() const {
+  return countCodeLines(Test.Source);
+}
+
+namespace {
+
+/// Builds an int32 buffer from values.
+BufferSpec intBuffer(const std::vector<int32_t> &Values) {
+  BufferSpec B;
+  B.Space = AddressSpace::Global;
+  B.InitBytes.resize(Values.size() * 4);
+  std::memcpy(B.InitBytes.data(), Values.data(), B.InitBytes.size());
+  return B;
+}
+
+/// The zeroed output buffer every benchmark writes (one ulong per
+/// work-item).
+BufferSpec outBuffer(uint64_t Threads) {
+  BufferSpec B;
+  B.Space = AddressSpace::Global;
+  B.InitBytes.assign(Threads * 8, 0);
+  B.IsOutput = true;
+  return B;
+}
+
+NDRange range1d(uint32_t Global, uint32_t Local) {
+  NDRange R;
+  R.Global[0] = Global;
+  R.Local[0] = Local;
+  return R;
+}
+
+/// Deterministic pseudo-input data.
+std::vector<int32_t> patternData(size_t N, uint64_t Seed, int32_t Lo,
+                                 int32_t Hi) {
+  Rng R(Seed);
+  std::vector<int32_t> V(N);
+  for (size_t I = 0; I != N; ++I)
+    V[I] = static_cast<int32_t>(R.range(Lo, Hi));
+  return V;
+}
+
+//===--------------------------------------------------------------------===//
+// Kernel sources
+//===--------------------------------------------------------------------===//
+
+const char *BfsSource = R"(
+// Parboil bfs: one pull-based level-expansion step over a CSR graph.
+kernel void bfs_step(global ulong *out, global int *row_ptr,
+                     global int *cols, global int *level_in,
+                     global int *params)
+{
+  int n = params[0];
+  int depth = params[1];
+  int i = (int)get_global_id(0);
+  int lv = level_in[i];
+  if (i < n && lv < 0) {
+    int first = row_ptr[i];
+    int last = row_ptr[i + 1];
+    for (int e = first; e < last; e += 1) {
+      int nb = cols[e];
+      if (level_in[nb] == depth)
+        lv = depth + 1;
+    }
+  }
+  out[get_global_id(0)] = (ulong)(uint)(lv + 1);
+}
+)";
+
+const char *CutcpSource = R"(
+// Parboil cutcp: cutoff-limited potential accumulation on a 2D grid
+// (integer charges; the original uses floating point).
+kernel void cutcp(global ulong *out, global int *atoms,
+                  global int *params)
+{
+  int natoms = params[0];
+  int cutoff2 = params[1];
+  int gx = (int)get_global_id(0);
+  int px = gx % 16;
+  int py = gx / 16;
+  int pot = 0;
+  for (int a = 0; a < natoms; a += 1) {
+    int dx = px - atoms[a * 3];
+    int dy = py - atoms[a * 3 + 1];
+    int d2 = dx * dx + dy * dy;
+    if (d2 < cutoff2)
+      pot += atoms[a * 3 + 2] * (cutoff2 - d2);
+  }
+  out[get_global_id(0)] = (ulong)(uint)pot;
+}
+)";
+
+const char *LbmSource = R"(
+// Parboil lbm: one stream-and-collide step of a three-speed 1D
+// lattice (fixed-point collision).
+kernel void lbm(global ulong *out, global int *f0, global int *f1,
+                global int *f2, global int *params)
+{
+  int n = params[0];
+  int omega = params[1];
+  int i = (int)get_global_id(0);
+  int left = (i + n - 1) % n;
+  int right = (i + 1) % n;
+  int a = f0[i];
+  int b = f1[left];
+  int c = f2[right];
+  int rho = a + b + c;
+  int u = b - c;
+  int eq0 = rho / 2;
+  int eq1 = (rho + 3 * u) / 4;
+  int eq2 = (rho - 3 * u) / 4;
+  int n0 = a + omega * (eq0 - a) / 8;
+  int n1 = b + omega * (eq1 - b) / 8;
+  int n2 = c + omega * (eq2 - c) / 8;
+  out[get_global_id(0)] =
+      (ulong)(uint)(n0 * 65536 + n1 * 256 + n2);
+}
+)";
+
+const char *SadSource = R"(
+// Parboil sad: 4x4-block sum of absolute differences between two
+// frames (the original splits this over three kernels).
+kernel void sad(global ulong *out, global int *cur, global int *ref,
+                global int *params)
+{
+  int width = params[0];
+  int i = (int)get_global_id(0);
+  int blocks_x = width / 4;
+  int bx = (i % blocks_x) * 4;
+  int by = (i / blocks_x) * 4;
+  uint acc = 0u;
+  for (int y = 0; y < 4; y += 1) {
+    for (int x = 0; x < 4; x += 1) {
+      int c = cur[(by + y) * width + bx + x];
+      int r = ref[(by + y) * width + bx + x];
+      acc += abs(c - r);
+    }
+  }
+  out[get_global_id(0)] = (ulong)acc;
+}
+)";
+
+const char *SpmvSource = R"(
+// Parboil spmv: CSR sparse matrix-vector product. The unsynchronised
+// write to flag[0] reproduces the data race the paper discovered in
+// the original benchmark (benign here: every writer stores 1).
+kernel void spmv(global ulong *out, global int *row_ptr,
+                 global int *cols, global int *vals, global int *x,
+                 global int *flag)
+{
+  int row = (int)get_global_id(0);
+  int acc = 0;
+  for (int j = row_ptr[row]; j < row_ptr[row + 1]; j += 1)
+    acc += vals[j] * x[cols[j]];
+  if (acc != 0)
+    flag[0] = 1;
+  out[get_global_id(0)] = (ulong)(uint)acc;
+}
+)";
+
+const char *TpacfSource = R"(
+// Parboil tpacf: pair-distance histogram with local-memory
+// privatisation and atomic updates.
+kernel void tpacf(global ulong *out, global int *pts,
+                  global int *params)
+{
+  local uint hist[8];
+  int npts = params[0];
+  uint lid = (uint)get_local_id(0);
+  if (lid < 8u)
+    hist[lid] = 0u;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int i = (int)get_global_id(0);
+  int xi = pts[i * 2];
+  int yi = pts[i * 2 + 1];
+  for (int j = 0; j < npts; j += 1) {
+    int dx = xi - pts[j * 2];
+    int dy = yi - pts[j * 2 + 1];
+    int bin = (dx * dx + dy * dy) % 8;
+    atomic_inc(&hist[(uint)bin]);
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  uint acc = 0u;
+  for (int b = 0; b < 8; b += 1)
+    acc = acc * 31u + hist[b];
+  out[get_global_id(0)] = (ulong)acc;
+}
+)";
+
+const char *HeartwallSource = R"(
+// Rodinia heartwall: template matching against a frame window,
+// followed by a work-group tree reduction of the best score.
+int window_score(global int *frame, global int *tmpl, int base,
+                 int twidth, int width)
+{
+  int score = 0;
+  for (int y = 0; y < 4; y += 1) {
+    for (int x = 0; x < twidth; x += 1) {
+      int f = frame[base + y * width + x];
+      int t = tmpl[y * twidth + x];
+      int d = f - t;
+      score += d * d;
+    }
+  }
+  return score;
+}
+
+kernel void heartwall(global ulong *out, global int *frame,
+                      global int *tmpl, global int *params)
+{
+  local int best[64];
+  int width = params[0];
+  int twidth = params[1];
+  uint lid = (uint)get_local_id(0);
+  int gid = (int)get_global_id(0);
+  int score = window_score(frame, tmpl, gid, twidth, width);
+  best[lid] = score;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (uint stride = 32u; stride > 0u; stride /= 2u) {
+    if (lid < stride)
+      best[lid] = min(best[lid], best[lid + stride]);
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  out[get_global_id(0)] = (ulong)(uint)(score - best[0]);
+}
+)";
+
+const char *HotspotSource = R"(
+// Rodinia hotspot: iterated 1D thermal stencil with a local-memory
+// tile and halo cells (fixed-point update).
+kernel void hotspot(global ulong *out, global int *temp,
+                    global int *power, global int *params)
+{
+  local int tile[18];
+  int n = params[0];
+  int steps = params[1];
+  uint lid = (uint)get_local_id(0);
+  int gid = (int)get_global_id(0);
+  tile[lid + 1u] = temp[gid];
+  if (lid == 0u)
+    tile[0] = temp[(gid + n - 1) % n];
+  if (lid == 15u)
+    tile[17] = temp[(gid + 1) % n];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int t = tile[lid + 1u];
+  for (int s = 0; s < steps; s += 1) {
+    int l = tile[lid];
+    int r = tile[lid + 2u];
+    t = t + (power[gid] + (l + r - 2 * t)) / 4;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    tile[lid + 1u] = t;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  out[get_global_id(0)] = (ulong)(uint)t;
+}
+)";
+
+const char *MyocyteSource = R"(
+// Rodinia myocyte: coupled cell-state integration. The shared scratch
+// slot is written and read without synchronisation - the genuinely
+// order-dependent data race the paper discovered in the original.
+kernel void myocyte(global ulong *out, global int *state,
+                    global int *scratch, global int *params)
+{
+  int steps = params[0];
+  int i = (int)get_global_id(0);
+  int v = state[i];
+  for (int s = 0; s < steps; s += 1) {
+    scratch[i % 8] = v;
+    int coupling = scratch[(i + 1) % 8];
+    v = v + (coupling - v) / 4 + s;
+  }
+  out[get_global_id(0)] = (ulong)(uint)v;
+}
+)";
+
+const char *PathfinderSource = R"(
+// Rodinia pathfinder: dynamic-programming minimum path over a cost
+// grid, row by row, with double-buffered local memory.
+kernel void pathfinder(global ulong *out, global int *wall,
+                       global int *params)
+{
+  local int cost[2][16];
+  int rows = params[0];
+  uint lid = (uint)get_local_id(0);
+  int gid = (int)get_global_id(0);
+  int width = (int)get_global_size(0);
+  cost[0][lid] = wall[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int cur = 0;
+  for (int r = 1; r < rows; r += 1) {
+    int lo = (int)lid - 1 < 0 ? (int)lid : (int)lid - 1;
+    int hi = (int)lid + 1 > 15 ? (int)lid : (int)lid + 1;
+    int m = min(min(cost[cur][(uint)lo], cost[cur][lid]),
+                cost[cur][(uint)hi]);
+    int nxt = 1 - cur;
+    cost[nxt][lid] = m + wall[r * width + gid];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    cur = nxt;
+  }
+  out[get_global_id(0)] = (ulong)(uint)cost[cur][lid];
+}
+)";
+
+} // namespace
+
+std::vector<Benchmark> clfuzz::buildBenchmarkSuite() {
+  std::vector<Benchmark> Suite;
+
+  // --- Parboil bfs: ring graph with chords, 64 nodes.
+  {
+    Benchmark B;
+    B.Suite = "Parboil";
+    B.Name = "bfs";
+    B.Description = "Graph breadth-first search";
+    B.Test.Name = "bfs";
+    B.Test.Source = BfsSource;
+    B.Test.Range = range1d(64, 16);
+    const int N = 64;
+    std::vector<int32_t> RowPtr, Cols;
+    for (int I = 0; I != N; ++I) {
+      RowPtr.push_back(static_cast<int32_t>(Cols.size()));
+      Cols.push_back((I + 1) % N);
+      Cols.push_back((I + N - 1) % N);
+      if (I % 4 == 0)
+        Cols.push_back((I + 13) % N);
+    }
+    RowPtr.push_back(static_cast<int32_t>(Cols.size()));
+    std::vector<int32_t> Level(N, -1);
+    Level[0] = 0;
+    Level[1] = 1;
+    Level[63] = 1;
+    B.Test.Buffers.push_back(outBuffer(64));
+    B.Test.Buffers.push_back(intBuffer(RowPtr));
+    B.Test.Buffers.push_back(intBuffer(Cols));
+    B.Test.Buffers.push_back(intBuffer(Level));
+    B.Test.Buffers.push_back(intBuffer({N, 1}));
+    Suite.push_back(std::move(B));
+  }
+
+  // --- Parboil cutcp: 256 grid points, 24 atoms.
+  {
+    Benchmark B;
+    B.Suite = "Parboil";
+    B.Name = "cutcp";
+    B.Description = "Molecular modeling simulation";
+    B.UsesFloatInPaper = true;
+    B.Test.Name = "cutcp";
+    B.Test.Source = CutcpSource;
+    B.Test.Range = range1d(256, 32);
+    std::vector<int32_t> Atoms = patternData(24 * 3, 0xA70A5, 0, 15);
+    B.Test.Buffers.push_back(outBuffer(256));
+    B.Test.Buffers.push_back(intBuffer(Atoms));
+    B.Test.Buffers.push_back(intBuffer({24, 40}));
+    Suite.push_back(std::move(B));
+  }
+
+  // --- Parboil lbm: 128 lattice sites.
+  {
+    Benchmark B;
+    B.Suite = "Parboil";
+    B.Name = "lbm";
+    B.Description = "Fluid dynamics simulation";
+    B.UsesFloatInPaper = true;
+    B.Test.Name = "lbm";
+    B.Test.Source = LbmSource;
+    B.Test.Range = range1d(128, 16);
+    B.Test.Buffers.push_back(outBuffer(128));
+    B.Test.Buffers.push_back(intBuffer(patternData(128, 0x1b1, 1, 40)));
+    B.Test.Buffers.push_back(intBuffer(patternData(128, 0x1b2, 1, 40)));
+    B.Test.Buffers.push_back(intBuffer(patternData(128, 0x1b3, 1, 40)));
+    B.Test.Buffers.push_back(intBuffer({128, 3}));
+    Suite.push_back(std::move(B));
+  }
+
+  // --- Parboil sad: 32x32 frames, 64 blocks.
+  {
+    Benchmark B;
+    B.Suite = "Parboil";
+    B.Name = "sad";
+    B.Description = "Video processing";
+    B.NumKernels = 3; // the original splits SAD over three kernels
+    B.Test.Name = "sad";
+    B.Test.Source = SadSource;
+    B.Test.Range = range1d(64, 16);
+    B.Test.Buffers.push_back(outBuffer(64));
+    B.Test.Buffers.push_back(
+        intBuffer(patternData(32 * 32, 0x5ad1, 0, 255)));
+    B.Test.Buffers.push_back(
+        intBuffer(patternData(32 * 32, 0x5ad2, 0, 255)));
+    B.Test.Buffers.push_back(intBuffer({32}));
+    Suite.push_back(std::move(B));
+  }
+
+  // --- Parboil spmv: 64 rows, ~4 entries each (racy flag).
+  {
+    Benchmark B;
+    B.Suite = "Parboil";
+    B.Name = "spmv";
+    B.Description = "Linear algebra";
+    B.UsesFloatInPaper = true;
+    B.HasPlantedRace = true;
+    B.Test.Name = "spmv";
+    B.Test.Source = SpmvSource;
+    B.Test.Range = range1d(64, 16);
+    const int N = 64;
+    Rng R(0x59b37);
+    std::vector<int32_t> RowPtr, Cols, Vals;
+    for (int I = 0; I != N; ++I) {
+      RowPtr.push_back(static_cast<int32_t>(Cols.size()));
+      unsigned Count = 2 + static_cast<unsigned>(R.below(4));
+      for (unsigned K = 0; K != Count; ++K) {
+        Cols.push_back(static_cast<int32_t>(R.below(N)));
+        Vals.push_back(static_cast<int32_t>(R.range(-9, 9)));
+      }
+    }
+    RowPtr.push_back(static_cast<int32_t>(Cols.size()));
+    B.Test.Buffers.push_back(outBuffer(64));
+    B.Test.Buffers.push_back(intBuffer(RowPtr));
+    B.Test.Buffers.push_back(intBuffer(Cols));
+    B.Test.Buffers.push_back(intBuffer(Vals));
+    B.Test.Buffers.push_back(intBuffer(patternData(N, 0x59b38, -5, 5)));
+    B.Test.Buffers.push_back(intBuffer({0}));
+    Suite.push_back(std::move(B));
+  }
+
+  // --- Parboil tpacf: 64 points.
+  {
+    Benchmark B;
+    B.Suite = "Parboil";
+    B.Name = "tpacf";
+    B.Description = "Nbody method";
+    B.UsesFloatInPaper = true;
+    B.Test.Name = "tpacf";
+    B.Test.Source = TpacfSource;
+    B.Test.Range = range1d(64, 16);
+    B.Test.Buffers.push_back(outBuffer(64));
+    B.Test.Buffers.push_back(
+        intBuffer(patternData(64 * 2, 0x79acf, 0, 31)));
+    B.Test.Buffers.push_back(intBuffer({64}));
+    Suite.push_back(std::move(B));
+  }
+
+  // --- Rodinia heartwall: 64-sample window match.
+  {
+    Benchmark B;
+    B.Suite = "Rodinia";
+    B.Name = "heartwall";
+    B.Description = "Medical imaging";
+    B.UsesFloatInPaper = true;
+    B.Test.Name = "heartwall";
+    B.Test.Source = HeartwallSource;
+    B.Test.Range = range1d(64, 64);
+    const int Width = 128, TWidth = 8;
+    B.Test.Buffers.push_back(outBuffer(64));
+    B.Test.Buffers.push_back(
+        intBuffer(patternData(Width * 8, 0x4ea27, 0, 63)));
+    B.Test.Buffers.push_back(
+        intBuffer(patternData(TWidth * 4, 0x4ea28, 0, 63)));
+    B.Test.Buffers.push_back(intBuffer({Width, TWidth}));
+    Suite.push_back(std::move(B));
+  }
+
+  // --- Rodinia hotspot: 64 cells, 6 steps.
+  {
+    Benchmark B;
+    B.Suite = "Rodinia";
+    B.Name = "hotspot";
+    B.Description = "Thermal physics simulation";
+    B.UsesFloatInPaper = true;
+    B.Test.Name = "hotspot";
+    B.Test.Source = HotspotSource;
+    B.Test.Range = range1d(64, 16);
+    B.Test.Buffers.push_back(outBuffer(64));
+    B.Test.Buffers.push_back(
+        intBuffer(patternData(64, 0x407507, 20, 90)));
+    B.Test.Buffers.push_back(intBuffer(patternData(64, 0x407508, 0, 9)));
+    B.Test.Buffers.push_back(intBuffer({64, 6}));
+    Suite.push_back(std::move(B));
+  }
+
+  // --- Rodinia myocyte: 32 cells, 5 steps (genuine race).
+  {
+    Benchmark B;
+    B.Suite = "Rodinia";
+    B.Name = "myocyte";
+    B.Description = "Medical simulation";
+    B.UsesFloatInPaper = true;
+    B.HasPlantedRace = true;
+    B.Test.Name = "myocyte";
+    B.Test.Source = MyocyteSource;
+    B.Test.Range = range1d(32, 8);
+    B.Test.Buffers.push_back(outBuffer(32));
+    B.Test.Buffers.push_back(
+        intBuffer(patternData(32, 0x301c1e, -50, 50)));
+    B.Test.Buffers.push_back(intBuffer(std::vector<int32_t>(8, 0)));
+    B.Test.Buffers.push_back(intBuffer({5}));
+    Suite.push_back(std::move(B));
+  }
+
+  // --- Rodinia pathfinder: 16-wide groups, 12 rows.
+  {
+    Benchmark B;
+    B.Suite = "Rodinia";
+    B.Name = "pathfinder";
+    B.Description = "Dynamic programming";
+    B.Test.Name = "pathfinder";
+    B.Test.Source = PathfinderSource;
+    B.Test.Range = range1d(64, 16);
+    B.Test.Buffers.push_back(outBuffer(64));
+    B.Test.Buffers.push_back(
+        intBuffer(patternData(12 * 64, 0xbf1d3e, 0, 9)));
+    B.Test.Buffers.push_back(intBuffer({12}));
+    Suite.push_back(std::move(B));
+  }
+
+  return Suite;
+}
+
+std::vector<Benchmark> clfuzz::emiBenchmarkSuite() {
+  std::vector<Benchmark> All = buildBenchmarkSuite();
+  std::vector<Benchmark> Usable;
+  for (Benchmark &B : All)
+    if (!B.HasPlantedRace)
+      Usable.push_back(std::move(B));
+  return Usable;
+}

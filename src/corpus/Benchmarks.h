@@ -1,0 +1,56 @@
+//===- Benchmarks.h - Mini Parboil/Rodinia benchmark suite ------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ten hand-written MiniCL kernels standing in for the Parboil v2.5 /
+/// Rodinia v2.8 benchmarks of the paper's Table 2 (bfs, cutcp, lbm,
+/// sad, spmv, tpacf, heartwall, hotspot, myocyte, pathfinder). Each
+/// keeps its namesake's computational shape but is integer-only (the
+/// paper avoids floating point, §7.2) and sized for the simulator.
+///
+/// Two benchmarks deliberately contain the *data races the paper
+/// discovered in the originals* (§2.4): spmv carries an unsynchronised
+/// flag write (benign but racy) and myocyte a genuinely
+/// order-dependent shared-scratch race. Both are confirmed by the VM's
+/// race detector and excluded from the Table 3 harness, exactly as the
+/// paper excludes them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_CORPUS_BENCHMARKS_H
+#define CLFUZZ_CORPUS_BENCHMARKS_H
+
+#include "device/Driver.h"
+
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+/// One benchmark: metadata (Table 2 columns) plus a runnable test.
+struct Benchmark {
+  std::string Suite;       ///< "Parboil" or "Rodinia"
+  std::string Name;
+  std::string Description;
+  unsigned NumKernels = 1;
+  bool UsesFloatInPaper = false; ///< the original's FP column
+  bool HasPlantedRace = false;   ///< spmv, myocyte
+  TestCase Test;
+
+  unsigned linesOfCode() const;
+};
+
+/// Builds the full ten-benchmark suite (deterministic host data).
+std::vector<Benchmark> buildBenchmarkSuite();
+
+/// The subset usable for EMI testing (excludes the racy spmv and
+/// myocyte, as §7.2 does).
+std::vector<Benchmark> emiBenchmarkSuite();
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_CORPUS_BENCHMARKS_H

@@ -1,0 +1,288 @@
+//===- Gallery.cpp - The Figure 1/2 bug gallery -------------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Gallery.h"
+
+#include <cstring>
+
+using namespace clfuzz;
+
+namespace {
+
+NDRange singleThread() {
+  NDRange R;
+  R.Global[0] = 1;
+  R.Local[0] = 1;
+  return R;
+}
+
+NDRange twoThreads() {
+  NDRange R;
+  R.Global[0] = 2;
+  R.Local[0] = 2;
+  return R;
+}
+
+BufferSpec ulongOut(uint64_t Threads) {
+  BufferSpec B;
+  B.Space = AddressSpace::Global;
+  B.InitBytes.assign(Threads * 8, 0);
+  B.IsOutput = true;
+  return B;
+}
+
+BufferSpec intZeros(size_t N) {
+  BufferSpec B;
+  B.Space = AddressSpace::Global;
+  B.InitBytes.assign(N * 4, 0);
+  return B;
+}
+
+GalleryEntry makeEntry(const char *Id, const char *Caption,
+                       const char *Source, NDRange Range,
+                       std::vector<BufferSpec> Buffers) {
+  GalleryEntry E;
+  E.Id = Id;
+  E.Caption = Caption;
+  E.Test.Name = std::string("figure ") + Id;
+  E.Test.Source = Source;
+  E.Test.Range = Range;
+  E.Test.Buffers = std::move(Buffers);
+  return E;
+}
+
+} // namespace
+
+std::vector<GalleryEntry> clfuzz::buildFigure1Gallery() {
+  std::vector<GalleryEntry> G;
+
+  // --- Figure 1(a): char-then-short struct, AMD with optimisations.
+  {
+    GalleryEntry E = makeEntry(
+        "1(a)", "configs 5+, 6+, 16+ yield result 1 (expected: 2)",
+        "struct S { char a; short b; };\n"
+        "kernel void k(global ulong *out) {\n"
+        "  struct S s = { 1, 1 };\n"
+        "  out[get_global_id(0)] = s.a + s.b;\n"
+        "}\n",
+        singleThread(), {ulongOut(1)});
+    for (int Id : {5, 6, 16})
+      E.Buggy.push_back({Id, true, RunStatus::Ok, true, 2 - 1});
+    G.push_back(std::move(E));
+  }
+
+  // --- Figure 1(b): struct copy with a volatile member, anon GPU -O0.
+  {
+    GalleryEntry E = makeEntry(
+        "1(b)", "configs 10-, 11- yield result 0 (expected: 1)",
+        "typedef struct {\n"
+        "  short a; int b; volatile char c;\n"
+        "  int d; int e; short f[10];\n"
+        "} S;\n"
+        "kernel void k(global ulong *out) {\n"
+        "  S s; S *p = &s;\n"
+        "  S t = {0, 0, 0, 0, 0, {0, 0, 0, 0, 0, 0, 0, 1, 0, 0}};\n"
+        "  s = t; out[get_global_id(0)] = p->f[7];\n"
+        "}\n",
+        singleThread(), {ulongOut(1)});
+    for (int Id : {10, 11})
+      E.Buggy.push_back({Id, false, RunStatus::Ok, true, 0});
+    G.push_back(std::move(E));
+  }
+
+  // --- Figure 1(c): vector inside a struct, Altera internal error.
+  {
+    GalleryEntry E = makeEntry(
+        "1(c)",
+        "configs 20+-, 21+- yield internal errors when vectors appear "
+        "in structs",
+        "kernel void k(global ulong *out) {\n"
+        "  struct S { int4 x; };\n"
+        "  struct S s = { (int4)((int2)(1, 1), 1, 1) };\n"
+        "  out[get_global_id(0)] = s.x.w;\n"
+        "}\n",
+        singleThread(), {ulongOut(1)});
+    for (int Id : {20, 21})
+      for (bool Opt : {false, true})
+        E.Buggy.push_back({Id, Opt, RunStatus::BuildFailure, false, 0});
+    G.push_back(std::move(E));
+  }
+
+  // --- Figure 1(d): store through pointer after a barrier, config 17.
+  {
+    GalleryEntry E = makeEntry(
+        "1(d)", "configs 17+- yield result 2 (expected result: 3)",
+        "typedef struct { int x; int y; } S;\n"
+        "void f(S *p) { p->x = 2; }\n"
+        "kernel void k(global ulong *out) {\n"
+        "  S s = { 1, 1 }; barrier(CLK_LOCAL_MEM_FENCE);\n"
+        "  f(&s); out[get_global_id(0)] = s.x + s.y;\n"
+        "}\n",
+        singleThread(), {ulongOut(1)});
+    for (bool Opt : {false, true})
+      E.Buggy.push_back({17, Opt, RunStatus::Ok, true, 2});
+    G.push_back(std::move(E));
+  }
+
+  // --- Figure 1(e): compile hang on an (unreachable) infinite loop.
+  {
+    GalleryEntry E = makeEntry(
+        "1(e)",
+        "configs 8+-, 7+- enter an infinite loop during compilation",
+        "kernel void k(global int *p) {\n"
+        "  for (int i = 0; i < 197; i++)\n"
+        "    if (*p)\n"
+        "      while (1) { }\n"
+        "}\n",
+        singleThread(), {intZeros(1)});
+    for (int Id : {7, 8})
+      for (bool Opt : {false, true})
+        E.Buggy.push_back({Id, Opt, RunStatus::Timeout, false, 0});
+    G.push_back(std::move(E));
+  }
+
+  // --- Figure 1(f): slow compilation of big struct + barrier, config
+  // 18 with optimisations.
+  {
+    GalleryEntry E = makeEntry(
+        "1(f)", "config 18+ takes more than 20s to compile this kernel",
+        "typedef struct { int a; int *b; ulong c[9][9][3]; } S;\n"
+        "kernel void k(global ulong *out) {\n"
+        "  S s; S *p = &s; S t = { 0, &p->a, { { { 0 } } } };\n"
+        "  s = t;\n"
+        "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+        "  out[get_global_id(0)] = p->c[0][0][1];\n"
+        "}\n",
+        singleThread(), {ulongOut(1)});
+    E.Buggy.push_back({18, true, RunStatus::Timeout, false, 0});
+    G.push_back(std::move(E));
+  }
+
+  return G;
+}
+
+std::vector<GalleryEntry> clfuzz::buildFigure2Gallery() {
+  std::vector<GalleryEntry> G;
+
+  // --- Figure 2(a): union initialisation, NVIDIA -O0.
+  {
+    GalleryEntry E = makeEntry(
+        "2(a)",
+        "configs 1-, 2-, 3-, 4- yield 0xffff0001 due to incorrect "
+        "union initialization (expected: 1)",
+        "struct S { short c; long d; };\n"
+        "union U { uint a; struct S b; };\n"
+        "struct T { union U u[1]; ulong x; ulong y; };\n"
+        "kernel void k(global ulong *out, global int *in) {\n"
+        "  struct T c;\n"
+        "  struct T t = { {{1}}, in[get_global_id(0)], "
+        "in[get_global_id(1)] };\n"
+        "  c = t;\n"
+        "  ulong total = 0;\n"
+        "  for (int i = 0; i < 1; i++) total += c.u[i].a;\n"
+        "  out[get_global_id(0)] = total;\n"
+        "}\n",
+        singleThread(), {ulongOut(1), intZeros(2)});
+    for (int Id : {1, 2, 3, 4})
+      E.Buggy.push_back({Id, false, RunStatus::Ok, true, 0xffff0001ULL});
+    G.push_back(std::move(E));
+  }
+
+  // --- Figure 2(b): constant-folded vector rotate, config 14.
+  {
+    GalleryEntry E = makeEntry(
+        "2(b)", "config 14+- yields result 0xffffffff (expected: 1)",
+        "kernel void k(global ulong *out) {\n"
+        "  out[get_global_id(0)] = rotate((uint2)(1, 1), "
+        "(uint2)(0, 0)).x;\n"
+        "}\n",
+        singleThread(), {ulongOut(1)});
+    for (bool Opt : {false, true})
+      E.Buggy.push_back({14, Opt, RunStatus::Ok, true, 0xffffffffULL});
+    G.push_back(std::move(E));
+  }
+
+  // --- Figure 2(c): barriers + forward declaration, Intel CPUs.
+  {
+    GalleryEntry E = makeEntry(
+        "2(c)",
+        "configs 12-, 13- yield [1,0]-class wrong results; 14-, 15- "
+        "crash with a segmentation fault",
+        "int f();\n"
+        "void g(int *p) { barrier(CLK_LOCAL_MEM_FENCE); *p = f(); }\n"
+        "void h(int *p) { g(p); }\n"
+        "int f() { barrier(CLK_LOCAL_MEM_FENCE); return 1; }\n"
+        "kernel void k(global ulong *out) {\n"
+        "  int x = 0; h(&x); out[get_global_id(0)] = x;\n"
+        "}\n",
+        twoThreads(), {ulongOut(2)});
+    for (int Id : {12, 13})
+      E.Buggy.push_back({Id, false, RunStatus::Ok, true, 0});
+    for (int Id : {14, 15})
+      E.Buggy.push_back({Id, false, RunStatus::Crash, false, 0});
+    G.push_back(std::move(E));
+  }
+
+  // --- Figure 2(d): barrier in an unreachable loop body (the paper's
+  // complex trailing expression is elided); 14-/15- misbehave.
+  {
+    GalleryEntry E = makeEntry(
+        "2(d)",
+        "configs 14-, 15- misbehave (the paper reports [0,1], expected "
+        "[0,0]; our models crash, the same defect family)",
+        "typedef struct { int a; int * volatile * b; int c; } S;\n"
+        "void f(S *s) {\n"
+        "  for (s->a = 0; s->a > 0; s->a = 0) {\n"
+        "    int x = 1; int *p = &s->c;\n"
+        "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+        "    *p = safe_add(x, s->c);\n"
+        "  }\n"
+        "}\n"
+        "kernel void k(global ulong *out) {\n"
+        "  S s = { 1, 0, 0 }; f(&s);\n"
+        "  out[get_global_id(0)] = (uint)s.a;\n"
+        "}\n",
+        twoThreads(), {ulongOut(2)});
+    for (int Id : {14, 15})
+      E.Buggy.push_back({Id, false, RunStatus::Crash, false, 0});
+    G.push_back(std::move(E));
+  }
+
+  // --- Figure 2(e): comparison chain with a group id, config 9+.
+  {
+    GalleryEntry E = makeEntry(
+        "2(e)", "config 9+ yields result 0 (expected: 1)",
+        "void f(int *p) {\n"
+        "  if ((((((*p - get_group_id(0)) != 1u) >> *p) < 2) >= *p)) {\n"
+        "    *p = 1;\n"
+        "  }\n"
+        "}\n"
+        "kernel void k(global ulong *out) {\n"
+        "  int x = 0; f(&x); out[get_global_id(0)] = x;\n"
+        "}\n",
+        singleThread(), {ulongOut(1)});
+    E.Buggy.push_back({9, true, RunStatus::Ok, true, 0});
+    G.push_back(std::move(E));
+  }
+
+  // --- Figure 2(f): the comma operator, Oclgrind.
+  {
+    GalleryEntry E = makeEntry(
+        "2(f)", "config 19+- yields result 0 (expected: 0xffffffff)",
+        "kernel void k(global ulong *out) {\n"
+        "  short x = 1; uint y;\n"
+        "  for (y = -1; y >= 1; ++y) { if (x , 1) break; }\n"
+        "  out[get_global_id(0)] = y;\n"
+        "}\n",
+        singleThread(), {ulongOut(1)});
+    for (bool Opt : {false, true})
+      E.Buggy.push_back({19, Opt, RunStatus::Ok, true, 0});
+    G.push_back(std::move(E));
+  }
+
+  return G;
+}

@@ -1,0 +1,59 @@
+//===- Gallery.h - The Figure 1/2 bug gallery -------------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runnable versions of the twelve compiler-bug kernels of the paper's
+/// Figures 1 (below-threshold configurations) and 2 (above-threshold
+/// configurations), each annotated with the configurations it is
+/// expected to misbehave on and the expected correct result. The
+/// fig1/fig2 bench harnesses replay every entry against the simulated
+/// zoo and print expected-vs-observed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_CORPUS_GALLERY_H
+#define CLFUZZ_CORPUS_GALLERY_H
+
+#include "device/Driver.h"
+
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+/// One gallery kernel.
+struct GalleryEntry {
+  std::string Id;      ///< e.g. "1(a)"
+  std::string Caption; ///< paraphrase of the figure caption
+  TestCase Test;
+
+  /// What a specific configuration is expected to do with this kernel.
+  struct Expectation {
+    int ConfigId;
+    bool Opt;
+    RunStatus ExpectedStatus = RunStatus::Ok;
+    /// When Ok: the result differs from the reference.
+    bool ExpectWrongValue = false;
+    /// When nonzero: the exact wrong out[0] the paper reports.
+    uint64_t ExpectedWrongHead0 = 0;
+  };
+  std::vector<Expectation> Buggy;
+
+  /// Reference out[0] (valid when HasReferenceHead0).
+  uint64_t ReferenceHead0 = 0;
+  bool HasReferenceHead0 = false;
+};
+
+/// Builds the Figure 1 entries (1(a) .. 1(f)).
+std::vector<GalleryEntry> buildFigure1Gallery();
+
+/// Builds the Figure 2 entries (2(a) .. 2(f)).
+std::vector<GalleryEntry> buildFigure2Gallery();
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_CORPUS_GALLERY_H

@@ -1,0 +1,402 @@
+//===- DeviceConfig.cpp - The simulated (device, compiler) zoo --------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "device/DeviceConfig.h"
+
+using namespace clfuzz;
+
+const char *DeviceConfig::typeName() const {
+  switch (Type) {
+  case Kind::GPU:
+    return "GPU";
+  case Kind::CPU:
+    return "CPU";
+  case Kind::Accelerator:
+    return "Accelerator";
+  case Kind::Emulator:
+    return "Emulator";
+  case Kind::FPGA:
+    return "FPGA";
+  }
+  return "?";
+}
+
+/// NVIDIA GPUs (configurations 1-4): solid optimising compiler; at -O0
+/// the Figure 2(a) union-initialisation bug plus LLVM attribute ICEs;
+/// at +O the safe-shift fold model and a small crash lottery.
+static DeviceConfig nvidiaConfig(int Id, const std::string &Sdk,
+                                 const std::string &Device,
+                                 const std::string &Driver,
+                                 const std::string &Os) {
+  DeviceConfig C;
+  C.Id = Id;
+  C.Sdk = Sdk;
+  C.Device = Device;
+  C.Driver = Driver;
+  C.OpenClVersion = "1.1";
+  C.Os = Os;
+  C.Type = DeviceConfig::Kind::GPU;
+  C.Salt = 0x1000 + Id;
+  C.PaperAboveThreshold = true;
+  C.IceMessages = {"Wrong type for attribute zeroext",
+                   "Wrong type for attribute signext",
+                   "Attributes after last parameter!"};
+  C.BugsO0.Layout.UnionInitBug = true;
+  C.BugsO0.EmiDceBugRate = 0.008;
+  C.BugsO0.BuildFailLottery = 0.04;
+  C.BugsO0.CrashLottery = 0.045;
+  C.BugsO0.SpeedFactor = 0.16;
+  C.BugsO2.ShiftSafeFoldBug = true;
+  C.BugsO2.EmiDceBugRate = 0.008;
+  C.BugsO2.CrashLottery = 0.055;
+  C.BugsO2.SpeedFactor = 8.0;
+  return C;
+}
+
+/// AMD configurations (5, 6 GPU; 16 CPU): the Figure 1(a) char-struct
+/// bug with optimisations, irreducible-control-flow rejection at +O,
+/// and the paper's machine-crash problem as a high crash lottery.
+static DeviceConfig amdConfig(int Id, const std::string &Device,
+                              DeviceConfig::Kind Type) {
+  DeviceConfig C;
+  C.Id = Id;
+  C.Sdk = "AMD 2.9-1";
+  C.Device = Device;
+  C.Driver = "Catalyst 14.9";
+  C.OpenClVersion = "1.2";
+  C.Os = "Windows 7 Enterprise";
+  C.Type = Type;
+  C.Salt = 0x2000 + Id;
+  C.PaperAboveThreshold = false;
+  C.IceMessages = {"unsupported irreducible control flow detected"};
+  C.BugsO0.CrashLottery = 0.23;
+  C.BugsO0.SpeedFactor = 2.0;
+  C.BugsO2.Layout.CharStructInitBug = true;
+  C.BugsO2.BuildFailLottery = 0.16;
+  C.BugsO2.CrashLottery = 0.23;
+  C.BugsO2.SpeedFactor = 2.5;
+  return C;
+}
+
+/// Intel GPU configurations (7, 8): struct miscompiles at both levels,
+/// machine crashes, and the Figure 1(e) compile hang on infinite
+/// loops.
+static DeviceConfig intelGpuConfig(int Id, const std::string &Device,
+                                   const std::string &Driver,
+                                   const std::string &Os) {
+  DeviceConfig C;
+  C.Id = Id;
+  C.Sdk = "Intel 4.6";
+  C.Device = Device;
+  C.Driver = Driver;
+  C.OpenClVersion = "1.2";
+  C.Os = Os;
+  C.Type = DeviceConfig::Kind::GPU;
+  C.Salt = 0x3000 + Id;
+  C.PaperAboveThreshold = false;
+  C.IceMessages = {"internal error: backend selection failure"};
+  for (DeviceBugModel *B : {&C.BugsO0, &C.BugsO2}) {
+    B->Layout.CharStructInitBug = true;
+    B->Layout.UnionInitBug = true;
+    B->CompileHangOnInfiniteLoop = true;
+    B->CrashLottery = 0.16;
+    B->SpeedFactor = 2.0;
+  }
+  return C;
+}
+
+/// The anonymous GPU vendor (9-11). Configuration 9 carries driver
+/// fixes (above threshold) but keeps the Figure 2(e) comparison bug;
+/// 10 and 11 are older drivers with -O0 struct miscompiles and enough
+/// instability to fall below the threshold.
+static DeviceConfig anonGpuConfig(int Id, const std::string &Driver,
+                                  bool Fixed) {
+  DeviceConfig C;
+  C.Id = Id;
+  C.Sdk = "Anon. SDK 1";
+  C.Device = "Anon. device 1";
+  C.Driver = Driver;
+  C.OpenClVersion = "1.1";
+  C.Os = "Linux (anon. version)";
+  C.Type = DeviceConfig::Kind::GPU;
+  C.Salt = 0x4000 + Id;
+  C.PaperAboveThreshold = Fixed;
+  C.IceMessages = {"internal compiler error (anonymised)"};
+  if (Fixed) {
+    // Config 9: no build failures at all (the vendor fuzzes in-house,
+    // §7.3), a high wrong-code rate from the comparison model, heavy
+    // timeouts.
+    for (DeviceBugModel *B : {&C.BugsO0, &C.BugsO2}) {
+      B->CmpMinusOneBug = true;
+      B->CrashLottery = 0.03;
+      B->SpeedFactor = 0.05;
+    }
+  } else {
+    C.BugsO0.Layout.CharStructInitBug = true;
+    C.BugsO0.Layout.UnionInitBug = true;
+    C.BugsO0.VolatileStructCopyBug = true; // Figure 1(b)
+    C.BugsO0.CmpMinusOneBug = true;
+    C.BugsO0.BuildFailLottery = 0.15;
+    C.BugsO0.CrashLottery = 0.12;
+    C.BugsO0.SpeedFactor = 0.3;
+    C.BugsO2.CmpMinusOneBug = true;
+    C.BugsO2.BuildFailLottery = 0.15;
+    C.BugsO2.CrashLottery = 0.12;
+    C.BugsO2.SpeedFactor = 0.3;
+  }
+  return C;
+}
+
+/// Intel CPU configurations 12/13: the Figure 2(c) barrier-call bug at
+/// -O0, pass ICEs ("Intel OpenCL Barrier", "Intel OpenCL Vectorizer")
+/// at +O.
+static DeviceConfig intelCpuConfig(int Id, const std::string &Driver,
+                                   const std::string &OclVersion) {
+  DeviceConfig C;
+  C.Id = Id;
+  C.Sdk = "Intel 4.6";
+  C.Device = "Intel Core i7-4770 @ 3.40 GHz";
+  C.Driver = Driver;
+  C.OpenClVersion = OclVersion;
+  C.Os = "Windows 7 Enterprise";
+  C.Type = DeviceConfig::Kind::CPU;
+  C.Salt = 0x5000 + Id;
+  C.PaperAboveThreshold = true;
+  C.IceMessages = {
+      "Both operands to ICmp instruction are not of the same type!",
+      "Call parameter type does not match function signature!",
+      "Instruction does not dominate all uses!",
+      "Intel OpenCL Barrier pass failure",
+      "Intel OpenCL Vectorizer pass failure"};
+  C.BugsO0.BarrierCallRetvalBug = true;
+  C.BugsO0.EmiDceBugRate = 0.012;
+  C.BugsO0.CrashLottery = 0.085;
+  C.BugsO0.SpeedFactor = 0.15;
+  C.BugsO2.EmiDceBugRate = 0.012;
+  C.BugsO2.BuildFailLottery = 0.004;
+  C.BugsO2.CrashLottery = 0.065;
+  C.BugsO2.SpeedFactor = 0.06;
+  return C;
+}
+
+std::vector<DeviceConfig> clfuzz::buildConfigRegistry() {
+  std::vector<DeviceConfig> R;
+
+  // 1-4: NVIDIA GPUs.
+  R.push_back(nvidiaConfig(1, "NVIDIA 6.5.19", "NVIDIA GeForce GTX Titan",
+                           "343.22", "Ubuntu 14.04.1 LTS"));
+  R.push_back(nvidiaConfig(2, "NVIDIA 6.5.19", "NVIDIA GeForce GTX 770",
+                           "343.22", "Ubuntu 14.04.1 LTS"));
+  R.push_back(nvidiaConfig(3, "NVIDIA 7.0.28", "NVIDIA Tesla M2050",
+                           "346.47", "RHEL Server 6.5"));
+  R.push_back(nvidiaConfig(4, "NVIDIA 7.0.28", "NVIDIA Tesla K40c",
+                           "346.47", "RHEL Server 6.5"));
+  // NVIDIA 346.47 fixed the reported build failures (§6).
+  R[2].BugsO0.BuildFailLottery = 0.0;
+  R[3].BugsO0.BuildFailLottery = 0.0;
+
+  // 5-6: AMD GPUs.
+  R.push_back(amdConfig(5, "AMD Radeon HD7970 GHz edition",
+                        DeviceConfig::Kind::GPU));
+  R.push_back(amdConfig(6, "ATI Radeon HD 6570 650MHz",
+                        DeviceConfig::Kind::GPU));
+
+  // 7-8: Intel GPUs.
+  R.push_back(intelGpuConfig(7, "Intel HD Graphics 4600",
+                             "10.18.10.3960", "Windows 7 Enterprise"));
+  R.push_back(intelGpuConfig(8, "Intel HD Graphics 4000",
+                             "10.18.10.3412", "Windows 8.1 Pro"));
+
+  // 9-11: anonymous GPU vendor.
+  R.push_back(anonGpuConfig(9, "Anon. driver 1c", /*Fixed=*/true));
+  R.push_back(anonGpuConfig(10, "Anon. driver 1b", /*Fixed=*/false));
+  R.push_back(anonGpuConfig(11, "Anon. driver 1a", /*Fixed=*/false));
+
+  // 12-13: Intel i7 CPUs (two driver versions).
+  R.push_back(intelCpuConfig(12, "4.6.0.92", "2.0"));
+  R.push_back(intelCpuConfig(13, "4.2.0.76", "1.2"));
+
+  // 14: Intel i5 CPU - barrier-in-function segfaults at -O0; the
+  // Figure 2(b) rotate fold and safe-shift fold with optimisations.
+  // Figure 2(b) reports 14 wrong at both levels, so the rotate fold
+  // runs in a mandatory constant-folding stage we model by enabling it
+  // at -O0 too (the driver's "-O0" evidently still folds constants; we
+  // schedule a fold-only pipeline for it).
+  {
+    DeviceConfig C;
+    C.Id = 14;
+    C.Sdk = "Intel 4.6";
+    C.Device = "Intel Core i5-3317U @ 1.70 GHz";
+    C.Driver = "3.0.1.10878";
+    C.OpenClVersion = "1.2";
+    C.Os = "Windows 8.1 Pro";
+    C.Type = DeviceConfig::Kind::CPU;
+    C.Salt = 0x5014;
+    C.PaperAboveThreshold = true;
+    C.IceMessages = {"barrier lowering assertion failure"};
+    C.BugsO0.BarrierInFunctionCrash = true;
+    C.BugsO0.RotateFoldBug = true;
+    C.BugsO0.CrashLottery = 0.006;
+    C.BugsO0.BuildFailLottery = 0.002;
+    C.BugsO0.SpeedFactor = 0.14;
+    C.BugsO2.RotateFoldBug = true;
+    C.BugsO2.ShiftSafeFoldBug = true;
+    C.BugsO2.CrashLottery = 0.03;
+    C.BugsO2.BuildFailLottery = 0.008;
+    C.BugsO2.SpeedFactor = 0.12;
+    R.push_back(std::move(C));
+  }
+
+  // 15: Intel Xeon CPU - rejects legal int/size_t mixtures at both
+  // levels (identical bf rates, §7.3); barrier-in-function segfaults
+  // at -O0; safe-shift fold at +O.
+  {
+    DeviceConfig C;
+    C.Id = 15;
+    C.Sdk = "Intel XE 2013 R20";
+    C.Device = "Intel Xeon X5650 @ 2.67GHz";
+    C.Driver = "1.2 build 56860";
+    C.OpenClVersion = "1.2";
+    C.Os = "RHEL Server 6.5";
+    C.Type = DeviceConfig::Kind::CPU;
+    C.Salt = 0x5015;
+    C.PaperAboveThreshold = true;
+    C.IceMessages = {
+        "error: invalid operands to binary expression "
+        "('int' and 'size_t')"};
+    C.BugsO0.RejectSizeTMix = true;
+    C.BugsO0.BarrierInFunctionCrash = true;
+    C.BugsO0.CrashLottery = 0.008;
+    C.BugsO0.SpeedFactor = 0.12;
+    C.BugsO2.RejectSizeTMix = true;
+    C.BugsO2.ShiftSafeFoldBug = true;
+    C.BugsO2.CrashLottery = 0.025;
+    C.BugsO2.SpeedFactor = 0.08;
+    R.push_back(std::move(C));
+  }
+
+  // 16: AMD compiler on an Intel Xeon CPU (same driver as 5/6).
+  {
+    DeviceConfig C = amdConfig(16, "Intel Xeon E5-2609 v2 @ 2.50GHz",
+                               DeviceConfig::Kind::CPU);
+    C.Os = "Windows 7 Enterprise";
+    R.push_back(std::move(C));
+  }
+
+  // 17: anonymous CPU vendor - the Figure 1(d) struct-plus-barrier
+  // miscompile at both levels.
+  {
+    DeviceConfig C;
+    C.Id = 17;
+    C.Sdk = "Anon. SDK 2";
+    C.Device = "Anon. device 2";
+    C.Driver = "Anon. driver 2";
+    C.OpenClVersion = "1.1";
+    C.Os = "Linux (anon. verson)";
+    C.Type = DeviceConfig::Kind::CPU;
+    C.Salt = 0x6017;
+    C.PaperAboveThreshold = false;
+    C.IceMessages = {"internal compiler error (anonymised)"};
+    for (DeviceBugModel *B : {&C.BugsO0, &C.BugsO2}) {
+      B->BarrierCallRetvalBug = true;
+      B->Layout.CharStructInitBug = true;
+      B->BuildFailLottery = 0.08;
+      B->CrashLottery = 0.14;
+      B->SpeedFactor = 0.8;
+    }
+    R.push_back(std::move(C));
+  }
+
+  // 18: Intel Xeon Phi - prohibitively slow compilation of large
+  // structs with barriers (Figure 1(f)) puts it below the threshold.
+  {
+    DeviceConfig C;
+    C.Id = 18;
+    C.Sdk = "Intel XE 2013 R2";
+    C.Device = "Intel Xeon Phi";
+    C.Driver = "5889-14";
+    C.OpenClVersion = "1.2";
+    C.Os = "RHEL Server 6.5";
+    C.Type = DeviceConfig::Kind::Accelerator;
+    C.Salt = 0x7018;
+    C.PaperAboveThreshold = false;
+    C.IceMessages = {"offload backend failure"};
+    C.BugsO0.CrashLottery = 0.10;
+    C.BugsO0.SpeedFactor = 0.8;
+    C.BugsO2.SlowStructBarrierCompile = true;
+    C.BugsO2.CrashLottery = 0.10;
+    C.BugsO2.SpeedFactor = 0.8;
+    R.push_back(std::move(C));
+  }
+
+  // 19: Oclgrind - no optimiser; the Figure 2(f) comma bug and a
+  // vector swizzle defect give the very high wrong-code rate of §7.3;
+  // slow emulation gives the timeout rate.
+  {
+    DeviceConfig C;
+    C.Id = 19;
+    C.Sdk = "Intel 4.6";
+    C.Device = "Oclgrind v14.5";
+    C.Driver = "LLVM 3.2, SPIR 1.2";
+    C.OpenClVersion = "1.2";
+    C.Os = "Ubuntu 14.04";
+    C.Type = DeviceConfig::Kind::Emulator;
+    C.Salt = 0x8019;
+    C.PaperAboveThreshold = true;
+    C.NoOptimizer = true;
+    for (DeviceBugModel *B : {&C.BugsO0, &C.BugsO2}) {
+      B->CommaDropsRhsBug = true;
+      B->SwizzleHighLaneBug = true;
+      B->CrashLottery = 0.002;
+      B->SpeedFactor = 0.10;
+    }
+    R.push_back(std::move(C));
+  }
+
+  // 20-21: Altera FPGA toolchain (emulated and real). Both reject
+  // vector logical operations and vectors in structs (Figure 1(c));
+  // the real FPGA flow mostly fails outright (§6).
+  for (int Id : {20, 21}) {
+    DeviceConfig C;
+    C.Id = Id;
+    C.Sdk = "Altera 14.0";
+    C.Device = Id == 20 ? "Altera PCIe-385N D5 (Emulated)"
+                        : "Altera PCIe-385N D5";
+    C.Driver = "aoc 14.0 build 200";
+    C.OpenClVersion = "1.0";
+    C.Os = "CentOS 6.5";
+    C.Type = Id == 20 ? DeviceConfig::Kind::Emulator
+                      : DeviceConfig::Kind::FPGA;
+    C.Salt = 0x9000 + Id;
+    C.PaperAboveThreshold = false;
+    C.IceMessages = {"LLVM IR generation error",
+                     "aoc: internal error during RTL elaboration"};
+    for (DeviceBugModel *B : {&C.BugsO0, &C.BugsO2}) {
+      B->RejectVectorLogicalOps = true;
+      B->RejectVectorsInStructs = true;
+      B->BuildFailLottery = Id == 20 ? 0.12 : 0.55;
+      B->CrashLottery = Id == 20 ? 0.05 : 0.25;
+      B->SpeedFactor = 0.5;
+    }
+    R.push_back(std::move(C));
+  }
+
+  return R;
+}
+
+const DeviceConfig &
+clfuzz::configById(const std::vector<DeviceConfig> &Registry, int Id) {
+  for (const DeviceConfig &C : Registry)
+    if (C.Id == Id)
+      return C;
+  assert(false && "unknown configuration id");
+  return Registry.front();
+}
+
+std::vector<int> clfuzz::paperAboveThresholdIds() {
+  return {1, 2, 3, 4, 9, 12, 13, 14, 15, 19};
+}

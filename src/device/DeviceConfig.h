@@ -1,0 +1,125 @@
+//===- DeviceConfig.h - The simulated (device, compiler) zoo ----*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 21 simulated OpenCL configurations of the paper's Table 1. A
+/// configuration is a (device, driver) pair: ours couple a device
+/// class, a per-optimisation-level *bug model*, a speed factor (step
+/// budget scaling; emulators and the anonymous GPU time out more) and
+/// lottery rates for the failure classes the paper reports without a
+/// reproducible mechanism (driver ICEs and machine crashes).
+///
+/// Bug models with a known mechanism are implemented mechanically in
+/// the layout engine, the pass pipeline or codegen - see DESIGN.md for
+/// the mapping to the paper's Figures 1 and 2. Lotteries are
+/// deterministic in (source hash, configuration salt, opt level), so a
+/// given kernel always behaves identically on a given configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_DEVICE_DEVICECONFIG_H
+#define CLFUZZ_DEVICE_DEVICECONFIG_H
+
+#include "layout/Layout.h"
+
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+/// Per-(configuration, optimisation level) defect knobs.
+struct DeviceBugModel {
+  // --- front end
+  /// Rejects legal int/size_t operand mixtures (configuration 15, §6).
+  bool RejectSizeTMix = false;
+  /// Rejects logical operations on vectors (Altera, §6 "Front-end
+  /// issues").
+  bool RejectVectorLogicalOps = false;
+  /// Internal error when vectors appear inside structs (Figure 1(c)).
+  bool RejectVectorsInStructs = false;
+  /// Compiler hangs on programs containing a constant-true infinite
+  /// loop (Figure 1(e); also the Table 3 config-8 timeout cause).
+  bool CompileHangOnInfiniteLoop = false;
+  /// Compilation becomes prohibitively slow for programs combining a
+  /// large struct with a barrier (Figure 1(f), Xeon Phi).
+  bool SlowStructBarrierCompile = false;
+  /// Probability of a driver internal build error (deterministic
+  /// lottery on the source hash); message drawn from IceMessages.
+  double BuildFailLottery = 0.0;
+
+  // --- layout / codegen
+  LayoutOptions Layout;          ///< Figure 1(a) / 2(a) models
+  bool CommaDropsRhsBug = false; ///< Figure 2(f)
+  bool SwizzleHighLaneBug = false;
+  bool VolatileStructCopyBug = false; ///< Figure 1(b)
+
+  // --- pass pipeline
+  bool RotateFoldBug = false;       ///< Figure 2(b)
+  bool ShiftSafeFoldBug = false;    ///< NVIDIA/Intel fold model
+  bool CmpMinusOneBug = false;      ///< Figure 2(e)
+  bool BarrierCallRetvalBug = false;///< Figure 2(c)
+  /// Per-occurrence probability of the EMI-sensitive empty-block
+  /// elimination defect (variants of one base diverge, §7.4).
+  double EmiDceBugRate = 0.0;
+
+  // --- runtime
+  /// Kernel crashes when any helper function contains a barrier
+  /// (the 14-/15- segfault class of Figure 2(c)).
+  bool BarrierInFunctionCrash = false;
+  /// Probability of a runtime crash (deterministic lottery).
+  double CrashLottery = 0.0;
+  /// Multiplier on the step budget; < 1 models slower devices and
+  /// produces the paper's timeout rates.
+  double SpeedFactor = 1.0;
+};
+
+/// One row of Table 1.
+struct DeviceConfig {
+  int Id = 0;
+  std::string Sdk;
+  std::string Device;
+  std::string Driver;
+  std::string OpenClVersion;
+  std::string Os;
+  enum class Kind : uint8_t { GPU, CPU, Accelerator, Emulator, FPGA };
+  Kind Type = Kind::GPU;
+
+  DeviceBugModel BugsO0; ///< behaviour with -cl-opt-disable
+  DeviceBugModel BugsO2; ///< behaviour with default optimisation
+  /// Oclgrind does not optimise: the optimising pipeline is empty at
+  /// both levels (§7.3 observes 19- and 19+ are practically identical).
+  bool NoOptimizer = false;
+  /// Salt decorrelating this configuration's lotteries.
+  uint64_t Salt = 0;
+  /// ICE messages used by the build-failure lottery (vendor flavour).
+  std::vector<std::string> IceMessages;
+
+  /// The paper's Table 1 classification (used as the expected value in
+  /// tests of the Table 1 harness).
+  bool PaperAboveThreshold = false;
+
+  const DeviceBugModel &bugs(bool OptEnabled) const {
+    return OptEnabled ? BugsO2 : BugsO0;
+  }
+
+  const char *typeName() const;
+};
+
+/// Builds the full 21-configuration registry of Table 1.
+std::vector<DeviceConfig> buildConfigRegistry();
+
+/// Finds a configuration by Table 1 id (1-based); asserts on failure.
+const DeviceConfig &configById(const std::vector<DeviceConfig> &Registry,
+                               int Id);
+
+/// The configurations above the paper's reliability threshold
+/// (Table 1 final column): ids 1-4, 9, 12-15, 19.
+std::vector<int> paperAboveThresholdIds();
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_DEVICE_DEVICECONFIG_H

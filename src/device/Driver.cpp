@@ -1,0 +1,385 @@
+//===- Driver.cpp - Simulated OpenCL driver (compile + run) -----------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "device/Driver.h"
+#include "minicl/ASTQueries.h"
+#include "minicl/Parser.h"
+#include "minicl/Sema.h"
+#include "opt/ConstEval.h"
+#include "opt/Pass.h"
+#include "support/Hash.h"
+#include "vm/Codegen.h"
+#include "vm/VM.h"
+
+using namespace clfuzz;
+
+const char *clfuzz::runStatusName(RunStatus S) {
+  switch (S) {
+  case RunStatus::BuildFailure:
+    return "bf";
+  case RunStatus::Crash:
+    return "c";
+  case RunStatus::Timeout:
+    return "to";
+  case RunStatus::Ok:
+    return "ok";
+  }
+  return "?";
+}
+
+TestCase TestCase::fromGenerated(const GeneratedKernel &K) {
+  TestCase T;
+  T.Name = std::string(genModeName(K.Mode)) + " seed " +
+           std::to_string(K.Seed);
+  T.Source = K.Source;
+  T.Range = K.Range;
+  T.Buffers = K.Buffers;
+  return T;
+}
+
+namespace {
+
+/// Strips implicit casts for pattern checks against the pre-conversion
+/// operand types.
+const Expr *stripImplicit(const Expr *E) {
+  while (const auto *ICE = dyn_cast<ImplicitCastExpr>(E))
+    E = ICE->getSubExpr();
+  return E;
+}
+
+/// True if the expression subtree contains a size_t-typed node (a
+/// work-item query or arithmetic over one).
+bool mentionsSizeT(const Expr *E) {
+  if (const auto *ST = dyn_cast_if_present<ScalarType>(E->getType()))
+    if (ST->isSizeT())
+      return true;
+  bool Found = false;
+  // Cheap recursion through the few child kinds that matter.
+  switch (E->getKind()) {
+  case Expr::ExprKind::Unary:
+    Found = mentionsSizeT(cast<UnaryExpr>(E)->getSubExpr());
+    break;
+  case Expr::ExprKind::Binary:
+    Found = mentionsSizeT(cast<BinaryExpr>(E)->getLHS()) ||
+            mentionsSizeT(cast<BinaryExpr>(E)->getRHS());
+    break;
+  case Expr::ExprKind::ImplicitCast:
+    Found = mentionsSizeT(cast<ImplicitCastExpr>(E)->getSubExpr());
+    break;
+  default:
+    break;
+  }
+  return Found;
+}
+
+/// Front-end defect checks of the configuration bug models. Returns a
+/// non-empty message when the program is rejected.
+std::string frontEndChecks(const ASTContext &Ctx,
+                           const DeviceBugModel &Bugs) {
+  std::string Error;
+
+  if (Bugs.RejectVectorsInStructs) {
+    for (const RecordType *RT : Ctx.types().records())
+      for (const RecordField &F : RT->fields())
+        if (F.Ty->isVector())
+          return "internal error: LLVM IR generation failed for vector "
+                 "member '" +
+                 F.Name + "'";
+  }
+
+  for (const FunctionDecl *F : Ctx.program().functions()) {
+    if (!F->getBody() || !Error.empty())
+      break;
+    forEachExpr(F->getBody(), [&](const Expr *E) {
+      if (!Error.empty())
+        return;
+      if (Bugs.RejectSizeTMix) {
+        // Compound assignments mixing int with size_t (`x |= gx`, §6).
+        if (const auto *A = dyn_cast<AssignExpr>(E)) {
+          if (A->getOp() != AssignOp::Assign) {
+            const auto *LS = dyn_cast_if_present<ScalarType>(
+                A->getLHS()->getType());
+            if (LS && LS->isSigned() && !LS->isSizeT() &&
+                mentionsSizeT(stripImplicit(A->getRHS()))) {
+              Error = "error: invalid operands to binary expression "
+                      "('int' and 'size_t')";
+              return;
+            }
+          }
+        }
+      }
+      if (const auto *B = dyn_cast<BinaryExpr>(E)) {
+        if (Bugs.RejectVectorLogicalOps && isLogicalOp(B->getOp()) &&
+            B->getLHS()->getType()->isVector()) {
+          Error = "error: logical operation on vector operands is not "
+                  "supported";
+          return;
+        }
+        if (Bugs.RejectSizeTMix && !isComparisonOp(B->getOp()) &&
+            !isLogicalOp(B->getOp()) && B->getOp() != BinOp::Comma) {
+          const Expr *L = stripImplicit(B->getLHS());
+          const Expr *R = stripImplicit(B->getRHS());
+          const auto *LS = dyn_cast_if_present<ScalarType>(L->getType());
+          const auto *RS = dyn_cast_if_present<ScalarType>(R->getType());
+          if (LS && RS) {
+            bool Mixes = (mentionsSizeT(L) && RS->isSigned() &&
+                          !RS->isSizeT()) ||
+                         (mentionsSizeT(R) && LS->isSigned() &&
+                          !LS->isSizeT());
+            if (Mixes) {
+              Error = "error: invalid operands to binary expression "
+                      "('int' and 'size_t')";
+              return;
+            }
+          }
+        }
+      }
+    });
+    if (Bugs.CompileHangOnInfiniteLoop && Error.empty()) {
+      forEachStmt(F->getBody(), [&](const Stmt *S) {
+        if (!Error.empty())
+          return;
+        const Expr *Cond = nullptr;
+        if (const auto *W = dyn_cast<WhileStmt>(S))
+          Cond = W->getCond();
+        else if (const auto *Fo = dyn_cast<ForStmt>(S))
+          Cond = Fo->getCond();
+        if (!Cond) {
+          if (isa<ForStmt>(S) && !cast<ForStmt>(S)->getCond())
+            Error = "<compile hang>"; // for(;;)
+          return;
+        }
+        if (auto V = evalConstExpr(Cond))
+          if (V->Lanes[0] != 0)
+            Error = "<compile hang>";
+      });
+    }
+  }
+  return Error;
+}
+
+/// True when the Figure 1(f) slow-compilation model triggers: a large
+/// record together with any barrier.
+bool slowStructBarrierTriggers(const ASTContext &Ctx) {
+  LayoutEngine L;
+  bool BigStruct = false;
+  for (const RecordType *RT : Ctx.types().records())
+    if (RT->isComplete() && !RT->isUnion() && L.sizeOf(RT) >= 64)
+      BigStruct = true;
+  if (!BigStruct)
+    return false;
+  for (const FunctionDecl *F : Ctx.program().functions())
+    if (functionContainsBarrier(F))
+      return true;
+  return false;
+}
+
+/// Deterministic lottery draw in [0,1) keyed on (source, salt, opt).
+double lotteryDraw(uint64_t SourceHash, uint64_t Salt, bool Opt,
+                   uint64_t Stream) {
+  Fnv64 H;
+  H.addU64(SourceHash);
+  H.addU64(Salt);
+  H.addU64(Opt ? 0x5eed : 0xdead);
+  H.addU64(Stream);
+  return static_cast<double>(H.value() >> 11) * 0x1.0p-53;
+}
+
+RunOutcome compileAndRun(const TestCase &Test, const DeviceBugModel &Bugs,
+                         bool RunOptimizer, bool OptFlagForLottery,
+                         uint64_t Salt,
+                         const std::vector<std::string> &IceMessages,
+                         const RunSettings &Settings) {
+  RunOutcome Out;
+  uint64_t SourceHash = fnv64(Test.Source);
+  // Geometry hash: identical across EMI variants of one base. Crash
+  // and ICE lotteries draw a base-level susceptibility from it and a
+  // per-variant coin from the source, so flaky failures cluster per
+  // base (as real driver instability does) while the marginal rate in
+  // differential campaigns stays at the configured value.
+  Fnv64 GH;
+  for (int I = 0; I != 3; ++I) {
+    GH.addU64(Test.Range.Global[I]);
+    GH.addU64(Test.Range.Local[I]);
+  }
+  for (const BufferSpec &B : Test.Buffers)
+    GH.addU64(B.InitBytes.size());
+  uint64_t GeomHash = GH.value();
+  auto SplitLottery = [&](double Rate, uint64_t Stream) {
+    if (Rate <= 0.0)
+      return false;
+    double BaseDraw = lotteryDraw(GeomHash, Salt, OptFlagForLottery,
+                                  Stream);
+    double VariantDraw = lotteryDraw(SourceHash, Salt,
+                                     OptFlagForLottery, Stream + 100);
+    return BaseDraw < 2.0 * Rate && VariantDraw < 0.5;
+  };
+
+  // --- 1. front end (parse + sema)
+  ASTContext Ctx;
+  DiagEngine Diags;
+  if (!parseProgram(Test.Source, Ctx, Diags) ||
+      !checkProgram(Ctx, Diags)) {
+    Out.Status = RunStatus::BuildFailure;
+    Out.Message = Diags.str();
+    return Out;
+  }
+
+  // --- 2. configuration-specific front-end defects
+  std::string FeError = frontEndChecks(Ctx, Bugs);
+  if (FeError == "<compile hang>") {
+    Out.Status = RunStatus::Timeout;
+    Out.Message = "compiler did not terminate";
+    return Out;
+  }
+  if (!FeError.empty()) {
+    Out.Status = RunStatus::BuildFailure;
+    Out.Message = FeError;
+    return Out;
+  }
+  if (Bugs.SlowStructBarrierCompile && slowStructBarrierTriggers(Ctx)) {
+    Out.Status = RunStatus::Timeout;
+    Out.Message = "compilation exceeded the time limit (large struct "
+                  "with barrier)";
+    return Out;
+  }
+  if (SplitLottery(Bugs.BuildFailLottery, 1)) {
+    Out.Status = RunStatus::BuildFailure;
+    Out.Message = IceMessages.empty()
+                      ? "internal compiler error"
+                      : IceMessages[fnv64(Test.Source) %
+                                    IceMessages.size()];
+    return Out;
+  }
+
+  // --- 3. pass pipeline
+  PassOptions PO = RunOptimizer ? PassOptions::o2() : PassOptions::o0();
+  if (!RunOptimizer && Bugs.RotateFoldBug) {
+    // Mandatory constant-folding stage (see configuration 14).
+    PO.EnableConstFold = true;
+  }
+  PO.RotateFoldBug = Bugs.RotateFoldBug;
+  PO.ShiftSafeFoldBug = Bugs.ShiftSafeFoldBug;
+  PO.CmpMinusOneBug = Bugs.CmpMinusOneBug;
+  PO.BarrierCallRetvalBug = Bugs.BarrierCallRetvalBug;
+  PO.EmiDceBugRate = Bugs.EmiDceBugRate;
+  // Mix the variant's source into the salt: the defect depends on the
+  // exact surrounding code, which is what makes it EMI-sensitive.
+  PO.BugSalt = Salt ^ SourceHash;
+  PassManager PM = buildPipeline(PO, Ctx);
+  PM.run(Ctx);
+
+  // --- 4. code generation
+  CodegenOptions CG;
+  CG.Layout = Bugs.Layout;
+  CG.CommaDropsRhsBug = Bugs.CommaDropsRhsBug;
+  CG.SwizzleHighLaneBug = Bugs.SwizzleHighLaneBug;
+  CG.VolatileStructCopyBug = Bugs.VolatileStructCopyBug;
+  CodegenResult CR = compileToBytecode(Ctx, CG);
+  if (!CR.Ok) {
+    Out.Status = RunStatus::BuildFailure;
+    Out.Message = CR.Error;
+    return Out;
+  }
+
+  // --- 5. runtime defect models
+  if (Bugs.BarrierInFunctionCrash) {
+    for (const FunctionDecl *F : Ctx.program().functions())
+      if (!F->isKernel() && functionContainsBarrier(F)) {
+        Out.Status = RunStatus::Crash;
+        Out.Message = "segmentation fault (barrier inside function)";
+        return Out;
+      }
+  }
+  if (SplitLottery(Bugs.CrashLottery, 2)) {
+    Out.Status = RunStatus::Crash;
+    Out.Message = "runtime crash (driver instability model)";
+    return Out;
+  }
+
+  // --- 6. host setup and launch
+  std::vector<Buffer> Buffers;
+  int OutIndex = -1;
+  for (const BufferSpec &Spec : Test.Buffers) {
+    Buffer B;
+    B.Space = Spec.Space;
+    B.Bytes = Spec.InitBytes;
+    if (Spec.IsDeadArray && Settings.InvertDead) {
+      // dead[j] = d-1-j makes every EMI guard true.
+      size_t N = B.Bytes.size() / 4;
+      for (size_t J = 0; J != N; ++J) {
+        int32_t V = static_cast<int32_t>(N - 1 - J);
+        std::memcpy(&B.Bytes[J * 4], &V, 4);
+      }
+    }
+    if (Spec.IsOutput)
+      OutIndex = static_cast<int>(Buffers.size());
+    Buffers.push_back(std::move(B));
+  }
+  std::vector<KernelArg> Args;
+  for (unsigned I = 0; I != Buffers.size(); ++I)
+    Args.push_back(KernelArg::buffer(I));
+
+  LaunchOptions LO;
+  LO.Range = Test.Range;
+  LO.SchedulerSeed = Settings.SchedulerSeed;
+  LO.DetectRaces = Settings.DetectRaces;
+  LO.StepBudget = static_cast<uint64_t>(
+      static_cast<double>(Settings.BaseStepBudget) * Bugs.SpeedFactor);
+  if (LO.StepBudget == 0)
+    LO.StepBudget = 1;
+
+  LaunchResult LR = launchKernel(CR.Module, Buffers, Args, LO);
+  Out.Steps = LR.StepsExecuted;
+  Out.RaceFound = LR.RaceFound;
+  Out.RaceMessage = LR.RaceMessage;
+  switch (LR.Status) {
+  case LaunchStatus::Success:
+    break;
+  case LaunchStatus::Timeout:
+    Out.Status = RunStatus::Timeout;
+    Out.Message = LR.Message;
+    return Out;
+  case LaunchStatus::Trap:
+  case LaunchStatus::BarrierDivergence:
+  case LaunchStatus::InvalidLaunch:
+    Out.Status = RunStatus::Crash;
+    Out.Message = LR.Message;
+    return Out;
+  }
+
+  // --- 7. read back the printed result
+  Out.Status = RunStatus::Ok;
+  if (OutIndex >= 0) {
+    const Buffer &OB = Buffers[OutIndex];
+    Out.OutputHash = fnv64(OB.Bytes.data(), OB.Bytes.size());
+    size_t Words = OB.Bytes.size() / 8;
+    for (size_t I = 0; I != std::min<size_t>(Words, 8); ++I)
+      Out.OutputHead.push_back(OB.readScalar(I * 8, 8));
+  }
+  return Out;
+}
+
+} // namespace
+
+RunOutcome clfuzz::runTestOnConfig(const TestCase &Test,
+                                   const DeviceConfig &Config,
+                                   bool OptEnabled,
+                                   const RunSettings &Settings) {
+  const DeviceBugModel &Bugs = Config.bugs(OptEnabled);
+  bool RunOptimizer = OptEnabled && !Config.NoOptimizer;
+  return compileAndRun(Test, Bugs, RunOptimizer, OptEnabled, Config.Salt,
+                       Config.IceMessages, Settings);
+}
+
+RunOutcome clfuzz::runTestOnReference(const TestCase &Test, bool Optimize,
+                                      const RunSettings &Settings) {
+  DeviceBugModel Clean;
+  Clean.SpeedFactor = 16.0; // a fast, reliable host
+  return compileAndRun(Test, Clean, Optimize, Optimize,
+                       /*Salt=*/0, {}, Settings);
+}

@@ -1,0 +1,98 @@
+//===- Driver.h - Simulated OpenCL driver (compile + run) -------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated equivalent of clCreateProgramWithSource +
+/// clBuildProgram + clEnqueueNDRangeKernel: takes a test case (source
+/// text plus host launch plan), compiles it through a configuration's
+/// front end / pass pipeline / code generator (each with that
+/// configuration's bug models) and executes it on the VM. Outcomes
+/// mirror the paper's classification: build failure (bf), runtime
+/// crash (c), timeout (to) or a computed result whose comparison
+/// across configurations or EMI variants is the oracle's job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_DEVICE_DRIVER_H
+#define CLFUZZ_DEVICE_DRIVER_H
+
+#include "device/DeviceConfig.h"
+#include "gen/Generator.h"
+
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+/// One test program plus its host-side launch plan. The source text is
+/// the canonical representation: drivers re-parse it per run,
+/// mirroring OpenCL's online compilation.
+struct TestCase {
+  std::string Name;
+  std::string Source;
+  NDRange Range;
+  std::vector<BufferSpec> Buffers;
+
+  static TestCase fromGenerated(const GeneratedKernel &K);
+};
+
+/// Per-run host settings.
+struct RunSettings {
+  /// Baseline dynamic-instruction budget, scaled by the
+  /// configuration's SpeedFactor (the stand-in for the paper's
+  /// 60-second timeout; 300 s for Oclgrind is modelled by the
+  /// per-config factor).
+  uint64_t BaseStepBudget = 8'000'000;
+  uint64_t SchedulerSeed = 1;
+  /// Inverts the dead array (dead[j] = d-1-j) so EMI blocks become
+  /// live; used to discard base programs whose EMI blocks were placed
+  /// in already-dead code (§7.4).
+  bool InvertDead = false;
+  bool DetectRaces = false;
+};
+
+/// Outcome classes, in the paper's vocabulary.
+enum class RunStatus : uint8_t {
+  BuildFailure, ///< bf
+  Crash,        ///< c (compiler or runtime; the paper merges them)
+  Timeout,      ///< to
+  Ok,           ///< computed a result
+};
+
+const char *runStatusName(RunStatus S);
+
+/// The result of one (test, configuration, opt level) run.
+struct RunOutcome {
+  RunStatus Status = RunStatus::BuildFailure;
+  std::string Message;
+  /// Fingerprint of the printed output (comma-separated out[] values);
+  /// equal fingerprints mean equal outputs.
+  uint64_t OutputHash = 0;
+  /// The first few output words, for human-readable reports.
+  std::vector<uint64_t> OutputHead;
+  uint64_t Steps = 0;
+  bool RaceFound = false;
+  std::string RaceMessage;
+
+  bool ok() const { return Status == RunStatus::Ok; }
+};
+
+/// Compiles and runs \p Test on \p Config with optimisations
+/// enabled/disabled.
+RunOutcome runTestOnConfig(const TestCase &Test,
+                           const DeviceConfig &Config, bool OptEnabled,
+                           const RunSettings &Settings = RunSettings());
+
+/// Reference run: no bug models, optimisations optional. Used by
+/// tests, the EMI machinery and the reducer as a well-tested baseline
+/// (the analogue of a trusted Oclgrind build).
+RunOutcome runTestOnReference(const TestCase &Test, bool Optimize,
+                              const RunSettings &Settings = RunSettings());
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_DEVICE_DRIVER_H

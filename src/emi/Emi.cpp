@@ -1,0 +1,459 @@
+//===- Emi.cpp - Equivalence-modulo-inputs machinery -------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "emi/Emi.h"
+#include "minicl/ASTQueries.h"
+#include "minicl/Parser.h"
+#include "minicl/Printer.h"
+#include "minicl/Sema.h"
+#include "minicl/TypeRules.h"
+#include "support/Rng.h"
+
+#include <cstring>
+
+using namespace clfuzz;
+
+//===----------------------------------------------------------------------===//
+// Pruning (§5)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Applies the three pruning strategies within one EMI block.
+class Pruner {
+public:
+  Pruner(ASTContext &Ctx, const PruneOptions &Opts, Rng &R)
+      : Ctx(Ctx), Opts(Opts), AdjLift(Opts.adjustedLift()), R(R) {}
+
+  unsigned Prunings = 0;
+
+  /// Prunes the children of a compound statement in place.
+  void pruneCompound(CompoundStmt *C);
+
+private:
+  bool isBranch(const Stmt *S) const {
+    return isa<IfStmt, ForStmt, WhileStmt, DoStmt>(S);
+  }
+  bool isPrunableLeaf(const Stmt *S) const {
+    // DeclStmts are kept: deleting one could orphan later uses.
+    return isa<ExprStmt, NullStmt, BreakStmt, ContinueStmt,
+               BarrierStmt>(S);
+  }
+
+  /// Produces the lift expansion of a branch node (§5): if -> S;T,
+  /// loops -> init;body' with the outermost break/continue removed.
+  std::vector<Stmt *> liftChildren(Stmt *S);
+  /// Removes break/continue statements binding to this loop level.
+  Stmt *stripOuterJumps(Stmt *S);
+
+  ASTContext &Ctx;
+  PruneOptions Opts;
+  double AdjLift;
+  Rng &R;
+};
+
+} // namespace
+
+Stmt *Pruner::stripOuterJumps(Stmt *S) {
+  switch (S->getKind()) {
+  case Stmt::StmtKind::Break:
+  case Stmt::StmtKind::Continue:
+    return Ctx.makeStmt<NullStmt>();
+  case Stmt::StmtKind::Compound: {
+    auto *C = cast<CompoundStmt>(S);
+    for (Stmt *&Child : C->body())
+      Child = stripOuterJumps(Child);
+    return C;
+  }
+  case Stmt::StmtKind::If: {
+    auto *If = cast<IfStmt>(S);
+    If->setThen(stripOuterJumps(If->getThen()));
+    if (If->getElse())
+      If->setElse(stripOuterJumps(If->getElse()));
+    return If;
+  }
+  // Nested loops capture their own break/continue.
+  default:
+    return S;
+  }
+}
+
+std::vector<Stmt *> Pruner::liftChildren(Stmt *S) {
+  std::vector<Stmt *> Out;
+  switch (S->getKind()) {
+  case Stmt::StmtKind::If: {
+    auto *If = cast<IfStmt>(S);
+    Out.push_back(If->getThen());
+    if (If->getElse())
+      Out.push_back(If->getElse());
+    break;
+  }
+  case Stmt::StmtKind::For: {
+    auto *For = cast<ForStmt>(S);
+    if (For->getInit())
+      Out.push_back(For->getInit());
+    Out.push_back(stripOuterJumps(For->getBody()));
+    break;
+  }
+  case Stmt::StmtKind::While:
+    Out.push_back(stripOuterJumps(cast<WhileStmt>(S)->getBody()));
+    break;
+  case Stmt::StmtKind::Do:
+    Out.push_back(stripOuterJumps(cast<DoStmt>(S)->getBody()));
+    break;
+  default:
+    assert(false && "lift applied to a non-branch node");
+    break;
+  }
+  return Out;
+}
+
+void Pruner::pruneCompound(CompoundStmt *C) {
+  std::vector<Stmt *> NewBody;
+  for (Stmt *S : C->body()) {
+    if (isPrunableLeaf(S)) {
+      if (R.chance(Opts.PLeaf)) {
+        ++Prunings;
+        continue; // deleted
+      }
+      NewBody.push_back(S);
+      continue;
+    }
+    if (isBranch(S)) {
+      // compound is applied before lift (§5).
+      if (R.chance(Opts.PCompound)) {
+        ++Prunings;
+        continue; // whole subtree deleted
+      }
+      if (R.chance(AdjLift)) {
+        ++Prunings;
+        for (Stmt *Child : liftChildren(S)) {
+          // Recurse into the promoted children.
+          if (auto *CC = dyn_cast<CompoundStmt>(Child))
+            pruneCompound(CC);
+          NewBody.push_back(Child);
+        }
+        continue;
+      }
+      // Keep the branch; prune inside it.
+      if (auto *If = dyn_cast<IfStmt>(S)) {
+        if (auto *T = dyn_cast<CompoundStmt>(If->getThen()))
+          pruneCompound(T);
+        if (If->getElse())
+          if (auto *E = dyn_cast<CompoundStmt>(If->getElse()))
+            pruneCompound(E);
+      } else if (auto *For = dyn_cast<ForStmt>(S)) {
+        if (auto *B = dyn_cast<CompoundStmt>(For->getBody()))
+          pruneCompound(B);
+      } else if (auto *W = dyn_cast<WhileStmt>(S)) {
+        if (auto *B = dyn_cast<CompoundStmt>(W->getBody()))
+          pruneCompound(B);
+      } else if (auto *D = dyn_cast<DoStmt>(S)) {
+        if (auto *B = dyn_cast<CompoundStmt>(D->getBody()))
+          pruneCompound(B);
+      }
+      NewBody.push_back(S);
+      continue;
+    }
+    // Declarations and nested compounds.
+    if (auto *CC = dyn_cast<CompoundStmt>(S))
+      pruneCompound(CC);
+    NewBody.push_back(S);
+  }
+  C->body() = std::move(NewBody);
+}
+
+unsigned clfuzz::pruneEmiBlocks(ASTContext &Ctx,
+                                const PruneOptions &Opts) {
+  assert(Opts.valid() && "p_compound + p_lift must not exceed 1");
+  Rng R(Opts.Seed ^ 0xe111e111e111e111ULL);
+  Pruner P(Ctx, Opts, R);
+  for (FunctionDecl *F : Ctx.program().functions()) {
+    if (!F->getBody())
+      continue;
+    forEachStmt(F->getBody(), [&P](const Stmt *S) {
+      const auto *If = dyn_cast<IfStmt>(S);
+      if (!If || !If->isEmiBlock())
+        return;
+      if (auto *Body =
+              dyn_cast<CompoundStmt>(const_cast<IfStmt *>(If)->getThen()))
+        P.pruneCompound(Body);
+    });
+  }
+  return P.Prunings;
+}
+
+TestCase clfuzz::makeEmiVariant(const GenOptions &BaseOpts,
+                                const PruneOptions &Prune) {
+  GeneratedKernel K = generateKernel(BaseOpts);
+  pruneEmiBlocks(*K.Ctx, Prune);
+  TestCase T;
+  T.Name = std::string(genModeName(K.Mode)) + " seed " +
+           std::to_string(K.Seed) + " emi-variant " +
+           std::to_string(Prune.Seed);
+  T.Source = printProgram(K.Ctx->program(), K.Ctx->types());
+  T.Range = K.Range;
+  T.Buffers = K.Buffers;
+  return T;
+}
+
+std::vector<PruneOptions> clfuzz::paperPruneSweep(uint64_t SeedBase) {
+  static const double Probs[] = {0.0, 0.3, 0.6, 1.0};
+  std::vector<PruneOptions> Sweep;
+  for (double PL : Probs)
+    for (double PC : Probs)
+      for (double PLift : Probs) {
+        if (PC + PLift > 1.0 + 1e-9)
+          continue;
+        PruneOptions P;
+        P.PLeaf = PL;
+        P.PCompound = PC;
+        P.PLift = PLift;
+        P.Seed = SeedBase + Sweep.size();
+        Sweep.push_back(P);
+      }
+  return Sweep;
+}
+
+//===----------------------------------------------------------------------===//
+// Injection into existing kernels (§5, Table 3)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A small statement generator for injected EMI block bodies. With
+/// substitutions on, it reads and writes scalar variables of the host
+/// kernel (the paper's #define-renaming has the same effect: block
+/// code operates on host data); with substitutions off it declares its
+/// own locals and touches nothing else.
+class EmiBodyGen {
+public:
+  EmiBodyGen(ASTContext &Ctx, Rng &R, std::vector<VarDecl *> HostVars,
+             bool Substitutions)
+      : Ctx(Ctx), Types(Ctx.types()), R(R),
+        HostVars(std::move(HostVars)), Subst(Substitutions) {}
+
+  std::vector<Stmt *> genBody(unsigned NumStmts, unsigned Depth);
+
+private:
+  Expr *genExpr(const ScalarType *T, unsigned Depth);
+  Stmt *genStmt(unsigned Depth);
+  VarDecl *pickTarget();
+
+  ASTContext &Ctx;
+  TypeContext &Types;
+  Rng &R;
+  std::vector<VarDecl *> HostVars;
+  std::vector<VarDecl *> OwnVars;
+  bool Subst;
+  unsigned Counter = 0;
+};
+
+} // namespace
+
+Expr *EmiBodyGen::genExpr(const ScalarType *T, unsigned Depth) {
+  if (Depth == 0 || R.chance(0.3)) {
+    // Leaf: literal or a readable variable.
+    std::vector<VarDecl *> Pool = OwnVars;
+    if (Subst)
+      Pool.insert(Pool.end(), HostVars.begin(), HostVars.end());
+    if (!Pool.empty() && R.chance(0.5)) {
+      VarDecl *V = Pool[R.below(Pool.size())];
+      Expr *E = Ctx.ref(V);
+      if (E->getType() != T)
+        E = Ctx.makeExpr<CastExpr>(E, T);
+      return E;
+    }
+    return Ctx.intLit(maskToWidth(R.below(1024), T->bitWidth()), T);
+  }
+  Expr *A = genExpr(T, Depth - 1);
+  Expr *B = genExpr(T, Depth - 1);
+  if (T->isSigned() || R.chance(0.4)) {
+    static const Builtin Safe[] = {Builtin::SafeAdd, Builtin::SafeSub,
+                                   Builtin::SafeMul, Builtin::SafeDiv};
+    TypedResult Res = buildBuiltinCall(Ctx, Safe[R.below(4)], {A, B});
+    return Res.E;
+  }
+  static const BinOp Ops[] = {BinOp::Add, BinOp::BitXor, BinOp::BitAnd,
+                              BinOp::BitOr};
+  TypedResult Res = buildBinary(Ctx, Ops[R.below(4)], A, B);
+  Expr *E = Res.E;
+  if (E->getType() != T)
+    E = Ctx.makeExpr<CastExpr>(E, T);
+  return E;
+}
+
+VarDecl *EmiBodyGen::pickTarget() {
+  std::vector<VarDecl *> Pool = OwnVars;
+  if (Subst)
+    Pool.insert(Pool.end(), HostVars.begin(), HostVars.end());
+  if (Pool.empty())
+    return nullptr;
+  return Pool[R.below(Pool.size())];
+}
+
+Stmt *EmiBodyGen::genStmt(unsigned Depth) {
+  switch (R.below(Depth > 0 ? 4 : 3)) {
+  case 0: {
+    const ScalarType *T =
+        R.chance(0.5) ? Types.intTy() : Types.uintTy();
+    VarDecl *D = Ctx.makeVar("emi_" + std::to_string(Counter++), T,
+                             AddressSpace::Private);
+    D->setInit(genExpr(T, 2));
+    OwnVars.push_back(D);
+    return Ctx.makeStmt<DeclStmt>(D);
+  }
+  case 1: {
+    VarDecl *Target = pickTarget();
+    if (!Target || !isa<ScalarType>(Target->getType()))
+      return Ctx.makeStmt<NullStmt>();
+    const auto *T = cast<ScalarType>(Target->getType());
+    TypedResult Res = buildAssign(Ctx, AssignOp::Assign,
+                                  Ctx.ref(Target), genExpr(T, 2));
+    return Res.E ? static_cast<Stmt *>(Ctx.makeStmt<ExprStmt>(Res.E))
+                 : static_cast<Stmt *>(Ctx.makeStmt<NullStmt>());
+  }
+  case 2: {
+    VarDecl *I = Ctx.makeVar("emi_i" + std::to_string(Counter++),
+                             Types.intTy(), AddressSpace::Private);
+    I->setInit(Ctx.intLit(0));
+    TypedResult Cond = buildBinary(
+        Ctx, BinOp::Lt, Ctx.ref(I),
+        Ctx.intLit(static_cast<int>(R.range(1, 6))));
+    TypedResult Step =
+        buildAssign(Ctx, AssignOp::Add, Ctx.ref(I), Ctx.intLit(1));
+    // Declarations inside the loop body go out of scope with it.
+    size_t OuterVars = OwnVars.size();
+    std::vector<Stmt *> Body;
+    Body.push_back(genStmt(0));
+    if (R.chance(0.3))
+      Body.push_back(Ctx.makeStmt<BreakStmt>());
+    OwnVars.resize(OuterVars);
+    return Ctx.makeStmt<ForStmt>(
+        Ctx.makeStmt<DeclStmt>(I), Cond.E, Step.E,
+        Ctx.makeStmt<CompoundStmt>(std::move(Body)));
+  }
+  default: {
+    TypedResult Cond = buildBinary(
+        Ctx, BinOp::Ne, genExpr(Types.intTy(), 1),
+        genExpr(Types.intTy(), 1));
+    size_t OuterVars = OwnVars.size();
+    std::vector<Stmt *> Then;
+    Then.push_back(genStmt(Depth - 1));
+    OwnVars.resize(OuterVars);
+    return Ctx.makeStmt<IfStmt>(
+        Cond.E, Ctx.makeStmt<CompoundStmt>(std::move(Then)), nullptr);
+  }
+  }
+}
+
+std::vector<Stmt *> EmiBodyGen::genBody(unsigned NumStmts,
+                                        unsigned Depth) {
+  std::vector<Stmt *> Body;
+  for (unsigned I = 0; I != NumStmts; ++I)
+    Body.push_back(genStmt(Depth));
+  return Body;
+}
+
+bool clfuzz::injectEmiIntoTest(const TestCase &Base,
+                               const InjectOptions &Opts, TestCase &Out,
+                               DiagEngine &Diags) {
+  auto Ctx = std::make_unique<ASTContext>();
+  if (!parseProgram(Base.Source, *Ctx, Diags))
+    return false;
+  FunctionDecl *Kernel = Ctx->program().kernel();
+  if (!Kernel || !Kernel->getBody()) {
+    Diags.error(SourceLoc{}, "test case has no kernel to inject into");
+    return false;
+  }
+  TypeContext &Types = Ctx->types();
+  Rng R(Opts.Seed ^ 0x13ec7104e111b10cULL);
+
+  // Add the dead parameter.
+  VarDecl *Dead = Ctx->makeVar(
+      "emi_dead", Types.pointer(Types.intTy(), AddressSpace::Global),
+      AddressSpace::Private);
+  Dead->setParam(true);
+  Kernel->addParam(Dead);
+
+  // Collect host scalar variables visible at kernel top level
+  // (parameters and top-level locals) for substitution binding.
+  std::vector<VarDecl *> HostVars;
+  for (VarDecl *P : Kernel->params())
+    if (isa<ScalarType>(P->getType()) && !P->isConst())
+      HostVars.push_back(P);
+  for (Stmt *S : Kernel->getBody()->body())
+    if (auto *DS = dyn_cast<DeclStmt>(S)) {
+      VarDecl *D = DS->getDecl();
+      if (isa<ScalarType>(D->getType()) &&
+          D->getAddressSpace() == AddressSpace::Private &&
+          !D->isVolatile())
+        HostVars.push_back(D);
+    }
+
+  // Build and place the blocks. Injection points are positions in the
+  // kernel's top-level body *after* the declarations we may
+  // substitute against.
+  auto &Body = Kernel->getBody()->body();
+  size_t FirstSafe = 0;
+  for (size_t I = 0; I != Body.size(); ++I)
+    if (isa<DeclStmt>(Body[I]))
+      FirstSafe = I + 1;
+
+  int EmiId = 0;
+  for (unsigned B = 0; B != Opts.NumBlocks; ++B) {
+    unsigned R1 = 1 + static_cast<unsigned>(
+                          R.below(Opts.DeadArrayLength - 1));
+    unsigned R2 = static_cast<unsigned>(R.below(R1));
+    TypedResult L = buildIndex(*Ctx, Ctx->ref(Dead),
+                               Ctx->intLit(static_cast<int>(R1)));
+    TypedResult Rr = buildIndex(*Ctx, Ctx->ref(Dead),
+                                Ctx->intLit(static_cast<int>(R2)));
+    TypedResult Cond = buildBinary(*Ctx, BinOp::Lt, L.E, Rr.E);
+
+    EmiBodyGen Gen(*Ctx, R, HostVars, Opts.Substitutions);
+    std::vector<Stmt *> BlockBody =
+        Gen.genBody(static_cast<unsigned>(R.range(2, 4)), 2);
+    if (R.chance(Opts.InfiniteLoopProbability))
+      BlockBody.push_back(Ctx->makeStmt<WhileStmt>(
+          Ctx->intLit(1),
+          Ctx->makeStmt<CompoundStmt>(std::vector<Stmt *>{})));
+
+    auto *If = Ctx->makeStmt<IfStmt>(
+        Cond.E, Ctx->makeStmt<CompoundStmt>(std::move(BlockBody)),
+        nullptr);
+    If->setEmiId(EmiId++);
+    size_t Pos = FirstSafe + R.below(Body.size() - FirstSafe + 1);
+    Body.insert(Body.begin() + Pos, If);
+  }
+
+  // Apply the variant's pruning.
+  pruneEmiBlocks(*Ctx, Opts.Prune);
+
+  // Re-validate before printing.
+  DiagEngine PostDiags;
+  if (!checkProgram(*Ctx, PostDiags)) {
+    Diags.error(SourceLoc{}, "EMI injection produced an invalid program: " +
+                                 PostDiags.str());
+    return false;
+  }
+
+  Out = Base;
+  Out.Name = Base.Name + " +emi(seed=" + std::to_string(Opts.Seed) +
+             (Opts.Substitutions ? ",subst" : "") + ")";
+  Out.Source = printProgram(Ctx->program(), Types);
+  BufferSpec DB;
+  DB.Space = AddressSpace::Global;
+  DB.IsDeadArray = true;
+  DB.InitBytes.resize(Opts.DeadArrayLength * 4);
+  for (unsigned J = 0; J != Opts.DeadArrayLength; ++J) {
+    int32_t V = static_cast<int32_t>(J);
+    std::memcpy(&DB.InitBytes[J * 4], &V, 4);
+  }
+  Out.Buffers.push_back(std::move(DB));
+  return true;
+}

@@ -1,0 +1,97 @@
+//===- Emi.h - Equivalence-modulo-inputs machinery --------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// EMI testing for OpenCL kernels via *dead-by-construction* code (§5):
+///
+///  * the generator plants blocks `if (dead[r1] < dead[r2]) {...}` with
+///    r2 < r1 so the guard is false under the host's dead[j] = j
+///    initialisation;
+///  * variants prune statements inside EMI blocks with the paper's
+///    three strategies - *leaf* (delete leaf statements with
+///    probability p_leaf), *compound* (delete branch statements with
+///    p_compound) and the novel *lift* (splice a branch node's
+///    children into its parent, removing the loop's outermost
+///    break/continue), applied with the adjusted probability
+///    p'_lift = p_lift / (1 - p_compound), requiring
+///    p_compound + p_lift <= 1;
+///  * blocks can also be injected into *existing* kernels (the Table 3
+///    experiment over Parboil/Rodinia), binding free variables either
+///    by declaring them locally or by substituting names from the host
+///    kernel (§5 "Injecting into real-world kernels").
+///
+/// All variants of a base must print the same output; any divergence
+/// on one configuration is a miscompilation (§3.2, metamorphic
+/// oracle).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_EMI_EMI_H
+#define CLFUZZ_EMI_EMI_H
+
+#include "device/Driver.h"
+#include "gen/Generator.h"
+
+namespace clfuzz {
+
+/// Pruning strategy probabilities (§5). The constraint
+/// PCompound + PLift <= 1 must hold.
+struct PruneOptions {
+  double PLeaf = 0.0;
+  double PCompound = 0.0;
+  double PLift = 0.0;
+  uint64_t Seed = 0;
+
+  bool valid() const { return PCompound + PLift <= 1.0 + 1e-9; }
+  /// The adjusted lift probability p'_lift (§5).
+  double adjustedLift() const {
+    if (PLift == 0.0)
+      return 0.0;
+    return PLift / (1.0 - PCompound);
+  }
+};
+
+/// Prunes every EMI-flagged block in \p Ctx's program in place.
+/// DeclStmts are never leaf-deleted (a deleted declaration could leave
+/// dangling uses; whole-subtree compound deletion is safe because
+/// scoping confines uses). Returns the number of prunings performed.
+unsigned pruneEmiBlocks(ASTContext &Ctx, const PruneOptions &Opts);
+
+/// Regenerates the base kernel for \p BaseOpts, prunes its EMI blocks
+/// with \p Prune and returns the variant as a runnable test case.
+TestCase makeEmiVariant(const GenOptions &BaseOpts,
+                        const PruneOptions &Prune);
+
+/// The full 40-variant sweep of §7.4: every combination of
+/// p_leaf/p_compound/p_lift over {0, 0.3, 0.6, 1} satisfying
+/// p_compound + p_lift <= 1.
+std::vector<PruneOptions> paperPruneSweep(uint64_t SeedBase);
+
+/// Options for injecting EMI blocks into an existing kernel (Table 3).
+struct InjectOptions {
+  uint64_t Seed = 0;
+  unsigned NumBlocks = 1;
+  /// Bind free variables to existing host-kernel variables via
+  /// substitution (on) or declare fresh locals inside the block (off).
+  bool Substitutions = false;
+  unsigned DeadArrayLength = 16;
+  /// Pruning applied to the injected blocks (variant generation).
+  PruneOptions Prune;
+  /// Include a dead `while (1) { }` with this probability (the paper's
+  /// config-8 timeout trigger).
+  double InfiniteLoopProbability = 0.15;
+};
+
+/// Parses \p Base.Source, injects EMI blocks into its kernel, appends
+/// the host-initialised dead array to the buffer plan and returns the
+/// new test case. Returns false on failure (diagnostics in \p Diags).
+bool injectEmiIntoTest(const TestCase &Base, const InjectOptions &Opts,
+                       TestCase &Out, DiagEngine &Diags);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_EMI_EMI_H

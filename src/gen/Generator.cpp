@@ -1,0 +1,1523 @@
+//===- Generator.cpp - CLsmith-style random kernel generation ---------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Generator.h"
+#include "minicl/Printer.h"
+#include "minicl/TypeRules.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace clfuzz;
+
+const char *clfuzz::genModeName(GenMode M) {
+  switch (M) {
+  case GenMode::Basic:
+    return "BASIC";
+  case GenMode::Vector:
+    return "VECTOR";
+  case GenMode::Barrier:
+    return "BARRIER";
+  case GenMode::AtomicSection:
+    return "ATOMIC SECTION";
+  case GenMode::AtomicReduction:
+    return "ATOMIC REDUCTION";
+  case GenMode::All:
+    return "ALL";
+  }
+  return "?";
+}
+
+namespace {
+
+/// FNV prime used by the in-kernel result hash.
+constexpr uint64_t HashPrime = 1099511628211ULL;
+
+/// Stateful generator for one kernel.
+class KernelGen {
+public:
+  KernelGen(const GenOptions &Opts)
+      : Opts(Opts), R(Opts.Seed * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL) {
+    UseVectors = Opts.Mode == GenMode::Vector || Opts.Mode == GenMode::All;
+    UseBarrier = Opts.Mode == GenMode::Barrier || Opts.Mode == GenMode::All;
+    UseAtomicSec =
+        Opts.Mode == GenMode::AtomicSection || Opts.Mode == GenMode::All;
+    UseAtomicRed = Opts.Mode == GenMode::AtomicReduction ||
+                   Opts.Mode == GenMode::All;
+  }
+
+  GeneratedKernel run();
+
+private:
+  // --- setup phases
+  void chooseGeometry();
+  void buildGlobalsStruct();
+  void planFunctions();
+  void emitFunctionBodies();
+  void emitKernel();
+
+  // --- scopes
+  struct Scope {
+    std::vector<VarDecl *> Scalars;     ///< assignable scalar locals
+    std::vector<VarDecl *> Vectors;     ///< assignable vector locals
+    std::vector<VarDecl *> ReadOnly;    ///< loop variables, params
+  };
+
+  VarDecl *freshScalar(const ScalarType *T, Expr *Init);
+  VarDecl *freshVector(const VectorType *T, Expr *Init);
+
+  // --- expressions
+  const ScalarType *randomScalarType();
+  const VectorType *randomVectorType();
+  Expr *castTo(Expr *E, const ScalarType *T);
+  Expr *literalOf(const ScalarType *T);
+  Expr *genScalarExpr(const ScalarType *T, unsigned Depth);
+  Expr *genVectorExpr(const VectorType *T, unsigned Depth);
+  Expr *genCondExpr(unsigned Depth);
+  Expr *globalsFieldRead(const ScalarType *T, unsigned Depth);
+  Expr *globalsScalarLValue();
+  Expr *sharedArrayRead();
+
+  // --- statements
+  std::vector<Stmt *> genBlock(unsigned Depth, unsigned NumStmts);
+  Stmt *genStmt(unsigned Depth);
+  Stmt *genAssignStmt(unsigned Depth);
+  Stmt *genForStmt(unsigned Depth);
+  Stmt *genIfStmt(unsigned Depth);
+  Stmt *genCallStmt(unsigned Depth);
+  Stmt *genBarrierSyncPoint();
+  Stmt *genSharedArrayWrite(unsigned Depth);
+  Stmt *genAtomicSection(unsigned Depth);
+  std::vector<Stmt *> genAtomicReduction(unsigned Depth);
+  Stmt *genEmiBlock(unsigned Depth);
+
+  Expr *initializerFor(const Type *T);
+  Expr *linearLocalId();
+  Expr *linearGroupId();
+  Expr *linearGlobalIdIndex();
+
+  // --- state
+  GenOptions Opts;
+  Rng R;
+  std::unique_ptr<ASTContext> CtxHolder = std::make_unique<ASTContext>();
+  ASTContext &Ctx = *CtxHolder;
+  TypeContext &Types = Ctx.types();
+
+  bool UseVectors, UseBarrier, UseAtomicSec, UseAtomicRed;
+
+  NDRange Range;
+  uint32_t WLinear = 1;
+  uint32_t NumGroups = 1;
+
+  RecordType *Globals = nullptr;
+  std::vector<FunctionDecl *> Helpers;
+  unsigned NextHelperCallable = 0; ///< lowest helper callable here
+
+  // Harness variables of the current function/kernel.
+  VarDecl *PVar = nullptr;        ///< S0 *p (param or kernel local)
+  VarDecl *AOffsetVar = nullptr;  ///< BARRIER mode private offset
+  VarDecl *ABaseVar = nullptr;    ///< base for global A
+  VarDecl *AVar = nullptr;        ///< the shared array (param or local)
+  bool AInLocal = true;
+  VarDecl *SecCVar = nullptr;     ///< atomic-section counters
+  VarDecl *SecSVar = nullptr;     ///< atomic-section special values
+  unsigned NumSectionPairs = 0;
+  unsigned NextSectionPair = 0;   ///< next unused counter pair
+  VarDecl *RedVar = nullptr;      ///< atomic-reduction cell
+  VarDecl *TotalVar = nullptr;    ///< thread-0 reduction total
+  VarDecl *LLinVar = nullptr;     ///< cached local linear id
+
+  std::vector<Scope> Scopes;
+  std::vector<VarDecl *> LoopVars;
+  bool InKernelBody = false;
+  bool InEmiBody = false;
+  bool InAtomicSection = false;
+  unsigned LoopDepth = 0;
+  unsigned VarCounter = 0;
+  unsigned StmtBudget = 0;
+  unsigned EmiRemaining = 0;
+  std::vector<int> EmiIds;
+  int NextEmiId = 0;
+
+  // Kernel parameters (filled by emitKernel).
+  VarDecl *OutParam = nullptr;
+  VarDecl *PermParam = nullptr;
+  VarDecl *AGlobalParam = nullptr;
+  VarDecl *DeadParam = nullptr;
+
+  std::vector<std::vector<unsigned>> Permutations;
+  std::vector<BufferSpec> GenBuffers;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Geometry (§4.1, "Randomizing grid and group dimensions")
+//===----------------------------------------------------------------------===//
+
+static std::vector<uint32_t> divisorsOf(uint32_t N, uint32_t Max) {
+  std::vector<uint32_t> Divs;
+  for (uint32_t D = 1; D <= N && D <= Max; ++D)
+    if (N % D == 0)
+      Divs.push_back(D);
+  return Divs;
+}
+
+void KernelGen::chooseGeometry() {
+  bool NeedsGroups = UseBarrier || UseAtomicSec || UseAtomicRed;
+  for (int Attempt = 0; Attempt != 64; ++Attempt) {
+    uint32_t Total = static_cast<uint32_t>(
+        R.range(Opts.MinThreads, Opts.MaxThreads - 1));
+    // Factor Total into three dimensions.
+    auto Dx = divisorsOf(Total, Total);
+    uint32_t Nx = Dx[R.below(Dx.size())];
+    uint32_t Rem = Total / Nx;
+    auto Dy = divisorsOf(Rem, Rem);
+    uint32_t Ny = Dy[R.below(Dy.size())];
+    uint32_t Nz = Rem / Ny;
+
+    // Pick per-dimension group sizes with Wx*Wy*Wz <= MaxGroupSize.
+    uint32_t Wx = 1, Wy = 1, Wz = 1;
+    for (int Tries = 0; Tries != 16; ++Tries) {
+      auto Wxs = divisorsOf(Nx, Opts.MaxGroupSize);
+      Wx = Wxs[R.below(Wxs.size())];
+      auto Wys = divisorsOf(Ny, Opts.MaxGroupSize / Wx);
+      Wy = Wys[R.below(Wys.size())];
+      auto Wzs = divisorsOf(Nz, Opts.MaxGroupSize / (Wx * Wy));
+      Wz = Wzs[R.below(Wzs.size())];
+      if (static_cast<uint64_t>(Wx) * Wy * Wz <= Opts.MaxGroupSize)
+        break;
+      Wx = Wy = Wz = 1;
+    }
+    uint32_t WL = Wx * Wy * Wz;
+    if (NeedsGroups && WL < 2)
+      continue; // communication modes want real groups
+    Range.Global[0] = Nx;
+    Range.Global[1] = Ny;
+    Range.Global[2] = Nz;
+    Range.Local[0] = Wx;
+    Range.Local[1] = Wy;
+    Range.Local[2] = Wz;
+    WLinear = WL;
+    NumGroups = static_cast<uint32_t>(Range.numGroupsLinear());
+    return;
+  }
+  // Fallback: a simple 1D grid.
+  Range = NDRange();
+  Range.Global[0] = std::max<uint32_t>(Opts.MinThreads, 64);
+  Range.Local[0] = 8;
+  while (Range.Global[0] % Range.Local[0] != 0)
+    --Range.Local[0];
+  WLinear = Range.Local[0];
+  NumGroups = Range.Global[0] / Range.Local[0];
+}
+
+//===----------------------------------------------------------------------===//
+// Globals struct (§4.1)
+//===----------------------------------------------------------------------===//
+
+const ScalarType *KernelGen::randomScalarType() {
+  static const ScalarKind Kinds[] = {
+      ScalarKind::Char,  ScalarKind::UChar, ScalarKind::Short,
+      ScalarKind::UShort, ScalarKind::Int,  ScalarKind::UInt,
+      ScalarKind::Long,  ScalarKind::ULong};
+  return Types.scalar(Kinds[R.below(8)]);
+}
+
+const VectorType *KernelGen::randomVectorType() {
+  static const unsigned Lanes[] = {2, 4, 8, 16};
+  return Types.vector(randomScalarType(), Lanes[R.below(4)]);
+}
+
+void KernelGen::buildGlobalsStruct() {
+  Globals = Types.createRecord("S0", /*IsUnion=*/false);
+  unsigned NumFields = static_cast<unsigned>(R.range(4, 9));
+  unsigned NestedCount = 0;
+  for (unsigned I = 0; I != NumFields; ++I) {
+    std::string Name = "g_" + std::to_string(I);
+    unsigned Kind = static_cast<unsigned>(R.pickWeighted(
+        {6, 2, static_cast<unsigned>(UseVectors ? 3 : 0), 1, 1}));
+    RecordField F;
+    F.Name = Name;
+    F.IsVolatile = R.chance(0.05);
+    switch (Kind) {
+    case 0:
+      F.Ty = randomScalarType();
+      break;
+    case 1:
+      F.Ty = Types.array(randomScalarType(),
+                         static_cast<uint64_t>(R.range(2, 8)));
+      break;
+    case 2:
+      F.Ty = randomVectorType();
+      F.IsVolatile = false;
+      break;
+    case 3: {
+      RecordType *Nested = Types.createRecord(
+          "S0_n" + std::to_string(NestedCount++), /*IsUnion=*/false);
+      unsigned N = static_cast<unsigned>(R.range(2, 4));
+      for (unsigned K = 0; K != N; ++K)
+        Nested->addField(RecordField{"f" + std::to_string(K),
+                                     randomScalarType(), false});
+      Nested->setComplete();
+      F.Ty = Nested;
+      F.IsVolatile = false;
+      break;
+    }
+    case 4: {
+      // A union whose shape can trigger the Figure 2(a) model: first a
+      // scalar member, then a struct whose first field may be
+      // narrower.
+      RecordType *U = Types.createRecord(
+          "U0_n" + std::to_string(NestedCount++), /*IsUnion=*/true);
+      U->addField(RecordField{"m0", randomScalarType(), false});
+      RecordType *Inner = Types.createRecord(
+          "S0_u" + std::to_string(NestedCount++), /*IsUnion=*/false);
+      Inner->addField(RecordField{"f0", randomScalarType(), false});
+      Inner->addField(RecordField{"f1", randomScalarType(), false});
+      Inner->setComplete();
+      U->addField(RecordField{"m1", Inner, false});
+      U->setComplete();
+      F.Ty = U;
+      F.IsVolatile = false;
+      break;
+    }
+    default:
+      F.Ty = Types.intTy();
+      break;
+    }
+    Globals->addField(std::move(F));
+  }
+  Globals->setComplete();
+}
+
+/// Masks a literal payload to the width of \p T (keeps printing sane).
+static uint64_t maskLiteral(uint64_t V, const ScalarType *T) {
+  unsigned W = T->bitWidth();
+  return W >= 64 ? V : (V & ((1ULL << W) - 1));
+}
+
+Expr *KernelGen::literalOf(const ScalarType *T) {
+  uint64_t V;
+  switch (R.below(6)) {
+  case 0:
+    V = R.below(4); // tiny values dominate
+    break;
+  case 1:
+    V = R.below(256);
+    break;
+  case 2:
+    V = R.next(); // arbitrary bits
+    break;
+  case 3:
+    V = 1;
+    break;
+  case 4:
+    V = static_cast<uint64_t>(-1); // all-ones
+    break;
+  default:
+    V = R.below(65536);
+    break;
+  }
+  return Ctx.intLit(maskLiteral(V, T), T);
+}
+
+Expr *KernelGen::initializerFor(const Type *T) {
+  if (const auto *ST = dyn_cast<ScalarType>(T))
+    return literalOf(ST);
+  if (const auto *VT = dyn_cast<VectorType>(T)) {
+    std::vector<Expr *> Elems;
+    for (unsigned I = 0; I != VT->getNumLanes(); ++I)
+      Elems.push_back(literalOf(VT->getElementType()));
+    return Ctx.makeExpr<VectorConstructExpr>(std::move(Elems), VT);
+  }
+  if (const auto *AT = dyn_cast<ArrayType>(T)) {
+    std::vector<Expr *> Elems;
+    for (uint64_t I = 0; I != AT->getNumElements(); ++I)
+      Elems.push_back(initializerFor(AT->getElementType()));
+    return Ctx.makeExpr<InitListExpr>(std::move(Elems), AT);
+  }
+  if (const auto *RT = dyn_cast<RecordType>(T)) {
+    std::vector<Expr *> Elems;
+    unsigned Limit = RT->isUnion() ? 1 : RT->getNumFields();
+    for (unsigned I = 0; I != Limit; ++I)
+      Elems.push_back(initializerFor(RT->getField(I).Ty));
+    return Ctx.makeExpr<InitListExpr>(std::move(Elems), RT);
+  }
+  assert(false && "initializer for unsupported type");
+  return Ctx.intLit(0);
+}
+
+//===----------------------------------------------------------------------===//
+// Expression generation
+//===----------------------------------------------------------------------===//
+
+Expr *KernelGen::castTo(Expr *E, const ScalarType *T) {
+  if (E->getType() == T)
+    return E;
+  return Ctx.makeExpr<CastExpr>(E, T);
+}
+
+/// Collects a random scalar variable of any type from the scopes.
+static VarDecl *pickFrom(Rng &R, const std::vector<VarDecl *> &Pool) {
+  if (Pool.empty())
+    return nullptr;
+  return Pool[R.below(Pool.size())];
+}
+
+Expr *KernelGen::globalsScalarLValue() {
+  // Random scalar lvalue path into the globals struct via p->.
+  for (int Attempt = 0; Attempt != 8; ++Attempt) {
+    unsigned FieldIdx =
+        static_cast<unsigned>(R.below(Globals->getNumFields()));
+    const RecordField &F = Globals->getField(FieldIdx);
+    Expr *Base = Ctx.makeExpr<MemberExpr>(Ctx.ref(PVar), FieldIdx,
+                                          /*IsArrow=*/true, F.Ty);
+    if (isa<ScalarType>(F.Ty))
+      return Base;
+    if (const auto *AT = dyn_cast<ArrayType>(F.Ty)) {
+      if (!isa<ScalarType>(AT->getElementType()))
+        continue;
+      Expr *Idx = Ctx.intLit(
+          static_cast<int>(R.below(AT->getNumElements())));
+      return Ctx.makeExpr<IndexExpr>(Base, Idx, AT->getElementType());
+    }
+    if (const auto *RT = dyn_cast<RecordType>(F.Ty)) {
+      unsigned Limit = RT->isUnion() ? 1 : RT->getNumFields();
+      unsigned Inner = static_cast<unsigned>(R.below(Limit));
+      if (!isa<ScalarType>(RT->getField(Inner).Ty))
+        continue;
+      return Ctx.makeExpr<MemberExpr>(Base, Inner, /*IsArrow=*/false,
+                                      RT->getField(Inner).Ty);
+    }
+    // Vector field: fall through to another attempt for scalar paths.
+  }
+  return nullptr;
+}
+
+Expr *KernelGen::globalsFieldRead(const ScalarType *T, unsigned Depth) {
+  Expr *LV = globalsScalarLValue();
+  if (!LV)
+    return literalOf(T);
+  return castTo(LV, T);
+}
+
+Expr *KernelGen::sharedArrayRead() {
+  // A[A_offset] (local) or A[A_base + A_offset] (global); uniform by
+  // the ownership argument of §4.2.
+  Expr *Index = Ctx.ref(AOffsetVar);
+  if (!AInLocal) {
+    TypedResult Sum = buildBinary(Ctx, BinOp::Add, Ctx.ref(ABaseVar),
+                                  Ctx.ref(AOffsetVar));
+    Index = Sum.E;
+  }
+  TypedResult Ix = buildIndex(Ctx, Ctx.ref(AVar), Index);
+  return Ix.E;
+}
+
+Expr *KernelGen::genScalarExpr(const ScalarType *T, unsigned Depth) {
+  // Leaf productions at the depth limit.
+  if (Depth == 0 || R.chance(0.18)) {
+    switch (R.below(4)) {
+    case 0: {
+      VarDecl *V = pickFrom(R, Scopes.back().Scalars);
+      if (V)
+        return castTo(Ctx.ref(V), T);
+      return literalOf(T);
+    }
+    case 1: {
+      VarDecl *V = pickFrom(R, Scopes.back().ReadOnly);
+      if (V && isa<ScalarType>(V->getType()))
+        return castTo(Ctx.ref(V), T);
+      return literalOf(T);
+    }
+    case 2:
+      if (PVar)
+        return globalsFieldRead(T, Depth);
+      return literalOf(T);
+    default:
+      return literalOf(T);
+    }
+  }
+
+  unsigned Choice = static_cast<unsigned>(R.pickWeighted({
+      5, // safe arithmetic
+      3, // bitwise
+      2, // shifts
+      2, // comparison (cast back)
+      1, // logical
+      2, // ternary
+      2, // unary
+      3, // clamp/min/max/rotate family
+      static_cast<unsigned>(NextHelperCallable < Helpers.size() &&
+                                    LoopDepth <= (InKernelBody ? 1u : 0u) &&
+                                    !InAtomicSection && !InEmiBody
+                                ? 2
+                                : 0), // helper call
+      static_cast<unsigned>(UseVectors ? 2 : 0), // vector lane
+      static_cast<unsigned>(UseBarrier && InKernelBody &&
+                                    !InAtomicSection
+                                ? 2
+                                : 0), // shared array read
+      1, // comma
+  }));
+
+  switch (Choice) {
+  case 0: {
+    Expr *A = genScalarExpr(T, Depth - 1);
+    Expr *B = genScalarExpr(T, Depth - 1);
+    if (T->isSigned()) {
+      static const Builtin Safe[] = {Builtin::SafeAdd, Builtin::SafeSub,
+                                     Builtin::SafeMul, Builtin::SafeDiv,
+                                     Builtin::SafeMod};
+      TypedResult Res =
+          buildBuiltinCall(Ctx, Safe[R.below(5)], {A, B});
+      assert(Res.E && "safe builtin generation failed");
+      return castTo(Res.E, T);
+    }
+    // Unsigned arithmetic wraps; division still guarded.
+    if (R.chance(0.3)) {
+      TypedResult Res = buildBuiltinCall(
+          Ctx, R.chance(0.5) ? Builtin::SafeDiv : Builtin::SafeMod,
+          {A, B});
+      return castTo(Res.E, T);
+    }
+    static const BinOp Raw[] = {BinOp::Add, BinOp::Sub, BinOp::Mul};
+    TypedResult Res = buildBinary(Ctx, Raw[R.below(3)], A, B);
+    assert(Res.E && "raw arithmetic generation failed");
+    return castTo(Res.E, cast<ScalarType>(T));
+  }
+  case 1: {
+    static const BinOp Ops[] = {BinOp::BitAnd, BinOp::BitOr,
+                                BinOp::BitXor};
+    Expr *A = genScalarExpr(T, Depth - 1);
+    Expr *B = genScalarExpr(T, Depth - 1);
+    TypedResult Res = buildBinary(Ctx, Ops[R.below(3)], A, B);
+    return castTo(Res.E, T);
+  }
+  case 2: {
+    Expr *A = genScalarExpr(T, Depth - 1);
+    Expr *B = genScalarExpr(Types.intTy(), Depth - 1);
+    TypedResult Res = buildBuiltinCall(
+        Ctx, R.chance(0.5) ? Builtin::SafeShl : Builtin::SafeShr,
+        {A, castTo(B, T)});
+    return castTo(Res.E, T);
+  }
+  case 3: {
+    const ScalarType *C = randomScalarType();
+    static const BinOp Ops[] = {BinOp::Eq, BinOp::Ne, BinOp::Lt,
+                                BinOp::Gt, BinOp::Le, BinOp::Ge};
+    Expr *A = genScalarExpr(C, Depth - 1);
+    Expr *B = genScalarExpr(C, Depth - 1);
+    TypedResult Res = buildBinary(Ctx, Ops[R.below(6)], A, B);
+    return castTo(Res.E, T);
+  }
+  case 4: {
+    Expr *A = genCondExpr(Depth - 1);
+    Expr *B = genCondExpr(Depth - 1);
+    TypedResult Res = buildBinary(
+        Ctx, R.chance(0.5) ? BinOp::LAnd : BinOp::LOr, A, B);
+    return castTo(Res.E, T);
+  }
+  case 5: {
+    Expr *Cond = genCondExpr(Depth - 1);
+    Expr *A = genScalarExpr(T, Depth - 1);
+    Expr *B = genScalarExpr(T, Depth - 1);
+    TypedResult Res = buildConditional(Ctx, Cond, A, B);
+    return castTo(Res.E, T);
+  }
+  case 6: {
+    Expr *A = genScalarExpr(T, Depth - 1);
+    if (T->isSigned() && R.chance(0.5)) {
+      TypedResult Res = buildBuiltinCall(Ctx, Builtin::SafeNeg, {A});
+      return castTo(Res.E, T);
+    }
+    TypedResult Res = buildUnary(
+        Ctx, R.chance(0.5) ? UnOp::BitNot : UnOp::Not, A);
+    return castTo(Res.E, T);
+  }
+  case 7: {
+    Expr *A = genScalarExpr(T, Depth - 1);
+    Expr *B = genScalarExpr(T, Depth - 1);
+    switch (R.below(4)) {
+    case 0: {
+      Expr *X = genScalarExpr(T, Depth - 1);
+      TypedResult Res =
+          buildBuiltinCall(Ctx, Builtin::SafeClamp, {X, A, B});
+      return castTo(Res.E, T);
+    }
+    case 1: {
+      TypedResult Res = buildBuiltinCall(Ctx, Builtin::Rotate, {A, B});
+      return castTo(Res.E, T);
+    }
+    case 2: {
+      TypedResult Res = buildBuiltinCall(Ctx, Builtin::Min, {A, B});
+      return castTo(Res.E, T);
+    }
+    default: {
+      TypedResult Res = buildBuiltinCall(Ctx, Builtin::Max, {A, B});
+      return castTo(Res.E, T);
+    }
+    }
+  }
+  case 8: {
+    // Call a strictly-later helper function.
+    unsigned Idx = NextHelperCallable +
+                   static_cast<unsigned>(
+                       R.below(Helpers.size() - NextHelperCallable));
+    FunctionDecl *Callee = Helpers[Idx];
+    std::vector<Expr *> Args;
+    Args.push_back(Ctx.ref(PVar));
+    for (size_t PI = 1; PI != Callee->params().size(); ++PI) {
+      const auto *PT =
+          cast<ScalarType>(Callee->params()[PI]->getType());
+      Args.push_back(genScalarExpr(PT, Depth > 0 ? Depth - 1 : 0));
+    }
+    Expr *Call = Ctx.makeExpr<CallExpr>(Callee, std::move(Args),
+                                        Callee->getReturnType());
+    return castTo(Call, T);
+  }
+  case 9: {
+    const VectorType *VT = randomVectorType();
+    Expr *V = genVectorExpr(VT, Depth - 1);
+    unsigned Lane = static_cast<unsigned>(R.below(VT->getNumLanes()));
+    Expr *Sw = Ctx.makeExpr<SwizzleExpr>(
+        V, std::vector<unsigned>{Lane}, VT->getElementType());
+    return castTo(Sw, T);
+  }
+  case 10:
+    return castTo(sharedArrayRead(), T);
+  case 11: {
+    Expr *Pure = genScalarExpr(randomScalarType(), 0);
+    Expr *B = genScalarExpr(T, Depth - 1);
+    TypedResult Res = buildBinary(Ctx, BinOp::Comma, Pure, B);
+    return castTo(Res.E, T);
+  }
+  default:
+    return literalOf(T);
+  }
+}
+
+Expr *KernelGen::genVectorExpr(const VectorType *T, unsigned Depth) {
+  // Vector variable of the exact type?
+  if (Depth == 0 || R.chance(0.25)) {
+    for (VarDecl *V : Scopes.back().Vectors)
+      if (V->getType() == T && R.chance(0.6))
+        return Ctx.ref(V);
+    std::vector<Expr *> Elems;
+    for (unsigned I = 0; I != T->getNumLanes(); ++I)
+      Elems.push_back(
+          Depth == 0 ? literalOf(T->getElementType())
+                     : genScalarExpr(T->getElementType(), 0));
+    return Ctx.makeExpr<VectorConstructExpr>(std::move(Elems), T);
+  }
+
+  switch (R.below(5)) {
+  case 0: {
+    static const BinOp Ops[] = {BinOp::Add, BinOp::Sub, BinOp::Mul,
+                                BinOp::BitAnd, BinOp::BitOr,
+                                BinOp::BitXor};
+    Expr *A = genVectorExpr(T, Depth - 1);
+    Expr *B = genVectorExpr(T, Depth - 1);
+    TypedResult Res = buildBinary(Ctx, Ops[R.below(6)], A, B);
+    assert(Res.E && "vector binary generation failed");
+    return Res.E;
+  }
+  case 1: {
+    static const Builtin Safe[] = {Builtin::SafeAdd, Builtin::SafeSub,
+                                   Builtin::SafeMul, Builtin::SafeDiv,
+                                   Builtin::SafeMod, Builtin::SafeRotate};
+    Expr *A = genVectorExpr(T, Depth - 1);
+    Expr *B = genVectorExpr(T, Depth - 1);
+    TypedResult Res = buildBuiltinCall(Ctx, Safe[R.below(6)], {A, B});
+    return Res.E;
+  }
+  case 2: {
+    // convert_T from another element type, same lane count.
+    const VectorType *Src =
+        Types.vector(randomScalarType(), T->getNumLanes());
+    Expr *A = genVectorExpr(Src, Depth - 1);
+    if (Src == T)
+      return A;
+    TypedResult Res =
+        buildBuiltinCall(Ctx, Builtin::ConvertVector, {A}, T);
+    return Res.E;
+  }
+  case 3: {
+    // Swizzle from a wider (or equal) vector of the same element type.
+    unsigned SrcLanes = T->getNumLanes() * (R.chance(0.5) ? 2 : 1);
+    if (SrcLanes > 16)
+      SrcLanes = 16;
+    const VectorType *Src = Types.vector(T->getElementType(), SrcLanes);
+    Expr *A = genVectorExpr(Src, Depth - 1);
+    std::vector<unsigned> Indices;
+    for (unsigned I = 0; I != T->getNumLanes(); ++I)
+      Indices.push_back(static_cast<unsigned>(R.below(SrcLanes)));
+    return Ctx.makeExpr<SwizzleExpr>(A, std::move(Indices), T);
+  }
+  default: {
+    // Scalar broadcast through a binary operation.
+    Expr *A = genVectorExpr(T, Depth - 1);
+    Expr *S = genScalarExpr(T->getElementType(), Depth - 1);
+    TypedResult Res = buildBinary(
+        Ctx, R.chance(0.5) ? BinOp::Add : BinOp::BitXor, A, S);
+    assert(Res.E && "vector broadcast generation failed");
+    return Res.E;
+  }
+  }
+}
+
+Expr *KernelGen::genCondExpr(unsigned Depth) {
+  if (Depth == 0 || R.chance(0.2)) {
+    // Any scalar works as a condition.
+    return genScalarExpr(Types.intTy(), 0);
+  }
+  const ScalarType *C = randomScalarType();
+  static const BinOp Ops[] = {BinOp::Eq, BinOp::Ne, BinOp::Lt,
+                              BinOp::Gt, BinOp::Le, BinOp::Ge};
+  Expr *A = genScalarExpr(C, Depth - 1);
+  Expr *B = genScalarExpr(C, Depth - 1);
+  TypedResult Res = buildBinary(Ctx, Ops[R.below(6)], A, B);
+  return Res.E;
+}
+
+//===----------------------------------------------------------------------===//
+// Statement generation
+//===----------------------------------------------------------------------===//
+
+VarDecl *KernelGen::freshScalar(const ScalarType *T, Expr *Init) {
+  VarDecl *D = Ctx.makeVar("l_" + std::to_string(VarCounter++), T,
+                           AddressSpace::Private);
+  D->setInit(Init);
+  Scopes.back().Scalars.push_back(D);
+  return D;
+}
+
+VarDecl *KernelGen::freshVector(const VectorType *T, Expr *Init) {
+  VarDecl *D = Ctx.makeVar("v_" + std::to_string(VarCounter++), T,
+                           AddressSpace::Private);
+  D->setInit(Init);
+  Scopes.back().Vectors.push_back(D);
+  return D;
+}
+
+Stmt *KernelGen::genAssignStmt(unsigned Depth) {
+  // Choose an assignable target.
+  Expr *Target = nullptr;
+  if (InAtomicSection || InEmiBody || R.chance(0.55)) {
+    if (VarDecl *V = pickFrom(R, Scopes.back().Scalars))
+      Target = Ctx.ref(V);
+  }
+  if (!Target && !InAtomicSection && PVar)
+    Target = globalsScalarLValue();
+  if (!Target) {
+    // Fall back to declaring a variable instead.
+    const ScalarType *T = randomScalarType();
+    return Ctx.makeStmt<DeclStmt>(freshScalar(T, genScalarExpr(T, Depth)));
+  }
+  const auto *TT = dyn_cast<ScalarType>(Target->getType());
+  if (!TT) {
+    const ScalarType *T = randomScalarType();
+    return Ctx.makeStmt<DeclStmt>(freshScalar(T, genScalarExpr(T, Depth)));
+  }
+  Expr *RHS = genScalarExpr(TT, Depth);
+  AssignOp Op = AssignOp::Assign;
+  if (R.chance(0.35)) {
+    static const AssignOp Compound[] = {AssignOp::Add, AssignOp::Sub,
+                                        AssignOp::Xor, AssignOp::And,
+                                        AssignOp::Or};
+    // Compound signed add/sub would be raw arithmetic (UB on
+    // overflow); restrict them to unsigned targets.
+    AssignOp Cand = Compound[R.below(5)];
+    bool Arith = Cand == AssignOp::Add || Cand == AssignOp::Sub;
+    if (!Arith || !TT->isSigned())
+      Op = Cand;
+  }
+  TypedResult Res = buildAssign(Ctx, Op, Target, RHS);
+  assert(Res.E && "assignment generation failed");
+  return Ctx.makeStmt<ExprStmt>(Res.E);
+}
+
+Stmt *KernelGen::genForStmt(unsigned Depth) {
+  const ScalarType *IntTy = Types.intTy();
+  VarDecl *I = Ctx.makeVar("i_" + std::to_string(VarCounter++), IntTy,
+                           AddressSpace::Private);
+  I->setInit(Ctx.intLit(0));
+  int Bound = static_cast<int>(R.range(1, Opts.MaxLoopIterations));
+  TypedResult Cond =
+      buildBinary(Ctx, BinOp::Lt, Ctx.ref(I), Ctx.intLit(Bound));
+  TypedResult Step = buildAssign(Ctx, AssignOp::Add, Ctx.ref(I),
+                                 Ctx.intLit(1));
+  // The loop variable is readable but never assigned inside the body.
+  Scopes.back().ReadOnly.push_back(I);
+  ++LoopDepth;
+  std::vector<Stmt *> Body = genBlock(
+      Depth + 1, static_cast<unsigned>(R.range(1, 3)));
+  --LoopDepth;
+  Scopes.back().ReadOnly.pop_back();
+  return Ctx.makeStmt<ForStmt>(Ctx.makeStmt<DeclStmt>(I), Cond.E, Step.E,
+                               Ctx.makeStmt<CompoundStmt>(std::move(Body)));
+}
+
+Stmt *KernelGen::genIfStmt(unsigned Depth) {
+  Expr *Cond = genCondExpr(Opts.MaxExprDepth);
+  std::vector<Stmt *> Then =
+      genBlock(Depth + 1, static_cast<unsigned>(R.range(1, 3)));
+  Stmt *ThenS = Ctx.makeStmt<CompoundStmt>(std::move(Then));
+  Stmt *ElseS = nullptr;
+  if (R.chance(0.4)) {
+    std::vector<Stmt *> Else =
+        genBlock(Depth + 1, static_cast<unsigned>(R.range(1, 2)));
+    ElseS = Ctx.makeStmt<CompoundStmt>(std::move(Else));
+  }
+  return Ctx.makeStmt<IfStmt>(Cond, ThenS, ElseS);
+}
+
+Stmt *KernelGen::genCallStmt(unsigned Depth) {
+  const ScalarType *T = randomScalarType();
+  Expr *E = genScalarExpr(T, Depth);
+  // Bind the value so the call is not trivially dead.
+  return Ctx.makeStmt<DeclStmt>(freshScalar(T, E));
+}
+
+Stmt *KernelGen::genBarrierSyncPoint() {
+  // barrier(FENCE); A_offset = permutations[rnd*W + llinear]; (§4.2)
+  uint8_t Fence = AInLocal ? BarrierStmt::LocalFence
+                           : BarrierStmt::GlobalFence;
+  Stmt *B = Ctx.makeStmt<BarrierStmt>(Fence);
+  unsigned Rnd = static_cast<unsigned>(R.below(Opts.NumPermutations));
+  TypedResult Idx =
+      buildBinary(Ctx, BinOp::Add,
+                  Ctx.intLit(Rnd * WLinear, Types.uintTy()),
+                  Ctx.ref(LLinVar));
+  TypedResult Read = buildIndex(Ctx, Ctx.ref(PermParam), Idx.E);
+  TypedResult Asgn = buildAssign(Ctx, AssignOp::Assign,
+                                 Ctx.ref(AOffsetVar), Read.E);
+  return Ctx.makeStmt<CompoundStmt>(std::vector<Stmt *>{
+      B, Ctx.makeStmt<ExprStmt>(Asgn.E)});
+}
+
+Stmt *KernelGen::genSharedArrayWrite(unsigned Depth) {
+  Expr *Index = Ctx.ref(AOffsetVar);
+  if (!AInLocal)
+    Index = buildBinary(Ctx, BinOp::Add, Ctx.ref(ABaseVar),
+                        Ctx.ref(AOffsetVar))
+                .E;
+  TypedResult LV = buildIndex(Ctx, Ctx.ref(AVar), Index);
+  Expr *RHS = genScalarExpr(Types.uintTy(), Depth);
+  TypedResult Asgn = buildAssign(
+      Ctx, R.chance(0.3) ? AssignOp::Xor : AssignOp::Assign, LV.E, RHS);
+  return Ctx.makeStmt<ExprStmt>(Asgn.E);
+}
+
+Stmt *KernelGen::genAtomicSection(unsigned Depth) {
+  // if (atomic_inc(&c[k]) == rnd) { locals...; atomic_add(&s[k], hash); }
+  // Each syntactic section gets a *unique* counter pair: with a shared
+  // counter, which section's increment hits rnd would be
+  // schedule-dependent, breaking the determinism guarantee (found by
+  // the ScheduleInvariant property test).
+  if (NextSectionPair >= NumSectionPairs)
+    return genAssignStmt(Depth);
+  unsigned K = NextSectionPair++;
+  unsigned Rnd = static_cast<unsigned>(R.below(WLinear));
+
+  TypedResult CAddr = buildIndex(Ctx, Ctx.ref(SecCVar),
+                                 Ctx.intLit(static_cast<int>(K)));
+  TypedResult CInc = buildBuiltinCall(
+      Ctx, Builtin::AtomicInc,
+      {buildUnary(Ctx, UnOp::AddrOf, CAddr.E).E});
+  TypedResult Cond =
+      buildBinary(Ctx, BinOp::Eq, CInc.E,
+                  Ctx.intLit(Rnd, Types.uintTy()));
+
+  // Section body: declarations only touch section-local state.
+  InAtomicSection = true;
+  Scopes.push_back(Scope());
+  std::vector<Stmt *> Body;
+  std::vector<VarDecl *> SectionLocals;
+  unsigned NumDecls = static_cast<unsigned>(R.range(1, 3));
+  for (unsigned I = 0; I != NumDecls; ++I) {
+    const ScalarType *T = randomScalarType();
+    VarDecl *D = freshScalar(T, genScalarExpr(T, Depth));
+    SectionLocals.push_back(D);
+    Body.push_back(Ctx.makeStmt<DeclStmt>(D));
+  }
+  if (R.chance(0.5))
+    Body.push_back(genAssignStmt(Depth));
+  // hash = sum of the section-local values.
+  Expr *Hash = nullptr;
+  for (VarDecl *D : SectionLocals) {
+    Expr *Term = castTo(Ctx.ref(D), Types.uintTy());
+    Hash = Hash ? buildBinary(Ctx, BinOp::Add, Hash, Term).E : Term;
+  }
+  TypedResult SAddr = buildIndex(Ctx, Ctx.ref(SecSVar),
+                                 Ctx.intLit(static_cast<int>(K)));
+  TypedResult Publish = buildBuiltinCall(
+      Ctx, Builtin::AtomicAdd,
+      {buildUnary(Ctx, UnOp::AddrOf, SAddr.E).E, Hash});
+  Body.push_back(Ctx.makeStmt<ExprStmt>(Publish.E));
+  Scopes.pop_back();
+  InAtomicSection = false;
+
+  return Ctx.makeStmt<IfStmt>(
+      Cond.E, Ctx.makeStmt<CompoundStmt>(std::move(Body)), nullptr);
+}
+
+std::vector<Stmt *> KernelGen::genAtomicReduction(unsigned Depth) {
+  // atomic_op(&red[0], expr); barrier; thread 0 accumulates; barrier.
+  static const Builtin Ops[] = {Builtin::AtomicAdd, Builtin::AtomicMin,
+                                Builtin::AtomicMax, Builtin::AtomicOr,
+                                Builtin::AtomicAnd, Builtin::AtomicXor};
+  Builtin Op = Ops[R.below(6)];
+  TypedResult RAddr =
+      buildIndex(Ctx, Ctx.ref(RedVar), Ctx.intLit(0));
+  Expr *RPtr = buildUnary(Ctx, UnOp::AddrOf, RAddr.E).E;
+  Expr *Operand = genScalarExpr(Types.uintTy(), Depth);
+  TypedResult Red = buildBuiltinCall(Ctx, Op, {RPtr, Operand});
+
+  std::vector<Stmt *> Out;
+  Out.push_back(Ctx.makeStmt<ExprStmt>(Red.E));
+  Out.push_back(Ctx.makeStmt<BarrierStmt>(BarrierStmt::LocalFence));
+
+  // if (llinear == 0) total = (total ^ (ulong)red[0]) * PRIME;
+  TypedResult IsZero = buildBinary(Ctx, BinOp::Eq, Ctx.ref(LLinVar),
+                                   Ctx.intLit(0, Types.uintTy()));
+  TypedResult RRead =
+      buildIndex(Ctx, Ctx.ref(RedVar), Ctx.intLit(0));
+  Expr *Mixed = buildBinary(
+      Ctx, BinOp::Mul,
+      buildBinary(Ctx, BinOp::BitXor, Ctx.ref(TotalVar),
+                  castTo(RRead.E, Types.ulongTy()))
+          .E,
+      Ctx.intLit(HashPrime, Types.ulongTy())).E;
+  TypedResult Acc =
+      buildAssign(Ctx, AssignOp::Assign, Ctx.ref(TotalVar), Mixed);
+  Out.push_back(Ctx.makeStmt<IfStmt>(
+      IsZero.E,
+      Ctx.makeStmt<CompoundStmt>(
+          std::vector<Stmt *>{Ctx.makeStmt<ExprStmt>(Acc.E)}),
+      nullptr));
+  Out.push_back(Ctx.makeStmt<BarrierStmt>(BarrierStmt::LocalFence));
+  return Out;
+}
+
+Stmt *KernelGen::genEmiBlock(unsigned Depth) {
+  // if (dead[r1] < dead[r2]) { ... } with r2 < r1, so dead-by-
+  // construction under the host's dead[j] = j initialisation (§5).
+  unsigned R1 =
+      1 + static_cast<unsigned>(R.below(Opts.DeadArrayLength - 1));
+  unsigned R2 = static_cast<unsigned>(R.below(R1));
+  TypedResult Lhs = buildIndex(Ctx, Ctx.ref(DeadParam),
+                               Ctx.intLit(static_cast<int>(R1)));
+  TypedResult Rhs = buildIndex(Ctx, Ctx.ref(DeadParam),
+                               Ctx.intLit(static_cast<int>(R2)));
+  TypedResult Cond = buildBinary(Ctx, BinOp::Lt, Lhs.E, Rhs.E);
+
+  bool WasEmi = InEmiBody;
+  InEmiBody = true;
+  Scopes.push_back(Scope());
+  std::vector<Stmt *> Body =
+      genBlock(Depth + 1, static_cast<unsigned>(R.range(2, 4)));
+  // Occasionally include the paper's infamous dead infinite loop (the
+  // Figure 1(e) compile-hang trigger and the Table 3 config-8 timeout
+  // cause).
+  if (R.chance(0.2))
+    Body.push_back(Ctx.makeStmt<WhileStmt>(
+        Ctx.intLit(1),
+        Ctx.makeStmt<CompoundStmt>(std::vector<Stmt *>{})));
+  Scopes.pop_back();
+  InEmiBody = WasEmi;
+
+  auto *If = Ctx.makeStmt<IfStmt>(
+      Cond.E, Ctx.makeStmt<CompoundStmt>(std::move(Body)), nullptr);
+  If->setEmiId(NextEmiId);
+  EmiIds.push_back(NextEmiId);
+  ++NextEmiId;
+  return If;
+}
+
+Stmt *KernelGen::genStmt(unsigned Depth) {
+  bool CanNest = Depth < Opts.MaxBlockDepth;
+  bool KernelExtras = InKernelBody && !InEmiBody && !InAtomicSection;
+  unsigned Choice = static_cast<unsigned>(R.pickWeighted({
+      4,                                              // declaration
+      6,                                              // assignment
+      static_cast<unsigned>(CanNest ? 3 : 0),         // if
+      static_cast<unsigned>(CanNest && LoopDepth < 2 ? 3 : 0), // for
+      2,                                              // call-binding
+      static_cast<unsigned>(
+          UseBarrier && KernelExtras ? 2 : 0),        // sync point
+      static_cast<unsigned>(
+          UseBarrier && KernelExtras ? 2 : 0),        // A write
+      static_cast<unsigned>(
+          UseAtomicSec && KernelExtras ? 2 : 0),      // atomic section
+      static_cast<unsigned>(
+          UseAtomicRed && KernelExtras && LoopDepth == 0
+              ? 2
+              : 0),                                   // atomic reduction
+      static_cast<unsigned>(
+          EmiRemaining > 0 && KernelExtras ? 2 : 0),  // EMI block
+  }));
+
+  switch (Choice) {
+  case 0: {
+    if (UseVectors && R.chance(0.35)) {
+      const VectorType *VT = randomVectorType();
+      return Ctx.makeStmt<DeclStmt>(
+          freshVector(VT, genVectorExpr(VT, Opts.MaxExprDepth)));
+    }
+    const ScalarType *T = randomScalarType();
+    return Ctx.makeStmt<DeclStmt>(
+        freshScalar(T, genScalarExpr(T, Opts.MaxExprDepth)));
+  }
+  case 1:
+    return genAssignStmt(Opts.MaxExprDepth);
+  case 2:
+    return genIfStmt(Depth);
+  case 3:
+    return genForStmt(Depth);
+  case 4:
+    return genCallStmt(Opts.MaxExprDepth);
+  case 5:
+    return genBarrierSyncPoint();
+  case 6:
+    return genSharedArrayWrite(Opts.MaxExprDepth);
+  case 7:
+    return genAtomicSection(Opts.MaxExprDepth);
+  case 8:
+    return Ctx.makeStmt<CompoundStmt>(
+        genAtomicReduction(Opts.MaxExprDepth));
+  case 9:
+    --EmiRemaining;
+    return genEmiBlock(Depth);
+  default:
+    return Ctx.makeStmt<NullStmt>();
+  }
+}
+
+std::vector<Stmt *> KernelGen::genBlock(unsigned Depth,
+                                        unsigned NumStmts) {
+  Scopes.push_back(Scopes.back()); // inherit visible variables
+  std::vector<Stmt *> Body;
+  for (unsigned I = 0; I != NumStmts && StmtBudget != 0; ++I) {
+    --StmtBudget;
+    Body.push_back(genStmt(Depth));
+  }
+  Scopes.pop_back();
+  return Body;
+}
+
+//===----------------------------------------------------------------------===//
+// Functions
+//===----------------------------------------------------------------------===//
+
+void KernelGen::planFunctions() {
+  const PointerType *PTy = Types.pointer(Globals, AddressSpace::Private);
+  for (unsigned I = 0; I != Opts.NumFunctions; ++I) {
+    FunctionDecl *F = Ctx.makeFunction(
+        "func_" + std::to_string(I + 1), randomScalarType(),
+        /*IsKernel=*/false);
+    VarDecl *P = Ctx.makeVar("p", PTy, AddressSpace::Private);
+    P->setParam(true);
+    F->addParam(P);
+    unsigned Extra = static_cast<unsigned>(R.below(3));
+    for (unsigned K = 0; K != Extra; ++K) {
+      VarDecl *A = Ctx.makeVar("a_" + std::to_string(K),
+                               randomScalarType(), AddressSpace::Private);
+      A->setParam(true);
+      F->addParam(A);
+    }
+    Helpers.push_back(F);
+    Ctx.program().addFunction(F);
+  }
+}
+
+void KernelGen::emitFunctionBodies() {
+  for (unsigned I = 0; I != Helpers.size(); ++I) {
+    FunctionDecl *F = Helpers[I];
+    NextHelperCallable = I + 1;
+    PVar = F->params()[0];
+    InKernelBody = false;
+    LoopDepth = 0;
+
+    Scopes.clear();
+    Scopes.push_back(Scope());
+    for (size_t PI = 1; PI != F->params().size(); ++PI)
+      Scopes.back().ReadOnly.push_back(F->params()[PI]);
+
+    std::vector<Stmt *> Body = genBlock(
+        0, static_cast<unsigned>(R.range(2, Opts.MaxBlockStmts)));
+
+    // In barrier-flavoured modes, some helpers carry a bare barrier -
+    // the shape behind the Figure 2(c)/2(d) and crash bug models. The
+    // rate is tuned so that ~40% of kernels have at least one such
+    // helper, matching the 14-/15- crash rates of Table 4.
+    if ((UseBarrier || UseAtomicRed) && R.chance(0.12)) {
+      size_t Pos = R.below(Body.size() + 1);
+      Body.insert(Body.begin() + Pos,
+                  Ctx.makeStmt<BarrierStmt>(BarrierStmt::LocalFence));
+    }
+
+    const auto *RetTy = cast<ScalarType>(F->getReturnType());
+    Body.push_back(Ctx.makeStmt<ReturnStmt>(
+        genScalarExpr(RetTy, Opts.MaxExprDepth)));
+    F->setBody(Ctx.makeStmt<CompoundStmt>(std::move(Body)));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel assembly
+//===----------------------------------------------------------------------===//
+
+Expr *KernelGen::linearLocalId() {
+  // (lz*Wy + ly)*Wx + lx, computed from builtins, cast to uint.
+  auto Id = [this](int D) {
+    return buildBuiltinCall(Ctx, Builtin::GetLocalId,
+                            {Ctx.intLit(D, Types.uintTy())})
+        .E;
+  };
+  auto Size = [this](int D) {
+    return buildBuiltinCall(Ctx, Builtin::GetLocalSize,
+                            {Ctx.intLit(D, Types.uintTy())})
+        .E;
+  };
+  Expr *E = buildBinary(
+                Ctx, BinOp::Add,
+                buildBinary(Ctx, BinOp::Mul,
+                            buildBinary(Ctx, BinOp::Add,
+                                        buildBinary(Ctx, BinOp::Mul,
+                                                    Id(2), Size(1))
+                                            .E,
+                                        Id(1))
+                                .E,
+                            Size(0))
+                    .E,
+                Id(0))
+                .E;
+  return castTo(E, Types.uintTy());
+}
+
+Expr *KernelGen::linearGroupId() {
+  auto Id = [this](int D) {
+    return buildBuiltinCall(Ctx, Builtin::GetGroupId,
+                            {Ctx.intLit(D, Types.uintTy())})
+        .E;
+  };
+  auto Num = [this](int D) {
+    return buildBuiltinCall(Ctx, Builtin::GetNumGroups,
+                            {Ctx.intLit(D, Types.uintTy())})
+        .E;
+  };
+  Expr *E = buildBinary(
+                Ctx, BinOp::Add,
+                buildBinary(Ctx, BinOp::Mul,
+                            buildBinary(Ctx, BinOp::Add,
+                                        buildBinary(Ctx, BinOp::Mul,
+                                                    Id(2), Num(1))
+                                            .E,
+                                        Id(1))
+                                .E,
+                            Num(0))
+                    .E,
+                Id(0))
+                .E;
+  return castTo(E, Types.uintTy());
+}
+
+Expr *KernelGen::linearGlobalIdIndex() {
+  auto Id = [this](int D) {
+    return buildBuiltinCall(Ctx, Builtin::GetGlobalId,
+                            {Ctx.intLit(D, Types.uintTy())})
+        .E;
+  };
+  auto Size = [this](int D) {
+    return buildBuiltinCall(Ctx, Builtin::GetGlobalSize,
+                            {Ctx.intLit(D, Types.uintTy())})
+        .E;
+  };
+  return buildBinary(
+             Ctx, BinOp::Add,
+             buildBinary(Ctx, BinOp::Mul,
+                         buildBinary(Ctx, BinOp::Add,
+                                     buildBinary(Ctx, BinOp::Mul, Id(2),
+                                                 Size(1))
+                                         .E,
+                                     Id(1))
+                             .E,
+                         Size(0))
+                 .E,
+             Id(0))
+      .E;
+}
+
+void KernelGen::emitKernel() {
+  FunctionDecl *K =
+      Ctx.makeFunction("entry", Types.voidTy(), /*IsKernel=*/true);
+  Ctx.program().addFunction(K);
+
+  std::vector<BufferSpec> Buffers;
+
+  // Parameter: global ulong *out.
+  OutParam = Ctx.makeVar(
+      "out", Types.pointer(Types.ulongTy(), AddressSpace::Global),
+      AddressSpace::Private);
+  OutParam->setParam(true);
+  K->addParam(OutParam);
+  {
+    BufferSpec Out;
+    Out.Space = AddressSpace::Global;
+    Out.InitBytes.assign(Range.globalLinear() * 8, 0);
+    Out.IsOutput = true;
+    Buffers.push_back(std::move(Out));
+  }
+
+  AInLocal = R.chance(0.5);
+  if (UseBarrier) {
+    // Parameter: global uint *permutations (d x W, host-filled).
+    PermParam = Ctx.makeVar(
+        "permutations",
+        Types.pointer(Types.uintTy(), AddressSpace::Global),
+        AddressSpace::Private);
+    PermParam->setParam(true);
+    K->addParam(PermParam);
+    BufferSpec Perm;
+    Perm.Space = AddressSpace::Global;
+    Permutations.clear();
+    for (unsigned I = 0; I != Opts.NumPermutations; ++I)
+      Permutations.push_back(R.permutation(WLinear));
+    Perm.InitBytes.resize(Opts.NumPermutations * WLinear * 4);
+    for (unsigned I = 0; I != Opts.NumPermutations; ++I)
+      for (unsigned J = 0; J != WLinear; ++J) {
+        uint32_t V = Permutations[I][J];
+        std::memcpy(&Perm.InitBytes[(I * WLinear + J) * 4], &V, 4);
+      }
+    Buffers.push_back(std::move(Perm));
+
+    if (!AInLocal) {
+      AGlobalParam = Ctx.makeVar(
+          "A_g", Types.pointer(Types.uintTy(), AddressSpace::Global),
+          AddressSpace::Private);
+      AGlobalParam->setParam(true);
+      K->addParam(AGlobalParam);
+      BufferSpec AB;
+      AB.Space = AddressSpace::Global;
+      AB.InitBytes.resize(static_cast<size_t>(NumGroups) * WLinear * 4);
+      for (size_t I = 0; I + 4 <= AB.InitBytes.size(); I += 4) {
+        uint32_t One = 1;
+        std::memcpy(&AB.InitBytes[I], &One, 4);
+      }
+      Buffers.push_back(std::move(AB));
+    }
+  }
+
+  EmiRemaining = Opts.NumEmiBlocks;
+  if (Opts.NumEmiBlocks > 0) {
+    DeadParam = Ctx.makeVar(
+        "dead", Types.pointer(Types.intTy(), AddressSpace::Global),
+        AddressSpace::Private);
+    DeadParam->setParam(true);
+    K->addParam(DeadParam);
+    BufferSpec DB;
+    DB.Space = AddressSpace::Global;
+    DB.IsDeadArray = true;
+    DB.InitBytes.resize(Opts.DeadArrayLength * 4);
+    for (unsigned J = 0; J != Opts.DeadArrayLength; ++J) {
+      int32_t V = static_cast<int32_t>(J);
+      std::memcpy(&DB.InitBytes[J * 4], &V, 4);
+    }
+    Buffers.push_back(std::move(DB));
+  }
+
+  // --- kernel body preamble
+  std::vector<Stmt *> Body;
+  Scopes.clear();
+  Scopes.push_back(Scope());
+  InKernelBody = true;
+  NextHelperCallable = 0;
+  LoopDepth = 0;
+
+  // Globals struct instance plus the p pointer every function takes.
+  VarDecl *GS =
+      Ctx.makeVar("gs", Globals, AddressSpace::Private);
+  GS->setInit(initializerFor(Globals));
+  Body.push_back(Ctx.makeStmt<DeclStmt>(GS));
+  PVar = Ctx.makeVar("p",
+                     Types.pointer(Globals, AddressSpace::Private),
+                     AddressSpace::Private);
+  PVar->setInit(buildUnary(Ctx, UnOp::AddrOf, Ctx.ref(GS)).E);
+  Body.push_back(Ctx.makeStmt<DeclStmt>(PVar));
+
+  // Cached local linear id (used only by harness patterns).
+  bool NeedsLLin = UseBarrier || UseAtomicSec || UseAtomicRed;
+  if (NeedsLLin) {
+    LLinVar = Ctx.makeVar("llin", Types.uintTy(), AddressSpace::Private);
+    LLinVar->setInit(linearLocalId());
+    Body.push_back(Ctx.makeStmt<DeclStmt>(LLinVar));
+  }
+
+  if (UseBarrier) {
+    if (AInLocal) {
+      AVar = Ctx.makeVar("A", Types.array(Types.uintTy(), WLinear),
+                         AddressSpace::Local);
+      Body.push_back(Ctx.makeStmt<DeclStmt>(AVar));
+      // Uniform initialisation: A[llin] = 1; barrier.
+      TypedResult LV =
+          buildIndex(Ctx, Ctx.ref(AVar), Ctx.ref(LLinVar));
+      TypedResult Init = buildAssign(Ctx, AssignOp::Assign, LV.E,
+                                     Ctx.intLit(1, Types.uintTy()));
+      Body.push_back(Ctx.makeStmt<ExprStmt>(Init.E));
+      Body.push_back(
+          Ctx.makeStmt<BarrierStmt>(BarrierStmt::LocalFence));
+    } else {
+      AVar = AGlobalParam;
+      ABaseVar = Ctx.makeVar("A_base", Types.uintTy(),
+                             AddressSpace::Private);
+      ABaseVar->setInit(
+          buildBinary(Ctx, BinOp::Mul, linearGroupId(),
+                      Ctx.intLit(WLinear, Types.uintTy()))
+              .E);
+      Body.push_back(Ctx.makeStmt<DeclStmt>(ABaseVar));
+    }
+    // Initial offset from permutation rnd.
+    AOffsetVar = Ctx.makeVar("A_offset", Types.uintTy(),
+                             AddressSpace::Private);
+    unsigned Rnd = static_cast<unsigned>(R.below(Opts.NumPermutations));
+    TypedResult Idx =
+        buildBinary(Ctx, BinOp::Add,
+                    Ctx.intLit(Rnd * WLinear, Types.uintTy()),
+                    Ctx.ref(LLinVar));
+    AOffsetVar->setInit(
+        buildIndex(Ctx, Ctx.ref(PermParam), Idx.E).E);
+    Body.push_back(Ctx.makeStmt<DeclStmt>(AOffsetVar));
+  }
+
+  if (UseAtomicSec) {
+    NumSectionPairs = static_cast<unsigned>(R.range(4, 12));
+    SecCVar =
+        Ctx.makeVar("sec_c", Types.array(Types.uintTy(), NumSectionPairs),
+                    AddressSpace::Local);
+    SecSVar =
+        Ctx.makeVar("sec_s", Types.array(Types.uintTy(), NumSectionPairs),
+                    AddressSpace::Local);
+    SecCVar->setVolatile(true);
+    SecSVar->setVolatile(true);
+    Body.push_back(Ctx.makeStmt<DeclStmt>(SecCVar));
+    Body.push_back(Ctx.makeStmt<DeclStmt>(SecSVar));
+    // Work-item 0 zeroes both arrays; barrier.
+    TypedResult IsZero =
+        buildBinary(Ctx, BinOp::Eq, Ctx.ref(LLinVar),
+                    Ctx.intLit(0, Types.uintTy()));
+    VarDecl *I = Ctx.makeVar("ii_0", Types.intTy(), AddressSpace::Private);
+    I->setInit(Ctx.intLit(0));
+    TypedResult Cond = buildBinary(
+        Ctx, BinOp::Lt, Ctx.ref(I),
+        Ctx.intLit(static_cast<int>(NumSectionPairs)));
+    TypedResult Step =
+        buildAssign(Ctx, AssignOp::Add, Ctx.ref(I), Ctx.intLit(1));
+    TypedResult CLv = buildIndex(Ctx, Ctx.ref(SecCVar), Ctx.ref(I));
+    TypedResult SLv = buildIndex(Ctx, Ctx.ref(SecSVar), Ctx.ref(I));
+    std::vector<Stmt *> LoopBody = {
+        Ctx.makeStmt<ExprStmt>(
+            buildAssign(Ctx, AssignOp::Assign, CLv.E,
+                        Ctx.intLit(0, Types.uintTy()))
+                .E),
+        Ctx.makeStmt<ExprStmt>(
+            buildAssign(Ctx, AssignOp::Assign, SLv.E,
+                        Ctx.intLit(0, Types.uintTy()))
+                .E)};
+    Stmt *Loop = Ctx.makeStmt<ForStmt>(
+        Ctx.makeStmt<DeclStmt>(I), Cond.E, Step.E,
+        Ctx.makeStmt<CompoundStmt>(std::move(LoopBody)));
+    Body.push_back(Ctx.makeStmt<IfStmt>(
+        IsZero.E,
+        Ctx.makeStmt<CompoundStmt>(std::vector<Stmt *>{Loop}), nullptr));
+    Body.push_back(Ctx.makeStmt<BarrierStmt>(BarrierStmt::LocalFence));
+  }
+
+  if (UseAtomicRed) {
+    RedVar = Ctx.makeVar("red", Types.array(Types.uintTy(), 1),
+                         AddressSpace::Local);
+    RedVar->setVolatile(true);
+    Body.push_back(Ctx.makeStmt<DeclStmt>(RedVar));
+    TypedResult IsZero =
+        buildBinary(Ctx, BinOp::Eq, Ctx.ref(LLinVar),
+                    Ctx.intLit(0, Types.uintTy()));
+    TypedResult RLv = buildIndex(Ctx, Ctx.ref(RedVar), Ctx.intLit(0));
+    TypedResult Init = buildAssign(Ctx, AssignOp::Assign, RLv.E,
+                                   Ctx.intLit(0, Types.uintTy()));
+    Body.push_back(Ctx.makeStmt<IfStmt>(
+        IsZero.E,
+        Ctx.makeStmt<CompoundStmt>(
+            std::vector<Stmt *>{Ctx.makeStmt<ExprStmt>(Init.E)}),
+        nullptr));
+    Body.push_back(Ctx.makeStmt<BarrierStmt>(BarrierStmt::LocalFence));
+    TotalVar =
+        Ctx.makeVar("total", Types.ulongTy(), AddressSpace::Private);
+    TotalVar->setInit(Ctx.intLit(0, Types.ulongTy()));
+    Body.push_back(Ctx.makeStmt<DeclStmt>(TotalVar));
+  }
+
+  // --- random body
+  StmtBudget = 40;
+  Expr *SeedInit;
+  if (Helpers.empty()) {
+    SeedInit = literalOf(Types.ulongTy());
+  } else {
+    std::vector<Expr *> Args{Ctx.ref(PVar)};
+    for (size_t PI = 1; PI != Helpers[0]->params().size(); ++PI)
+      Args.push_back(literalOf(
+          cast<ScalarType>(Helpers[0]->params()[PI]->getType())));
+    SeedInit = castTo(Ctx.makeExpr<CallExpr>(Helpers[0], std::move(Args),
+                                             Helpers[0]->getReturnType()),
+                      Types.ulongTy());
+  }
+  VarDecl *Seed = freshScalar(Types.ulongTy(), SeedInit);
+  Body.push_back(Ctx.makeStmt<DeclStmt>(Seed));
+
+  std::vector<Stmt *> Random = genBlock(
+      0, static_cast<unsigned>(R.range(Opts.MaxBlockStmts,
+                                       Opts.MaxBlockStmts + 4)));
+  // Force any still-pending EMI blocks into the tail.
+  while (EmiRemaining > 0) {
+    --EmiRemaining;
+    Random.push_back(genEmiBlock(0));
+  }
+  for (Stmt *S : Random)
+    Body.push_back(S);
+
+  // --- result hash
+  VarDecl *Crc = Ctx.makeVar("crc", Types.ulongTy(), AddressSpace::Private);
+  Crc->setInit(Ctx.intLit(0xcbf29ce484222325ULL, Types.ulongTy()));
+  Body.push_back(Ctx.makeStmt<DeclStmt>(Crc));
+
+  auto Mix = [&](Expr *Term) {
+    Expr *Mixed = buildBinary(
+        Ctx, BinOp::Mul,
+        buildBinary(Ctx, BinOp::BitXor, Ctx.ref(Crc),
+                    castTo(Term, Types.ulongTy()))
+            .E,
+        Ctx.intLit(HashPrime, Types.ulongTy())).E;
+    Body.push_back(Ctx.makeStmt<ExprStmt>(
+        buildAssign(Ctx, AssignOp::Assign, Ctx.ref(Crc), Mixed).E));
+  };
+
+  Mix(Ctx.ref(Seed));
+  // Hash every scalar leaf of the globals struct.
+  for (unsigned FI = 0; FI != Globals->getNumFields(); ++FI) {
+    const RecordField &F = Globals->getField(FI);
+    Expr *Base = Ctx.makeExpr<MemberExpr>(Ctx.ref(PVar), FI,
+                                          /*IsArrow=*/true, F.Ty);
+    if (isa<ScalarType>(F.Ty)) {
+      Mix(Base);
+    } else if (const auto *AT = dyn_cast<ArrayType>(F.Ty)) {
+      if (isa<ScalarType>(AT->getElementType()))
+        for (uint64_t I = 0; I != AT->getNumElements(); ++I)
+          Mix(Ctx.makeExpr<IndexExpr>(Base,
+                                      Ctx.intLit(static_cast<int>(I)),
+                                      AT->getElementType()));
+    } else if (const auto *VT = dyn_cast<VectorType>(F.Ty)) {
+      for (unsigned L = 0; L != VT->getNumLanes(); ++L)
+        Mix(Ctx.makeExpr<SwizzleExpr>(Base, std::vector<unsigned>{L},
+                                      VT->getElementType()));
+    } else if (const auto *RT = dyn_cast<RecordType>(F.Ty)) {
+      unsigned Limit = RT->isUnion() ? 1 : RT->getNumFields();
+      for (unsigned I = 0; I != Limit; ++I)
+        if (isa<ScalarType>(RT->getField(I).Ty))
+          Mix(Ctx.makeExpr<MemberExpr>(Base, I, /*IsArrow=*/false,
+                                       RT->getField(I).Ty));
+    }
+  }
+  if (UseBarrier)
+    Mix(sharedArrayRead());
+  if (UseAtomicSec) {
+    // Work-item 0 folds the special values in on behalf of the group.
+    TypedResult IsZero =
+        buildBinary(Ctx, BinOp::Eq, Ctx.ref(LLinVar),
+                    Ctx.intLit(0, Types.uintTy()));
+    std::vector<Stmt *> Fold;
+    for (unsigned I = 0; I != NumSectionPairs; ++I) {
+      TypedResult SRead = buildIndex(Ctx, Ctx.ref(SecSVar),
+                                     Ctx.intLit(static_cast<int>(I)));
+      Expr *Mixed = buildBinary(
+          Ctx, BinOp::Mul,
+          buildBinary(Ctx, BinOp::BitXor, Ctx.ref(Crc),
+                      castTo(SRead.E, Types.ulongTy()))
+              .E,
+          Ctx.intLit(HashPrime, Types.ulongTy())).E;
+      Fold.push_back(Ctx.makeStmt<ExprStmt>(
+          buildAssign(Ctx, AssignOp::Assign, Ctx.ref(Crc), Mixed).E));
+    }
+    // A barrier first so every section's effects are visible.
+    Body.push_back(Ctx.makeStmt<BarrierStmt>(BarrierStmt::LocalFence));
+    Body.push_back(Ctx.makeStmt<IfStmt>(
+        IsZero.E, Ctx.makeStmt<CompoundStmt>(std::move(Fold)), nullptr));
+  }
+  if (UseAtomicRed) {
+    TypedResult IsZero =
+        buildBinary(Ctx, BinOp::Eq, Ctx.ref(LLinVar),
+                    Ctx.intLit(0, Types.uintTy()));
+    Expr *Mixed = buildBinary(
+        Ctx, BinOp::Mul,
+        buildBinary(Ctx, BinOp::BitXor, Ctx.ref(Crc),
+                    Ctx.ref(TotalVar))
+            .E,
+        Ctx.intLit(HashPrime, Types.ulongTy())).E;
+    Body.push_back(Ctx.makeStmt<IfStmt>(
+        IsZero.E,
+        Ctx.makeStmt<CompoundStmt>(std::vector<Stmt *>{
+            Ctx.makeStmt<ExprStmt>(
+                buildAssign(Ctx, AssignOp::Assign, Ctx.ref(Crc), Mixed)
+                    .E)}),
+        nullptr));
+  }
+
+  // --- out[tlinear] = crc, with an optional legal int/size_t mixture.
+  Expr *Index = linearGlobalIdIndex();
+  if (R.chance(Opts.SizeTMixProbability)) {
+    VarDecl *Zero =
+        Ctx.makeVar("mix_0", Types.intTy(), AddressSpace::Private);
+    Zero->setInit(Ctx.intLit(0));
+    Body.push_back(Ctx.makeStmt<DeclStmt>(Zero));
+    Index = buildBinary(Ctx, BinOp::Add, Index, Ctx.ref(Zero)).E;
+  }
+  TypedResult OutLV = buildIndex(Ctx, Ctx.ref(OutParam), Index);
+  TypedResult Write =
+      buildAssign(Ctx, AssignOp::Assign, OutLV.E, Ctx.ref(Crc));
+  Body.push_back(Ctx.makeStmt<ExprStmt>(Write.E));
+
+  K->setBody(Ctx.makeStmt<CompoundStmt>(std::move(Body)));
+  GenBuffers = std::move(Buffers);
+}
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+GeneratedKernel KernelGen::run() {
+  chooseGeometry();
+  buildGlobalsStruct();
+  planFunctions();
+  emitFunctionBodies();
+  emitKernel();
+
+  GeneratedKernel Result;
+  Result.Range = Range;
+  Result.Mode = Opts.Mode;
+  Result.Seed = Opts.Seed;
+  Result.Buffers = std::move(GenBuffers);
+  Result.EmiIds = EmiIds;
+  PrinterOptions PO;
+  Result.Source = printProgram(Ctx.program(), Types, PO);
+  Result.Ctx = std::move(CtxHolder);
+  return Result;
+}
+
+GeneratedKernel clfuzz::generateKernel(const GenOptions &Opts) {
+  KernelGen G(Opts);
+  return G.run();
+}

@@ -1,0 +1,130 @@
+//===- Generator.h - CLsmith-style random kernel generation -----*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's primary contribution: random generation of
+/// deterministic, communicating OpenCL kernels (§4). Six modes:
+///
+///  * BASIC - embarrassingly parallel Csmith-style kernels built around
+///    a "globals struct" passed by reference to every function (§4.1);
+///  * VECTOR - adds OpenCL vector types/operations with type-correct
+///    generation (no implicit vector conversions) and safe-math vector
+///    wrappers;
+///  * BARRIER - deterministic intra-group communication through a
+///    shared array A with barrier-separated ownership re-distribution
+///    via host-provided permutations (§4.2);
+///  * ATOMIC SECTION - `if (atomic_inc(c) == rnd) { ... }` sections
+///    whose bodies only modify section-local state and publish a hash
+///    through a special value;
+///  * ATOMIC REDUCTION - commutative/associative atomic reductions
+///    with barrier-protected accumulation by work-item 0;
+///  * ALL - everything combined.
+///
+/// Determinism discipline (§4.2): work-item ids never appear in general
+/// expressions (only in the fixed harness patterns), the shared array
+/// is initialised uniformly, and all signed arithmetic flows through
+/// safe wrappers - so every generated kernel produces a unique,
+/// schedule-independent output per work-item.
+///
+/// Grid geometry follows §4.1: a random total thread count in
+/// [MinThreads, MaxThreads) factored into random 3D global/local
+/// sizes with Wx*Wy*Wz <= 256.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_GEN_GENERATOR_H
+#define CLFUZZ_GEN_GENERATOR_H
+
+#include "minicl/AST.h"
+#include "vm/VM.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+/// CLsmith generation modes (§4).
+enum class GenMode : uint8_t {
+  Basic,
+  Vector,
+  Barrier,
+  AtomicSection,
+  AtomicReduction,
+  All,
+};
+
+const char *genModeName(GenMode M);
+inline constexpr unsigned NumGenModes = 6;
+
+/// Generator tuning knobs.
+struct GenOptions {
+  GenMode Mode = GenMode::Basic;
+  uint64_t Seed = 0;
+
+  /// Total work-item count range (paper: [100, 10000)). The scaled
+  /// default keeps bench harnesses fast; pass the paper's values for
+  /// full-scale runs.
+  uint32_t MinThreads = 64;
+  uint32_t MaxThreads = 512;
+  uint32_t MaxGroupSize = 256;
+
+  /// Structure-size knobs.
+  unsigned NumFunctions = 4;        ///< helper functions func_1..N
+  unsigned MaxBlockStmts = 5;       ///< statements per block
+  unsigned MaxBlockDepth = 3;       ///< nesting depth
+  unsigned MaxExprDepth = 3;        ///< expression depth
+  unsigned MaxLoopIterations = 8;   ///< constant for-loop trip counts
+
+  /// Number of dead-by-construction EMI blocks to inject (§5); zero
+  /// disables the `dead` parameter entirely.
+  unsigned NumEmiBlocks = 0;
+  /// Length of the host-initialised dead array (dead[j] = j).
+  unsigned DeadArrayLength = 16;
+
+  /// Probability that the output index computation mixes int with
+  /// size_t (the legal pattern configuration 15's front end rejects;
+  /// the default approximates the paper's 13-17% bf rate for it).
+  double SizeTMixProbability = 0.09;
+
+  /// Permutation count d for BARRIER mode (paper uses 10).
+  unsigned NumPermutations = 10;
+};
+
+/// How the host must initialise one kernel-argument buffer.
+struct BufferSpec {
+  AddressSpace Space = AddressSpace::Global;
+  std::vector<uint8_t> InitBytes;
+  /// Marks the EMI dead array (campaigns flip its contents to check
+  /// dead-by-construction placement, §7.4).
+  bool IsDeadArray = false;
+  /// Marks the output buffer (read back and printed after the run).
+  bool IsOutput = false;
+};
+
+/// A generated test case: source program, launch geometry and host
+/// buffer plan. The AST lives in Ctx; Source is its printed form (the
+/// canonical representation a simulated driver re-parses, mirroring
+/// OpenCL's online compilation).
+struct GeneratedKernel {
+  std::unique_ptr<ASTContext> Ctx;
+  std::string Source;
+  NDRange Range;
+  std::vector<BufferSpec> Buffers;
+  GenMode Mode = GenMode::Basic;
+  uint64_t Seed = 0;
+  /// EMI block ids present in the kernel (for the pruner).
+  std::vector<int> EmiIds;
+};
+
+/// Generates one kernel. Deterministic: equal options (including seed)
+/// yield byte-identical sources and buffer plans.
+GeneratedKernel generateKernel(const GenOptions &Opts);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_GEN_GENERATOR_H

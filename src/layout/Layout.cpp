@@ -1,0 +1,149 @@
+//===- Layout.cpp - Struct/union/array memory layout -----------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/Layout.h"
+
+using namespace clfuzz;
+
+static uint64_t alignTo(uint64_t Value, uint64_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 &&
+         "alignment must be a power of two");
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+uint64_t LayoutEngine::sizeOf(const Type *Ty) const {
+  switch (Ty->getKind()) {
+  case Type::TypeKind::Void:
+    assert(false && "void has no size");
+    return 0;
+  case Type::TypeKind::Scalar:
+    return cast<ScalarType>(Ty)->byteWidth();
+  case Type::TypeKind::Vector: {
+    const auto *VT = cast<VectorType>(Ty);
+    return static_cast<uint64_t>(VT->getElementType()->byteWidth()) *
+           VT->getNumLanes();
+  }
+  case Type::TypeKind::Pointer:
+    return 8;
+  case Type::TypeKind::Array: {
+    const auto *AT = cast<ArrayType>(Ty);
+    return sizeOf(AT->getElementType()) * AT->getNumElements();
+  }
+  case Type::TypeKind::Record: {
+    const auto *RT = cast<RecordType>(Ty);
+    assert(RT->isComplete() && "layout query on incomplete record");
+    if (RT->isUnion()) {
+      uint64_t Size = 0;
+      for (const RecordField &F : RT->fields())
+        Size = std::max(Size, sizeOf(F.Ty));
+      return alignTo(Size == 0 ? 1 : Size, alignOf(RT));
+    }
+    uint64_t Offset = 0;
+    for (unsigned I = 0, E = RT->getNumFields(); I != E; ++I) {
+      Offset = alignTo(Offset, alignOf(RT->getField(I).Ty));
+      Offset += sizeOf(RT->getField(I).Ty);
+    }
+    return alignTo(Offset == 0 ? 1 : Offset, alignOf(RT));
+  }
+  }
+  assert(false && "unknown type kind");
+  return 0;
+}
+
+uint64_t LayoutEngine::alignOf(const Type *Ty) const {
+  switch (Ty->getKind()) {
+  case Type::TypeKind::Void:
+    return 1;
+  case Type::TypeKind::Scalar:
+    return cast<ScalarType>(Ty)->byteWidth();
+  case Type::TypeKind::Vector:
+    // OpenCL aligns vectors to their full size.
+    return sizeOf(Ty);
+  case Type::TypeKind::Pointer:
+    return 8;
+  case Type::TypeKind::Array:
+    return alignOf(cast<ArrayType>(Ty)->getElementType());
+  case Type::TypeKind::Record: {
+    const auto *RT = cast<RecordType>(Ty);
+    uint64_t Align = 1;
+    for (const RecordField &F : RT->fields())
+      Align = std::max(Align, alignOf(F.Ty));
+    return Align;
+  }
+  }
+  assert(false && "unknown type kind");
+  return 1;
+}
+
+uint64_t LayoutEngine::fieldOffset(const RecordType *RT,
+                                   unsigned Index) const {
+  assert(Index < RT->getNumFields() && "field index out of range");
+  if (RT->isUnion())
+    return 0;
+  uint64_t Offset = 0;
+  for (unsigned I = 0; I <= Index; ++I) {
+    Offset = alignTo(Offset, alignOf(RT->getField(I).Ty));
+    if (I == Index)
+      return Offset;
+    Offset += sizeOf(RT->getField(I).Ty);
+  }
+  return Offset;
+}
+
+uint64_t LayoutEngine::packedFieldOffset(const RecordType *RT,
+                                         unsigned Index) const {
+  if (RT->isUnion())
+    return 0;
+  uint64_t Offset = 0;
+  for (unsigned I = 0; I != Index; ++I)
+    Offset += sizeOf(RT->getField(I).Ty);
+  return Offset;
+}
+
+bool LayoutEngine::charStructBugTriggers(const RecordType *RT) const {
+  if (!Opts.CharStructInitBug || RT->isUnion() || RT->getNumFields() < 2)
+    return false;
+  // The AMD defect: any struct starting with a char followed by a
+  // larger member is miscompiled (§6, "Problems with structs").
+  const auto *First = dyn_cast<ScalarType>(RT->getField(0).Ty);
+  if (!First || First->byteWidth() != 1)
+    return false;
+  return sizeOf(RT->getField(1).Ty) > 1;
+}
+
+uint64_t LayoutEngine::initFieldOffset(const RecordType *RT,
+                                       unsigned Index) const {
+  if (charStructBugTriggers(RT))
+    return packedFieldOffset(RT, Index);
+  return fieldOffset(RT, Index);
+}
+
+bool LayoutEngine::unionInitBugTriggers(const RecordType *RT,
+                                        uint64_t &CorruptBytes) const {
+  if (!Opts.UnionInitBug || !RT->isUnion() || RT->getNumFields() < 2)
+    return false;
+  // The NVIDIA defect initialised only the two bytes of the *other*
+  // member's leading short field (Figure 2(a)'s union U { uint a;
+  // struct { short c; ... } b; }). Trigger on exactly that shape: a
+  // 4-byte-or-wider leading scalar member and a later record member
+  // whose first field is a 2-byte integer.
+  const auto *First = dyn_cast<ScalarType>(RT->getField(0).Ty);
+  if (!First || First->byteWidth() < 4)
+    return false;
+  for (unsigned I = 1, E = RT->getNumFields(); I != E; ++I) {
+    const auto *Inner = dyn_cast<RecordType>(RT->getField(I).Ty);
+    if (!Inner || Inner->getNumFields() == 0)
+      continue;
+    const auto *InnerFirst =
+        dyn_cast<ScalarType>(Inner->getField(0).Ty);
+    if (InnerFirst && InnerFirst->byteWidth() == 2) {
+      CorruptBytes = 2;
+      return true;
+    }
+  }
+  return false;
+}

@@ -1,0 +1,90 @@
+//===- Layout.h - Struct/union/array memory layout --------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes sizes, alignments and field offsets for MiniCL types using
+/// the standard C layout rules (OpenCL mandates fixed primitive widths
+/// and two's complement, §3.1 of the paper).
+///
+/// The engine also implements the *struct-layout bug models* observed
+/// in the paper:
+///
+///  * `CharStructInitBug` (Figure 1(a), AMD): aggregate *initialisation*
+///    uses packed (padding-free) offsets for structs whose leading char
+///    field is followed by a wider member, while member *access* uses
+///    correct padded offsets. `s = {1, 1}; s.a + s.b` then yields 1
+///    instead of 2 exactly as the paper reports.
+///
+///  * `UnionInitBug` (Figure 2(a), NVIDIA -O0): a union initialiser
+///    writes only the leading bytes corresponding to the *wrong*
+///    member's first field and leaves the rest of the member
+///    uninitialised (modelled as 0xff garbage), reproducing the
+///    0xffff0001 result.
+///
+/// Bug models are part of the layout engine because the real defects
+/// were inconsistencies between two compiler paths that both consult
+/// layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_LAYOUT_LAYOUT_H
+#define CLFUZZ_LAYOUT_LAYOUT_H
+
+#include "minicl/Type.h"
+
+#include <cstdint>
+
+namespace clfuzz {
+
+/// Layout bug knobs (see file comment). All default to off, giving
+/// standard C layout.
+struct LayoutOptions {
+  bool CharStructInitBug = false;
+  bool UnionInitBug = false;
+};
+
+/// Size/alignment/offset oracle for one compilation.
+class LayoutEngine {
+public:
+  explicit LayoutEngine(LayoutOptions Opts = LayoutOptions())
+      : Opts(Opts) {}
+
+  /// Size of \p Ty in bytes (pointers are 8 bytes).
+  uint64_t sizeOf(const Type *Ty) const;
+
+  /// Natural alignment of \p Ty in bytes.
+  uint64_t alignOf(const Type *Ty) const;
+
+  /// Byte offset of field \p Index inside \p RT, as used by member
+  /// access (always standard).
+  uint64_t fieldOffset(const RecordType *RT, unsigned Index) const;
+
+  /// Byte offset of field \p Index as used when *initialising* an
+  /// aggregate. Differs from fieldOffset only when CharStructInitBug
+  /// triggers on \p RT.
+  uint64_t initFieldOffset(const RecordType *RT, unsigned Index) const;
+
+  /// True if the Figure 1(a) bug model mislays \p RT's initialisation.
+  bool charStructBugTriggers(const RecordType *RT) const;
+
+  /// True if the Figure 2(a) bug model corrupts initialisation of the
+  /// union \p RT. When it does, only \p CorruptBytes of the first
+  /// member are written by an initialiser; the rest are garbage.
+  bool unionInitBugTriggers(const RecordType *RT,
+                            uint64_t &CorruptBytes) const;
+
+  const LayoutOptions &options() const { return Opts; }
+
+private:
+  uint64_t packedFieldOffset(const RecordType *RT, unsigned Index) const;
+
+  LayoutOptions Opts;
+};
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_LAYOUT_LAYOUT_H

@@ -1,0 +1,270 @@
+//===- AST.cpp - MiniCL abstract syntax trees ------------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicl/AST.h"
+
+using namespace clfuzz;
+
+const char *clfuzz::binOpSpelling(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Div:
+    return "/";
+  case BinOp::Mod:
+    return "%";
+  case BinOp::Shl:
+    return "<<";
+  case BinOp::Shr:
+    return ">>";
+  case BinOp::BitAnd:
+    return "&";
+  case BinOp::BitOr:
+    return "|";
+  case BinOp::BitXor:
+    return "^";
+  case BinOp::LAnd:
+    return "&&";
+  case BinOp::LOr:
+    return "||";
+  case BinOp::Eq:
+    return "==";
+  case BinOp::Ne:
+    return "!=";
+  case BinOp::Lt:
+    return "<";
+  case BinOp::Gt:
+    return ">";
+  case BinOp::Le:
+    return "<=";
+  case BinOp::Ge:
+    return ">=";
+  case BinOp::Comma:
+    return ",";
+  }
+  assert(false && "unknown binary operator");
+  return "";
+}
+
+bool clfuzz::isComparisonOp(BinOp Op) {
+  switch (Op) {
+  case BinOp::Eq:
+  case BinOp::Ne:
+  case BinOp::Lt:
+  case BinOp::Gt:
+  case BinOp::Le:
+  case BinOp::Ge:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool clfuzz::isLogicalOp(BinOp Op) {
+  return Op == BinOp::LAnd || Op == BinOp::LOr;
+}
+
+const char *clfuzz::unOpSpelling(UnOp Op) {
+  switch (Op) {
+  case UnOp::Plus:
+    return "+";
+  case UnOp::Minus:
+    return "-";
+  case UnOp::Not:
+    return "!";
+  case UnOp::BitNot:
+    return "~";
+  case UnOp::PreInc:
+  case UnOp::PostInc:
+    return "++";
+  case UnOp::PreDec:
+  case UnOp::PostDec:
+    return "--";
+  case UnOp::Deref:
+    return "*";
+  case UnOp::AddrOf:
+    return "&";
+  }
+  assert(false && "unknown unary operator");
+  return "";
+}
+
+bool clfuzz::isIncDecOp(UnOp Op) {
+  return Op == UnOp::PreInc || Op == UnOp::PreDec || Op == UnOp::PostInc ||
+         Op == UnOp::PostDec;
+}
+
+const char *clfuzz::assignOpSpelling(AssignOp Op) {
+  switch (Op) {
+  case AssignOp::Assign:
+    return "=";
+  case AssignOp::Add:
+    return "+=";
+  case AssignOp::Sub:
+    return "-=";
+  case AssignOp::Mul:
+    return "*=";
+  case AssignOp::Div:
+    return "/=";
+  case AssignOp::Mod:
+    return "%=";
+  case AssignOp::Shl:
+    return "<<=";
+  case AssignOp::Shr:
+    return ">>=";
+  case AssignOp::And:
+    return "&=";
+  case AssignOp::Or:
+    return "|=";
+  case AssignOp::Xor:
+    return "^=";
+  }
+  assert(false && "unknown assignment operator");
+  return "";
+}
+
+const char *clfuzz::builtinName(Builtin B) {
+  switch (B) {
+  case Builtin::GetGlobalId:
+    return "get_global_id";
+  case Builtin::GetLocalId:
+    return "get_local_id";
+  case Builtin::GetGroupId:
+    return "get_group_id";
+  case Builtin::GetGlobalSize:
+    return "get_global_size";
+  case Builtin::GetLocalSize:
+    return "get_local_size";
+  case Builtin::GetNumGroups:
+    return "get_num_groups";
+  case Builtin::Clamp:
+    return "clamp";
+  case Builtin::Rotate:
+    return "rotate";
+  case Builtin::Min:
+    return "min";
+  case Builtin::Max:
+    return "max";
+  case Builtin::Abs:
+    return "abs";
+  case Builtin::AddSat:
+    return "add_sat";
+  case Builtin::SubSat:
+    return "sub_sat";
+  case Builtin::Hadd:
+    return "hadd";
+  case Builtin::MulHi:
+    return "mul_hi";
+  case Builtin::ConvertVector:
+    return "convert";
+  case Builtin::AtomicAdd:
+    return "atomic_add";
+  case Builtin::AtomicSub:
+    return "atomic_sub";
+  case Builtin::AtomicInc:
+    return "atomic_inc";
+  case Builtin::AtomicDec:
+    return "atomic_dec";
+  case Builtin::AtomicMin:
+    return "atomic_min";
+  case Builtin::AtomicMax:
+    return "atomic_max";
+  case Builtin::AtomicAnd:
+    return "atomic_and";
+  case Builtin::AtomicOr:
+    return "atomic_or";
+  case Builtin::AtomicXor:
+    return "atomic_xor";
+  case Builtin::AtomicXchg:
+    return "atomic_xchg";
+  case Builtin::AtomicCmpxchg:
+    return "atomic_cmpxchg";
+  case Builtin::SafeAdd:
+    return "safe_add";
+  case Builtin::SafeSub:
+    return "safe_sub";
+  case Builtin::SafeMul:
+    return "safe_mul";
+  case Builtin::SafeDiv:
+    return "safe_div";
+  case Builtin::SafeMod:
+    return "safe_mod";
+  case Builtin::SafeShl:
+    return "safe_lshift";
+  case Builtin::SafeShr:
+    return "safe_rshift";
+  case Builtin::SafeNeg:
+    return "safe_unary_minus";
+  case Builtin::SafeClamp:
+    return "safe_clamp";
+  case Builtin::SafeRotate:
+    return "safe_rotate";
+  }
+  assert(false && "unknown builtin");
+  return "";
+}
+
+bool clfuzz::isAtomicBuiltin(Builtin B) {
+  switch (B) {
+  case Builtin::AtomicAdd:
+  case Builtin::AtomicSub:
+  case Builtin::AtomicInc:
+  case Builtin::AtomicDec:
+  case Builtin::AtomicMin:
+  case Builtin::AtomicMax:
+  case Builtin::AtomicAnd:
+  case Builtin::AtomicOr:
+  case Builtin::AtomicXor:
+  case Builtin::AtomicXchg:
+  case Builtin::AtomicCmpxchg:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool clfuzz::isWorkItemBuiltin(Builtin B) {
+  switch (B) {
+  case Builtin::GetGlobalId:
+  case Builtin::GetLocalId:
+  case Builtin::GetGroupId:
+  case Builtin::GetGlobalSize:
+  case Builtin::GetLocalSize:
+  case Builtin::GetNumGroups:
+    return true;
+  default:
+    return false;
+  }
+}
+
+DeclRef::DeclRef(const VarDecl *D)
+    : Expr(ExprKind::DeclRef, D->getType()), D(D) {}
+
+const RecordType *MemberExpr::getRecordType() const {
+  const Type *BaseTy = Base->getType();
+  if (IsArrow)
+    BaseTy = cast<PointerType>(BaseTy)->getPointeeType();
+  return cast<RecordType>(BaseTy);
+}
+
+FunctionDecl *Program::findFunction(const std::string &Name) const {
+  for (FunctionDecl *F : Functions)
+    if (F->getName() == Name)
+      return F;
+  return nullptr;
+}
+
+FunctionDecl *Program::kernel() const {
+  for (FunctionDecl *F : Functions)
+    if (F->isKernel())
+      return F;
+  return nullptr;
+}

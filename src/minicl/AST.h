@@ -1,0 +1,892 @@
+//===- AST.h - MiniCL abstract syntax trees ---------------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expression, statement and declaration nodes for MiniCL kernels.
+/// Nodes use LLVM-style Kind-enum RTTI (see support/Casting.h) and are
+/// arena-owned by an ASTContext. The node set is exactly what the
+/// CLsmith-style generator (src/gen), the EMI injector (src/emi), the
+/// mini Parboil/Rodinia suite (src/corpus) and the bug-gallery kernels
+/// of Figures 1-2 require.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_MINICL_AST_H
+#define CLFUZZ_MINICL_AST_H
+
+#include "minicl/Type.h"
+#include "support/Diag.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+class Expr;
+class Stmt;
+class VarDecl;
+class FunctionDecl;
+
+//===----------------------------------------------------------------------===//
+// Operators and builtins
+//===----------------------------------------------------------------------===//
+
+/// Binary operator kinds (C precedence families; assignment operators
+/// are a separate node).
+enum class BinOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Shl,
+  Shr,
+  BitAnd,
+  BitOr,
+  BitXor,
+  LAnd, // && with short-circuit evaluation
+  LOr,  // ||
+  Eq,
+  Ne,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Comma, // sequencing; mishandled by the Figure 2(f) Oclgrind bug model
+};
+
+/// Returns the OpenCL C spelling ("+", "<<", ...).
+const char *binOpSpelling(BinOp Op);
+
+/// True for ==, !=, <, >, <=, >=.
+bool isComparisonOp(BinOp Op);
+/// True for && and ||.
+bool isLogicalOp(BinOp Op);
+
+/// Unary operator kinds.
+enum class UnOp : uint8_t {
+  Plus,
+  Minus,
+  Not,    // !
+  BitNot, // ~
+  PreInc,
+  PreDec,
+  PostInc,
+  PostDec,
+  Deref,
+  AddrOf,
+};
+
+const char *unOpSpelling(UnOp Op);
+bool isIncDecOp(UnOp Op);
+
+/// Compound-assignment flavours; Assign is plain `=`.
+enum class AssignOp : uint8_t {
+  Assign,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Shl,
+  Shr,
+  And,
+  Or,
+  Xor,
+};
+
+const char *assignOpSpelling(AssignOp Op);
+
+/// Builtin functions known to the front end, the optimiser and the VM.
+/// The Safe* entries are the paper's "safe math" wrappers (§4.1): they
+/// guard the undefined behaviours of the raw operation and are printed
+/// as safe_* macro invocations.
+enum class Builtin : uint8_t {
+  // Work-item functions (OpenCL §6.12.1). Return size_t.
+  GetGlobalId,
+  GetLocalId,
+  GetGroupId,
+  GetGlobalSize,
+  GetLocalSize,
+  GetNumGroups,
+  // Integer builtins (component-wise on vectors).
+  Clamp,
+  Rotate,
+  Min,
+  Max,
+  Abs,    // returns the unsigned counterpart type
+  AddSat,
+  SubSat,
+  Hadd,
+  MulHi,
+  // Explicit vector conversion convert_<T>().
+  ConvertVector,
+  // 32-bit atomics on (volatile) global/local int or uint pointers.
+  AtomicAdd,
+  AtomicSub,
+  AtomicInc,
+  AtomicDec,
+  AtomicMin,
+  AtomicMax,
+  AtomicAnd,
+  AtomicOr,
+  AtomicXor,
+  AtomicXchg,
+  AtomicCmpxchg,
+  // Safe math wrappers (defined behaviour for all inputs).
+  SafeAdd,
+  SafeSub,
+  SafeMul,
+  SafeDiv,
+  SafeMod,
+  SafeShl,
+  SafeShr,
+  SafeNeg,
+  SafeClamp,
+  SafeRotate,
+};
+
+/// OpenCL C spelling of the builtin (safe builtins use the macro names
+/// CLsmith emits, e.g. "safe_add").
+const char *builtinName(Builtin B);
+
+/// True for the atomic read-modify-write builtins.
+bool isAtomicBuiltin(Builtin B);
+/// True for builtins whose value is a work-item/geometry query.
+bool isWorkItemBuiltin(Builtin B);
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of all MiniCL expressions. The node's type is assigned at
+/// construction (generator) or during Sema (parsed code).
+class Expr {
+public:
+  enum class ExprKind : uint8_t {
+    IntLiteral,
+    DeclRef,
+    Unary,
+    Binary,
+    Assign,
+    Conditional,
+    Call,
+    BuiltinCall,
+    Index,
+    Member,
+    Swizzle,
+    Cast,
+    ImplicitCast,
+    VectorConstruct,
+    InitList,
+  };
+
+  ExprKind getKind() const { return Kind; }
+  const Type *getType() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+
+  SourceLoc getLoc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
+protected:
+  Expr(ExprKind K, const Type *Ty) : Kind(K), Ty(Ty) {}
+  ~Expr() = default;
+
+private:
+  ExprKind Kind;
+  const Type *Ty;
+  SourceLoc Loc;
+};
+
+/// An integer literal. The value is stored as the raw two's-complement
+/// bit pattern truncated to the literal's type width.
+class IntLiteral : public Expr {
+public:
+  IntLiteral(uint64_t Value, const ScalarType *Ty)
+      : Expr(ExprKind::IntLiteral, Ty), Value(Value) {}
+
+  uint64_t getValue() const { return Value; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::IntLiteral;
+  }
+
+private:
+  uint64_t Value;
+};
+
+/// A reference to a variable or parameter.
+class DeclRef : public Expr {
+public:
+  explicit DeclRef(const VarDecl *D);
+
+  const VarDecl *getDecl() const { return D; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::DeclRef;
+  }
+
+private:
+  const VarDecl *D;
+};
+
+/// A unary operation.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnOp Op, Expr *Sub, const Type *Ty)
+      : Expr(ExprKind::Unary, Ty), Op(Op), Sub(Sub) {}
+
+  UnOp getOp() const { return Op; }
+  Expr *getSubExpr() const { return Sub; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Unary;
+  }
+
+private:
+  UnOp Op;
+  Expr *Sub;
+};
+
+/// A binary operation (including comma).
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinOp Op, Expr *LHS, Expr *RHS, const Type *Ty)
+      : Expr(ExprKind::Binary, Ty), Op(Op), LHS(LHS), RHS(RHS) {}
+
+  BinOp getOp() const { return Op; }
+  Expr *getLHS() const { return LHS; }
+  Expr *getRHS() const { return RHS; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Binary;
+  }
+
+private:
+  BinOp Op;
+  Expr *LHS;
+  Expr *RHS;
+};
+
+/// An assignment (`=`, `+=`, ...). The result type is the LHS type.
+class AssignExpr : public Expr {
+public:
+  AssignExpr(AssignOp Op, Expr *LHS, Expr *RHS, const Type *Ty)
+      : Expr(ExprKind::Assign, Ty), Op(Op), LHS(LHS), RHS(RHS) {}
+
+  AssignOp getOp() const { return Op; }
+  Expr *getLHS() const { return LHS; }
+  Expr *getRHS() const { return RHS; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Assign;
+  }
+
+private:
+  AssignOp Op;
+  Expr *LHS;
+  Expr *RHS;
+};
+
+/// The ternary conditional `c ? t : f`.
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(Expr *Cond, Expr *TrueE, Expr *FalseE, const Type *Ty)
+      : Expr(ExprKind::Conditional, Ty), Cond(Cond), TrueE(TrueE),
+        FalseE(FalseE) {}
+
+  Expr *getCond() const { return Cond; }
+  Expr *getTrueExpr() const { return TrueE; }
+  Expr *getFalseExpr() const { return FalseE; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Conditional;
+  }
+
+private:
+  Expr *Cond;
+  Expr *TrueE;
+  Expr *FalseE;
+};
+
+/// A call to a user-defined function.
+class CallExpr : public Expr {
+public:
+  CallExpr(const FunctionDecl *Callee, std::vector<Expr *> Args,
+           const Type *Ty)
+      : Expr(ExprKind::Call, Ty), Callee(Callee), Args(std::move(Args)) {}
+
+  const FunctionDecl *getCallee() const { return Callee; }
+  const std::vector<Expr *> &args() const { return Args; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Call;
+  }
+
+private:
+  const FunctionDecl *Callee;
+  std::vector<Expr *> Args;
+};
+
+/// A call to a builtin. For ConvertVector the node type carries the
+/// conversion target.
+class BuiltinCallExpr : public Expr {
+public:
+  BuiltinCallExpr(Builtin B, std::vector<Expr *> Args, const Type *Ty)
+      : Expr(ExprKind::BuiltinCall, Ty), B(B), Args(std::move(Args)) {}
+
+  Builtin getBuiltin() const { return B; }
+  const std::vector<Expr *> &args() const { return Args; }
+  Expr *getArg(unsigned I) const { return Args[I]; }
+  unsigned getNumArgs() const { return Args.size(); }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::BuiltinCall;
+  }
+
+private:
+  Builtin B;
+  std::vector<Expr *> Args;
+};
+
+/// An array subscript `base[index]`. `base` is an array lvalue or a
+/// pointer rvalue.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(Expr *Base, Expr *Index, const Type *Ty)
+      : Expr(ExprKind::Index, Ty), Base(Base), Index(Index) {}
+
+  Expr *getBase() const { return Base; }
+  Expr *getIndex() const { return Index; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Index;
+  }
+
+private:
+  Expr *Base;
+  Expr *Index;
+};
+
+/// A struct/union member access `base.f` or `base->f`.
+class MemberExpr : public Expr {
+public:
+  MemberExpr(Expr *Base, unsigned FieldIndex, bool IsArrow,
+             const Type *Ty)
+      : Expr(ExprKind::Member, Ty), Base(Base), FieldIndex(FieldIndex),
+        IsArrow(IsArrow) {}
+
+  Expr *getBase() const { return Base; }
+  unsigned getFieldIndex() const { return FieldIndex; }
+  bool isArrow() const { return IsArrow; }
+
+  /// The record type being accessed (after stripping the pointer for
+  /// `->`).
+  const RecordType *getRecordType() const;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Member;
+  }
+
+private:
+  Expr *Base;
+  unsigned FieldIndex;
+  bool IsArrow;
+};
+
+/// A vector swizzle `v.xyzw` / `v.s03`. One index yields the scalar
+/// element type; multiple indices yield a vector.
+class SwizzleExpr : public Expr {
+public:
+  SwizzleExpr(Expr *Base, std::vector<unsigned> Indices, const Type *Ty)
+      : Expr(ExprKind::Swizzle, Ty), Base(Base),
+        Indices(std::move(Indices)) {}
+
+  Expr *getBase() const { return Base; }
+  const std::vector<unsigned> &indices() const { return Indices; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Swizzle;
+  }
+
+private:
+  Expr *Base;
+  std::vector<unsigned> Indices;
+};
+
+/// An explicit scalar cast `(T)e`.
+class CastExpr : public Expr {
+public:
+  CastExpr(Expr *Sub, const Type *Ty) : Expr(ExprKind::Cast, Ty), Sub(Sub) {}
+
+  Expr *getSubExpr() const { return Sub; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Cast;
+  }
+
+private:
+  Expr *Sub;
+};
+
+/// A compiler-inserted conversion.
+class ImplicitCastExpr : public Expr {
+public:
+  enum class CastKind : uint8_t {
+    IntegralConvert, // scalar width/signedness change
+    VectorSplat,     // scalar broadcast to all lanes
+    BoolToInt,       // comparison result used as an int
+  };
+
+  ImplicitCastExpr(CastKind CK, Expr *Sub, const Type *Ty)
+      : Expr(ExprKind::ImplicitCast, Ty), CK(CK), Sub(Sub) {}
+
+  CastKind getCastKind() const { return CK; }
+  Expr *getSubExpr() const { return Sub; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::ImplicitCast;
+  }
+
+private:
+  CastKind CK;
+  Expr *Sub;
+};
+
+/// An OpenCL vector construction `(int4)(a, b2, c)`. Element
+/// expressions may be scalars or shorter vectors; the lane total must
+/// equal the target width (or be a single scalar splat).
+class VectorConstructExpr : public Expr {
+public:
+  VectorConstructExpr(std::vector<Expr *> Elems, const VectorType *Ty)
+      : Expr(ExprKind::VectorConstruct, Ty), Elems(std::move(Elems)) {}
+
+  const std::vector<Expr *> &elements() const { return Elems; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::VectorConstruct;
+  }
+
+private:
+  std::vector<Expr *> Elems;
+};
+
+/// A brace initializer list for structs/unions/arrays (only valid as a
+/// variable initializer). A union initializer list initialises the
+/// first member, which is what the Figure 2(a) NVIDIA bug model gets
+/// wrong.
+class InitListExpr : public Expr {
+public:
+  InitListExpr(std::vector<Expr *> Inits, const Type *Ty)
+      : Expr(ExprKind::InitList, Ty), Inits(std::move(Inits)) {}
+
+  const std::vector<Expr *> &inits() const { return Inits; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::InitList;
+  }
+
+private:
+  std::vector<Expr *> Inits;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Base class of all MiniCL statements.
+class Stmt {
+public:
+  enum class StmtKind : uint8_t {
+    Compound,
+    Decl,
+    Expr,
+    If,
+    For,
+    While,
+    Do,
+    Return,
+    Break,
+    Continue,
+    Barrier,
+    Null,
+  };
+
+  StmtKind getKind() const { return Kind; }
+
+protected:
+  explicit Stmt(StmtKind K) : Kind(K) {}
+  ~Stmt() = default;
+
+private:
+  StmtKind Kind;
+};
+
+/// A `{ ... }` block.
+class CompoundStmt : public Stmt {
+public:
+  explicit CompoundStmt(std::vector<Stmt *> Body)
+      : Stmt(StmtKind::Compound), Body(std::move(Body)) {}
+
+  const std::vector<Stmt *> &body() const { return Body; }
+  std::vector<Stmt *> &body() { return Body; }
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Compound;
+  }
+
+private:
+  std::vector<Stmt *> Body;
+};
+
+/// A local variable declaration statement.
+class DeclStmt : public Stmt {
+public:
+  explicit DeclStmt(VarDecl *D) : Stmt(StmtKind::Decl), D(D) {}
+
+  VarDecl *getDecl() const { return D; }
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Decl;
+  }
+
+private:
+  VarDecl *D;
+};
+
+/// An expression evaluated for its side effects.
+class ExprStmt : public Stmt {
+public:
+  explicit ExprStmt(Expr *E) : Stmt(StmtKind::Expr), E(E) {}
+
+  Expr *getExpr() const { return E; }
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Expr;
+  }
+
+private:
+  Expr *E;
+};
+
+/// An `if` statement. EMI blocks (paper §5) are IfStmts flagged with an
+/// EMI id so the pruner can locate them.
+class IfStmt : public Stmt {
+public:
+  IfStmt(Expr *Cond, Stmt *Then, Stmt *Else)
+      : Stmt(StmtKind::If), Cond(Cond), Then(Then), Else(Else) {}
+
+  Expr *getCond() const { return Cond; }
+  Stmt *getThen() const { return Then; }
+  Stmt *getElse() const { return Else; }
+  void setThen(Stmt *S) { Then = S; }
+  void setElse(Stmt *S) { Else = S; }
+
+  bool isEmiBlock() const { return EmiId >= 0; }
+  int getEmiId() const { return EmiId; }
+  void setEmiId(int Id) { EmiId = Id; }
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::If;
+  }
+
+private:
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else;
+  int EmiId = -1;
+};
+
+/// A `for` loop. Init may be a DeclStmt, an ExprStmt or null; Cond and
+/// Step may be null.
+class ForStmt : public Stmt {
+public:
+  ForStmt(Stmt *Init, Expr *Cond, Expr *Step, Stmt *Body)
+      : Stmt(StmtKind::For), Init(Init), Cond(Cond), Step(Step),
+        Body(Body) {}
+
+  Stmt *getInit() const { return Init; }
+  Expr *getCond() const { return Cond; }
+  Expr *getStep() const { return Step; }
+  Stmt *getBody() const { return Body; }
+  void setBody(Stmt *S) { Body = S; }
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::For;
+  }
+
+private:
+  Stmt *Init;
+  Expr *Cond;
+  Expr *Step;
+  Stmt *Body;
+};
+
+/// A `while` loop.
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(Expr *Cond, Stmt *Body)
+      : Stmt(StmtKind::While), Cond(Cond), Body(Body) {}
+
+  Expr *getCond() const { return Cond; }
+  Stmt *getBody() const { return Body; }
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::While;
+  }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+};
+
+/// A `do ... while` loop.
+class DoStmt : public Stmt {
+public:
+  DoStmt(Stmt *Body, Expr *Cond)
+      : Stmt(StmtKind::Do), Body(Body), Cond(Cond) {}
+
+  Stmt *getBody() const { return Body; }
+  Expr *getCond() const { return Cond; }
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Do;
+  }
+
+private:
+  Stmt *Body;
+  Expr *Cond;
+};
+
+/// A `return` statement (value may be null for void functions).
+class ReturnStmt : public Stmt {
+public:
+  explicit ReturnStmt(Expr *Value)
+      : Stmt(StmtKind::Return), Value(Value) {}
+
+  Expr *getValue() const { return Value; }
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Return;
+  }
+
+private:
+  Expr *Value;
+};
+
+class BreakStmt : public Stmt {
+public:
+  BreakStmt() : Stmt(StmtKind::Break) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Break;
+  }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  ContinueStmt() : Stmt(StmtKind::Continue) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Continue;
+  }
+};
+
+/// A work-group barrier with a memory-fence flag set (§3.1).
+class BarrierStmt : public Stmt {
+public:
+  enum FenceFlags : uint8_t {
+    LocalFence = 1,
+    GlobalFence = 2,
+  };
+
+  explicit BarrierStmt(uint8_t Flags)
+      : Stmt(StmtKind::Barrier), Flags(Flags) {}
+
+  uint8_t getFenceFlags() const { return Flags; }
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Barrier;
+  }
+
+private:
+  uint8_t Flags;
+};
+
+class NullStmt : public Stmt {
+public:
+  NullStmt() : Stmt(StmtKind::Null) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Null;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// A variable, parameter or kernel-scope local-memory declaration.
+class VarDecl {
+public:
+  VarDecl(std::string Name, const Type *Ty, AddressSpace AS)
+      : Name(std::move(Name)), Ty(Ty), AS(AS) {}
+
+  const std::string &getName() const { return Name; }
+  const Type *getType() const { return Ty; }
+  AddressSpace getAddressSpace() const { return AS; }
+
+  Expr *getInit() const { return Init; }
+  void setInit(Expr *E) { Init = E; }
+
+  bool isParam() const { return Param; }
+  void setParam(bool V) { Param = V; }
+  bool isVolatile() const { return Volatile; }
+  void setVolatile(bool V) { Volatile = V; }
+  bool isConst() const { return Const; }
+  void setConst(bool V) { Const = V; }
+
+private:
+  std::string Name;
+  const Type *Ty;
+  AddressSpace AS;
+  Expr *Init = nullptr;
+  bool Param = false;
+  bool Volatile = false;
+  bool Const = false;
+};
+
+/// A function or kernel definition.
+class FunctionDecl {
+public:
+  FunctionDecl(std::string Name, const Type *ReturnTy, bool IsKernel)
+      : Name(std::move(Name)), ReturnTy(ReturnTy), Kernel(IsKernel) {}
+
+  const std::string &getName() const { return Name; }
+  const Type *getReturnType() const { return ReturnTy; }
+  bool isKernel() const { return Kernel; }
+
+  void addParam(VarDecl *P) { Params.push_back(P); }
+  const std::vector<VarDecl *> &params() const { return Params; }
+
+  CompoundStmt *getBody() const { return Body; }
+  void setBody(CompoundStmt *B) { Body = B; }
+
+private:
+  std::string Name;
+  const Type *ReturnTy;
+  bool Kernel;
+  std::vector<VarDecl *> Params;
+  CompoundStmt *Body = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// Program and context
+//===----------------------------------------------------------------------===//
+
+/// One MiniCL translation unit: record types (owned by the
+/// TypeContext), functions in definition order, and exactly one kernel.
+class Program {
+public:
+  void addFunction(FunctionDecl *F) { Functions.push_back(F); }
+  const std::vector<FunctionDecl *> &functions() const {
+    return Functions;
+  }
+
+  /// Removes \p F from the program (used by the reducer). The node
+  /// itself stays owned by the ASTContext. Returns false if absent.
+  bool removeFunction(const FunctionDecl *F) {
+    for (auto It = Functions.begin(); It != Functions.end(); ++It) {
+      if (*It == F) {
+        Functions.erase(It);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  FunctionDecl *findFunction(const std::string &Name) const;
+
+  /// Returns the unique kernel entry point, or null.
+  FunctionDecl *kernel() const;
+
+private:
+  std::vector<FunctionDecl *> Functions;
+};
+
+/// Arena that owns every AST node plus the associated TypeContext and
+/// Program. Generators, the parser, the EMI injector and the reducer
+/// all allocate through one ASTContext so node lifetime is uniform.
+class ASTContext {
+public:
+  ASTContext() : Prog(std::make_unique<Program>()) {}
+  ASTContext(const ASTContext &) = delete;
+  ASTContext &operator=(const ASTContext &) = delete;
+
+  TypeContext &types() { return Types; }
+  const TypeContext &types() const { return Types; }
+  Program &program() { return *Prog; }
+  const Program &program() const { return *Prog; }
+
+  /// Allocates an expression node.
+  template <typename T, typename... Args> T *makeExpr(Args &&...A) {
+    auto Node = std::make_shared<T>(std::forward<Args>(A)...);
+    T *Raw = Node.get();
+    ExprNodes.push_back(std::move(Node));
+    return Raw;
+  }
+
+  /// Allocates a statement node.
+  template <typename T, typename... Args> T *makeStmt(Args &&...A) {
+    auto Node = std::make_shared<T>(std::forward<Args>(A)...);
+    T *Raw = Node.get();
+    StmtNodes.push_back(std::move(Node));
+    return Raw;
+  }
+
+  VarDecl *makeVar(std::string Name, const Type *Ty, AddressSpace AS) {
+    auto Node = std::make_unique<VarDecl>(std::move(Name), Ty, AS);
+    VarDecl *Raw = Node.get();
+    VarNodes.push_back(std::move(Node));
+    return Raw;
+  }
+
+  FunctionDecl *makeFunction(std::string Name, const Type *ReturnTy,
+                             bool IsKernel) {
+    auto Node =
+        std::make_unique<FunctionDecl>(std::move(Name), ReturnTy, IsKernel);
+    FunctionDecl *Raw = Node.get();
+    FuncNodes.push_back(std::move(Node));
+    return Raw;
+  }
+
+  // Convenience factories used heavily by the generator and corpus.
+  IntLiteral *intLit(uint64_t V, const ScalarType *Ty) {
+    return makeExpr<IntLiteral>(V, Ty);
+  }
+  IntLiteral *intLit(int V) {
+    return makeExpr<IntLiteral>(static_cast<uint64_t>(static_cast<int64_t>(V)),
+                                Types.intTy());
+  }
+  DeclRef *ref(const VarDecl *D) { return makeExpr<DeclRef>(D); }
+
+private:
+  TypeContext Types;
+  std::unique_ptr<Program> Prog;
+  // shared_ptr<void> captures the concrete deleter at construction, so
+  // the pools destroy nodes correctly despite the hierarchies having
+  // protected non-virtual base destructors.
+  std::vector<std::shared_ptr<void>> ExprNodes;
+  std::vector<std::shared_ptr<void>> StmtNodes;
+  std::vector<std::unique_ptr<VarDecl>> VarNodes;
+  std::vector<std::unique_ptr<FunctionDecl>> FuncNodes;
+};
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_MINICL_AST_H

@@ -1,0 +1,407 @@
+//===- ASTQueries.cpp - Read-only AST predicates ----------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicl/ASTQueries.h"
+
+using namespace clfuzz;
+
+/// Walks an expression's direct children.
+static void forEachChild(const Expr *E,
+                         const std::function<void(const Expr *)> &Fn) {
+  switch (E->getKind()) {
+  case Expr::ExprKind::IntLiteral:
+  case Expr::ExprKind::DeclRef:
+    return;
+  case Expr::ExprKind::Unary:
+    Fn(cast<UnaryExpr>(E)->getSubExpr());
+    return;
+  case Expr::ExprKind::Binary:
+    Fn(cast<BinaryExpr>(E)->getLHS());
+    Fn(cast<BinaryExpr>(E)->getRHS());
+    return;
+  case Expr::ExprKind::Assign:
+    Fn(cast<AssignExpr>(E)->getLHS());
+    Fn(cast<AssignExpr>(E)->getRHS());
+    return;
+  case Expr::ExprKind::Conditional:
+    Fn(cast<ConditionalExpr>(E)->getCond());
+    Fn(cast<ConditionalExpr>(E)->getTrueExpr());
+    Fn(cast<ConditionalExpr>(E)->getFalseExpr());
+    return;
+  case Expr::ExprKind::Call:
+    for (const Expr *A : cast<CallExpr>(E)->args())
+      Fn(A);
+    return;
+  case Expr::ExprKind::BuiltinCall:
+    for (const Expr *A : cast<BuiltinCallExpr>(E)->args())
+      Fn(A);
+    return;
+  case Expr::ExprKind::Index:
+    Fn(cast<IndexExpr>(E)->getBase());
+    Fn(cast<IndexExpr>(E)->getIndex());
+    return;
+  case Expr::ExprKind::Member:
+    Fn(cast<MemberExpr>(E)->getBase());
+    return;
+  case Expr::ExprKind::Swizzle:
+    Fn(cast<SwizzleExpr>(E)->getBase());
+    return;
+  case Expr::ExprKind::Cast:
+    Fn(cast<CastExpr>(E)->getSubExpr());
+    return;
+  case Expr::ExprKind::ImplicitCast:
+    Fn(cast<ImplicitCastExpr>(E)->getSubExpr());
+    return;
+  case Expr::ExprKind::VectorConstruct:
+    for (const Expr *Elem : cast<VectorConstructExpr>(E)->elements())
+      Fn(Elem);
+    return;
+  case Expr::ExprKind::InitList:
+    for (const Expr *Sub : cast<InitListExpr>(E)->inits())
+      Fn(Sub);
+    return;
+  }
+}
+
+/// True if the lvalue expression denotes a volatile object.
+static bool isVolatileLValue(const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::ExprKind::DeclRef:
+    return cast<DeclRef>(E)->getDecl()->isVolatile();
+  case Expr::ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->getOp() != UnOp::Deref)
+      return false;
+    const auto *PT = dyn_cast<PointerType>(U->getSubExpr()->getType());
+    return PT && PT->isPointeeVolatile();
+  }
+  case Expr::ExprKind::Index:
+    return isVolatileLValue(cast<IndexExpr>(E)->getBase());
+  case Expr::ExprKind::Member: {
+    const auto *M = cast<MemberExpr>(E);
+    if (M->getRecordType()->getField(M->getFieldIndex()).IsVolatile)
+      return true;
+    if (M->isArrow()) {
+      const auto *PT = cast<PointerType>(M->getBase()->getType());
+      return PT->isPointeeVolatile();
+    }
+    return isVolatileLValue(M->getBase());
+  }
+  case Expr::ExprKind::Swizzle:
+    return isVolatileLValue(cast<SwizzleExpr>(E)->getBase());
+  default:
+    return false;
+  }
+}
+
+bool clfuzz::hasSideEffects(const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::ExprKind::Assign:
+    return true;
+  case Expr::ExprKind::Call:
+    return true; // conservative: any call may write memory
+  case Expr::ExprKind::BuiltinCall:
+    if (isAtomicBuiltin(cast<BuiltinCallExpr>(E)->getBuiltin()))
+      return true;
+    break;
+  case Expr::ExprKind::Unary:
+    if (isIncDecOp(cast<UnaryExpr>(E)->getOp()))
+      return true;
+    break;
+  case Expr::ExprKind::DeclRef:
+  case Expr::ExprKind::Member:
+  case Expr::ExprKind::Index:
+    if (isVolatileLValue(E))
+      return true;
+    break;
+  default:
+    break;
+  }
+  bool Any = false;
+  forEachChild(E, [&Any](const Expr *Child) {
+    if (hasSideEffects(Child))
+      Any = true;
+  });
+  return Any;
+}
+
+bool clfuzz::readsVolatile(const Expr *E) {
+  if (isVolatileLValue(E))
+    return true;
+  bool Any = false;
+  forEachChild(E, [&Any](const Expr *Child) {
+    if (readsVolatile(Child))
+      Any = true;
+  });
+  return Any;
+}
+
+void clfuzz::forEachStmt(const Stmt *S,
+                         const std::function<void(const Stmt *)> &Fn) {
+  Fn(S);
+  switch (S->getKind()) {
+  case Stmt::StmtKind::Compound:
+    for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+      forEachStmt(Child, Fn);
+    return;
+  case Stmt::StmtKind::If: {
+    const auto *If = cast<IfStmt>(S);
+    forEachStmt(If->getThen(), Fn);
+    if (If->getElse())
+      forEachStmt(If->getElse(), Fn);
+    return;
+  }
+  case Stmt::StmtKind::For: {
+    const auto *For = cast<ForStmt>(S);
+    if (For->getInit())
+      forEachStmt(For->getInit(), Fn);
+    forEachStmt(For->getBody(), Fn);
+    return;
+  }
+  case Stmt::StmtKind::While:
+    forEachStmt(cast<WhileStmt>(S)->getBody(), Fn);
+    return;
+  case Stmt::StmtKind::Do:
+    forEachStmt(cast<DoStmt>(S)->getBody(), Fn);
+    return;
+  default:
+    return;
+  }
+}
+
+void clfuzz::forEachExpr(const Stmt *S,
+                         const std::function<void(const Expr *)> &Fn) {
+  std::function<void(const Expr *)> Walk = [&](const Expr *E) {
+    Fn(E);
+    forEachChild(E, Walk);
+  };
+  forEachStmt(S, [&](const Stmt *Node) {
+    switch (Node->getKind()) {
+    case Stmt::StmtKind::Decl:
+      if (const Expr *Init = cast<DeclStmt>(Node)->getDecl()->getInit())
+        Walk(Init);
+      return;
+    case Stmt::StmtKind::Expr:
+      Walk(cast<ExprStmt>(Node)->getExpr());
+      return;
+    case Stmt::StmtKind::If:
+      Walk(cast<IfStmt>(Node)->getCond());
+      return;
+    case Stmt::StmtKind::For: {
+      const auto *For = cast<ForStmt>(Node);
+      if (For->getCond())
+        Walk(For->getCond());
+      if (For->getStep())
+        Walk(For->getStep());
+      return;
+    }
+    case Stmt::StmtKind::While:
+      Walk(cast<WhileStmt>(Node)->getCond());
+      return;
+    case Stmt::StmtKind::Do:
+      Walk(cast<DoStmt>(Node)->getCond());
+      return;
+    case Stmt::StmtKind::Return:
+      if (const Expr *V = cast<ReturnStmt>(Node)->getValue())
+        Walk(V);
+      return;
+    default:
+      return;
+    }
+  });
+}
+
+bool clfuzz::containsBarrier(const Stmt *S) {
+  bool Found = false;
+  forEachStmt(S, [&Found](const Stmt *Node) {
+    if (isa<BarrierStmt>(Node))
+      Found = true;
+  });
+  return Found;
+}
+
+bool clfuzz::functionContainsBarrier(const FunctionDecl *F) {
+  return F->getBody() && containsBarrier(F->getBody());
+}
+
+bool clfuzz::containsReturn(const Stmt *S) {
+  bool Found = false;
+  forEachStmt(S, [&Found](const Stmt *Node) {
+    if (isa<ReturnStmt>(Node))
+      Found = true;
+  });
+  return Found;
+}
+
+bool clfuzz::containsAtomic(const Stmt *S) {
+  bool Found = false;
+  forEachExpr(S, [&Found](const Expr *E) {
+    if (const auto *C = dyn_cast<BuiltinCallExpr>(E))
+      if (isAtomicBuiltin(C->getBuiltin()))
+        Found = true;
+  });
+  return Found;
+}
+
+/// Recursive helper for containsFreeBreakOrContinue: loops capture
+/// break/continue, so the walk stops at nested loops.
+static bool hasFreeJump(const Stmt *S) {
+  switch (S->getKind()) {
+  case Stmt::StmtKind::Break:
+  case Stmt::StmtKind::Continue:
+    return true;
+  case Stmt::StmtKind::Compound:
+    for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+      if (hasFreeJump(Child))
+        return true;
+    return false;
+  case Stmt::StmtKind::If: {
+    const auto *If = cast<IfStmt>(S);
+    if (hasFreeJump(If->getThen()))
+      return true;
+    return If->getElse() && hasFreeJump(If->getElse());
+  }
+  case Stmt::StmtKind::For:
+  case Stmt::StmtKind::While:
+  case Stmt::StmtKind::Do:
+    return false; // nested loop captures its jumps
+  default:
+    return false;
+  }
+}
+
+bool clfuzz::containsFreeBreakOrContinue(const Stmt *S) {
+  return hasFreeJump(S);
+}
+
+std::set<const VarDecl *>
+clfuzz::collectAddressTaken(const FunctionDecl *F) {
+  std::set<const VarDecl *> Result;
+  if (!F->getBody())
+    return Result;
+  forEachExpr(F->getBody(), [&Result](const Expr *E) {
+    const auto *U = dyn_cast<UnaryExpr>(E);
+    if (!U || U->getOp() != UnOp::AddrOf)
+      return;
+    // Walk down to the root object of the lvalue.
+    const Expr *Obj = U->getSubExpr();
+    for (;;) {
+      if (const auto *M = dyn_cast<MemberExpr>(Obj)) {
+        if (M->isArrow())
+          break;
+        Obj = M->getBase();
+        continue;
+      }
+      if (const auto *Ix = dyn_cast<IndexExpr>(Obj)) {
+        if (isa<PointerType>(Ix->getBase()->getType()))
+          break;
+        Obj = Ix->getBase();
+        continue;
+      }
+      break;
+    }
+    if (const auto *DR = dyn_cast<DeclRef>(Obj))
+      Result.insert(DR->getDecl());
+  });
+  return Result;
+}
+
+std::map<const VarDecl *, VarUsage>
+clfuzz::collectVarUsage(const FunctionDecl *F) {
+  std::map<const VarDecl *, VarUsage> Usage;
+  if (!F->getBody())
+    return Usage;
+  std::set<const VarDecl *> Taken = collectAddressTaken(F);
+
+  std::function<void(const Expr *, bool)> Walk = [&](const Expr *E,
+                                                     bool IsStoreTarget) {
+    switch (E->getKind()) {
+    case Expr::ExprKind::DeclRef: {
+      const VarDecl *D = cast<DeclRef>(E)->getDecl();
+      VarUsage &U = Usage[D];
+      if (IsStoreTarget)
+        ++U.Writes;
+      else
+        ++U.Reads;
+      return;
+    }
+    case Expr::ExprKind::Assign: {
+      const auto *A = cast<AssignExpr>(E);
+      // Plain stores to a bare variable do not read it; compound
+      // assignments and element/member stores do.
+      if (A->getOp() == AssignOp::Assign && isa<DeclRef>(A->getLHS()))
+        Walk(A->getLHS(), /*IsStoreTarget=*/true);
+      else
+        Walk(A->getLHS(), /*IsStoreTarget=*/false);
+      Walk(A->getRHS(), false);
+      return;
+    }
+    case Expr::ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      Walk(U->getSubExpr(), /*IsStoreTarget=*/false);
+      return;
+    }
+    default:
+      forEachChild(E, [&](const Expr *Child) { Walk(Child, false); });
+      return;
+    }
+  };
+
+  // Walk from statement roots so store-target classification sees the
+  // whole assignment.
+  forEachStmt(F->getBody(), [&](const Stmt *Node) {
+    switch (Node->getKind()) {
+    case Stmt::StmtKind::Decl:
+      if (const Expr *Init = cast<DeclStmt>(Node)->getDecl()->getInit())
+        Walk(Init, false);
+      return;
+    case Stmt::StmtKind::Expr:
+      Walk(cast<ExprStmt>(Node)->getExpr(), false);
+      return;
+    case Stmt::StmtKind::If:
+      Walk(cast<IfStmt>(Node)->getCond(), false);
+      return;
+    case Stmt::StmtKind::For: {
+      const auto *For = cast<ForStmt>(Node);
+      if (For->getCond())
+        Walk(For->getCond(), false);
+      if (For->getStep())
+        Walk(For->getStep(), false);
+      return;
+    }
+    case Stmt::StmtKind::While:
+      Walk(cast<WhileStmt>(Node)->getCond(), false);
+      return;
+    case Stmt::StmtKind::Do:
+      Walk(cast<DoStmt>(Node)->getCond(), false);
+      return;
+    case Stmt::StmtKind::Return:
+      if (const Expr *V = cast<ReturnStmt>(Node)->getValue())
+        Walk(V, false);
+      return;
+    default:
+      return;
+    }
+  });
+
+  for (auto &[D, U] : Usage)
+    U.AddressTaken = Taken.count(D) != 0;
+  return Usage;
+}
+
+unsigned clfuzz::countNodes(const Stmt *S) {
+  unsigned N = 0;
+  forEachStmt(S, [&N](const Stmt *) { ++N; });
+  forEachExpr(S, [&N](const Expr *) { ++N; });
+  return N;
+}
+
+unsigned clfuzz::countStmts(const Stmt *S) {
+  unsigned N = 0;
+  forEachStmt(S, [&N](const Stmt *) { ++N; });
+  return N;
+}

@@ -1,0 +1,78 @@
+//===- ASTQueries.h - Read-only AST predicates ------------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Read-only analyses over MiniCL ASTs shared by the optimiser, the
+/// EMI machinery, the generator's validity checks and the test-case
+/// reducer: purity, volatility, barrier presence, variable use
+/// collection and node counting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_MINICL_ASTQUERIES_H
+#define CLFUZZ_MINICL_ASTQUERIES_H
+
+#include "minicl/AST.h"
+
+#include <functional>
+#include <set>
+
+namespace clfuzz {
+
+/// True if evaluating \p E may write memory, perform an atomic
+/// operation, call a function, or read a volatile object. Pure
+/// (side-effect-free) expressions may be deleted or duplicated by
+/// optimisation passes.
+bool hasSideEffects(const Expr *E);
+
+/// True if \p E reads a volatile object anywhere.
+bool readsVolatile(const Expr *E);
+
+/// True if the statement subtree contains a BarrierStmt.
+bool containsBarrier(const Stmt *S);
+
+/// True if \p F's body (directly) contains a BarrierStmt.
+bool functionContainsBarrier(const FunctionDecl *F);
+
+/// True if the subtree contains a break/continue that would bind to an
+/// enclosing loop *outside* this subtree (nested loops keep theirs).
+bool containsFreeBreakOrContinue(const Stmt *S);
+
+/// True if the subtree contains a return statement.
+bool containsReturn(const Stmt *S);
+
+/// True if the subtree contains any atomic builtin call.
+bool containsAtomic(const Stmt *S);
+
+/// Visits every expression in the statement subtree (pre-order).
+void forEachExpr(const Stmt *S, const std::function<void(const Expr *)> &Fn);
+
+/// Visits every statement in the subtree (pre-order, including \p S).
+void forEachStmt(const Stmt *S, const std::function<void(const Stmt *)> &Fn);
+
+/// The set of variables whose address is taken anywhere in \p F.
+std::set<const VarDecl *> collectAddressTaken(const FunctionDecl *F);
+
+/// Per-variable read/write usage of \p F's locals.
+struct VarUsage {
+  unsigned Reads = 0;       ///< value uses (excluding plain-store LHS)
+  unsigned Writes = 0;      ///< assignments (incl. compound and ++/--)
+  bool AddressTaken = false;
+};
+std::map<const VarDecl *, VarUsage> collectVarUsage(const FunctionDecl *F);
+
+/// Number of AST nodes (statements + expressions) under \p S; a size
+/// metric for the reducer and the generator's budget control.
+unsigned countNodes(const Stmt *S);
+
+/// Number of statements of each kind metric used by campaign
+/// reporting.
+unsigned countStmts(const Stmt *S);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_MINICL_ASTQUERIES_H

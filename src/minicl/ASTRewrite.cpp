@@ -1,0 +1,252 @@
+//===- ASTRewrite.cpp - Functional AST rewriting helpers -------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicl/ASTRewrite.h"
+
+using namespace clfuzz;
+
+Expr *clfuzz::rewriteExpr(ASTContext &Ctx, Expr *E,
+                          const std::function<Expr *(Expr *)> &Fn) {
+  auto Rec = [&Ctx, &Fn](Expr *Child) {
+    return rewriteExpr(Ctx, Child, Fn);
+  };
+  Expr *New = E;
+  switch (E->getKind()) {
+  case Expr::ExprKind::IntLiteral:
+  case Expr::ExprKind::DeclRef:
+    break;
+  case Expr::ExprKind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    Expr *Sub = Rec(U->getSubExpr());
+    if (Sub != U->getSubExpr())
+      New = Ctx.makeExpr<UnaryExpr>(U->getOp(), Sub, U->getType());
+    break;
+  }
+  case Expr::ExprKind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    Expr *L = Rec(B->getLHS());
+    Expr *R = Rec(B->getRHS());
+    if (L != B->getLHS() || R != B->getRHS())
+      New = Ctx.makeExpr<BinaryExpr>(B->getOp(), L, R, B->getType());
+    break;
+  }
+  case Expr::ExprKind::Assign: {
+    auto *A = cast<AssignExpr>(E);
+    Expr *L = Rec(A->getLHS());
+    Expr *R = Rec(A->getRHS());
+    if (L != A->getLHS() || R != A->getRHS())
+      New = Ctx.makeExpr<AssignExpr>(A->getOp(), L, R, A->getType());
+    break;
+  }
+  case Expr::ExprKind::Conditional: {
+    auto *C = cast<ConditionalExpr>(E);
+    Expr *Cond = Rec(C->getCond());
+    Expr *T = Rec(C->getTrueExpr());
+    Expr *F = Rec(C->getFalseExpr());
+    if (Cond != C->getCond() || T != C->getTrueExpr() ||
+        F != C->getFalseExpr())
+      New = Ctx.makeExpr<ConditionalExpr>(Cond, T, F, C->getType());
+    break;
+  }
+  case Expr::ExprKind::Call: {
+    auto *C = cast<CallExpr>(E);
+    std::vector<Expr *> Args;
+    bool Changed = false;
+    for (Expr *A : C->args()) {
+      Expr *NA = Rec(A);
+      Changed |= NA != A;
+      Args.push_back(NA);
+    }
+    if (Changed)
+      New = Ctx.makeExpr<CallExpr>(C->getCallee(), std::move(Args),
+                                   C->getType());
+    break;
+  }
+  case Expr::ExprKind::BuiltinCall: {
+    auto *C = cast<BuiltinCallExpr>(E);
+    std::vector<Expr *> Args;
+    bool Changed = false;
+    for (Expr *A : C->args()) {
+      Expr *NA = Rec(A);
+      Changed |= NA != A;
+      Args.push_back(NA);
+    }
+    if (Changed)
+      New = Ctx.makeExpr<BuiltinCallExpr>(C->getBuiltin(), std::move(Args),
+                                          C->getType());
+    break;
+  }
+  case Expr::ExprKind::Index: {
+    auto *Ix = cast<IndexExpr>(E);
+    Expr *B = Rec(Ix->getBase());
+    Expr *I = Rec(Ix->getIndex());
+    if (B != Ix->getBase() || I != Ix->getIndex())
+      New = Ctx.makeExpr<IndexExpr>(B, I, Ix->getType());
+    break;
+  }
+  case Expr::ExprKind::Member: {
+    auto *M = cast<MemberExpr>(E);
+    Expr *B = Rec(M->getBase());
+    if (B != M->getBase())
+      New = Ctx.makeExpr<MemberExpr>(B, M->getFieldIndex(), M->isArrow(),
+                                     M->getType());
+    break;
+  }
+  case Expr::ExprKind::Swizzle: {
+    auto *Sw = cast<SwizzleExpr>(E);
+    Expr *B = Rec(Sw->getBase());
+    if (B != Sw->getBase())
+      New = Ctx.makeExpr<SwizzleExpr>(B, Sw->indices(), Sw->getType());
+    break;
+  }
+  case Expr::ExprKind::Cast: {
+    auto *C = cast<CastExpr>(E);
+    Expr *Sub = Rec(C->getSubExpr());
+    if (Sub != C->getSubExpr())
+      New = Ctx.makeExpr<CastExpr>(Sub, C->getType());
+    break;
+  }
+  case Expr::ExprKind::ImplicitCast: {
+    auto *C = cast<ImplicitCastExpr>(E);
+    Expr *Sub = Rec(C->getSubExpr());
+    if (Sub != C->getSubExpr())
+      New = Ctx.makeExpr<ImplicitCastExpr>(C->getCastKind(), Sub,
+                                           C->getType());
+    break;
+  }
+  case Expr::ExprKind::VectorConstruct: {
+    auto *V = cast<VectorConstructExpr>(E);
+    std::vector<Expr *> Elems;
+    bool Changed = false;
+    for (Expr *Elem : V->elements()) {
+      Expr *NE = Rec(Elem);
+      Changed |= NE != Elem;
+      Elems.push_back(NE);
+    }
+    if (Changed)
+      New = Ctx.makeExpr<VectorConstructExpr>(
+          std::move(Elems), cast<VectorType>(V->getType()));
+    break;
+  }
+  case Expr::ExprKind::InitList: {
+    auto *IL = cast<InitListExpr>(E);
+    std::vector<Expr *> Inits;
+    bool Changed = false;
+    for (Expr *Sub : IL->inits()) {
+      Expr *NS = Rec(Sub);
+      Changed |= NS != Sub;
+      Inits.push_back(NS);
+    }
+    if (Changed)
+      New = Ctx.makeExpr<InitListExpr>(std::move(Inits), IL->getType());
+    break;
+  }
+  }
+  return Fn ? Fn(New) : New;
+}
+
+Stmt *clfuzz::rewriteStmt(ASTContext &Ctx, Stmt *S,
+                          const std::function<Expr *(Expr *)> &ExprFn,
+                          const std::function<Stmt *(Stmt *)> &StmtFn) {
+  auto RecS = [&](Stmt *Child) {
+    return rewriteStmt(Ctx, Child, ExprFn, StmtFn);
+  };
+  auto RecE = [&](Expr *E) -> Expr * {
+    if (!E)
+      return nullptr;
+    return ExprFn ? rewriteExpr(Ctx, E, ExprFn) : E;
+  };
+
+  Stmt *New = S;
+  switch (S->getKind()) {
+  case Stmt::StmtKind::Compound: {
+    auto *C = cast<CompoundStmt>(S);
+    for (Stmt *&Child : C->body())
+      Child = RecS(Child);
+    break;
+  }
+  case Stmt::StmtKind::Decl: {
+    VarDecl *D = cast<DeclStmt>(S)->getDecl();
+    if (D->getInit())
+      D->setInit(RecE(D->getInit()));
+    break;
+  }
+  case Stmt::StmtKind::Expr: {
+    auto *ES = cast<ExprStmt>(S);
+    Expr *E = RecE(ES->getExpr());
+    if (E != ES->getExpr())
+      New = Ctx.makeStmt<ExprStmt>(E);
+    break;
+  }
+  case Stmt::StmtKind::If: {
+    auto *If = cast<IfStmt>(S);
+    Expr *Cond = RecE(If->getCond());
+    Stmt *Then = RecS(If->getThen());
+    Stmt *Else = If->getElse() ? RecS(If->getElse()) : nullptr;
+    if (Cond != If->getCond() || Then != If->getThen() ||
+        Else != If->getElse()) {
+      auto *NewIf = Ctx.makeStmt<IfStmt>(Cond, Then, Else);
+      NewIf->setEmiId(If->getEmiId());
+      New = NewIf;
+    }
+    break;
+  }
+  case Stmt::StmtKind::For: {
+    auto *For = cast<ForStmt>(S);
+    Stmt *Init = For->getInit() ? RecS(For->getInit()) : nullptr;
+    Expr *Cond = RecE(For->getCond());
+    Expr *Step = RecE(For->getStep());
+    Stmt *Body = RecS(For->getBody());
+    if (Init != For->getInit() || Cond != For->getCond() ||
+        Step != For->getStep() || Body != For->getBody())
+      New = Ctx.makeStmt<ForStmt>(Init, Cond, Step, Body);
+    break;
+  }
+  case Stmt::StmtKind::While: {
+    auto *W = cast<WhileStmt>(S);
+    Expr *Cond = RecE(W->getCond());
+    Stmt *Body = RecS(W->getBody());
+    if (Cond != W->getCond() || Body != W->getBody())
+      New = Ctx.makeStmt<WhileStmt>(Cond, Body);
+    break;
+  }
+  case Stmt::StmtKind::Do: {
+    auto *D = cast<DoStmt>(S);
+    Stmt *Body = RecS(D->getBody());
+    Expr *Cond = RecE(D->getCond());
+    if (Body != D->getBody() || Cond != D->getCond())
+      New = Ctx.makeStmt<DoStmt>(Body, Cond);
+    break;
+  }
+  case Stmt::StmtKind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    Expr *V = RecE(R->getValue());
+    if (V != R->getValue())
+      New = Ctx.makeStmt<ReturnStmt>(V);
+    break;
+  }
+  case Stmt::StmtKind::Break:
+  case Stmt::StmtKind::Continue:
+  case Stmt::StmtKind::Barrier:
+  case Stmt::StmtKind::Null:
+    break;
+  }
+  return StmtFn ? StmtFn(New) : New;
+}
+
+void clfuzz::rewriteFunction(ASTContext &Ctx, FunctionDecl *F,
+                             const std::function<Expr *(Expr *)> &ExprFn,
+                             const std::function<Stmt *(Stmt *)> &StmtFn) {
+  if (!F->getBody())
+    return;
+  Stmt *NewBody = rewriteStmt(Ctx, F->getBody(), ExprFn, StmtFn);
+  if (auto *C = dyn_cast<CompoundStmt>(NewBody)) {
+    F->setBody(C);
+    return;
+  }
+  F->setBody(Ctx.makeStmt<CompoundStmt>(std::vector<Stmt *>{NewBody}));
+}

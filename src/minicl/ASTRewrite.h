@@ -1,0 +1,47 @@
+//===- ASTRewrite.h - Functional AST rewriting helpers ----------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bottom-up AST rewriting used by the optimisation passes and the EMI
+/// pruner. Expression nodes are immutable, so rewrites rebuild a node
+/// when any child changed and return the original node otherwise.
+/// Statements are partially mutable (compound bodies, if/for bodies),
+/// but the rewriter treats them uniformly: callbacks return a
+/// replacement (possibly the input).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_MINICL_ASTREWRITE_H
+#define CLFUZZ_MINICL_ASTREWRITE_H
+
+#include "minicl/AST.h"
+
+#include <functional>
+
+namespace clfuzz {
+
+/// Rewrites \p E bottom-up: children first, then \p Fn on the (possibly
+/// rebuilt) node. \p Fn returns the replacement (or its argument).
+Expr *rewriteExpr(ASTContext &Ctx, Expr *E,
+                  const std::function<Expr *(Expr *)> &Fn);
+
+/// Rewrites every expression in the statement tree bottom-up via
+/// \p ExprFn, and every statement bottom-up via \p StmtFn (applied
+/// after children). Either callback may be null. Returns the (possibly
+/// replaced) statement.
+Stmt *rewriteStmt(ASTContext &Ctx, Stmt *S,
+                  const std::function<Expr *(Expr *)> &ExprFn,
+                  const std::function<Stmt *(Stmt *)> &StmtFn);
+
+/// Applies rewriteStmt to a function body in place.
+void rewriteFunction(ASTContext &Ctx, FunctionDecl *F,
+                     const std::function<Expr *(Expr *)> &ExprFn,
+                     const std::function<Stmt *(Stmt *)> &StmtFn);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_MINICL_ASTREWRITE_H

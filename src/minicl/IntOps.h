@@ -1,0 +1,63 @@
+//===- IntOps.h - Shared integer operator semantics -------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for MiniCL's integer semantics: lane-wise
+/// evaluation of binary operators, builtins (including the safe-math
+/// wrappers of §4.1) and atomics. Both the VM and the constant folder
+/// evaluate through these functions, so a correct pass pipeline cannot
+/// diverge from runtime behaviour; only explicit bug models can.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_MINICL_INTOPS_H
+#define CLFUZZ_MINICL_INTOPS_H
+
+#include "minicl/AST.h"
+
+namespace clfuzz {
+
+/// Masks \p Bits to the low \p Width bits (Width in [1,64]).
+inline uint64_t maskToWidth(uint64_t Bits, unsigned Width) {
+  return Width >= 64 ? Bits : (Bits & ((1ULL << Width) - 1));
+}
+
+/// Sign-extends the low \p Width bits of \p Bits to 64 bits.
+inline int64_t signExtend(uint64_t Bits, unsigned Width) {
+  if (Width >= 64)
+    return static_cast<int64_t>(Bits);
+  uint64_t Shift = 64 - Width;
+  return static_cast<int64_t>(Bits << Shift) >> Shift;
+}
+
+/// Width/signedness of one lane.
+struct LaneType {
+  unsigned Width;
+  bool Signed;
+};
+
+/// Lane type of a scalar, vector or pointer type.
+LaneType laneTypeOf(const Type *Ty);
+
+/// Applies a scalar binary operator on masked lane payloads. Returns
+/// false on a genuine runtime fault (division by zero). When
+/// \p VectorCompare is set, comparison/logical results are all-ones
+/// masks of \p ResultWidth instead of 0/1.
+bool evalBinLane(BinOp Op, LaneType LT, uint64_t A, uint64_t B,
+                 bool VectorCompare, unsigned ResultWidth, uint64_t &Out);
+
+/// Evaluates a non-atomic builtin on one lane; \p Args supplies up to
+/// three operands.
+uint64_t evalBuiltinLane(Builtin B, LaneType LT, const uint64_t *Args);
+
+/// Applies a 32-bit atomic read-modify-write operation, returning the
+/// new value.
+uint64_t evalAtomic(Builtin B, bool Signed, uint64_t Old, uint64_t Arg);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_MINICL_INTOPS_H

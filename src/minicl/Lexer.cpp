@@ -1,0 +1,288 @@
+//===- Lexer.cpp - MiniCL lexer --------------------------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicl/Lexer.h"
+
+#include <cctype>
+#include <map>
+
+using namespace clfuzz;
+
+static const std::map<std::string, TokKind> &keywordTable() {
+  static const std::map<std::string, TokKind> Table = {
+      {"kernel", TokKind::KwKernel},
+      {"__kernel", TokKind::KwKernel},
+      {"void", TokKind::KwVoid},
+      {"struct", TokKind::KwStruct},
+      {"union", TokKind::KwUnion},
+      {"typedef", TokKind::KwTypedef},
+      {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},
+      {"for", TokKind::KwFor},
+      {"while", TokKind::KwWhile},
+      {"do", TokKind::KwDo},
+      {"return", TokKind::KwReturn},
+      {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue},
+      {"volatile", TokKind::KwVolatile},
+      {"const", TokKind::KwConst},
+      {"global", TokKind::KwGlobal},
+      {"__global", TokKind::KwGlobal},
+      {"local", TokKind::KwLocal},
+      {"__local", TokKind::KwLocal},
+      {"constant", TokKind::KwConstant},
+      {"__constant", TokKind::KwConstant},
+      {"private", TokKind::KwPrivate},
+      {"__private", TokKind::KwPrivate},
+      {"barrier", TokKind::KwBarrier},
+      {"sizeof", TokKind::KwSizeof},
+  };
+  return Table;
+}
+
+namespace {
+
+class LexerImpl {
+public:
+  LexerImpl(const std::string &Source, DiagEngine &Diags)
+      : Src(Source), Diags(Diags) {}
+
+  std::vector<Token> run();
+
+private:
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+  bool match(char C) {
+    if (peek() != C)
+      return false;
+    advance();
+    return true;
+  }
+  SourceLoc loc() const { return SourceLoc{Line, Col}; }
+
+  void lexNumber(Token &T);
+  void lexIdentifier(Token &T);
+  bool skipTrivia();
+
+  const std::string &Src;
+  DiagEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+} // namespace
+
+bool LexerImpl::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return false;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return true;
+  }
+}
+
+void LexerImpl::lexNumber(Token &T) {
+  T.Kind = TokKind::IntLiteral;
+  uint64_t Value = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char C = advance();
+      unsigned Digit = std::isdigit(static_cast<unsigned char>(C))
+                           ? C - '0'
+                           : std::tolower(C) - 'a' + 10;
+      Value = Value * 16 + Digit;
+    }
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Value = Value * 10 + (advance() - '0');
+  }
+  // Suffixes: any order of u/U and l/L (one each).
+  for (int I = 0; I != 2; ++I) {
+    if (peek() == 'u' || peek() == 'U') {
+      advance();
+      T.HasUnsignedSuffix = true;
+    } else if (peek() == 'l' || peek() == 'L') {
+      advance();
+      T.HasLongSuffix = true;
+    }
+  }
+  T.Value = Value;
+}
+
+void LexerImpl::lexIdentifier(Token &T) {
+  std::string Name;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Name += advance();
+  const auto &Table = keywordTable();
+  auto It = Table.find(Name);
+  T.Kind = It != Table.end() ? It->second : TokKind::Identifier;
+  T.Spelling = std::move(Name);
+}
+
+std::vector<Token> LexerImpl::run() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    if (!skipTrivia())
+      break;
+    Token T;
+    T.Loc = loc();
+    char C = peek();
+    if (C == '\0')
+      break;
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      lexNumber(T);
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      lexIdentifier(T);
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+    advance();
+    switch (C) {
+    case '(':
+      T.Kind = TokKind::LParen;
+      break;
+    case ')':
+      T.Kind = TokKind::RParen;
+      break;
+    case '{':
+      T.Kind = TokKind::LBrace;
+      break;
+    case '}':
+      T.Kind = TokKind::RBrace;
+      break;
+    case '[':
+      T.Kind = TokKind::LBracket;
+      break;
+    case ']':
+      T.Kind = TokKind::RBracket;
+      break;
+    case ';':
+      T.Kind = TokKind::Semi;
+      break;
+    case ',':
+      T.Kind = TokKind::Comma;
+      break;
+    case '.':
+      T.Kind = TokKind::Dot;
+      break;
+    case '?':
+      T.Kind = TokKind::Question;
+      break;
+    case ':':
+      T.Kind = TokKind::Colon;
+      break;
+    case '~':
+      T.Kind = TokKind::Tilde;
+      break;
+    case '!':
+      T.Kind = match('=') ? TokKind::BangEqual : TokKind::Bang;
+      break;
+    case '=':
+      T.Kind = match('=') ? TokKind::EqualEqual : TokKind::Equal;
+      break;
+    case '+':
+      T.Kind = match('+')   ? TokKind::PlusPlus
+               : match('=') ? TokKind::PlusEqual
+                            : TokKind::Plus;
+      break;
+    case '-':
+      T.Kind = match('-')   ? TokKind::MinusMinus
+               : match('=') ? TokKind::MinusEqual
+               : match('>') ? TokKind::Arrow
+                            : TokKind::Minus;
+      break;
+    case '*':
+      T.Kind = match('=') ? TokKind::StarEqual : TokKind::Star;
+      break;
+    case '/':
+      T.Kind = match('=') ? TokKind::SlashEqual : TokKind::Slash;
+      break;
+    case '%':
+      T.Kind = match('=') ? TokKind::PercentEqual : TokKind::Percent;
+      break;
+    case '&':
+      T.Kind = match('&')   ? TokKind::AmpAmp
+               : match('=') ? TokKind::AmpEqual
+                            : TokKind::Amp;
+      break;
+    case '|':
+      T.Kind = match('|')   ? TokKind::PipePipe
+               : match('=') ? TokKind::PipeEqual
+                            : TokKind::Pipe;
+      break;
+    case '^':
+      T.Kind = match('=') ? TokKind::CaretEqual : TokKind::Caret;
+      break;
+    case '<':
+      if (match('<'))
+        T.Kind = match('=') ? TokKind::LessLessEqual : TokKind::LessLess;
+      else
+        T.Kind = match('=') ? TokKind::LessEqual : TokKind::Less;
+      break;
+    case '>':
+      if (match('>'))
+        T.Kind = match('=') ? TokKind::GreaterGreaterEqual
+                            : TokKind::GreaterGreater;
+      else
+        T.Kind = match('=') ? TokKind::GreaterEqual : TokKind::Greater;
+      break;
+    default:
+      Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+      continue;
+    }
+    Tokens.push_back(std::move(T));
+  }
+  Token Eof;
+  Eof.Kind = TokKind::Eof;
+  Eof.Loc = loc();
+  Tokens.push_back(std::move(Eof));
+  return Tokens;
+}
+
+std::vector<Token> clfuzz::lex(const std::string &Source,
+                               DiagEngine &Diags) {
+  return LexerImpl(Source, Diags).run();
+}

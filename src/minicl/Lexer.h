@@ -1,0 +1,120 @@
+//===- Lexer.h - MiniCL lexer -----------------------------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for MiniCL (the OpenCL C subset). Keywords are classified
+/// here; type names (including vector forms like `uint4`) are emitted
+/// as identifiers and resolved by the parser against its type table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_MINICL_LEXER_H
+#define CLFUZZ_MINICL_LEXER_H
+
+#include "support/Diag.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+/// Token kinds produced by the lexer.
+enum class TokKind : uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+  // Keywords.
+  KwKernel,
+  KwVoid,
+  KwStruct,
+  KwUnion,
+  KwTypedef,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwDo,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwVolatile,
+  KwConst,
+  KwGlobal,
+  KwLocal,
+  KwConstant,
+  KwPrivate,
+  KwBarrier,
+  KwSizeof, // reserved; rejected in expressions
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Arrow,
+  Amp,
+  AmpAmp,
+  Pipe,
+  PipePipe,
+  Caret,
+  Tilde,
+  Bang,
+  Plus,
+  PlusPlus,
+  Minus,
+  MinusMinus,
+  Star,
+  Slash,
+  Percent,
+  Less,
+  LessLess,
+  LessEqual,
+  Greater,
+  GreaterGreater,
+  GreaterEqual,
+  EqualEqual,
+  BangEqual,
+  Equal,
+  PlusEqual,
+  MinusEqual,
+  StarEqual,
+  SlashEqual,
+  PercentEqual,
+  LessLessEqual,
+  GreaterGreaterEqual,
+  AmpEqual,
+  PipeEqual,
+  CaretEqual,
+  Question,
+  Colon,
+};
+
+/// One lexed token. For IntLiteral, Value holds the parsed magnitude
+/// and the suffix flags describe `u`/`l` suffixes.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Spelling;
+  SourceLoc Loc;
+  uint64_t Value = 0;
+  bool HasUnsignedSuffix = false;
+  bool HasLongSuffix = false;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// Lexes \p Source completely. Lexical errors are reported to \p Diags
+/// and yield a truncated stream ending in Eof.
+std::vector<Token> lex(const std::string &Source, DiagEngine &Diags);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_MINICL_LEXER_H

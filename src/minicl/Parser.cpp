@@ -1,0 +1,1487 @@
+//===- Parser.cpp - MiniCL recursive-descent parser ------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicl/Parser.h"
+#include "minicl/Lexer.h"
+#include "minicl/TypeRules.h"
+#include "support/StringUtil.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+
+using namespace clfuzz;
+
+namespace {
+
+/// Scoped variable symbol table.
+class Scope {
+public:
+  void push() { Levels.emplace_back(); }
+  void pop() { Levels.pop_back(); }
+
+  bool declare(VarDecl *D) {
+    auto &Top = Levels.back();
+    return Top.emplace(D->getName(), D).second;
+  }
+
+  VarDecl *lookup(const std::string &Name) const {
+    for (auto It = Levels.rbegin(), E = Levels.rend(); It != E; ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return nullptr;
+  }
+
+private:
+  std::vector<std::map<std::string, VarDecl *>> Levels;
+};
+
+class ParserImpl {
+public:
+  ParserImpl(std::vector<Token> Tokens, ASTContext &Ctx, DiagEngine &Diags)
+      : Tokens(std::move(Tokens)), Ctx(Ctx), Types(Ctx.types()),
+        Diags(Diags) {}
+
+  bool run();
+
+private:
+  // Token stream helpers.
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const Token &advance() { return Tokens[Pos++]; }
+  bool check(TokKind K) const { return peek().is(K); }
+  bool accept(TokKind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokKind K, const char *What) {
+    if (accept(K))
+      return true;
+    error(std::string("expected ") + What);
+    return false;
+  }
+  void error(const std::string &Msg) {
+    if (!Failed)
+      Diags.error(peek().Loc, Msg);
+    Failed = true;
+  }
+
+  // Type parsing.
+  bool isTypeStart(unsigned Ahead = 0) const;
+  const Type *parseTypeName(); // scalar/vector/record name
+  struct DeclSpec {
+    const Type *BaseTy = nullptr;
+    AddressSpace Space = AddressSpace::Private;
+    bool Volatile = false;
+    bool Const = false;
+  };
+  bool parseDeclSpec(DeclSpec &DS);
+  /// Parses the pointer/array declarator around an identifier. On
+  /// return, Ty is the full declared type and VarVolatile tells whether
+  /// the declared object itself is volatile.
+  bool parseDeclarator(const DeclSpec &DS, const Type *&Ty,
+                       std::string &Name, bool &VarVolatile);
+
+  // Top-level declarations.
+  bool parseTopLevel();
+  bool parseRecordBody(RecordType *RT);
+  bool parseRecordDecl(bool IsTypedef);
+  bool parseFunction(const Type *ReturnTy, std::string Name,
+                     bool IsKernel);
+
+  // Statements.
+  Stmt *parseStmt();
+  CompoundStmt *parseCompound();
+  Stmt *parseDeclStmt();
+  Stmt *parseIf();
+  Stmt *parseFor();
+  Stmt *parseWhile();
+  Stmt *parseDo();
+  Stmt *parseBarrier();
+
+  // Expressions (typed on the fly).
+  Expr *parseExpr();       // includes comma
+  Expr *parseAssignment(); // excludes comma
+  Expr *parseConditional();
+  Expr *parseBinary(int MinPrec);
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePostfixSuffix(Expr *E);
+  Expr *parsePrimary();
+  Expr *parseCallArgs(const std::string &Name, SourceLoc Loc);
+  Expr *parseInitializer(); // brace lists allowed
+  Expr *typeInitializer(Expr *Init, const Type *DeclTy);
+
+  Expr *checked(TypedResult R) {
+    if (!R.E) {
+      error(R.Error);
+      return nullptr;
+    }
+    return R.E;
+  }
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  ASTContext &Ctx;
+  TypeContext &Types;
+  DiagEngine &Diags;
+  Scope Scopes;
+  FunctionDecl *CurFunction = nullptr;
+  unsigned LoopDepth = 0;
+  bool Failed = false;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Type parsing
+//===----------------------------------------------------------------------===//
+
+/// Maps a plain type name to a scalar kind.
+static std::optional<ScalarKind> scalarKindByName(const std::string &S) {
+  if (S == "char")
+    return ScalarKind::Char;
+  if (S == "uchar")
+    return ScalarKind::UChar;
+  if (S == "short")
+    return ScalarKind::Short;
+  if (S == "ushort")
+    return ScalarKind::UShort;
+  if (S == "int")
+    return ScalarKind::Int;
+  if (S == "uint")
+    return ScalarKind::UInt;
+  if (S == "long")
+    return ScalarKind::Long;
+  if (S == "ulong")
+    return ScalarKind::ULong;
+  if (S == "size_t")
+    return ScalarKind::SizeT;
+  return std::nullopt;
+}
+
+/// Splits names like "uint4" into (uint, 4). Returns lanes == 0 for
+/// non-vector names.
+static std::optional<ScalarKind> vectorElemByName(const std::string &S,
+                                                  unsigned &Lanes) {
+  size_t Split = S.find_last_not_of("0123456789");
+  if (Split == std::string::npos || Split + 1 >= S.size())
+    return std::nullopt;
+  unsigned N = 0;
+  for (size_t I = Split + 1; I != S.size(); ++I)
+    N = N * 10 + (S[I] - '0');
+  if (N != 2 && N != 4 && N != 8 && N != 16)
+    return std::nullopt;
+  auto SK = scalarKindByName(S.substr(0, Split + 1));
+  if (!SK)
+    return std::nullopt;
+  Lanes = N;
+  return SK;
+}
+
+bool ParserImpl::isTypeStart(unsigned Ahead) const {
+  const Token &T = peek(Ahead);
+  switch (T.Kind) {
+  case TokKind::KwVoid:
+  case TokKind::KwStruct:
+  case TokKind::KwUnion:
+  case TokKind::KwGlobal:
+  case TokKind::KwLocal:
+  case TokKind::KwConstant:
+  case TokKind::KwPrivate:
+  case TokKind::KwVolatile:
+  case TokKind::KwConst:
+    return true;
+  case TokKind::Identifier: {
+    if (scalarKindByName(T.Spelling))
+      return true;
+    unsigned Lanes;
+    if (vectorElemByName(T.Spelling, Lanes))
+      return true;
+    return Types.findRecord(T.Spelling) != nullptr;
+  }
+  default:
+    return false;
+  }
+}
+
+const Type *ParserImpl::parseTypeName() {
+  if (accept(TokKind::KwVoid))
+    return Types.voidTy();
+  if (check(TokKind::KwStruct) || check(TokKind::KwUnion)) {
+    advance();
+    if (!check(TokKind::Identifier)) {
+      error("expected record name");
+      return nullptr;
+    }
+    std::string Name = advance().Spelling;
+    RecordType *RT = Types.findRecord(Name);
+    if (!RT) {
+      error("unknown record type '" + Name + "'");
+      return nullptr;
+    }
+    return RT;
+  }
+  if (!check(TokKind::Identifier)) {
+    error("expected type name");
+    return nullptr;
+  }
+  const std::string &Name = peek().Spelling;
+  if (auto SK = scalarKindByName(Name)) {
+    advance();
+    return Types.scalar(*SK);
+  }
+  unsigned Lanes;
+  if (auto SK = vectorElemByName(Name, Lanes)) {
+    advance();
+    return Types.vector(Types.scalar(*SK), Lanes);
+  }
+  if (RecordType *RT = Types.findRecord(Name)) {
+    advance();
+    return RT;
+  }
+  error("unknown type name '" + Name + "'");
+  return nullptr;
+}
+
+bool ParserImpl::parseDeclSpec(DeclSpec &DS) {
+  for (;;) {
+    if (accept(TokKind::KwGlobal)) {
+      DS.Space = AddressSpace::Global;
+      continue;
+    }
+    if (accept(TokKind::KwLocal)) {
+      DS.Space = AddressSpace::Local;
+      continue;
+    }
+    if (accept(TokKind::KwConstant)) {
+      DS.Space = AddressSpace::Constant;
+      continue;
+    }
+    if (accept(TokKind::KwPrivate)) {
+      DS.Space = AddressSpace::Private;
+      continue;
+    }
+    if (accept(TokKind::KwVolatile)) {
+      DS.Volatile = true;
+      continue;
+    }
+    if (accept(TokKind::KwConst)) {
+      DS.Const = true;
+      continue;
+    }
+    break;
+  }
+  DS.BaseTy = parseTypeName();
+  // Trailing qualifiers (e.g. "int volatile").
+  for (;;) {
+    if (accept(TokKind::KwVolatile)) {
+      DS.Volatile = true;
+      continue;
+    }
+    if (accept(TokKind::KwConst)) {
+      DS.Const = true;
+      continue;
+    }
+    break;
+  }
+  return DS.BaseTy != nullptr;
+}
+
+bool ParserImpl::parseDeclarator(const DeclSpec &DS, const Type *&Ty,
+                                 std::string &Name, bool &VarVolatile) {
+  const Type *T = DS.BaseTy;
+  bool PendingVolatile = DS.Volatile;
+  bool SawStar = false;
+  while (accept(TokKind::Star)) {
+    // The first '*' captures the declared address space as the pointee
+    // space; outer pointers live in private memory.
+    AddressSpace PointeeSpace =
+        SawStar ? AddressSpace::Private : DS.Space;
+    T = Types.pointer(T, PointeeSpace, PendingVolatile);
+    PendingVolatile = false;
+    SawStar = true;
+    while (accept(TokKind::KwVolatile))
+      PendingVolatile = true;
+  }
+  if (!check(TokKind::Identifier)) {
+    error("expected declarator name");
+    return false;
+  }
+  Name = advance().Spelling;
+  // Array suffixes.
+  std::vector<uint64_t> Dims;
+  while (accept(TokKind::LBracket)) {
+    if (!check(TokKind::IntLiteral)) {
+      error("expected constant array bound");
+      return false;
+    }
+    Dims.push_back(advance().Value);
+    if (!expect(TokKind::RBracket, "']'"))
+      return false;
+  }
+  for (auto It = Dims.rbegin(), E = Dims.rend(); It != E; ++It)
+    T = Types.array(T, *It);
+  Ty = T;
+  VarVolatile = PendingVolatile;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Top-level declarations
+//===----------------------------------------------------------------------===//
+
+bool ParserImpl::parseRecordBody(RecordType *RT) {
+  if (!expect(TokKind::LBrace, "'{'"))
+    return false;
+  while (!check(TokKind::RBrace)) {
+    DeclSpec DS;
+    if (!parseDeclSpec(DS))
+      return false;
+    if (DS.Space != AddressSpace::Private) {
+      error("record fields cannot carry address-space qualifiers");
+      return false;
+    }
+    const Type *FieldTy;
+    std::string FieldName;
+    bool FieldVolatile;
+    if (!parseDeclarator(DS, FieldTy, FieldName, FieldVolatile))
+      return false;
+    RT->addField(RecordField{FieldName, FieldTy, FieldVolatile});
+    while (accept(TokKind::Comma)) {
+      if (!parseDeclarator(DS, FieldTy, FieldName, FieldVolatile))
+        return false;
+      RT->addField(RecordField{FieldName, FieldTy, FieldVolatile});
+    }
+    if (!expect(TokKind::Semi, "';' after field"))
+      return false;
+  }
+  advance(); // consume '}'
+  RT->setComplete();
+  return true;
+}
+
+bool ParserImpl::parseRecordDecl(bool IsTypedef) {
+  bool IsUnion = peek().is(TokKind::KwUnion);
+  advance(); // struct/union
+  std::string TagName;
+  if (check(TokKind::Identifier))
+    TagName = advance().Spelling;
+
+  if (IsTypedef) {
+    // typedef struct [Tag] { ... } Name;
+    RecordType *RT =
+        Types.createRecord(TagName.empty() ? "<anon>" : TagName, IsUnion);
+    if (!parseRecordBody(RT))
+      return false;
+    if (!check(TokKind::Identifier)) {
+      error("expected typedef name");
+      return false;
+    }
+    std::string Alias = advance().Spelling;
+    // The typedef alias becomes the record's canonical name (MiniCL
+    // keeps tags and typedef names in one namespace).
+    RT->setName(std::move(Alias));
+    return expect(TokKind::Semi, "';' after typedef");
+  }
+
+  // struct Tag { ... };
+  if (TagName.empty()) {
+    error("expected record tag name");
+    return false;
+  }
+  RecordType *RT = Types.findRecord(TagName);
+  if (RT && RT->isComplete()) {
+    error("redefinition of record '" + TagName + "'");
+    return false;
+  }
+  if (!RT)
+    RT = Types.createRecord(TagName, IsUnion);
+  if (!parseRecordBody(RT))
+    return false;
+  return expect(TokKind::Semi, "';' after record definition");
+}
+
+bool ParserImpl::parseFunction(const Type *ReturnTy, std::string Name,
+                               bool IsKernel) {
+  FunctionDecl *F = Ctx.program().findFunction(Name);
+  bool IsRedeclaration = F != nullptr;
+  if (!F) {
+    F = Ctx.makeFunction(Name, ReturnTy, IsKernel);
+    Ctx.program().addFunction(F);
+  } else if (F->getBody()) {
+    error("redefinition of function '" + Name + "'");
+    return false;
+  }
+
+  // Parameters.
+  std::vector<VarDecl *> Params;
+  if (!check(TokKind::RParen)) {
+    do {
+      if (accept(TokKind::KwVoid))
+        break;
+      DeclSpec DS;
+      if (!parseDeclSpec(DS))
+        return false;
+      const Type *Ty;
+      std::string PName;
+      bool PVolatile;
+      if (!parseDeclarator(DS, Ty, PName, PVolatile))
+        return false;
+      VarDecl *P = Ctx.makeVar(PName, Ty, AddressSpace::Private);
+      P->setParam(true);
+      P->setVolatile(PVolatile);
+      P->setConst(DS.Const);
+      Params.push_back(P);
+    } while (accept(TokKind::Comma));
+  }
+  if (!expect(TokKind::RParen, "')'"))
+    return false;
+
+  if (accept(TokKind::Semi)) {
+    // Prototype only. Record parameters if this is the first sighting.
+    if (!IsRedeclaration)
+      for (VarDecl *P : Params)
+        F->addParam(P);
+    return true;
+  }
+
+  // Definition: the definition's parameter list wins.
+  if (IsRedeclaration && !F->params().empty() &&
+      F->params().size() != Params.size()) {
+    error("conflicting parameter counts for '" + Name + "'");
+    return false;
+  }
+  if (F->params().empty())
+    for (VarDecl *P : Params)
+      F->addParam(P);
+  else
+    Params = F->params();
+
+  CurFunction = F;
+  Scopes.push();
+  for (VarDecl *P : Params)
+    Scopes.declare(P);
+  CompoundStmt *Body = parseCompound();
+  Scopes.pop();
+  CurFunction = nullptr;
+  if (!Body)
+    return false;
+  F->setBody(Body);
+  return true;
+}
+
+bool ParserImpl::parseTopLevel() {
+  if (accept(TokKind::KwTypedef)) {
+    if (!check(TokKind::KwStruct) && !check(TokKind::KwUnion)) {
+      error("only struct/union typedefs are supported");
+      return false;
+    }
+    return parseRecordDecl(/*IsTypedef=*/true);
+  }
+  if ((check(TokKind::KwStruct) || check(TokKind::KwUnion)) &&
+      peek(1).is(TokKind::Identifier) && peek(2).is(TokKind::LBrace))
+    return parseRecordDecl(/*IsTypedef=*/false);
+
+  bool IsKernel = accept(TokKind::KwKernel);
+  DeclSpec DS;
+  if (!parseDeclSpec(DS))
+    return false;
+  const Type *Ty = DS.BaseTy;
+  while (accept(TokKind::Star))
+    Ty = Types.pointer(Ty, DS.Space);
+  if (!check(TokKind::Identifier)) {
+    error("expected function name");
+    return false;
+  }
+  std::string Name = advance().Spelling;
+  if (!expect(TokKind::LParen, "'(' after function name"))
+    return false;
+  return parseFunction(Ty, std::move(Name), IsKernel);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+CompoundStmt *ParserImpl::parseCompound() {
+  if (!expect(TokKind::LBrace, "'{'"))
+    return nullptr;
+  Scopes.push();
+  std::vector<Stmt *> Body;
+  while (!check(TokKind::RBrace) && !check(TokKind::Eof)) {
+    Stmt *S = parseStmt();
+    if (!S) {
+      Scopes.pop();
+      return nullptr;
+    }
+    Body.push_back(S);
+  }
+  Scopes.pop();
+  if (!expect(TokKind::RBrace, "'}'"))
+    return nullptr;
+  return Ctx.makeStmt<CompoundStmt>(std::move(Body));
+}
+
+Stmt *ParserImpl::parseDeclStmt() {
+  DeclSpec DS;
+  if (!parseDeclSpec(DS))
+    return nullptr;
+  const Type *Ty;
+  std::string Name;
+  bool VarVolatile;
+  if (!parseDeclarator(DS, Ty, Name, VarVolatile))
+    return nullptr;
+
+  AddressSpace VarSpace = isa<PointerType>(Ty) ? AddressSpace::Private
+                                               : DS.Space;
+  VarDecl *D = Ctx.makeVar(Name, Ty, VarSpace);
+  D->setVolatile(DS.Volatile || VarVolatile);
+  D->setConst(DS.Const);
+  if (accept(TokKind::Equal)) {
+    Expr *Init = parseInitializer();
+    if (!Init)
+      return nullptr;
+    Init = typeInitializer(Init, Ty);
+    if (!Init)
+      return nullptr;
+    D->setInit(Init);
+  }
+  if (!Scopes.declare(D)) {
+    error("redefinition of '" + Name + "'");
+    return nullptr;
+  }
+  // Multiple declarators per statement are normalised into a compound.
+  if (check(TokKind::Comma)) {
+    std::vector<Stmt *> Group;
+    Group.push_back(Ctx.makeStmt<DeclStmt>(D));
+    while (accept(TokKind::Comma)) {
+      if (!parseDeclarator(DS, Ty, Name, VarVolatile))
+        return nullptr;
+      VarDecl *D2 = Ctx.makeVar(
+          Name, Ty, isa<PointerType>(Ty) ? AddressSpace::Private : DS.Space);
+      D2->setVolatile(DS.Volatile || VarVolatile);
+      if (accept(TokKind::Equal)) {
+        Expr *Init = parseInitializer();
+        if (!Init)
+          return nullptr;
+        Init = typeInitializer(Init, Ty);
+        if (!Init)
+          return nullptr;
+        D2->setInit(Init);
+      }
+      if (!Scopes.declare(D2)) {
+        error("redefinition of '" + Name + "'");
+        return nullptr;
+      }
+      Group.push_back(Ctx.makeStmt<DeclStmt>(D2));
+    }
+    if (!expect(TokKind::Semi, "';' after declaration"))
+      return nullptr;
+    return Ctx.makeStmt<CompoundStmt>(std::move(Group));
+  }
+  if (!expect(TokKind::Semi, "';' after declaration"))
+    return nullptr;
+  return Ctx.makeStmt<DeclStmt>(D);
+}
+
+Stmt *ParserImpl::parseIf() {
+  advance(); // if
+  if (!expect(TokKind::LParen, "'(' after if"))
+    return nullptr;
+  Expr *Cond = parseExpr();
+  if (!Cond || !expect(TokKind::RParen, "')'"))
+    return nullptr;
+  Stmt *Then = parseStmt();
+  if (!Then)
+    return nullptr;
+  Stmt *Else = nullptr;
+  if (accept(TokKind::KwElse)) {
+    Else = parseStmt();
+    if (!Else)
+      return nullptr;
+  }
+  return Ctx.makeStmt<IfStmt>(Cond, Then, Else);
+}
+
+Stmt *ParserImpl::parseFor() {
+  advance(); // for
+  if (!expect(TokKind::LParen, "'(' after for"))
+    return nullptr;
+  Scopes.push();
+  Stmt *Init = nullptr;
+  if (!accept(TokKind::Semi)) {
+    if (isTypeStart()) {
+      Init = parseDeclStmt(); // consumes ';'
+    } else {
+      Expr *E = parseExpr();
+      if (!E) {
+        Scopes.pop();
+        return nullptr;
+      }
+      Init = Ctx.makeStmt<ExprStmt>(E);
+      if (!expect(TokKind::Semi, "';' in for")) {
+        Scopes.pop();
+        return nullptr;
+      }
+    }
+    if (!Init) {
+      Scopes.pop();
+      return nullptr;
+    }
+  }
+  Expr *Cond = nullptr;
+  if (!check(TokKind::Semi)) {
+    Cond = parseExpr();
+    if (!Cond) {
+      Scopes.pop();
+      return nullptr;
+    }
+  }
+  if (!expect(TokKind::Semi, "';' in for")) {
+    Scopes.pop();
+    return nullptr;
+  }
+  Expr *Step = nullptr;
+  if (!check(TokKind::RParen)) {
+    Step = parseExpr();
+    if (!Step) {
+      Scopes.pop();
+      return nullptr;
+    }
+  }
+  if (!expect(TokKind::RParen, "')'")) {
+    Scopes.pop();
+    return nullptr;
+  }
+  ++LoopDepth;
+  Stmt *Body = parseStmt();
+  --LoopDepth;
+  Scopes.pop();
+  if (!Body)
+    return nullptr;
+  return Ctx.makeStmt<ForStmt>(Init, Cond, Step, Body);
+}
+
+Stmt *ParserImpl::parseWhile() {
+  advance(); // while
+  if (!expect(TokKind::LParen, "'(' after while"))
+    return nullptr;
+  Expr *Cond = parseExpr();
+  if (!Cond || !expect(TokKind::RParen, "')'"))
+    return nullptr;
+  ++LoopDepth;
+  Stmt *Body = parseStmt();
+  --LoopDepth;
+  if (!Body)
+    return nullptr;
+  return Ctx.makeStmt<WhileStmt>(Cond, Body);
+}
+
+Stmt *ParserImpl::parseDo() {
+  advance(); // do
+  ++LoopDepth;
+  Stmt *Body = parseStmt();
+  --LoopDepth;
+  if (!Body)
+    return nullptr;
+  if (!expect(TokKind::KwWhile, "'while' after do body") ||
+      !expect(TokKind::LParen, "'('"))
+    return nullptr;
+  Expr *Cond = parseExpr();
+  if (!Cond || !expect(TokKind::RParen, "')'") ||
+      !expect(TokKind::Semi, "';'"))
+    return nullptr;
+  return Ctx.makeStmt<DoStmt>(Body, Cond);
+}
+
+Stmt *ParserImpl::parseBarrier() {
+  advance(); // barrier
+  if (!expect(TokKind::LParen, "'(' after barrier"))
+    return nullptr;
+  uint8_t Flags = 0;
+  do {
+    if (!check(TokKind::Identifier)) {
+      error("expected memory fence flag");
+      return nullptr;
+    }
+    std::string Flag = advance().Spelling;
+    if (Flag == "CLK_LOCAL_MEM_FENCE")
+      Flags |= BarrierStmt::LocalFence;
+    else if (Flag == "CLK_GLOBAL_MEM_FENCE")
+      Flags |= BarrierStmt::GlobalFence;
+    else {
+      error("unknown memory fence flag '" + Flag + "'");
+      return nullptr;
+    }
+  } while (accept(TokKind::Pipe));
+  if (!expect(TokKind::RParen, "')'") || !expect(TokKind::Semi, "';'"))
+    return nullptr;
+  return Ctx.makeStmt<BarrierStmt>(Flags);
+}
+
+Stmt *ParserImpl::parseStmt() {
+  switch (peek().Kind) {
+  case TokKind::LBrace:
+    return parseCompound();
+  case TokKind::Semi:
+    advance();
+    return Ctx.makeStmt<NullStmt>();
+  case TokKind::KwIf:
+    return parseIf();
+  case TokKind::KwFor:
+    return parseFor();
+  case TokKind::KwWhile:
+    return parseWhile();
+  case TokKind::KwDo:
+    return parseDo();
+  case TokKind::KwBarrier:
+    return parseBarrier();
+  case TokKind::KwReturn: {
+    advance();
+    Expr *Value = nullptr;
+    if (!check(TokKind::Semi)) {
+      Value = parseExpr();
+      if (!Value)
+        return nullptr;
+      assert(CurFunction && "return outside a function");
+      const Type *RetTy = CurFunction->getReturnType();
+      if (Value->getType() != RetTy) {
+        Value = convertTo(Ctx, Value, RetTy);
+        if (!Value) {
+          error("return value type mismatch");
+          return nullptr;
+        }
+      }
+    } else if (CurFunction && !CurFunction->getReturnType()->isVoid()) {
+      error("non-void function must return a value");
+      return nullptr;
+    }
+    if (!expect(TokKind::Semi, "';' after return"))
+      return nullptr;
+    return Ctx.makeStmt<ReturnStmt>(Value);
+  }
+  case TokKind::KwBreak:
+    advance();
+    if (LoopDepth == 0) {
+      error("'break' outside of a loop");
+      return nullptr;
+    }
+    if (!expect(TokKind::Semi, "';' after break"))
+      return nullptr;
+    return Ctx.makeStmt<BreakStmt>();
+  case TokKind::KwContinue:
+    advance();
+    if (LoopDepth == 0) {
+      error("'continue' outside of a loop");
+      return nullptr;
+    }
+    if (!expect(TokKind::Semi, "';' after continue"))
+      return nullptr;
+    return Ctx.makeStmt<ContinueStmt>();
+  case TokKind::KwStruct:
+  case TokKind::KwUnion:
+    // Local record definition (Figure 1(c)); hoisted to the global
+    // record namespace.
+    if (peek(1).is(TokKind::Identifier) && peek(2).is(TokKind::LBrace)) {
+      if (!parseRecordDecl(/*IsTypedef=*/false))
+        return nullptr;
+      return Ctx.makeStmt<NullStmt>();
+    }
+    return parseDeclStmt();
+  default:
+    break;
+  }
+  if (isTypeStart())
+    return parseDeclStmt();
+  Expr *E = parseExpr();
+  if (!E || !expect(TokKind::Semi, "';' after expression"))
+    return nullptr;
+  return Ctx.makeStmt<ExprStmt>(E);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Binary precedence for the climbing parser; 0 = not a binary op.
+static int tokenPrecedence(TokKind K) {
+  switch (K) {
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:
+    return 13;
+  case TokKind::Plus:
+  case TokKind::Minus:
+    return 12;
+  case TokKind::LessLess:
+  case TokKind::GreaterGreater:
+    return 11;
+  case TokKind::Less:
+  case TokKind::Greater:
+  case TokKind::LessEqual:
+  case TokKind::GreaterEqual:
+    return 10;
+  case TokKind::EqualEqual:
+  case TokKind::BangEqual:
+    return 9;
+  case TokKind::Amp:
+    return 8;
+  case TokKind::Caret:
+    return 7;
+  case TokKind::Pipe:
+    return 6;
+  case TokKind::AmpAmp:
+    return 5;
+  case TokKind::PipePipe:
+    return 4;
+  default:
+    return 0;
+  }
+}
+
+static BinOp tokenBinOp(TokKind K) {
+  switch (K) {
+  case TokKind::Star:
+    return BinOp::Mul;
+  case TokKind::Slash:
+    return BinOp::Div;
+  case TokKind::Percent:
+    return BinOp::Mod;
+  case TokKind::Plus:
+    return BinOp::Add;
+  case TokKind::Minus:
+    return BinOp::Sub;
+  case TokKind::LessLess:
+    return BinOp::Shl;
+  case TokKind::GreaterGreater:
+    return BinOp::Shr;
+  case TokKind::Less:
+    return BinOp::Lt;
+  case TokKind::Greater:
+    return BinOp::Gt;
+  case TokKind::LessEqual:
+    return BinOp::Le;
+  case TokKind::GreaterEqual:
+    return BinOp::Ge;
+  case TokKind::EqualEqual:
+    return BinOp::Eq;
+  case TokKind::BangEqual:
+    return BinOp::Ne;
+  case TokKind::Amp:
+    return BinOp::BitAnd;
+  case TokKind::Caret:
+    return BinOp::BitXor;
+  case TokKind::Pipe:
+    return BinOp::BitOr;
+  case TokKind::AmpAmp:
+    return BinOp::LAnd;
+  case TokKind::PipePipe:
+    return BinOp::LOr;
+  default:
+    assert(false && "not a binary operator token");
+    return BinOp::Add;
+  }
+}
+
+static std::optional<AssignOp> tokenAssignOp(TokKind K) {
+  switch (K) {
+  case TokKind::Equal:
+    return AssignOp::Assign;
+  case TokKind::PlusEqual:
+    return AssignOp::Add;
+  case TokKind::MinusEqual:
+    return AssignOp::Sub;
+  case TokKind::StarEqual:
+    return AssignOp::Mul;
+  case TokKind::SlashEqual:
+    return AssignOp::Div;
+  case TokKind::PercentEqual:
+    return AssignOp::Mod;
+  case TokKind::LessLessEqual:
+    return AssignOp::Shl;
+  case TokKind::GreaterGreaterEqual:
+    return AssignOp::Shr;
+  case TokKind::AmpEqual:
+    return AssignOp::And;
+  case TokKind::PipeEqual:
+    return AssignOp::Or;
+  case TokKind::CaretEqual:
+    return AssignOp::Xor;
+  default:
+    return std::nullopt;
+  }
+}
+
+/// Builtins callable by name (excluding convert_* which is handled by
+/// prefix).
+static std::optional<Builtin> builtinByName(const std::string &Name) {
+  static const std::map<std::string, Builtin> Table = {
+      {"get_global_id", Builtin::GetGlobalId},
+      {"get_local_id", Builtin::GetLocalId},
+      {"get_group_id", Builtin::GetGroupId},
+      {"get_global_size", Builtin::GetGlobalSize},
+      {"get_local_size", Builtin::GetLocalSize},
+      {"get_num_groups", Builtin::GetNumGroups},
+      {"clamp", Builtin::Clamp},
+      {"rotate", Builtin::Rotate},
+      {"min", Builtin::Min},
+      {"max", Builtin::Max},
+      {"abs", Builtin::Abs},
+      {"add_sat", Builtin::AddSat},
+      {"sub_sat", Builtin::SubSat},
+      {"hadd", Builtin::Hadd},
+      {"mul_hi", Builtin::MulHi},
+      {"atomic_add", Builtin::AtomicAdd},
+      {"atomic_sub", Builtin::AtomicSub},
+      {"atomic_inc", Builtin::AtomicInc},
+      {"atomic_dec", Builtin::AtomicDec},
+      {"atomic_min", Builtin::AtomicMin},
+      {"atomic_max", Builtin::AtomicMax},
+      {"atomic_and", Builtin::AtomicAnd},
+      {"atomic_or", Builtin::AtomicOr},
+      {"atomic_xor", Builtin::AtomicXor},
+      {"atomic_xchg", Builtin::AtomicXchg},
+      {"atomic_cmpxchg", Builtin::AtomicCmpxchg},
+      {"safe_add", Builtin::SafeAdd},
+      {"safe_sub", Builtin::SafeSub},
+      {"safe_mul", Builtin::SafeMul},
+      {"safe_div", Builtin::SafeDiv},
+      {"safe_mod", Builtin::SafeMod},
+      {"safe_lshift", Builtin::SafeShl},
+      {"safe_rshift", Builtin::SafeShr},
+      {"safe_unary_minus", Builtin::SafeNeg},
+      {"safe_clamp", Builtin::SafeClamp},
+      {"safe_rotate", Builtin::SafeRotate},
+  };
+  auto It = Table.find(Name);
+  if (It == Table.end())
+    return std::nullopt;
+  return It->second;
+}
+
+Expr *ParserImpl::parseExpr() {
+  Expr *E = parseAssignment();
+  if (!E)
+    return nullptr;
+  while (accept(TokKind::Comma)) {
+    Expr *RHS = parseAssignment();
+    if (!RHS)
+      return nullptr;
+    E = checked(buildBinary(Ctx, BinOp::Comma, E, RHS));
+    if (!E)
+      return nullptr;
+  }
+  return E;
+}
+
+Expr *ParserImpl::parseAssignment() {
+  Expr *LHS = parseConditional();
+  if (!LHS)
+    return nullptr;
+  auto Op = tokenAssignOp(peek().Kind);
+  if (!Op)
+    return LHS;
+  advance();
+  Expr *RHS = parseAssignment();
+  if (!RHS)
+    return nullptr;
+  return checked(buildAssign(Ctx, *Op, LHS, RHS));
+}
+
+Expr *ParserImpl::parseConditional() {
+  Expr *Cond = parseBinary(1);
+  if (!Cond)
+    return nullptr;
+  if (!accept(TokKind::Question))
+    return Cond;
+  Expr *TrueE = parseExpr();
+  if (!TrueE || !expect(TokKind::Colon, "':' in conditional"))
+    return nullptr;
+  Expr *FalseE = parseConditional();
+  if (!FalseE)
+    return nullptr;
+  return checked(buildConditional(Ctx, Cond, TrueE, FalseE));
+}
+
+Expr *ParserImpl::parseBinary(int MinPrec) {
+  Expr *LHS = parseUnary();
+  if (!LHS)
+    return nullptr;
+  for (;;) {
+    int Prec = tokenPrecedence(peek().Kind);
+    if (Prec < MinPrec || Prec == 0)
+      return LHS;
+    BinOp Op = tokenBinOp(advance().Kind);
+    Expr *RHS = parseBinary(Prec + 1);
+    if (!RHS)
+      return nullptr;
+    LHS = checked(buildBinary(Ctx, Op, LHS, RHS));
+    if (!LHS)
+      return nullptr;
+  }
+}
+
+Expr *ParserImpl::parseUnary() {
+  switch (peek().Kind) {
+  case TokKind::Plus:
+    advance();
+    return checked(buildUnary(Ctx, UnOp::Plus, parseUnary()));
+  case TokKind::Minus: {
+    advance();
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return checked(buildUnary(Ctx, UnOp::Minus, Sub));
+  }
+  case TokKind::Bang: {
+    advance();
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return checked(buildUnary(Ctx, UnOp::Not, Sub));
+  }
+  case TokKind::Tilde: {
+    advance();
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return checked(buildUnary(Ctx, UnOp::BitNot, Sub));
+  }
+  case TokKind::PlusPlus: {
+    advance();
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return checked(buildUnary(Ctx, UnOp::PreInc, Sub));
+  }
+  case TokKind::MinusMinus: {
+    advance();
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return checked(buildUnary(Ctx, UnOp::PreDec, Sub));
+  }
+  case TokKind::Star: {
+    advance();
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return checked(buildUnary(Ctx, UnOp::Deref, Sub));
+  }
+  case TokKind::Amp: {
+    advance();
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return checked(buildUnary(Ctx, UnOp::AddrOf, Sub));
+  }
+  case TokKind::KwSizeof:
+    error("sizeof is not supported in MiniCL");
+    return nullptr;
+  case TokKind::LParen:
+    // Possible cast or vector construction.
+    if (isTypeStart(1)) {
+      advance(); // '('
+      const Type *Ty = parseTypeName();
+      if (!Ty || !expect(TokKind::RParen, "')' after cast type"))
+        return nullptr;
+      if (const auto *VT = dyn_cast<VectorType>(Ty)) {
+        // (int4)(a, b, ...) vector construction.
+        if (!expect(TokKind::LParen, "'(' after vector type"))
+          return nullptr;
+        std::vector<Expr *> Elems;
+        do {
+          Expr *E = parseAssignment();
+          if (!E)
+            return nullptr;
+          Elems.push_back(E);
+        } while (accept(TokKind::Comma));
+        if (!expect(TokKind::RParen, "')'"))
+          return nullptr;
+        // Count lanes: scalars contribute 1, vectors their width.
+        unsigned Lanes = 0;
+        for (Expr *E : Elems) {
+          if (const auto *EV = dyn_cast<VectorType>(E->getType()))
+            Lanes += EV->getNumLanes();
+          else
+            ++Lanes;
+        }
+        if (Elems.size() == 1 && Lanes == 1) {
+          // Splat form (T4)(x).
+          Expr *Conv = convertTo(Ctx, Elems[0], VT);
+          if (!Conv) {
+            error("cannot splat operand into " + VT->str());
+            return nullptr;
+          }
+          return Conv;
+        }
+        if (Lanes != VT->getNumLanes()) {
+          error("vector literal lane count mismatch for " + VT->str());
+          return nullptr;
+        }
+        // Convert scalar elements to the element type; vector elements
+        // must share it.
+        for (Expr *&E : Elems) {
+          if (const auto *EV = dyn_cast<VectorType>(E->getType())) {
+            if (EV->getElementType() != VT->getElementType()) {
+              error("vector literal element type mismatch");
+              return nullptr;
+            }
+          } else {
+            E = convertTo(Ctx, E, VT->getElementType());
+            if (!E) {
+              error("vector literal element type mismatch");
+              return nullptr;
+            }
+          }
+        }
+        // Swizzles/indexing may follow a construct: (int2)(1,2).y.
+        return parsePostfixSuffix(
+            Ctx.makeExpr<VectorConstructExpr>(std::move(Elems), VT));
+      }
+      // Scalar cast.
+      Expr *Sub = parseUnary();
+      if (!Sub)
+        return nullptr;
+      if (!isa<ScalarType>(Ty) || !isa<ScalarType>(Sub->getType())) {
+        error("casts are only supported between scalar types");
+        return nullptr;
+      }
+      return Ctx.makeExpr<CastExpr>(Sub, Ty);
+    }
+    return parsePostfix();
+  default:
+    return parsePostfix();
+  }
+}
+
+/// Decodes a swizzle selector ("xyzw" or "s<hex digits>"). Returns
+/// false if \p Sel is not a swizzle.
+static bool decodeSwizzle(const std::string &Sel, unsigned BaseLanes,
+                          std::vector<unsigned> &Indices) {
+  auto XyzwIndex = [](char C) -> int {
+    switch (C) {
+    case 'x':
+      return 0;
+    case 'y':
+      return 1;
+    case 'z':
+      return 2;
+    case 'w':
+      return 3;
+    default:
+      return -1;
+    }
+  };
+  if ((Sel[0] == 's' || Sel[0] == 'S') && Sel.size() > 1) {
+    for (size_t I = 1; I != Sel.size(); ++I) {
+      char C = static_cast<char>(std::tolower(Sel[I]));
+      int V;
+      if (C >= '0' && C <= '9')
+        V = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        V = C - 'a' + 10;
+      else
+        return false;
+      Indices.push_back(static_cast<unsigned>(V));
+    }
+  } else {
+    for (char C : Sel) {
+      int V = XyzwIndex(C);
+      if (V < 0)
+        return false;
+      Indices.push_back(static_cast<unsigned>(V));
+    }
+  }
+  if (Indices.empty() ||
+      (Indices.size() != 1 && Indices.size() != 2 && Indices.size() != 4 &&
+       Indices.size() != 8 && Indices.size() != 16))
+    return false;
+  for (unsigned I : Indices)
+    if (I >= BaseLanes)
+      return false;
+  return true;
+}
+
+Expr *ParserImpl::parsePostfix() {
+  Expr *E = parsePrimary();
+  if (!E)
+    return nullptr;
+  return parsePostfixSuffix(E);
+}
+
+Expr *ParserImpl::parsePostfixSuffix(Expr *E) {
+  for (;;) {
+    if (accept(TokKind::LBracket)) {
+      Expr *Index = parseExpr();
+      if (!Index || !expect(TokKind::RBracket, "']'"))
+        return nullptr;
+      E = checked(buildIndex(Ctx, E, Index));
+      if (!E)
+        return nullptr;
+      continue;
+    }
+    if (check(TokKind::Dot) || check(TokKind::Arrow)) {
+      bool IsArrow = advance().is(TokKind::Arrow);
+      if (!check(TokKind::Identifier)) {
+        error("expected member name");
+        return nullptr;
+      }
+      std::string Member = advance().Spelling;
+      const Type *BaseTy = E->getType();
+      if (IsArrow) {
+        const auto *PT = dyn_cast<PointerType>(BaseTy);
+        if (!PT) {
+          error("'->' applied to non-pointer");
+          return nullptr;
+        }
+        BaseTy = PT->getPointeeType();
+      }
+      if (const auto *VT = dyn_cast<VectorType>(BaseTy)) {
+        if (IsArrow) {
+          error("'->' applied to vector");
+          return nullptr;
+        }
+        std::vector<unsigned> Indices;
+        if (!decodeSwizzle(Member, VT->getNumLanes(), Indices)) {
+          error("invalid vector component selector '." + Member + "'");
+          return nullptr;
+        }
+        const Type *ResTy =
+            Indices.size() == 1
+                ? static_cast<const Type *>(VT->getElementType())
+                : Types.vector(VT->getElementType(), Indices.size());
+        E = Ctx.makeExpr<SwizzleExpr>(E, std::move(Indices), ResTy);
+        continue;
+      }
+      const auto *RT = dyn_cast<RecordType>(BaseTy);
+      if (!RT) {
+        error("member access on non-record type " + BaseTy->str());
+        return nullptr;
+      }
+      int Idx = RT->fieldIndex(Member);
+      if (Idx < 0) {
+        error("no member '" + Member + "' in " + RT->str());
+        return nullptr;
+      }
+      E = Ctx.makeExpr<MemberExpr>(E, static_cast<unsigned>(Idx), IsArrow,
+                                   RT->getField(Idx).Ty);
+      continue;
+    }
+    if (check(TokKind::PlusPlus) || check(TokKind::MinusMinus)) {
+      UnOp Op = advance().is(TokKind::PlusPlus) ? UnOp::PostInc
+                                                : UnOp::PostDec;
+      E = checked(buildUnary(Ctx, Op, E));
+      if (!E)
+        return nullptr;
+      continue;
+    }
+    return E;
+  }
+}
+
+Expr *ParserImpl::parseCallArgs(const std::string &Name, SourceLoc Loc) {
+  std::vector<Expr *> Args;
+  if (!check(TokKind::RParen)) {
+    do {
+      Expr *A = parseAssignment();
+      if (!A)
+        return nullptr;
+      Args.push_back(A);
+    } while (accept(TokKind::Comma));
+  }
+  if (!expect(TokKind::RParen, "')' after call arguments"))
+    return nullptr;
+
+  // convert_<type>(v) builtins.
+  if (startsWith(Name, "convert_")) {
+    std::string TyName = Name.substr(8);
+    unsigned Lanes;
+    auto SK = vectorElemByName(TyName, Lanes);
+    if (!SK) {
+      error("unknown conversion '" + Name + "'");
+      return nullptr;
+    }
+    const VectorType *Target = Types.vector(Types.scalar(*SK), Lanes);
+    return checked(buildBuiltinCall(Ctx, Builtin::ConvertVector,
+                                    std::move(Args), Target));
+  }
+
+  if (auto B = builtinByName(Name))
+    return checked(buildBuiltinCall(Ctx, *B, std::move(Args)));
+
+  FunctionDecl *Callee = Ctx.program().findFunction(Name);
+  if (!Callee) {
+    error("call to undeclared function '" + Name + "'");
+    return nullptr;
+  }
+  if (Callee->params().size() != Args.size()) {
+    error("wrong number of arguments to '" + Name + "'");
+    return nullptr;
+  }
+  for (size_t I = 0, N = Args.size(); I != N; ++I) {
+    const Type *ParamTy = Callee->params()[I]->getType();
+    if (Args[I]->getType() == ParamTy)
+      continue;
+    Expr *Conv = convertTo(Ctx, Args[I], ParamTy);
+    if (!Conv) {
+      error("argument type mismatch in call to '" + Name + "'");
+      return nullptr;
+    }
+    Args[I] = Conv;
+  }
+  return Ctx.makeExpr<CallExpr>(Callee, std::move(Args),
+                                Callee->getReturnType());
+}
+
+Expr *ParserImpl::parsePrimary() {
+  const Token &T = peek();
+  switch (T.Kind) {
+  case TokKind::IntLiteral: {
+    advance();
+    const ScalarType *Ty;
+    if (T.HasUnsignedSuffix && T.HasLongSuffix)
+      Ty = Types.ulongTy();
+    else if (T.HasLongSuffix)
+      Ty = Types.longTy();
+    else if (T.HasUnsignedSuffix)
+      Ty = T.Value > 0xffffffffULL ? Types.ulongTy() : Types.uintTy();
+    else if (T.Value > 0x7fffffffULL)
+      Ty = T.Value > 0x7fffffffffffffffULL ? Types.ulongTy()
+                                           : Types.longTy();
+    else
+      Ty = Types.intTy();
+    Expr *E = Ctx.intLit(T.Value, Ty);
+    E->setLoc(T.Loc);
+    return E;
+  }
+  case TokKind::Identifier: {
+    std::string Name = advance().Spelling;
+    if (accept(TokKind::LParen))
+      return parseCallArgs(Name, T.Loc);
+    if (VarDecl *D = Scopes.lookup(Name)) {
+      Expr *E = Ctx.ref(D);
+      E->setLoc(T.Loc);
+      return E;
+    }
+    error("use of undeclared identifier '" + Name + "'");
+    return nullptr;
+  }
+  case TokKind::LParen: {
+    advance();
+    Expr *E = parseExpr();
+    if (!E || !expect(TokKind::RParen, "')'"))
+      return nullptr;
+    return E;
+  }
+  default:
+    error("expected expression");
+    return nullptr;
+  }
+}
+
+Expr *ParserImpl::parseInitializer() {
+  if (!check(TokKind::LBrace))
+    return parseAssignment();
+  advance(); // '{'
+  std::vector<Expr *> Inits;
+  if (!check(TokKind::RBrace)) {
+    do {
+      if (check(TokKind::RBrace))
+        break; // trailing comma
+      Expr *E = parseInitializer();
+      if (!E)
+        return nullptr;
+      Inits.push_back(E);
+    } while (accept(TokKind::Comma));
+  }
+  if (!expect(TokKind::RBrace, "'}' after initializer list"))
+    return nullptr;
+  // Untyped until matched against the declared type.
+  return Ctx.makeExpr<InitListExpr>(std::move(Inits), nullptr);
+}
+
+Expr *ParserImpl::typeInitializer(Expr *Init, const Type *DeclTy) {
+  auto *IL = dyn_cast<InitListExpr>(Init);
+  if (!IL) {
+    if (Init->getType() == DeclTy)
+      return Init;
+    Expr *Conv = convertTo(Ctx, Init, DeclTy);
+    if (!Conv) {
+      error("cannot initialise " + DeclTy->str() + " from " +
+            Init->getType()->str());
+      return nullptr;
+    }
+    return Conv;
+  }
+
+  // Brace list: match element-wise against the declared aggregate.
+  std::vector<Expr *> Typed;
+  if (const auto *RT = dyn_cast<RecordType>(DeclTy)) {
+    // Unions initialise the first member only (C99 6.7.8p10) - the
+    // behaviour the Figure 2(a) bug model corrupts.
+    unsigned Limit = RT->isUnion() ? 1u : RT->getNumFields();
+    if (IL->inits().size() > Limit) {
+      error("too many initialisers for " + DeclTy->str());
+      return nullptr;
+    }
+    for (size_t I = 0; I != IL->inits().size(); ++I) {
+      Expr *E = typeInitializer(IL->inits()[I], RT->getField(I).Ty);
+      if (!E)
+        return nullptr;
+      Typed.push_back(E);
+    }
+  } else if (const auto *AT = dyn_cast<ArrayType>(DeclTy)) {
+    if (IL->inits().size() > AT->getNumElements()) {
+      error("too many initialisers for " + DeclTy->str());
+      return nullptr;
+    }
+    for (Expr *Sub : IL->inits()) {
+      Expr *E = typeInitializer(Sub, AT->getElementType());
+      if (!E)
+        return nullptr;
+      Typed.push_back(E);
+    }
+  } else if (IL->inits().size() == 1) {
+    // Scalar braced initialiser `{0}`.
+    return typeInitializer(IL->inits()[0], DeclTy);
+  } else {
+    error("invalid brace initialiser for " + DeclTy->str());
+    return nullptr;
+  }
+  return Ctx.makeExpr<InitListExpr>(std::move(Typed), DeclTy);
+}
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+bool ParserImpl::run() {
+  Scopes.push(); // translation-unit scope (unused; uniformity)
+  while (!check(TokKind::Eof)) {
+    if (!parseTopLevel())
+      return false;
+  }
+  Scopes.pop();
+  return !Failed && !Diags.hasErrors();
+}
+
+bool clfuzz::parseProgram(const std::string &Source, ASTContext &Ctx,
+                          DiagEngine &Diags) {
+  std::vector<Token> Tokens = lex(Source, Diags);
+  if (Diags.hasErrors())
+    return false;
+  ParserImpl P(std::move(Tokens), Ctx, Diags);
+  return P.run();
+}

@@ -1,0 +1,34 @@
+//===- Parser.h - MiniCL recursive-descent parser ---------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniCL. Produces fully *typed* ASTs:
+/// expression nodes are typed as they are built (via TypeRules), so a
+/// successful parse yields a tree the optimiser and code generator can
+/// consume directly. Used by the mini Parboil/Rodinia corpus, the
+/// Figure 1/2 bug-gallery kernels, and parser round-trip tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_MINICL_PARSER_H
+#define CLFUZZ_MINICL_PARSER_H
+
+#include "minicl/AST.h"
+
+#include <string>
+
+namespace clfuzz {
+
+/// Parses \p Source into \p Ctx's program. Returns true on success;
+/// on failure diagnostics are left in \p Diags and the program may be
+/// partially populated.
+bool parseProgram(const std::string &Source, ASTContext &Ctx,
+                  DiagEngine &Diags);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_MINICL_PARSER_H

@@ -1,0 +1,589 @@
+//===- Printer.cpp - MiniCL to OpenCL C source printer ---------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicl/Printer.h"
+
+#include <functional>
+#include <set>
+#include <sstream>
+
+using namespace clfuzz;
+
+namespace {
+
+/// Stateful printer walking the AST and appending to a string stream.
+class SourcePrinter {
+public:
+  explicit SourcePrinter(const PrinterOptions &Opts) : Opts(Opts) {}
+
+  std::string run(const Program &Prog, const TypeContext &Types);
+
+  void emitExpr(const Expr *E, unsigned ParentPrec);
+  void emitStmt(const Stmt *S, unsigned Indent);
+
+  std::ostringstream OS;
+
+private:
+  void emitRecord(const RecordType *RT);
+  void emitFunction(const FunctionDecl *F);
+  void emitVarDecl(const VarDecl *D);
+  void emitDeclarator(const Type *Ty, const std::string &Name,
+                      AddressSpace VarSpace, bool IsVolatile);
+  void indent(unsigned Level) {
+    for (unsigned I = 0, E = Level * Opts.IndentWidth; I != E; ++I)
+      OS << ' ';
+  }
+
+  PrinterOptions Opts;
+};
+
+} // namespace
+
+/// Precedence levels following C; larger binds tighter.
+static unsigned binOpPrecedence(BinOp Op) {
+  switch (Op) {
+  case BinOp::Mul:
+  case BinOp::Div:
+  case BinOp::Mod:
+    return 13;
+  case BinOp::Add:
+  case BinOp::Sub:
+    return 12;
+  case BinOp::Shl:
+  case BinOp::Shr:
+    return 11;
+  case BinOp::Lt:
+  case BinOp::Gt:
+  case BinOp::Le:
+  case BinOp::Ge:
+    return 10;
+  case BinOp::Eq:
+  case BinOp::Ne:
+    return 9;
+  case BinOp::BitAnd:
+    return 8;
+  case BinOp::BitXor:
+    return 7;
+  case BinOp::BitOr:
+    return 6;
+  case BinOp::LAnd:
+    return 5;
+  case BinOp::LOr:
+    return 4;
+  case BinOp::Comma:
+    return 1;
+  }
+  assert(false && "unknown binary operator");
+  return 0;
+}
+
+static unsigned exprPrecedence(const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::ExprKind::IntLiteral:
+  case Expr::ExprKind::DeclRef:
+  case Expr::ExprKind::VectorConstruct:
+  case Expr::ExprKind::InitList:
+    return 17;
+  case Expr::ExprKind::Call:
+  case Expr::ExprKind::BuiltinCall:
+  case Expr::ExprKind::Index:
+  case Expr::ExprKind::Member:
+  case Expr::ExprKind::Swizzle:
+    return 16;
+  case Expr::ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    return (U->getOp() == UnOp::PostInc || U->getOp() == UnOp::PostDec)
+               ? 16
+               : 15;
+  }
+  case Expr::ExprKind::Cast:
+    return 15;
+  case Expr::ExprKind::ImplicitCast:
+    return exprPrecedence(cast<ImplicitCastExpr>(E)->getSubExpr());
+  case Expr::ExprKind::Binary:
+    return binOpPrecedence(cast<BinaryExpr>(E)->getOp());
+  case Expr::ExprKind::Conditional:
+    return 3;
+  case Expr::ExprKind::Assign:
+    return 2;
+  }
+  assert(false && "unknown expression kind");
+  return 0;
+}
+
+/// Spelling of a swizzle index set: .xyzw for short vectors, .sN hex
+/// digits otherwise.
+static std::string swizzleSpelling(const std::vector<unsigned> &Indices,
+                                   unsigned BaseLanes) {
+  static const char Xyzw[] = {'x', 'y', 'z', 'w'};
+  static const char Hex[] = "0123456789abcdef";
+  std::string S = ".";
+  bool UseXyzw = BaseLanes <= 4;
+  for (unsigned I : Indices)
+    if (I >= 4)
+      UseXyzw = false;
+  if (UseXyzw) {
+    for (unsigned I : Indices)
+      S += Xyzw[I];
+    return S;
+  }
+  S += 's';
+  for (unsigned I : Indices)
+    S += Hex[I];
+  return S;
+}
+
+void SourcePrinter::emitExpr(const Expr *E, unsigned ParentPrec) {
+  unsigned Prec = exprPrecedence(E);
+  bool NeedParens = Prec < ParentPrec;
+  if (NeedParens)
+    OS << '(';
+
+  switch (E->getKind()) {
+  case Expr::ExprKind::IntLiteral: {
+    const auto *Lit = cast<IntLiteral>(E);
+    const auto *Ty = cast<ScalarType>(Lit->getType());
+    if (Ty->isSigned()) {
+      // Sign-extend the stored bit pattern to print negatives readably.
+      int64_t V = static_cast<int64_t>(Lit->getValue());
+      unsigned Bits = Ty->bitWidth();
+      if (Bits < 64) {
+        V = static_cast<int64_t>(Lit->getValue() << (64 - Bits)) >>
+            (64 - Bits);
+      }
+      if (V == INT64_MIN) {
+        // Avoid the unrepresentable literal -9223372036854775808.
+        OS << "(-9223372036854775807L - 1L)";
+      } else {
+        OS << V;
+        if (Bits == 64)
+          OS << 'L';
+      }
+    } else {
+      OS << Lit->getValue() << 'u';
+      if (Ty->bitWidth() == 64)
+        OS << 'L';
+    }
+    break;
+  }
+  case Expr::ExprKind::DeclRef:
+    OS << cast<DeclRef>(E)->getDecl()->getName();
+    break;
+  case Expr::ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->getOp() == UnOp::PostInc || U->getOp() == UnOp::PostDec) {
+      emitExpr(U->getSubExpr(), Prec);
+      OS << unOpSpelling(U->getOp());
+    } else {
+      OS << unOpSpelling(U->getOp());
+      // +1 keeps `- -x` from printing as `--x`.
+      emitExpr(U->getSubExpr(), Prec);
+    }
+    break;
+  }
+  case Expr::ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    emitExpr(B->getLHS(), Prec);
+    if (B->getOp() == BinOp::Comma)
+      OS << ", ";
+    else
+      OS << ' ' << binOpSpelling(B->getOp()) << ' ';
+    emitExpr(B->getRHS(), Prec + 1);
+    break;
+  }
+  case Expr::ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    emitExpr(A->getLHS(), Prec + 1);
+    OS << ' ' << assignOpSpelling(A->getOp()) << ' ';
+    emitExpr(A->getRHS(), Prec);
+    break;
+  }
+  case Expr::ExprKind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    emitExpr(C->getCond(), Prec + 1);
+    OS << " ? ";
+    emitExpr(C->getTrueExpr(), Prec);
+    OS << " : ";
+    emitExpr(C->getFalseExpr(), Prec);
+    break;
+  }
+  case Expr::ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    OS << C->getCallee()->getName() << '(';
+    for (size_t I = 0, N = C->args().size(); I != N; ++I) {
+      if (I != 0)
+        OS << ", ";
+      emitExpr(C->args()[I], 2);
+    }
+    OS << ')';
+    break;
+  }
+  case Expr::ExprKind::BuiltinCall: {
+    const auto *C = cast<BuiltinCallExpr>(E);
+    if (C->getBuiltin() == Builtin::ConvertVector)
+      OS << "convert_" << C->getType()->str();
+    else
+      OS << builtinName(C->getBuiltin());
+    OS << '(';
+    for (size_t I = 0, N = C->args().size(); I != N; ++I) {
+      if (I != 0)
+        OS << ", ";
+      emitExpr(C->args()[I], 2);
+    }
+    OS << ')';
+    break;
+  }
+  case Expr::ExprKind::Index: {
+    const auto *Ix = cast<IndexExpr>(E);
+    emitExpr(Ix->getBase(), Prec);
+    OS << '[';
+    emitExpr(Ix->getIndex(), 1);
+    OS << ']';
+    break;
+  }
+  case Expr::ExprKind::Member: {
+    const auto *M = cast<MemberExpr>(E);
+    emitExpr(M->getBase(), Prec);
+    OS << (M->isArrow() ? "->" : ".");
+    OS << M->getRecordType()->getField(M->getFieldIndex()).Name;
+    break;
+  }
+  case Expr::ExprKind::Swizzle: {
+    const auto *Sw = cast<SwizzleExpr>(E);
+    emitExpr(Sw->getBase(), Prec);
+    const auto *BaseVT = cast<VectorType>(Sw->getBase()->getType());
+    OS << swizzleSpelling(Sw->indices(), BaseVT->getNumLanes());
+    break;
+  }
+  case Expr::ExprKind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    OS << '(' << C->getType()->str() << ')';
+    emitExpr(C->getSubExpr(), Prec);
+    break;
+  }
+  case Expr::ExprKind::ImplicitCast:
+    // Transparent in source form.
+    emitExpr(cast<ImplicitCastExpr>(E)->getSubExpr(), ParentPrec);
+    break;
+  case Expr::ExprKind::VectorConstruct: {
+    const auto *V = cast<VectorConstructExpr>(E);
+    OS << '(' << V->getType()->str() << ")(";
+    for (size_t I = 0, N = V->elements().size(); I != N; ++I) {
+      if (I != 0)
+        OS << ", ";
+      emitExpr(V->elements()[I], 2);
+    }
+    OS << ')';
+    break;
+  }
+  case Expr::ExprKind::InitList: {
+    const auto *IL = cast<InitListExpr>(E);
+    OS << "{ ";
+    for (size_t I = 0, N = IL->inits().size(); I != N; ++I) {
+      if (I != 0)
+        OS << ", ";
+      emitExpr(IL->inits()[I], 2);
+    }
+    OS << " }";
+    break;
+  }
+  }
+
+  if (NeedParens)
+    OS << ')';
+}
+
+/// Splits a (possibly nested-array) type into its element type and the
+/// trailing array dimension suffix for declarator printing.
+static const Type *stripArraySuffix(const Type *Ty, std::string &Suffix) {
+  while (const auto *AT = dyn_cast<ArrayType>(Ty)) {
+    Suffix += '[';
+    Suffix += std::to_string(AT->getNumElements());
+    Suffix += ']';
+    Ty = AT->getElementType();
+  }
+  return Ty;
+}
+
+void SourcePrinter::emitDeclarator(const Type *Ty, const std::string &Name,
+                                   AddressSpace VarSpace, bool IsVolatile) {
+  if (VarSpace != AddressSpace::Private)
+    OS << addressSpaceName(VarSpace) << ' ';
+  if (IsVolatile)
+    OS << "volatile ";
+  std::string Suffix;
+  const Type *Base = stripArraySuffix(Ty, Suffix);
+  if (const auto *PT = dyn_cast<PointerType>(Base)) {
+    if (PT->getAddressSpace() != AddressSpace::Private)
+      OS << addressSpaceName(PT->getAddressSpace()) << ' ';
+    if (PT->isPointeeVolatile())
+      OS << "volatile ";
+    OS << PT->getPointeeType()->str() << " *" << Name;
+  } else {
+    OS << Base->str() << ' ' << Name;
+  }
+  OS << Suffix;
+}
+
+void SourcePrinter::emitVarDecl(const VarDecl *D) {
+  emitDeclarator(D->getType(), D->getName(), D->getAddressSpace(),
+                 D->isVolatile());
+  if (D->getInit()) {
+    OS << " = ";
+    emitExpr(D->getInit(), 2);
+  }
+}
+
+void SourcePrinter::emitStmt(const Stmt *S, unsigned Indent) {
+  switch (S->getKind()) {
+  case Stmt::StmtKind::Compound: {
+    const auto *C = cast<CompoundStmt>(S);
+    indent(Indent);
+    OS << "{\n";
+    for (const Stmt *Child : C->body())
+      emitStmt(Child, Indent + 1);
+    indent(Indent);
+    OS << "}\n";
+    break;
+  }
+  case Stmt::StmtKind::Decl:
+    indent(Indent);
+    emitVarDecl(cast<DeclStmt>(S)->getDecl());
+    OS << ";\n";
+    break;
+  case Stmt::StmtKind::Expr:
+    indent(Indent);
+    emitExpr(cast<ExprStmt>(S)->getExpr(), 0);
+    OS << ";\n";
+    break;
+  case Stmt::StmtKind::If: {
+    const auto *If = cast<IfStmt>(S);
+    indent(Indent);
+    if (If->isEmiBlock())
+      OS << "/* EMI " << If->getEmiId() << " */ ";
+    OS << "if (";
+    emitExpr(If->getCond(), 0);
+    OS << ")\n";
+    emitStmt(If->getThen(), Indent + !isa<CompoundStmt>(If->getThen()));
+    if (If->getElse()) {
+      indent(Indent);
+      OS << "else\n";
+      emitStmt(If->getElse(), Indent + !isa<CompoundStmt>(If->getElse()));
+    }
+    break;
+  }
+  case Stmt::StmtKind::For: {
+    const auto *For = cast<ForStmt>(S);
+    indent(Indent);
+    OS << "for (";
+    if (const Stmt *Init = For->getInit()) {
+      if (const auto *DS = dyn_cast<DeclStmt>(Init))
+        emitVarDecl(DS->getDecl());
+      else
+        emitExpr(cast<ExprStmt>(Init)->getExpr(), 0);
+    }
+    OS << "; ";
+    if (For->getCond())
+      emitExpr(For->getCond(), 0);
+    OS << "; ";
+    if (For->getStep())
+      emitExpr(For->getStep(), 0);
+    OS << ")\n";
+    emitStmt(For->getBody(), Indent + !isa<CompoundStmt>(For->getBody()));
+    break;
+  }
+  case Stmt::StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    indent(Indent);
+    OS << "while (";
+    emitExpr(W->getCond(), 0);
+    OS << ")\n";
+    emitStmt(W->getBody(), Indent + !isa<CompoundStmt>(W->getBody()));
+    break;
+  }
+  case Stmt::StmtKind::Do: {
+    const auto *D = cast<DoStmt>(S);
+    indent(Indent);
+    OS << "do\n";
+    emitStmt(D->getBody(), Indent + !isa<CompoundStmt>(D->getBody()));
+    indent(Indent);
+    OS << "while (";
+    emitExpr(D->getCond(), 0);
+    OS << ");\n";
+    break;
+  }
+  case Stmt::StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    indent(Indent);
+    OS << "return";
+    if (R->getValue()) {
+      OS << ' ';
+      emitExpr(R->getValue(), 0);
+    }
+    OS << ";\n";
+    break;
+  }
+  case Stmt::StmtKind::Break:
+    indent(Indent);
+    OS << "break;\n";
+    break;
+  case Stmt::StmtKind::Continue:
+    indent(Indent);
+    OS << "continue;\n";
+    break;
+  case Stmt::StmtKind::Barrier: {
+    const auto *B = cast<BarrierStmt>(S);
+    indent(Indent);
+    OS << "barrier(";
+    bool First = true;
+    if (B->getFenceFlags() & BarrierStmt::LocalFence) {
+      OS << "CLK_LOCAL_MEM_FENCE";
+      First = false;
+    }
+    if (B->getFenceFlags() & BarrierStmt::GlobalFence) {
+      if (!First)
+        OS << " | ";
+      OS << "CLK_GLOBAL_MEM_FENCE";
+    }
+    OS << ");\n";
+    break;
+  }
+  case Stmt::StmtKind::Null:
+    indent(Indent);
+    OS << ";\n";
+    break;
+  }
+}
+
+void SourcePrinter::emitRecord(const RecordType *RT) {
+  OS << (RT->isUnion() ? "union " : "struct ") << RT->getName() << " {\n";
+  for (const RecordField &F : RT->fields()) {
+    indent(1);
+    emitDeclarator(F.Ty, F.Name, AddressSpace::Private, F.IsVolatile);
+    OS << ";\n";
+  }
+  OS << "};\n\n";
+}
+
+void SourcePrinter::emitFunction(const FunctionDecl *F) {
+  if (F->isKernel())
+    OS << "kernel ";
+  OS << F->getReturnType()->str() << ' ' << F->getName() << '(';
+  for (size_t I = 0, N = F->params().size(); I != N; ++I) {
+    if (I != 0)
+      OS << ", ";
+    const VarDecl *P = F->params()[I];
+    emitDeclarator(P->getType(), P->getName(), P->getAddressSpace(),
+                   P->isVolatile());
+  }
+  OS << ")\n";
+  if (F->getBody())
+    emitStmt(F->getBody(), 0);
+  else
+    OS << ";\n";
+  OS << '\n';
+}
+
+/// Collects record types referenced by \p Ty (so definitions can be
+/// emitted in dependency order).
+static void collectRecordDeps(const Type *Ty,
+                              std::vector<const RecordType *> &Deps) {
+  if (const auto *RT = dyn_cast<RecordType>(Ty)) {
+    Deps.push_back(RT);
+    return;
+  }
+  if (const auto *AT = dyn_cast<ArrayType>(Ty))
+    collectRecordDeps(AT->getElementType(), Deps);
+  // Pointer fields do not require a complete definition; skip them.
+}
+
+std::string SourcePrinter::run(const Program &Prog,
+                               const TypeContext &Types) {
+  if (Opts.EmitSafeMathPrelude)
+    OS << safeMathPrelude() << '\n';
+  // Emit records so that every by-value field's record precedes its
+  // user (DFS post-order).
+  std::vector<const RecordType *> Ordered;
+  std::set<const RecordType *> Visited;
+  std::function<void(const RecordType *)> Visit =
+      [&](const RecordType *RT) {
+        if (!Visited.insert(RT).second)
+          return;
+        for (const RecordField &F : RT->fields()) {
+          std::vector<const RecordType *> Deps;
+          collectRecordDeps(F.Ty, Deps);
+          for (const RecordType *D : Deps)
+            Visit(D);
+        }
+        Ordered.push_back(RT);
+      };
+  for (const RecordType *RT : Types.records())
+    Visit(RT);
+  for (const RecordType *RT : Ordered)
+    emitRecord(RT);
+  // Forward prototypes permit any call order among helpers.
+  bool AnyProto = false;
+  for (const FunctionDecl *F : Prog.functions()) {
+    if (F->isKernel() || !F->getBody())
+      continue;
+    OS << F->getReturnType()->str() << ' ' << F->getName() << '(';
+    for (size_t I = 0, N = F->params().size(); I != N; ++I) {
+      if (I != 0)
+        OS << ", ";
+      const VarDecl *P = F->params()[I];
+      emitDeclarator(P->getType(), P->getName(), P->getAddressSpace(),
+                     P->isVolatile());
+    }
+    OS << ");\n";
+    AnyProto = true;
+  }
+  if (AnyProto)
+    OS << '\n';
+  for (const FunctionDecl *F : Prog.functions())
+    emitFunction(F);
+  return OS.str();
+}
+
+std::string clfuzz::printProgram(const Program &Prog,
+                                 const TypeContext &Types,
+                                 const PrinterOptions &Opts) {
+  SourcePrinter P(Opts);
+  return P.run(Prog, Types);
+}
+
+std::string clfuzz::printExpr(const Expr *E) {
+  SourcePrinter P((PrinterOptions()));
+  P.emitExpr(E, 0);
+  return P.OS.str();
+}
+
+std::string clfuzz::printStmt(const Stmt *S, unsigned Indent,
+                              unsigned IndentWidth) {
+  PrinterOptions Opts;
+  Opts.IndentWidth = IndentWidth;
+  SourcePrinter P(Opts);
+  P.emitStmt(S, Indent);
+  return P.OS.str();
+}
+
+std::string clfuzz::safeMathPrelude() {
+  return R"(// Safe math wrappers in the style of Csmith/CLsmith (paper §4.1).
+// Division/modulo by zero and INT_MIN/-1 fall back to the left operand;
+// shift amounts are taken modulo the width; negation of INT_MIN yields
+// INT_MIN (two's complement wrap); clamp guards min > max.
+#define safe_add(a, b) ((a) + (b))
+#define safe_sub(a, b) ((a) - (b))
+#define safe_mul(a, b) ((a) * (b))
+#define safe_div(a, b) (((b) == 0) ? (a) : ((a) / (b)))
+#define safe_mod(a, b) (((b) == 0) ? (a) : ((a) % (b)))
+#define safe_lshift(a, b) ((a) << ((b) & (8 * sizeof(a) - 1)))
+#define safe_rshift(a, b) ((a) >> ((b) & (8 * sizeof(a) - 1)))
+#define safe_unary_minus(a) (-(a))
+#define safe_clamp(x, lo, hi) (((lo) > (hi)) ? (x) : clamp((x), (lo), (hi)))
+#define safe_rotate(x, y) rotate((x), (y))
+)";
+}

@@ -1,0 +1,50 @@
+//===- Printer.h - MiniCL to OpenCL C source printer ------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders MiniCL ASTs as OpenCL C source text. Used to inspect
+/// generated kernels (CLsmith writes .cl files), to count benchmark
+/// lines for Table 2, for parser round-trip testing, and by the test
+/// case reducer when emitting reduced kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_MINICL_PRINTER_H
+#define CLFUZZ_MINICL_PRINTER_H
+
+#include "minicl/AST.h"
+
+#include <string>
+
+namespace clfuzz {
+
+/// Pretty-printing options.
+struct PrinterOptions {
+  /// Emit the safe-math macro prelude before the program text.
+  bool EmitSafeMathPrelude = false;
+  /// Spaces per indentation level.
+  unsigned IndentWidth = 2;
+};
+
+/// Prints \p Prog (records first, then functions in definition order).
+std::string printProgram(const Program &Prog, const TypeContext &Types,
+                         const PrinterOptions &Opts = PrinterOptions());
+
+/// Prints a single expression.
+std::string printExpr(const Expr *E);
+
+/// Prints a single statement at indent level zero.
+std::string printStmt(const Stmt *S, unsigned Indent = 0,
+                      unsigned IndentWidth = 2);
+
+/// The text of the safe-math macro prelude (documentation of the
+/// semantics the VM gives the Safe* builtins; §4.1 of the paper).
+std::string safeMathPrelude();
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_MINICL_PRINTER_H

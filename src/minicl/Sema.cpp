@@ -1,0 +1,563 @@
+//===- Sema.cpp - MiniCL semantic validation -------------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicl/Sema.h"
+#include "minicl/TypeRules.h"
+
+#include <map>
+#include <set>
+
+using namespace clfuzz;
+
+namespace {
+
+class SemaChecker {
+public:
+  SemaChecker(const ASTContext &Ctx, DiagEngine &Diags)
+      : Ctx(Ctx), Diags(Diags) {}
+
+  bool run();
+
+private:
+  void error(const std::string &Msg) { Diags.error(SourceLoc{}, Msg); }
+
+  void checkFunction(const FunctionDecl *F);
+  void checkStmt(const Stmt *S, bool AtKernelTopLevel);
+  void checkExpr(const Expr *E);
+  void checkVarDecl(const VarDecl *D, bool AtKernelTopLevel);
+  bool checkNoRecursion();
+
+  const ASTContext &Ctx;
+  DiagEngine &Diags;
+  const FunctionDecl *CurFunction = nullptr;
+  unsigned LoopDepth = 0;
+};
+
+} // namespace
+
+void SemaChecker::checkExpr(const Expr *E) {
+  if (!E->getType()) {
+    error("expression has no type");
+    return;
+  }
+  switch (E->getKind()) {
+  case Expr::ExprKind::IntLiteral:
+    if (!isa<ScalarType>(E->getType()))
+      error("integer literal with non-scalar type");
+    break;
+  case Expr::ExprKind::DeclRef: {
+    const auto *DR = cast<DeclRef>(E);
+    if (DR->getType() != DR->getDecl()->getType())
+      error("DeclRef type differs from declaration type");
+    break;
+  }
+  case Expr::ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    checkExpr(U->getSubExpr());
+    switch (U->getOp()) {
+    case UnOp::Deref:
+      if (!isa<PointerType>(U->getSubExpr()->getType()))
+        error("dereference of non-pointer");
+      break;
+    case UnOp::AddrOf:
+      if (!isLValue(U->getSubExpr()))
+        error("address of rvalue");
+      if (!isa<PointerType>(U->getType()))
+        error("address-of with non-pointer result type");
+      break;
+    case UnOp::PreInc:
+    case UnOp::PreDec:
+    case UnOp::PostInc:
+    case UnOp::PostDec:
+      if (!isLValue(U->getSubExpr()))
+        error("++/-- on rvalue");
+      break;
+    default:
+      if (!U->getSubExpr()->getType()->isArithmetic())
+        error("arithmetic unary on non-arithmetic operand");
+      break;
+    }
+    break;
+  }
+  case Expr::ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    checkExpr(B->getLHS());
+    checkExpr(B->getRHS());
+    const Type *LT = B->getLHS()->getType();
+    const Type *RT = B->getRHS()->getType();
+    if (B->getOp() == BinOp::Comma)
+      break;
+    if (isa<PointerType>(LT)) {
+      if (B->getOp() != BinOp::Eq && B->getOp() != BinOp::Ne ||
+          LT != RT)
+        error("invalid pointer binary operation");
+      break;
+    }
+    // After TypeRules normalisation both operand types agree, except
+    // scalar shift/logical forms which promote independently.
+    bool SameOk = LT == RT;
+    bool ShiftOk = (B->getOp() == BinOp::Shl || B->getOp() == BinOp::Shr) &&
+                   isa<ScalarType>(LT) && isa<ScalarType>(RT);
+    bool LogicalOk = isLogicalOp(B->getOp()) && isa<ScalarType>(LT) &&
+                     isa<ScalarType>(RT);
+    if (!SameOk && !ShiftOk && !LogicalOk)
+      error("binary operand types not normalised: " + LT->str() + " vs " +
+            RT->str());
+    break;
+  }
+  case Expr::ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    checkExpr(A->getLHS());
+    checkExpr(A->getRHS());
+    if (!isLValue(A->getLHS()))
+      error("assignment to rvalue");
+    if (A->getOp() == AssignOp::Assign &&
+        A->getLHS()->getType() != A->getRHS()->getType())
+      error("assignment types not normalised");
+    if (A->getType() != A->getLHS()->getType())
+      error("assignment result type mismatch");
+    break;
+  }
+  case Expr::ExprKind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    checkExpr(C->getCond());
+    checkExpr(C->getTrueExpr());
+    checkExpr(C->getFalseExpr());
+    if (!isa<ScalarType>(C->getCond()->getType()) &&
+        !isa<PointerType>(C->getCond()->getType()))
+      error("conditional condition must be scalar");
+    if (C->getTrueExpr()->getType() != C->getFalseExpr()->getType())
+      error("conditional arms not normalised");
+    break;
+  }
+  case Expr::ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    const FunctionDecl *Callee = C->getCallee();
+    if (!Callee->getBody())
+      error("call to undefined function '" + Callee->getName() + "'");
+    if (C->args().size() != Callee->params().size()) {
+      error("call arity mismatch for '" + Callee->getName() + "'");
+      break;
+    }
+    for (size_t I = 0, N = C->args().size(); I != N; ++I) {
+      checkExpr(C->args()[I]);
+      if (C->args()[I]->getType() != Callee->params()[I]->getType())
+        error("call argument type mismatch for '" + Callee->getName() +
+              "'");
+    }
+    if (C->getType() != Callee->getReturnType())
+      error("call result type mismatch");
+    break;
+  }
+  case Expr::ExprKind::BuiltinCall: {
+    const auto *C = cast<BuiltinCallExpr>(E);
+    for (const Expr *A : C->args())
+      checkExpr(A);
+    if (isAtomicBuiltin(C->getBuiltin())) {
+      const auto *PT =
+          dyn_cast<PointerType>(C->getArg(0)->getType());
+      if (!PT || (PT->getAddressSpace() != AddressSpace::Global &&
+                  PT->getAddressSpace() != AddressSpace::Local))
+        error("atomic on non-shared pointer");
+    }
+    break;
+  }
+  case Expr::ExprKind::Index: {
+    const auto *Ix = cast<IndexExpr>(E);
+    checkExpr(Ix->getBase());
+    checkExpr(Ix->getIndex());
+    const Type *BT = Ix->getBase()->getType();
+    if (!isa<ArrayType>(BT) && !isa<PointerType>(BT))
+      error("subscript of non-array/pointer");
+    if (!isa<ScalarType>(Ix->getIndex()->getType()))
+      error("non-integer subscript");
+    break;
+  }
+  case Expr::ExprKind::Member: {
+    const auto *M = cast<MemberExpr>(E);
+    checkExpr(M->getBase());
+    const RecordType *RT = M->getRecordType();
+    if (!RT->isComplete())
+      error("member access into incomplete record");
+    else if (M->getFieldIndex() >= RT->getNumFields())
+      error("member index out of range");
+    else if (M->getType() != RT->getField(M->getFieldIndex()).Ty)
+      error("member type mismatch");
+    break;
+  }
+  case Expr::ExprKind::Swizzle: {
+    const auto *Sw = cast<SwizzleExpr>(E);
+    checkExpr(Sw->getBase());
+    const auto *VT = dyn_cast<VectorType>(Sw->getBase()->getType());
+    if (!VT) {
+      error("swizzle of non-vector");
+      break;
+    }
+    for (unsigned I : Sw->indices())
+      if (I >= VT->getNumLanes())
+        error("swizzle index out of range");
+    break;
+  }
+  case Expr::ExprKind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    checkExpr(C->getSubExpr());
+    if (!isa<ScalarType>(C->getType()) ||
+        !isa<ScalarType>(C->getSubExpr()->getType()))
+      error("cast between non-scalar types");
+    break;
+  }
+  case Expr::ExprKind::ImplicitCast: {
+    const auto *C = cast<ImplicitCastExpr>(E);
+    checkExpr(C->getSubExpr());
+    if (C->getCastKind() == ImplicitCastExpr::CastKind::VectorSplat &&
+        !isa<VectorType>(C->getType()))
+      error("splat to non-vector type");
+    break;
+  }
+  case Expr::ExprKind::VectorConstruct: {
+    const auto *V = cast<VectorConstructExpr>(E);
+    const auto *VT = cast<VectorType>(V->getType());
+    unsigned Lanes = 0;
+    for (const Expr *Elem : V->elements()) {
+      checkExpr(Elem);
+      if (const auto *EV = dyn_cast<VectorType>(Elem->getType())) {
+        if (EV->getElementType() != VT->getElementType())
+          error("vector construct element type mismatch");
+        Lanes += EV->getNumLanes();
+      } else {
+        if (Elem->getType() != VT->getElementType())
+          error("vector construct element type mismatch");
+        ++Lanes;
+      }
+    }
+    if (Lanes != VT->getNumLanes())
+      error("vector construct lane count mismatch");
+    break;
+  }
+  case Expr::ExprKind::InitList: {
+    const auto *IL = cast<InitListExpr>(E);
+    const Type *Ty = IL->getType();
+    if (!Ty) {
+      error("untyped initialiser list");
+      break;
+    }
+    if (const auto *RT = dyn_cast<RecordType>(Ty)) {
+      unsigned Limit = RT->isUnion() ? 1u : RT->getNumFields();
+      if (IL->inits().size() > Limit)
+        error("too many initialisers");
+      for (size_t I = 0; I != IL->inits().size(); ++I) {
+        checkExpr(IL->inits()[I]);
+        if (IL->inits()[I]->getType() != RT->getField(I).Ty)
+          error("initialiser type mismatch");
+      }
+    } else if (const auto *AT = dyn_cast<ArrayType>(Ty)) {
+      if (IL->inits().size() > AT->getNumElements())
+        error("too many initialisers");
+      for (const Expr *Sub : IL->inits()) {
+        checkExpr(Sub);
+        if (Sub->getType() != AT->getElementType())
+          error("initialiser type mismatch");
+      }
+    } else {
+      error("initialiser list for non-aggregate");
+    }
+    break;
+  }
+  }
+}
+
+void SemaChecker::checkVarDecl(const VarDecl *D, bool AtKernelTopLevel) {
+  if (D->getAddressSpace() == AddressSpace::Local && !AtKernelTopLevel)
+    error("local-memory variable '" + D->getName() +
+          "' must be declared at kernel scope");
+  if (const auto *RT = dyn_cast<RecordType>(D->getType()))
+    if (!RT->isComplete())
+      error("variable of incomplete record type");
+  if (Expr *Init = D->getInit()) {
+    checkExpr(Init);
+    if (Init->getType() != D->getType())
+      error("initialiser type differs from variable type for '" +
+            D->getName() + "'");
+  }
+}
+
+void SemaChecker::checkStmt(const Stmt *S, bool AtKernelTopLevel) {
+  switch (S->getKind()) {
+  case Stmt::StmtKind::Compound:
+    for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+      checkStmt(Child, AtKernelTopLevel);
+    break;
+  case Stmt::StmtKind::Decl:
+    checkVarDecl(cast<DeclStmt>(S)->getDecl(), AtKernelTopLevel);
+    break;
+  case Stmt::StmtKind::Expr:
+    checkExpr(cast<ExprStmt>(S)->getExpr());
+    break;
+  case Stmt::StmtKind::If: {
+    const auto *If = cast<IfStmt>(S);
+    checkExpr(If->getCond());
+    if (!isa<ScalarType>(If->getCond()->getType()) &&
+        !isa<PointerType>(If->getCond()->getType()))
+      error("if condition must be scalar");
+    checkStmt(If->getThen(), false);
+    if (If->getElse())
+      checkStmt(If->getElse(), false);
+    break;
+  }
+  case Stmt::StmtKind::For: {
+    const auto *For = cast<ForStmt>(S);
+    if (For->getInit())
+      checkStmt(For->getInit(), false);
+    if (For->getCond()) {
+      checkExpr(For->getCond());
+      if (!isa<ScalarType>(For->getCond()->getType()))
+        error("for condition must be scalar");
+    }
+    if (For->getStep())
+      checkExpr(For->getStep());
+    ++LoopDepth;
+    checkStmt(For->getBody(), false);
+    --LoopDepth;
+    break;
+  }
+  case Stmt::StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    checkExpr(W->getCond());
+    ++LoopDepth;
+    checkStmt(W->getBody(), false);
+    --LoopDepth;
+    break;
+  }
+  case Stmt::StmtKind::Do: {
+    const auto *D = cast<DoStmt>(S);
+    ++LoopDepth;
+    checkStmt(D->getBody(), false);
+    --LoopDepth;
+    checkExpr(D->getCond());
+    break;
+  }
+  case Stmt::StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    const Type *RetTy = CurFunction->getReturnType();
+    if (R->getValue()) {
+      checkExpr(R->getValue());
+      if (R->getValue()->getType() != RetTy)
+        error("return type mismatch in '" + CurFunction->getName() + "'");
+    } else if (!RetTy->isVoid()) {
+      error("missing return value in '" + CurFunction->getName() + "'");
+    }
+    break;
+  }
+  case Stmt::StmtKind::Break:
+  case Stmt::StmtKind::Continue:
+    if (LoopDepth == 0)
+      error("break/continue outside loop");
+    break;
+  case Stmt::StmtKind::Barrier:
+    if (cast<BarrierStmt>(S)->getFenceFlags() == 0)
+      error("barrier without a memory fence flag");
+    break;
+  case Stmt::StmtKind::Null:
+    break;
+  }
+}
+
+void SemaChecker::checkFunction(const FunctionDecl *F) {
+  CurFunction = F;
+  LoopDepth = 0;
+  if (F->isKernel()) {
+    if (!F->getReturnType()->isVoid())
+      error("kernel '" + F->getName() + "' must return void");
+    for (const VarDecl *P : F->params()) {
+      if (const auto *PT = dyn_cast<PointerType>(P->getType()))
+        if (PT->getAddressSpace() == AddressSpace::Private)
+          error("kernel pointer parameter '" + P->getName() +
+                "' must name global, local or constant memory");
+    }
+  }
+  if (F->getBody())
+    checkStmt(F->getBody(), F->isKernel());
+  CurFunction = nullptr;
+}
+
+bool SemaChecker::checkNoRecursion() {
+  // DFS over the static call graph; OpenCL C forbids recursion.
+  std::map<const FunctionDecl *, std::set<const FunctionDecl *>> Calls;
+  for (const FunctionDecl *F : Ctx.program().functions()) {
+    auto &Out = Calls[F];
+    // Collect callees by walking statements/expressions.
+    std::vector<const Stmt *> StmtStack;
+    std::vector<const Expr *> ExprStack;
+    if (F->getBody())
+      StmtStack.push_back(F->getBody());
+    auto PushExprsOfVar = [&ExprStack](const VarDecl *D) {
+      if (D->getInit())
+        ExprStack.push_back(D->getInit());
+    };
+    while (!StmtStack.empty() || !ExprStack.empty()) {
+      if (!ExprStack.empty()) {
+        const Expr *E = ExprStack.back();
+        ExprStack.pop_back();
+        switch (E->getKind()) {
+        case Expr::ExprKind::Call: {
+          const auto *C = cast<CallExpr>(E);
+          Out.insert(C->getCallee());
+          for (const Expr *A : C->args())
+            ExprStack.push_back(A);
+          break;
+        }
+        case Expr::ExprKind::Unary:
+          ExprStack.push_back(cast<UnaryExpr>(E)->getSubExpr());
+          break;
+        case Expr::ExprKind::Binary:
+          ExprStack.push_back(cast<BinaryExpr>(E)->getLHS());
+          ExprStack.push_back(cast<BinaryExpr>(E)->getRHS());
+          break;
+        case Expr::ExprKind::Assign:
+          ExprStack.push_back(cast<AssignExpr>(E)->getLHS());
+          ExprStack.push_back(cast<AssignExpr>(E)->getRHS());
+          break;
+        case Expr::ExprKind::Conditional:
+          ExprStack.push_back(cast<ConditionalExpr>(E)->getCond());
+          ExprStack.push_back(cast<ConditionalExpr>(E)->getTrueExpr());
+          ExprStack.push_back(cast<ConditionalExpr>(E)->getFalseExpr());
+          break;
+        case Expr::ExprKind::BuiltinCall:
+          for (const Expr *A : cast<BuiltinCallExpr>(E)->args())
+            ExprStack.push_back(A);
+          break;
+        case Expr::ExprKind::Index:
+          ExprStack.push_back(cast<IndexExpr>(E)->getBase());
+          ExprStack.push_back(cast<IndexExpr>(E)->getIndex());
+          break;
+        case Expr::ExprKind::Member:
+          ExprStack.push_back(cast<MemberExpr>(E)->getBase());
+          break;
+        case Expr::ExprKind::Swizzle:
+          ExprStack.push_back(cast<SwizzleExpr>(E)->getBase());
+          break;
+        case Expr::ExprKind::Cast:
+          ExprStack.push_back(cast<CastExpr>(E)->getSubExpr());
+          break;
+        case Expr::ExprKind::ImplicitCast:
+          ExprStack.push_back(cast<ImplicitCastExpr>(E)->getSubExpr());
+          break;
+        case Expr::ExprKind::VectorConstruct:
+          for (const Expr *Elem :
+               cast<VectorConstructExpr>(E)->elements())
+            ExprStack.push_back(Elem);
+          break;
+        case Expr::ExprKind::InitList:
+          for (const Expr *Sub : cast<InitListExpr>(E)->inits())
+            ExprStack.push_back(Sub);
+          break;
+        default:
+          break;
+        }
+        continue;
+      }
+      const Stmt *S = StmtStack.back();
+      StmtStack.pop_back();
+      switch (S->getKind()) {
+      case Stmt::StmtKind::Compound:
+        for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+          StmtStack.push_back(Child);
+        break;
+      case Stmt::StmtKind::Decl:
+        PushExprsOfVar(cast<DeclStmt>(S)->getDecl());
+        break;
+      case Stmt::StmtKind::Expr:
+        ExprStack.push_back(cast<ExprStmt>(S)->getExpr());
+        break;
+      case Stmt::StmtKind::If: {
+        const auto *If = cast<IfStmt>(S);
+        ExprStack.push_back(If->getCond());
+        StmtStack.push_back(If->getThen());
+        if (If->getElse())
+          StmtStack.push_back(If->getElse());
+        break;
+      }
+      case Stmt::StmtKind::For: {
+        const auto *For = cast<ForStmt>(S);
+        if (For->getInit())
+          StmtStack.push_back(For->getInit());
+        if (For->getCond())
+          ExprStack.push_back(For->getCond());
+        if (For->getStep())
+          ExprStack.push_back(For->getStep());
+        StmtStack.push_back(For->getBody());
+        break;
+      }
+      case Stmt::StmtKind::While:
+        ExprStack.push_back(cast<WhileStmt>(S)->getCond());
+        StmtStack.push_back(cast<WhileStmt>(S)->getBody());
+        break;
+      case Stmt::StmtKind::Do:
+        ExprStack.push_back(cast<DoStmt>(S)->getCond());
+        StmtStack.push_back(cast<DoStmt>(S)->getBody());
+        break;
+      case Stmt::StmtKind::Return:
+        if (cast<ReturnStmt>(S)->getValue())
+          ExprStack.push_back(cast<ReturnStmt>(S)->getValue());
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  // Cycle detection (3-colour DFS).
+  std::map<const FunctionDecl *, int> Colour;
+  bool HasCycle = false;
+  std::vector<std::pair<const FunctionDecl *, bool>> Work;
+  for (const FunctionDecl *F : Ctx.program().functions()) {
+    if (Colour[F] != 0)
+      continue;
+    Work.push_back({F, false});
+    while (!Work.empty()) {
+      auto [Node, Done] = Work.back();
+      Work.pop_back();
+      if (Done) {
+        Colour[Node] = 2;
+        continue;
+      }
+      if (Colour[Node] == 1)
+        continue;
+      Colour[Node] = 1;
+      Work.push_back({Node, true});
+      for (const FunctionDecl *Callee : Calls[Node]) {
+        if (Colour[Callee] == 1) {
+          // Grey callee on the stack path indicates a cycle.
+          HasCycle = true;
+        } else if (Colour[Callee] == 0) {
+          Work.push_back({Callee, false});
+        }
+      }
+    }
+  }
+  if (HasCycle)
+    error("recursion is not permitted in OpenCL C");
+  return !HasCycle;
+}
+
+bool SemaChecker::run() {
+  const Program &Prog = Ctx.program();
+  unsigned NumKernels = 0;
+  for (const FunctionDecl *F : Prog.functions())
+    if (F->isKernel())
+      ++NumKernels;
+  if (NumKernels != 1)
+    error("program must define exactly one kernel");
+  for (const FunctionDecl *F : Prog.functions())
+    checkFunction(F);
+  checkNoRecursion();
+  return !Diags.hasErrors();
+}
+
+bool clfuzz::checkProgram(const ASTContext &Ctx, DiagEngine &Diags) {
+  return SemaChecker(Ctx, Diags).run();
+}

@@ -1,0 +1,38 @@
+//===- Sema.h - MiniCL semantic validation ----------------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-program semantic validation for MiniCL. The parser types
+/// expressions as it builds them; Sema is the independent re-checker
+/// run over complete programs. It is also the compliance oracle for
+/// *generated* kernels: the CLsmith-style generator must produce trees
+/// that pass checkProgram, which the test suite verifies over many
+/// random seeds.
+///
+/// Checks include: structural typing of every node, lvalue-ness of
+/// assignment/addressing targets, loop contexts for break/continue,
+/// return-type agreement, completeness of called functions, absence of
+/// recursion (OpenCL C forbids it), kernel signature rules (void
+/// return, no private-pointer params), and placement of local-memory
+/// declarations at kernel scope.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_MINICL_SEMA_H
+#define CLFUZZ_MINICL_SEMA_H
+
+#include "minicl/AST.h"
+
+namespace clfuzz {
+
+/// Validates \p Ctx's program. Returns true if no errors were added to
+/// \p Diags.
+bool checkProgram(const ASTContext &Ctx, DiagEngine &Diags);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_MINICL_SEMA_H

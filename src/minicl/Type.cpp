@@ -1,0 +1,228 @@
+//===- Type.cpp - MiniCL type system --------------------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicl/Type.h"
+
+#include <sstream>
+
+using namespace clfuzz;
+
+const char *clfuzz::addressSpaceName(AddressSpace AS) {
+  switch (AS) {
+  case AddressSpace::Private:
+    return "private";
+  case AddressSpace::Global:
+    return "global";
+  case AddressSpace::Local:
+    return "local";
+  case AddressSpace::Constant:
+    return "constant";
+  }
+  assert(false && "unknown address space");
+  return "";
+}
+
+unsigned ScalarType::bitWidth() const {
+  switch (SK) {
+  case ScalarKind::Char:
+  case ScalarKind::UChar:
+    return 8;
+  case ScalarKind::Short:
+  case ScalarKind::UShort:
+    return 16;
+  case ScalarKind::Bool:
+  case ScalarKind::Int:
+  case ScalarKind::UInt:
+    return 32;
+  case ScalarKind::Long:
+  case ScalarKind::ULong:
+  case ScalarKind::SizeT:
+    return 64;
+  }
+  assert(false && "unknown scalar kind");
+  return 0;
+}
+
+bool ScalarType::isSigned() const {
+  switch (SK) {
+  case ScalarKind::Bool:
+  case ScalarKind::Char:
+  case ScalarKind::Short:
+  case ScalarKind::Int:
+  case ScalarKind::Long:
+    return true;
+  case ScalarKind::UChar:
+  case ScalarKind::UShort:
+  case ScalarKind::UInt:
+  case ScalarKind::ULong:
+  case ScalarKind::SizeT:
+    return false;
+  }
+  assert(false && "unknown scalar kind");
+  return false;
+}
+
+unsigned ScalarType::rank() const {
+  switch (SK) {
+  case ScalarKind::Bool:
+    return 1;
+  case ScalarKind::Char:
+  case ScalarKind::UChar:
+    return 2;
+  case ScalarKind::Short:
+  case ScalarKind::UShort:
+    return 3;
+  case ScalarKind::Int:
+  case ScalarKind::UInt:
+    return 4;
+  case ScalarKind::Long:
+  case ScalarKind::ULong:
+  case ScalarKind::SizeT:
+    return 5;
+  }
+  assert(false && "unknown scalar kind");
+  return 0;
+}
+
+const char *ScalarType::name() const {
+  switch (SK) {
+  case ScalarKind::Bool:
+    return "int"; // OpenCL C has no bool result type; comparisons yield int.
+  case ScalarKind::Char:
+    return "char";
+  case ScalarKind::UChar:
+    return "uchar";
+  case ScalarKind::Short:
+    return "short";
+  case ScalarKind::UShort:
+    return "ushort";
+  case ScalarKind::Int:
+    return "int";
+  case ScalarKind::UInt:
+    return "uint";
+  case ScalarKind::Long:
+    return "long";
+  case ScalarKind::ULong:
+    return "ulong";
+  case ScalarKind::SizeT:
+    return "size_t";
+  }
+  assert(false && "unknown scalar kind");
+  return "";
+}
+
+int RecordType::fieldIndex(const std::string &FieldName) const {
+  for (unsigned I = 0, E = Fields.size(); I != E; ++I)
+    if (Fields[I].Name == FieldName)
+      return static_cast<int>(I);
+  return -1;
+}
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Scalar:
+    return cast<ScalarType>(this)->name();
+  case TypeKind::Vector: {
+    const auto *VT = cast<VectorType>(this);
+    std::ostringstream OS;
+    OS << VT->getElementType()->name() << VT->getNumLanes();
+    return OS.str();
+  }
+  case TypeKind::Record: {
+    const auto *RT = cast<RecordType>(this);
+    return (RT->isUnion() ? "union " : "struct ") + RT->getName();
+  }
+  case TypeKind::Array: {
+    const auto *AT = cast<ArrayType>(this);
+    std::ostringstream OS;
+    OS << AT->getElementType()->str() << '[' << AT->getNumElements()
+       << ']';
+    return OS.str();
+  }
+  case TypeKind::Pointer: {
+    const auto *PT = cast<PointerType>(this);
+    std::string S;
+    if (PT->getAddressSpace() != AddressSpace::Private) {
+      S += addressSpaceName(PT->getAddressSpace());
+      S += ' ';
+    }
+    if (PT->isPointeeVolatile())
+      S += "volatile ";
+    S += PT->getPointeeType()->str();
+    S += " *";
+    return S;
+  }
+  }
+  assert(false && "unknown type kind");
+  return "";
+}
+
+TypeContext::TypeContext()
+    : Scalars{ScalarType(ScalarKind::Bool),   ScalarType(ScalarKind::Char),
+              ScalarType(ScalarKind::UChar),  ScalarType(ScalarKind::Short),
+              ScalarType(ScalarKind::UShort), ScalarType(ScalarKind::Int),
+              ScalarType(ScalarKind::UInt),   ScalarType(ScalarKind::Long),
+              ScalarType(ScalarKind::ULong),  ScalarType(ScalarKind::SizeT)} {
+}
+
+const ScalarType *TypeContext::scalar(ScalarKind SK) const {
+  return &Scalars[static_cast<unsigned>(SK)];
+}
+
+const VectorType *TypeContext::vector(const ScalarType *Elem,
+                                      unsigned NumLanes) {
+  auto Key = std::make_pair(Elem, NumLanes);
+  auto It = Vectors.find(Key);
+  if (It != Vectors.end())
+    return It->second.get();
+  auto VT = std::make_unique<VectorType>(Elem, NumLanes);
+  const VectorType *Result = VT.get();
+  Vectors.emplace(Key, std::move(VT));
+  return Result;
+}
+
+const ArrayType *TypeContext::array(const Type *Elem,
+                                    uint64_t NumElements) {
+  auto Key = std::make_pair(Elem, NumElements);
+  auto It = Arrays.find(Key);
+  if (It != Arrays.end())
+    return It->second.get();
+  auto AT = std::make_unique<ArrayType>(Elem, NumElements);
+  const ArrayType *Result = AT.get();
+  Arrays.emplace(Key, std::move(AT));
+  return Result;
+}
+
+const PointerType *TypeContext::pointer(const Type *Pointee,
+                                        AddressSpace AS,
+                                        bool PointeeVolatile) {
+  auto Key = std::make_tuple(Pointee, AS, PointeeVolatile);
+  auto It = Pointers.find(Key);
+  if (It != Pointers.end())
+    return It->second.get();
+  auto PT = std::make_unique<PointerType>(Pointee, AS, PointeeVolatile);
+  const PointerType *Result = PT.get();
+  Pointers.emplace(Key, std::move(PT));
+  return Result;
+}
+
+RecordType *TypeContext::createRecord(std::string Name, bool IsUnion) {
+  auto RT = std::make_unique<RecordType>(std::move(Name), IsUnion);
+  RecordType *Result = RT.get();
+  Records.push_back(std::move(RT));
+  RecordList.push_back(Result);
+  return Result;
+}
+
+RecordType *TypeContext::findRecord(const std::string &Name) const {
+  for (RecordType *RT : RecordList)
+    if (RT->getName() == Name)
+      return RT;
+  return nullptr;
+}

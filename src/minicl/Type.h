@@ -1,0 +1,304 @@
+//===- Type.h - MiniCL type system ------------------------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type system of MiniCL, the OpenCL C subset used throughout the
+/// project. MiniCL is integer-only (the paper's generator deliberately
+/// avoids floating point, §9) and provides:
+///
+///  * the OpenCL scalar integer types (char/uchar .. long/ulong, bool,
+///    and a distinct size_t as returned by get_group_id and friends);
+///  * vectors of length 2/4/8/16 over any integer element type;
+///  * structs and unions (with per-field volatility, as exercised by
+///    Figure 1(b) of the paper);
+///  * fixed-length arrays (multi-dimensional via nesting);
+///  * pointers carrying an OpenCL address space.
+///
+/// Types are interned: equal types are pointer-equal. All Type objects
+/// are owned by a TypeContext.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_MINICL_TYPE_H
+#define CLFUZZ_MINICL_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+/// The four OpenCL 1.x disjoint address spaces (§3.1 of the paper).
+enum class AddressSpace : uint8_t { Private, Global, Local, Constant };
+
+/// Returns the OpenCL C qualifier spelling ("", "global", ...).
+const char *addressSpaceName(AddressSpace AS);
+
+/// The scalar integer kinds of MiniCL. `Bool` is the result type of
+/// relational/logical operators (printed as `int` per OpenCL C);
+/// `SizeT` is kept distinct from ULong so the front end can model the
+/// configuration-15 bug that rejects legal int/size_t mixtures (§6).
+enum class ScalarKind : uint8_t {
+  Bool,
+  Char,
+  UChar,
+  Short,
+  UShort,
+  Int,
+  UInt,
+  Long,
+  ULong,
+  SizeT,
+};
+
+/// Base class of the MiniCL type hierarchy (Kind-enum RTTI).
+class Type {
+public:
+  enum class TypeKind : uint8_t {
+    Void,
+    Scalar,
+    Vector,
+    Record,
+    Array,
+    Pointer,
+  };
+
+  TypeKind getKind() const { return Kind; }
+
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isScalar() const { return Kind == TypeKind::Scalar; }
+  bool isVector() const { return Kind == TypeKind::Vector; }
+  bool isRecord() const { return Kind == TypeKind::Record; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+  bool isPointer() const { return Kind == TypeKind::Pointer; }
+
+  /// True for scalar or vector integer types.
+  bool isArithmetic() const { return isScalar() || isVector(); }
+
+  /// OpenCL C spelling of this type (e.g. "uint4", "struct S0").
+  std::string str() const;
+
+protected:
+  explicit Type(TypeKind K) : Kind(K) {}
+  ~Type() = default;
+
+private:
+  TypeKind Kind;
+};
+
+/// The `void` type (function returns only).
+class VoidType : public Type {
+public:
+  VoidType() : Type(TypeKind::Void) {}
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Void;
+  }
+};
+
+/// A scalar integer type.
+class ScalarType : public Type {
+public:
+  explicit ScalarType(ScalarKind SK) : Type(TypeKind::Scalar), SK(SK) {}
+
+  ScalarKind getScalarKind() const { return SK; }
+
+  /// Width in bits (bool is modelled as 32-bit, matching OpenCL C where
+  /// relational operators yield int).
+  unsigned bitWidth() const;
+
+  /// Width in bytes.
+  unsigned byteWidth() const { return bitWidth() / 8; }
+
+  bool isSigned() const;
+  bool isBool() const { return SK == ScalarKind::Bool; }
+  bool isSizeT() const { return SK == ScalarKind::SizeT; }
+
+  /// C99 integer conversion rank used for usual arithmetic conversions.
+  unsigned rank() const;
+
+  /// OpenCL C spelling ("char", "uint", ...).
+  const char *name() const;
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Scalar;
+  }
+
+private:
+  ScalarKind SK;
+};
+
+/// An OpenCL vector type: N lanes of a scalar element type.
+class VectorType : public Type {
+public:
+  VectorType(const ScalarType *Elem, unsigned NumLanes)
+      : Type(TypeKind::Vector), Elem(Elem), NumLanes(NumLanes) {
+    assert((NumLanes == 2 || NumLanes == 4 || NumLanes == 8 ||
+            NumLanes == 16) &&
+           "unsupported vector width");
+  }
+
+  const ScalarType *getElementType() const { return Elem; }
+  unsigned getNumLanes() const { return NumLanes; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Vector;
+  }
+
+private:
+  const ScalarType *Elem;
+  unsigned NumLanes;
+};
+
+/// A named member of a struct or union.
+struct RecordField {
+  std::string Name;
+  const Type *Ty = nullptr;
+  bool IsVolatile = false;
+};
+
+/// A struct or union type. Fields are appended after construction so
+/// that self-referential pointer fields can be expressed; a record must
+/// be finalised (`setComplete`) before layout or sema queries.
+class RecordType : public Type {
+public:
+  RecordType(std::string Name, bool IsUnion)
+      : Type(TypeKind::Record), Name(std::move(Name)), Union(IsUnion) {}
+
+  const std::string &getName() const { return Name; }
+  /// Renames the record (used when a typedef alias supersedes an
+  /// anonymous tag).
+  void setName(std::string NewName) { Name = std::move(NewName); }
+  bool isUnion() const { return Union; }
+
+  void addField(RecordField F) {
+    assert(!Complete && "adding a field to a completed record");
+    Fields.push_back(std::move(F));
+  }
+
+  void setComplete() { Complete = true; }
+  bool isComplete() const { return Complete; }
+
+  const std::vector<RecordField> &fields() const { return Fields; }
+  unsigned getNumFields() const { return Fields.size(); }
+  const RecordField &getField(unsigned I) const {
+    assert(I < Fields.size() && "field index out of range");
+    return Fields[I];
+  }
+
+  /// Returns the index of the field called \p Name, or -1.
+  int fieldIndex(const std::string &FieldName) const;
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Record;
+  }
+
+private:
+  std::string Name;
+  bool Union;
+  bool Complete = false;
+  std::vector<RecordField> Fields;
+};
+
+/// A fixed-length array type.
+class ArrayType : public Type {
+public:
+  ArrayType(const Type *Elem, uint64_t NumElements)
+      : Type(TypeKind::Array), Elem(Elem), NumElements(NumElements) {}
+
+  const Type *getElementType() const { return Elem; }
+  uint64_t getNumElements() const { return NumElements; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Array;
+  }
+
+private:
+  const Type *Elem;
+  uint64_t NumElements;
+};
+
+/// A pointer type. The address space describes where the pointee lives;
+/// `PointeeVolatile` models `volatile T *`.
+class PointerType : public Type {
+public:
+  PointerType(const Type *Pointee, AddressSpace AS, bool PointeeVolatile)
+      : Type(TypeKind::Pointer), Pointee(Pointee), AS(AS),
+        PointeeVolatile(PointeeVolatile) {}
+
+  const Type *getPointeeType() const { return Pointee; }
+  AddressSpace getAddressSpace() const { return AS; }
+  bool isPointeeVolatile() const { return PointeeVolatile; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Pointer;
+  }
+
+private:
+  const Type *Pointee;
+  AddressSpace AS;
+  bool PointeeVolatile;
+};
+
+/// Owns and interns all types of one translation unit / generation run.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  const VoidType *voidTy() const { return &VoidT; }
+  const ScalarType *scalar(ScalarKind SK) const;
+
+  const ScalarType *boolTy() const { return scalar(ScalarKind::Bool); }
+  const ScalarType *charTy() const { return scalar(ScalarKind::Char); }
+  const ScalarType *ucharTy() const { return scalar(ScalarKind::UChar); }
+  const ScalarType *shortTy() const { return scalar(ScalarKind::Short); }
+  const ScalarType *ushortTy() const { return scalar(ScalarKind::UShort); }
+  const ScalarType *intTy() const { return scalar(ScalarKind::Int); }
+  const ScalarType *uintTy() const { return scalar(ScalarKind::UInt); }
+  const ScalarType *longTy() const { return scalar(ScalarKind::Long); }
+  const ScalarType *ulongTy() const { return scalar(ScalarKind::ULong); }
+  const ScalarType *sizeTy() const { return scalar(ScalarKind::SizeT); }
+
+  const VectorType *vector(const ScalarType *Elem, unsigned NumLanes);
+  const ArrayType *array(const Type *Elem, uint64_t NumElements);
+  const PointerType *pointer(const Type *Pointee, AddressSpace AS,
+                             bool PointeeVolatile = false);
+
+  /// Creates a fresh, incomplete record type. Record types are nominal:
+  /// two records with identical fields remain distinct types.
+  RecordType *createRecord(std::string Name, bool IsUnion);
+
+  /// Looks up a record previously created with \p Name, or null.
+  RecordType *findRecord(const std::string &Name) const;
+
+  const std::vector<RecordType *> &records() const { return RecordList; }
+
+private:
+  VoidType VoidT;
+  ScalarType Scalars[10];
+  std::map<std::pair<const ScalarType *, unsigned>,
+           std::unique_ptr<VectorType>>
+      Vectors;
+  std::map<std::pair<const Type *, uint64_t>, std::unique_ptr<ArrayType>>
+      Arrays;
+  std::map<std::tuple<const Type *, AddressSpace, bool>,
+           std::unique_ptr<PointerType>>
+      Pointers;
+  std::vector<std::unique_ptr<RecordType>> Records;
+  std::vector<RecordType *> RecordList;
+};
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_MINICL_TYPE_H

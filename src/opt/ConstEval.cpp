@@ -1,0 +1,225 @@
+//===- ConstEval.cpp - Compile-time expression evaluation ------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/ConstEval.h"
+#include "minicl/IntOps.h"
+
+using namespace clfuzz;
+
+std::optional<ConstValue> clfuzz::evalConstExpr(const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::ExprKind::IntLiteral: {
+    const auto *Lit = cast<IntLiteral>(E);
+    ConstValue V;
+    V.Ty = Lit->getType();
+    V.Lanes[0] = Lit->getValue();
+    return V;
+  }
+  case Expr::ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->getOp() != UnOp::Plus && U->getOp() != UnOp::Minus &&
+        U->getOp() != UnOp::Not && U->getOp() != UnOp::BitNot)
+      return std::nullopt;
+    auto Sub = evalConstExpr(U->getSubExpr());
+    if (!Sub)
+      return std::nullopt;
+    LaneType LT = laneTypeOf(E->getType());
+    ConstValue V;
+    V.Ty = E->getType();
+    V.NumLanes = Sub->NumLanes;
+    for (unsigned I = 0; I != Sub->NumLanes; ++I) {
+      switch (U->getOp()) {
+      case UnOp::Plus:
+        V.Lanes[I] = maskToWidth(Sub->Lanes[I], LT.Width);
+        break;
+      case UnOp::Minus:
+        V.Lanes[I] = maskToWidth(0 - Sub->Lanes[I], LT.Width);
+        break;
+      case UnOp::BitNot:
+        V.Lanes[I] = maskToWidth(~Sub->Lanes[I], LT.Width);
+        break;
+      case UnOp::Not:
+        V.Lanes[I] = Sub->Lanes[I] == 0 ? 1 : 0;
+        break;
+      default:
+        break;
+      }
+    }
+    return V;
+  }
+  case Expr::ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    if (B->getOp() == BinOp::Comma)
+      return std::nullopt; // folded by Simplify, not ConstEval
+    auto L = evalConstExpr(B->getLHS());
+    if (!L)
+      return std::nullopt;
+    // Short-circuit forms can decide from the left operand alone.
+    if (B->getOp() == BinOp::LAnd && !B->getLHS()->getType()->isVector() &&
+        L->Lanes[0] == 0) {
+      ConstValue V;
+      V.Ty = E->getType();
+      V.Lanes[0] = 0;
+      return V;
+    }
+    if (B->getOp() == BinOp::LOr && !B->getLHS()->getType()->isVector() &&
+        L->Lanes[0] != 0) {
+      ConstValue V;
+      V.Ty = E->getType();
+      V.Lanes[0] = 1;
+      return V;
+    }
+    auto R = evalConstExpr(B->getRHS());
+    if (!R)
+      return std::nullopt;
+    LaneType LT = laneTypeOf(B->getLHS()->getType());
+    bool VecCmp = E->getType()->isVector() &&
+                  (isComparisonOp(B->getOp()) || isLogicalOp(B->getOp()));
+    unsigned RW = laneTypeOf(E->getType()).Width;
+    ConstValue V;
+    V.Ty = E->getType();
+    V.NumLanes = std::max(L->NumLanes, R->NumLanes);
+    for (unsigned I = 0; I != V.NumLanes; ++I) {
+      uint64_t Out;
+      if (!evalBinLane(B->getOp(), LT, L->Lanes[I], R->Lanes[I], VecCmp,
+                       RW, Out))
+        return std::nullopt; // constant division by zero: leave for VM
+      V.Lanes[I] = maskToWidth(Out, RW);
+    }
+    return V;
+  }
+  case Expr::ExprKind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    auto Cond = evalConstExpr(C->getCond());
+    if (!Cond)
+      return std::nullopt;
+    return evalConstExpr(Cond->Lanes[0] != 0 ? C->getTrueExpr()
+                                             : C->getFalseExpr());
+  }
+  case Expr::ExprKind::BuiltinCall: {
+    const auto *C = cast<BuiltinCallExpr>(E);
+    Builtin B = C->getBuiltin();
+    if (isAtomicBuiltin(B) || isWorkItemBuiltin(B))
+      return std::nullopt;
+    std::array<ConstValue, 3> Args;
+    if (C->getNumArgs() > 3)
+      return std::nullopt;
+    for (unsigned I = 0; I != C->getNumArgs(); ++I) {
+      auto A = evalConstExpr(C->getArg(I));
+      if (!A)
+        return std::nullopt;
+      Args[I] = *A;
+    }
+    if (B == Builtin::ConvertVector) {
+      const auto *ToVT = cast<VectorType>(E->getType());
+      const auto *FromVT =
+          cast<VectorType>(C->getArg(0)->getType());
+      LaneType FromLT = laneTypeOf(FromVT);
+      ConstValue V;
+      V.Ty = ToVT;
+      V.NumLanes = ToVT->getNumLanes();
+      for (unsigned I = 0; I != V.NumLanes; ++I) {
+        uint64_t Bits =
+            FromLT.Signed
+                ? static_cast<uint64_t>(
+                      signExtend(Args[0].Lanes[I], FromLT.Width))
+                : Args[0].Lanes[I];
+        V.Lanes[I] =
+            maskToWidth(Bits, ToVT->getElementType()->bitWidth());
+      }
+      return V;
+    }
+    LaneType LT = laneTypeOf(C->getArg(0)->getType());
+    ConstValue V;
+    V.Ty = E->getType();
+    V.NumLanes = Args[0].NumLanes;
+    for (unsigned I = 0; I != V.NumLanes; ++I) {
+      uint64_t ArgBits[3] = {Args[0].Lanes[I], Args[1].Lanes[I],
+                             Args[2].Lanes[I]};
+      V.Lanes[I] = maskToWidth(evalBuiltinLane(B, LT, ArgBits),
+                               laneTypeOf(E->getType()).Width);
+    }
+    return V;
+  }
+  case Expr::ExprKind::Cast:
+  case Expr::ExprKind::ImplicitCast: {
+    const Expr *Sub = E->getKind() == Expr::ExprKind::Cast
+                          ? cast<CastExpr>(E)->getSubExpr()
+                          : cast<ImplicitCastExpr>(E)->getSubExpr();
+    auto V = evalConstExpr(Sub);
+    if (!V)
+      return std::nullopt;
+    if (const auto *ICE = dyn_cast<ImplicitCastExpr>(E)) {
+      if (ICE->getCastKind() == ImplicitCastExpr::CastKind::VectorSplat) {
+        const auto *VT = cast<VectorType>(E->getType());
+        ConstValue Out;
+        Out.Ty = VT;
+        Out.NumLanes = VT->getNumLanes();
+        uint64_t Bits = maskToWidth(V->Lanes[0],
+                                    VT->getElementType()->bitWidth());
+        for (unsigned I = 0; I != Out.NumLanes; ++I)
+          Out.Lanes[I] = Bits;
+        return Out;
+      }
+    }
+    if (isa<PointerType>(E->getType()))
+      return std::nullopt; // null pointer constants stay symbolic
+    LaneType SrcLT = laneTypeOf(Sub->getType());
+    LaneType DstLT = laneTypeOf(E->getType());
+    ConstValue Out;
+    Out.Ty = E->getType();
+    Out.NumLanes = V->NumLanes;
+    for (unsigned I = 0; I != V->NumLanes; ++I) {
+      uint64_t Bits = SrcLT.Signed
+                          ? static_cast<uint64_t>(
+                                signExtend(V->Lanes[I], SrcLT.Width))
+                          : V->Lanes[I];
+      Out.Lanes[I] = maskToWidth(Bits, DstLT.Width);
+    }
+    return Out;
+  }
+  case Expr::ExprKind::VectorConstruct: {
+    const auto *VC = cast<VectorConstructExpr>(E);
+    ConstValue Out;
+    Out.Ty = E->getType();
+    Out.NumLanes = cast<VectorType>(E->getType())->getNumLanes();
+    unsigned Lane = 0;
+    for (const Expr *Elem : VC->elements()) {
+      auto V = evalConstExpr(Elem);
+      if (!V)
+        return std::nullopt;
+      for (unsigned I = 0; I != V->NumLanes && Lane < 16; ++I)
+        Out.Lanes[Lane++] = V->Lanes[I];
+    }
+    return Out;
+  }
+  case Expr::ExprKind::Swizzle: {
+    const auto *Sw = cast<SwizzleExpr>(E);
+    auto Base = evalConstExpr(Sw->getBase());
+    if (!Base)
+      return std::nullopt;
+    ConstValue Out;
+    Out.Ty = E->getType();
+    Out.NumLanes = static_cast<unsigned>(Sw->indices().size());
+    for (unsigned I = 0; I != Out.NumLanes; ++I)
+      Out.Lanes[I] = Base->Lanes[Sw->indices()[I]];
+    return Out;
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+Expr *clfuzz::materializeConst(ASTContext &Ctx, const ConstValue &V) {
+  if (const auto *VT = dyn_cast<VectorType>(V.Ty)) {
+    std::vector<Expr *> Elems;
+    for (unsigned I = 0; I != VT->getNumLanes(); ++I)
+      Elems.push_back(Ctx.intLit(V.Lanes[I], VT->getElementType()));
+    return Ctx.makeExpr<VectorConstructExpr>(std::move(Elems), VT);
+  }
+  return Ctx.intLit(V.Lanes[0], cast<ScalarType>(V.Ty));
+}

@@ -1,0 +1,45 @@
+//===- ConstEval.h - Compile-time expression evaluation ---------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time evaluation of pure MiniCL expressions, sharing lane
+/// semantics with the VM through minicl/IntOps.h so that a *correct*
+/// fold can never disagree with runtime evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_OPT_CONSTEVAL_H
+#define CLFUZZ_OPT_CONSTEVAL_H
+
+#include "minicl/AST.h"
+
+#include <array>
+#include <optional>
+
+namespace clfuzz {
+
+/// A compile-time constant (scalar or vector of masked lanes).
+struct ConstValue {
+  const Type *Ty = nullptr;
+  unsigned NumLanes = 1;
+  std::array<uint64_t, 16> Lanes = {};
+
+  bool isScalar() const { return NumLanes == 1 && !Ty->isVector(); }
+};
+
+/// Evaluates \p E if it is a compile-time constant with defined
+/// semantics. Division by a zero constant, atomics, loads, work-item
+/// queries and side-effecting nodes yield nullopt.
+std::optional<ConstValue> evalConstExpr(const Expr *E);
+
+/// Materialises a ConstValue as an expression (IntLiteral or a
+/// VectorConstructExpr of literals).
+Expr *materializeConst(ASTContext &Ctx, const ConstValue &V);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_OPT_CONSTEVAL_H

@@ -1,0 +1,389 @@
+//===- CopyProp.cpp - Literal copy propagation --------------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Conservative forward propagation of literal constants assigned to
+/// address-untaken, non-volatile scalar locals. Propagation proceeds
+/// through straight-line statements of a block; any statement carrying
+/// control flow, calls, barriers or atomics flushes the whole map (the
+/// variables themselves could not be touched - their address is never
+/// taken - but the conservative flush keeps the pass small and
+/// evidently sound). Feeds the constant folder in the standard
+/// pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "minicl/ASTQueries.h"
+#include "minicl/ASTRewrite.h"
+#include "opt/ConstEval.h"
+#include "opt/Pass.h"
+
+#include <map>
+#include <set>
+
+using namespace clfuzz;
+
+namespace {
+
+class CopyPropPass : public Pass {
+public:
+  const char *name() const override { return "copyprop"; }
+
+  void runOnFunction(FunctionDecl *F, ASTContext &Ctx) override {
+    if (!F->getBody())
+      return;
+    AddrTaken = collectAddressTaken(F);
+    processCompound(F->getBody(), Ctx);
+  }
+
+private:
+  using LitMap = std::map<const VarDecl *, const IntLiteral *>;
+
+  void processCompound(CompoundStmt *C, ASTContext &Ctx);
+  /// True if \p S is "transparent": propagation may continue past it.
+  static bool isStraightLine(const Stmt *S) {
+    if (!isa<DeclStmt, ExprStmt, NullStmt>(S))
+      return false;
+    const Expr *E = nullptr;
+    if (const auto *DS = dyn_cast<DeclStmt>(S))
+      E = DS->getDecl()->getInit();
+    else if (const auto *ES = dyn_cast<ExprStmt>(S))
+      E = ES->getExpr();
+    if (!E)
+      return true;
+    bool HasBlocker = false;
+    forEachChildDeep(E, HasBlocker);
+    return !HasBlocker;
+  }
+
+  static void forEachChildDeep(const Expr *E, bool &HasBlocker) {
+    if (isa<CallExpr>(E)) {
+      HasBlocker = true;
+      return;
+    }
+    if (const auto *B = dyn_cast<BuiltinCallExpr>(E))
+      if (isAtomicBuiltin(B->getBuiltin()))
+        HasBlocker = true;
+    switch (E->getKind()) {
+    case Expr::ExprKind::Unary:
+      forEachChildDeep(cast<UnaryExpr>(E)->getSubExpr(), HasBlocker);
+      break;
+    case Expr::ExprKind::Binary:
+      forEachChildDeep(cast<BinaryExpr>(E)->getLHS(), HasBlocker);
+      forEachChildDeep(cast<BinaryExpr>(E)->getRHS(), HasBlocker);
+      break;
+    case Expr::ExprKind::Assign:
+      forEachChildDeep(cast<AssignExpr>(E)->getLHS(), HasBlocker);
+      forEachChildDeep(cast<AssignExpr>(E)->getRHS(), HasBlocker);
+      break;
+    case Expr::ExprKind::Conditional:
+      forEachChildDeep(cast<ConditionalExpr>(E)->getCond(), HasBlocker);
+      forEachChildDeep(cast<ConditionalExpr>(E)->getTrueExpr(),
+                       HasBlocker);
+      forEachChildDeep(cast<ConditionalExpr>(E)->getFalseExpr(),
+                       HasBlocker);
+      break;
+    case Expr::ExprKind::BuiltinCall:
+      for (const Expr *A : cast<BuiltinCallExpr>(E)->args())
+        forEachChildDeep(A, HasBlocker);
+      break;
+    case Expr::ExprKind::Index:
+      forEachChildDeep(cast<IndexExpr>(E)->getBase(), HasBlocker);
+      forEachChildDeep(cast<IndexExpr>(E)->getIndex(), HasBlocker);
+      break;
+    case Expr::ExprKind::Member:
+      forEachChildDeep(cast<MemberExpr>(E)->getBase(), HasBlocker);
+      break;
+    case Expr::ExprKind::Swizzle:
+      forEachChildDeep(cast<SwizzleExpr>(E)->getBase(), HasBlocker);
+      break;
+    case Expr::ExprKind::Cast:
+      forEachChildDeep(cast<CastExpr>(E)->getSubExpr(), HasBlocker);
+      break;
+    case Expr::ExprKind::ImplicitCast:
+      forEachChildDeep(cast<ImplicitCastExpr>(E)->getSubExpr(),
+                       HasBlocker);
+      break;
+    case Expr::ExprKind::VectorConstruct:
+      for (const Expr *Elem : cast<VectorConstructExpr>(E)->elements())
+        forEachChildDeep(Elem, HasBlocker);
+      break;
+    case Expr::ExprKind::InitList:
+      for (const Expr *Sub : cast<InitListExpr>(E)->inits())
+        forEachChildDeep(Sub, HasBlocker);
+      break;
+    default:
+      break;
+    }
+  }
+
+  /// Substitutes known literals into reads inside \p E; records kills
+  /// and new facts from assignments.
+  Expr *substitute(ASTContext &Ctx, Expr *E, LitMap &Map);
+  void killWrites(const Expr *E, LitMap &Map);
+
+  std::set<const VarDecl *> AddrTaken;
+};
+
+} // namespace
+
+/// True if \p E contains any store (assignment or ++/--). Substitution
+/// is skipped for such expressions: a mapped variable might appear in
+/// lvalue position.
+static bool containsWrites(const Expr *E) {
+  bool Found = false;
+  std::function<void(const Expr *)> Walk = [&](const Expr *Node) {
+    if (isa<AssignExpr>(Node))
+      Found = true;
+    if (const auto *U = dyn_cast<UnaryExpr>(Node))
+      if (isIncDecOp(U->getOp()))
+        Found = true;
+    switch (Node->getKind()) {
+    case Expr::ExprKind::Unary:
+      Walk(cast<UnaryExpr>(Node)->getSubExpr());
+      break;
+    case Expr::ExprKind::Binary:
+      Walk(cast<BinaryExpr>(Node)->getLHS());
+      Walk(cast<BinaryExpr>(Node)->getRHS());
+      break;
+    case Expr::ExprKind::Assign:
+      Walk(cast<AssignExpr>(Node)->getLHS());
+      Walk(cast<AssignExpr>(Node)->getRHS());
+      break;
+    case Expr::ExprKind::Conditional:
+      Walk(cast<ConditionalExpr>(Node)->getCond());
+      Walk(cast<ConditionalExpr>(Node)->getTrueExpr());
+      Walk(cast<ConditionalExpr>(Node)->getFalseExpr());
+      break;
+    case Expr::ExprKind::Call:
+      for (const Expr *A : cast<CallExpr>(Node)->args())
+        Walk(A);
+      break;
+    case Expr::ExprKind::BuiltinCall:
+      for (const Expr *A : cast<BuiltinCallExpr>(Node)->args())
+        Walk(A);
+      break;
+    case Expr::ExprKind::Index:
+      Walk(cast<IndexExpr>(Node)->getBase());
+      Walk(cast<IndexExpr>(Node)->getIndex());
+      break;
+    case Expr::ExprKind::Member:
+      Walk(cast<MemberExpr>(Node)->getBase());
+      break;
+    case Expr::ExprKind::Swizzle:
+      Walk(cast<SwizzleExpr>(Node)->getBase());
+      break;
+    case Expr::ExprKind::Cast:
+      Walk(cast<CastExpr>(Node)->getSubExpr());
+      break;
+    case Expr::ExprKind::ImplicitCast:
+      Walk(cast<ImplicitCastExpr>(Node)->getSubExpr());
+      break;
+    case Expr::ExprKind::VectorConstruct:
+      for (const Expr *Elem : cast<VectorConstructExpr>(Node)->elements())
+        Walk(Elem);
+      break;
+    case Expr::ExprKind::InitList:
+      for (const Expr *Sub : cast<InitListExpr>(Node)->inits())
+        Walk(Sub);
+      break;
+    default:
+      break;
+    }
+  };
+  Walk(E);
+  return Found;
+}
+
+Expr *CopyPropPass::substitute(ASTContext &Ctx, Expr *E, LitMap &Map) {
+  if (Map.empty() || containsWrites(E))
+    return E;
+  Expr *New = rewriteExpr(Ctx, E, [&Map, &Ctx](Expr *Node) -> Expr * {
+    const auto *DR = dyn_cast<DeclRef>(Node);
+    if (!DR)
+      return Node;
+    auto It = Map.find(DR->getDecl());
+    if (It == Map.end())
+      return Node;
+    return Ctx.intLit(It->second->getValue(),
+                      cast<ScalarType>(It->second->getType()));
+  });
+  // Fold the substituted expression locally so literal facts chain
+  // through `int b = a + 3;` within one pass run.
+  if (New != E && isa<ScalarType>(New->getType()) &&
+      !isa<IntLiteral>(New)) {
+    if (auto V = evalConstExpr(New))
+      return materializeConst(Ctx, *V);
+  }
+  return New;
+}
+
+void CopyPropPass::killWrites(const Expr *E, LitMap &Map) {
+  // Remove facts for any variable written anywhere in E.
+  std::function<void(const Expr *)> Walk = [&](const Expr *Node) {
+    if (const auto *A = dyn_cast<AssignExpr>(Node)) {
+      if (const auto *DR = dyn_cast<DeclRef>(A->getLHS()))
+        Map.erase(DR->getDecl());
+      Walk(A->getLHS());
+      Walk(A->getRHS());
+      return;
+    }
+    if (const auto *U = dyn_cast<UnaryExpr>(Node)) {
+      if (isIncDecOp(U->getOp()))
+        if (const auto *DR = dyn_cast<DeclRef>(U->getSubExpr()))
+          Map.erase(DR->getDecl());
+      Walk(U->getSubExpr());
+      return;
+    }
+    switch (Node->getKind()) {
+    case Expr::ExprKind::Binary:
+      Walk(cast<BinaryExpr>(Node)->getLHS());
+      Walk(cast<BinaryExpr>(Node)->getRHS());
+      break;
+    case Expr::ExprKind::Conditional:
+      Walk(cast<ConditionalExpr>(Node)->getCond());
+      Walk(cast<ConditionalExpr>(Node)->getTrueExpr());
+      Walk(cast<ConditionalExpr>(Node)->getFalseExpr());
+      break;
+    case Expr::ExprKind::BuiltinCall:
+      for (const Expr *A : cast<BuiltinCallExpr>(Node)->args())
+        Walk(A);
+      break;
+    case Expr::ExprKind::Call:
+      for (const Expr *A : cast<CallExpr>(Node)->args())
+        Walk(A);
+      break;
+    case Expr::ExprKind::Index:
+      Walk(cast<IndexExpr>(Node)->getBase());
+      Walk(cast<IndexExpr>(Node)->getIndex());
+      break;
+    case Expr::ExprKind::Member:
+      Walk(cast<MemberExpr>(Node)->getBase());
+      break;
+    case Expr::ExprKind::Swizzle:
+      Walk(cast<SwizzleExpr>(Node)->getBase());
+      break;
+    case Expr::ExprKind::Cast:
+      Walk(cast<CastExpr>(Node)->getSubExpr());
+      break;
+    case Expr::ExprKind::ImplicitCast:
+      Walk(cast<ImplicitCastExpr>(Node)->getSubExpr());
+      break;
+    case Expr::ExprKind::VectorConstruct:
+      for (const Expr *Elem : cast<VectorConstructExpr>(Node)->elements())
+        Walk(Elem);
+      break;
+    case Expr::ExprKind::InitList:
+      for (const Expr *Sub : cast<InitListExpr>(Node)->inits())
+        Walk(Sub);
+      break;
+    default:
+      break;
+    }
+  };
+  Walk(E);
+}
+
+void CopyPropPass::processCompound(CompoundStmt *C, ASTContext &Ctx) {
+  LitMap Map;
+  for (Stmt *&S : C->body()) {
+    // Recurse into nested structure first with fresh maps.
+    switch (S->getKind()) {
+    case Stmt::StmtKind::Compound:
+      processCompound(cast<CompoundStmt>(S), Ctx);
+      break;
+    case Stmt::StmtKind::If: {
+      auto *If = cast<IfStmt>(S);
+      if (auto *T = dyn_cast<CompoundStmt>(If->getThen()))
+        processCompound(T, Ctx);
+      if (If->getElse())
+        if (auto *E = dyn_cast<CompoundStmt>(If->getElse()))
+          processCompound(E, Ctx);
+      break;
+    }
+    case Stmt::StmtKind::For:
+      if (auto *B = dyn_cast<CompoundStmt>(cast<ForStmt>(S)->getBody()))
+        processCompound(B, Ctx);
+      break;
+    case Stmt::StmtKind::While:
+      if (auto *B = dyn_cast<CompoundStmt>(cast<WhileStmt>(S)->getBody()))
+        processCompound(B, Ctx);
+      break;
+    case Stmt::StmtKind::Do:
+      if (auto *B = dyn_cast<CompoundStmt>(cast<DoStmt>(S)->getBody()))
+        processCompound(B, Ctx);
+      break;
+    default:
+      break;
+    }
+
+    if (!isStraightLine(S)) {
+      Map.clear();
+      continue;
+    }
+
+    if (auto *DS = dyn_cast<DeclStmt>(S)) {
+      VarDecl *D = DS->getDecl();
+      if (D->getInit()) {
+        Expr *NewInit = substitute(Ctx, D->getInit(), Map);
+        killWrites(NewInit, Map);
+        D->setInit(NewInit);
+        const auto *Lit = dyn_cast<IntLiteral>(NewInit);
+        bool Eligible = Lit && isa<ScalarType>(D->getType()) &&
+                        !D->isVolatile() && !AddrTaken.count(D);
+        if (Eligible && D->getType() == Lit->getType())
+          Map[D] = Lit;
+        else
+          Map.erase(D);
+      }
+      continue;
+    }
+
+    if (auto *ES = dyn_cast<ExprStmt>(S)) {
+      Expr *E = ES->getExpr();
+      // Root assignments: substitute into the RHS, and into a non-var
+      // LHS (its indices/bases are reads; mapped scalars can only be
+      // the *whole* LHS, which is excluded).
+      if (auto *A = dyn_cast<AssignExpr>(E)) {
+        Expr *NewRhs = substitute(Ctx, A->getRHS(), Map);
+        Expr *NewLhs = A->getLHS();
+        if (!isa<DeclRef>(NewLhs))
+          NewLhs = substitute(Ctx, NewLhs, Map);
+        killWrites(NewRhs, Map);
+        killWrites(NewLhs, Map);
+        const VarDecl *Target = nullptr;
+        if (const auto *DR = dyn_cast<DeclRef>(A->getLHS()))
+          Target = DR->getDecl();
+        if (Target)
+          Map.erase(Target);
+        if (NewRhs != A->getRHS() || NewLhs != A->getLHS()) {
+          Expr *NewAssign = Ctx.makeExpr<AssignExpr>(
+              A->getOp(), NewLhs, NewRhs, A->getType());
+          S = Ctx.makeStmt<ExprStmt>(NewAssign);
+        }
+        // Learn `x = literal` facts from plain stores.
+        if (Target && A->getOp() == AssignOp::Assign) {
+          const auto *Lit = dyn_cast<IntLiteral>(NewRhs);
+          bool Eligible = Lit && isa<ScalarType>(Target->getType()) &&
+                          !Target->isVolatile() &&
+                          !AddrTaken.count(Target);
+          if (Eligible && Target->getType() == Lit->getType())
+            Map[Target] = Lit;
+        }
+        continue;
+      }
+      Expr *NewE = substitute(Ctx, E, Map);
+      killWrites(NewE, Map);
+      if (NewE != E)
+        S = Ctx.makeStmt<ExprStmt>(NewE);
+      continue;
+    }
+  }
+}
+
+std::unique_ptr<Pass> clfuzz::createCopyPropPass() {
+  return std::make_unique<CopyPropPass>();
+}

@@ -1,0 +1,181 @@
+//===- DCE.cpp - Dead code elimination pass ----------------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Statement-level dead-code elimination:
+///
+///  * code after return/break/continue within a block,
+///  * pure expression statements,
+///  * never-read, address-untaken, non-volatile locals (their
+///    declarations and plain stores),
+///  * `if` statements whose branches became empty (pure condition),
+///  * stray null statements.
+///
+/// Iterates to a small fixpoint. This interacts with EMI pruning: a
+/// fully-pruned EMI block `if (dead[i] < dead[j]) { }` is removable
+/// here, changing downstream codegen exactly the way the paper's
+/// optimisation-interaction argument predicts (§3.2 end).
+///
+//===----------------------------------------------------------------------===//
+
+#include "minicl/ASTQueries.h"
+#include "minicl/ASTRewrite.h"
+#include "opt/Pass.h"
+
+#include <set>
+
+using namespace clfuzz;
+
+namespace {
+
+class DCEPass : public Pass {
+public:
+  const char *name() const override { return "dce"; }
+
+  void runOnFunction(FunctionDecl *F, ASTContext &Ctx) override {
+    for (int Round = 0; Round != 4; ++Round) {
+      Changed = false;
+      runOnce(F, Ctx);
+      if (!Changed)
+        break;
+    }
+  }
+
+private:
+  void runOnce(FunctionDecl *F, ASTContext &Ctx);
+
+  /// True if the statement is (transitively) free of observable work.
+  static bool isEmptyStmt(const Stmt *S) {
+    if (isa<NullStmt>(S))
+      return true;
+    if (const auto *C = dyn_cast<CompoundStmt>(S)) {
+      for (const Stmt *Child : C->body())
+        if (!isEmptyStmt(Child))
+          return false;
+      return true;
+    }
+    return false;
+  }
+
+  static bool stopsControlFlow(const Stmt *S) {
+    return isa<ReturnStmt>(S) || isa<BreakStmt>(S) ||
+           isa<ContinueStmt>(S);
+  }
+
+  std::set<const VarDecl *> DeadVars;
+  bool Changed = false;
+};
+
+} // namespace
+
+void DCEPass::runOnce(FunctionDecl *F, ASTContext &Ctx) {
+  // Identify dead locals: never read, address never taken, not
+  // volatile, not parameters, not local-memory arrays (those may be
+  // observed by other work-items).
+  DeadVars.clear();
+  auto Usage = collectVarUsage(F);
+  std::set<const VarDecl *> Declared;
+  if (F->getBody())
+    forEachStmt(F->getBody(), [&Declared](const Stmt *S) {
+      if (const auto *DS = dyn_cast<DeclStmt>(S))
+        Declared.insert(DS->getDecl());
+    });
+  for (const VarDecl *D : Declared) {
+    const VarUsage &U = Usage[D];
+    if (U.Reads == 0 && !U.AddressTaken && !D->isVolatile() &&
+        D->getAddressSpace() != AddressSpace::Local)
+      DeadVars.insert(D);
+  }
+  // A dead variable whose stores cannot all be deleted (impure
+  // right-hand sides survive for their side effects) must keep its
+  // declaration, or codegen would see a dangling reference.
+  if (F->getBody() && !DeadVars.empty())
+    forEachStmt(F->getBody(), [this](const Stmt *S) {
+      const auto *ES = dyn_cast<ExprStmt>(S);
+      if (!ES)
+        return;
+      const auto *A = dyn_cast<AssignExpr>(ES->getExpr());
+      if (!A || A->getOp() != AssignOp::Assign)
+        return;
+      const auto *DR = dyn_cast<DeclRef>(A->getLHS());
+      if (DR && DeadVars.count(DR->getDecl()) &&
+          hasSideEffects(A->getRHS()))
+        DeadVars.erase(DR->getDecl());
+    });
+
+  rewriteFunction(
+      Ctx, F, nullptr, [this, &Ctx](Stmt *S) -> Stmt * {
+        switch (S->getKind()) {
+        case Stmt::StmtKind::Compound: {
+          auto *C = cast<CompoundStmt>(S);
+          std::vector<Stmt *> Kept;
+          bool Unreachable = false;
+          for (Stmt *Child : C->body()) {
+            if (Unreachable) {
+              Changed = true;
+              continue;
+            }
+            if (isa<NullStmt>(Child)) {
+              Changed = true;
+              continue;
+            }
+            Kept.push_back(Child);
+            if (stopsControlFlow(Child))
+              Unreachable = true;
+          }
+          if (Kept.size() != C->body().size())
+            return Ctx.makeStmt<CompoundStmt>(std::move(Kept));
+          return S;
+        }
+        case Stmt::StmtKind::Decl: {
+          VarDecl *D = cast<DeclStmt>(S)->getDecl();
+          if (!DeadVars.count(D))
+            return S;
+          if (D->getInit() && hasSideEffects(D->getInit()))
+            return S;
+          Changed = true;
+          return Ctx.makeStmt<NullStmt>();
+        }
+        case Stmt::StmtKind::Expr: {
+          Expr *E = cast<ExprStmt>(S)->getExpr();
+          if (!hasSideEffects(E)) {
+            Changed = true;
+            return Ctx.makeStmt<NullStmt>();
+          }
+          // Plain store to a dead variable with a pure right-hand
+          // side.
+          if (const auto *A = dyn_cast<AssignExpr>(E)) {
+            if (A->getOp() == AssignOp::Assign) {
+              if (const auto *DR = dyn_cast<DeclRef>(A->getLHS())) {
+                if (DeadVars.count(DR->getDecl()) &&
+                    !hasSideEffects(A->getRHS())) {
+                  Changed = true;
+                  return Ctx.makeStmt<NullStmt>();
+                }
+              }
+            }
+          }
+          return S;
+        }
+        case Stmt::StmtKind::If: {
+          auto *If = cast<IfStmt>(S);
+          bool ThenEmpty = isEmptyStmt(If->getThen());
+          bool ElseEmpty = !If->getElse() || isEmptyStmt(If->getElse());
+          if (ThenEmpty && ElseEmpty && !hasSideEffects(If->getCond())) {
+            Changed = true;
+            return Ctx.makeStmt<NullStmt>();
+          }
+          return S;
+        }
+        default:
+          return S;
+        }
+      });
+}
+
+std::unique_ptr<Pass> clfuzz::createDCEPass() {
+  return std::make_unique<DCEPass>();
+}

@@ -1,0 +1,112 @@
+//===- Pass.h - AST optimisation pass framework -----------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The middle end of the simulated OpenCL driver stack: source-level
+/// optimisation passes over MiniCL ASTs. OpenCL exposes exactly one
+/// optimisation switch (on by default, off via -cl-opt-disable, §3.2),
+/// so pipelines come in two flavours; per-configuration *pass bug
+/// models* recreate the optimisation defects of the paper's Figures
+/// 2(b), 2(c) and 2(e) as genuine wrong rewrites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_OPT_PASS_H
+#define CLFUZZ_OPT_PASS_H
+
+#include "minicl/AST.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+/// Pipeline configuration, including pass bug models.
+struct PassOptions {
+  // Pipeline selection.
+  bool EnableConstFold = true;
+  bool EnableSimplify = true;
+  bool EnableCopyProp = true;
+  bool EnableDCE = true;
+
+  // Bug models (each implemented inside the named pass).
+  /// Figure 2(b), Intel config 14: constant-folding a *vector* rotate
+  /// produces all-ones lanes.
+  bool RotateFoldBug = false;
+  /// NVIDIA-with-optimisations model: folding safe_lshift/safe_rshift
+  /// with an out-of-range constant amount yields 0 instead of the
+  /// masked-shift semantics the runtime uses.
+  bool ShiftSafeFoldBug = false;
+  /// Figure 2(e), anonymous GPU config 9: a comparison feeding another
+  /// comparison or a shift is "optimised" to yield -1 for true.
+  bool CmpMinusOneBug = false;
+  /// Figure 2(c), Intel configs 12-/13-: a call to a barrier-containing
+  /// function from within another barrier-containing non-kernel
+  /// function loses its return value (replaced by 0).
+  bool BarrierCallRetvalBug = false;
+  /// The EMI-sensitive defect class of §7.4: when the mandatory
+  /// empty-block elimination removes an `if` with an empty body and a
+  /// pure buffer-reading condition (exactly the shape of a
+  /// pruned-to-empty EMI block), it occasionally deletes the following
+  /// statement too. Probability per occurrence; 0 disables.
+  double EmiDceBugRate = 0.0;
+  /// Salt for the EmiDceBugRate trigger hash (per configuration).
+  uint64_t BugSalt = 0;
+
+  /// Preset: optimisations disabled (-cl-opt-disable). Bug knobs are
+  /// left to the device configuration.
+  static PassOptions o0() {
+    PassOptions P;
+    P.EnableConstFold = P.EnableSimplify = P.EnableCopyProp =
+        P.EnableDCE = false;
+    return P;
+  }
+
+  /// Preset: default optimising pipeline.
+  static PassOptions o2() { return PassOptions(); }
+};
+
+/// An AST-level transformation over one function.
+class Pass {
+public:
+  virtual ~Pass();
+  virtual const char *name() const = 0;
+  /// Transforms \p F in place (bodies may be replaced wholesale).
+  virtual void runOnFunction(FunctionDecl *F, ASTContext &Ctx) = 0;
+};
+
+/// Runs a fixed sequence of passes over every function of a program.
+class PassManager {
+public:
+  void add(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+
+  /// Runs each pass, in order, over each function.
+  void run(ASTContext &Ctx);
+
+  /// Names of scheduled passes (for reporting and tests).
+  std::vector<std::string> passNames() const;
+
+private:
+  std::vector<std::unique_ptr<Pass>> Passes;
+};
+
+// Pass factories.
+std::unique_ptr<Pass> createConstFoldPass(const PassOptions &Opts);
+std::unique_ptr<Pass> createSimplifyPass(const PassOptions &Opts);
+std::unique_ptr<Pass> createCopyPropPass();
+std::unique_ptr<Pass> createDCEPass();
+std::unique_ptr<Pass> createBarrierLoweringPass(const ASTContext &Ctx);
+std::unique_ptr<Pass> createEmptyBlockElimPass(const PassOptions &Opts);
+
+/// Builds the pipeline for \p Opts: [BarrierLowering(bug)] ConstFold,
+/// Simplify, CopyProp, ConstFold, Simplify, DCE (enabled subsets).
+PassManager buildPipeline(const PassOptions &Opts, const ASTContext &Ctx);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_OPT_PASS_H

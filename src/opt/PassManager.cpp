@@ -1,0 +1,236 @@
+//===- PassManager.cpp - Pipeline assembly and barrier lowering -------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+#include "minicl/ASTQueries.h"
+#include "minicl/ASTRewrite.h"
+#include "support/Hash.h"
+
+using namespace clfuzz;
+
+Pass::~Pass() = default;
+
+void PassManager::run(ASTContext &Ctx) {
+  for (const auto &P : Passes)
+    for (FunctionDecl *F : Ctx.program().functions())
+      P->runOnFunction(F, Ctx);
+}
+
+std::vector<std::string> PassManager::passNames() const {
+  std::vector<std::string> Names;
+  for (const auto &P : Passes)
+    Names.push_back(P->name());
+  return Names;
+}
+
+namespace {
+
+/// The buggy "Intel OpenCL Barrier" lowering of Figure 2(c): calls to
+/// barrier-containing functions, made from non-kernel functions that
+/// themselves contain a barrier, lose their return value. The pass
+/// mirrors the paper's observation that inlining (or enabling
+/// optimisations) hides the bug: it only fires on calls that survive to
+/// this lowering, which in our pipeline means all calls at -O0.
+class BarrierLoweringPass : public Pass {
+public:
+  explicit BarrierLoweringPass(const ASTContext &Ctx) {
+    for (const FunctionDecl *F : Ctx.program().functions())
+      if (functionContainsBarrier(F))
+        BarrierFuncs.insert(F);
+  }
+
+  const char *name() const override { return "barrier-lowering(bug)"; }
+
+  void runOnFunction(FunctionDecl *F, ASTContext &Ctx) override {
+    // Defect 2 (Figure 1(d), configuration 17): statement-level calls
+    // to void functions taking pointer arguments are dropped when the
+    // *caller* contains a barrier - the callee's stores through the
+    // pointer are lost. Applies to kernels too.
+    if (BarrierFuncs.count(F)) {
+      rewriteFunction(Ctx, F, nullptr, [&Ctx](Stmt *S) -> Stmt * {
+        const auto *ES = dyn_cast<ExprStmt>(S);
+        if (!ES)
+          return S;
+        const auto *C = dyn_cast<CallExpr>(ES->getExpr());
+        if (!C || !C->getType()->isVoid())
+          return S;
+        bool HasPointerArg = false;
+        for (const Expr *A : C->args())
+          HasPointerArg |= isa<PointerType>(A->getType());
+        return HasPointerArg ? Ctx.makeStmt<NullStmt>() : S;
+      });
+    }
+    if (F->isKernel())
+      return;
+    // Defect 1 (Figure 2(c), configurations 12-/13-): calls to
+    // barrier-containing functions from *any non-kernel function* lose
+    // their return value (the paper's example calls through a chain
+    // h -> g -> f; only the barrier in the callee is essential).
+    rewriteFunction(
+        Ctx, F,
+        [this, &Ctx](Expr *E) -> Expr * {
+          const auto *C = dyn_cast<CallExpr>(E);
+          if (!C || C->getType()->isVoid())
+            return E;
+          if (!BarrierFuncs.count(C->getCallee()))
+            return E;
+          if (!isa<ScalarType>(C->getType()))
+            return E;
+          return Ctx.intLit(0, cast<ScalarType>(C->getType()));
+        },
+        nullptr);
+  }
+
+private:
+  std::set<const FunctionDecl *> BarrierFuncs;
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+clfuzz::createBarrierLoweringPass(const ASTContext &Ctx) {
+  return std::make_unique<BarrierLoweringPass>(Ctx);
+}
+
+namespace {
+
+/// Mandatory empty-block elimination (a cheap clean-up every real
+/// driver performs) hosting the §7.4 EMI-sensitive bug model: with
+/// probability EmiDceBugRate per occurrence, removing an empty `if`
+/// whose pure condition reads a buffer also deletes the next
+/// statement. Pruned-to-empty EMI blocks have exactly this shape, so
+/// different prune variants of one base diverge - the mechanism by
+/// which EMI testing catches optimisation-interaction defects.
+class EmptyBlockElimPass : public Pass {
+public:
+  explicit EmptyBlockElimPass(const PassOptions &Opts)
+      : Rate(Opts.EmiDceBugRate), Salt(Opts.BugSalt) {}
+
+  const char *name() const override { return "empty-block-elim"; }
+
+  void runOnFunction(FunctionDecl *F, ASTContext &Ctx) override {
+    rewriteFunction(Ctx, F, nullptr, [this, &Ctx](Stmt *S) -> Stmt * {
+      auto *C = dyn_cast<CompoundStmt>(S);
+      if (!C)
+        return S;
+      std::vector<Stmt *> Kept;
+      bool SkipNext = false;
+      for (size_t I = 0; I != C->body().size(); ++I) {
+        Stmt *Child = C->body()[I];
+        if (SkipNext) {
+          SkipNext = false;
+          continue; // the defect: this statement vanishes
+        }
+        if (isRemovableEmptyIf(Child)) {
+          // Correct part: drop the empty block. Buggy part: roll the
+          // trigger for also dropping the successor.
+          Fnv64 H;
+          H.addU64(Salt);
+          H.addU64(countNodes(Child));
+          H.addU64(I);
+          double Draw =
+              static_cast<double>(H.value() >> 11) * 0x1.0p-53;
+          if (Draw < Rate)
+            SkipNext = true;
+          continue;
+        }
+        Kept.push_back(Child);
+      }
+      if (Kept.size() == C->body().size())
+        return S;
+      return Ctx.makeStmt<CompoundStmt>(std::move(Kept));
+    });
+  }
+
+private:
+  /// True if the block's statements are all observably dead: local
+  /// declarations with pure initialisers, pure expression statements
+  /// and empty/null statements (the shape leaf/compound pruning leaves
+  /// behind, since declarations are never leaf-deleted).
+  static bool isPureDeadBlock(const Stmt *S) {
+    switch (S->getKind()) {
+    case Stmt::StmtKind::Null:
+      return true;
+    case Stmt::StmtKind::Compound: {
+      for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+        if (!isPureDeadBlock(Child))
+          return false;
+      return true;
+    }
+    case Stmt::StmtKind::Decl: {
+      const VarDecl *D = cast<DeclStmt>(S)->getDecl();
+      return !D->getInit() || !hasSideEffects(D->getInit());
+    }
+    case Stmt::StmtKind::Expr:
+      return !hasSideEffects(cast<ExprStmt>(S)->getExpr());
+    default:
+      return false;
+    }
+  }
+
+  /// The pruned-EMI shape: `if (<pure buffer-read cmp>) { <dead
+  /// locals> }`.
+  static bool isRemovableEmptyIf(const Stmt *S) {
+    const auto *If = dyn_cast<IfStmt>(S);
+    if (!If || If->getElse())
+      return false;
+    if (!isPureDeadBlock(If->getThen()))
+      return false;
+    if (hasSideEffects(If->getCond()))
+      return false;
+    // The condition must read through a pointer (a buffer access).
+    bool ReadsBuffer = false;
+    std::function<void(const Expr *)> Walk = [&](const Expr *E) {
+      if (const auto *Ix = dyn_cast<IndexExpr>(E))
+        if (isa<PointerType>(Ix->getBase()->getType()))
+          ReadsBuffer = true;
+      if (const auto *B = dyn_cast<BinaryExpr>(E)) {
+        Walk(B->getLHS());
+        Walk(B->getRHS());
+      } else if (const auto *ICE = dyn_cast<ImplicitCastExpr>(E)) {
+        Walk(ICE->getSubExpr());
+      } else if (const auto *Ix = dyn_cast<IndexExpr>(E)) {
+        Walk(Ix->getBase());
+        Walk(Ix->getIndex());
+      }
+    };
+    Walk(If->getCond());
+    return ReadsBuffer;
+  }
+
+  double Rate;
+  uint64_t Salt;
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+clfuzz::createEmptyBlockElimPass(const PassOptions &Opts) {
+  return std::make_unique<EmptyBlockElimPass>(Opts);
+}
+
+PassManager clfuzz::buildPipeline(const PassOptions &Opts,
+                                  const ASTContext &Ctx) {
+  PassManager PM;
+  if (Opts.BarrierCallRetvalBug)
+    PM.add(createBarrierLoweringPass(Ctx));
+  if (Opts.EmiDceBugRate > 0.0)
+    PM.add(createEmptyBlockElimPass(Opts));
+  if (Opts.EnableConstFold)
+    PM.add(createConstFoldPass(Opts));
+  if (Opts.EnableSimplify)
+    PM.add(createSimplifyPass(Opts));
+  if (Opts.EnableCopyProp)
+    PM.add(createCopyPropPass());
+  if (Opts.EnableConstFold)
+    PM.add(createConstFoldPass(Opts));
+  if (Opts.EnableSimplify)
+    PM.add(createSimplifyPass(Opts));
+  if (Opts.EnableDCE)
+    PM.add(createDCEPass());
+  return PM;
+}

@@ -1,0 +1,240 @@
+//===- Simplify.cpp - Algebraic and control-flow simplification -------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Identity/absorption rewrites over expressions and constant-condition
+/// simplification of control flow. Hosts the CmpMinusOneBug model
+/// (Figure 2(e), anonymous GPU configuration 9): a comparison whose
+/// result feeds a shift or another comparison is rewritten to yield -1
+/// for true (the vector-style truth value), which silently corrupts
+/// scalar arithmetic over comparison results.
+///
+//===----------------------------------------------------------------------===//
+
+#include "minicl/ASTQueries.h"
+#include "minicl/ASTRewrite.h"
+#include "opt/ConstEval.h"
+#include "opt/Pass.h"
+
+using namespace clfuzz;
+
+namespace {
+
+class SimplifyPass : public Pass {
+public:
+  explicit SimplifyPass(const PassOptions &Opts)
+      : CmpBug(Opts.CmpMinusOneBug) {}
+
+  const char *name() const override { return "simplify"; }
+
+  void runOnFunction(FunctionDecl *F, ASTContext &Ctx) override {
+    rewriteFunction(
+        Ctx, F,
+        [this, &Ctx](Expr *E) { return simplifyExpr(Ctx, E); },
+        [&Ctx](Stmt *S) { return simplifyStmt(Ctx, S); });
+  }
+
+private:
+  Expr *simplifyExpr(ASTContext &Ctx, Expr *E);
+  static Stmt *simplifyStmt(ASTContext &Ctx, Stmt *S);
+
+  bool CmpBug;
+};
+
+/// Returns the literal value of \p E when it is an IntLiteral.
+std::optional<uint64_t> literalValue(const Expr *E) {
+  if (const auto *Lit = dyn_cast<IntLiteral>(E))
+    return Lit->getValue();
+  return std::nullopt;
+}
+
+/// True if \p E is a (possibly cast-wrapped) scalar comparison - the
+/// shape produced both by TypeRules' implicit conversions and by
+/// generated explicit casts.
+bool isCastOfComparison(const Expr *E) {
+  for (;;) {
+    if (const auto *ICE = dyn_cast<ImplicitCastExpr>(E)) {
+      E = ICE->getSubExpr();
+      continue;
+    }
+    if (const auto *CE = dyn_cast<CastExpr>(E)) {
+      E = CE->getSubExpr();
+      continue;
+    }
+    break;
+  }
+  const auto *B = dyn_cast<BinaryExpr>(E);
+  return B && isComparisonOp(B->getOp()) &&
+         !B->getLHS()->getType()->isVector();
+}
+
+} // namespace
+
+Expr *SimplifyPass::simplifyExpr(ASTContext &Ctx, Expr *E) {
+  // Bug model hook: comparisons feeding safe-shift builtins also get
+  // the -1 truth value (the generator emits its shifts through the
+  // safe wrappers).
+  if (CmpBug) {
+    if (auto *BC = dyn_cast<BuiltinCallExpr>(E)) {
+      Builtin Bu = BC->getBuiltin();
+      if ((Bu == Builtin::SafeShl || Bu == Builtin::SafeShr) &&
+          !BC->getType()->isVector() &&
+          isCastOfComparison(BC->getArg(0))) {
+        std::vector<Expr *> Args = BC->args();
+        Args[0] = Ctx.makeExpr<UnaryExpr>(UnOp::Minus, Args[0],
+                                          Args[0]->getType());
+        return Ctx.makeExpr<BuiltinCallExpr>(Bu, std::move(Args),
+                                             BC->getType());
+      }
+    }
+  }
+
+  auto *B = dyn_cast<BinaryExpr>(E);
+  if (!B)
+    return E;
+  if (B->getType()->isVector())
+    return E;
+
+  Expr *L = B->getLHS();
+  Expr *R = B->getRHS();
+  auto LV = literalValue(L);
+  auto RV = literalValue(R);
+  bool LPure = !hasSideEffects(L);
+  bool RPure = !hasSideEffects(R);
+
+  // Bug model: comparisons nested under shifts or comparisons yield -1
+  // for true. Applied before the legitimate rewrites so the poisoned
+  // tree keeps flowing.
+  if (CmpBug) {
+    bool IsShift = B->getOp() == BinOp::Shl || B->getOp() == BinOp::Shr;
+    bool IsCmp = isComparisonOp(B->getOp());
+    if (IsShift || IsCmp) {
+      Expr *NewL = L, *NewR = R;
+      if (isCastOfComparison(L))
+        NewL = Ctx.makeExpr<UnaryExpr>(UnOp::Minus, L, L->getType());
+      if (IsCmp && isCastOfComparison(R))
+        NewR = Ctx.makeExpr<UnaryExpr>(UnOp::Minus, R, R->getType());
+      if (NewL != L || NewR != R)
+        return Ctx.makeExpr<BinaryExpr>(B->getOp(), NewL, NewR,
+                                        B->getType());
+    }
+  }
+
+  switch (B->getOp()) {
+  case BinOp::Add:
+    if (RV == 0u)
+      return L;
+    if (LV == 0u)
+      return R;
+    break;
+  case BinOp::Sub:
+    if (RV == 0u)
+      return L;
+    break;
+  case BinOp::Mul:
+    if (RV == 1u)
+      return L;
+    if (LV == 1u)
+      return R;
+    if (RV == 0u && LPure)
+      return R; // typed zero literal
+    if (LV == 0u && RPure)
+      return L;
+    break;
+  case BinOp::Div:
+    if (RV == 1u)
+      return L;
+    break;
+  case BinOp::Shl:
+  case BinOp::Shr:
+    if (RV == 0u)
+      return L;
+    break;
+  case BinOp::BitAnd:
+    if (RV == 0u && LPure)
+      return R;
+    if (LV == 0u && RPure)
+      return L;
+    break;
+  case BinOp::BitOr:
+  case BinOp::BitXor:
+    if (RV == 0u)
+      return L;
+    if (LV == 0u)
+      return R;
+    break;
+  case BinOp::LAnd:
+    // 0 && x is 0 regardless of x (short-circuit never runs x).
+    if (LV == 0u)
+      return Ctx.intLit(0, cast<ScalarType>(B->getType()));
+    if (RV == 0u && LPure)
+      return Ctx.intLit(0, cast<ScalarType>(B->getType()));
+    break;
+  case BinOp::LOr:
+    if (LV && *LV != 0)
+      return Ctx.intLit(1, cast<ScalarType>(B->getType()));
+    if (RV && *RV != 0 && LPure)
+      return Ctx.intLit(1, cast<ScalarType>(B->getType()));
+    break;
+  case BinOp::Comma:
+    if (LPure)
+      return R;
+    break;
+  default:
+    break;
+  }
+  return E;
+}
+
+Stmt *SimplifyPass::simplifyStmt(ASTContext &Ctx, Stmt *S) {
+  switch (S->getKind()) {
+  case Stmt::StmtKind::If: {
+    auto *If = cast<IfStmt>(S);
+    auto CV = literalValue(If->getCond());
+    if (!CV)
+      return S;
+    if (*CV != 0)
+      return If->getThen();
+    if (If->getElse())
+      return If->getElse();
+    return Ctx.makeStmt<NullStmt>();
+  }
+  case Stmt::StmtKind::While: {
+    auto *W = cast<WhileStmt>(S);
+    auto CV = literalValue(W->getCond());
+    if (CV == 0u)
+      return Ctx.makeStmt<NullStmt>();
+    return S;
+  }
+  case Stmt::StmtKind::For: {
+    auto *For = cast<ForStmt>(S);
+    if (!For->getCond())
+      return S;
+    auto CV = literalValue(For->getCond());
+    if (CV == 0u) {
+      if (For->getInit())
+        return For->getInit();
+      return Ctx.makeStmt<NullStmt>();
+    }
+    return S;
+  }
+  case Stmt::StmtKind::Do: {
+    auto *D = cast<DoStmt>(S);
+    auto CV = literalValue(D->getCond());
+    // do { body } while (0): body runs exactly once; unwrap when no
+    // break/continue binds to this loop.
+    if (CV == 0u && !containsFreeBreakOrContinue(D->getBody()))
+      return D->getBody();
+    return S;
+  }
+  default:
+    return S;
+  }
+}
+
+std::unique_ptr<Pass> clfuzz::createSimplifyPass(const PassOptions &Opts) {
+  return std::make_unique<SimplifyPass>(Opts);
+}

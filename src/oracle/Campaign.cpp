@@ -1,0 +1,213 @@
+//===- Campaign.cpp - Testing campaign drivers -------------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "oracle/Campaign.h"
+#include "support/Rng.h"
+
+using namespace clfuzz;
+
+namespace {
+
+/// Generates the campaign's test set for one mode, optionally
+/// pre-filtering on configuration 1+ as §7.3 prescribes.
+std::vector<TestCase>
+generateTestSet(GenMode Mode, const CampaignSettings &Settings,
+                const DeviceConfig *Config1) {
+  std::vector<TestCase> Tests;
+  uint64_t Seed = Settings.SeedBase +
+                  static_cast<uint64_t>(Mode) * 1000003ULL;
+  unsigned Attempts = 0;
+  while (Tests.size() < Settings.KernelsPerMode &&
+         Attempts < Settings.KernelsPerMode * 4) {
+    ++Attempts;
+    GenOptions GO = Settings.BaseGen;
+    GO.Mode = Mode;
+    GO.Seed = Seed++;
+    TestCase T = TestCase::fromGenerated(generateKernel(GO));
+    if (Settings.PrefilterOnConfig1 && Config1) {
+      RunOutcome O = runTestOnConfig(T, *Config1, /*OptEnabled=*/true,
+                                     Settings.Run);
+      if (O.Status == RunStatus::BuildFailure ||
+          O.Status == RunStatus::Timeout)
+        continue;
+    }
+    Tests.push_back(std::move(T));
+  }
+  return Tests;
+}
+
+} // namespace
+
+std::vector<ModeTable> clfuzz::runDifferentialCampaign(
+    const std::vector<DeviceConfig> &Configs,
+    const std::vector<GenMode> &Modes, const CampaignSettings &Settings) {
+  const DeviceConfig *Config1 = nullptr;
+  for (const DeviceConfig &C : Configs)
+    if (C.Id == 1)
+      Config1 = &C;
+
+  unsigned TotalTests =
+      static_cast<unsigned>(Modes.size()) * Settings.KernelsPerMode;
+  unsigned Done = 0;
+
+  std::vector<ModeTable> Tables;
+  for (GenMode Mode : Modes) {
+    ModeTable Table;
+    Table.Mode = Mode;
+    std::vector<TestCase> Tests =
+        generateTestSet(Mode, Settings, Config1);
+    Table.NumTests = static_cast<unsigned>(Tests.size());
+
+    for (const TestCase &T : Tests) {
+      // Run the kernel on every (config, opt) pair, then vote over the
+      // whole result set (the paper votes "among all the results
+      // computed for the kernel").
+      std::vector<RunOutcome> Outcomes;
+      std::vector<ConfigKey> Keys;
+      for (const DeviceConfig &C : Configs) {
+        for (bool Opt : {false, true}) {
+          Outcomes.push_back(runTestOnConfig(T, C, Opt, Settings.Run));
+          Keys.push_back(ConfigKey{C.Id, Opt});
+        }
+      }
+      std::vector<Verdict> Verdicts = classifyAgainstMajority(Outcomes);
+      for (size_t I = 0; I != Keys.size(); ++I)
+        Table.Cells[Keys[I]].add(Verdicts[I]);
+      ++Done;
+      if (Settings.Progress)
+        Settings.Progress(Done, TotalTests);
+    }
+    Tables.push_back(std::move(Table));
+  }
+  return Tables;
+}
+
+std::vector<ReliabilityRow>
+clfuzz::classifyConfigurations(const std::vector<DeviceConfig> &Configs,
+                               const CampaignSettings &Settings,
+                               double Threshold) {
+  static const GenMode AllModes[] = {
+      GenMode::Basic,         GenMode::Vector,
+      GenMode::Barrier,       GenMode::AtomicSection,
+      GenMode::AtomicReduction, GenMode::All};
+
+  CampaignSettings S = Settings;
+  S.PrefilterOnConfig1 = false; // the initial set is unfiltered (§7.1)
+
+  std::map<int, OutcomeCounts> PerConfig;
+  unsigned TotalTests = 6 * S.KernelsPerMode;
+  unsigned Done = 0;
+  for (GenMode Mode : AllModes) {
+    std::vector<TestCase> Tests = generateTestSet(Mode, S, nullptr);
+    for (const TestCase &T : Tests) {
+      std::vector<RunOutcome> Outcomes;
+      std::vector<int> Ids;
+      for (const DeviceConfig &C : Configs) {
+        for (bool Opt : {false, true}) {
+          Outcomes.push_back(runTestOnConfig(T, C, Opt, S.Run));
+          Ids.push_back(C.Id);
+        }
+      }
+      std::vector<Verdict> Verdicts = classifyAgainstMajority(Outcomes);
+      for (size_t I = 0; I != Ids.size(); ++I)
+        PerConfig[Ids[I]].add(Verdicts[I]);
+      ++Done;
+      if (S.Progress)
+        S.Progress(Done, TotalTests);
+    }
+  }
+
+  std::vector<ReliabilityRow> Rows;
+  for (const DeviceConfig &C : Configs) {
+    ReliabilityRow Row;
+    Row.ConfigId = C.Id;
+    Row.Counts = PerConfig[C.Id];
+    Row.AboveThreshold = Row.Counts.failureFraction() <= Threshold;
+    Rows.push_back(Row);
+  }
+  return Rows;
+}
+
+std::vector<EmiCampaignColumn>
+clfuzz::runEmiCampaign(const std::vector<DeviceConfig> &Configs,
+                       const EmiCampaignSettings &Settings,
+                       unsigned &UsableBases) {
+  const CampaignSettings &CS = Settings.Base;
+
+  // --- collect usable base programs (§7.4)
+  std::vector<GenOptions> Bases;
+  uint64_t Seed = CS.SeedBase + 777;
+  unsigned Attempts = 0;
+  Rng BlockCount(CS.SeedBase ^ 0xb10cULL);
+  while (Bases.size() < Settings.NumBases &&
+         Attempts < Settings.NumBases * 8) {
+    ++Attempts;
+    GenOptions GO = CS.BaseGen;
+    GO.Mode = GenMode::All;
+    GO.Seed = Seed++;
+    GO.NumEmiBlocks = static_cast<unsigned>(BlockCount.range(
+        Settings.MinEmiBlocks, Settings.MaxEmiBlocks));
+    TestCase T = TestCase::fromGenerated(generateKernel(GO));
+
+    // The base must compute a value on the reference.
+    RunOutcome Normal = runTestOnReference(T, /*Optimize=*/true, CS.Run);
+    if (!Normal.ok())
+      continue;
+    // Inverting the dead array must change the result: otherwise every
+    // EMI block sits in code that is already dead and variants cannot
+    // exercise anything (§7.4 discards such candidates).
+    RunSettings Inverted = CS.Run;
+    Inverted.InvertDead = true;
+    RunOutcome Live = runTestOnReference(T, true, Inverted);
+    if (Live.ok() && Live.OutputHash == Normal.OutputHash)
+      continue;
+    Bases.push_back(GO);
+  }
+  UsableBases = static_cast<unsigned>(Bases.size());
+
+  // --- per-base variant sweep
+  std::map<ConfigKey, EmiCampaignColumn> Columns;
+  for (const DeviceConfig &C : Configs)
+    for (bool Opt : {false, true}) {
+      ConfigKey K{C.Id, Opt};
+      Columns[K].Key = K;
+    }
+
+  unsigned Done = 0;
+  for (const GenOptions &BaseGO : Bases) {
+    std::vector<PruneOptions> Sweep = paperPruneSweep(BaseGO.Seed * 41);
+    std::vector<TestCase> Variants;
+    Variants.reserve(Sweep.size());
+    for (const PruneOptions &P : Sweep)
+      Variants.push_back(makeEmiVariant(BaseGO, P));
+
+    for (const DeviceConfig &C : Configs) {
+      for (bool Opt : {false, true}) {
+        std::vector<RunOutcome> Outcomes;
+        Outcomes.reserve(Variants.size());
+        for (const TestCase &V : Variants)
+          Outcomes.push_back(runTestOnConfig(V, C, Opt, CS.Run));
+        EmiBaseVerdict Verdict = classifyEmiVariants(Outcomes);
+        EmiCampaignColumn &Col = Columns[ConfigKey{C.Id, Opt}];
+        Col.BaseFails += Verdict.BadBase;
+        Col.Wrong += Verdict.Wrong;
+        Col.InducedBF += Verdict.InducedBF && !Verdict.BadBase;
+        Col.InducedCrash += Verdict.InducedCrash && !Verdict.BadBase;
+        Col.InducedTimeout += Verdict.InducedTimeout && !Verdict.BadBase;
+        Col.Stable += Verdict.Stable;
+      }
+    }
+    ++Done;
+    if (CS.Progress)
+      CS.Progress(Done, static_cast<unsigned>(Bases.size()));
+  }
+
+  std::vector<EmiCampaignColumn> Result;
+  for (auto &[K, Col] : Columns)
+    Result.push_back(Col);
+  return Result;
+}

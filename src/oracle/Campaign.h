@@ -1,0 +1,114 @@
+//===- Campaign.h - Testing campaign drivers --------------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drivers for the paper's three campaign experiments:
+///
+///  * initial classification against the 25% reliability threshold
+///    over 600 kernels, 100 per mode (§7.1, Table 1);
+///  * intensive CLsmith differential testing per mode over the
+///    above-threshold configurations (§7.3, Table 4), with tests
+///    pre-filtered to build and terminate on configuration 1+;
+///  * CLsmith+EMI testing: base programs with 1-5 dead-by-construction
+///    blocks, 40 prune variants each, voted per base (§7.4, Table 5),
+///    with bases discarded when inverting the dead array does not
+///    change the configuration-1 result (blocks landed in already-dead
+///    code).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_ORACLE_CAMPAIGN_H
+#define CLFUZZ_ORACLE_CAMPAIGN_H
+
+#include "emi/Emi.h"
+#include "oracle/Oracle.h"
+
+#include <functional>
+#include <map>
+
+namespace clfuzz {
+
+/// (configuration id, optimisations enabled) cell key.
+struct ConfigKey {
+  int ConfigId = 0;
+  bool Opt = false;
+
+  bool operator<(const ConfigKey &O) const {
+    return ConfigId != O.ConfigId ? ConfigId < O.ConfigId : Opt < O.Opt;
+  }
+};
+
+/// Shared campaign tuning.
+struct CampaignSettings {
+  unsigned KernelsPerMode = 40;
+  GenOptions BaseGen;       ///< Mode and Seed are overridden per test
+  RunSettings Run;
+  /// Discard tests that fail to build or time out on configuration 1+
+  /// (§7.3; keeps NVIDIA bf artificially at zero, as the paper notes).
+  bool PrefilterOnConfig1 = true;
+  uint64_t SeedBase = 100000;
+  /// Optional progress callback (tests completed, total).
+  std::function<void(unsigned, unsigned)> Progress;
+};
+
+/// One per-mode block of Table 4.
+struct ModeTable {
+  GenMode Mode = GenMode::Basic;
+  unsigned NumTests = 0;
+  std::map<ConfigKey, OutcomeCounts> Cells;
+};
+
+/// Runs the Table 4 campaign over \p Configs (both opt levels each).
+std::vector<ModeTable>
+runDifferentialCampaign(const std::vector<DeviceConfig> &Configs,
+                        const std::vector<GenMode> &Modes,
+                        const CampaignSettings &Settings);
+
+/// One Table 1 row's classification.
+struct ReliabilityRow {
+  int ConfigId = 0;
+  OutcomeCounts Counts; ///< pooled over both opt levels
+  bool AboveThreshold = false;
+};
+
+/// Runs the §7.1 initial classification: KernelsPerMode per mode over
+/// every configuration, threshold at 25% failures.
+std::vector<ReliabilityRow>
+classifyConfigurations(const std::vector<DeviceConfig> &Configs,
+                       const CampaignSettings &Settings,
+                       double Threshold = 0.25);
+
+/// Table 5 campaign settings.
+struct EmiCampaignSettings {
+  unsigned NumBases = 10;
+  unsigned MinEmiBlocks = 1;
+  unsigned MaxEmiBlocks = 5;
+  CampaignSettings Base;
+};
+
+/// One Table 5 column (configuration at one opt level).
+struct EmiCampaignColumn {
+  ConfigKey Key;
+  unsigned BaseFails = 0;
+  unsigned Wrong = 0;
+  unsigned InducedBF = 0;
+  unsigned InducedCrash = 0;
+  unsigned InducedTimeout = 0;
+  unsigned Stable = 0;
+};
+
+/// Runs the §7.4 CLsmith+EMI campaign. Returns one column per
+/// (configuration, opt) plus the number of usable bases through
+/// \p UsableBases.
+std::vector<EmiCampaignColumn>
+runEmiCampaign(const std::vector<DeviceConfig> &Configs,
+               const EmiCampaignSettings &Settings,
+               unsigned &UsableBases);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_ORACLE_CAMPAIGN_H

@@ -1,0 +1,121 @@
+//===- Oracle.cpp - Differential and metamorphic test oracles ---------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "oracle/Oracle.h"
+
+using namespace clfuzz;
+
+const char *clfuzz::verdictName(Verdict V) {
+  switch (V) {
+  case Verdict::Wrong:
+    return "w";
+  case Verdict::BuildFailure:
+    return "bf";
+  case Verdict::Crash:
+    return "c";
+  case Verdict::Timeout:
+    return "to";
+  case Verdict::Pass:
+    return "ok";
+  case Verdict::NoMajority:
+    return "ok?";
+  }
+  return "?";
+}
+
+std::optional<uint64_t>
+clfuzz::majorityOutput(const std::vector<RunOutcome> &Outcomes,
+                       unsigned MinMajority) {
+  std::map<uint64_t, unsigned> Counts;
+  for (const RunOutcome &O : Outcomes)
+    if (O.ok())
+      ++Counts[O.OutputHash];
+  const std::pair<const uint64_t, unsigned> *Best = nullptr;
+  bool Tie = false;
+  for (const auto &Entry : Counts) {
+    if (!Best || Entry.second > Best->second) {
+      Best = &Entry;
+      Tie = false;
+    } else if (Entry.second == Best->second) {
+      Tie = true;
+    }
+  }
+  if (!Best || Tie || Best->second < MinMajority)
+    return std::nullopt;
+  return Best->first;
+}
+
+std::vector<Verdict>
+clfuzz::classifyAgainstMajority(const std::vector<RunOutcome> &Outcomes,
+                                unsigned MinMajority) {
+  std::optional<uint64_t> Majority =
+      majorityOutput(Outcomes, MinMajority);
+  std::vector<Verdict> Verdicts;
+  Verdicts.reserve(Outcomes.size());
+  for (const RunOutcome &O : Outcomes) {
+    switch (O.Status) {
+    case RunStatus::BuildFailure:
+      Verdicts.push_back(Verdict::BuildFailure);
+      continue;
+    case RunStatus::Crash:
+      Verdicts.push_back(Verdict::Crash);
+      continue;
+    case RunStatus::Timeout:
+      Verdicts.push_back(Verdict::Timeout);
+      continue;
+    case RunStatus::Ok:
+      break;
+    }
+    if (!Majority)
+      Verdicts.push_back(Verdict::NoMajority);
+    else if (O.OutputHash == *Majority)
+      Verdicts.push_back(Verdict::Pass);
+    else
+      Verdicts.push_back(Verdict::Wrong);
+  }
+  return Verdicts;
+}
+
+EmiBaseVerdict
+clfuzz::classifyEmiVariants(const std::vector<RunOutcome> &Vs) {
+  EmiBaseVerdict R;
+  std::optional<uint64_t> FirstValue;
+  bool AnyValue = false;
+  bool AllValues = true;
+  for (const RunOutcome &O : Vs) {
+    switch (O.Status) {
+    case RunStatus::BuildFailure:
+      R.InducedBF = true;
+      AllValues = false;
+      break;
+    case RunStatus::Crash:
+      R.InducedCrash = true;
+      AllValues = false;
+      break;
+    case RunStatus::Timeout:
+      R.InducedTimeout = true;
+      AllValues = false;
+      break;
+    case RunStatus::Ok:
+      AnyValue = true;
+      if (!FirstValue)
+        FirstValue = O.OutputHash;
+      else if (*FirstValue != O.OutputHash)
+        R.Wrong = true;
+      break;
+    }
+  }
+  if (!AnyValue) {
+    // No variant terminated with a computed value: bad base; induced
+    // observations are not counted further (§7.4).
+    R = EmiBaseVerdict();
+    R.BadBase = true;
+    return R;
+  }
+  R.Stable = AllValues && !R.Wrong;
+  return R;
+}

@@ -1,0 +1,117 @@
+//===- Oracle.h - Differential and metamorphic test oracles -----*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's two oracles:
+///
+///  * *random differential testing* (§3.2/§7.3): a configuration
+///    produces a wrong code result for a kernel if, among all results
+///    computed for the kernel, there is a majority of at least 3 among
+///    the non-{bf,c,to} results, and the configuration's non-{bf,c,to}
+///    result disagrees with it;
+///
+///  * *EMI voting* (§7.4): a base program induces a wrong code result
+///    for a configuration if two of its variants terminate with
+///    different values; bad bases (no variant terminates), induced
+///    bf/c/to and stability are classified per the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_ORACLE_ORACLE_H
+#define CLFUZZ_ORACLE_ORACLE_H
+
+#include "device/Driver.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace clfuzz {
+
+/// Verdict for one (test, configuration, opt) result after voting.
+enum class Verdict : uint8_t {
+  Wrong,        ///< w: disagreed with the majority
+  BuildFailure, ///< bf
+  Crash,        ///< c
+  Timeout,      ///< to
+  Pass,         ///< check-mark in Table 4
+  NoMajority,   ///< result computed, but no majority exists
+};
+
+const char *verdictName(Verdict V);
+
+/// Finds the majority output among Ok outcomes. Requires at least
+/// \p MinMajority agreeing results (the paper uses 3).
+std::optional<uint64_t>
+majorityOutput(const std::vector<RunOutcome> &Outcomes,
+               unsigned MinMajority = 3);
+
+/// Classifies every outcome against the majority of the whole set.
+std::vector<Verdict>
+classifyAgainstMajority(const std::vector<RunOutcome> &Outcomes,
+                        unsigned MinMajority = 3);
+
+/// One Table 4 cell: counts per verdict plus the wrong-code
+/// percentage w% = w / (w + pass) (§7.3).
+struct OutcomeCounts {
+  unsigned W = 0;
+  unsigned BF = 0;
+  unsigned C = 0;
+  unsigned TO = 0;
+  unsigned Pass = 0;
+
+  void add(Verdict V) {
+    switch (V) {
+    case Verdict::Wrong:
+      ++W;
+      break;
+    case Verdict::BuildFailure:
+      ++BF;
+      break;
+    case Verdict::Crash:
+      ++C;
+      break;
+    case Verdict::Timeout:
+      ++TO;
+      break;
+    case Verdict::Pass:
+    case Verdict::NoMajority:
+      ++Pass;
+      break;
+    }
+  }
+
+  unsigned total() const { return W + BF + C + TO + Pass; }
+  double wrongPct() const {
+    unsigned Computed = W + Pass;
+    return Computed == 0 ? 0.0 : 100.0 * W / Computed;
+  }
+  /// Fraction of failing results (bf, c, to or w) used by the §7.1
+  /// reliability threshold.
+  double failureFraction() const {
+    unsigned T = total();
+    return T == 0 ? 0.0 : static_cast<double>(W + BF + C + TO) / T;
+  }
+};
+
+/// Result of EMI-variant voting for one (base, configuration, opt):
+/// the paper's Table 5 rows.
+struct EmiBaseVerdict {
+  bool BadBase = false;  ///< no variant terminated with a value
+  bool Wrong = false;    ///< two variants computed different values
+  bool InducedBF = false;
+  bool InducedCrash = false;
+  bool InducedTimeout = false;
+  bool Stable = false;   ///< all variants terminated, uniform value
+};
+
+/// Classifies the outcomes of all variants of one base program.
+EmiBaseVerdict classifyEmiVariants(const std::vector<RunOutcome> &Vs);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_ORACLE_ORACLE_H

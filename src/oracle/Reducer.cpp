@@ -1,0 +1,236 @@
+//===- Reducer.cpp - Concurrency-aware test-case reduction -------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "oracle/Reducer.h"
+#include "minicl/ASTQueries.h"
+#include "minicl/Parser.h"
+#include "minicl/Printer.h"
+#include "minicl/Sema.h"
+#include "support/StringUtil.h"
+
+using namespace clfuzz;
+
+namespace {
+
+/// One candidate mutation: either delete the statement at a position,
+/// replace it with a simplification, or drop an uncalled function.
+struct Mutation {
+  enum class Kind : uint8_t {
+    DeleteStmt,
+    IfToThen,
+    DropElse,
+    LoopToBody,
+    DeleteFunction,
+  };
+  Kind K;
+  unsigned FunctionIndex;
+  std::vector<unsigned> Path; ///< child indices from the body downward
+};
+
+/// True if any function in the program calls \p F.
+bool functionIsCalled(const Program &Prog, const FunctionDecl *F) {
+  bool Called = false;
+  for (const FunctionDecl *Caller : Prog.functions()) {
+    if (!Caller->getBody())
+      continue;
+    forEachExpr(Caller->getBody(), [&](const Expr *E) {
+      if (const auto *C = dyn_cast<CallExpr>(E))
+        if (C->getCallee() == F)
+          Called = true;
+    });
+  }
+  return Called;
+}
+
+/// Resolves a path to a mutable slot (the vector element holding the
+/// statement). Returns null when the path no longer resolves.
+Stmt **resolvePath(FunctionDecl *F, const std::vector<unsigned> &Path) {
+  if (!F->getBody())
+    return nullptr;
+  CompoundStmt *C = F->getBody();
+  Stmt **Slot = nullptr;
+  for (size_t I = 0; I != Path.size(); ++I) {
+    unsigned Idx = Path[I];
+    if (Idx >= C->body().size())
+      return nullptr;
+    Slot = &C->body()[Idx];
+    if (I + 1 == Path.size())
+      return Slot;
+    // Descend only through nested compounds (paths are built that way).
+    C = dyn_cast<CompoundStmt>(*Slot);
+    if (!C)
+      return nullptr;
+  }
+  return Slot;
+}
+
+/// Enumerates mutations over the (freshly parsed) program.
+void collectMutations(const Program &Prog, std::vector<Mutation> &Out) {
+  for (unsigned FI = 0; FI != Prog.functions().size(); ++FI) {
+    const FunctionDecl *F = Prog.functions()[FI];
+    if (!F->isKernel() && !functionIsCalled(Prog, F))
+      Out.push_back({Mutation::Kind::DeleteFunction, FI, {}});
+    if (!F->getBody())
+      continue;
+    std::function<void(const CompoundStmt *, std::vector<unsigned>)>
+        Walk = [&](const CompoundStmt *C, std::vector<unsigned> Path) {
+          for (unsigned I = 0; I != C->body().size(); ++I) {
+            const Stmt *S = C->body()[I];
+            std::vector<unsigned> Here = Path;
+            Here.push_back(I);
+            // Returns are structural (non-void functions need them).
+            if (!isa<ReturnStmt>(S))
+              Out.push_back(
+                  {Mutation::Kind::DeleteStmt, FI, Here});
+            if (const auto *If = dyn_cast<IfStmt>(S)) {
+              Out.push_back({Mutation::Kind::IfToThen, FI, Here});
+              if (If->getElse())
+                Out.push_back({Mutation::Kind::DropElse, FI, Here});
+            }
+            if (isa<ForStmt, WhileStmt, DoStmt>(S))
+              Out.push_back({Mutation::Kind::LoopToBody, FI, Here});
+            if (const auto *CC = dyn_cast<CompoundStmt>(S))
+              Walk(CC, Here);
+          }
+        };
+    Walk(F->getBody(), {});
+  }
+}
+
+/// Applies \p M to a freshly parsed copy; returns the new source, or
+/// an empty string when the mutation is inapplicable or yields an
+/// invalid program.
+std::string applyMutation(const std::string &Source, const Mutation &M) {
+  ASTContext Ctx;
+  DiagEngine Diags;
+  if (!parseProgram(Source, Ctx, Diags))
+    return {};
+  if (M.FunctionIndex >= Ctx.program().functions().size())
+    return {};
+  FunctionDecl *F = Ctx.program().functions()[M.FunctionIndex];
+
+  if (M.K == Mutation::Kind::DeleteFunction) {
+    if (F->isKernel() || functionIsCalled(Ctx.program(), F))
+      return {};
+    if (!Ctx.program().removeFunction(F))
+      return {};
+    DiagEngine Post;
+    if (!checkProgram(Ctx, Post))
+      return {};
+    return printProgram(Ctx.program(), Ctx.types());
+  }
+
+  Stmt **Slot = resolvePath(F, M.Path);
+  if (!Slot)
+    return {};
+
+  switch (M.K) {
+  case Mutation::Kind::DeleteStmt:
+    *Slot = Ctx.makeStmt<NullStmt>();
+    break;
+  case Mutation::Kind::IfToThen: {
+    auto *If = dyn_cast<IfStmt>(*Slot);
+    if (!If)
+      return {};
+    *Slot = If->getThen();
+    break;
+  }
+  case Mutation::Kind::DropElse: {
+    auto *If = dyn_cast<IfStmt>(*Slot);
+    if (!If || !If->getElse())
+      return {};
+    If->setElse(nullptr);
+    break;
+  }
+  case Mutation::Kind::LoopToBody: {
+    if (auto *For = dyn_cast<ForStmt>(*Slot)) {
+      std::vector<Stmt *> Seq;
+      if (For->getInit())
+        Seq.push_back(For->getInit());
+      Seq.push_back(For->getBody());
+      *Slot = Ctx.makeStmt<CompoundStmt>(std::move(Seq));
+    } else if (auto *W = dyn_cast<WhileStmt>(*Slot)) {
+      *Slot = W->getBody();
+    } else if (auto *D = dyn_cast<DoStmt>(*Slot)) {
+      *Slot = D->getBody();
+    } else {
+      return {};
+    }
+    break;
+  }
+  }
+
+  DiagEngine Post;
+  if (!checkProgram(Ctx, Post))
+    return {};
+  return printProgram(Ctx.program(), Ctx.types());
+}
+
+} // namespace
+
+TestCase clfuzz::reduceTest(
+    const TestCase &Input,
+    const std::function<bool(const TestCase &)> &StillInteresting,
+    const ReducerOptions &Opts, ReduceStats *Stats) {
+  TestCase Best = Input;
+  ReduceStats Local;
+  // Normalise the source through the printer so line counts compare
+  // like with like.
+  {
+    ASTContext Ctx;
+    DiagEngine Diags;
+    if (parseProgram(Best.Source, Ctx, Diags))
+      Best.Source = printProgram(Ctx.program(), Ctx.types());
+  }
+  Local.InitialLines = countCodeLines(Best.Source);
+
+  RunSettings Validate = Opts.Run;
+  Validate.DetectRaces = true;
+
+  bool Progress = true;
+  while (Progress && Local.CandidatesTried < Opts.MaxCandidates) {
+    Progress = false;
+
+    ASTContext Ctx;
+    DiagEngine Diags;
+    if (!parseProgram(Best.Source, Ctx, Diags))
+      break;
+    std::vector<Mutation> Mutations;
+    collectMutations(Ctx.program(), Mutations);
+
+    for (const Mutation &M : Mutations) {
+      if (Local.CandidatesTried >= Opts.MaxCandidates)
+        break;
+      std::string NewSource = applyMutation(Best.Source, M);
+      if (NewSource.empty() || NewSource == Best.Source)
+        continue;
+      ++Local.CandidatesTried;
+
+      TestCase Candidate = Best;
+      Candidate.Source = std::move(NewSource);
+
+      // Concurrency-aware validation: the candidate must stay a clean,
+      // race-free, divergence-free deterministic kernel.
+      RunOutcome Ref = runTestOnReference(Candidate, /*Optimize=*/false,
+                                          Validate);
+      if (!Ref.ok() || Ref.RaceFound)
+        continue;
+      if (!StillInteresting(Candidate))
+        continue;
+
+      Best = std::move(Candidate);
+      ++Local.CandidatesKept;
+      Progress = true;
+      break; // re-enumerate over the smaller program
+    }
+  }
+
+  Local.FinalLines = countCodeLines(Best.Source);
+  if (Stats)
+    *Stats = Local;
+  return Best;
+}

@@ -1,0 +1,58 @@
+//===- Reducer.h - Concurrency-aware test-case reduction --------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A delta-debugging reducer for miscompilation witnesses - the
+/// paper's §8 notes that a reducer for OpenCL "would require a
+/// concurrency-aware static analysis to avoid introducing data races";
+/// ours revalidates every candidate dynamically instead: a reduction
+/// step is kept only if the candidate (a) still parses and
+/// sema-checks, (b) still runs cleanly on the reference configuration
+/// with race detection and divergence checking enabled, and (c) still
+/// satisfies the caller's interestingness predicate (typically "this
+/// configuration still miscompiles it").
+///
+/// Reduction steps: statement deletion, if-to-then replacement, loop
+/// body unwrapping, and else-branch removal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_ORACLE_REDUCER_H
+#define CLFUZZ_ORACLE_REDUCER_H
+
+#include "device/Driver.h"
+
+#include <functional>
+
+namespace clfuzz {
+
+/// Reducer tuning.
+struct ReducerOptions {
+  /// Upper bound on candidate evaluations.
+  unsigned MaxCandidates = 400;
+  RunSettings Run;
+};
+
+/// Statistics from one reduction.
+struct ReduceStats {
+  unsigned CandidatesTried = 0;
+  unsigned CandidatesKept = 0;
+  unsigned InitialLines = 0;
+  unsigned FinalLines = 0;
+};
+
+/// Shrinks \p Input while \p StillInteresting holds on the candidate
+/// and the candidate remains a valid deterministic kernel (see file
+/// comment). Returns the smallest interesting test found.
+TestCase reduceTest(const TestCase &Input,
+                    const std::function<bool(const TestCase &)>
+                        &StillInteresting,
+                    const ReducerOptions &Opts, ReduceStats *Stats = nullptr);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_ORACLE_REDUCER_H

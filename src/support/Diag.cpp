@@ -1,0 +1,39 @@
+//===- Diag.cpp - Diagnostic collection -----------------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diag.h"
+
+#include <sstream>
+
+using namespace clfuzz;
+
+void DiagEngine::report(DiagLevel Level, SourceLoc Loc, std::string Message) {
+  if (Level == DiagLevel::Error)
+    ++NumErrors;
+  Diags.push_back(Diagnostic{Level, Loc, std::move(Message)});
+}
+
+std::string DiagEngine::str() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    if (D.Loc.isValid())
+      OS << D.Loc.Line << ':' << D.Loc.Col << ": ";
+    switch (D.Level) {
+    case DiagLevel::Note:
+      OS << "note: ";
+      break;
+    case DiagLevel::Warning:
+      OS << "warning: ";
+      break;
+    case DiagLevel::Error:
+      OS << "error: ";
+      break;
+    }
+    OS << D.Message << '\n';
+  }
+  return OS.str();
+}

@@ -1,0 +1,73 @@
+//===- Diag.h - Diagnostic collection ---------------------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostics for the MiniCL front end. The project compiles without
+/// exceptions, so lexing/parsing/sema report problems by appending to a
+/// DiagEngine; callers query hasErrors() at phase boundaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_SUPPORT_DIAG_H
+#define CLFUZZ_SUPPORT_DIAG_H
+
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+/// A 1-based source position within a MiniCL translation unit.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+};
+
+/// Severity of a reported diagnostic.
+enum class DiagLevel { Note, Warning, Error };
+
+/// A single diagnostic message attached to a source location.
+struct Diagnostic {
+  DiagLevel Level;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics for one front-end run.
+class DiagEngine {
+public:
+  void report(DiagLevel Level, SourceLoc Loc, std::string Message);
+
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagLevel::Error, Loc, std::move(Message));
+  }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagLevel::Warning, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: level: message" lines.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_SUPPORT_DIAG_H

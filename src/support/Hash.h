@@ -1,0 +1,72 @@
+//===- Hash.h - FNV-1a hashing utilities ------------------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small 64-bit FNV-1a hash accumulator. Used to fingerprint kernel
+/// outputs (the stand-in for the paper's printed comma-separated result
+/// lists) and to derive structural keys for bug-model triggering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_SUPPORT_HASH_H
+#define CLFUZZ_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace clfuzz {
+
+/// Incremental FNV-1a 64-bit hasher.
+class Fnv64 {
+public:
+  static constexpr uint64_t Offset = 0xcbf29ce484222325ULL;
+  static constexpr uint64_t Prime = 0x100000001b3ULL;
+
+  Fnv64() = default;
+
+  Fnv64 &addByte(uint8_t B) {
+    H = (H ^ B) * Prime;
+    return *this;
+  }
+
+  Fnv64 &addBytes(const void *Data, size_t Len) {
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    for (size_t I = 0; I != Len; ++I)
+      addByte(P[I]);
+    return *this;
+  }
+
+  Fnv64 &addU64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      addByte(static_cast<uint8_t>(V >> (8 * I)));
+    return *this;
+  }
+
+  Fnv64 &addString(const std::string &S) {
+    return addBytes(S.data(), S.size());
+  }
+
+  uint64_t value() const { return H; }
+
+private:
+  uint64_t H = Offset;
+};
+
+/// One-shot convenience over a byte buffer.
+inline uint64_t fnv64(const void *Data, size_t Len) {
+  return Fnv64().addBytes(Data, Len).value();
+}
+
+/// One-shot convenience over a string.
+inline uint64_t fnv64(const std::string &S) {
+  return Fnv64().addString(S).value();
+}
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_SUPPORT_HASH_H

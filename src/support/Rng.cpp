@@ -1,0 +1,102 @@
+//===- Rng.cpp - Deterministic pseudo-random number generation -----------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+using namespace clfuzz;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitmix64(S);
+}
+
+uint64_t Rng::next() {
+  // xoshiro256** step.
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::below(uint64_t Bound) {
+  assert(Bound != 0 && "below() with a zero bound");
+  // Rejection sampling: draw until the value falls in the largest
+  // multiple of Bound representable in 64 bits.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t V = next();
+    if (V >= Threshold)
+      return V % Bound;
+  }
+}
+
+int64_t Rng::range(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "range() with an inverted interval");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  return Lo + static_cast<int64_t>(Span == 0 ? next() : below(Span));
+}
+
+bool Rng::chance(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  // 53 bits of randomness is plenty for probability comparisons.
+  double U = static_cast<double>(next() >> 11) * 0x1.0p-53;
+  return U < P;
+}
+
+size_t Rng::pickWeighted(const std::vector<unsigned> &Weights) {
+  uint64_t Total = 0;
+  for (unsigned W : Weights)
+    Total += W;
+  assert(Total > 0 && "pickWeighted() with all-zero weights");
+  uint64_t Ticket = below(Total);
+  for (size_t I = 0, E = Weights.size(); I != E; ++I) {
+    if (Ticket < Weights[I])
+      return I;
+    Ticket -= Weights[I];
+  }
+  assert(false && "pickWeighted() ran off the end");
+  return Weights.size() - 1;
+}
+
+std::vector<unsigned> Rng::permutation(unsigned N) {
+  std::vector<unsigned> Perm(N);
+  for (unsigned I = 0; I != N; ++I)
+    Perm[I] = I;
+  for (unsigned I = N; I > 1; --I) {
+    unsigned J = static_cast<unsigned>(below(I));
+    std::swap(Perm[I - 1], Perm[J]);
+  }
+  return Perm;
+}
+
+Rng Rng::fork() {
+  // Mix two fresh draws so the child stream does not overlap the
+  // parent's future output.
+  uint64_t A = next(), B = next();
+  return Rng(A ^ rotl(B, 32) ^ 0xa5a5a5a5a5a5a5a5ULL);
+}

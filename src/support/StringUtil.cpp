@@ -1,0 +1,69 @@
+//===- StringUtil.cpp - Small string helpers ------------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtil.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace clfuzz;
+
+std::string clfuzz::join(const std::vector<std::string> &Parts,
+                         const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string clfuzz::toHex(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+std::string clfuzz::padLeft(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string clfuzz::padRight(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}
+
+std::string clfuzz::formatDouble(double V, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, V);
+  return Buf;
+}
+
+bool clfuzz::startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+unsigned clfuzz::countCodeLines(const std::string &Source) {
+  unsigned Count = 0;
+  std::istringstream IS(Source);
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    size_t Pos = Line.find_first_not_of(" \t\r");
+    if (Pos == std::string::npos)
+      continue;
+    if (Line.compare(Pos, 2, "//") == 0)
+      continue;
+    ++Count;
+  }
+  return Count;
+}

@@ -1,0 +1,48 @@
+//===- StringUtil.h - Small string helpers ----------------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String formatting helpers shared by the printer, the campaign report
+/// writers and the bench table emitters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_SUPPORT_STRINGUTIL_H
+#define CLFUZZ_SUPPORT_STRINGUTIL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Formats \p V as 0x-prefixed lower-case hex (no leading zeros).
+std::string toHex(uint64_t V);
+
+/// Left-pads \p S with spaces to width \p Width.
+std::string padLeft(const std::string &S, size_t Width);
+
+/// Right-pads \p S with spaces to width \p Width.
+std::string padRight(const std::string &S, size_t Width);
+
+/// Formats a double with \p Decimals digits after the point.
+std::string formatDouble(double V, int Decimals);
+
+/// Returns true if \p S starts with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+/// Counts non-empty, non-comment-only lines; the stand-in for the
+/// paper's `cloc` line counts in Table 2.
+unsigned countCodeLines(const std::string &Source);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_SUPPORT_STRINGUTIL_H

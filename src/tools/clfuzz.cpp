@@ -1,0 +1,239 @@
+//===- clfuzz.cpp - Command-line front end --------------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The command-line driver (the analogue of the CLsmith/cl_launcher
+/// pair the paper ships):
+///
+///   clfuzz gen   --mode=ALL --seed=N [--emi=K]   print a kernel
+///   clfuzz run   --seed=N --config=ID [--opt]    run one kernel
+///   clfuzz diff  --seed=N                        run on the whole zoo
+///   clfuzz hunt  --mode=M --count=N              mini campaign
+///   clfuzz configs                               list the zoo
+///
+//===----------------------------------------------------------------------===//
+
+#include "device/DeviceConfig.h"
+#include "gen/Generator.h"
+#include "oracle/Oracle.h"
+#include "support/StringUtil.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+using namespace clfuzz;
+
+namespace {
+
+struct CliArgs {
+  std::string Command;
+  std::map<std::string, std::string> Options;
+
+  bool has(const std::string &Key) const { return Options.count(Key); }
+  std::string get(const std::string &Key,
+                  const std::string &Default = "") const {
+    auto It = Options.find(Key);
+    return It == Options.end() ? Default : It->second;
+  }
+  uint64_t getInt(const std::string &Key, uint64_t Default) const {
+    auto It = Options.find(Key);
+    return It == Options.end()
+               ? Default
+               : static_cast<uint64_t>(std::atoll(It->second.c_str()));
+  }
+};
+
+CliArgs parse(int Argc, char **Argv) {
+  CliArgs A;
+  if (Argc > 1)
+    A.Command = Argv[1];
+  for (int I = 2; I < Argc; ++I) {
+    std::string S = Argv[I];
+    if (S.rfind("--", 0) != 0)
+      continue;
+    size_t Eq = S.find('=');
+    if (Eq == std::string::npos)
+      A.Options[S.substr(2)] = "1";
+    else
+      A.Options[S.substr(2, Eq - 2)] = S.substr(Eq + 1);
+  }
+  return A;
+}
+
+GenMode modeByName(const std::string &Name) {
+  for (unsigned M = 0; M != NumGenModes; ++M) {
+    std::string N = genModeName(static_cast<GenMode>(M));
+    std::string Compact;
+    for (char C : N)
+      if (C != ' ')
+        Compact += C;
+    if (Name == N || Name == Compact)
+      return static_cast<GenMode>(M);
+  }
+  std::fprintf(stderr, "unknown mode '%s' (use BASIC, VECTOR, BARRIER, "
+                       "ATOMICSECTION, ATOMICREDUCTION or ALL)\n",
+               Name.c_str());
+  std::exit(1);
+}
+
+GenOptions genOptionsFrom(const CliArgs &A) {
+  GenOptions GO;
+  GO.Mode = modeByName(A.get("mode", "ALL"));
+  GO.Seed = A.getInt("seed", 1);
+  GO.NumEmiBlocks = static_cast<unsigned>(A.getInt("emi", 0));
+  return GO;
+}
+
+int cmdGen(const CliArgs &A) {
+  GeneratedKernel K = generateKernel(genOptionsFrom(A));
+  std::printf("// mode: %s, seed: %llu\n", genModeName(K.Mode),
+              static_cast<unsigned long long>(K.Seed));
+  std::printf("// NDRange: global (%u,%u,%u) local (%u,%u,%u)\n",
+              K.Range.Global[0], K.Range.Global[1], K.Range.Global[2],
+              K.Range.Local[0], K.Range.Local[1], K.Range.Local[2]);
+  for (size_t I = 0; I != K.Buffers.size(); ++I)
+    std::printf("// arg %zu: %s buffer, %zu bytes%s%s\n", I,
+                addressSpaceName(K.Buffers[I].Space),
+                K.Buffers[I].InitBytes.size(),
+                K.Buffers[I].IsOutput ? " (output)" : "",
+                K.Buffers[I].IsDeadArray ? " (EMI dead array)" : "");
+  std::printf("\n%s", K.Source.c_str());
+  return 0;
+}
+
+int cmdConfigs() {
+  std::printf("%-5s %-34s %-12s %-18s %s\n", "id", "device", "type",
+              "driver", "paper classification");
+  for (const DeviceConfig &C : buildConfigRegistry())
+    std::printf("%-5d %-34s %-12s %-18s %s\n", C.Id, C.Device.c_str(),
+                C.typeName(), C.Driver.c_str(),
+                C.PaperAboveThreshold ? "above threshold"
+                                      : "below threshold");
+  return 0;
+}
+
+int cmdRun(const CliArgs &A) {
+  TestCase T = TestCase::fromGenerated(generateKernel(genOptionsFrom(A)));
+  int ConfigId = static_cast<int>(A.getInt("config", 0));
+  bool Opt = A.has("opt");
+  RunOutcome O;
+  if (ConfigId == 0) {
+    O = runTestOnReference(T, Opt);
+    std::printf("reference%c: ", Opt ? '+' : '-');
+  } else {
+    std::vector<DeviceConfig> Zoo = buildConfigRegistry();
+    O = runTestOnConfig(T, configById(Zoo, ConfigId), Opt);
+    std::printf("config %d%c: ", ConfigId, Opt ? '+' : '-');
+  }
+  std::printf("%s", runStatusName(O.Status));
+  if (O.ok()) {
+    std::printf("  output-hash=%s  out[0..%zu]=", toHex(O.OutputHash).c_str(),
+                O.OutputHead.size());
+    for (uint64_t W : O.OutputHead)
+      std::printf(" %s", toHex(W).c_str());
+  } else {
+    std::printf("  (%s)", O.Message.c_str());
+  }
+  std::printf("\n");
+  return O.ok() ? 0 : 1;
+}
+
+int cmdDiff(const CliArgs &A) {
+  TestCase T = TestCase::fromGenerated(generateKernel(genOptionsFrom(A)));
+  std::vector<DeviceConfig> Zoo = buildConfigRegistry();
+  std::vector<RunOutcome> Outs;
+  std::vector<std::string> Labels;
+  for (const DeviceConfig &C : Zoo) {
+    for (bool Opt : {false, true}) {
+      Outs.push_back(runTestOnConfig(T, C, Opt));
+      Labels.push_back(std::to_string(C.Id) + (Opt ? "+" : "-"));
+    }
+  }
+  std::vector<Verdict> Vs = classifyAgainstMajority(Outs);
+  unsigned Wrong = 0;
+  for (size_t I = 0; I != Vs.size(); ++I) {
+    std::printf("%-5s %-4s", Labels[I].c_str(),
+                verdictName(Vs[I]));
+    if (Outs[I].ok())
+      std::printf(" %s", toHex(Outs[I].OutputHash).c_str());
+    else
+      std::printf(" %s", Outs[I].Message.c_str());
+    std::printf("\n");
+    Wrong += Vs[I] == Verdict::Wrong;
+  }
+  std::printf("\n%u wrong-code verdicts\n", Wrong);
+  return 0;
+}
+
+int cmdHunt(const CliArgs &A) {
+  unsigned Count = static_cast<unsigned>(A.getInt("count", 20));
+  uint64_t Seed = A.getInt("seed", 1);
+  GenMode Mode = modeByName(A.get("mode", "ALL"));
+  std::vector<DeviceConfig> Zoo = buildConfigRegistry();
+  std::vector<const DeviceConfig *> Targets;
+  for (int Id : paperAboveThresholdIds())
+    Targets.push_back(&configById(Zoo, Id));
+
+  unsigned Findings = 0;
+  for (unsigned K = 0; K != Count; ++K) {
+    GenOptions GO;
+    GO.Mode = Mode;
+    GO.Seed = Seed + K;
+    TestCase T = TestCase::fromGenerated(generateKernel(GO));
+    std::vector<RunOutcome> Outs;
+    std::vector<std::string> Labels;
+    for (const DeviceConfig *C : Targets) {
+      for (bool Opt : {false, true}) {
+        Outs.push_back(runTestOnConfig(T, *C, Opt));
+        Labels.push_back(std::to_string(C->Id) + (Opt ? "+" : "-"));
+      }
+    }
+    std::vector<Verdict> Vs = classifyAgainstMajority(Outs);
+    for (size_t I = 0; I != Vs.size(); ++I) {
+      if (Vs[I] != Verdict::Wrong)
+        continue;
+      ++Findings;
+      std::printf("seed %llu: wrong code on config %s\n",
+                  static_cast<unsigned long long>(GO.Seed),
+                  Labels[I].c_str());
+    }
+  }
+  std::printf("%u findings over %u kernels; rerun `clfuzz gen "
+              "--mode=%s --seed=<seed>` to inspect a witness\n",
+              Findings, Count, A.get("mode", "ALL").c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: clfuzz <command> [options]\n"
+      "  gen     --mode=M --seed=N [--emi=K]   print a generated kernel\n"
+      "  run     --seed=N [--config=ID] [--opt] run one kernel\n"
+      "  diff    --seed=N [--mode=M]           run across the whole zoo\n"
+      "  hunt    --mode=M --count=N [--seed=N] mini differential campaign\n"
+      "  configs                                list the 21 configurations\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliArgs A = parse(Argc, Argv);
+  if (A.Command == "gen")
+    return cmdGen(A);
+  if (A.Command == "run")
+    return cmdRun(A);
+  if (A.Command == "diff")
+    return cmdDiff(A);
+  if (A.Command == "hunt")
+    return cmdHunt(A);
+  if (A.Command == "configs")
+    return cmdConfigs();
+  return usage();
+}

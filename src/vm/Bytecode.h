@@ -1,0 +1,151 @@
+//===- Bytecode.h - Stack bytecode for the MiniCL VM ------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled form of a MiniCL kernel: a stack-machine instruction
+/// set plus per-function frames. This is the "device binary" our
+/// simulated OpenCL drivers produce; each simulated configuration runs
+/// the same VM but compiles through a different pass pipeline and
+/// layout/codegen bug set, so result differences between
+/// configurations are genuine miscompilations.
+///
+/// Pointers are boxed as 64-bit words:
+///   [63:62] address space  [61:54] buffer index  [53:0] byte offset
+/// Private pointers are relative to the owning thread's arena and
+/// local pointers to the owning group's arena, matching OpenCL's
+/// address-space isolation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_VM_BYTECODE_H
+#define CLFUZZ_VM_BYTECODE_H
+
+#include "minicl/AST.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+/// VM opcode set.
+enum class Op : uint8_t {
+  PushConst,   ///< push Imm as a value of type Ty
+  FrameAddr,   ///< push private pointer to (frame base + Imm)
+  GroupAddr,   ///< push local pointer to group arena offset Imm
+  Load,        ///< pop ptr; push *ptr of type Ty
+  Store,       ///< pop value, pop ptr; *ptr = value
+  StoreKeep,   ///< like Store but pushes the value back
+  MemCopy,     ///< pop src ptr, pop dst ptr; copy Imm bytes
+  MemSet,      ///< pop dst ptr; fill Imm bytes with byte A
+  GepConst,    ///< pop ptr; push ptr + Imm
+  GepScaled,   ///< pop index, pop ptr; push ptr + index * Imm
+  Bin,         ///< pop rhs, lhs; apply BinOp A; result type Ty
+  Un,          ///< pop operand; apply UnOp A; result type Ty
+  Convert,     ///< pop value; convert to Ty
+  Splat,       ///< pop scalar; broadcast to vector Ty
+  VecBuild,    ///< pop A elements (scalars/vectors); build vector Ty
+  VecExtract,  ///< pop vector; push lane A as scalar Ty
+  VecShuffle,  ///< pop vector; select A lanes packed 4-bit in Imm -> Ty
+  VecInsert,   ///< pop scalar, pop vector; replace lane A
+  Call,        ///< call function A
+  Ret,         ///< return with value
+  RetVoid,     ///< return without value
+  Jump,        ///< jump to pc A
+  JumpIfFalse, ///< pop scalar; jump to pc A when zero
+  Pop,         ///< discard top of stack
+  Dup,         ///< duplicate top of stack
+  Rot3,        ///< rotate top three: [x y z] -> [z x y]
+  Barrier,     ///< work-group barrier; A = site id, B = fence flags
+  AtomicRMW,   ///< pop [operand,] ptr; builtin A; B!=0 => no operand
+  AtomicCas,   ///< pop new, cmp, ptr; push old
+  BuiltinEval, ///< pop B args; evaluate builtin A; result type Ty
+  WorkItem,    ///< pop dim; push work-item query A (size_t)
+  Trap,        ///< abort execution with trap code A
+};
+
+/// Trap codes carried by Op::Trap and runtime faults.
+enum class TrapCode : uint8_t {
+  Unreachable,
+  NullDeref,
+  OutOfBounds,
+  DivByZero,
+  StackOverflow,
+  CallDepth,
+  BadPointer,
+  CompilerInjected, ///< used by crash bug models
+};
+
+const char *trapCodeName(TrapCode C);
+
+/// One VM instruction (fixed-width form, operands by role).
+struct Insn {
+  Op Opcode;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint64_t Imm = 0;
+  const Type *Ty = nullptr;
+};
+
+/// Pointer boxing helpers.
+namespace vmptr {
+
+constexpr uint64_t OffsetBits = 54;
+constexpr uint64_t OffsetMask = (1ULL << OffsetBits) - 1;
+
+inline uint64_t make(AddressSpace Space, unsigned Buf, uint64_t Offset) {
+  return (static_cast<uint64_t>(Space) << 62) |
+         (static_cast<uint64_t>(Buf & 0xff) << OffsetBits) |
+         (Offset & OffsetMask);
+}
+
+inline AddressSpace space(uint64_t P) {
+  return static_cast<AddressSpace>(P >> 62);
+}
+inline unsigned buffer(uint64_t P) {
+  return static_cast<unsigned>((P >> OffsetBits) & 0xff);
+}
+inline uint64_t offset(uint64_t P) { return P & OffsetMask; }
+
+} // namespace vmptr
+
+/// A kernel parameter's slot in the entry frame.
+struct CompiledParam {
+  uint64_t FrameOffset;
+  const Type *Ty;
+};
+
+/// One compiled function.
+struct CompiledFunction {
+  std::string Name;
+  const Type *ReturnTy = nullptr;
+  std::vector<CompiledParam> Params;
+  uint64_t FrameSize = 0;
+  std::vector<Insn> Code;
+};
+
+/// A compiled translation unit plus launch metadata.
+struct CompiledModule {
+  std::vector<CompiledFunction> Functions;
+  unsigned KernelIndex = 0;
+  /// Bytes of group-local memory required by kernel-scope local
+  /// declarations.
+  uint64_t LocalArenaSize = 0;
+  /// Number of distinct barrier sites (for divergence diagnostics).
+  unsigned NumBarrierSites = 0;
+
+  const CompiledFunction &kernel() const {
+    return Functions[KernelIndex];
+  }
+};
+
+/// Renders a human-readable disassembly (used in tests and debugging).
+std::string disassemble(const CompiledModule &M);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_VM_BYTECODE_H

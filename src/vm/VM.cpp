@@ -1,0 +1,961 @@
+//===- VM.cpp - NDRange executor for MiniCL bytecode ------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VM.h"
+#include "minicl/IntOps.h"
+#include "support/Rng.h"
+
+#include <cstring>
+#include <sstream>
+#include <unordered_map>
+
+using namespace clfuzz;
+
+//===----------------------------------------------------------------------===//
+// Buffer helpers
+//===----------------------------------------------------------------------===//
+
+uint64_t Buffer::readScalar(uint64_t Offset, unsigned ByteWidth) const {
+  assert(Offset + ByteWidth <= Bytes.size() && "host read out of bounds");
+  uint64_t V = 0;
+  for (unsigned I = 0; I != ByteWidth; ++I)
+    V |= static_cast<uint64_t>(Bytes[Offset + I]) << (8 * I);
+  return V;
+}
+
+void Buffer::writeScalar(uint64_t Offset, unsigned ByteWidth,
+                         uint64_t Bits) {
+  assert(Offset + ByteWidth <= Bytes.size() && "host write out of bounds");
+  for (unsigned I = 0; I != ByteWidth; ++I)
+    Bytes[Offset + I] = static_cast<uint8_t>(Bits >> (8 * I));
+}
+
+const char *clfuzz::launchStatusName(LaunchStatus S) {
+  switch (S) {
+  case LaunchStatus::Success:
+    return "success";
+  case LaunchStatus::Trap:
+    return "trap";
+  case LaunchStatus::Timeout:
+    return "timeout";
+  case LaunchStatus::BarrierDivergence:
+    return "barrier divergence";
+  case LaunchStatus::InvalidLaunch:
+    return "invalid launch";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Scalar operator semantics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Race detection
+//===----------------------------------------------------------------------===//
+
+/// Happens-before data-race detector following the paper's definition
+/// (§3.1): conflicting accesses race unless both are atomic, or the
+/// threads share a group and a barrier (with the right fence) separates
+/// the accesses.
+class RaceDetector {
+public:
+  struct Access {
+    uint32_t Thread;
+    uint32_t Group;
+    uint32_t Epoch;
+    bool Atomic;
+    bool Write;
+  };
+
+  bool Found = false;
+  std::string Message;
+
+  void onAccess(bool IsLocalSpace, unsigned Buf, uint64_t Offset,
+                uint64_t Size, Access A) {
+    if (Found)
+      return;
+    auto &Map = IsLocalSpace ? LocalBytes : GlobalBytes[Buf];
+    for (uint64_t I = 0; I != Size; ++I) {
+      ByteState &BS = Map[Offset + I];
+      if (A.Write) {
+        if (BS.HasWrite && conflicts(BS.Write, A)) {
+          report(IsLocalSpace, Buf, Offset + I, BS.Write, A);
+          return;
+        }
+        for (const Access &R : BS.Reads)
+          if (conflicts(R, A)) {
+            report(IsLocalSpace, Buf, Offset + I, R, A);
+            return;
+          }
+        BS.Write = A;
+        BS.HasWrite = true;
+        BS.Reads.clear();
+      } else {
+        if (BS.HasWrite && conflicts(BS.Write, A)) {
+          report(IsLocalSpace, Buf, Offset + I, BS.Write, A);
+          return;
+        }
+        if (BS.Reads.size() < 4)
+          BS.Reads.push_back(A);
+      }
+    }
+  }
+
+  /// Local memory is re-used between groups; forget its history.
+  void resetLocal() { LocalBytes.clear(); }
+
+private:
+  struct ByteState {
+    Access Write = {};
+    bool HasWrite = false;
+    std::vector<Access> Reads;
+  };
+
+  static bool conflicts(const Access &A, const Access &B) {
+    if (A.Thread == B.Thread)
+      return false;
+    if (!A.Write && !B.Write)
+      return false;
+    if (A.Atomic && B.Atomic)
+      return false;
+    if (A.Group != B.Group)
+      return true; // no inter-group ordering exists in OpenCL 1.x
+    return A.Epoch == B.Epoch; // same barrier interval
+  }
+
+  void report(bool IsLocal, unsigned Buf, uint64_t Offset, const Access &A,
+              const Access &B) {
+    Found = true;
+    std::ostringstream OS;
+    OS << "data race on " << (IsLocal ? "local" : "global") << " memory";
+    if (!IsLocal)
+      OS << " (buffer " << Buf << ")";
+    OS << " at byte " << Offset << " between threads " << A.Thread
+       << (A.Write ? " (write" : " (read")
+       << (A.Atomic ? ", atomic)" : ")") << " and " << B.Thread
+       << (B.Write ? " (write" : " (read")
+       << (B.Atomic ? ", atomic)" : ")");
+    Message = OS.str();
+  }
+
+  std::unordered_map<uint64_t, ByteState> LocalBytes;
+  std::unordered_map<unsigned, std::unordered_map<uint64_t, ByteState>>
+      GlobalBytes;
+};
+
+//===----------------------------------------------------------------------===//
+// Thread state
+//===----------------------------------------------------------------------===//
+
+enum class TState : uint8_t { Runnable, AtBarrier, Finished };
+
+struct Frame {
+  unsigned Func;
+  size_t PC;
+  uint64_t Base;
+};
+
+struct ThreadCtx {
+  TState State = TState::Runnable;
+  std::vector<Frame> Stack;
+  std::vector<Value> Operands;
+  std::vector<uint8_t> Arena;
+  uint64_t ArenaTop = 8;
+  uint32_t GlobalId[3] = {0, 0, 0};
+  uint32_t LocalId[3] = {0, 0, 0};
+  uint32_t GroupId[3] = {0, 0, 0};
+  uint32_t GlobalLinear = 0;
+  uint32_t LocalLinear = 0;
+  uint32_t BarrierSite = 0;
+  uint32_t BarrierCount = 0;
+  uint8_t PendingFence = 0;
+};
+
+enum class StepResult : uint8_t { Continue, Blocked, Done, Trapped };
+
+/// The per-launch execution engine.
+class Engine {
+public:
+  Engine(const CompiledModule &M, std::vector<Buffer> &Buffers,
+         const std::vector<KernelArg> &Args, const LaunchOptions &Opts)
+      : M(M), Buffers(Buffers), Args(Args), Opts(Opts),
+        Sched(Opts.SchedulerSeed ^ 0x9e3779b97f4a7c15ULL) {}
+
+  LaunchResult run();
+
+private:
+  StepResult step(ThreadCtx &T);
+  bool runGroup(uint32_t GX, uint32_t GY, uint32_t GZ);
+
+  uint8_t *resolve(ThreadCtx &T, uint64_t Ptr, uint64_t Size,
+                   bool ForWrite, TrapCode &TC);
+  void recordAccess(ThreadCtx &T, uint64_t Ptr, uint64_t Size, bool Write,
+                    bool Atomic);
+
+  Value loadValue(const uint8_t *P, const Type *Ty);
+  void storeValue(uint8_t *P, const Value &V);
+
+  void trap(ThreadCtx &T, TrapCode TC, const std::string &Extra = "");
+
+  const CompiledModule &M;
+  std::vector<Buffer> &Buffers;
+  const std::vector<KernelArg> &Args;
+  LaunchOptions Opts;
+  Rng Sched;
+
+  std::vector<ThreadCtx> Threads;
+  std::vector<uint8_t> LocalArena;
+  RaceDetector Races;
+  uint32_t LocalEpoch = 0;
+  uint32_t GlobalEpoch = 0;
+  uint32_t CurGroupLinear = 0;
+
+  uint64_t Steps = 0;
+  LaunchResult Result;
+  bool Aborted = false;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Memory plumbing
+//===----------------------------------------------------------------------===//
+
+uint8_t *Engine::resolve(ThreadCtx &T, uint64_t Ptr, uint64_t Size,
+                         bool ForWrite, TrapCode &TC) {
+  if (Ptr == 0) {
+    TC = TrapCode::NullDeref;
+    return nullptr;
+  }
+  AddressSpace Space = vmptr::space(Ptr);
+  uint64_t Off = vmptr::offset(Ptr);
+  switch (Space) {
+  case AddressSpace::Private:
+    if (Off + Size > T.Arena.size()) {
+      TC = TrapCode::OutOfBounds;
+      return nullptr;
+    }
+    return T.Arena.data() + Off;
+  case AddressSpace::Local:
+    if (Off + Size > LocalArena.size()) {
+      TC = TrapCode::OutOfBounds;
+      return nullptr;
+    }
+    return LocalArena.data() + Off;
+  case AddressSpace::Global:
+  case AddressSpace::Constant: {
+    unsigned Buf = vmptr::buffer(Ptr);
+    if (Buf >= Buffers.size()) {
+      TC = TrapCode::BadPointer;
+      return nullptr;
+    }
+    Buffer &B = Buffers[Buf];
+    if (ForWrite && B.Space == AddressSpace::Constant) {
+      TC = TrapCode::BadPointer;
+      return nullptr;
+    }
+    if (Off + Size > B.Bytes.size()) {
+      TC = TrapCode::OutOfBounds;
+      return nullptr;
+    }
+    return B.Bytes.data() + Off;
+  }
+  }
+  TC = TrapCode::BadPointer;
+  return nullptr;
+}
+
+void Engine::recordAccess(ThreadCtx &T, uint64_t Ptr, uint64_t Size,
+                          bool Write, bool Atomic) {
+  if (!Opts.DetectRaces)
+    return;
+  AddressSpace Space = vmptr::space(Ptr);
+  if (Space == AddressSpace::Private || Space == AddressSpace::Constant)
+    return;
+  bool IsLocal = Space == AddressSpace::Local;
+  RaceDetector::Access A;
+  A.Thread = T.GlobalLinear;
+  A.Group = CurGroupLinear;
+  A.Epoch = IsLocal ? LocalEpoch : GlobalEpoch;
+  A.Atomic = Atomic;
+  A.Write = Write;
+  Races.onAccess(IsLocal, IsLocal ? 0 : vmptr::buffer(Ptr),
+                 vmptr::offset(Ptr), Size, A);
+}
+
+Value Engine::loadValue(const uint8_t *P, const Type *Ty) {
+  auto ReadScalar = [P](unsigned Bytes, unsigned At) {
+    uint64_t V = 0;
+    for (unsigned I = 0; I != Bytes; ++I)
+      V |= static_cast<uint64_t>(P[At + I]) << (8 * I);
+    return V;
+  };
+  if (const auto *VT = dyn_cast<VectorType>(Ty)) {
+    unsigned EB = VT->getElementType()->byteWidth();
+    std::array<uint64_t, 16> Lanes = {};
+    for (unsigned L = 0; L != VT->getNumLanes(); ++L)
+      Lanes[L] = ReadScalar(EB, L * EB);
+    return Value::vector(VT, Lanes);
+  }
+  if (const auto *ST = dyn_cast<ScalarType>(Ty))
+    return Value::scalar(ST, ReadScalar(ST->byteWidth(), 0));
+  assert(isa<PointerType>(Ty) && "loading a non-loadable type");
+  return Value::scalar(Ty, ReadScalar(8, 0));
+}
+
+void Engine::storeValue(uint8_t *P, const Value &V) {
+  auto WriteScalar = [P](unsigned Bytes, unsigned At, uint64_t Bits) {
+    for (unsigned I = 0; I != Bytes; ++I)
+      P[At + I] = static_cast<uint8_t>(Bits >> (8 * I));
+  };
+  if (const auto *VT = dyn_cast<VectorType>(V.Ty)) {
+    unsigned EB = VT->getElementType()->byteWidth();
+    for (unsigned L = 0; L != VT->getNumLanes(); ++L)
+      WriteScalar(EB, L * EB, V.Lanes[L]);
+    return;
+  }
+  if (const auto *ST = dyn_cast<ScalarType>(V.Ty)) {
+    WriteScalar(ST->byteWidth(), 0, V.Lanes[0]);
+    return;
+  }
+  WriteScalar(8, 0, V.Lanes[0]);
+}
+
+void Engine::trap(ThreadCtx &T, TrapCode TC, const std::string &Extra) {
+  Aborted = true;
+  Result.Status = LaunchStatus::Trap;
+  std::ostringstream OS;
+  OS << "thread " << T.GlobalLinear << ": " << trapCodeName(TC);
+  if (!Extra.empty())
+    OS << " (" << Extra << ")";
+  Result.Message = OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction interpretation
+//===----------------------------------------------------------------------===//
+
+StepResult Engine::step(ThreadCtx &T) {
+  Frame &F = T.Stack.back();
+  const CompiledFunction &Fn = M.Functions[F.Func];
+  assert(F.PC < Fn.Code.size() && "program counter out of range");
+  const Insn &I = Fn.Code[F.PC++];
+  auto &Ops = T.Operands;
+
+  auto PopV = [&Ops]() {
+    Value V = std::move(Ops.back());
+    Ops.pop_back();
+    return V;
+  };
+
+  switch (I.Opcode) {
+  case Op::PushConst:
+    Ops.push_back(Value::scalar(I.Ty, I.Imm));
+    return StepResult::Continue;
+  case Op::FrameAddr:
+    Ops.push_back(Value::scalar(
+        nullptr, vmptr::make(AddressSpace::Private, 0, F.Base + I.Imm)));
+    return StepResult::Continue;
+  case Op::GroupAddr:
+    Ops.push_back(Value::scalar(
+        nullptr, vmptr::make(AddressSpace::Local, 0, I.Imm)));
+    return StepResult::Continue;
+  case Op::Load: {
+    Value Ptr = PopV();
+    uint64_t Size = 0;
+    if (const auto *ST = dyn_cast<ScalarType>(I.Ty))
+      Size = ST->byteWidth();
+    else if (const auto *VT = dyn_cast<VectorType>(I.Ty))
+      Size = static_cast<uint64_t>(VT->getElementType()->byteWidth()) *
+             VT->getNumLanes();
+    else
+      Size = 8;
+    TrapCode TC;
+    uint8_t *P = resolve(T, Ptr.bits(), Size, /*ForWrite=*/false, TC);
+    if (!P) {
+      trap(T, TC, "load");
+      return StepResult::Trapped;
+    }
+    recordAccess(T, Ptr.bits(), Size, /*Write=*/false, /*Atomic=*/false);
+    Ops.push_back(loadValue(P, I.Ty));
+    return StepResult::Continue;
+  }
+  case Op::Store:
+  case Op::StoreKeep: {
+    Value V = PopV();
+    Value Ptr = PopV();
+    if (!V.Ty)
+      V.Ty = I.Ty;
+    uint64_t Size = 0;
+    if (const auto *ST = dyn_cast<ScalarType>(I.Ty))
+      Size = ST->byteWidth();
+    else if (const auto *VT = dyn_cast<VectorType>(I.Ty))
+      Size = static_cast<uint64_t>(VT->getElementType()->byteWidth()) *
+             VT->getNumLanes();
+    else
+      Size = 8;
+    TrapCode TC;
+    uint8_t *P = resolve(T, Ptr.bits(), Size, /*ForWrite=*/true, TC);
+    if (!P) {
+      trap(T, TC, "store");
+      return StepResult::Trapped;
+    }
+    recordAccess(T, Ptr.bits(), Size, /*Write=*/true, /*Atomic=*/false);
+    storeValue(P, V);
+    if (I.Opcode == Op::StoreKeep)
+      Ops.push_back(std::move(V));
+    return StepResult::Continue;
+  }
+  case Op::MemCopy: {
+    Value Src = PopV();
+    Value Dst = PopV();
+    TrapCode TC;
+    uint8_t *SP = resolve(T, Src.bits(), I.Imm, /*ForWrite=*/false, TC);
+    if (!SP) {
+      trap(T, TC, "copy source");
+      return StepResult::Trapped;
+    }
+    uint8_t *DP = resolve(T, Dst.bits(), I.Imm, /*ForWrite=*/true, TC);
+    if (!DP) {
+      trap(T, TC, "copy destination");
+      return StepResult::Trapped;
+    }
+    recordAccess(T, Src.bits(), I.Imm, false, false);
+    recordAccess(T, Dst.bits(), I.Imm, true, false);
+    std::memmove(DP, SP, I.Imm);
+    return StepResult::Continue;
+  }
+  case Op::MemSet: {
+    Value Dst = PopV();
+    TrapCode TC;
+    uint8_t *DP = resolve(T, Dst.bits(), I.Imm, /*ForWrite=*/true, TC);
+    if (!DP) {
+      trap(T, TC, "memset");
+      return StepResult::Trapped;
+    }
+    recordAccess(T, Dst.bits(), I.Imm, true, false);
+    std::memset(DP, static_cast<int>(I.A), I.Imm);
+    return StepResult::Continue;
+  }
+  case Op::GepConst: {
+    Value Ptr = PopV();
+    Ptr.Lanes[0] += I.Imm; // offset arithmetic stays inside the box
+    Ops.push_back(std::move(Ptr));
+    return StepResult::Continue;
+  }
+  case Op::GepScaled: {
+    Value Index = PopV();
+    Value Ptr = PopV();
+    int64_t Idx = Index.Ty && cast<ScalarType>(Index.Ty)->isSigned()
+                      ? Index.asSigned()
+                      : static_cast<int64_t>(Index.bits());
+    Ptr.Lanes[0] += static_cast<uint64_t>(Idx * static_cast<int64_t>(I.Imm));
+    Ops.push_back(std::move(Ptr));
+    return StepResult::Continue;
+  }
+  case Op::Bin: {
+    Value R = PopV();
+    Value L = PopV();
+    BinOp BO = static_cast<BinOp>(I.A);
+    LaneType LT = laneTypeOf(L.Ty ? L.Ty : I.Ty);
+    Value Out;
+    Out.Ty = I.Ty;
+    if (const auto *VT = dyn_cast<VectorType>(I.Ty)) {
+      Out.NumLanes = VT->getNumLanes();
+      unsigned RW = VT->getElementType()->bitWidth();
+      bool VecCmp = isComparisonOp(BO) || isLogicalOp(BO);
+      for (unsigned Lane = 0; Lane != Out.NumLanes; ++Lane) {
+        if (!evalBinLane(BO, LT, L.Lanes[Lane], R.Lanes[Lane], VecCmp, RW,
+                         Out.Lanes[Lane])) {
+          trap(T, TrapCode::DivByZero);
+          return StepResult::Trapped;
+        }
+      }
+    } else {
+      Out.NumLanes = 1;
+      if (!evalBinLane(BO, LT, L.Lanes[0], R.Lanes[0], false, 32,
+                       Out.Lanes[0])) {
+        trap(T, TrapCode::DivByZero);
+        return StepResult::Trapped;
+      }
+      if (const auto *ST = dyn_cast<ScalarType>(I.Ty))
+        Out.Lanes[0] = maskToWidth(Out.Lanes[0], ST->bitWidth());
+    }
+    Ops.push_back(std::move(Out));
+    return StepResult::Continue;
+  }
+  case Op::Un: {
+    Value V = PopV();
+    UnOp UO = static_cast<UnOp>(I.A);
+    LaneType LT = laneTypeOf(V.Ty ? V.Ty : I.Ty);
+    Value Out;
+    Out.Ty = I.Ty;
+    Out.NumLanes = V.NumLanes;
+    for (unsigned Lane = 0; Lane != V.NumLanes; ++Lane) {
+      switch (UO) {
+      case UnOp::Minus:
+        Out.Lanes[Lane] = maskToWidth(0 - V.Lanes[Lane], LT.Width);
+        break;
+      case UnOp::BitNot:
+        Out.Lanes[Lane] = maskToWidth(~V.Lanes[Lane], LT.Width);
+        break;
+      case UnOp::Not:
+        Out.Lanes[Lane] = V.Lanes[Lane] == 0 ? 1 : 0;
+        break;
+      default:
+        assert(false && "unexpected unary op in VM");
+        break;
+      }
+    }
+    Ops.push_back(std::move(Out));
+    return StepResult::Continue;
+  }
+  case Op::Convert: {
+    Value V = PopV();
+    Value Out;
+    Out.Ty = I.Ty;
+    if (const auto *VT = dyn_cast<VectorType>(I.Ty)) {
+      const auto *SrcVT = cast<VectorType>(V.Ty);
+      bool SrcSigned = SrcVT->getElementType()->isSigned();
+      unsigned SrcW = SrcVT->getElementType()->bitWidth();
+      unsigned DstW = VT->getElementType()->bitWidth();
+      Out.NumLanes = VT->getNumLanes();
+      for (unsigned L = 0; L != Out.NumLanes; ++L) {
+        uint64_t Bits = SrcSigned
+                            ? static_cast<uint64_t>(
+                                  signExtend(V.Lanes[L], SrcW))
+                            : V.Lanes[L];
+        Out.Lanes[L] = maskToWidth(Bits, DstW);
+      }
+    } else if (isa<PointerType>(I.Ty)) {
+      Out.NumLanes = 1;
+      Out.Lanes[0] = V.Lanes[0];
+    } else {
+      const auto *DstST = cast<ScalarType>(I.Ty);
+      Out.NumLanes = 1;
+      uint64_t Bits = V.Lanes[0];
+      if (const auto *SrcST = dyn_cast_if_present<ScalarType>(V.Ty))
+        if (SrcST->isSigned())
+          Bits = static_cast<uint64_t>(
+              signExtend(Bits, SrcST->bitWidth()));
+      Out.Lanes[0] = maskToWidth(Bits, DstST->bitWidth());
+    }
+    Ops.push_back(std::move(Out));
+    return StepResult::Continue;
+  }
+  case Op::Splat: {
+    Value V = PopV();
+    const auto *VT = cast<VectorType>(I.Ty);
+    Value Out;
+    Out.Ty = VT;
+    Out.NumLanes = VT->getNumLanes();
+    uint64_t Bits =
+        maskToWidth(V.Lanes[0], VT->getElementType()->bitWidth());
+    for (unsigned L = 0; L != Out.NumLanes; ++L)
+      Out.Lanes[L] = Bits;
+    Ops.push_back(std::move(Out));
+    return StepResult::Continue;
+  }
+  case Op::VecBuild: {
+    const auto *VT = cast<VectorType>(I.Ty);
+    std::vector<Value> Elems(I.A);
+    for (unsigned K = I.A; K != 0; --K)
+      Elems[K - 1] = PopV();
+    Value Out;
+    Out.Ty = VT;
+    Out.NumLanes = VT->getNumLanes();
+    unsigned Lane = 0;
+    for (const Value &E : Elems)
+      for (unsigned L = 0; L != E.NumLanes && Lane < 16; ++L)
+        Out.Lanes[Lane++] = E.Lanes[L];
+    Ops.push_back(std::move(Out));
+    return StepResult::Continue;
+  }
+  case Op::VecExtract: {
+    Value V = PopV();
+    Ops.push_back(Value::scalar(I.Ty, V.Lanes[I.A]));
+    return StepResult::Continue;
+  }
+  case Op::VecShuffle: {
+    Value V = PopV();
+    const auto *VT = cast<VectorType>(I.Ty);
+    Value Out;
+    Out.Ty = VT;
+    Out.NumLanes = VT->getNumLanes();
+    for (unsigned K = 0; K != I.A; ++K)
+      Out.Lanes[K] = V.Lanes[(I.Imm >> (4 * K)) & 0xf];
+    Ops.push_back(std::move(Out));
+    return StepResult::Continue;
+  }
+  case Op::VecInsert: {
+    Value S = PopV();
+    Value V = PopV();
+    V.Lanes[I.A] = maskToWidth(
+        S.Lanes[0],
+        cast<VectorType>(V.Ty)->getElementType()->bitWidth());
+    Ops.push_back(std::move(V));
+    return StepResult::Continue;
+  }
+  case Op::Call: {
+    if (T.Stack.size() >= Opts.MaxCallDepth) {
+      trap(T, TrapCode::CallDepth);
+      return StepResult::Trapped;
+    }
+    const CompiledFunction &Callee = M.Functions[I.A];
+    uint64_t Base = (T.ArenaTop + 7) & ~7ULL;
+    if (Base + Callee.FrameSize > T.Arena.size()) {
+      trap(T, TrapCode::StackOverflow);
+      return StepResult::Trapped;
+    }
+    // Deterministic garbage so uninitialised reads cannot distinguish
+    // pass pipelines.
+    std::memset(T.Arena.data() + Base, 0xab, Callee.FrameSize);
+    // Pop arguments (pushed left-to-right) into parameter slots.
+    for (size_t K = Callee.Params.size(); K != 0; --K) {
+      Value A = PopV();
+      if (!A.Ty)
+        A.Ty = Callee.Params[K - 1].Ty;
+      storeValue(T.Arena.data() + Base + Callee.Params[K - 1].FrameOffset,
+                 A);
+    }
+    T.ArenaTop = Base + Callee.FrameSize;
+    T.Stack.push_back(Frame{I.A, 0, Base});
+    return StepResult::Continue;
+  }
+  case Op::Ret:
+  case Op::RetVoid: {
+    uint64_t Base = T.Stack.back().Base;
+    T.Stack.pop_back();
+    T.ArenaTop = Base;
+    if (T.Stack.empty()) {
+      T.State = TState::Finished;
+      return StepResult::Done;
+    }
+    return StepResult::Continue;
+  }
+  case Op::Jump:
+    F.PC = I.A;
+    return StepResult::Continue;
+  case Op::JumpIfFalse: {
+    Value V = PopV();
+    if (!V.truthy())
+      F.PC = I.A;
+    return StepResult::Continue;
+  }
+  case Op::Pop:
+    Ops.pop_back();
+    return StepResult::Continue;
+  case Op::Dup:
+    Ops.push_back(Ops.back());
+    return StepResult::Continue;
+  case Op::Rot3: {
+    size_t N = Ops.size();
+    assert(N >= 3 && "Rot3 needs three operands");
+    std::swap(Ops[N - 1], Ops[N - 2]); // [x z y]
+    std::swap(Ops[N - 2], Ops[N - 3]); // [z x y]
+    return StepResult::Continue;
+  }
+  case Op::Barrier:
+    T.State = TState::AtBarrier;
+    T.BarrierSite = I.A;
+    ++T.BarrierCount;
+    T.PendingFence = static_cast<uint8_t>(I.B);
+    return StepResult::Blocked;
+  case Op::AtomicRMW: {
+    Value Operand;
+    bool HasOperand = I.B == 0;
+    if (HasOperand)
+      Operand = PopV();
+    Value Ptr = PopV();
+    TrapCode TC;
+    uint8_t *P = resolve(T, Ptr.bits(), 4, /*ForWrite=*/true, TC);
+    if (!P) {
+      trap(T, TC, "atomic");
+      return StepResult::Trapped;
+    }
+    recordAccess(T, Ptr.bits(), 4, /*Write=*/true, /*Atomic=*/true);
+    uint32_t Old;
+    std::memcpy(&Old, P, 4);
+    bool Signed = cast<ScalarType>(I.Ty)->isSigned();
+    uint32_t New = static_cast<uint32_t>(
+        evalAtomic(static_cast<Builtin>(I.A), Signed, Old,
+                   static_cast<uint32_t>(Operand.Lanes[0])));
+    std::memcpy(P, &New, 4);
+    Ops.push_back(Value::scalar(I.Ty, Old));
+    return StepResult::Continue;
+  }
+  case Op::AtomicCas: {
+    Value NewV = PopV();
+    Value CmpV = PopV();
+    Value Ptr = PopV();
+    TrapCode TC;
+    uint8_t *P = resolve(T, Ptr.bits(), 4, /*ForWrite=*/true, TC);
+    if (!P) {
+      trap(T, TC, "atomic_cmpxchg");
+      return StepResult::Trapped;
+    }
+    recordAccess(T, Ptr.bits(), 4, /*Write=*/true, /*Atomic=*/true);
+    uint32_t Old;
+    std::memcpy(&Old, P, 4);
+    if (Old == static_cast<uint32_t>(CmpV.Lanes[0])) {
+      uint32_t New = static_cast<uint32_t>(NewV.Lanes[0]);
+      std::memcpy(P, &New, 4);
+    }
+    Ops.push_back(Value::scalar(I.Ty, Old));
+    return StepResult::Continue;
+  }
+  case Op::BuiltinEval: {
+    Builtin B = static_cast<Builtin>(I.A);
+    Value A2, A1, A0;
+    if (I.B >= 3)
+      A2 = PopV();
+    if (I.B >= 2)
+      A1 = PopV();
+    A0 = PopV();
+    LaneType LT = laneTypeOf(A0.Ty ? A0.Ty : I.Ty);
+    Value Out;
+    Out.Ty = I.Ty;
+    Out.NumLanes = A0.NumLanes;
+    for (unsigned L = 0; L != A0.NumLanes; ++L) {
+      uint64_t ArgBits[3] = {A0.Lanes[L], A1.Lanes[L], A2.Lanes[L]};
+      Out.Lanes[L] = evalBuiltinLane(B, LT, ArgBits);
+    }
+    Ops.push_back(std::move(Out));
+    return StepResult::Continue;
+  }
+  case Op::WorkItem: {
+    Value Dim = PopV();
+    uint64_t D = Dim.bits();
+    Builtin B = static_cast<Builtin>(I.A);
+    uint64_t V = 0;
+    if (D > 2) {
+      V = (B == Builtin::GetGlobalId || B == Builtin::GetLocalId ||
+           B == Builtin::GetGroupId)
+              ? 0
+              : 1;
+    } else {
+      switch (B) {
+      case Builtin::GetGlobalId:
+        V = T.GlobalId[D];
+        break;
+      case Builtin::GetLocalId:
+        V = T.LocalId[D];
+        break;
+      case Builtin::GetGroupId:
+        V = T.GroupId[D];
+        break;
+      case Builtin::GetGlobalSize:
+        V = Opts.Range.Global[D];
+        break;
+      case Builtin::GetLocalSize:
+        V = Opts.Range.Local[D];
+        break;
+      case Builtin::GetNumGroups:
+        V = Opts.Range.numGroups(static_cast<unsigned>(D));
+        break;
+      default:
+        assert(false && "unexpected work-item builtin");
+        break;
+      }
+    }
+    Ops.push_back(Value::scalar(I.Ty, V));
+    return StepResult::Continue;
+  }
+  case Op::Trap:
+    trap(T, static_cast<TrapCode>(I.A));
+    return StepResult::Trapped;
+  }
+  assert(false && "unknown opcode");
+  return StepResult::Trapped;
+}
+
+//===----------------------------------------------------------------------===//
+// Group execution and scheduling
+//===----------------------------------------------------------------------===//
+
+bool Engine::runGroup(uint32_t GX, uint32_t GY, uint32_t GZ) {
+  const NDRange &R = Opts.Range;
+  uint32_t W = static_cast<uint32_t>(R.localLinear());
+  CurGroupLinear = static_cast<uint32_t>(
+      (static_cast<uint64_t>(GZ) * R.numGroups(1) + GY) * R.numGroups(0) +
+      GX);
+  LocalEpoch = 0;
+  GlobalEpoch = 0;
+  Races.resetLocal();
+  std::fill(LocalArena.begin(), LocalArena.end(), 0xab);
+
+  const CompiledFunction &Kernel = M.kernel();
+
+  Threads.resize(W);
+  uint32_t TIdx = 0;
+  for (uint32_t LZ = 0; LZ != R.Local[2]; ++LZ) {
+    for (uint32_t LY = 0; LY != R.Local[1]; ++LY) {
+      for (uint32_t LX = 0; LX != R.Local[0]; ++LX, ++TIdx) {
+        ThreadCtx &T = Threads[TIdx];
+        T.State = TState::Runnable;
+        T.Stack.clear();
+        T.Operands.clear();
+        if (T.Arena.size() != Opts.PrivateArenaSize)
+          T.Arena.assign(Opts.PrivateArenaSize, 0xab);
+        T.ArenaTop = 8;
+        T.LocalId[0] = LX;
+        T.LocalId[1] = LY;
+        T.LocalId[2] = LZ;
+        T.GroupId[0] = GX;
+        T.GroupId[1] = GY;
+        T.GroupId[2] = GZ;
+        T.GlobalId[0] = GX * R.Local[0] + LX;
+        T.GlobalId[1] = GY * R.Local[1] + LY;
+        T.GlobalId[2] = GZ * R.Local[2] + LZ;
+        T.GlobalLinear = static_cast<uint32_t>(
+            (static_cast<uint64_t>(T.GlobalId[2]) * R.Global[1] +
+             T.GlobalId[1]) *
+                R.Global[0] +
+            T.GlobalId[0]);
+        T.LocalLinear = (LZ * R.Local[1] + LY) * R.Local[0] + LX;
+        T.BarrierSite = 0;
+        T.BarrierCount = 0;
+
+        uint64_t Base = (T.ArenaTop + 7) & ~7ULL;
+        std::memset(T.Arena.data() + Base, 0xab, Kernel.FrameSize);
+        // Bind kernel arguments into the entry frame.
+        for (size_t AI = 0; AI != Args.size(); ++AI) {
+          const CompiledParam &P = Kernel.Params[AI];
+          Value V;
+          if (Args[AI].IsBuffer) {
+            const Buffer &B = Buffers[Args[AI].BufferIndex];
+            V = Value::scalar(
+                P.Ty, vmptr::make(B.Space, Args[AI].BufferIndex, 0));
+          } else {
+            V = Args[AI].Scalar;
+            V.Ty = P.Ty;
+          }
+          storeValue(T.Arena.data() + Base + P.FrameOffset, V);
+        }
+        T.ArenaTop = Base + Kernel.FrameSize;
+        T.Stack.push_back(Frame{M.KernelIndex, 0, Base});
+      }
+    }
+  }
+
+  std::vector<uint32_t> Runnable;
+  Runnable.reserve(W);
+  for (;;) {
+    Runnable.clear();
+    for (uint32_t K = 0; K != W; ++K)
+      if (Threads[K].State == TState::Runnable)
+        Runnable.push_back(K);
+
+    if (Runnable.empty()) {
+      uint32_t Blocked = 0, Finished = 0;
+      for (const ThreadCtx &T : Threads) {
+        Blocked += T.State == TState::AtBarrier;
+        Finished += T.State == TState::Finished;
+      }
+      if (Blocked == 0)
+        return true; // group complete
+      if (Finished != 0) {
+        Result.Status = LaunchStatus::BarrierDivergence;
+        Result.Message =
+            "some work-items finished while others wait at a barrier";
+        Aborted = true;
+        return false;
+      }
+      // All blocked: sites and arrival counts must agree.
+      uint32_t Site = Threads[0].BarrierSite;
+      uint32_t Count = Threads[0].BarrierCount;
+      for (const ThreadCtx &T : Threads) {
+        if (T.BarrierSite != Site || T.BarrierCount != Count) {
+          Result.Status = LaunchStatus::BarrierDivergence;
+          std::ostringstream OS;
+          OS << "work-items reached different barriers (site " << Site
+             << " count " << Count << " vs site " << T.BarrierSite
+             << " count " << T.BarrierCount << ")";
+          Result.Message = OS.str();
+          Aborted = true;
+          return false;
+        }
+      }
+      // Release and apply fences as epoch increments.
+      uint8_t Fence = Threads[0].PendingFence;
+      if (Fence & BarrierStmt::LocalFence)
+        ++LocalEpoch;
+      if (Fence & BarrierStmt::GlobalFence)
+        ++GlobalEpoch;
+      for (ThreadCtx &T : Threads)
+        T.State = TState::Runnable;
+      continue;
+    }
+
+    uint32_t Pick = Runnable[Sched.below(Runnable.size())];
+    uint64_t Slice = 64 + Sched.below(448);
+    ThreadCtx &T = Threads[Pick];
+    for (uint64_t S = 0; S != Slice; ++S) {
+      if (++Steps > Opts.StepBudget) {
+        Result.Status = LaunchStatus::Timeout;
+        Result.Message = "step budget exhausted";
+        Aborted = true;
+        return false;
+      }
+      StepResult SR = step(T);
+      if (SR == StepResult::Trapped)
+        return false;
+      if (SR != StepResult::Continue)
+        break;
+    }
+  }
+}
+
+LaunchResult Engine::run() {
+  const NDRange &R = Opts.Range;
+  if (!R.valid()) {
+    Result.Status = LaunchStatus::InvalidLaunch;
+    Result.Message = "work-group sizes must divide the global sizes";
+    return Result;
+  }
+  const CompiledFunction &Kernel = M.kernel();
+  if (Args.size() != Kernel.Params.size()) {
+    Result.Status = LaunchStatus::InvalidLaunch;
+    Result.Message = "kernel argument count mismatch";
+    return Result;
+  }
+  for (const KernelArg &A : Args) {
+    if (A.IsBuffer && A.BufferIndex >= Buffers.size()) {
+      Result.Status = LaunchStatus::InvalidLaunch;
+      Result.Message = "kernel argument names a missing buffer";
+      return Result;
+    }
+  }
+
+  LocalArena.assign(std::max<uint64_t>(M.LocalArenaSize, 1), 0xab);
+
+  for (uint32_t GZ = 0; GZ != R.numGroups(2) && !Aborted; ++GZ)
+    for (uint32_t GY = 0; GY != R.numGroups(1) && !Aborted; ++GY)
+      for (uint32_t GX = 0; GX != R.numGroups(0) && !Aborted; ++GX)
+        if (!runGroup(GX, GY, GZ))
+          break;
+
+  Result.StepsExecuted = Steps;
+  if (!Aborted)
+    Result.Status = LaunchStatus::Success;
+  if (Races.Found) {
+    Result.RaceFound = true;
+    Result.RaceMessage = Races.Message;
+  }
+  return Result;
+}
+
+LaunchResult clfuzz::launchKernel(const CompiledModule &Module,
+                                  std::vector<Buffer> &Buffers,
+                                  const std::vector<KernelArg> &Args,
+                                  const LaunchOptions &Opts) {
+  Engine E(Module, Buffers, Args, Opts);
+  return E.run();
+}

@@ -1,0 +1,77 @@
+//===- Value.h - Runtime values for the MiniCL VM ---------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The boxed runtime value used on the VM operand stack: a type tag
+/// plus up to 16 lanes of 64-bit storage. Scalars and pointers use one
+/// lane. Lane payloads are kept masked to the element bit width (zero
+/// upper bits); signedness is applied by consumers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_VM_VALUE_H
+#define CLFUZZ_VM_VALUE_H
+
+#include "minicl/IntOps.h"
+#include "minicl/Type.h"
+
+#include <array>
+
+namespace clfuzz {
+
+/// A runtime value.
+struct Value {
+  const Type *Ty = nullptr;
+  unsigned NumLanes = 1;
+  std::array<uint64_t, 16> Lanes = {};
+
+  Value() = default;
+
+  /// Builds a scalar (or pointer) value, masking to the type width.
+  /// A null type denotes a raw boxed pointer (e.g. a frame address).
+  static Value scalar(const Type *Ty, uint64_t Bits) {
+    Value V;
+    V.Ty = Ty;
+    V.NumLanes = 1;
+    if (const auto *ST = dyn_cast_if_present<ScalarType>(Ty))
+      V.Lanes[0] = maskToWidth(Bits, ST->bitWidth());
+    else
+      V.Lanes[0] = Bits;
+    return V;
+  }
+
+  /// Builds a vector value from \p LaneBits (already masked by caller
+  /// or masked here against the element width).
+  static Value vector(const VectorType *VT,
+                      const std::array<uint64_t, 16> &LaneBits) {
+    Value V;
+    V.Ty = VT;
+    V.NumLanes = VT->getNumLanes();
+    unsigned W = VT->getElementType()->bitWidth();
+    for (unsigned I = 0; I != V.NumLanes; ++I)
+      V.Lanes[I] = maskToWidth(LaneBits[I], W);
+    return V;
+  }
+
+  bool isVector() const { return Ty && Ty->isVector(); }
+
+  /// Scalar payload (lane 0).
+  uint64_t bits() const { return Lanes[0]; }
+
+  /// Scalar payload, sign-extended according to the value's type.
+  int64_t asSigned() const {
+    const auto *ST = cast<ScalarType>(Ty);
+    return signExtend(Lanes[0], ST->bitWidth());
+  }
+
+  /// True if the scalar payload is nonzero (condition test).
+  bool truthy() const { return Lanes[0] != 0; }
+};
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_VM_VALUE_H

@@ -1,0 +1,113 @@
+//===- CorpusTest.cpp - Mini benchmark suite tests ----------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace clfuzz;
+
+TEST(CorpusTest, SuiteMatchesTable2Inventory) {
+  std::vector<Benchmark> Suite = buildBenchmarkSuite();
+  ASSERT_EQ(Suite.size(), 10u);
+  unsigned Parboil = 0, Rodinia = 0;
+  for (const Benchmark &B : Suite) {
+    if (B.Suite == "Parboil")
+      ++Parboil;
+    else if (B.Suite == "Rodinia")
+      ++Rodinia;
+    EXPECT_GE(B.linesOfCode(), 10u) << B.Name;
+  }
+  EXPECT_EQ(Parboil, 6u);
+  EXPECT_EQ(Rodinia, 4u);
+}
+
+TEST(CorpusTest, RacyPairMatchesPaper) {
+  // The paper found races in Parboil spmv and Rodinia myocyte (§2.4).
+  std::vector<Benchmark> Suite = buildBenchmarkSuite();
+  std::vector<std::string> Racy;
+  for (const Benchmark &B : Suite)
+    if (B.HasPlantedRace)
+      Racy.push_back(B.Name);
+  ASSERT_EQ(Racy.size(), 2u);
+  EXPECT_EQ(Racy[0], "spmv");
+  EXPECT_EQ(Racy[1], "myocyte");
+  EXPECT_EQ(emiBenchmarkSuite().size(), 8u);
+}
+
+TEST(CorpusTest, AllBenchmarksRunOnReference) {
+  for (const Benchmark &B : buildBenchmarkSuite()) {
+    RunOutcome O0 = runTestOnReference(B.Test, false);
+    RunOutcome O2 = runTestOnReference(B.Test, true);
+    ASSERT_TRUE(O0.ok()) << B.Name << ": " << O0.Message;
+    ASSERT_TRUE(O2.ok()) << B.Name << ": " << O2.Message;
+    EXPECT_EQ(O0.OutputHash, O2.OutputHash)
+        << B.Name << ": optimisation changed the result";
+  }
+}
+
+TEST(CorpusTest, RaceDetectorConfirmsPaperFindings) {
+  RunSettings S;
+  S.DetectRaces = true;
+  for (const Benchmark &B : buildBenchmarkSuite()) {
+    RunOutcome O = runTestOnReference(B.Test, false, S);
+    ASSERT_TRUE(O.ok()) << B.Name << ": " << O.Message;
+    if (B.HasPlantedRace)
+      EXPECT_TRUE(O.RaceFound)
+          << B.Name << " should contain the paper's data race";
+    else
+      EXPECT_FALSE(O.RaceFound)
+          << B.Name << " raced unexpectedly: " << O.RaceMessage;
+  }
+}
+
+TEST(CorpusTest, MyocyteRaceIsOrderDependent) {
+  // The myocyte race genuinely changes results across schedules - the
+  // property that derailed the paper's reduction effort (§2.4).
+  std::vector<Benchmark> Suite = buildBenchmarkSuite();
+  const Benchmark *Myocyte = nullptr;
+  for (const Benchmark &B : Suite)
+    if (B.Name == "myocyte")
+      Myocyte = &B;
+  ASSERT_NE(Myocyte, nullptr);
+
+  std::set<uint64_t> Hashes;
+  for (uint64_t Seed = 1; Seed != 9; ++Seed) {
+    RunSettings S;
+    S.SchedulerSeed = Seed;
+    RunOutcome O = runTestOnReference(Myocyte->Test, false, S);
+    ASSERT_TRUE(O.ok());
+    Hashes.insert(O.OutputHash);
+  }
+  EXPECT_GT(Hashes.size(), 1u)
+      << "myocyte's race should be schedule-visible";
+}
+
+TEST(CorpusTest, DeterministicBenchmarksAreScheduleInvariant) {
+  for (const Benchmark &B : buildBenchmarkSuite()) {
+    if (B.HasPlantedRace)
+      continue;
+    RunSettings S;
+    S.SchedulerSeed = 3;
+    RunOutcome A = runTestOnReference(B.Test, false, S);
+    S.SchedulerSeed = 12345;
+    RunOutcome Bo = runTestOnReference(B.Test, false, S);
+    ASSERT_TRUE(A.ok() && Bo.ok()) << B.Name;
+    EXPECT_EQ(A.OutputHash, Bo.OutputHash) << B.Name;
+  }
+}
+
+TEST(CorpusTest, BenchmarksProduceNonTrivialOutput) {
+  for (const Benchmark &B : buildBenchmarkSuite()) {
+    RunOutcome O = runTestOnReference(B.Test, false);
+    ASSERT_TRUE(O.ok()) << B.Name;
+    bool AnyNonZero = false;
+    for (uint64_t W : O.OutputHead)
+      AnyNonZero |= W != 0;
+    EXPECT_TRUE(AnyNonZero) << B.Name << " wrote only zeros";
+  }
+}

@@ -1,0 +1,182 @@
+//===- DeviceTest.cpp - Configuration zoo and gallery replay ------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Replays every Figure 1/2 gallery kernel against the simulated zoo:
+/// the clean reference must produce the documented correct value and
+/// each annotated (configuration, opt) must misbehave in the
+/// documented way. This is the end-to-end check that the 21
+/// configurations genuinely exhibit the paper's bugs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Gallery.h"
+#include "device/DeviceConfig.h"
+#include "device/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace clfuzz;
+
+TEST(DeviceTest, RegistryHas21Configurations) {
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  ASSERT_EQ(Registry.size(), 21u);
+  for (size_t I = 0; I != Registry.size(); ++I)
+    EXPECT_EQ(Registry[I].Id, static_cast<int>(I) + 1);
+}
+
+TEST(DeviceTest, PaperThresholdSplit) {
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  std::vector<int> Above = paperAboveThresholdIds();
+  for (const DeviceConfig &C : Registry) {
+    bool Expected =
+        std::find(Above.begin(), Above.end(), C.Id) != Above.end();
+    EXPECT_EQ(C.PaperAboveThreshold, Expected) << "config " << C.Id;
+  }
+}
+
+TEST(DeviceTest, LotteriesAreDeterministic) {
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  const DeviceConfig &Amd = configById(Registry, 5);
+  TestCase T;
+  T.Name = "determinism probe";
+  T.Source = "kernel void k(global ulong *out) {\n"
+             "  out[get_global_id(0)] = 7;\n"
+             "}\n";
+  T.Range.Global[0] = 4;
+  T.Range.Local[0] = 4;
+  BufferSpec Out;
+  Out.InitBytes.assign(32, 0);
+  Out.IsOutput = true;
+  T.Buffers.push_back(Out);
+  RunOutcome First = runTestOnConfig(T, Amd, true);
+  for (int I = 0; I != 5; ++I) {
+    RunOutcome Again = runTestOnConfig(T, Amd, true);
+    EXPECT_EQ(Again.Status, First.Status);
+    EXPECT_EQ(Again.OutputHash, First.OutputHash);
+  }
+}
+
+namespace {
+
+class GalleryReplay
+    : public ::testing::TestWithParam<GalleryEntry> {};
+
+std::vector<GalleryEntry> allGalleryEntries() {
+  std::vector<GalleryEntry> All = buildFigure1Gallery();
+  for (GalleryEntry &E : buildFigure2Gallery())
+    All.push_back(std::move(E));
+  return All;
+}
+
+} // namespace
+
+TEST_P(GalleryReplay, ReferenceIsCorrectAndBuggyConfigsMisbehave) {
+  const GalleryEntry &E = GetParam();
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+
+  // The reference must run the kernel cleanly.
+  RunOutcome Ref = runTestOnReference(E.Test, /*Optimize=*/true);
+  ASSERT_TRUE(Ref.ok()) << E.Id << ": " << Ref.Message;
+
+  for (const GalleryEntry::Expectation &X : E.Buggy) {
+    const DeviceConfig &C = configById(Registry, X.ConfigId);
+    RunOutcome O = runTestOnConfig(E.Test, C, X.Opt);
+    // Lottery-based crash/build-failure models may pre-empt the
+    // mechanical bug; accept those failure classes as "misbehaved".
+    if (X.ExpectedStatus != RunStatus::Ok) {
+      EXPECT_NE(O.Status, RunStatus::Ok)
+          << E.Id << " on config " << X.ConfigId << (X.Opt ? "+" : "-");
+      if (O.Status != RunStatus::Crash ||
+          X.ExpectedStatus == RunStatus::Crash)
+        EXPECT_TRUE(O.Status == X.ExpectedStatus ||
+                    O.Status == RunStatus::Crash ||
+                    O.Status == RunStatus::BuildFailure)
+            << E.Id << " on config " << X.ConfigId << ": got "
+            << runStatusName(O.Status) << " (" << O.Message << ")";
+      continue;
+    }
+    if (O.Status != RunStatus::Ok)
+      continue; // a lottery fired first; still a misbehaviour
+    EXPECT_NE(O.OutputHash, Ref.OutputHash)
+        << E.Id << " on config " << X.ConfigId << (X.Opt ? "+" : "-")
+        << " should give a wrong result";
+    if (X.ExpectedWrongHead0 != 0 && !O.OutputHead.empty())
+      EXPECT_EQ(O.OutputHead[0], X.ExpectedWrongHead0)
+          << E.Id << " on config " << X.ConfigId;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figures, GalleryReplay, ::testing::ValuesIn(allGalleryEntries()),
+    [](const ::testing::TestParamInfo<GalleryEntry> &Info) {
+      std::string Name = "Fig" + Info.param.Id;
+      std::string Clean;
+      for (char C : Name)
+        if (std::isalnum(static_cast<unsigned char>(C)))
+          Clean += C;
+      return Clean;
+    });
+
+TEST(DeviceTest, CleanConfigPassesGallery) {
+  // A hypothetical bug-free configuration must compute the reference
+  // result for every gallery kernel that runs at all.
+  for (const GalleryEntry &E : allGalleryEntries()) {
+    RunOutcome A = runTestOnReference(E.Test, false);
+    RunOutcome B = runTestOnReference(E.Test, true);
+    ASSERT_TRUE(A.ok() && B.ok()) << E.Id;
+    EXPECT_EQ(A.OutputHash, B.OutputHash) << E.Id;
+  }
+}
+
+TEST(DeviceTest, SizeTMixRejectionMatchesPaperMessage) {
+  // The configuration-15 front end rejects `int x; x |= gx;` (§6).
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  const DeviceConfig &Xeon = configById(Registry, 15);
+  TestCase T;
+  T.Source = "kernel void k(global ulong *out) {\n"
+             "  int x = 1;\n"
+             "  x |= get_group_id(0);\n"
+             "  out[get_global_id(0)] = x;\n"
+             "}\n";
+  T.Range.Global[0] = 1;
+  T.Range.Local[0] = 1;
+  BufferSpec Out;
+  Out.InitBytes.assign(8, 0);
+  Out.IsOutput = true;
+  T.Buffers.push_back(Out);
+
+  RunOutcome O = runTestOnConfig(T, Xeon, true);
+  EXPECT_EQ(O.Status, RunStatus::BuildFailure);
+  EXPECT_NE(O.Message.find("size_t"), std::string::npos) << O.Message;
+
+  // The reference accepts the same legal program.
+  RunOutcome Ref = runTestOnReference(T, true);
+  EXPECT_TRUE(Ref.ok()) << Ref.Message;
+}
+
+TEST(DeviceTest, AlteraRejectsVectorLogicalOps) {
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  const DeviceConfig &Altera = configById(Registry, 20);
+  TestCase T;
+  T.Source = "kernel void k(global ulong *out) {\n"
+             "  int4 a = (int4)(1, 0, 1, 0);\n"
+             "  int4 b = (int4)(1, 1, 0, 0);\n"
+             "  int4 c = a && b;\n"
+             "  out[get_global_id(0)] = (uint)c.x;\n"
+             "}\n";
+  T.Range.Global[0] = 1;
+  T.Range.Local[0] = 1;
+  BufferSpec Out;
+  Out.InitBytes.assign(8, 0);
+  Out.IsOutput = true;
+  T.Buffers.push_back(Out);
+
+  RunOutcome O = runTestOnConfig(T, Altera, false);
+  EXPECT_EQ(O.Status, RunStatus::BuildFailure);
+  RunOutcome Ref = runTestOnReference(T, false);
+  EXPECT_TRUE(Ref.ok()) << Ref.Message;
+}

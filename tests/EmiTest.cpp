@@ -1,0 +1,158 @@
+//===- EmiTest.cpp - EMI injection and pruning tests -------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Validates the §5 machinery: the 40-variant prune sweep, the
+/// adjusted lift probability, and the central metamorphic property -
+/// all variants of a base program compute the base's output on a
+/// correct implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Benchmarks.h"
+#include "emi/Emi.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace clfuzz;
+
+TEST(EmiTest, PaperSweepHas40Variants) {
+  std::vector<PruneOptions> Sweep = paperPruneSweep(1);
+  // |{0,.3,.6,1}|^3 = 64 combinations; p_c + p_l <= 1 keeps 4 * 10.
+  EXPECT_EQ(Sweep.size(), 40u);
+  for (const PruneOptions &P : Sweep) {
+    EXPECT_TRUE(P.valid());
+    EXPECT_LE(P.PCompound + P.PLift, 1.0 + 1e-9);
+  }
+}
+
+TEST(EmiTest, AdjustedLiftProbability) {
+  PruneOptions P;
+  P.PCompound = 0.3;
+  P.PLift = 0.6;
+  // p'_lift = 0.6 / (1 - 0.3).
+  EXPECT_NEAR(P.adjustedLift(), 0.6 / 0.7, 1e-12);
+  P.PCompound = 0.0;
+  EXPECT_NEAR(P.adjustedLift(), 0.6, 1e-12);
+  P.PLift = 0.0;
+  EXPECT_EQ(P.adjustedLift(), 0.0);
+}
+
+TEST(EmiTest, ZeroProbabilitiesLeaveSourceUnchanged) {
+  GenOptions GO;
+  GO.Mode = GenMode::Basic;
+  GO.Seed = 42;
+  GO.NumEmiBlocks = 3;
+  GeneratedKernel Base = generateKernel(GO);
+  PruneOptions None;
+  TestCase Variant = makeEmiVariant(GO, None);
+  EXPECT_EQ(Base.Source, Variant.Source);
+}
+
+TEST(EmiTest, FullPruningShrinksSource) {
+  GenOptions GO;
+  GO.Mode = GenMode::Basic;
+  GO.Seed = 43;
+  GO.NumEmiBlocks = 3;
+  GeneratedKernel Base = generateKernel(GO);
+  PruneOptions Full;
+  Full.PLeaf = 1.0;
+  Full.PCompound = 1.0;
+  TestCase Variant = makeEmiVariant(GO, Full);
+  EXPECT_LT(Variant.Source.size(), Base.Source.size());
+}
+
+TEST(EmiTest, VariantsDisagreeTextually) {
+  GenOptions GO;
+  GO.Mode = GenMode::Basic;
+  GO.Seed = 44;
+  GO.NumEmiBlocks = 4;
+  std::set<std::string> Sources;
+  for (const PruneOptions &P : paperPruneSweep(7))
+    Sources.insert(makeEmiVariant(GO, P).Source);
+  // At least a handful of the 40 prunings must differ.
+  EXPECT_GE(Sources.size(), 4u);
+}
+
+TEST(EmiTest, VariantsAreEquivalentModuloInputs) {
+  // The metamorphic core: every variant computes the base's result on
+  // the clean reference implementation.
+  for (uint64_t Seed : {70ull, 71ull, 72ull}) {
+    GenOptions GO;
+    GO.Mode = GenMode::All;
+    GO.Seed = Seed;
+    GO.NumEmiBlocks = 3;
+    TestCase Base = TestCase::fromGenerated(generateKernel(GO));
+    RunOutcome BaseRun = runTestOnReference(Base, /*Optimize=*/true);
+    ASSERT_TRUE(BaseRun.ok()) << BaseRun.Message;
+
+    std::vector<PruneOptions> Sweep = paperPruneSweep(Seed * 13);
+    for (size_t I = 0; I < Sweep.size(); I += 7) {
+      TestCase Variant = makeEmiVariant(GO, Sweep[I]);
+      for (bool Opt : {false, true}) {
+        RunOutcome VR = runTestOnReference(Variant, Opt);
+        ASSERT_TRUE(VR.ok()) << VR.Message << "\n" << Variant.Source;
+        EXPECT_EQ(VR.OutputHash, BaseRun.OutputHash)
+            << "variant " << I << " (opt " << Opt
+            << ") diverged from its base:\n"
+            << Variant.Source;
+      }
+    }
+  }
+}
+
+TEST(EmiTest, InjectionPreservesBenchmarkResults) {
+  // Injected dead-by-construction blocks must not change a benchmark's
+  // output on a correct implementation (§5 "Injecting into real-world
+  // kernels").
+  for (Benchmark &B : emiBenchmarkSuite()) {
+    RunOutcome BaseRun = runTestOnReference(B.Test, true);
+    ASSERT_TRUE(BaseRun.ok()) << B.Name << ": " << BaseRun.Message;
+    for (bool Subst : {false, true}) {
+      InjectOptions IO;
+      IO.Seed = 555 + Subst;
+      IO.NumBlocks = 2;
+      IO.Substitutions = Subst;
+      IO.InfiniteLoopProbability = 0.0;
+      TestCase Injected;
+      DiagEngine Diags;
+      ASSERT_TRUE(injectEmiIntoTest(B.Test, IO, Injected, Diags))
+          << B.Name << ": " << Diags.str();
+      RunOutcome IR = runTestOnReference(Injected, true);
+      ASSERT_TRUE(IR.ok())
+          << B.Name << ": " << IR.Message << "\n" << Injected.Source;
+      EXPECT_EQ(IR.OutputHash, BaseRun.OutputHash)
+          << B.Name << " changed under EMI injection (subst=" << Subst
+          << "):\n"
+          << Injected.Source;
+    }
+  }
+}
+
+TEST(EmiTest, InvertedDeadArrayActivatesBlocks) {
+  // With dead[j] = d-1-j every guard becomes true; at least some base
+  // programs must then produce different results, otherwise the
+  // injected code would be vacuous (§7.4 base filtering).
+  unsigned Changed = 0;
+  for (uint64_t Seed = 90; Seed != 102; ++Seed) {
+    GenOptions GO;
+    GO.Mode = GenMode::Basic;
+    GO.Seed = Seed;
+    GO.NumEmiBlocks = 3;
+    TestCase T = TestCase::fromGenerated(generateKernel(GO));
+    RunOutcome Normal = runTestOnReference(T, false);
+    if (!Normal.ok())
+      continue;
+    RunSettings S;
+    S.InvertDead = true;
+    RunOutcome Inverted = runTestOnReference(T, false, S);
+    if (Inverted.ok() && Inverted.OutputHash != Normal.OutputHash)
+      ++Changed;
+  }
+  EXPECT_GE(Changed, 4u);
+}

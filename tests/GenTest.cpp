@@ -1,0 +1,191 @@
+//===- GenTest.cpp - CLsmith-style generator property tests -----------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property tests over the kernel generator, parameterised by mode and
+/// seed (parameterised gtest sweeps). The paper's §4 guarantees are
+/// verified dynamically:
+///
+///  * generation is deterministic in the seed;
+///  * every generated kernel passes the independent Sema re-check;
+///  * every kernel executes successfully on the clean reference
+///    configuration (no traps, no timeouts, *no barrier divergence*);
+///  * outputs are invariant under scheduler seeds (the determinism
+///    claim for the communicating modes);
+///  * outputs are invariant under the optimisation level (which also
+///    differentially validates our own pass pipeline on random code).
+///
+//===----------------------------------------------------------------------===//
+
+#include "device/Driver.h"
+#include "gen/Generator.h"
+#include "minicl/Parser.h"
+#include "minicl/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace clfuzz;
+
+namespace {
+
+GenOptions optionsFor(GenMode Mode, uint64_t Seed,
+                      unsigned EmiBlocks = 0) {
+  GenOptions O;
+  O.Mode = Mode;
+  O.Seed = Seed;
+  O.NumEmiBlocks = EmiBlocks;
+  return O;
+}
+
+struct ModeSeedCase {
+  GenMode Mode;
+  uint64_t Seed;
+};
+
+std::vector<ModeSeedCase> allCases(unsigned SeedsPerMode) {
+  std::vector<ModeSeedCase> Cases;
+  for (unsigned M = 0; M != NumGenModes; ++M)
+    for (unsigned S = 0; S != SeedsPerMode; ++S)
+      Cases.push_back({static_cast<GenMode>(M), 1000 + S * 17 + M});
+  return Cases;
+}
+
+class GeneratorProperty
+    : public ::testing::TestWithParam<ModeSeedCase> {};
+
+} // namespace
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  for (unsigned M = 0; M != NumGenModes; ++M) {
+    GenOptions O = optionsFor(static_cast<GenMode>(M), 7);
+    GeneratedKernel A = generateKernel(O);
+    GeneratedKernel B = generateKernel(O);
+    EXPECT_EQ(A.Source, B.Source);
+    EXPECT_EQ(A.Range.globalLinear(), B.Range.globalLinear());
+    ASSERT_EQ(A.Buffers.size(), B.Buffers.size());
+    for (size_t I = 0; I != A.Buffers.size(); ++I)
+      EXPECT_EQ(A.Buffers[I].InitBytes, B.Buffers[I].InitBytes);
+  }
+}
+
+TEST(GeneratorTest, DistinctSeedsDiffer) {
+  GeneratedKernel A = generateKernel(optionsFor(GenMode::Basic, 1));
+  GeneratedKernel B = generateKernel(optionsFor(GenMode::Basic, 2));
+  EXPECT_NE(A.Source, B.Source);
+}
+
+TEST(GeneratorTest, GeometryRespectsConstraints) {
+  for (uint64_t Seed = 0; Seed != 40; ++Seed) {
+    GenOptions O = optionsFor(GenMode::Barrier, Seed);
+    GeneratedKernel K = generateKernel(O);
+    EXPECT_TRUE(K.Range.valid());
+    uint64_t Total = K.Range.globalLinear();
+    EXPECT_GE(Total, O.MinThreads);
+    EXPECT_LT(Total, O.MaxThreads);
+    EXPECT_LE(K.Range.localLinear(), O.MaxGroupSize);
+    // Communication modes need at least two work-items per group.
+    EXPECT_GE(K.Range.localLinear(), 2u);
+  }
+}
+
+TEST(GeneratorTest, EmiBlocksAreInjected) {
+  GenOptions O = optionsFor(GenMode::All, 11, /*EmiBlocks=*/3);
+  GeneratedKernel K = generateKernel(O);
+  EXPECT_EQ(K.EmiIds.size(), 3u);
+  EXPECT_NE(K.Source.find("dead["), std::string::npos);
+  // The dead array buffer exists and is marked.
+  bool Found = false;
+  for (const BufferSpec &B : K.Buffers)
+    Found |= B.IsDeadArray;
+  EXPECT_TRUE(Found);
+}
+
+TEST_P(GeneratorProperty, PassesSemaAndRoundTrips) {
+  const ModeSeedCase &C = GetParam();
+  GeneratedKernel K = generateKernel(optionsFor(C.Mode, C.Seed));
+  // The printed source must re-parse and re-check: the generator and
+  // the front end agree on the language.
+  ASTContext Ctx;
+  DiagEngine Diags;
+  ASSERT_TRUE(parseProgram(K.Source, Ctx, Diags))
+      << Diags.str() << "\n" << K.Source;
+  EXPECT_TRUE(checkProgram(Ctx, Diags)) << Diags.str();
+}
+
+TEST_P(GeneratorProperty, ExecutesCleanlyOnReference) {
+  const ModeSeedCase &C = GetParam();
+  GeneratedKernel K = generateKernel(optionsFor(C.Mode, C.Seed));
+  TestCase T = TestCase::fromGenerated(K);
+  RunOutcome R = runTestOnReference(T, /*Optimize=*/false);
+  ASSERT_EQ(R.Status, RunStatus::Ok)
+      << runStatusName(R.Status) << ": " << R.Message << "\n"
+      << K.Source;
+}
+
+TEST_P(GeneratorProperty, ScheduleInvariant) {
+  const ModeSeedCase &C = GetParam();
+  GeneratedKernel K = generateKernel(optionsFor(C.Mode, C.Seed));
+  TestCase T = TestCase::fromGenerated(K);
+  RunSettings S;
+  S.SchedulerSeed = 1;
+  RunOutcome A = runTestOnReference(T, false, S);
+  ASSERT_EQ(A.Status, RunStatus::Ok) << A.Message;
+  for (uint64_t Seed : {99ull, 123456ull}) {
+    S.SchedulerSeed = Seed;
+    RunOutcome B = runTestOnReference(T, false, S);
+    ASSERT_EQ(B.Status, RunStatus::Ok) << B.Message;
+    EXPECT_EQ(A.OutputHash, B.OutputHash)
+        << "scheduling changed the result of a supposedly "
+        << "deterministic kernel:\n"
+        << K.Source;
+  }
+}
+
+TEST_P(GeneratorProperty, OptimisationLevelInvariant) {
+  const ModeSeedCase &C = GetParam();
+  GeneratedKernel K = generateKernel(optionsFor(C.Mode, C.Seed));
+  TestCase T = TestCase::fromGenerated(K);
+  RunOutcome O0 = runTestOnReference(T, /*Optimize=*/false);
+  RunOutcome O2 = runTestOnReference(T, /*Optimize=*/true);
+  ASSERT_EQ(O0.Status, RunStatus::Ok) << O0.Message;
+  ASSERT_EQ(O2.Status, RunStatus::Ok) << O2.Message;
+  EXPECT_EQ(O0.OutputHash, O2.OutputHash)
+      << "our own optimiser miscompiled a generated kernel:\n"
+      << K.Source;
+}
+
+TEST_P(GeneratorProperty, RaceFreeOnReference) {
+  const ModeSeedCase &C = GetParam();
+  GeneratedKernel K = generateKernel(optionsFor(C.Mode, C.Seed));
+  TestCase T = TestCase::fromGenerated(K);
+  RunSettings S;
+  S.DetectRaces = true;
+  RunOutcome R = runTestOnReference(T, false, S);
+  ASSERT_EQ(R.Status, RunStatus::Ok) << R.Message;
+  EXPECT_FALSE(R.RaceFound)
+      << R.RaceMessage << "\n"
+      << K.Source;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, GeneratorProperty, ::testing::ValuesIn(allCases(6)),
+    [](const ::testing::TestParamInfo<ModeSeedCase> &Info) {
+      std::string Name = genModeName(Info.param.Mode);
+      for (char &C : Name)
+        if (C == ' ')
+          C = '_';
+      return Name + "_seed" + std::to_string(Info.param.Seed);
+    });
+
+TEST(GeneratorTest, EmiKernelsExecuteAndDeadBlocksStayDead) {
+  for (uint64_t Seed = 50; Seed != 56; ++Seed) {
+    GenOptions O = optionsFor(GenMode::Basic, Seed, /*EmiBlocks=*/3);
+    GeneratedKernel K = generateKernel(O);
+    TestCase T = TestCase::fromGenerated(K);
+    RunOutcome R = runTestOnReference(T, false);
+    ASSERT_EQ(R.Status, RunStatus::Ok) << R.Message << "\n" << K.Source;
+  }
+}

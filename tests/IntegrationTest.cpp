@@ -1,0 +1,282 @@
+//===- IntegrationTest.cpp - Cross-module integration tests -------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Integration coverage across the full stack: printer round-trip
+/// fixpoints over generated kernels, campaign drivers, the simulated
+/// driver's front-end defect checks, the EMI-sensitive DCE defect, and
+/// VM launch validation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "minicl/Parser.h"
+#include "minicl/Printer.h"
+#include "oracle/Campaign.h"
+#include "opt/Pass.h"
+#include "vm/Codegen.h"
+
+#include <gtest/gtest.h>
+
+using namespace clfuzz;
+
+//===----------------------------------------------------------------------===//
+// Printer round-trip over generated kernels (parameterised property)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class RoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+} // namespace
+
+TEST_P(RoundTrip, PrintParsePrintIsAFixpoint) {
+  GenOptions GO;
+  GO.Mode = static_cast<GenMode>(GetParam() % NumGenModes);
+  GO.Seed = 4242 + GetParam();
+  GO.NumEmiBlocks = GetParam() % 3;
+  GeneratedKernel K = generateKernel(GO);
+
+  ASTContext Ctx;
+  DiagEngine Diags;
+  ASSERT_TRUE(parseProgram(K.Source, Ctx, Diags))
+      << Diags.str() << "\n" << K.Source;
+  std::string Printed = printProgram(Ctx.program(), Ctx.types());
+
+  ASTContext Ctx2;
+  DiagEngine Diags2;
+  ASSERT_TRUE(parseProgram(Printed, Ctx2, Diags2)) << Diags2.str();
+  EXPECT_EQ(Printed, printProgram(Ctx2.program(), Ctx2.types()))
+      << "printer output is not a parse/print fixpoint";
+}
+
+INSTANTIATE_TEST_SUITE_P(GeneratedKernels, RoundTrip,
+                         ::testing::Range(0u, 12u));
+
+//===----------------------------------------------------------------------===//
+// Disassembler
+//===----------------------------------------------------------------------===//
+
+TEST(IntegrationTest, DisassemblerCoversCompiledKernels) {
+  GenOptions GO;
+  GO.Mode = GenMode::All;
+  GO.Seed = 5;
+  GeneratedKernel K = generateKernel(GO);
+  ASTContext Ctx;
+  DiagEngine Diags;
+  ASSERT_TRUE(parseProgram(K.Source, Ctx, Diags));
+  CodegenResult CR = compileToBytecode(Ctx, {});
+  ASSERT_TRUE(CR.Ok) << CR.Error;
+  std::string Asm = disassemble(CR.Module);
+  EXPECT_NE(Asm.find("[kernel]"), std::string::npos);
+  EXPECT_NE(Asm.find("barrier"), std::string::npos);
+  EXPECT_NE(Asm.find("local_arena"), std::string::npos);
+  EXPECT_GT(Asm.size(), 1000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Campaign drivers
+//===----------------------------------------------------------------------===//
+
+TEST(IntegrationTest, DifferentialCampaignProducesSaneCounts) {
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  std::vector<DeviceConfig> Two = {configById(Registry, 1),
+                                   configById(Registry, 19)};
+  CampaignSettings S;
+  S.KernelsPerMode = 3;
+  S.SeedBase = 42424;
+  std::vector<ModeTable> Tables =
+      runDifferentialCampaign(Two, {GenMode::Basic}, S);
+  ASSERT_EQ(Tables.size(), 1u);
+  EXPECT_EQ(Tables[0].NumTests, 3u);
+  // Every (config, opt) cell accounts for every test.
+  for (const auto &[Key, Counts] : Tables[0].Cells)
+    EXPECT_EQ(Counts.total(), Tables[0].NumTests)
+        << "config " << Key.ConfigId << (Key.Opt ? "+" : "-");
+  EXPECT_EQ(Tables[0].Cells.size(), 4u);
+}
+
+TEST(IntegrationTest, CampaignProgressCallbackFires) {
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  std::vector<DeviceConfig> One = {configById(Registry, 1)};
+  CampaignSettings S;
+  S.KernelsPerMode = 2;
+  S.SeedBase = 777;
+  unsigned Calls = 0;
+  S.Progress = [&Calls](unsigned Done, unsigned Total) {
+    ++Calls;
+    EXPECT_LE(Done, Total);
+  };
+  runDifferentialCampaign(One, {GenMode::Basic}, S);
+  EXPECT_EQ(Calls, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Driver front-end defect checks
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TestCase tinyTest(const std::string &Source) {
+  TestCase T;
+  T.Source = Source;
+  T.Range.Global[0] = 1;
+  T.Range.Local[0] = 1;
+  BufferSpec Out;
+  Out.InitBytes.assign(8, 0);
+  Out.IsOutput = true;
+  T.Buffers.push_back(Out);
+  return T;
+}
+
+} // namespace
+
+TEST(IntegrationTest, CompileHangTriggersOnConstantTrueLoops) {
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  const DeviceConfig &IntelGpu = configById(Registry, 7);
+  // for(;;) with no condition is also a constant-true loop.
+  TestCase T = tinyTest("kernel void k(global ulong *out) {\n"
+                        "  if (out[0] > 100u) { for (;;) { } }\n"
+                        "  out[0] = 1;\n"
+                        "}\n");
+  RunOutcome O = runTestOnConfig(T, IntelGpu, false);
+  EXPECT_EQ(O.Status, RunStatus::Timeout);
+  // The loop never executes, so the reference is fine.
+  EXPECT_TRUE(runTestOnReference(T, false).ok());
+}
+
+TEST(IntegrationTest, SlowStructBarrierCompileNeedsBoth) {
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  const DeviceConfig &Phi = configById(Registry, 18);
+  // Big struct, no barrier: compiles fine.
+  TestCase NoBarrier =
+      tinyTest("typedef struct { ulong c[4][4]; } S;\n"
+               "kernel void k(global ulong *out) {\n"
+               "  S s; s.c[0][1] = 7;\n"
+               "  out[0] = s.c[0][1];\n"
+               "}\n");
+  EXPECT_EQ(runTestOnConfig(NoBarrier, Phi, true).Status, RunStatus::Ok);
+  // Big struct plus barrier: prohibitively slow (timeout).
+  TestCase WithBarrier =
+      tinyTest("typedef struct { ulong c[4][4]; } S;\n"
+               "kernel void k(global ulong *out) {\n"
+               "  S s; s.c[0][1] = 7;\n"
+               "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+               "  out[0] = s.c[0][1];\n"
+               "}\n");
+  EXPECT_EQ(runTestOnConfig(WithBarrier, Phi, true).Status,
+            RunStatus::Timeout);
+}
+
+//===----------------------------------------------------------------------===//
+// The EMI-sensitive DCE defect
+//===----------------------------------------------------------------------===//
+
+TEST(IntegrationTest, EmiDceDefectDropsSuccessorStatement) {
+  const std::string Source =
+      "kernel void k(global ulong *out, global int *dead) {\n"
+      "  ulong acc = 5;\n"
+      "  if (dead[3] < dead[1]) { int ghost = 1; }\n"
+      "  acc = 99;\n" // the statement the defect eats
+      "  out[get_global_id(0)] = acc;\n"
+      "}\n";
+
+  auto RunWith = [&](double Rate) {
+    ASTContext Ctx;
+    DiagEngine Diags;
+    EXPECT_TRUE(parseProgram(Source, Ctx, Diags));
+    PassOptions PO = PassOptions::o0();
+    PO.EmiDceBugRate = Rate;
+    PO.BugSalt = 0x1234;
+    PassManager PM = buildPipeline(PO, Ctx);
+    PM.run(Ctx);
+    return printProgram(Ctx.program(), Ctx.types());
+  };
+
+  // Rate 1: the dead block vanishes and so does `acc = 99`.
+  std::string Buggy = RunWith(1.0);
+  EXPECT_EQ(Buggy.find("dead[3]"), std::string::npos) << Buggy;
+  EXPECT_EQ(Buggy.find("acc = 99"), std::string::npos) << Buggy;
+  // Rate ~0 never drops the successor (the clean-up itself may run).
+  std::string Clean = RunWith(1e-12);
+  EXPECT_NE(Clean.find("acc = 99"), std::string::npos) << Clean;
+}
+
+TEST(IntegrationTest, EmiDceDefectIgnoresLiveBlocks) {
+  // A block with a side effect is not "observably dead": it must
+  // survive, successor included.
+  const std::string Source =
+      "kernel void k(global ulong *out, global int *dead) {\n"
+      "  ulong acc = 5;\n"
+      "  if (dead[3] < dead[1]) { out[1] = 1; }\n"
+      "  acc = 99;\n"
+      "  out[get_global_id(0)] = acc;\n"
+      "}\n";
+  ASTContext Ctx;
+  DiagEngine Diags;
+  ASSERT_TRUE(parseProgram(Source, Ctx, Diags));
+  PassOptions PO = PassOptions::o0();
+  PO.EmiDceBugRate = 1.0;
+  PassManager PM = buildPipeline(PO, Ctx);
+  PM.run(Ctx);
+  std::string Out = printProgram(Ctx.program(), Ctx.types());
+  EXPECT_NE(Out.find("dead[3]"), std::string::npos);
+  EXPECT_NE(Out.find("acc = 99"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Launch validation and host helpers
+//===----------------------------------------------------------------------===//
+
+TEST(IntegrationTest, InvalidGeometryIsRejected) {
+  ASTContext Ctx;
+  DiagEngine Diags;
+  ASSERT_TRUE(parseProgram(
+      "kernel void k(global ulong *out) { out[0] = 1; }", Ctx, Diags));
+  CodegenResult CR = compileToBytecode(Ctx, {});
+  ASSERT_TRUE(CR.Ok);
+
+  std::vector<Buffer> Buffers(1);
+  Buffers[0].Bytes.assign(64, 0);
+  std::vector<KernelArg> Args = {KernelArg::buffer(0)};
+
+  LaunchOptions LO;
+  LO.Range.Global[0] = 10;
+  LO.Range.Local[0] = 3; // does not divide 10
+  EXPECT_EQ(launchKernel(CR.Module, Buffers, Args, LO).Status,
+            LaunchStatus::InvalidLaunch);
+
+  LO.Range.Local[0] = 2; // divides: now valid
+  EXPECT_EQ(launchKernel(CR.Module, Buffers, Args, LO).Status,
+            LaunchStatus::Success);
+}
+
+TEST(IntegrationTest, ArgumentCountMismatchIsRejected) {
+  ASTContext Ctx;
+  DiagEngine Diags;
+  ASSERT_TRUE(parseProgram(
+      "kernel void k(global ulong *out, global int *extra) {\n"
+      "  out[0] = extra[0];\n"
+      "}",
+      Ctx, Diags));
+  CodegenResult CR = compileToBytecode(Ctx, {});
+  ASSERT_TRUE(CR.Ok);
+  std::vector<Buffer> Buffers(1);
+  Buffers[0].Bytes.assign(8, 0);
+  std::vector<KernelArg> Args = {KernelArg::buffer(0)}; // one missing
+  LaunchOptions LO;
+  EXPECT_EQ(launchKernel(CR.Module, Buffers, Args, LO).Status,
+            LaunchStatus::InvalidLaunch);
+}
+
+TEST(IntegrationTest, BufferScalarRoundTrip) {
+  Buffer B;
+  B.Bytes.assign(16, 0);
+  B.writeScalar(3, 4, 0xdeadbeef);
+  EXPECT_EQ(B.readScalar(3, 4), 0xdeadbeefull);
+  B.writeScalar(8, 8, 0x0123456789abcdefULL);
+  EXPECT_EQ(B.readScalar(8, 8), 0x0123456789abcdefULL);
+  EXPECT_EQ(B.readScalar(8, 2), 0xcdefull);
+}

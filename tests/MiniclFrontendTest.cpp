@@ -1,0 +1,291 @@
+//===- MiniclFrontendTest.cpp - Lexer/Parser/Sema/Printer tests -----------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicl/Lexer.h"
+#include "minicl/Parser.h"
+#include "minicl/Printer.h"
+#include "minicl/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace clfuzz;
+
+namespace {
+
+/// Parses and semantic-checks a source string, expecting success.
+void expectParses(const std::string &Source) {
+  ASTContext Ctx;
+  DiagEngine Diags;
+  ASSERT_TRUE(parseProgram(Source, Ctx, Diags)) << Diags.str();
+  EXPECT_TRUE(checkProgram(Ctx, Diags)) << Diags.str();
+}
+
+/// Parses a source string, expecting a front-end failure.
+void expectRejects(const std::string &Source) {
+  ASTContext Ctx;
+  DiagEngine Diags;
+  bool Parsed = parseProgram(Source, Ctx, Diags);
+  bool Checked = Parsed && checkProgram(Ctx, Diags);
+  EXPECT_FALSE(Checked) << "should have been rejected:\n" << Source;
+}
+
+} // namespace
+
+TEST(LexerTest, TokenisesOperators) {
+  DiagEngine Diags;
+  auto Toks = lex("a <<= b >> 3; x->y.z", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ASSERT_GE(Toks.size(), 11u);
+  EXPECT_EQ(Toks[1].Kind, TokKind::LessLessEqual);
+  EXPECT_EQ(Toks[3].Kind, TokKind::GreaterGreater);
+  EXPECT_EQ(Toks[7].Kind, TokKind::Arrow);
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  DiagEngine Diags;
+  auto Toks = lex("42 0x2a 7u 9L 3UL", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Toks[0].Value, 42u);
+  EXPECT_EQ(Toks[1].Value, 42u);
+  EXPECT_TRUE(Toks[2].HasUnsignedSuffix);
+  EXPECT_TRUE(Toks[3].HasLongSuffix);
+  EXPECT_TRUE(Toks[4].HasUnsignedSuffix);
+  EXPECT_TRUE(Toks[4].HasLongSuffix);
+}
+
+TEST(LexerTest, CommentsAreTrivia) {
+  DiagEngine Diags;
+  auto Toks = lex("a // line\n/* block\nmore */ b", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ASSERT_EQ(Toks.size(), 3u); // a, b, eof
+  EXPECT_EQ(Toks[0].Spelling, "a");
+  EXPECT_EQ(Toks[1].Spelling, "b");
+}
+
+TEST(LexerTest, TracksLocations) {
+  DiagEngine Diags;
+  auto Toks = lex("a\n  b", Diags);
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Col, 3u);
+}
+
+TEST(ParserTest, MinimalKernel) {
+  expectParses("kernel void k(global ulong *out) {\n"
+               "  out[get_global_id(0)] = 1;\n"
+               "}\n");
+}
+
+TEST(ParserTest, Figure1aStructKernel) {
+  // The AMD struct bug kernel from Figure 1(a) of the paper.
+  expectParses("struct S { char a; short b; };\n"
+               "kernel void k(global ulong *out) {\n"
+               "  struct S s = { 1, 1 };\n"
+               "  out[get_global_id(0)] = s.a + s.b;\n"
+               "}\n");
+}
+
+TEST(ParserTest, Figure1bTypedefVolatileField) {
+  // Figure 1(b): typedef struct with a volatile field and struct copy.
+  expectParses(
+      "typedef struct {\n"
+      "  short a; int b; volatile char c;\n"
+      "  int d; int e; short f[10];\n"
+      "} S;\n"
+      "kernel void k(global ulong *out) {\n"
+      "  S s; S *p = &s;\n"
+      "  S t = {0,0,0,0,0, {0,0,0,0,0,0,0,1,0,0}};\n"
+      "  s = t; out[get_global_id(0)] = p->f[7];\n"
+      "}\n");
+}
+
+TEST(ParserTest, Figure1dBarrierAndFunction) {
+  expectParses("typedef struct { int x; int y; } S;\n"
+               "void f(S *p) { p->x = 2; }\n"
+               "kernel void k(global ulong *out) {\n"
+               "  S s = { 1, 1 }; barrier(CLK_LOCAL_MEM_FENCE);\n"
+               "  f(&s); out[get_global_id(0)] = s.x + s.y;\n"
+               "}\n");
+}
+
+TEST(ParserTest, Figure2cForwardDeclaration) {
+  expectParses("int f();\n"
+               "void g(int *p) { barrier(CLK_LOCAL_MEM_FENCE); *p = f(); }\n"
+               "void h(int *p) { g(p); }\n"
+               "int f() { barrier(CLK_LOCAL_MEM_FENCE); return 1; }\n"
+               "kernel void k(global ulong *out) {\n"
+               "  int x = 0; h(&x); out[get_global_id(0)] = x;\n"
+               "}\n");
+}
+
+TEST(ParserTest, Figure2fCommaOperator) {
+  expectParses("kernel void k(global ulong *out) {\n"
+               "  short x = 1; uint y;\n"
+               "  for (y = -1; y >= 1; ++y) { if (x , 1) break; }\n"
+               "  out[get_global_id(0)] = y;\n"
+               "}\n");
+}
+
+TEST(ParserTest, VectorConstructAndSwizzle) {
+  expectParses("kernel void k(global ulong *out) {\n"
+               "  int4 v = (int4)((int2)(1, 1), 1, 1);\n"
+               "  int2 w = v.xy;\n"
+               "  out[get_global_id(0)] = v.w + w.y + v.s0;\n"
+               "}\n");
+}
+
+TEST(ParserTest, RotateVectorBuiltin) {
+  // Figure 2(b) rotate kernel.
+  expectParses(
+      "kernel void k(global ulong *out) {\n"
+      "  out[get_global_id(0)] = rotate((uint2)(1, 1), (uint2)(0, 0)).x;\n"
+      "}\n");
+}
+
+TEST(ParserTest, VolatilePointerField) {
+  // Figure 2(d): `int * volatile * b` member.
+  expectParses("typedef struct { int a; int * volatile * b; int c; } S;\n"
+               "kernel void k(global ulong *out) {\n"
+               "  S s = { 1, 0, 0 };\n"
+               "  out[get_global_id(0)] = s.a;\n"
+               "}\n");
+}
+
+TEST(ParserTest, UnionInitialisation) {
+  // Figure 2(a)-style nested union initialisation.
+  expectParses(
+      "struct S2 { short c; long d; };\n"
+      "union U { uint a; struct S2 b; };\n"
+      "struct T { union U u[1]; ulong x; ulong y; };\n"
+      "kernel void k(global ulong *out, global int *in) {\n"
+      "  struct T c;\n"
+      "  struct T t = { {{1}}, in[get_global_id(0)], in[get_global_id(1)] };\n"
+      "  c = t;\n"
+      "  ulong total = 0;\n"
+      "  for (int i = 0; i < 1; i++) total += c.u[i].a;\n"
+      "  out[get_global_id(0)] = total;\n"
+      "}\n");
+}
+
+TEST(ParserTest, LocalMemoryAndAtomics) {
+  expectParses(
+      "kernel void k(global ulong *out) {\n"
+      "  local uint counter[4];\n"
+      "  local uint A[64];\n"
+      "  if (atomic_inc(&counter[0]) == 2) { }\n"
+      "  atomic_add(&A[1], 3u);\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE);\n"
+      "  out[get_global_id(0)] = A[1];\n"
+      "}\n");
+}
+
+TEST(ParserTest, MultiDimensionalArrays) {
+  expectParses("typedef struct { int a; int *b; ulong c[9][9][3]; } S;\n"
+               "kernel void k(global ulong *out) {\n"
+               "  S s; S *p = &s; S t = { 0, &p->a, { { { 0 } } } };\n"
+               "  s = t;\n"
+               "  out[get_global_id(0)] = p->c[0][0][1];\n"
+               "}\n");
+}
+
+TEST(ParserTest, RejectsUnknownIdentifier) {
+  expectRejects("kernel void k(global ulong *out) { out[0] = nope; }");
+}
+
+TEST(ParserTest, RejectsVectorTypeMismatch) {
+  expectRejects("kernel void k(global ulong *out) {\n"
+                "  int4 a = (int4)(1, 2, 3, 4);\n"
+                "  uint4 b = (uint4)(1, 2, 3, 4);\n"
+                "  int4 c = a + b;\n"
+                "  out[0] = c.x;\n"
+                "}\n");
+}
+
+TEST(ParserTest, RejectsRecursion) {
+  expectRejects("int f(int x) { return f(x); }\n"
+                "kernel void k(global ulong *out) { out[0] = f(1); }\n");
+}
+
+TEST(ParserTest, RejectsMutualRecursion) {
+  expectRejects("int g(int x);\n"
+                "int f(int x) { return g(x); }\n"
+                "int g(int x) { return f(x); }\n"
+                "kernel void k(global ulong *out) { out[0] = f(1); }\n");
+}
+
+TEST(ParserTest, RejectsBreakOutsideLoop) {
+  expectRejects("kernel void k(global ulong *out) { break; }");
+}
+
+TEST(ParserTest, RejectsPrivatePointerKernelParam) {
+  expectRejects("kernel void k(int *p) { *p = 1; }");
+}
+
+TEST(ParserTest, RejectsTwoKernels) {
+  expectRejects("kernel void k1() { }\nkernel void k2() { }\n");
+}
+
+TEST(ParserTest, RejectsSizeof) {
+  expectRejects(
+      "kernel void k(global ulong *out) { out[0] = sizeof(int); }");
+}
+
+TEST(PrinterTest, RoundTripPreservesSemantics) {
+  // Print, reparse and reprint; the second and third prints must agree
+  // (printer output is a fixed point of parse-then-print).
+  const std::string Source =
+      "struct S { char a; short b; };\n"
+      "int f(int x) { return x + 1; }\n"
+      "kernel void k(global ulong *out) {\n"
+      "  struct S s = { 1, 1 };\n"
+      "  int4 v = (int4)(1, 2, 3, 4);\n"
+      "  for (int i = 0; i < 4; i++) s.b += f(i);\n"
+      "  out[get_global_id(0)] = s.a + s.b + v.w;\n"
+      "}\n";
+  ASTContext Ctx1;
+  DiagEngine Diags1;
+  ASSERT_TRUE(parseProgram(Source, Ctx1, Diags1)) << Diags1.str();
+  std::string Printed1 = printProgram(Ctx1.program(), Ctx1.types());
+
+  ASTContext Ctx2;
+  DiagEngine Diags2;
+  ASSERT_TRUE(parseProgram(Printed1, Ctx2, Diags2))
+      << Diags2.str() << "\n--- printed ---\n"
+      << Printed1;
+  std::string Printed2 = printProgram(Ctx2.program(), Ctx2.types());
+  EXPECT_EQ(Printed1, Printed2);
+}
+
+TEST(PrinterTest, EmitsBarrierFlags) {
+  ASTContext Ctx;
+  DiagEngine Diags;
+  ASSERT_TRUE(parseProgram("kernel void k() {\n"
+                           "  barrier(CLK_LOCAL_MEM_FENCE | "
+                           "CLK_GLOBAL_MEM_FENCE);\n"
+                           "}\n",
+                           Ctx, Diags));
+  std::string Out = printProgram(Ctx.program(), Ctx.types());
+  EXPECT_NE(Out.find("CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE"),
+            std::string::npos);
+}
+
+TEST(PrinterTest, NegativeLiteralsPrintReadably) {
+  ASTContext Ctx;
+  Expr *E = Ctx.intLit(static_cast<uint64_t>(-1), Ctx.types().intTy());
+  EXPECT_EQ(printExpr(E), "-1");
+}
+
+TEST(PrinterTest, PrecedenceParenthesisation) {
+  ASTContext Ctx;
+  DiagEngine Diags;
+  ASSERT_TRUE(parseProgram("kernel void k(global ulong *out) {\n"
+                           "  out[0] = (1 + 2) * 3;\n"
+                           "}\n",
+                           Ctx, Diags));
+  std::string Out = printProgram(Ctx.program(), Ctx.types());
+  EXPECT_NE(Out.find("(1 + 2) * 3"), std::string::npos);
+}

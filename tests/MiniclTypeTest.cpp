@@ -1,0 +1,191 @@
+//===- MiniclTypeTest.cpp - Tests for the MiniCL type system --------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicl/TypeRules.h"
+
+#include <gtest/gtest.h>
+
+using namespace clfuzz;
+
+TEST(TypeTest, ScalarWidths) {
+  TypeContext T;
+  EXPECT_EQ(T.charTy()->bitWidth(), 8u);
+  EXPECT_EQ(T.ushortTy()->bitWidth(), 16u);
+  EXPECT_EQ(T.intTy()->bitWidth(), 32u);
+  EXPECT_EQ(T.ulongTy()->bitWidth(), 64u);
+  EXPECT_EQ(T.sizeTy()->bitWidth(), 64u);
+  EXPECT_TRUE(T.charTy()->isSigned());
+  EXPECT_FALSE(T.ucharTy()->isSigned());
+  EXPECT_FALSE(T.sizeTy()->isSigned());
+}
+
+TEST(TypeTest, VectorInterning) {
+  TypeContext T;
+  const VectorType *A = T.vector(T.intTy(), 4);
+  const VectorType *B = T.vector(T.intTy(), 4);
+  const VectorType *C = T.vector(T.uintTy(), 4);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A->str(), "int4");
+}
+
+TEST(TypeTest, ArrayAndPointerInterning) {
+  TypeContext T;
+  EXPECT_EQ(T.array(T.intTy(), 10), T.array(T.intTy(), 10));
+  EXPECT_NE(T.array(T.intTy(), 10), T.array(T.intTy(), 11));
+  EXPECT_EQ(T.pointer(T.intTy(), AddressSpace::Global),
+            T.pointer(T.intTy(), AddressSpace::Global));
+  EXPECT_NE(T.pointer(T.intTy(), AddressSpace::Global),
+            T.pointer(T.intTy(), AddressSpace::Local));
+  EXPECT_NE(T.pointer(T.intTy(), AddressSpace::Global, true),
+            T.pointer(T.intTy(), AddressSpace::Global, false));
+}
+
+TEST(TypeTest, RecordsAreNominal) {
+  TypeContext T;
+  RecordType *A = T.createRecord("S", false);
+  RecordType *B = T.createRecord("S2", false);
+  A->addField({"a", T.intTy(), false});
+  B->addField({"a", T.intTy(), false});
+  A->setComplete();
+  B->setComplete();
+  EXPECT_NE(static_cast<const Type *>(A), static_cast<const Type *>(B));
+  EXPECT_EQ(A->fieldIndex("a"), 0);
+  EXPECT_EQ(A->fieldIndex("b"), -1);
+  EXPECT_EQ(T.findRecord("S"), A);
+}
+
+TEST(TypeTest, Spellings) {
+  TypeContext T;
+  EXPECT_EQ(T.pointer(T.ulongTy(), AddressSpace::Global)->str(),
+            "global ulong *");
+  EXPECT_EQ(T.array(T.array(T.charTy(), 3), 2)->str(), "char[3][2]");
+}
+
+TEST(TypeRulesTest, Promotion) {
+  TypeContext T;
+  EXPECT_EQ(promote(T, T.charTy()), T.intTy());
+  EXPECT_EQ(promote(T, T.ushortTy()), T.intTy());
+  EXPECT_EQ(promote(T, T.boolTy()), T.intTy());
+  EXPECT_EQ(promote(T, T.uintTy()), T.uintTy());
+  EXPECT_EQ(promote(T, T.longTy()), T.longTy());
+}
+
+TEST(TypeRulesTest, UsualArithmeticConversions) {
+  TypeContext T;
+  // Narrow types meet at int.
+  EXPECT_EQ(usualArithmeticConversions(T, T.charTy(), T.ushortTy()),
+            T.intTy());
+  // Mixed signedness at equal rank: unsigned wins.
+  EXPECT_EQ(usualArithmeticConversions(T, T.intTy(), T.uintTy()),
+            T.uintTy());
+  // Wider signed absorbs narrower unsigned.
+  EXPECT_EQ(usualArithmeticConversions(T, T.longTy(), T.uintTy()),
+            T.longTy());
+  // size_t behaves as ulong.
+  EXPECT_EQ(usualArithmeticConversions(T, T.intTy(), T.sizeTy()),
+            T.ulongTy());
+}
+
+TEST(TypeRulesTest, ComparisonResultVector) {
+  TypeContext T;
+  EXPECT_EQ(comparisonResultVector(T, T.vector(T.uintTy(), 4)),
+            T.vector(T.intTy(), 4));
+  EXPECT_EQ(comparisonResultVector(T, T.vector(T.ucharTy(), 8)),
+            T.vector(T.charTy(), 8));
+  EXPECT_EQ(comparisonResultVector(T, T.vector(T.ulongTy(), 2)),
+            T.vector(T.longTy(), 2));
+}
+
+TEST(TypeRulesTest, BinaryScalarNormalisation) {
+  ASTContext Ctx;
+  TypeContext &T = Ctx.types();
+  Expr *C = Ctx.intLit(1, T.charTy());
+  Expr *U = Ctx.intLit(2, T.uintTy());
+  TypedResult R = buildBinary(Ctx, BinOp::Add, C, U);
+  ASSERT_NE(R.E, nullptr);
+  EXPECT_EQ(R.E->getType(), T.uintTy());
+  const auto *B = cast<BinaryExpr>(R.E);
+  EXPECT_EQ(B->getLHS()->getType(), T.uintTy());
+  EXPECT_EQ(B->getRHS()->getType(), T.uintTy());
+}
+
+TEST(TypeRulesTest, VectorMixingRules) {
+  ASTContext Ctx;
+  TypeContext &T = Ctx.types();
+  const VectorType *I4 = T.vector(T.intTy(), 4);
+  const VectorType *U4 = T.vector(T.uintTy(), 4);
+  VarDecl *A = Ctx.makeVar("a", I4, AddressSpace::Private);
+  VarDecl *B = Ctx.makeVar("b", U4, AddressSpace::Private);
+
+  // int4 + uint4 must be rejected: no implicit vector conversion.
+  TypedResult Bad = buildBinary(Ctx, BinOp::Add, Ctx.ref(A), Ctx.ref(B));
+  EXPECT_EQ(Bad.E, nullptr);
+
+  // int4 + scalar broadcasts.
+  TypedResult Mixed =
+      buildBinary(Ctx, BinOp::Add, Ctx.ref(A), Ctx.intLit(3));
+  ASSERT_NE(Mixed.E, nullptr);
+  EXPECT_EQ(Mixed.E->getType(), I4);
+
+  // Comparison yields the signed vector form.
+  TypedResult Cmp = buildBinary(Ctx, BinOp::Lt, Ctx.ref(B), Ctx.ref(B));
+  ASSERT_NE(Cmp.E, nullptr);
+  EXPECT_EQ(Cmp.E->getType(), I4);
+}
+
+TEST(TypeRulesTest, ShiftKeepsLhsType) {
+  ASTContext Ctx;
+  TypeContext &T = Ctx.types();
+  TypedResult R = buildBinary(Ctx, BinOp::Shl,
+                              Ctx.intLit(1, T.ulongTy()), Ctx.intLit(3));
+  ASSERT_NE(R.E, nullptr);
+  EXPECT_EQ(R.E->getType(), T.ulongTy());
+}
+
+TEST(TypeRulesTest, AssignRequiresLValue) {
+  ASTContext Ctx;
+  TypedResult R = buildAssign(Ctx, AssignOp::Assign, Ctx.intLit(1),
+                              Ctx.intLit(2));
+  EXPECT_EQ(R.E, nullptr);
+}
+
+TEST(TypeRulesTest, NullPointerConstantConversion) {
+  ASTContext Ctx;
+  TypeContext &T = Ctx.types();
+  const Type *PtrTy = T.pointer(T.intTy(), AddressSpace::Private);
+  Expr *Null = convertTo(Ctx, Ctx.intLit(0), PtrTy);
+  EXPECT_NE(Null, nullptr);
+  Expr *NotNull = convertTo(Ctx, Ctx.intLit(1), PtrTy);
+  EXPECT_EQ(NotNull, nullptr);
+}
+
+TEST(TypeRulesTest, AbsReturnsUnsigned) {
+  ASTContext Ctx;
+  TypeContext &T = Ctx.types();
+  TypedResult R = buildBuiltinCall(Ctx, Builtin::Abs,
+                                   {Ctx.intLit(-5, T.intTy())});
+  ASSERT_NE(R.E, nullptr);
+  EXPECT_EQ(R.E->getType(), T.uintTy());
+}
+
+TEST(TypeRulesTest, AtomicRequiresSharedPointer) {
+  ASTContext Ctx;
+  TypeContext &T = Ctx.types();
+  VarDecl *P = Ctx.makeVar(
+      "p", T.pointer(T.uintTy(), AddressSpace::Private), AddressSpace::Private);
+  TypedResult R =
+      buildBuiltinCall(Ctx, Builtin::AtomicInc, {Ctx.ref(P)});
+  EXPECT_EQ(R.E, nullptr);
+
+  VarDecl *Q = Ctx.makeVar(
+      "q", T.pointer(T.uintTy(), AddressSpace::Local), AddressSpace::Private);
+  TypedResult R2 =
+      buildBuiltinCall(Ctx, Builtin::AtomicInc, {Ctx.ref(Q)});
+  ASSERT_NE(R2.E, nullptr);
+  EXPECT_EQ(R2.E->getType(), T.uintTy());
+}

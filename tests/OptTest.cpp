@@ -1,0 +1,361 @@
+//===- OptTest.cpp - Optimisation pass tests --------------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Pass unit tests, the O0-vs-O2 differential self-test, and the
+/// Figure 2(b)/2(c)/2(e) pass bug models.
+///
+//===----------------------------------------------------------------------===//
+
+#include "minicl/Parser.h"
+#include "minicl/Printer.h"
+#include "minicl/Sema.h"
+#include "opt/ConstEval.h"
+#include "opt/Pass.h"
+#include "vm/Codegen.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace clfuzz;
+
+namespace {
+
+/// Parses, optimises with \p PO, compiles and runs over \p Range.
+struct PipelineRun {
+  LaunchResult LR;
+  std::vector<uint64_t> Out;
+  std::string OptimisedSource;
+};
+
+PipelineRun runPipeline(const std::string &Source, const PassOptions &PO,
+                        NDRange Range,
+                        const CodegenOptions &CG = CodegenOptions()) {
+  ASTContext Ctx;
+  DiagEngine Diags;
+  EXPECT_TRUE(parseProgram(Source, Ctx, Diags)) << Diags.str();
+  PassManager PM = buildPipeline(PO, Ctx);
+  PM.run(Ctx);
+  PipelineRun R;
+  R.OptimisedSource = printProgram(Ctx.program(), Ctx.types());
+  // The optimised program must still be semantically valid.
+  DiagEngine PostDiags;
+  EXPECT_TRUE(checkProgram(Ctx, PostDiags))
+      << PostDiags.str() << "\n" << R.OptimisedSource;
+  CodegenResult CR = compileToBytecode(Ctx, CG);
+  EXPECT_TRUE(CR.Ok) << CR.Error;
+  if (!CR.Ok)
+    return R;
+
+  std::vector<Buffer> Buffers;
+  Buffer Out;
+  Out.Bytes.assign(Range.globalLinear() * 8, 0);
+  Buffers.push_back(std::move(Out));
+  std::vector<KernelArg> Args;
+  for (size_t I = 0; I != CR.Module.kernel().Params.size(); ++I)
+    Args.push_back(KernelArg::buffer(0));
+  LaunchOptions Opts;
+  Opts.Range = Range;
+  R.LR = launchKernel(CR.Module, Buffers, Args, Opts);
+  for (uint64_t I = 0; I != Range.globalLinear(); ++I)
+    R.Out.push_back(Buffers[0].readScalar(I * 8, 8));
+  return R;
+}
+
+NDRange lane(uint32_t N = 1) {
+  NDRange R;
+  R.Global[0] = N;
+  R.Local[0] = N;
+  return R;
+}
+
+/// Optimises a program and returns its printed source (for pattern
+/// inspection).
+std::string optimise(const std::string &Source,
+                     const PassOptions &PO = PassOptions::o2()) {
+  ASTContext Ctx;
+  DiagEngine Diags;
+  EXPECT_TRUE(parseProgram(Source, Ctx, Diags)) << Diags.str();
+  PassManager PM = buildPipeline(PO, Ctx);
+  PM.run(Ctx);
+  return printProgram(Ctx.program(), Ctx.types());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ConstEval
+//===----------------------------------------------------------------------===//
+
+TEST(ConstEvalTest, FoldsScalarArithmetic) {
+  ASTContext Ctx;
+  TypeContext &T = Ctx.types();
+  Expr *E = Ctx.makeExpr<BinaryExpr>(BinOp::Mul, Ctx.intLit(6),
+                                     Ctx.intLit(7), T.intTy());
+  auto V = evalConstExpr(E);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Lanes[0], 42u);
+}
+
+TEST(ConstEvalTest, RefusesDivisionByZero) {
+  ASTContext Ctx;
+  TypeContext &T = Ctx.types();
+  Expr *E = Ctx.makeExpr<BinaryExpr>(BinOp::Div, Ctx.intLit(6),
+                                     Ctx.intLit(0), T.intTy());
+  EXPECT_FALSE(evalConstExpr(E).has_value());
+}
+
+TEST(ConstEvalTest, ShortCircuitIgnoresNonConstRhs) {
+  ASTContext Ctx;
+  TypeContext &T = Ctx.types();
+  VarDecl *X = Ctx.makeVar("x", T.intTy(), AddressSpace::Private);
+  Expr *E = Ctx.makeExpr<BinaryExpr>(BinOp::LAnd, Ctx.intLit(0),
+                                     Ctx.ref(X), T.boolTy());
+  auto V = evalConstExpr(E);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Lanes[0], 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Individual passes
+//===----------------------------------------------------------------------===//
+
+TEST(PassTest, ConstFoldFoldsExpressions) {
+  std::string Out = optimise("kernel void k(global ulong *out) {\n"
+                             "  out[0] = 2 + 3 * 4 - (10 >> 1);\n"
+                             "}\n");
+  EXPECT_NE(Out.find("out[0] = 9"), std::string::npos) << Out;
+}
+
+TEST(PassTest, SimplifyRemovesConstIf) {
+  std::string Out = optimise("kernel void k(global ulong *out) {\n"
+                             "  if (0) { out[0] = 1; } else { out[0] = 2; }\n"
+                             "  if (1) out[1] = 3;\n"
+                             "}\n");
+  EXPECT_EQ(Out.find("out[0] = 1"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("out[0] = 2"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("out[1] = 3"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("if"), std::string::npos) << Out;
+}
+
+TEST(PassTest, DCERemovesUnusedLocals) {
+  std::string Out = optimise("kernel void k(global ulong *out) {\n"
+                             "  int unused = 42;\n"
+                             "  int used = 7;\n"
+                             "  out[0] = used;\n"
+                             "}\n");
+  EXPECT_EQ(Out.find("unused"), std::string::npos) << Out;
+}
+
+TEST(PassTest, DCEKeepsVolatileAndAddressTaken) {
+  std::string Out = optimise("void f(int *p) { *p = 1; }\n"
+                             "kernel void k(global ulong *out) {\n"
+                             "  volatile int v = 1;\n"
+                             "  int t = 0;\n"
+                             "  f(&t);\n"
+                             "  out[0] = 1;\n"
+                             "}\n");
+  EXPECT_NE(Out.find("volatile int v"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("f(&t)"), std::string::npos) << Out;
+}
+
+TEST(PassTest, DCERemovesUnreachableAfterReturn) {
+  std::string Out = optimise("int f() { return 1; int x = 2; return x; }\n"
+                             "kernel void k(global ulong *out) {\n"
+                             "  out[0] = f();\n"
+                             "}\n");
+  EXPECT_EQ(Out.find("x = 2"), std::string::npos) << Out;
+}
+
+TEST(PassTest, CopyPropFeedsConstFold) {
+  std::string Out = optimise("kernel void k(global ulong *out) {\n"
+                             "  int a = 5;\n"
+                             "  int b = a + 3;\n"
+                             "  out[0] = b * 2;\n"
+                             "}\n");
+  EXPECT_NE(Out.find("out[0] = 16"), std::string::npos) << Out;
+}
+
+TEST(PassTest, EmptyEmiShapedBlockIsRemoved) {
+  // A pruned-to-empty EMI block over a non-volatile buffer read is
+  // removable; the load is pure.
+  std::string Out =
+      optimise("kernel void k(global ulong *out, global int *dead) {\n"
+               "  if (dead[3] < dead[1]) { }\n"
+               "  out[0] = 1;\n"
+               "}\n");
+  EXPECT_EQ(Out.find("dead[3]"), std::string::npos) << Out;
+}
+
+TEST(PassTest, PipelinePreservesBarriers) {
+  std::string Out = optimise("kernel void k(global ulong *out) {\n"
+                             "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+                             "  out[0] = 1;\n"
+                             "}\n");
+  EXPECT_NE(Out.find("barrier(CLK_LOCAL_MEM_FENCE)"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// O0 vs O2 differential self-test
+//===----------------------------------------------------------------------===//
+
+TEST(PassTest, OptimisedMatchesUnoptimised) {
+  const char *Kernels[] = {
+      // Arithmetic over locals and loops.
+      "kernel void k(global ulong *out) {\n"
+      "  int acc = 0;\n"
+      "  for (int i = 0; i < 16; i++) { int t = i * 3; acc += t - 1; }\n"
+      "  out[get_global_id(0)] = acc + get_global_id(0);\n"
+      "}\n",
+      // Structs, copies, conditionals.
+      "typedef struct { int a; short b; char c[6]; } S;\n"
+      "int mix(S *s) { return s->a + s->b + s->c[3]; }\n"
+      "kernel void k(global ulong *out) {\n"
+      "  S s = { 100, 20, { 1, 2, 3, 4, 5, 6 } };\n"
+      "  S t;\n"
+      "  t = s;\n"
+      "  t.a = t.a > 50 ? t.a - 50 : t.a;\n"
+      "  out[get_global_id(0)] = mix(&t);\n"
+      "}\n",
+      // Vectors and builtins.
+      "kernel void k(global ulong *out) {\n"
+      "  uint4 v = (uint4)(1, 2, 3, 4);\n"
+      "  uint4 w = rotate(v, (uint4)(1, 2, 3, 4));\n"
+      "  v = clamp(w, (uint4)(0, 0, 0, 0), (uint4)(64, 64, 64, 64));\n"
+      "  out[get_global_id(0)] = v.x + v.y + v.z + v.w;\n"
+      "}\n",
+      // Barriers and local memory.
+      "kernel void k(global ulong *out) {\n"
+      "  local uint A[4];\n"
+      "  A[get_local_id(0)] = (uint)get_local_id(0) * 5u;\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  out[get_global_id(0)] = A[3u - get_local_id(0)];\n"
+      "}\n",
+      // Comma, increments, short-circuit.
+      "kernel void k(global ulong *out) {\n"
+      "  int x = 1, y = 0;\n"
+      "  for (int i = 0; i < 5; i++, y += 2) x = x * 2;\n"
+      "  int z = (x > 10 && y > 5) ? (x , y) : -1;\n"
+      "  out[get_global_id(0)] = x + y + z;\n"
+      "}\n",
+  };
+  for (const char *Src : Kernels) {
+    auto O0 = runPipeline(Src, PassOptions::o0(), lane(4));
+    auto O2 = runPipeline(Src, PassOptions::o2(), lane(4));
+    ASSERT_TRUE(O0.LR.ok()) << O0.LR.Message << "\n" << Src;
+    ASSERT_TRUE(O2.LR.ok()) << O2.LR.Message << "\n"
+                            << O2.OptimisedSource;
+    EXPECT_EQ(O0.Out, O2.Out) << "pipeline changed semantics for:\n"
+                              << Src << "\noptimised:\n"
+                              << O2.OptimisedSource;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pass bug models
+//===----------------------------------------------------------------------===//
+
+TEST(PassBugTest, RotateFoldBugReproducesFigure2b) {
+  const std::string Src =
+      "kernel void k(global ulong *out) {\n"
+      "  out[get_global_id(0)] = rotate((uint2)(1, 1), (uint2)(0, 0)).x;\n"
+      "}\n";
+  auto Good = runPipeline(Src, PassOptions::o2(), lane());
+  ASSERT_TRUE(Good.LR.ok());
+  EXPECT_EQ(Good.Out[0], 1u);
+
+  PassOptions Buggy = PassOptions::o2();
+  Buggy.RotateFoldBug = true;
+  auto Bad = runPipeline(Src, Buggy, lane());
+  ASSERT_TRUE(Bad.LR.ok());
+  // The paper reports 0xffffffff (expected 1) for configuration 14.
+  EXPECT_EQ(Bad.Out[0], 0xffffffffull);
+}
+
+TEST(PassBugTest, CmpMinusOneBugReproducesFigure2e) {
+  const std::string Src =
+      "void f(int *p) {\n"
+      "  if ((((((*p - get_group_id(0)) != 1u) >> *p) < 2) >= *p)) {\n"
+      "    *p = 1;\n"
+      "  }\n"
+      "}\n"
+      "kernel void k(global ulong *out) {\n"
+      "  int x = 0;\n"
+      "  f(&x);\n"
+      "  out[get_global_id(0)] = x;\n"
+      "}\n";
+  auto Good = runPipeline(Src, PassOptions::o2(), lane());
+  ASSERT_TRUE(Good.LR.ok());
+  EXPECT_EQ(Good.Out[0], 1u);
+
+  PassOptions Buggy = PassOptions::o2();
+  Buggy.CmpMinusOneBug = true;
+  auto Bad = runPipeline(Src, Buggy, lane());
+  ASSERT_TRUE(Bad.LR.ok());
+  // The paper reports 0 (expected 1) for configuration 9+.
+  EXPECT_EQ(Bad.Out[0], 0u);
+}
+
+TEST(PassBugTest, BarrierCallRetvalBugReproducesFigure2c) {
+  const std::string Src =
+      "int f();\n"
+      "void g(int *p) { barrier(CLK_LOCAL_MEM_FENCE); *p = f(); }\n"
+      "void h(int *p) { g(p); }\n"
+      "int f() { barrier(CLK_LOCAL_MEM_FENCE); return 1; }\n"
+      "kernel void k(global ulong *out) {\n"
+      "  int x = 0;\n"
+      "  h(&x);\n"
+      "  out[get_global_id(0)] = x;\n"
+      "}\n";
+  auto Good = runPipeline(Src, PassOptions::o0(), lane(2));
+  ASSERT_TRUE(Good.LR.ok()) << Good.LR.Message;
+  EXPECT_EQ(Good.Out[0], 1u);
+  EXPECT_EQ(Good.Out[1], 1u);
+
+  PassOptions Buggy = PassOptions::o0();
+  Buggy.BarrierCallRetvalBug = true;
+  auto Bad = runPipeline(Src, Buggy, lane(2));
+  ASSERT_TRUE(Bad.LR.ok()) << Bad.LR.Message;
+  // The paper reports [1,0] (expected [1,1]) for 12-/13-; our model
+  // yields a uniformly wrong result of the same class.
+  EXPECT_NE(Bad.Out[0], 1u);
+}
+
+TEST(PassBugTest, ShiftSafeFoldBugDiverges) {
+  const std::string Src = "kernel void k(global ulong *out) {\n"
+                          "  out[get_global_id(0)] = safe_lshift(1, 33);\n"
+                          "}\n";
+  auto Good = runPipeline(Src, PassOptions::o2(), lane());
+  ASSERT_TRUE(Good.LR.ok());
+  EXPECT_EQ(Good.Out[0], 2u); // runtime masks the amount: 1 << 1
+
+  PassOptions Buggy = PassOptions::o2();
+  Buggy.ShiftSafeFoldBug = true;
+  auto Bad = runPipeline(Src, Buggy, lane());
+  ASSERT_TRUE(Bad.LR.ok());
+  EXPECT_EQ(Bad.Out[0], 0u);
+}
+
+TEST(PassBugTest, BugModelsAreInvisibleWhenPatternAbsent) {
+  // A kernel with none of the trigger patterns must be identical under
+  // every buggy pipeline.
+  const std::string Src = "kernel void k(global ulong *out) {\n"
+                          "  int acc = 3;\n"
+                          "  for (int i = 0; i < 7; i++) acc = acc * 2 + i;\n"
+                          "  out[get_global_id(0)] = acc;\n"
+                          "}\n";
+  auto Ref = runPipeline(Src, PassOptions::o2(), lane());
+  for (int BugIdx = 0; BugIdx != 4; ++BugIdx) {
+    PassOptions PO = PassOptions::o2();
+    PO.RotateFoldBug = BugIdx == 0;
+    PO.ShiftSafeFoldBug = BugIdx == 1;
+    PO.CmpMinusOneBug = BugIdx == 2;
+    PO.BarrierCallRetvalBug = BugIdx == 3;
+    auto R = runPipeline(Src, PO, lane());
+    ASSERT_TRUE(R.LR.ok());
+    EXPECT_EQ(R.Out, Ref.Out) << "bug model " << BugIdx;
+  }
+}

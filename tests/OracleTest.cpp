@@ -1,0 +1,118 @@
+//===- OracleTest.cpp - Voting and classification tests ----------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "oracle/Oracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace clfuzz;
+
+namespace {
+
+RunOutcome okWith(uint64_t Hash) {
+  RunOutcome O;
+  O.Status = RunStatus::Ok;
+  O.OutputHash = Hash;
+  return O;
+}
+
+RunOutcome failWith(RunStatus S) {
+  RunOutcome O;
+  O.Status = S;
+  return O;
+}
+
+} // namespace
+
+TEST(OracleTest, MajorityRequiresThreeAgreeing) {
+  std::vector<RunOutcome> Two = {okWith(1), okWith(1), okWith(2)};
+  EXPECT_FALSE(majorityOutput(Two).has_value());
+  std::vector<RunOutcome> Three = {okWith(1), okWith(1), okWith(1),
+                                   okWith(2)};
+  auto M = majorityOutput(Three);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(*M, 1u);
+}
+
+TEST(OracleTest, TiesHaveNoMajority) {
+  std::vector<RunOutcome> Tie = {okWith(1), okWith(1), okWith(1),
+                                 okWith(2), okWith(2), okWith(2)};
+  EXPECT_FALSE(majorityOutput(Tie).has_value());
+}
+
+TEST(OracleTest, FailuresDoNotVote) {
+  std::vector<RunOutcome> Mixed = {
+      okWith(1), okWith(1), okWith(1), failWith(RunStatus::Crash),
+      failWith(RunStatus::BuildFailure), failWith(RunStatus::Timeout),
+      okWith(9)};
+  auto M = majorityOutput(Mixed);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(*M, 1u);
+
+  std::vector<Verdict> V = classifyAgainstMajority(Mixed);
+  EXPECT_EQ(V[0], Verdict::Pass);
+  EXPECT_EQ(V[3], Verdict::Crash);
+  EXPECT_EQ(V[4], Verdict::BuildFailure);
+  EXPECT_EQ(V[5], Verdict::Timeout);
+  EXPECT_EQ(V[6], Verdict::Wrong);
+}
+
+TEST(OracleTest, NoMajorityMeansNoWrongVerdicts) {
+  std::vector<RunOutcome> Split = {okWith(1), okWith(2)};
+  std::vector<Verdict> V = classifyAgainstMajority(Split);
+  EXPECT_EQ(V[0], Verdict::NoMajority);
+  EXPECT_EQ(V[1], Verdict::NoMajority);
+}
+
+TEST(OracleTest, OutcomeCountsMath) {
+  OutcomeCounts C;
+  C.add(Verdict::Wrong);
+  C.add(Verdict::Pass);
+  C.add(Verdict::Pass);
+  C.add(Verdict::Pass);
+  C.add(Verdict::Crash);
+  EXPECT_EQ(C.total(), 5u);
+  EXPECT_NEAR(C.wrongPct(), 100.0 * 1 / 4, 1e-9);
+  EXPECT_NEAR(C.failureFraction(), 2.0 / 5, 1e-9);
+}
+
+TEST(OracleTest, EmiAllAgreeIsStable) {
+  std::vector<RunOutcome> Vs = {okWith(7), okWith(7), okWith(7)};
+  EmiBaseVerdict V = classifyEmiVariants(Vs);
+  EXPECT_TRUE(V.Stable);
+  EXPECT_FALSE(V.Wrong);
+  EXPECT_FALSE(V.BadBase);
+}
+
+TEST(OracleTest, EmiDisagreementIsWrong) {
+  std::vector<RunOutcome> Vs = {okWith(7), okWith(8), okWith(7)};
+  EmiBaseVerdict V = classifyEmiVariants(Vs);
+  EXPECT_TRUE(V.Wrong);
+  EXPECT_FALSE(V.Stable);
+}
+
+TEST(OracleTest, EmiAllFailuresIsBadBase) {
+  std::vector<RunOutcome> Vs = {failWith(RunStatus::Crash),
+                                failWith(RunStatus::BuildFailure)};
+  EmiBaseVerdict V = classifyEmiVariants(Vs);
+  EXPECT_TRUE(V.BadBase);
+  EXPECT_FALSE(V.Wrong);
+  EXPECT_FALSE(V.InducedCrash) << "bad bases report nothing else";
+}
+
+TEST(OracleTest, EmiInducedFailuresRecorded) {
+  std::vector<RunOutcome> Vs = {okWith(7), failWith(RunStatus::Crash),
+                                okWith(7),
+                                failWith(RunStatus::Timeout)};
+  EmiBaseVerdict V = classifyEmiVariants(Vs);
+  EXPECT_FALSE(V.BadBase);
+  EXPECT_TRUE(V.InducedCrash);
+  EXPECT_TRUE(V.InducedTimeout);
+  EXPECT_FALSE(V.InducedBF);
+  EXPECT_FALSE(V.Stable) << "failures preclude stability";
+  EXPECT_FALSE(V.Wrong);
+}

@@ -1,0 +1,138 @@
+//===- SupportTest.cpp - Tests for the support library ---------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hash.h"
+#include "support/Rng.h"
+#include "support/StringUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace clfuzz;
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  unsigned Same = 0;
+  for (int I = 0; I != 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 5u);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I != 10000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(RngTest, BelowCoversAllResidues) {
+  Rng R(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 2000; ++I)
+    Seen.insert(R.below(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(RngTest, RangeInclusiveBounds) {
+  Rng R(3);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 5000; ++I) {
+    int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng R(5);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_FALSE(R.chance(0.0));
+    EXPECT_TRUE(R.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng R(19);
+  int Hits = 0;
+  for (int I = 0; I != 100000; ++I)
+    Hits += R.chance(0.25);
+  EXPECT_NEAR(Hits / 100000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng R(23);
+  for (unsigned N : {1u, 2u, 16u, 255u}) {
+    std::vector<unsigned> P = R.permutation(N);
+    ASSERT_EQ(P.size(), N);
+    std::vector<unsigned> Sorted = P;
+    std::sort(Sorted.begin(), Sorted.end());
+    for (unsigned I = 0; I != N; ++I)
+      EXPECT_EQ(Sorted[I], I);
+  }
+}
+
+TEST(RngTest, PickWeightedRespectsZeroWeights) {
+  Rng R(29);
+  std::vector<unsigned> Weights = {0, 5, 0, 1};
+  for (int I = 0; I != 1000; ++I) {
+    size_t Idx = R.pickWeighted(Weights);
+    EXPECT_TRUE(Idx == 1 || Idx == 3);
+  }
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng A(99);
+  Rng Child = A.fork();
+  unsigned Same = 0;
+  for (int I = 0; I != 100; ++I)
+    Same += A.next() == Child.next();
+  EXPECT_LT(Same, 5u);
+}
+
+TEST(HashTest, EmptyHashIsOffset) {
+  EXPECT_EQ(Fnv64().value(), Fnv64::Offset);
+}
+
+TEST(HashTest, OrderSensitive) {
+  EXPECT_NE(Fnv64().addU64(1).addU64(2).value(),
+            Fnv64().addU64(2).addU64(1).value());
+}
+
+TEST(HashTest, StringMatchesBytes) {
+  std::string S = "kernel";
+  EXPECT_EQ(fnv64(S), fnv64(S.data(), S.size()));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"x"}, ", "), "x");
+}
+
+TEST(StringUtilTest, Hex) { EXPECT_EQ(toHex(0xffff0001u), "0xffff0001"); }
+
+TEST(StringUtilTest, Pad) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcd", 2), "abcd");
+}
+
+TEST(StringUtilTest, CountCodeLines) {
+  std::string Src = "int x;\n\n// comment only\n  \t\nint y; // tail\n";
+  EXPECT_EQ(countCodeLines(Src), 2u);
+}
