@@ -12,6 +12,7 @@
 ///   --full        paper-scale test counts (slow)
 ///   --kernels=N   explicit override of the per-mode test count
 ///   --seed=N      campaign seed base
+///   --threads=N   ExecutionEngine workers (1 = serial, 0 = all cores)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +31,9 @@ struct HarnessArgs {
   bool Full = false;
   unsigned Kernels = 0; ///< 0 = harness default
   uint64_t Seed = 100000;
+  /// ExecutionEngine worker count (campaign tables are identical for
+  /// any value; this only changes wall-clock time).
+  unsigned Threads = 1;
 };
 
 inline HarnessArgs parseArgs(int Argc, char **Argv) {
@@ -41,6 +45,8 @@ inline HarnessArgs parseArgs(int Argc, char **Argv) {
       A.Kernels = static_cast<unsigned>(std::atoi(Argv[I] + 10));
     else if (std::strncmp(Argv[I], "--seed=", 7) == 0)
       A.Seed = static_cast<uint64_t>(std::atoll(Argv[I] + 7));
+    else if (std::strncmp(Argv[I], "--threads=", 10) == 0)
+      A.Threads = static_cast<unsigned>(std::atoi(Argv[I] + 10));
     else
       std::fprintf(stderr, "warning: unknown argument '%s'\n", Argv[I]);
   }

@@ -1,0 +1,120 @@
+//===- campaign_throughput.cpp - Serial vs parallel campaign speedup -----------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures ExecutionEngine scaling on the CLsmith differential-testing
+/// workload (the Table 4 inner loop): one batch of kernels over the
+/// above-threshold configurations at both opt levels, executed at
+/// several worker counts. For every thread count the harness verifies
+/// that the resulting table is bit-identical to the serial run (the
+/// engine's determinism contract) and reports cells/second plus the
+/// speedup over serial.
+///
+///   --kernels=N   kernels per run (default 12)
+///   --seed=N      campaign seed base
+///   --threads=N   highest worker count to sweep (default 4)
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "oracle/Campaign.h"
+#include "support/Hash.h"
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+using namespace clfuzz;
+using namespace clfuzz::bench;
+
+namespace {
+
+/// Fingerprints a campaign result so cross-thread-count runs can be
+/// compared for bit-identity.
+uint64_t fingerprint(const std::vector<ModeTable> &Tables) {
+  Fnv64 H;
+  for (const ModeTable &T : Tables) {
+    H.addU64(static_cast<uint64_t>(T.Mode));
+    H.addU64(T.NumTests);
+    for (const auto &[Key, Counts] : T.Cells) {
+      H.addU64(static_cast<uint64_t>(Key.ConfigId));
+      H.addU64(Key.Opt);
+      H.addU64(Counts.W);
+      H.addU64(Counts.BF);
+      H.addU64(Counts.C);
+      H.addU64(Counts.TO);
+      H.addU64(Counts.Pass);
+    }
+  }
+  return H.value();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  HarnessArgs Args = parseArgs(Argc, Argv);
+  unsigned Kernels = Args.Kernels ? Args.Kernels : 12;
+  unsigned MaxThreads = Args.Threads > 1 ? Args.Threads : 4;
+
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  std::vector<DeviceConfig> Above;
+  for (int Id : paperAboveThresholdIds())
+    Above.push_back(configById(Registry, Id));
+
+  CampaignSettings S;
+  S.KernelsPerMode = Kernels;
+  S.SeedBase = Args.Seed;
+  S.BaseGen.MinThreads = 48;
+  S.BaseGen.MaxThreads = 256;
+  std::vector<GenMode> Modes = {GenMode::Barrier, GenMode::All};
+
+  unsigned Cells =
+      Kernels * static_cast<unsigned>(Modes.size() * Above.size()) * 2;
+  std::printf("campaign throughput: %u kernels x 2 modes over %zu "
+              "configurations x {-, +} (%u cells per run)\n",
+              Kernels, Above.size(), Cells);
+  std::printf("hardware threads available: %u\n\n",
+              ExecOptions::withThreads(0).resolvedThreads());
+
+  std::vector<unsigned> Sweep = {1};
+  for (unsigned T = 2; T <= MaxThreads; T *= 2)
+    Sweep.push_back(T);
+  if (Sweep.back() != MaxThreads)
+    Sweep.push_back(MaxThreads);
+
+  std::printf("%-9s %12s %14s %10s  %s\n", "threads", "seconds",
+              "cells/sec", "speedup", "result");
+  printRule();
+
+  double SerialSecs = 0.0;
+  uint64_t SerialPrint = 0;
+  for (unsigned T : Sweep) {
+    S.Exec.Threads = T;
+    auto Start = std::chrono::steady_clock::now();
+    std::vector<ModeTable> Tables =
+        runDifferentialCampaign(Above, Modes, S);
+    std::chrono::duration<double> Elapsed =
+        std::chrono::steady_clock::now() - Start;
+
+    uint64_t Print = fingerprint(Tables);
+    if (T == 1) {
+      SerialSecs = Elapsed.count();
+      SerialPrint = Print;
+    }
+    bool Identical = Print == SerialPrint;
+    std::printf("%-9u %12.3f %14.1f %9.2fx  %s\n", T, Elapsed.count(),
+                Cells / Elapsed.count(),
+                SerialSecs / Elapsed.count(),
+                Identical ? "identical to serial"
+                          : "MISMATCH vs serial");
+    if (!Identical)
+      return 1;
+  }
+
+  std::printf("\n(speedup tracks physical core count; on a 1-core "
+              "host all rows time alike by construction)\n");
+  return 0;
+}

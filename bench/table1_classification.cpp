@@ -31,6 +31,7 @@ int main(int Argc, char **Argv) {
   CampaignSettings S;
   S.KernelsPerMode = PerMode;
   S.SeedBase = Args.Seed;
+  S.Exec.Threads = Args.Threads;
   S.BaseGen.MinThreads = 48;
   S.BaseGen.MaxThreads = 256;
 

@@ -36,6 +36,7 @@ int main(int Argc, char **Argv) {
   EmiCampaignSettings S;
   S.NumBases = Bases;
   S.Base.SeedBase = Args.Seed;
+  S.Base.Exec.Threads = Args.Threads;
   S.Base.BaseGen.MinThreads = 48;
   S.Base.BaseGen.MaxThreads = 192;
 

@@ -10,9 +10,17 @@
 /// majority voting, and prints each discovered miscompilation (which
 /// configuration deviated and on which kernel seed).
 ///
+/// The campaign cells run on the ExecutionEngine thread pool:
+///
+///   fuzz_campaign [num_kernels] [exec_threads]
+///
+/// exec_threads = 1 (default) is the serial path, 0 uses every core;
+/// the findings are identical either way — only wall-clock changes.
+///
 //===----------------------------------------------------------------------===//
 
 #include "device/DeviceConfig.h"
+#include "exec/ExecutionEngine.h"
 #include "gen/Generator.h"
 #include "oracle/Oracle.h"
 
@@ -22,40 +30,56 @@ using namespace clfuzz;
 
 int main(int Argc, char **Argv) {
   unsigned NumKernels = Argc > 1 ? std::atoi(Argv[1]) : 30;
+  unsigned Threads = Argc > 2 ? std::atoi(Argv[2]) : 1;
 
   std::vector<DeviceConfig> Zoo = buildConfigRegistry();
   std::vector<const DeviceConfig *> Configs = {
       &configById(Zoo, 1), &configById(Zoo, 12), &configById(Zoo, 14),
       &configById(Zoo, 19)};
 
+  ExecutionEngine Engine(ExecOptions::withThreads(Threads));
   std::printf("mini campaign: %u BARRIER kernels x {1, 12, 14, 19} x "
-              "{-, +}\n\n",
-              NumKernels);
+              "{-, +} on %u engine thread(s)\n\n",
+              NumKernels, Engine.threadCount());
 
-  unsigned Mismatches = 0;
-  for (unsigned K = 0; K != NumKernels; ++K) {
+  // Generate the batch (engine work), then submit every campaign cell
+  // at once; results come back keyed by submission index, so the
+  // report below is in seed order no matter how the pool schedules.
+  std::vector<TestCase> Tests(NumKernels);
+  Engine.forEachIndex(NumKernels, [&](size_t K) {
     GenOptions GO;
     GO.Mode = GenMode::Barrier;
     GO.Seed = 31337 + K;
-    TestCase T = TestCase::fromGenerated(generateKernel(GO));
+    Tests[K] = TestCase::fromGenerated(generateKernel(GO));
+  });
 
-    std::vector<RunOutcome> Outs;
+  const size_t CellsPerTest = Configs.size() * 2;
+  std::vector<ExecJob> Jobs;
+  Jobs.reserve(NumKernels * CellsPerTest);
+  for (const TestCase &T : Tests)
+    for (const DeviceConfig *C : Configs)
+      for (bool Opt : {false, true})
+        Jobs.push_back(ExecJob::onConfig(T, *C, Opt, RunSettings()));
+  std::vector<RunOutcome> Batch = Engine.runBatch(Jobs);
+
+  unsigned Mismatches = 0;
+  for (unsigned K = 0; K != NumKernels; ++K) {
+    std::vector<RunOutcome> Outs(
+        Batch.begin() + K * CellsPerTest,
+        Batch.begin() + (K + 1) * CellsPerTest);
     std::vector<std::string> Labels;
-    for (const DeviceConfig *C : Configs) {
-      for (bool Opt : {false, true}) {
-        Outs.push_back(runTestOnConfig(T, *C, Opt));
+    for (const DeviceConfig *C : Configs)
+      for (bool Opt : {false, true})
         Labels.push_back(std::to_string(C->Id) + (Opt ? "+" : "-"));
-      }
-    }
+
     std::vector<Verdict> Vs = classifyAgainstMajority(Outs);
     for (size_t I = 0; I != Vs.size(); ++I) {
       if (Vs[I] != Verdict::Wrong)
         continue;
       ++Mismatches;
-      std::printf("seed %llu: config %s disagrees with the majority "
+      std::printf("seed %u: config %s disagrees with the majority "
                   "(out[0]=%llx)\n",
-                  static_cast<unsigned long long>(GO.Seed),
-                  Labels[I].c_str(),
+                  31337 + K, Labels[I].c_str(),
                   Outs[I].OutputHead.empty()
                       ? 0ULL
                       : static_cast<unsigned long long>(

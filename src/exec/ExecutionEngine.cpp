@@ -1,0 +1,152 @@
+//===- ExecutionEngine.cpp - Parallel campaign execution ---------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecutionEngine.h"
+#include "device/DeviceConfig.h"
+
+#include <algorithm>
+
+using namespace clfuzz;
+
+unsigned ExecOptions::resolvedThreads() const {
+  if (Threads != 0)
+    return std::min(Threads, MaxThreads);
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : std::min(HW, MaxThreads);
+}
+
+RunOutcome clfuzz::runExecJob(const ExecJob &Job) {
+  if (Job.Config)
+    return runTestOnConfig(*Job.Test, *Job.Config, Job.Opt, Job.Settings);
+  return runTestOnReference(*Job.Test, Job.Opt, Job.Settings);
+}
+
+ExecutionEngine::ExecutionEngine(const ExecOptions &Opts)
+    : NumThreads(Opts.resolvedThreads()) {
+  // Serial engines never spawn workers; N threads means N-1 pool
+  // workers plus the submitting thread, which joins every batch.
+  for (unsigned I = 1; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ExecutionEngine::~ExecutionEngine() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ShuttingDown = true;
+  }
+  CV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ExecutionEngine::workerLoop() {
+  uint64_t SeenBatch = 0;
+  for (;;) {
+    const std::function<void(size_t)> *Work = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      CV.wait(Lock, [&] { return ShuttingDown || BatchId != SeenBatch; });
+      if (ShuttingDown)
+        return;
+      SeenBatch = BatchId;
+      Work = Body;
+    }
+    // Claim indices until the batch drains. Indices are claimed under
+    // the lock; the body runs outside it.
+    for (;;) {
+      size_t I;
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        // The batch-id check keeps a straggler from claiming indices
+        // of a batch submitted after its Work pointer was captured.
+        if (BatchId != SeenBatch || NextIndex >= EndIndex)
+          break;
+        I = NextIndex++;
+      }
+      std::exception_ptr Err;
+      try {
+        (*Work)(I);
+      } catch (...) {
+        Err = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        if (Err && !FirstError)
+          FirstError = Err;
+        if (++DoneCount == EndIndex)
+          DoneCV.notify_all();
+      }
+    }
+  }
+}
+
+void ExecutionEngine::forEachIndex(
+    size_t N, const std::function<void(size_t)> &BodyFn) {
+  if (N == 0)
+    return;
+  if (NumThreads == 1 || N == 1) {
+    // ExecPolicy::Serial (and trivial batches): the pre-engine inline
+    // path, no synchronisation at all.
+    for (size_t I = 0; I != N; ++I)
+      BodyFn(I);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Body = &BodyFn;
+    NextIndex = 0;
+    EndIndex = N;
+    DoneCount = 0;
+    FirstError = nullptr;
+    ++BatchId;
+  }
+  CV.notify_all();
+
+  // The submitting thread works the queue too, then waits for the
+  // stragglers held by pool workers.
+  for (;;) {
+    size_t I;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (NextIndex >= EndIndex)
+        break;
+      I = NextIndex++;
+    }
+    std::exception_ptr Err;
+    try {
+      BodyFn(I);
+    } catch (...) {
+      Err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (Err && !FirstError)
+        FirstError = Err;
+      ++DoneCount;
+    }
+  }
+
+  std::exception_ptr Pending;
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    DoneCV.wait(Lock, [&] { return DoneCount == EndIndex; });
+    Body = nullptr;
+    Pending = FirstError;
+    FirstError = nullptr;
+  }
+  if (Pending)
+    std::rethrow_exception(Pending);
+}
+
+std::vector<RunOutcome>
+ExecutionEngine::runBatch(const std::vector<ExecJob> &Jobs) {
+  std::vector<RunOutcome> Results(Jobs.size());
+  forEachIndex(Jobs.size(),
+               [&](size_t I) { Results[I] = runExecJob(Jobs[I]); });
+  return Results;
+}

@@ -1,0 +1,143 @@
+//===- ExecutionEngine.h - Parallel campaign execution ----------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A work-queue + thread-pool execution engine for campaign cells. The
+/// paper's experiments are embarrassingly parallel — every
+/// (kernel, configuration, opt level) run is an independent pure
+/// function of its inputs — yet the seed reproduction executed them in
+/// sequential nested loops. This engine promotes that execution to a
+/// first-class subsystem:
+///
+///  * a batch of ExecJob cells is distributed over persistent worker
+///    threads through a shared index queue;
+///  * results land in a slot vector keyed by the job's submission
+///    index, never by completion order, so the aggregated output is
+///    bit-identical to a serial run regardless of thread count or OS
+///    scheduling;
+///  * ExecOptions::Threads == 1 (ExecPolicy::Serial) bypasses the pool
+///    entirely and runs inline on the caller's thread, preserving the
+///    old code path;
+///  * jobs must not share mutable state: anything random a job needs is
+///    derived up front via Rng::forkForJob(index), and the driver /
+///    VM / generator stack below runTestOnConfig is audited to keep all
+///    per-run state job-local.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_EXEC_EXECUTIONENGINE_H
+#define CLFUZZ_EXEC_EXECUTIONENGINE_H
+
+#include "device/Driver.h"
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace clfuzz {
+
+/// How the engine schedules a batch.
+enum class ExecPolicy : uint8_t {
+  Serial,   ///< inline on the calling thread (the pre-engine path)
+  Parallel, ///< thread-pooled over ExecOptions::Threads workers
+};
+
+/// Engine tuning, threaded through campaign / reducer settings.
+struct ExecOptions {
+  /// Worker count: 1 = serial inline execution, 0 = one worker per
+  /// hardware thread, N = exactly N workers (clamped to MaxThreads —
+  /// campaign results are thread-count-invariant, so clamping never
+  /// changes output, only protects against nonsense like a negative
+  /// CLI value cast to unsigned).
+  unsigned Threads = 1;
+
+  /// Upper bound resolvedThreads() clamps to.
+  static constexpr unsigned MaxThreads = 256;
+
+  ExecPolicy policy() const {
+    return Threads == 1 ? ExecPolicy::Serial : ExecPolicy::Parallel;
+  }
+  /// Threads with 0 resolved to the hardware concurrency.
+  unsigned resolvedThreads() const;
+
+  static ExecOptions serial() { return ExecOptions{1}; }
+  static ExecOptions withThreads(unsigned N) { return ExecOptions{N}; }
+};
+
+/// One campaign cell: a test to run on a configuration (or on the
+/// clean reference when Config is null) at one opt level.
+struct ExecJob {
+  const TestCase *Test = nullptr;
+  const DeviceConfig *Config = nullptr; ///< null = reference run
+  bool Opt = false;
+  RunSettings Settings;
+
+  static ExecJob onConfig(const TestCase &T, const DeviceConfig &C,
+                          bool Opt, const RunSettings &S) {
+    return ExecJob{&T, &C, Opt, S};
+  }
+  static ExecJob onReference(const TestCase &T, bool Opt,
+                             const RunSettings &S) {
+    return ExecJob{&T, nullptr, Opt, S};
+  }
+};
+
+/// Executes one job on the calling thread (pure; used by the engine's
+/// workers and directly by serial fallbacks).
+RunOutcome runExecJob(const ExecJob &Job);
+
+/// The thread pool. Workers are spawned once in the constructor and
+/// parked on a condition variable between batches, so per-batch
+/// overhead is a couple of notifications rather than thread churn.
+class ExecutionEngine {
+public:
+  explicit ExecutionEngine(const ExecOptions &Opts = ExecOptions());
+  ~ExecutionEngine();
+
+  ExecutionEngine(const ExecutionEngine &) = delete;
+  ExecutionEngine &operator=(const ExecutionEngine &) = delete;
+
+  /// Worker count the engine resolved to (>= 1; 1 means serial).
+  unsigned threadCount() const { return NumThreads; }
+
+  /// Runs \p Body(I) for every I in [0, N). Iterations may run
+  /// concurrently and MUST be independent: \p Body may only write
+  /// state owned by its own index (e.g. its slot of a result vector).
+  /// Blocks until every iteration finished. If any iteration throws,
+  /// the first exception (in completion order) is rethrown here after
+  /// the batch drains.
+  void forEachIndex(size_t N, const std::function<void(size_t)> &Body);
+
+  /// Runs a batch of campaign cells. Results[I] is Jobs[I]'s outcome —
+  /// keyed by submission index, never completion order, so the output
+  /// is bit-identical to a serial loop over the same jobs.
+  std::vector<RunOutcome> runBatch(const std::vector<ExecJob> &Jobs);
+
+private:
+  void workerLoop();
+
+  unsigned NumThreads = 1;
+  std::vector<std::thread> Workers;
+
+  // Batch state, guarded by M / CV (workers) and DoneCV (submitter).
+  std::mutex M;
+  std::condition_variable CV;
+  std::condition_variable DoneCV;
+  const std::function<void(size_t)> *Body = nullptr;
+  size_t NextIndex = 0;
+  size_t EndIndex = 0;
+  size_t DoneCount = 0;
+  uint64_t BatchId = 0;
+  std::exception_ptr FirstError;
+  bool ShuttingDown = false;
+};
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_EXEC_EXECUTIONENGINE_H

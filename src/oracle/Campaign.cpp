@@ -4,40 +4,109 @@
 // Fuzzing" (PLDI 2015).
 //
 //===----------------------------------------------------------------------===//
+//
+// All three campaign drivers submit their (kernel, configuration, opt)
+// cells to the ExecutionEngine instead of looping inline. Batches are
+// aggregated strictly by submission index, so a campaign's tables are
+// bit-identical for any worker count; Settings.Exec.Threads == 1
+// reproduces the historical serial path exactly.
+//
+//===----------------------------------------------------------------------===//
 
 #include "oracle/Campaign.h"
 #include "support/Rng.h"
+
+#include <algorithm>
 
 using namespace clfuzz;
 
 namespace {
 
 /// Generates the campaign's test set for one mode, optionally
-/// pre-filtering on configuration 1+ as §7.3 prescribes.
+/// pre-filtering on configuration 1+ as §7.3 prescribes. Candidate
+/// generation and the prefilter runs execute as engine jobs in waves;
+/// acceptance scans the wave in seed order, so the chosen set matches
+/// a serial scan of the same seed sequence for any thread count.
 std::vector<TestCase>
 generateTestSet(GenMode Mode, const CampaignSettings &Settings,
-                const DeviceConfig *Config1) {
+                const DeviceConfig *Config1, ExecutionEngine &Engine) {
   std::vector<TestCase> Tests;
   uint64_t Seed = Settings.SeedBase +
                   static_cast<uint64_t>(Mode) * 1000003ULL;
   unsigned Attempts = 0;
+  const unsigned MaxAttempts = Settings.KernelsPerMode * 4;
+  const bool Filter = Settings.PrefilterOnConfig1 && Config1;
+
   while (Tests.size() < Settings.KernelsPerMode &&
-         Attempts < Settings.KernelsPerMode * 4) {
-    ++Attempts;
-    GenOptions GO = Settings.BaseGen;
-    GO.Mode = Mode;
-    GO.Seed = Seed++;
-    TestCase T = TestCase::fromGenerated(generateKernel(GO));
-    if (Settings.PrefilterOnConfig1 && Config1) {
-      RunOutcome O = runTestOnConfig(T, *Config1, /*OptEnabled=*/true,
-                                     Settings.Run);
-      if (O.Status == RunStatus::BuildFailure ||
-          O.Status == RunStatus::Timeout)
-        continue;
+         Attempts < MaxAttempts) {
+    unsigned Needed =
+        Settings.KernelsPerMode - static_cast<unsigned>(Tests.size());
+    unsigned Wave = std::min(MaxAttempts - Attempts,
+                             std::max(Needed, Engine.threadCount()));
+
+    std::vector<TestCase> Candidates(Wave);
+    std::vector<uint8_t> Accepted(Wave, 1);
+    Engine.forEachIndex(Wave, [&](size_t I) {
+      GenOptions GO = Settings.BaseGen;
+      GO.Mode = Mode;
+      GO.Seed = Seed + I;
+      Candidates[I] = TestCase::fromGenerated(generateKernel(GO));
+      if (Filter) {
+        RunOutcome O = runExecJob(ExecJob::onConfig(
+            Candidates[I], *Config1, /*Opt=*/true, Settings.Run));
+        if (O.Status == RunStatus::BuildFailure ||
+            O.Status == RunStatus::Timeout)
+          Accepted[I] = 0;
+      }
+    });
+
+    for (unsigned I = 0;
+         I != Wave && Tests.size() < Settings.KernelsPerMode; ++I) {
+      ++Attempts;
+      if (Accepted[I])
+        Tests.push_back(std::move(Candidates[I]));
     }
-    Tests.push_back(std::move(T));
+    Seed += Wave;
   }
   return Tests;
+}
+
+/// Submits every (test, config, opt) cell of one mode and returns the
+/// outcomes, indexed [test * cells + cell]. Tests are batched in
+/// groups sized to keep every worker busy, and \p OnTestsDone (tests
+/// finished so far in this mode) fires on the calling thread between
+/// groups, so a Progress consumer sees a live campaign rather than one
+/// jump at the end of the mode. With a serial engine the group size is
+/// one test — the historical per-test progress cadence.
+std::vector<RunOutcome>
+runModeBatch(const std::vector<TestCase> &Tests,
+             const std::vector<DeviceConfig> &Configs,
+             const RunSettings &Run, ExecutionEngine &Engine,
+             const std::function<void(unsigned)> &OnTestsDone) {
+  const size_t CellsPerTest = Configs.size() * 2;
+  std::vector<RunOutcome> All;
+  All.reserve(Tests.size() * CellsPerTest);
+
+  const size_t GroupTests =
+      Engine.threadCount() == 1
+          ? 1
+          : std::max<size_t>(1, Engine.threadCount() * 8 /
+                                    std::max<size_t>(CellsPerTest, 1));
+  for (size_t Start = 0; Start < Tests.size(); Start += GroupTests) {
+    size_t N = std::min(GroupTests, Tests.size() - Start);
+    std::vector<ExecJob> Jobs;
+    Jobs.reserve(N * CellsPerTest);
+    for (size_t TI = Start; TI != Start + N; ++TI)
+      for (const DeviceConfig &C : Configs)
+        for (bool Opt : {false, true})
+          Jobs.push_back(ExecJob::onConfig(Tests[TI], C, Opt, Run));
+    std::vector<RunOutcome> Group = Engine.runBatch(Jobs);
+    All.insert(All.end(), std::make_move_iterator(Group.begin()),
+               std::make_move_iterator(Group.end()));
+    if (OnTestsDone)
+      OnTestsDone(static_cast<unsigned>(Start + N));
+  }
+  return All;
 }
 
 } // namespace
@@ -50,37 +119,40 @@ std::vector<ModeTable> clfuzz::runDifferentialCampaign(
     if (C.Id == 1)
       Config1 = &C;
 
+  ExecutionEngine Engine(Settings.Exec);
+
   unsigned TotalTests =
       static_cast<unsigned>(Modes.size()) * Settings.KernelsPerMode;
   unsigned Done = 0;
+  const size_t CellsPerTest = Configs.size() * 2;
 
   std::vector<ModeTable> Tables;
   for (GenMode Mode : Modes) {
     ModeTable Table;
     Table.Mode = Mode;
     std::vector<TestCase> Tests =
-        generateTestSet(Mode, Settings, Config1);
+        generateTestSet(Mode, Settings, Config1, Engine);
     Table.NumTests = static_cast<unsigned>(Tests.size());
 
-    for (const TestCase &T : Tests) {
-      // Run the kernel on every (config, opt) pair, then vote over the
-      // whole result set (the paper votes "among all the results
-      // computed for the kernel").
-      std::vector<RunOutcome> Outcomes;
-      std::vector<ConfigKey> Keys;
-      for (const DeviceConfig &C : Configs) {
-        for (bool Opt : {false, true}) {
-          Outcomes.push_back(runTestOnConfig(T, C, Opt, Settings.Run));
-          Keys.push_back(ConfigKey{C.Id, Opt});
-        }
-      }
+    std::vector<RunOutcome> Batch = runModeBatch(
+        Tests, Configs, Settings.Run, Engine, [&](unsigned InMode) {
+          if (Settings.Progress)
+            Settings.Progress(Done + InMode, TotalTests);
+        });
+
+    // Vote per test over the whole result set (the paper votes "among
+    // all the results computed for the kernel"), in submission order.
+    for (size_t TI = 0; TI != Tests.size(); ++TI) {
+      std::vector<RunOutcome> Outcomes(
+          Batch.begin() + TI * CellsPerTest,
+          Batch.begin() + (TI + 1) * CellsPerTest);
       std::vector<Verdict> Verdicts = classifyAgainstMajority(Outcomes);
-      for (size_t I = 0; I != Keys.size(); ++I)
-        Table.Cells[Keys[I]].add(Verdicts[I]);
-      ++Done;
-      if (Settings.Progress)
-        Settings.Progress(Done, TotalTests);
+      size_t VI = 0;
+      for (const DeviceConfig &C : Configs)
+        for (bool Opt : {false, true})
+          Table.Cells[ConfigKey{C.Id, Opt}].add(Verdicts[VI++]);
     }
+    Done += static_cast<unsigned>(Tests.size());
     Tables.push_back(std::move(Table));
   }
   return Tables;
@@ -98,27 +170,31 @@ clfuzz::classifyConfigurations(const std::vector<DeviceConfig> &Configs,
   CampaignSettings S = Settings;
   S.PrefilterOnConfig1 = false; // the initial set is unfiltered (§7.1)
 
+  ExecutionEngine Engine(S.Exec);
+
   std::map<int, OutcomeCounts> PerConfig;
   unsigned TotalTests = 6 * S.KernelsPerMode;
   unsigned Done = 0;
+  const size_t CellsPerTest = Configs.size() * 2;
   for (GenMode Mode : AllModes) {
-    std::vector<TestCase> Tests = generateTestSet(Mode, S, nullptr);
-    for (const TestCase &T : Tests) {
-      std::vector<RunOutcome> Outcomes;
-      std::vector<int> Ids;
-      for (const DeviceConfig &C : Configs) {
-        for (bool Opt : {false, true}) {
-          Outcomes.push_back(runTestOnConfig(T, C, Opt, S.Run));
-          Ids.push_back(C.Id);
-        }
-      }
+    std::vector<TestCase> Tests =
+        generateTestSet(Mode, S, nullptr, Engine);
+    std::vector<RunOutcome> Batch =
+        runModeBatch(Tests, Configs, S.Run, Engine, [&](unsigned InMode) {
+          if (S.Progress)
+            S.Progress(Done + InMode, TotalTests);
+        });
+    for (size_t TI = 0; TI != Tests.size(); ++TI) {
+      std::vector<RunOutcome> Outcomes(
+          Batch.begin() + TI * CellsPerTest,
+          Batch.begin() + (TI + 1) * CellsPerTest);
       std::vector<Verdict> Verdicts = classifyAgainstMajority(Outcomes);
-      for (size_t I = 0; I != Ids.size(); ++I)
-        PerConfig[Ids[I]].add(Verdicts[I]);
-      ++Done;
-      if (S.Progress)
-        S.Progress(Done, TotalTests);
+      size_t VI = 0;
+      for (const DeviceConfig &C : Configs)
+        for (bool Opt : {false, true})
+          PerConfig[C.Id].add(Verdicts[VI++]);
     }
+    Done += static_cast<unsigned>(Tests.size());
   }
 
   std::vector<ReliabilityRow> Rows;
@@ -137,35 +213,66 @@ clfuzz::runEmiCampaign(const std::vector<DeviceConfig> &Configs,
                        const EmiCampaignSettings &Settings,
                        unsigned &UsableBases) {
   const CampaignSettings &CS = Settings.Base;
+  ExecutionEngine Engine(CS.Exec);
 
-  // --- collect usable base programs (§7.4)
+  // --- collect usable base programs (§7.4). Each candidate needs two
+  // reference runs (normal and dead-array-inverted); candidates are
+  // evaluated in waves and accepted in seed order, so the base set is
+  // thread-count-invariant. The per-candidate block-count draw comes
+  // from Rng::forkForJob so no wave job shares random state. Note this
+  // reseeds base sampling relative to the pre-engine code (which
+  // advanced one sequential stream per attempt): the same SeedBase
+  // selects a different base set than before this refactor, at every
+  // thread count — the invariance guarantee is across thread counts,
+  // not across that code change.
   std::vector<GenOptions> Bases;
   uint64_t Seed = CS.SeedBase + 777;
   unsigned Attempts = 0;
-  Rng BlockCount(CS.SeedBase ^ 0xb10cULL);
-  while (Bases.size() < Settings.NumBases &&
-         Attempts < Settings.NumBases * 8) {
-    ++Attempts;
-    GenOptions GO = CS.BaseGen;
-    GO.Mode = GenMode::All;
-    GO.Seed = Seed++;
-    GO.NumEmiBlocks = static_cast<unsigned>(BlockCount.range(
-        Settings.MinEmiBlocks, Settings.MaxEmiBlocks));
-    TestCase T = TestCase::fromGenerated(generateKernel(GO));
+  const unsigned MaxAttempts = Settings.NumBases * 8;
+  const Rng BlockCount(CS.SeedBase ^ 0xb10cULL);
 
-    // The base must compute a value on the reference.
-    RunOutcome Normal = runTestOnReference(T, /*Optimize=*/true, CS.Run);
-    if (!Normal.ok())
-      continue;
-    // Inverting the dead array must change the result: otherwise every
-    // EMI block sits in code that is already dead and variants cannot
-    // exercise anything (§7.4 discards such candidates).
-    RunSettings Inverted = CS.Run;
-    Inverted.InvertDead = true;
-    RunOutcome Live = runTestOnReference(T, true, Inverted);
-    if (Live.ok() && Live.OutputHash == Normal.OutputHash)
-      continue;
-    Bases.push_back(GO);
+  while (Bases.size() < Settings.NumBases && Attempts < MaxAttempts) {
+    unsigned Needed =
+        Settings.NumBases - static_cast<unsigned>(Bases.size());
+    unsigned Wave = std::min(MaxAttempts - Attempts,
+                             std::max(Needed, Engine.threadCount()));
+
+    std::vector<GenOptions> Candidates(Wave);
+    std::vector<uint8_t> Usable(Wave, 0);
+    Engine.forEachIndex(Wave, [&](size_t I) {
+      GenOptions GO = CS.BaseGen;
+      GO.Mode = GenMode::All;
+      GO.Seed = Seed + I;
+      Rng JobRng = BlockCount.forkForJob(Attempts + I);
+      GO.NumEmiBlocks = static_cast<unsigned>(JobRng.range(
+          Settings.MinEmiBlocks, Settings.MaxEmiBlocks));
+      Candidates[I] = GO;
+      TestCase T = TestCase::fromGenerated(generateKernel(GO));
+
+      // The base must compute a value on the reference.
+      RunOutcome Normal =
+          runExecJob(ExecJob::onReference(T, /*Opt=*/true, CS.Run));
+      if (!Normal.ok())
+        return;
+      // Inverting the dead array must change the result: otherwise
+      // every EMI block sits in code that is already dead and variants
+      // cannot exercise anything (§7.4 discards such candidates).
+      RunSettings Inverted = CS.Run;
+      Inverted.InvertDead = true;
+      RunOutcome Live =
+          runExecJob(ExecJob::onReference(T, /*Opt=*/true, Inverted));
+      if (Live.ok() && Live.OutputHash == Normal.OutputHash)
+        return;
+      Usable[I] = 1;
+    });
+
+    for (unsigned I = 0;
+         I != Wave && Bases.size() < Settings.NumBases; ++I) {
+      ++Attempts;
+      if (Usable[I])
+        Bases.push_back(Candidates[I]);
+    }
+    Seed += Wave;
   }
   UsableBases = static_cast<unsigned>(Bases.size());
 
@@ -180,17 +287,31 @@ clfuzz::runEmiCampaign(const std::vector<DeviceConfig> &Configs,
   unsigned Done = 0;
   for (const GenOptions &BaseGO : Bases) {
     std::vector<PruneOptions> Sweep = paperPruneSweep(BaseGO.Seed * 41);
-    std::vector<TestCase> Variants;
-    Variants.reserve(Sweep.size());
-    for (const PruneOptions &P : Sweep)
-      Variants.push_back(makeEmiVariant(BaseGO, P));
 
+    // Variant construction (regenerate + prune) is pure per variant
+    // and CPU-heavy, so it runs through the engine too.
+    std::vector<TestCase> Variants(Sweep.size());
+    Engine.forEachIndex(Sweep.size(), [&](size_t I) {
+      Variants[I] = makeEmiVariant(BaseGO, Sweep[I]);
+    });
+
+    // One batch for the base's whole (config, opt, variant) cube,
+    // indexed [cell * variants + variant].
+    std::vector<ExecJob> Jobs;
+    Jobs.reserve(Configs.size() * 2 * Variants.size());
+    for (const DeviceConfig &C : Configs)
+      for (bool Opt : {false, true})
+        for (const TestCase &V : Variants)
+          Jobs.push_back(ExecJob::onConfig(V, C, Opt, CS.Run));
+    std::vector<RunOutcome> Batch = Engine.runBatch(Jobs);
+
+    size_t Cell = 0;
     for (const DeviceConfig &C : Configs) {
       for (bool Opt : {false, true}) {
-        std::vector<RunOutcome> Outcomes;
-        Outcomes.reserve(Variants.size());
-        for (const TestCase &V : Variants)
-          Outcomes.push_back(runTestOnConfig(V, C, Opt, CS.Run));
+        std::vector<RunOutcome> Outcomes(
+            Batch.begin() + Cell * Variants.size(),
+            Batch.begin() + (Cell + 1) * Variants.size());
+        ++Cell;
         EmiBaseVerdict Verdict = classifyEmiVariants(Outcomes);
         EmiCampaignColumn &Col = Columns[ConfigKey{C.Id, Opt}];
         Col.BaseFails += Verdict.BadBase;

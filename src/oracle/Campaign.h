@@ -25,6 +25,7 @@
 #define CLFUZZ_ORACLE_CAMPAIGN_H
 
 #include "emi/Emi.h"
+#include "exec/ExecutionEngine.h"
 #include "oracle/Oracle.h"
 
 #include <functional>
@@ -51,7 +52,16 @@ struct CampaignSettings {
   /// (§7.3; keeps NVIDIA bf artificially at zero, as the paper notes).
   bool PrefilterOnConfig1 = true;
   uint64_t SeedBase = 100000;
-  /// Optional progress callback (tests completed, total).
+  /// Campaign cell scheduling: Exec.Threads == 1 runs cells inline on
+  /// the calling thread; more workers run them concurrently with
+  /// results aggregated by submission index, so the tables are
+  /// identical for any thread count. (EMI base sampling draws per-job
+  /// random streams via Rng::forkForJob, so Table 5 results for a
+  /// given seed differ from the pre-engine sequential code — but not
+  /// between thread counts.)
+  ExecOptions Exec;
+  /// Optional progress callback (tests completed, total). Always
+  /// invoked from the campaign's calling thread.
   std::function<void(unsigned, unsigned)> Progress;
 };
 

@@ -191,6 +191,22 @@ TestCase clfuzz::reduceTest(
   RunSettings Validate = Opts.Run;
   Validate.DetectRaces = true;
 
+  ExecutionEngine Engine(Opts.Exec);
+  // Serial engines evaluate one candidate at a time (the historical
+  // early-exit loop); parallel engines speculate a chunk ahead and
+  // keep the first-in-order success, which replays the serial
+  // acceptance sequence exactly because every evaluation is a pure
+  // function of (Best.Source, mutation).
+  const size_t Chunk =
+      Engine.threadCount() == 1 ? 1 : Engine.threadCount() * size_t(2);
+
+  /// One speculative evaluation result.
+  struct CandidateResult {
+    bool Counted = false; ///< non-empty, actually-different candidate
+    bool Good = false;    ///< validated and still interesting
+    std::string Source;
+  };
+
   bool Progress = true;
   while (Progress && Local.CandidatesTried < Opts.MaxCandidates) {
     Progress = false;
@@ -202,30 +218,50 @@ TestCase clfuzz::reduceTest(
     std::vector<Mutation> Mutations;
     collectMutations(Ctx.program(), Mutations);
 
-    for (const Mutation &M : Mutations) {
-      if (Local.CandidatesTried >= Opts.MaxCandidates)
-        break;
-      std::string NewSource = applyMutation(Best.Source, M);
-      if (NewSource.empty() || NewSource == Best.Source)
-        continue;
-      ++Local.CandidatesTried;
+    bool Budget = true;
+    for (size_t Start = 0; Start < Mutations.size() && Budget && !Progress;
+         Start += Chunk) {
+      size_t N = std::min(Chunk, Mutations.size() - Start);
+      std::vector<CandidateResult> Results(N);
+      Engine.forEachIndex(N, [&](size_t I) {
+        CandidateResult &R = Results[I];
+        R.Source = applyMutation(Best.Source, Mutations[Start + I]);
+        if (R.Source.empty() || R.Source == Best.Source)
+          return;
+        R.Counted = true;
 
-      TestCase Candidate = Best;
-      Candidate.Source = std::move(NewSource);
+        TestCase Candidate = Best;
+        Candidate.Source = R.Source;
 
-      // Concurrency-aware validation: the candidate must stay a clean,
-      // race-free, divergence-free deterministic kernel.
-      RunOutcome Ref = runTestOnReference(Candidate, /*Optimize=*/false,
-                                          Validate);
-      if (!Ref.ok() || Ref.RaceFound)
-        continue;
-      if (!StillInteresting(Candidate))
-        continue;
+        // Concurrency-aware validation: the candidate must stay a
+        // clean, race-free, divergence-free deterministic kernel.
+        RunOutcome Ref = runTestOnReference(Candidate,
+                                            /*Optimize=*/false, Validate);
+        if (!Ref.ok() || Ref.RaceFound)
+          return;
+        if (!StillInteresting(Candidate))
+          return;
+        R.Good = true;
+      });
 
-      Best = std::move(Candidate);
-      ++Local.CandidatesKept;
-      Progress = true;
-      break; // re-enumerate over the smaller program
+      // Replay the chunk in enumeration order with serial semantics;
+      // speculative work past the first acceptance (or past the
+      // candidate budget) is discarded unobserved.
+      for (size_t I = 0; I != N; ++I) {
+        if (Local.CandidatesTried >= Opts.MaxCandidates) {
+          Budget = false;
+          break;
+        }
+        if (!Results[I].Counted)
+          continue;
+        ++Local.CandidatesTried;
+        if (!Results[I].Good)
+          continue;
+        Best.Source = std::move(Results[I].Source);
+        ++Local.CandidatesKept;
+        Progress = true;
+        break; // re-enumerate over the smaller program
+      }
     }
   }
 

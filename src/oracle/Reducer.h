@@ -25,6 +25,7 @@
 #define CLFUZZ_ORACLE_REDUCER_H
 
 #include "device/Driver.h"
+#include "exec/ExecutionEngine.h"
 
 #include <functional>
 
@@ -35,6 +36,14 @@ struct ReducerOptions {
   /// Upper bound on candidate evaluations.
   unsigned MaxCandidates = 400;
   RunSettings Run;
+  /// Candidate evaluation scheduling. With more than one worker,
+  /// candidates are evaluated speculatively in chunks and the
+  /// first-in-enumeration-order success is kept, so the reduction
+  /// sequence (and the stats) match a serial run exactly; the
+  /// StillInteresting predicate must then be thread-safe (the usual
+  /// "this configuration still miscompiles it" predicate is a pure
+  /// driver run, which is).
+  ExecOptions Exec;
 };
 
 /// Statistics from one reduction.

@@ -100,3 +100,12 @@ Rng Rng::fork() {
   uint64_t A = next(), B = next();
   return Rng(A ^ rotl(B, 32) ^ 0xa5a5a5a5a5a5a5a5ULL);
 }
+
+Rng Rng::forkForJob(uint64_t JobIndex) const {
+  // const: peek at the state without stepping it, then mix in the job
+  // index through splitmix so adjacent indices yield unrelated streams.
+  uint64_t Mix = State[0] ^ rotl(State[2], 17) ^
+                 (JobIndex + 0x9e3779b97f4a7c15ULL);
+  uint64_t S = Mix;
+  return Rng(splitmix64(S) ^ rotl(JobIndex, 29));
+}

@@ -64,6 +64,15 @@ public:
   /// child are decorrelated from the parent's subsequent output.
   Rng fork();
 
+  /// Derives an independent child generator for job \p JobIndex without
+  /// advancing this generator's state. Use this at every site that
+  /// hands random state to an ExecutionEngine job: unlike a plain copy
+  /// (which would give every job the same stream) or sharing (which
+  /// would race), the child stream depends only on the parent state and
+  /// the index, so results are identical regardless of how many worker
+  /// threads run the jobs or in which order they finish.
+  Rng forkForJob(uint64_t JobIndex) const;
+
 private:
   uint64_t State[4];
 };

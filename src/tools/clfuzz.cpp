@@ -14,9 +14,14 @@
 ///   clfuzz hunt  --mode=M --count=N              mini campaign
 ///   clfuzz configs                               list the zoo
 ///
+/// `diff` and `hunt` accept --exec-threads=N to run their campaign
+/// cells on the ExecutionEngine's thread pool (1 = serial, 0 = one
+/// worker per core); findings are identical for any thread count.
+///
 //===----------------------------------------------------------------------===//
 
 #include "device/DeviceConfig.h"
+#include "exec/ExecutionEngine.h"
 #include "gen/Generator.h"
 #include "oracle/Oracle.h"
 #include "support/StringUtil.h"
@@ -143,17 +148,24 @@ int cmdRun(const CliArgs &A) {
   return O.ok() ? 0 : 1;
 }
 
+ExecOptions execOptionsFrom(const CliArgs &A) {
+  return ExecOptions::withThreads(
+      static_cast<unsigned>(A.getInt("exec-threads", 1)));
+}
+
 int cmdDiff(const CliArgs &A) {
   TestCase T = TestCase::fromGenerated(generateKernel(genOptionsFrom(A)));
   std::vector<DeviceConfig> Zoo = buildConfigRegistry();
-  std::vector<RunOutcome> Outs;
+  ExecutionEngine Engine(execOptionsFrom(A));
+  std::vector<ExecJob> Jobs;
   std::vector<std::string> Labels;
   for (const DeviceConfig &C : Zoo) {
     for (bool Opt : {false, true}) {
-      Outs.push_back(runTestOnConfig(T, C, Opt));
+      Jobs.push_back(ExecJob::onConfig(T, C, Opt, RunSettings()));
       Labels.push_back(std::to_string(C.Id) + (Opt ? "+" : "-"));
     }
   }
+  std::vector<RunOutcome> Outs = Engine.runBatch(Jobs);
   std::vector<Verdict> Vs = classifyAgainstMajority(Outs);
   unsigned Wrong = 0;
   for (size_t I = 0; I != Vs.size(); ++I) {
@@ -179,27 +191,43 @@ int cmdHunt(const CliArgs &A) {
   for (int Id : paperAboveThresholdIds())
     Targets.push_back(&configById(Zoo, Id));
 
-  unsigned Findings = 0;
-  for (unsigned K = 0; K != Count; ++K) {
+  ExecutionEngine Engine(execOptionsFrom(A));
+
+  // Kernel generation is engine work too, then every (kernel, config,
+  // opt) cell goes out as one batch; report order follows seed order.
+  std::vector<TestCase> Tests(Count);
+  Engine.forEachIndex(Count, [&](size_t K) {
     GenOptions GO;
     GO.Mode = Mode;
     GO.Seed = Seed + K;
-    TestCase T = TestCase::fromGenerated(generateKernel(GO));
-    std::vector<RunOutcome> Outs;
-    std::vector<std::string> Labels;
-    for (const DeviceConfig *C : Targets) {
-      for (bool Opt : {false, true}) {
-        Outs.push_back(runTestOnConfig(T, *C, Opt));
-        Labels.push_back(std::to_string(C->Id) + (Opt ? "+" : "-"));
-      }
-    }
+    Tests[K] = TestCase::fromGenerated(generateKernel(GO));
+  });
+
+  std::vector<std::string> Labels;
+  for (const DeviceConfig *C : Targets)
+    for (bool Opt : {false, true})
+      Labels.push_back(std::to_string(C->Id) + (Opt ? "+" : "-"));
+
+  std::vector<ExecJob> Jobs;
+  Jobs.reserve(Count * Labels.size());
+  for (const TestCase &T : Tests)
+    for (const DeviceConfig *C : Targets)
+      for (bool Opt : {false, true})
+        Jobs.push_back(ExecJob::onConfig(T, *C, Opt, RunSettings()));
+  std::vector<RunOutcome> Batch = Engine.runBatch(Jobs);
+
+  unsigned Findings = 0;
+  for (unsigned K = 0; K != Count; ++K) {
+    std::vector<RunOutcome> Outs(
+        Batch.begin() + K * Labels.size(),
+        Batch.begin() + (K + 1) * Labels.size());
     std::vector<Verdict> Vs = classifyAgainstMajority(Outs);
     for (size_t I = 0; I != Vs.size(); ++I) {
       if (Vs[I] != Verdict::Wrong)
         continue;
       ++Findings;
       std::printf("seed %llu: wrong code on config %s\n",
-                  static_cast<unsigned long long>(GO.Seed),
+                  static_cast<unsigned long long>(Seed + K),
                   Labels[I].c_str());
     }
   }
@@ -217,7 +245,9 @@ int usage() {
       "  run     --seed=N [--config=ID] [--opt] run one kernel\n"
       "  diff    --seed=N [--mode=M]           run across the whole zoo\n"
       "  hunt    --mode=M --count=N [--seed=N] mini differential campaign\n"
-      "  configs                                list the 21 configurations\n");
+      "  configs                                list the 21 configurations\n"
+      "diff/hunt also take --exec-threads=N (1 = serial, 0 = all "
+      "cores)\n");
   return 2;
 }
 
