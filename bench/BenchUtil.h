@@ -12,12 +12,21 @@
 ///   --full        paper-scale test counts (slow)
 ///   --kernels=N   explicit override of the per-mode test count
 ///   --seed=N      campaign seed base
-///   --threads=N   ExecutionEngine workers (1 = serial, 0 = all cores)
+///   --threads=N   execution workers (1 = serial, 0 = all cores)
+///   --backend=B   inline | threads | procs (crash-isolated workers)
+///   --shard-size=N  kernels held alive per shard (streaming bound)
+///   --format=F    text | csv | json table output
+///
+/// Tables are bit-identical for every backend, worker count and shard
+/// size; only wall-clock time and fault isolation change.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CLFUZZ_BENCH_BENCHUTIL_H
 #define CLFUZZ_BENCH_BENCHUTIL_H
+
+#include "exec/ExecutionEngine.h"
+#include "exec/ResultSink.h"
 
 #include <cstdint>
 #include <cstdio>
@@ -31,9 +40,24 @@ struct HarnessArgs {
   bool Full = false;
   unsigned Kernels = 0; ///< 0 = harness default
   uint64_t Seed = 100000;
-  /// ExecutionEngine worker count (campaign tables are identical for
-  /// any value; this only changes wall-clock time).
+  /// Worker count (campaign tables are identical for any value; this
+  /// only changes wall-clock time).
   unsigned Threads = 1;
+  /// Which ExecBackend runs the campaign cells.
+  BackendKind Backend = BackendKind::Threads;
+  /// Streaming shard bound (0 = ExecOptions default).
+  unsigned ShardSize = 0;
+  /// Output rendering; Text keeps each harness's native layout.
+  TableFormat Format = TableFormat::Text;
+
+  /// The ExecOptions a campaign settings struct should use.
+  ExecOptions execOptions() const {
+    ExecOptions E = ExecOptions::withThreads(Threads);
+    E.Backend = Backend;
+    if (ShardSize)
+      E.ShardSize = ShardSize;
+    return E;
+  }
 };
 
 inline HarnessArgs parseArgs(int Argc, char **Argv) {
@@ -47,7 +71,22 @@ inline HarnessArgs parseArgs(int Argc, char **Argv) {
       A.Seed = static_cast<uint64_t>(std::atoll(Argv[I] + 7));
     else if (std::strncmp(Argv[I], "--threads=", 10) == 0)
       A.Threads = static_cast<unsigned>(std::atoi(Argv[I] + 10));
-    else
+    else if (std::strncmp(Argv[I], "--shard-size=", 13) == 0)
+      A.ShardSize = static_cast<unsigned>(std::atoi(Argv[I] + 13));
+    else if (std::strncmp(Argv[I], "--backend=", 10) == 0) {
+      if (!parseBackendKind(Argv[I] + 10, A.Backend)) {
+        std::fprintf(stderr,
+                     "unknown backend '%s' (inline, threads, procs)\n",
+                     Argv[I] + 10);
+        std::exit(2);
+      }
+    } else if (std::strncmp(Argv[I], "--format=", 9) == 0) {
+      if (!parseTableFormat(Argv[I] + 9, A.Format)) {
+        std::fprintf(stderr, "unknown format '%s' (text, csv, json)\n",
+                     Argv[I] + 9);
+        std::exit(2);
+      }
+    } else
       std::fprintf(stderr, "warning: unknown argument '%s'\n", Argv[I]);
   }
   return A;

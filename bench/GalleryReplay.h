@@ -4,6 +4,14 @@
 // Fuzzing" (PLDI 2015).
 //
 //===----------------------------------------------------------------------===//
+//
+// The replay runs through the streaming pipeline API: each gallery
+// kernel's reference run and its per-configuration expectation runs
+// are expanded into backend jobs, so `--backend=procs` replays the
+// gallery with crash isolation and `--threads=N` replays it in
+// parallel — with byte-identical reports either way.
+//
+//===----------------------------------------------------------------------===//
 
 #ifndef CLFUZZ_BENCH_GALLERYREPLAY_H
 #define CLFUZZ_BENCH_GALLERYREPLAY_H
@@ -11,28 +19,33 @@
 #include "BenchUtil.h"
 #include "corpus/Gallery.h"
 #include "device/DeviceConfig.h"
+#include "exec/Pipeline.h"
 #include "support/StringUtil.h"
 
 #include <cstdio>
+#include <memory>
 
 namespace clfuzz::bench {
 
-/// Shared replay used by the fig1/fig2 harnesses.
-inline int replayGallery(const std::vector<GalleryEntry> &Entries,
-                         const char *Title) {
-  std::vector<DeviceConfig> Registry = buildConfigRegistry();
-  std::printf("%s\n\n", Title);
-  unsigned Reproduced = 0, Total = 0;
-  for (const GalleryEntry &E : Entries) {
-    RunOutcome Ref = runTestOnReference(E.Test, true);
+/// Prints one gallery entry's replay: job 0 is the reference run, jobs
+/// 1..N the expectation runs in gallery order.
+class GalleryReplaySink final : public ResultSink {
+public:
+  explicit GalleryReplaySink(const std::vector<GalleryEntry> &Entries)
+      : Entries(Entries) {}
+
+  void consumeTest(size_t TestIndex, const TestCase &,
+                   const std::vector<RunOutcome> &Outs) override {
+    const GalleryEntry &E = Entries[TestIndex];
+    const RunOutcome &Ref = Outs[0];
     std::printf("Figure %s: %s\n", E.Id.c_str(), E.Caption.c_str());
     if (Ref.ok() && !Ref.OutputHead.empty())
       std::printf("  reference result: %s\n",
                   toHex(Ref.OutputHead[0]).c_str());
-    for (const GalleryEntry::Expectation &X : E.Buggy) {
+    for (size_t I = 0; I != E.Buggy.size(); ++I) {
+      const GalleryEntry::Expectation &X = E.Buggy[I];
+      const RunOutcome &O = Outs[1 + I];
       ++Total;
-      const DeviceConfig &C = configById(Registry, X.ConfigId);
-      RunOutcome O = runTestOnConfig(E.Test, C, X.Opt);
       const char *Verdict = "NOT reproduced";
       if (X.ExpectedStatus != RunStatus::Ok) {
         if (O.Status != RunStatus::Ok) {
@@ -56,10 +69,42 @@ inline int replayGallery(const std::vector<GalleryEntry> &Entries,
     }
     std::printf("\n");
   }
+
+  const std::vector<GalleryEntry> &Entries;
+  unsigned Reproduced = 0, Total = 0;
+};
+
+/// Shared replay used by the fig1/fig2 harnesses.
+inline int replayGallery(const std::vector<GalleryEntry> &Entries,
+                         const char *Title, const HarnessArgs &Args) {
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  std::printf("%s\n\n", Title);
+
+  std::unique_ptr<ExecBackend> Backend = makeBackend(Args.execOptions());
+
+  std::vector<TestCase> Tests;
+  Tests.reserve(Entries.size());
+  for (const GalleryEntry &E : Entries)
+    Tests.push_back(E.Test);
+  VectorSource Source(std::move(Tests));
+
+  GalleryReplaySink Sink(Entries);
+  runShardedCampaign(
+      Source, *Backend, Args.execOptions().resolvedShardSize(),
+      [&](size_t TestIndex, const TestCase &T,
+          std::vector<ExecJob> &Jobs) {
+        Jobs.push_back(ExecJob::onReference(T, true, RunSettings()));
+        for (const GalleryEntry::Expectation &X :
+             Entries[TestIndex].Buggy)
+          Jobs.push_back(ExecJob::onConfig(
+              T, configById(Registry, X.ConfigId), X.Opt, RunSettings()));
+      },
+      Sink);
+
   printRule();
-  std::printf("bug expectations reproduced: %u / %u\n", Reproduced,
-              Total);
-  return Reproduced == Total ? 0 : 1;
+  std::printf("bug expectations reproduced: %u / %u\n", Sink.Reproduced,
+              Sink.Total);
+  return Sink.Reproduced == Sink.Total ? 0 : 1;
 }
 
 } // namespace clfuzz::bench

@@ -16,6 +16,12 @@
 ///   --kernels=N   kernels per run (default 12)
 ///   --seed=N      campaign seed base
 ///   --threads=N   highest worker count to sweep (default 4)
+///   --backend=B   backend to sweep (threads by default; procs
+///                 measures the fork/pipe overhead of isolation)
+///   --shard-size=N  streaming shard bound during the sweep
+///
+/// Every run is checked bit-identical to the serial (1-worker inline)
+/// baseline — the pipeline's determinism contract.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -67,6 +73,7 @@ int main(int Argc, char **Argv) {
   CampaignSettings S;
   S.KernelsPerMode = Kernels;
   S.SeedBase = Args.Seed;
+  S.Exec = Args.execOptions();
   S.BaseGen.MinThreads = 48;
   S.BaseGen.MaxThreads = 256;
   std::vector<GenMode> Modes = {GenMode::Barrier, GenMode::All};
@@ -74,8 +81,10 @@ int main(int Argc, char **Argv) {
   unsigned Cells =
       Kernels * static_cast<unsigned>(Modes.size() * Above.size()) * 2;
   std::printf("campaign throughput: %u kernels x 2 modes over %zu "
-              "configurations x {-, +} (%u cells per run)\n",
-              Kernels, Above.size(), Cells);
+              "configurations x {-, +} (%u cells per run) on the %s "
+              "backend\n",
+              Kernels, Above.size(), Cells,
+              backendKindName(S.Exec.Backend));
   std::printf("hardware threads available: %u\n\n",
               ExecOptions::withThreads(0).resolvedThreads());
 

@@ -16,8 +16,9 @@
 using namespace clfuzz;
 using namespace clfuzz::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
   return replayGallery(
       buildFigure1Gallery(),
-      "Figure 1: compiler bugs of the below-threshold configurations");
+      "Figure 1: compiler bugs of the below-threshold configurations",
+      parseArgs(Argc, Argv));
 }

@@ -16,8 +16,9 @@
 using namespace clfuzz;
 using namespace clfuzz::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
   return replayGallery(
       buildFigure2Gallery(),
-      "Figure 2: compiler bugs of the above-threshold configurations");
+      "Figure 2: compiler bugs of the above-threshold configurations",
+      parseArgs(Argc, Argv));
 }

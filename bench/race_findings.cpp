@@ -13,28 +13,48 @@
 /// and prints the reports, plus a schedule-sweep demonstrating that
 /// myocyte's race is result-visible while spmv's is benign.
 ///
+/// All runs go through the pipeline's ExecBackend (--backend /
+/// --threads), so the audit parallelises — and isolates — like any
+/// campaign.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "corpus/Benchmarks.h"
+#include "exec/ExecBackend.h"
 
 #include <cstdio>
+#include <memory>
 #include <set>
 
 using namespace clfuzz;
 using namespace clfuzz::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  HarnessArgs Args = parseArgs(Argc, Argv);
+  std::unique_ptr<ExecBackend> Backend = makeBackend(Args.execOptions());
+  std::vector<Benchmark> Suite = buildBenchmarkSuite();
+
   std::printf("Data-race audit of the mini Parboil/Rodinia suite "
               "(happens-before detector)\n\n");
   printRule();
   std::printf("%-11s %-8s %-60s\n", "Benchmark", "racy?", "report");
   printRule();
+
+  // One reference run per benchmark with the detector on; the audit is
+  // a single backend batch.
+  RunSettings Detect;
+  Detect.DetectRaces = true;
+  std::vector<ExecJob> Jobs;
+  Jobs.reserve(Suite.size());
+  for (const Benchmark &B : Suite)
+    Jobs.push_back(ExecJob::onReference(B.Test, false, Detect));
+  std::vector<RunOutcome> Outs = Backend->run(Jobs);
+
   unsigned Races = 0;
-  for (const Benchmark &B : buildBenchmarkSuite()) {
-    RunSettings S;
-    S.DetectRaces = true;
-    RunOutcome O = runTestOnReference(B.Test, false, S);
+  for (size_t I = 0; I != Suite.size(); ++I) {
+    const Benchmark &B = Suite[I];
+    const RunOutcome &O = Outs[I];
     if (!O.ok()) {
       std::printf("%-11s %-8s %s\n", B.Name.c_str(), "error",
                   O.Message.c_str());
@@ -50,21 +70,31 @@ int main() {
               "myocyte, both confirmed upstream)\n\n",
               Races);
 
-  // Schedule sweep: is the race result-visible?
+  // Schedule sweep: is the race result-visible? The 8 scheduler seeds
+  // of every racy benchmark go out as one batch too.
   std::printf("schedule sensitivity over 8 scheduler seeds:\n");
-  for (const Benchmark &B : buildBenchmarkSuite()) {
+  std::vector<const Benchmark *> Racy;
+  Jobs.clear();
+  for (const Benchmark &B : Suite) {
     if (!B.HasPlantedRace)
       continue;
-    std::set<uint64_t> Outputs;
+    Racy.push_back(&B);
     for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
       RunSettings S;
       S.SchedulerSeed = Seed;
-      RunOutcome O = runTestOnReference(B.Test, false, S);
+      Jobs.push_back(ExecJob::onReference(B.Test, false, S));
+    }
+  }
+  Outs = Backend->run(Jobs);
+  for (size_t I = 0; I != Racy.size(); ++I) {
+    std::set<uint64_t> Outputs;
+    for (size_t S = 0; S != 8; ++S) {
+      const RunOutcome &O = Outs[I * 8 + S];
       if (O.ok())
         Outputs.insert(O.OutputHash);
     }
-    std::printf("  %-9s: %zu distinct outputs -> %s\n", B.Name.c_str(),
-                Outputs.size(),
+    std::printf("  %-9s: %zu distinct outputs -> %s\n",
+                Racy[I]->Name.c_str(), Outputs.size(),
                 Outputs.size() > 1
                     ? "nondeterministic (defeats compiler testing)"
                     : "benign race (stable output)");

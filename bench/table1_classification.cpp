@@ -31,18 +31,39 @@ int main(int Argc, char **Argv) {
   CampaignSettings S;
   S.KernelsPerMode = PerMode;
   S.SeedBase = Args.Seed;
-  S.Exec.Threads = Args.Threads;
+  S.Exec = Args.execOptions();
   S.BaseGen.MinThreads = 48;
   S.BaseGen.MaxThreads = 256;
 
-  std::printf("Table 1: configuration classification against the 25%% "
-              "reliability threshold\n");
-  std::printf("(%u kernels per mode, %u total per configuration run "
-              "at both opt levels)\n\n",
-              PerMode, PerMode * 6 * 2);
+  if (Args.Format == TableFormat::Text) {
+    std::printf("Table 1: configuration classification against the 25%% "
+                "reliability threshold\n");
+    std::printf("(%u kernels per mode, %u total per configuration run "
+                "at both opt levels)\n\n",
+                PerMode, PerMode * 6 * 2);
+  }
 
   std::vector<ReliabilityRow> Rows =
       classifyConfigurations(Registry, S);
+
+  if (Args.Format != TableFormat::Text) {
+    EmitTable T;
+    T.Title = "Table 1: configuration classification";
+    T.Columns = {"config", "device", "type",   "fail_pct",
+                 "wrong",  "above",  "paper_above"};
+    char Pct[32];
+    for (const ReliabilityRow &Row : Rows) {
+      const DeviceConfig &C = configById(Registry, Row.ConfigId);
+      std::snprintf(Pct, sizeof(Pct), "%.1f",
+                    100.0 * Row.Counts.failureFraction());
+      T.addRow({std::to_string(C.Id), C.Device, C.typeName(), Pct,
+                std::to_string(Row.Counts.W),
+                Row.AboveThreshold ? "yes" : "no",
+                C.PaperAboveThreshold ? "yes" : "no"});
+    }
+    emitTable(T, Args.Format, stdout);
+    return 0;
+  }
 
   printRule();
   std::printf("%-5s %-34s %-11s %7s %7s  %-9s %s\n", "Conf.", "Device",

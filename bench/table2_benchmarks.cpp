@@ -21,7 +21,24 @@
 using namespace clfuzz;
 using namespace clfuzz::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  HarnessArgs Args = parseArgs(Argc, Argv);
+
+  if (Args.Format != TableFormat::Text) {
+    EmitTable T;
+    T.Title = "Table 2: OpenCL benchmarks studied using EMI testing";
+    T.Columns = {"suite", "benchmark", "description", "kernels",
+                 "loc",   "uses_fp",   "racy"};
+    for (const Benchmark &B : buildBenchmarkSuite())
+      T.addRow({B.Suite, B.Name, B.Description,
+                std::to_string(B.NumKernels),
+                std::to_string(B.linesOfCode()),
+                B.UsesFloatInPaper ? "yes" : "no",
+                B.HasPlantedRace ? "yes" : "no"});
+    emitTable(T, Args.Format, stdout);
+    return 0;
+  }
+
   std::printf("Table 2: OpenCL benchmarks studied using EMI testing\n\n");
   printRule();
   std::printf("%-9s %-11s %-32s %8s %6s %8s %6s\n", "Suite",

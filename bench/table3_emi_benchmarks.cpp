@@ -26,11 +26,13 @@
 #include "BenchUtil.h"
 #include "corpus/Benchmarks.h"
 #include "emi/Emi.h"
+#include "exec/Pipeline.h"
 #include "oracle/Oracle.h"
 #include "support/StringUtil.h"
 
 #include <cstdio>
 #include <map>
+#include <memory>
 
 using namespace clfuzz;
 using namespace clfuzz::bench;
@@ -103,42 +105,87 @@ int main(int Argc, char **Argv) {
   std::printf("\n");
   printRule(11 + 5 * 19);
 
+  std::unique_ptr<ExecBackend> Backend = makeBackend(Args.execOptions());
+  const unsigned ShardSize = Args.execOptions().resolvedShardSize();
+
   for (const Benchmark &B : Suite) {
     std::map<int, CellState> Row;
+
     // The base must run; "ng" when a configuration cannot produce the
-    // expected output with an empty EMI block.
-    RunOutcome BaseRef = runTestOnReference(B.Test, true);
-    for (const DeviceConfig &C : Registry) {
-      if (C.Id > 19)
-        continue;
-      CellState &State = Row[C.Id];
-      // Base check per configuration (both opt levels must produce
-      // the reference result for "generation" to succeed).
+    // expected output with an empty EMI block. The reference run and
+    // every per-configuration base check (both opt levels) go out as
+    // one backend batch.
+    std::vector<const DeviceConfig *> Configs;
+    for (const DeviceConfig &C : Registry)
+      if (C.Id <= 19)
+        Configs.push_back(&C);
+
+    std::vector<ExecJob> BaseJobs;
+    BaseJobs.push_back(ExecJob::onReference(B.Test, true, RunSettings()));
+    for (const DeviceConfig *C : Configs)
+      for (bool Opt : {false, true})
+        BaseJobs.push_back(ExecJob::onConfig(B.Test, *C, Opt, RunSettings()));
+    std::vector<RunOutcome> BaseOuts = Backend->run(BaseJobs);
+    const RunOutcome BaseRef = BaseOuts[0];
+
+    // Configurations whose base check succeeds take part in the
+    // variant sweep; the rest are "ng" cells.
+    std::vector<const DeviceConfig *> Live;
+    for (size_t CI = 0; CI != Configs.size(); ++CI) {
       bool BaseOk = false;
-      for (bool Opt : {false, true}) {
-        RunOutcome O = runTestOnConfig(B.Test, C, Opt);
-        if (O.ok() && BaseRef.ok() &&
-            O.OutputHash == BaseRef.OutputHash)
+      for (int OptI = 0; OptI != 2; ++OptI) {
+        const RunOutcome &O = BaseOuts[1 + CI * 2 + OptI];
+        if (O.ok() && BaseRef.ok() && O.OutputHash == BaseRef.OutputHash)
           BaseOk = true;
       }
-      if (!BaseOk) {
-        State.observe(Cell::NoGen, false);
-        continue;
+      if (BaseOk)
+        Live.push_back(Configs[CI]);
+      else
+        Row[Configs[CI]->Id].observe(Cell::NoGen, false);
+    }
+
+    // EMI variants are constructed once (they do not depend on the
+    // configuration) and stream through the pipeline: each variant
+    // expands into its (live config, opt) cells and the sink folds
+    // outcomes into the worst-outcome lattice. observe() is
+    // commutative, so the streaming order matches the old nested
+    // loops' result exactly.
+    std::vector<TestCase> Variants;
+    std::vector<bool> VariantSubst;
+    for (bool Subst : {false, true}) {
+      for (unsigned V = 0; V != VariantsPerSide; ++V) {
+        InjectOptions IO;
+        IO.Seed = Args.Seed + V * 7 + Subst * 1000;
+        IO.NumBlocks = 1 + V % 2;
+        IO.Substitutions = Subst;
+        std::vector<PruneOptions> Sweep = paperPruneSweep(IO.Seed);
+        IO.Prune = Sweep[V % Sweep.size()];
+        TestCase Variant;
+        DiagEngine Diags;
+        if (!injectEmiIntoTest(B.Test, IO, Variant, Diags))
+          continue;
+        Variants.push_back(std::move(Variant));
+        VariantSubst.push_back(Subst);
       }
-      for (bool Subst : {false, true}) {
-        for (unsigned V = 0; V != VariantsPerSide; ++V) {
-          InjectOptions IO;
-          IO.Seed = Args.Seed + V * 7 + Subst * 1000;
-          IO.NumBlocks = 1 + V % 2;
-          IO.Substitutions = Subst;
-          std::vector<PruneOptions> Sweep = paperPruneSweep(IO.Seed);
-          IO.Prune = Sweep[V % Sweep.size()];
-          TestCase Variant;
-          DiagEngine Diags;
-          if (!injectEmiIntoTest(B.Test, IO, Variant, Diags))
-            continue;
-          for (bool Opt : {false, true}) {
-            RunOutcome O = runTestOnConfig(Variant, C, Opt);
+    }
+
+    class LatticeSink final : public ResultSink {
+    public:
+      LatticeSink(std::map<int, CellState> &Row,
+                  const std::vector<const DeviceConfig *> &Live,
+                  const std::vector<bool> &VariantSubst,
+                  const RunOutcome &BaseRef)
+          : Row(Row), Live(Live), VariantSubst(VariantSubst),
+            BaseRef(BaseRef) {}
+
+      void consumeTest(size_t TestIndex, const TestCase &,
+                       const std::vector<RunOutcome> &Outs) override {
+        bool Subst = VariantSubst[TestIndex];
+        size_t J = 0;
+        for (const DeviceConfig *C : Live) {
+          CellState &State = Row[C->Id];
+          for (int OptI = 0; OptI != 2; ++OptI) {
+            const RunOutcome &O = Outs[J++];
             switch (O.Status) {
             case RunStatus::Ok:
               if (BaseRef.ok() && O.OutputHash != BaseRef.OutputHash)
@@ -157,7 +204,25 @@ int main(int Argc, char **Argv) {
           }
         }
       }
-    }
+
+      std::map<int, CellState> &Row;
+      const std::vector<const DeviceConfig *> &Live;
+      const std::vector<bool> &VariantSubst;
+      const RunOutcome &BaseRef;
+    };
+
+    VectorSource Source(std::move(Variants));
+    LatticeSink Sink(Row, Live, VariantSubst, BaseRef);
+    runShardedCampaign(Source, *Backend, ShardSize,
+                       [&](size_t, const TestCase &V,
+                           std::vector<ExecJob> &Jobs) {
+                         for (const DeviceConfig *C : Live)
+                           for (bool Opt : {false, true})
+                             Jobs.push_back(ExecJob::onConfig(
+                                 V, *C, Opt, RunSettings()));
+                       },
+                       Sink);
+
     std::printf("%-11s", B.Name.c_str());
     for (const DeviceConfig &C : Registry)
       if (C.Id <= 19)

@@ -37,7 +37,7 @@ int main(int Argc, char **Argv) {
   CampaignSettings S;
   S.KernelsPerMode = PerMode;
   S.SeedBase = Args.Seed;
-  S.Exec.Threads = Args.Threads;
+  S.Exec = Args.execOptions();
   S.BaseGen.MinThreads = 48;
   S.BaseGen.MaxThreads = 256;
 
@@ -46,14 +46,35 @@ int main(int Argc, char **Argv) {
       GenMode::Barrier,        GenMode::AtomicSection,
       GenMode::AtomicReduction, GenMode::All};
 
-  std::printf("Table 4: CLsmith batches over the above-threshold "
-              "configurations (%u kernels per mode; '-'/'+' = "
-              "optimisations off/on)\n\n",
-              PerMode);
+  if (Args.Format == TableFormat::Text)
+    std::printf("Table 4: CLsmith batches over the above-threshold "
+                "configurations (%u kernels per mode; '-'/'+' = "
+                "optimisations off/on)\n\n",
+                PerMode);
 
   std::vector<ModeTable> Tables = runDifferentialCampaign(
       Above, std::vector<GenMode>(std::begin(Modes), std::end(Modes)),
       S);
+
+  if (Args.Format != TableFormat::Text) {
+    EmitTable T;
+    T.Title = "Table 4: CLsmith differential testing";
+    T.Columns = {"mode", "tests", "config", "opt", "w",
+                 "bf",   "c",     "to",     "ok",  "w_pct"};
+    char Pct[32];
+    for (const ModeTable &Table : Tables) {
+      for (const auto &[Key, Counts] : Table.Cells) {
+        std::snprintf(Pct, sizeof(Pct), "%.1f", Counts.wrongPct());
+        T.addRow({genModeName(Table.Mode), std::to_string(Table.NumTests),
+                  std::to_string(Key.ConfigId), Key.Opt ? "+" : "-",
+                  std::to_string(Counts.W), std::to_string(Counts.BF),
+                  std::to_string(Counts.C), std::to_string(Counts.TO),
+                  std::to_string(Counts.Pass), Pct});
+      }
+    }
+    emitTable(T, Args.Format, stdout);
+    return 0;
+  }
 
   for (const ModeTable &Table : Tables) {
     std::printf("%s (%u tests)\n", genModeName(Table.Mode),

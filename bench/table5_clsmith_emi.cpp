@@ -36,17 +36,35 @@ int main(int Argc, char **Argv) {
   EmiCampaignSettings S;
   S.NumBases = Bases;
   S.Base.SeedBase = Args.Seed;
-  S.Base.Exec.Threads = Args.Threads;
+  S.Base.Exec = Args.execOptions();
   S.Base.BaseGen.MinThreads = 48;
   S.Base.BaseGen.MaxThreads = 192;
 
-  std::printf("Table 5: CLsmith+EMI results (%u base programs, 40 "
-              "prune variants each)\n\n",
-              Bases);
+  if (Args.Format == TableFormat::Text)
+    std::printf("Table 5: CLsmith+EMI results (%u base programs, 40 "
+                "prune variants each)\n\n",
+                Bases);
 
   unsigned Usable = 0;
   std::vector<EmiCampaignColumn> Columns =
       runEmiCampaign(Above, S, Usable);
+
+  if (Args.Format != TableFormat::Text) {
+    EmitTable T;
+    T.Title = "Table 5: CLsmith+EMI testing (usable bases: " +
+              std::to_string(Usable) + ")";
+    T.Columns = {"config", "opt", "base_fails", "w",
+                 "bf",     "c",   "to",         "stable"};
+    for (const EmiCampaignColumn &Col : Columns)
+      T.addRow({std::to_string(Col.Key.ConfigId), Col.Key.Opt ? "+" : "-",
+                std::to_string(Col.BaseFails), std::to_string(Col.Wrong),
+                std::to_string(Col.InducedBF),
+                std::to_string(Col.InducedCrash),
+                std::to_string(Col.InducedTimeout),
+                std::to_string(Col.Stable)});
+    emitTable(T, Args.Format, stdout);
+    return 0;
+  }
 
   std::printf("usable bases: %u\n\n", Usable);
   std::printf("%-11s", "");

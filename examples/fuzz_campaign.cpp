@@ -10,84 +10,113 @@
 /// majority voting, and prints each discovered miscompilation (which
 /// configuration deviated and on which kernel seed).
 ///
-/// The campaign cells run on the ExecutionEngine thread pool:
+/// The campaign is a composition of the streaming pipeline API:
 ///
-///   fuzz_campaign [num_kernels] [exec_threads]
+///   TestSource  — BARRIER kernels generated in bounded shards
+///   ExecBackend — inline | threads | procs (crash-isolated workers)
+///   ResultSink  — votes each kernel as its cells arrive
 ///
-/// exec_threads = 1 (default) is the serial path, 0 uses every core;
-/// the findings are identical either way — only wall-clock changes.
+///   fuzz_campaign [num_kernels] [backend] [workers] [shard_size]
+///
+/// e.g. `fuzz_campaign 200 procs 4 32`. The findings are identical
+/// for every backend, worker count and shard size — only wall-clock
+/// time and fault isolation change.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "device/DeviceConfig.h"
-#include "exec/ExecutionEngine.h"
+#include "exec/Pipeline.h"
 #include "gen/Generator.h"
 #include "oracle/Oracle.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace clfuzz;
 
-int main(int Argc, char **Argv) {
-  unsigned NumKernels = Argc > 1 ? std::atoi(Argv[1]) : 30;
-  unsigned Threads = Argc > 2 ? std::atoi(Argv[2]) : 1;
+namespace {
 
-  std::vector<DeviceConfig> Zoo = buildConfigRegistry();
-  std::vector<const DeviceConfig *> Configs = {
-      &configById(Zoo, 1), &configById(Zoo, 12), &configById(Zoo, 14),
-      &configById(Zoo, 19)};
+/// Votes per kernel and reports wrong-code observations in seed
+/// order. State is one kernel's outcomes — the campaign streams.
+class ReportSink final : public ResultSink {
+public:
+  ReportSink(std::vector<std::string> Labels)
+      : Labels(std::move(Labels)) {}
 
-  ExecutionEngine Engine(ExecOptions::withThreads(Threads));
-  std::printf("mini campaign: %u BARRIER kernels x {1, 12, 14, 19} x "
-              "{-, +} on %u engine thread(s)\n\n",
-              NumKernels, Engine.threadCount());
-
-  // Generate the batch (engine work), then submit every campaign cell
-  // at once; results come back keyed by submission index, so the
-  // report below is in seed order no matter how the pool schedules.
-  std::vector<TestCase> Tests(NumKernels);
-  Engine.forEachIndex(NumKernels, [&](size_t K) {
-    GenOptions GO;
-    GO.Mode = GenMode::Barrier;
-    GO.Seed = 31337 + K;
-    Tests[K] = TestCase::fromGenerated(generateKernel(GO));
-  });
-
-  const size_t CellsPerTest = Configs.size() * 2;
-  std::vector<ExecJob> Jobs;
-  Jobs.reserve(NumKernels * CellsPerTest);
-  for (const TestCase &T : Tests)
-    for (const DeviceConfig *C : Configs)
-      for (bool Opt : {false, true})
-        Jobs.push_back(ExecJob::onConfig(T, *C, Opt, RunSettings()));
-  std::vector<RunOutcome> Batch = Engine.runBatch(Jobs);
-
-  unsigned Mismatches = 0;
-  for (unsigned K = 0; K != NumKernels; ++K) {
-    std::vector<RunOutcome> Outs(
-        Batch.begin() + K * CellsPerTest,
-        Batch.begin() + (K + 1) * CellsPerTest);
-    std::vector<std::string> Labels;
-    for (const DeviceConfig *C : Configs)
-      for (bool Opt : {false, true})
-        Labels.push_back(std::to_string(C->Id) + (Opt ? "+" : "-"));
-
+  void consumeTest(size_t TestIndex, const TestCase &,
+                   const std::vector<RunOutcome> &Outs) override {
     std::vector<Verdict> Vs = classifyAgainstMajority(Outs);
     for (size_t I = 0; I != Vs.size(); ++I) {
       if (Vs[I] != Verdict::Wrong)
         continue;
       ++Mismatches;
-      std::printf("seed %u: config %s disagrees with the majority "
+      std::printf("seed %zu: config %s disagrees with the majority "
                   "(out[0]=%llx)\n",
-                  31337 + K, Labels[I].c_str(),
+                  31337 + TestIndex, Labels[I].c_str(),
                   Outs[I].OutputHead.empty()
                       ? 0ULL
                       : static_cast<unsigned long long>(
                             Outs[I].OutputHead[0]));
     }
   }
-  std::printf("\n%u wrong-code observations over %u kernels\n",
-              Mismatches, NumKernels);
+
+  std::vector<std::string> Labels;
+  unsigned Mismatches = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned NumKernels = Argc > 1 ? std::atoi(Argv[1]) : 30;
+  ExecOptions Opts;
+  if (Argc > 2 && !parseBackendKind(Argv[2], Opts.Backend)) {
+    std::fprintf(stderr, "unknown backend '%s' (inline, threads, procs)\n",
+                 Argv[2]);
+    return 2;
+  }
+  Opts.Threads = Argc > 3 ? std::atoi(Argv[3]) : 1;
+  if (Argc > 4)
+    Opts.ShardSize = std::atoi(Argv[4]);
+
+  std::vector<DeviceConfig> Zoo = buildConfigRegistry();
+  std::vector<DeviceConfig> Configs = {
+      configById(Zoo, 1), configById(Zoo, 12), configById(Zoo, 14),
+      configById(Zoo, 19)};
+
+  std::unique_ptr<ExecBackend> Backend = makeBackend(Opts);
+  std::printf("mini campaign: %u BARRIER kernels x {1, 12, 14, 19} x "
+              "{-, +} on the %s backend (%u worker(s), shard size "
+              "%u)\n\n",
+              NumKernels, Backend->name(), Backend->concurrency(),
+              Opts.resolvedShardSize());
+
+  // Kernels are generated in shards (never more than one shard alive)
+  // and every (kernel, config, opt) cell runs on the backend; results
+  // come back keyed by submission index, so the report below is in
+  // seed order no matter how the backend schedules.
+  GenOptions BaseGen;
+  GeneratorSource Source(GenMode::Barrier, BaseGen, 31337, NumKernels,
+                         /*Prefilter=*/false, /*Config1=*/nullptr,
+                         RunSettings(), *Backend);
+
+  std::vector<std::string> Labels;
+  for (const DeviceConfig &C : Configs)
+    for (bool Opt : {false, true})
+      Labels.push_back(std::to_string(C.Id) + (Opt ? "+" : "-"));
+  ReportSink Sink(Labels);
+
+  PipelineStats Stats = runShardedCampaign(
+      Source, *Backend, Opts.resolvedShardSize(),
+      [&](size_t, const TestCase &T, std::vector<ExecJob> &Jobs) {
+        for (const DeviceConfig &C : Configs)
+          for (bool Opt : {false, true})
+            Jobs.push_back(ExecJob::onConfig(T, C, Opt, RunSettings()));
+      },
+      Sink);
+
+  std::printf("\n%u wrong-code observations over %zu kernels "
+              "(%zu cells in %zu shard(s))\n",
+              Sink.Mismatches, Stats.Tests, Stats.Jobs, Stats.Shards);
   std::printf("(each would be reduced with the oracle/Reducer and "
               "reported to the vendor)\n");
   return 0;

@@ -53,6 +53,12 @@ struct RunSettings {
   /// in already-dead code (§7.4).
   bool InvertDead = false;
   bool DetectRaces = false;
+
+  /// Fault-injection hooks, honoured by runExecJob() before the driver
+  /// is entered. They exist so tests can prove the process-pool
+  /// backend isolates worker failures; no campaign path sets them.
+  bool DebugHardAbort = false; ///< abort() the executing process
+  uint32_t DebugSpinMs = 0;    ///< stall this long (runaway-job model)
 };
 
 /// Outcome classes, in the paper's vocabulary.

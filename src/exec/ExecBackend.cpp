@@ -1,0 +1,70 @@
+//===- ExecBackend.cpp - Pluggable campaign execution backends ---------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecBackend.h"
+#include "exec/ProcessPool.h"
+
+using namespace clfuzz;
+
+ExecBackend::~ExecBackend() = default;
+
+void ExecBackend::forEachIndex(size_t N,
+                               const std::function<void(size_t)> &Body) {
+  // Same exception contract as the thread pool: every index runs, the
+  // first exception is rethrown after the batch drains — so a caller
+  // that catches and continues sees identical side-effect state on
+  // every backend.
+  std::exception_ptr FirstError;
+  for (size_t I = 0; I != N; ++I) {
+    try {
+      Body(I);
+    } catch (...) {
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+  }
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+}
+
+std::vector<RunOutcome>
+InlineBackend::run(const std::vector<ExecJob> &Jobs) {
+  std::vector<RunOutcome> Results;
+  Results.reserve(Jobs.size());
+  for (const ExecJob &Job : Jobs)
+    Results.push_back(runExecJob(Job));
+  return Results;
+}
+
+ThreadPoolBackend::ThreadPoolBackend(const ExecOptions &Opts)
+    : Engine(Opts) {}
+
+std::vector<RunOutcome>
+ThreadPoolBackend::run(const std::vector<ExecJob> &Jobs) {
+  // Campaign cells can be timeout-heavy (a cell may burn its whole
+  // step budget), so the batch claims one index per lock acquisition.
+  return Engine.runBatch(Jobs);
+}
+
+void ThreadPoolBackend::forEachIndex(
+    size_t N, const std::function<void(size_t)> &Body) {
+  // Generation-side work is cheap and uniform; claim chunks to cut
+  // queue lock traffic.
+  Engine.forEachIndex(N, Body, ExecutionEngine::CheapClaimChunk);
+}
+
+std::unique_ptr<ExecBackend> clfuzz::makeBackend(const ExecOptions &Opts) {
+  switch (Opts.Backend) {
+  case BackendKind::Inline:
+    return std::make_unique<InlineBackend>();
+  case BackendKind::Threads:
+    return std::make_unique<ThreadPoolBackend>(Opts);
+  case BackendKind::Procs:
+    return makeProcessPoolBackend(Opts);
+  }
+  return std::make_unique<InlineBackend>();
+}

@@ -9,8 +9,34 @@
 #include "device/DeviceConfig.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 
 using namespace clfuzz;
+
+const char *clfuzz::backendKindName(BackendKind K) {
+  switch (K) {
+  case BackendKind::Inline:
+    return "inline";
+  case BackendKind::Threads:
+    return "threads";
+  case BackendKind::Procs:
+    return "procs";
+  }
+  return "?";
+}
+
+bool clfuzz::parseBackendKind(const std::string &Name, BackendKind &Out) {
+  if (Name == "inline")
+    Out = BackendKind::Inline;
+  else if (Name == "threads")
+    Out = BackendKind::Threads;
+  else if (Name == "procs")
+    Out = BackendKind::Procs;
+  else
+    return false;
+  return true;
+}
 
 unsigned ExecOptions::resolvedThreads() const {
   if (Threads != 0)
@@ -20,6 +46,15 @@ unsigned ExecOptions::resolvedThreads() const {
 }
 
 RunOutcome clfuzz::runExecJob(const ExecJob &Job) {
+  // Fault-injection hooks for the process-pool isolation tests: a hard
+  // abort models a VM bug taking the worker process down; a spin
+  // models a runaway execution the step budget cannot catch. Neither
+  // is reachable from campaign code paths.
+  if (Job.Settings.DebugHardAbort)
+    std::abort();
+  if (Job.Settings.DebugSpinMs)
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(Job.Settings.DebugSpinMs));
   if (Job.Config)
     return runTestOnConfig(*Job.Test, *Job.Config, Job.Opt, Job.Settings);
   return runTestOnReference(*Job.Test, Job.Opt, Job.Settings);
@@ -47,6 +82,7 @@ void ExecutionEngine::workerLoop() {
   uint64_t SeenBatch = 0;
   for (;;) {
     const std::function<void(size_t)> *Work = nullptr;
+    unsigned Chunk = 1;
     {
       std::unique_lock<std::mutex> Lock(M);
       CV.wait(Lock, [&] { return ShuttingDown || BatchId != SeenBatch; });
@@ -54,45 +90,67 @@ void ExecutionEngine::workerLoop() {
         return;
       SeenBatch = BatchId;
       Work = Body;
+      Chunk = BatchClaimChunk;
     }
-    // Claim indices until the batch drains. Indices are claimed under
-    // the lock; the body runs outside it.
+    // Claim index chunks until the batch drains. Indices are claimed
+    // under the lock; the bodies run outside it. Cheap batches claim
+    // several indices per acquisition to cut lock traffic on wide
+    // machines; results are keyed by index, so chunking never changes
+    // output.
     for (;;) {
-      size_t I;
+      size_t Begin, End;
       {
         std::lock_guard<std::mutex> Lock(M);
         // The batch-id check keeps a straggler from claiming indices
         // of a batch submitted after its Work pointer was captured.
         if (BatchId != SeenBatch || NextIndex >= EndIndex)
           break;
-        I = NextIndex++;
+        Begin = NextIndex;
+        End = std::min<size_t>(Begin + Chunk, EndIndex);
+        NextIndex = End;
       }
       std::exception_ptr Err;
-      try {
-        (*Work)(I);
-      } catch (...) {
-        Err = std::current_exception();
+      for (size_t I = Begin; I != End; ++I) {
+        try {
+          (*Work)(I);
+        } catch (...) {
+          if (!Err)
+            Err = std::current_exception();
+        }
       }
       {
         std::lock_guard<std::mutex> Lock(M);
         if (Err && !FirstError)
           FirstError = Err;
-        if (++DoneCount == EndIndex)
+        DoneCount += End - Begin;
+        if (DoneCount == EndIndex)
           DoneCV.notify_all();
       }
     }
   }
 }
 
-void ExecutionEngine::forEachIndex(
-    size_t N, const std::function<void(size_t)> &BodyFn) {
+void ExecutionEngine::forEachIndex(size_t N,
+                                   const std::function<void(size_t)> &BodyFn,
+                                   unsigned ClaimChunk) {
   if (N == 0)
     return;
   if (NumThreads == 1 || N == 1) {
     // ExecPolicy::Serial (and trivial batches): the pre-engine inline
-    // path, no synchronisation at all.
-    for (size_t I = 0; I != N; ++I)
-      BodyFn(I);
+    // path, no synchronisation at all — but the same exception
+    // contract as the pool: every index runs, the first exception is
+    // rethrown after the batch drains.
+    std::exception_ptr First;
+    for (size_t I = 0; I != N; ++I) {
+      try {
+        BodyFn(I);
+      } catch (...) {
+        if (!First)
+          First = std::current_exception();
+      }
+    }
+    if (First)
+      std::rethrow_exception(First);
     return;
   }
 
@@ -102,6 +160,7 @@ void ExecutionEngine::forEachIndex(
     NextIndex = 0;
     EndIndex = N;
     DoneCount = 0;
+    BatchClaimChunk = std::max(1u, ClaimChunk);
     FirstError = nullptr;
     ++BatchId;
   }
@@ -109,25 +168,31 @@ void ExecutionEngine::forEachIndex(
 
   // The submitting thread works the queue too, then waits for the
   // stragglers held by pool workers.
+  const unsigned Chunk = std::max(1u, ClaimChunk);
   for (;;) {
-    size_t I;
+    size_t Begin, End;
     {
       std::lock_guard<std::mutex> Lock(M);
       if (NextIndex >= EndIndex)
         break;
-      I = NextIndex++;
+      Begin = NextIndex;
+      End = std::min<size_t>(Begin + Chunk, EndIndex);
+      NextIndex = End;
     }
     std::exception_ptr Err;
-    try {
-      BodyFn(I);
-    } catch (...) {
-      Err = std::current_exception();
+    for (size_t I = Begin; I != End; ++I) {
+      try {
+        BodyFn(I);
+      } catch (...) {
+        if (!Err)
+          Err = std::current_exception();
+      }
     }
     {
       std::lock_guard<std::mutex> Lock(M);
       if (Err && !FirstError)
         FirstError = Err;
-      ++DoneCount;
+      DoneCount += End - Begin;
     }
   }
 

@@ -37,6 +37,7 @@
 #include <condition_variable>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -48,6 +49,21 @@ enum class ExecPolicy : uint8_t {
   Parallel, ///< thread-pooled over ExecOptions::Threads workers
 };
 
+/// Which ExecBackend implementation a campaign schedules its cells on
+/// (see exec/ExecBackend.h). Every backend produces bit-identical
+/// tables for a fixed seed; they differ only in wall-clock behaviour
+/// and fault isolation.
+enum class BackendKind : uint8_t {
+  Inline,  ///< serial, on the calling thread
+  Threads, ///< ExecutionEngine thread pool (Threads == 1 is serial)
+  Procs,   ///< fork/exec-style process pool; crashes are isolated
+};
+
+/// Printable name ("inline" / "threads" / "procs").
+const char *backendKindName(BackendKind K);
+/// Parses a --backend= value; returns false on an unknown name.
+bool parseBackendKind(const std::string &Name, BackendKind &Out);
+
 /// Engine tuning, threaded through campaign / reducer settings.
 struct ExecOptions {
   /// Worker count: 1 = serial inline execution, 0 = one worker per
@@ -57,6 +73,24 @@ struct ExecOptions {
   /// CLI value cast to unsigned).
   unsigned Threads = 1;
 
+  /// Which ExecBackend implementation makeBackend() builds. Threads is
+  /// the default: with Threads == 1 it degrades to the serial inline
+  /// path, so the historical ExecOptions{N} behaviour is unchanged.
+  BackendKind Backend = BackendKind::Threads;
+
+  /// Upper bound on the number of TestCases a campaign driver holds
+  /// alive at once per mode: sources are pulled in shards of at most
+  /// this many tests, and a shard is dropped before the next one is
+  /// generated. Memory is O(ShardSize), not O(KernelsPerMode).
+  unsigned ShardSize = 64;
+
+  /// Wall-clock deadline per job in milliseconds, enforced only by the
+  /// process-pool backend (the thread pool cannot safely kill a
+  /// runaway job). 0 disables the deadline. The VM's step budget
+  /// already bounds simulated runs, so this only matters for genuinely
+  /// runaway executions.
+  unsigned ProcTimeoutMs = 0;
+
   /// Upper bound resolvedThreads() clamps to.
   static constexpr unsigned MaxThreads = 256;
 
@@ -65,9 +99,18 @@ struct ExecOptions {
   }
   /// Threads with 0 resolved to the hardware concurrency.
   unsigned resolvedThreads() const;
+  /// ShardSize with 0 clamped to 1.
+  unsigned resolvedShardSize() const {
+    return ShardSize == 0 ? 1 : ShardSize;
+  }
 
   static ExecOptions serial() { return ExecOptions{1}; }
   static ExecOptions withThreads(unsigned N) { return ExecOptions{N}; }
+  static ExecOptions withBackend(BackendKind K, unsigned N = 1) {
+    ExecOptions O{N};
+    O.Backend = K;
+    return O;
+  }
 };
 
 /// One campaign cell: a test to run on a configuration (or on the
@@ -112,11 +155,24 @@ public:
   /// Blocks until every iteration finished. If any iteration throws,
   /// the first exception (in completion order) is rethrown here after
   /// the batch drains.
-  void forEachIndex(size_t N, const std::function<void(size_t)> &Body);
+  ///
+  /// \p ClaimChunk is the number of indices a worker claims per queue
+  /// lock acquisition. Cheap bodies (kernel generation, candidate
+  /// filtering) should claim 8 at a time to cut lock traffic on wide
+  /// machines; timeout-heavy bodies (campaign cells that can burn a
+  /// whole step budget) should claim 1 so a slow cell never strands
+  /// cheap neighbours behind it. Results are keyed by index either
+  /// way, so the chunk size never changes output — only lock traffic.
+  void forEachIndex(size_t N, const std::function<void(size_t)> &Body,
+                    unsigned ClaimChunk = 1);
+
+  /// Chunk size for cheap, uniform-cost bodies.
+  static constexpr unsigned CheapClaimChunk = 8;
 
   /// Runs a batch of campaign cells. Results[I] is Jobs[I]'s outcome —
   /// keyed by submission index, never completion order, so the output
-  /// is bit-identical to a serial loop over the same jobs.
+  /// is bit-identical to a serial loop over the same jobs. Cells can
+  /// time out, so the batch claims one index at a time.
   std::vector<RunOutcome> runBatch(const std::vector<ExecJob> &Jobs);
 
 private:
@@ -133,6 +189,7 @@ private:
   size_t NextIndex = 0;
   size_t EndIndex = 0;
   size_t DoneCount = 0;
+  unsigned BatchClaimChunk = 1;
   uint64_t BatchId = 0;
   std::exception_ptr FirstError;
   bool ShuttingDown = false;

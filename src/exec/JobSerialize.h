@@ -1,0 +1,92 @@
+//===- JobSerialize.h - Wire format for cross-process jobs ------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary serialization of ExecJob descriptors and RunOutcomes for the
+/// process-pool backend. A job descriptor is fully self-contained: the
+/// test case by value, the device configuration by value (bug models
+/// and all) and the run settings — so a worker subprocess re-derives
+/// exactly the same deterministic streams (generator seeds, scheduler
+/// seeds, lottery salts) the in-process backends use, and every
+/// backend produces bit-identical tables.
+///
+/// The format is a private little-endian framing between a campaign
+/// process and workers forked from the *same binary*; it carries no
+/// version negotiation and must never be written to disk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_EXEC_JOBSERIALIZE_H
+#define CLFUZZ_EXEC_JOBSERIALIZE_H
+
+#include "exec/ExecutionEngine.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+/// Append-only byte sink used by the serializers.
+class WireWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u32(uint32_t V);
+  void u64(uint64_t V);
+  void f64(double V);
+  void str(const std::string &S);
+  void bytes(const std::vector<uint8_t> &B);
+
+  const std::vector<uint8_t> &buffer() const { return Buf; }
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+/// Cursor over a received frame. Truncated frames throw
+/// std::runtime_error (a malformed frame means a torn-down worker, and
+/// the pool treats it as a worker crash).
+class WireReader {
+public:
+  WireReader(const uint8_t *Data, size_t Size) : P(Data), End(Data + Size) {}
+
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  double f64();
+  std::string str();
+  std::vector<uint8_t> bytes();
+  bool atEnd() const { return P == End; }
+
+private:
+  void need(size_t N) const;
+  const uint8_t *P;
+  const uint8_t *End;
+};
+
+/// An ExecJob reconstructed from the wire: owns its test case and
+/// configuration storage (ExecJob itself only holds pointers).
+struct OwnedExecJob {
+  TestCase Test;
+  std::optional<DeviceConfig> Config; ///< nullopt = reference run
+  bool Opt = false;
+  RunSettings Settings;
+
+  /// A view into this object's storage; valid while it lives.
+  ExecJob view() const;
+};
+
+void serializeExecJob(WireWriter &W, const ExecJob &Job);
+OwnedExecJob deserializeExecJob(WireReader &R);
+
+void serializeRunOutcome(WireWriter &W, const RunOutcome &O);
+RunOutcome deserializeRunOutcome(WireReader &R);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_EXEC_JOBSERIALIZE_H

@@ -1,0 +1,58 @@
+//===- Pipeline.cpp - Streaming campaign pipeline runner ---------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Pipeline.h"
+
+#include <algorithm>
+
+using namespace clfuzz;
+
+PipelineStats clfuzz::runShardedCampaign(
+    TestSource &Source, ExecBackend &Backend, unsigned ShardSize,
+    const std::function<void(size_t TestIndex, const TestCase &Test,
+                             std::vector<ExecJob> &Jobs)> &ExpandJobs,
+    ResultSink &Sink,
+    const std::function<void(size_t TestsDone)> &Progress) {
+  PipelineStats Stats;
+  ShardSize = std::max(ShardSize, 1u);
+
+  for (;;) {
+    // The previous shard was destroyed before this pull: memory is
+    // bounded by one shard of TestCases per pipeline.
+    std::vector<TestCase> Shard = Source.next(ShardSize);
+    if (Shard.empty())
+      break;
+    ++Stats.Shards;
+    Stats.PeakResidentTests = std::max(Stats.PeakResidentTests, Shard.size());
+
+    std::vector<ExecJob> Jobs;
+    std::vector<size_t> JobStart(Shard.size() + 1);
+    for (size_t T = 0; T != Shard.size(); ++T) {
+      JobStart[T] = Jobs.size();
+      ExpandJobs(Stats.Tests + T, Shard[T], Jobs);
+    }
+    JobStart[Shard.size()] = Jobs.size();
+
+    std::vector<RunOutcome> Outcomes = Backend.run(Jobs);
+    Stats.Jobs += Jobs.size();
+
+    // Consumption and progress both run on the calling thread — never
+    // on a worker (thread or subprocess). Progress fires once per
+    // test, preserving the historical serial cadence.
+    for (size_t T = 0; T != Shard.size(); ++T) {
+      std::vector<RunOutcome> TestOutcomes(
+          std::make_move_iterator(Outcomes.begin() + JobStart[T]),
+          std::make_move_iterator(Outcomes.begin() + JobStart[T + 1]));
+      Sink.consumeTest(Stats.Tests + T, Shard[T], TestOutcomes);
+      if (Progress)
+        Progress(Stats.Tests + T + 1);
+    }
+    Stats.Tests += Shard.size();
+  }
+  Sink.finish();
+  return Stats;
+}

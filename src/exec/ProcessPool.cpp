@@ -1,0 +1,419 @@
+//===- ProcessPool.cpp - Fork/exec-isolated execution backend ----------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ProcessPool.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include "exec/JobSerialize.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <poll.h>
+#include <pthread.h>
+#include <stdexcept>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace clfuzz;
+
+namespace {
+
+/// Reads exactly N bytes; false on EOF or unrecoverable error.
+bool readFull(int Fd, void *Buf, size_t N) {
+  auto *P = static_cast<uint8_t *>(Buf);
+  while (N) {
+    ssize_t R = ::read(Fd, P, N);
+    if (R > 0) {
+      P += R;
+      N -= static_cast<size_t>(R);
+      continue;
+    }
+    if (R < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+/// Writes exactly N bytes; false on EPIPE (dead peer) or error.
+bool writeFull(int Fd, const void *Buf, size_t N) {
+  auto *P = static_cast<const uint8_t *>(Buf);
+  while (N) {
+    ssize_t W = ::write(Fd, P, N);
+    if (W > 0) {
+      P += W;
+      N -= static_cast<size_t>(W);
+      continue;
+    }
+    if (W < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+/// writeFull with SIGPIPE suppressed for this write only: the signal
+/// is blocked on the calling thread, any SIGPIPE our write raised is
+/// drained, and the old mask is restored — so a worker dying mid-send
+/// surfaces as EPIPE without altering the program's process-wide
+/// signal disposition (a campaign piped into `head` must still die of
+/// SIGPIPE on stdout like any other process).
+bool writeFullNoSigpipe(int Fd, const void *Buf, size_t N) {
+  sigset_t Pipe, Old;
+  sigemptyset(&Pipe);
+  sigaddset(&Pipe, SIGPIPE);
+  ::pthread_sigmask(SIG_BLOCK, &Pipe, &Old);
+  bool Ok = writeFull(Fd, Buf, N);
+  if (!Ok) {
+    struct timespec Zero = {0, 0};
+    while (::sigtimedwait(&Pipe, nullptr, &Zero) == SIGPIPE) {
+    }
+  }
+  ::pthread_sigmask(SIG_SETMASK, &Old, nullptr);
+  return Ok;
+}
+
+/// Worker subprocess loop: read a framed job descriptor, execute it,
+/// write the framed outcome. A zero-length frame (or EOF) is the
+/// shutdown signal. Never returns.
+[[noreturn]] void workerMain(int In, int Out) {
+  // The worker owns its process: a parent that went away must surface
+  // as a failed write (then _exit), not a SIGPIPE kill.
+  ::signal(SIGPIPE, SIG_IGN);
+  for (;;) {
+    uint32_t Len = 0;
+    if (!readFull(In, &Len, sizeof(Len)) || Len == 0)
+      ::_exit(0);
+    std::vector<uint8_t> Frame(Len);
+    if (!readFull(In, Frame.data(), Len))
+      ::_exit(1);
+
+    RunOutcome O;
+    try {
+      WireReader R(Frame.data(), Frame.size());
+      OwnedExecJob Job = deserializeExecJob(R);
+      O = runExecJob(Job.view());
+    } catch (const std::exception &E) {
+      O.Status = RunStatus::Crash;
+      O.Message = std::string("worker: ") + E.what();
+    }
+
+    WireWriter W;
+    serializeRunOutcome(W, O);
+    uint32_t RespLen = static_cast<uint32_t>(W.buffer().size());
+    if (!writeFull(Out, &RespLen, sizeof(RespLen)) ||
+        !writeFull(Out, W.buffer().data(), RespLen))
+      ::_exit(1);
+  }
+}
+
+class ProcessPoolBackend final : public ExecBackend {
+public:
+  explicit ProcessPoolBackend(const ExecOptions &Opts)
+      : NumWorkers(Opts.resolvedThreads()), TimeoutMs(Opts.ProcTimeoutMs) {}
+
+  ~ProcessPoolBackend() override {
+    for (Worker &W : Workers)
+      stopWorker(W);
+  }
+
+  BackendKind kind() const override { return BackendKind::Procs; }
+  unsigned concurrency() const override { return NumWorkers; }
+  std::vector<RunOutcome> run(const std::vector<ExecJob> &Jobs) override;
+
+private:
+  struct Worker {
+    pid_t Pid = -1;
+    int ToChild = -1;   ///< parent writes job frames here
+    int FromChild = -1; ///< parent reads outcome frames here
+    bool Busy = false;
+    size_t JobIndex = 0;
+    std::chrono::steady_clock::time_point Deadline;
+  };
+
+  bool spawnWorker(Worker &W);
+  void stopWorker(Worker &W);
+  /// Reaps a dead worker and reports how it died ("signal 6 (SIGABRT)").
+  std::string reapWorker(Worker &W);
+  bool sendJob(Worker &W, const ExecJob &Job);
+
+  unsigned NumWorkers;
+  unsigned TimeoutMs;
+  std::vector<Worker> Workers;
+};
+
+bool ProcessPoolBackend::spawnWorker(Worker &W) {
+  int ToChild[2], FromChild[2];
+  if (::pipe(ToChild) != 0)
+    return false;
+  if (::pipe(FromChild) != 0) {
+    ::close(ToChild[0]);
+    ::close(ToChild[1]);
+    return false;
+  }
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(ToChild[0]);
+    ::close(ToChild[1]);
+    ::close(FromChild[0]);
+    ::close(FromChild[1]);
+    return false;
+  }
+  if (Pid == 0) {
+    // Child: keep only this worker's two pipe ends (including ends
+    // inherited from siblings forked earlier — closing them is what
+    // lets a sibling see EOF when the parent goes away).
+    ::close(ToChild[1]);
+    ::close(FromChild[0]);
+    for (const Worker &Other : Workers) {
+      if (Other.ToChild >= 0)
+        ::close(Other.ToChild);
+      if (Other.FromChild >= 0)
+        ::close(Other.FromChild);
+    }
+    workerMain(ToChild[0], FromChild[1]);
+  }
+  ::close(ToChild[0]);
+  ::close(FromChild[1]);
+  W.Pid = Pid;
+  W.ToChild = ToChild[1];
+  W.FromChild = FromChild[0];
+  W.Busy = false;
+  return true;
+}
+
+void ProcessPoolBackend::stopWorker(Worker &W) {
+  if (W.Pid < 0)
+    return;
+  // Polite shutdown frame first; SIGKILL if the worker is wedged.
+  uint32_t Zero = 0;
+  writeFullNoSigpipe(W.ToChild, &Zero, sizeof(Zero));
+  ::close(W.ToChild);
+  ::close(W.FromChild);
+  int Status = 0;
+  if (::waitpid(W.Pid, &Status, WNOHANG) == 0) {
+    ::kill(W.Pid, SIGKILL);
+    ::waitpid(W.Pid, &Status, 0);
+  }
+  W.Pid = -1;
+  W.ToChild = W.FromChild = -1;
+}
+
+std::string ProcessPoolBackend::reapWorker(Worker &W) {
+  ::close(W.ToChild);
+  ::close(W.FromChild);
+  int Status = 0;
+  ::waitpid(W.Pid, &Status, 0);
+  W.Pid = -1;
+  W.ToChild = W.FromChild = -1;
+  W.Busy = false;
+  if (WIFSIGNALED(Status)) {
+    int Sig = WTERMSIG(Status);
+    return "signal " + std::to_string(Sig) + " (" + strsignal(Sig) + ")";
+  }
+  if (WIFEXITED(Status))
+    return "exit status " + std::to_string(WEXITSTATUS(Status));
+  return "unknown cause";
+}
+
+bool ProcessPoolBackend::sendJob(Worker &W, const ExecJob &Job) {
+  WireWriter Wire;
+  serializeExecJob(Wire, Job);
+  uint32_t Len = static_cast<uint32_t>(Wire.buffer().size());
+  return writeFullNoSigpipe(W.ToChild, &Len, sizeof(Len)) &&
+         writeFullNoSigpipe(W.ToChild, Wire.buffer().data(), Len);
+}
+
+std::vector<RunOutcome>
+ProcessPoolBackend::run(const std::vector<ExecJob> &Jobs) {
+  std::vector<RunOutcome> Results(Jobs.size());
+  if (Jobs.empty())
+    return Results;
+
+  // Lazy spawn: campaigns that stay on one backend never pay for the
+  // others, and forking before any batch keeps the child free of
+  // inherited thread state (the campaign thread is the only one live
+  // when a procs-backed run starts).
+  if (Workers.empty()) {
+    Workers.resize(NumWorkers);
+    for (Worker &W : Workers)
+      if (!spawnWorker(W))
+        throw std::runtime_error("process pool: fork failed");
+  }
+
+  using Clock = std::chrono::steady_clock;
+  size_t NextJob = 0, Done = 0;
+
+  // A worker death is ambiguous: the job may have crashed it (the
+  // fault procs exists to isolate) or the worker may have died for
+  // unrelated reasons (OOM killer, operator) with an innocent job in
+  // flight. Each job therefore gets one retry on a fresh worker: an
+  // externally killed worker's job re-runs and yields its true result
+  // (preserving cross-backend bit-identity), while a genuinely
+  // crashing job — deterministic like every cell — kills the retry
+  // worker too and is then recorded as its Crash outcome.
+  std::vector<uint8_t> CrashCount(Jobs.size(), 0);
+  std::vector<size_t> RetryQueue;
+
+  auto CrashOutcome = [](const std::string &How) {
+    RunOutcome O;
+    O.Status = RunStatus::Crash;
+    O.Message = "worker process died (" + How + "); isolated by process pool";
+    return O;
+  };
+  auto TimeoutOutcome = [&] {
+    RunOutcome O;
+    O.Status = RunStatus::Timeout;
+    O.Message = "exceeded process-pool wall-clock deadline (" +
+                std::to_string(TimeoutMs) + " ms); worker killed";
+    return O;
+  };
+
+  /// Records a worker death against its in-flight job: requeues the
+  /// job on first failure, records a crash outcome on the second.
+  /// Never silently drops a job.
+  auto JobFailed = [&](size_t Index, const std::string &How) {
+    if (++CrashCount[Index] <= 1) {
+      RetryQueue.push_back(Index);
+      return;
+    }
+    Results[Index] = CrashOutcome(How);
+    ++Done;
+  };
+
+  // One job in flight per worker.
+  auto Dispatch = [&](Worker &W) {
+    for (;;) {
+      size_t Index;
+      if (!RetryQueue.empty()) {
+        Index = RetryQueue.back();
+        RetryQueue.pop_back();
+      } else if (NextJob < Jobs.size()) {
+        Index = NextJob++;
+      } else {
+        return;
+      }
+      if (sendJob(W, Jobs[Index])) {
+        W.Busy = true;
+        W.JobIndex = Index;
+        W.Deadline = Clock::now() + std::chrono::milliseconds(
+                                        TimeoutMs ? TimeoutMs : 0);
+        return;
+      }
+      // The worker died before the job ever ran; recycle the worker
+      // and treat it as this job's (retryable) failure.
+      std::string How = reapWorker(W);
+      JobFailed(Index, How);
+      if (!spawnWorker(W))
+        throw std::runtime_error("process pool: respawn failed");
+    }
+  };
+
+  for (Worker &W : Workers)
+    Dispatch(W);
+
+  std::vector<pollfd> Fds;
+  std::vector<Worker *> FdOwner;
+  while (Done < Jobs.size()) {
+    Fds.clear();
+    FdOwner.clear();
+    for (Worker &W : Workers)
+      if (W.Busy) {
+        Fds.push_back({W.FromChild, POLLIN, 0});
+        FdOwner.push_back(&W);
+      }
+
+    int PollTimeout = -1;
+    if (TimeoutMs) {
+      auto Now = Clock::now();
+      auto Earliest = Clock::time_point::max();
+      for (Worker *W : FdOwner)
+        Earliest = std::min(Earliest, W->Deadline);
+      auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      Earliest - Now)
+                      .count();
+      PollTimeout = Left < 0 ? 0 : static_cast<int>(Left) + 1;
+    }
+
+    int Ready = ::poll(Fds.data(), Fds.size(), PollTimeout);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      throw std::runtime_error("process pool: poll failed");
+    }
+
+    for (size_t I = 0; I != Fds.size(); ++I) {
+      if (!(Fds[I].revents & (POLLIN | POLLHUP | POLLERR)))
+        continue;
+      Worker &W = *FdOwner[I];
+      size_t Index = W.JobIndex;
+      uint32_t Len = 0;
+      std::vector<uint8_t> Frame;
+      bool Ok = readFull(W.FromChild, &Len, sizeof(Len));
+      if (Ok) {
+        Frame.resize(Len);
+        Ok = readFull(W.FromChild, Frame.data(), Len);
+      }
+      if (Ok) {
+        try {
+          WireReader R(Frame.data(), Frame.size());
+          Results[Index] = deserializeRunOutcome(R);
+        } catch (const std::exception &) {
+          Ok = false;
+        }
+      }
+      if (Ok) {
+        W.Busy = false;
+        ++Done;
+      } else {
+        std::string How = reapWorker(W);
+        JobFailed(Index, How);
+        if (!spawnWorker(W))
+          throw std::runtime_error("process pool: respawn failed");
+      }
+      Dispatch(W);
+    }
+
+    if (TimeoutMs) {
+      auto Now = Clock::now();
+      for (Worker &W : Workers) {
+        if (!W.Busy || Now < W.Deadline)
+          continue;
+        size_t Index = W.JobIndex;
+        ::kill(W.Pid, SIGKILL);
+        reapWorker(W);
+        Results[Index] = TimeoutOutcome();
+        ++Done;
+        if (!spawnWorker(W))
+          throw std::runtime_error("process pool: respawn failed");
+        Dispatch(W);
+      }
+    }
+  }
+  return Results;
+}
+
+} // namespace
+
+std::unique_ptr<ExecBackend>
+clfuzz::makeProcessPoolBackend(const ExecOptions &Opts) {
+  return std::make_unique<ProcessPoolBackend>(Opts);
+}
+
+#else // no fork(): degrade to the serial reference backend.
+
+std::unique_ptr<clfuzz::ExecBackend>
+clfuzz::makeProcessPoolBackend(const clfuzz::ExecOptions &) {
+  return std::make_unique<clfuzz::InlineBackend>();
+}
+
+#endif

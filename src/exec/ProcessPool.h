@@ -1,0 +1,52 @@
+//===- ProcessPool.h - Fork/exec-isolated execution backend -----*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-pool ExecBackend: campaign cells execute in forked
+/// worker subprocesses fed serialized job descriptors over pipes, so a
+/// cell that crashes the VM or runs away past its wall-clock deadline
+/// kills one disposable worker — recorded as that job's Crash/Timeout
+/// outcome — instead of the whole campaign. This is the isolation
+/// model real many-core fuzzing needs: the paper's campaigns brought
+/// down drivers and whole machines, and a scheduler that dies with its
+/// victim cannot hunt at scale.
+///
+/// Determinism: a job descriptor carries the test case, the device
+/// configuration and the run settings by value (exec/JobSerialize.h),
+/// so the worker re-derives exactly the deterministic streams —
+/// generator seeds, scheduler seeds, lottery salts, Rng::forkForJob
+/// children baked into the descriptor — that the in-process backends
+/// use. Same seed => byte-identical tables on every backend.
+///
+/// Workers are forked lazily on the first batch and reused across
+/// batches; a dead worker is reaped and replaced without disturbing
+/// the rest of the pool. One job is in flight per worker, which keeps
+/// the pipe protocol deadlock-free (frames are written only after the
+/// previous response was fully read). A job whose worker dies gets
+/// one retry on a fresh worker: an innocent job stranded by an
+/// externally killed worker (OOM, operator) re-runs to its true
+/// result, while a genuinely crashing job — deterministic like every
+/// cell — kills the retry worker too and is recorded as a Crash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_EXEC_PROCESSPOOL_H
+#define CLFUZZ_EXEC_PROCESSPOOL_H
+
+#include "exec/ExecBackend.h"
+
+namespace clfuzz {
+
+/// Builds the process-pool backend: ExecOptions::Threads workers
+/// (0 = one per core), ExecOptions::ProcTimeoutMs wall-clock deadline
+/// per job (0 = none). On platforms without fork() this returns the
+/// serial InlineBackend instead — same results, no isolation.
+std::unique_ptr<ExecBackend> makeProcessPoolBackend(const ExecOptions &Opts);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_EXEC_PROCESSPOOL_H

@@ -1,0 +1,174 @@
+//===- ResultSink.cpp - Streaming result aggregation -------------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ResultSink.h"
+#include "support/StringUtil.h"
+
+using namespace clfuzz;
+
+ResultSink::~ResultSink() = default;
+
+void OutcomeTallySink::consumeTest(size_t, const TestCase &,
+                                   const std::vector<RunOutcome> &Outcomes) {
+  ++Tests;
+  for (const RunOutcome &O : Outcomes) {
+    ++Jobs;
+    ++ByStatus[O.Status];
+  }
+}
+
+namespace {
+
+const std::string &jobLabel(const std::vector<std::string> &Labels, size_t I,
+                            std::string &Scratch) {
+  if (I < Labels.size())
+    return Labels[I];
+  Scratch = std::to_string(I);
+  return Scratch;
+}
+
+/// CSV field quoting (RFC 4180): quote when the value contains a
+/// comma, quote or newline; double embedded quotes.
+std::string csvField(const std::string &V) {
+  if (V.find_first_of(",\"\n") == std::string::npos)
+    return V;
+  std::string Q = "\"";
+  for (char C : V) {
+    if (C == '"')
+      Q += '"';
+    Q += C;
+  }
+  Q += '"';
+  return Q;
+}
+
+/// Minimal JSON string escaping.
+std::string jsonString(const std::string &V) {
+  std::string S = "\"";
+  for (char C : V) {
+    switch (C) {
+    case '"':
+      S += "\\\"";
+      break;
+    case '\\':
+      S += "\\\\";
+      break;
+    case '\n':
+      S += "\\n";
+      break;
+    case '\t':
+      S += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        S += Buf;
+      } else {
+        S += C;
+      }
+    }
+  }
+  S += '"';
+  return S;
+}
+
+} // namespace
+
+CsvOutcomeSink::CsvOutcomeSink(std::FILE *Out,
+                               std::vector<std::string> JobLabels)
+    : Out(Out), JobLabels(std::move(JobLabels)) {
+  // Header up front, so an empty campaign still emits a valid CSV.
+  std::fprintf(Out, "test_index,test_name,job,status,output_hash,steps\n");
+}
+
+void CsvOutcomeSink::consumeTest(size_t TestIndex, const TestCase &Test,
+                                 const std::vector<RunOutcome> &Outcomes) {
+  std::string Scratch;
+  for (size_t I = 0; I != Outcomes.size(); ++I) {
+    const RunOutcome &O = Outcomes[I];
+    std::fprintf(Out, "%zu,%s,%s,%s,%s,%llu\n", TestIndex,
+                 csvField(Test.Name).c_str(),
+                 csvField(jobLabel(JobLabels, I, Scratch)).c_str(),
+                 runStatusName(O.Status),
+                 O.ok() ? toHex(O.OutputHash).c_str() : "",
+                 static_cast<unsigned long long>(O.Steps));
+  }
+}
+
+JsonlOutcomeSink::JsonlOutcomeSink(std::FILE *Out,
+                                   std::vector<std::string> JobLabels)
+    : Out(Out), JobLabels(std::move(JobLabels)) {}
+
+void JsonlOutcomeSink::consumeTest(size_t TestIndex, const TestCase &Test,
+                                   const std::vector<RunOutcome> &Outcomes) {
+  std::string Scratch;
+  for (size_t I = 0; I != Outcomes.size(); ++I) {
+    const RunOutcome &O = Outcomes[I];
+    std::fprintf(Out,
+                 "{\"test\":%zu,\"name\":%s,\"job\":%s,\"status\":\"%s\"",
+                 TestIndex, jsonString(Test.Name).c_str(),
+                 jsonString(jobLabel(JobLabels, I, Scratch)).c_str(),
+                 runStatusName(O.Status));
+    if (O.ok())
+      std::fprintf(Out, ",\"output_hash\":\"%s\"",
+                   toHex(O.OutputHash).c_str());
+    else
+      std::fprintf(Out, ",\"message\":%s", jsonString(O.Message).c_str());
+    std::fprintf(Out, ",\"steps\":%llu}\n",
+                 static_cast<unsigned long long>(O.Steps));
+  }
+}
+
+bool clfuzz::parseTableFormat(const std::string &Name, TableFormat &Out) {
+  if (Name == "text")
+    Out = TableFormat::Text;
+  else if (Name == "csv")
+    Out = TableFormat::Csv;
+  else if (Name == "json")
+    Out = TableFormat::Json;
+  else
+    return false;
+  return true;
+}
+
+void clfuzz::emitTable(const EmitTable &T, TableFormat Format,
+                       std::FILE *Out) {
+  switch (Format) {
+  case TableFormat::Text:
+    // The harnesses own their text layout; nothing to do here.
+    return;
+  case TableFormat::Csv: {
+    for (size_t I = 0; I != T.Columns.size(); ++I)
+      std::fprintf(Out, "%s%s", I ? "," : "", csvField(T.Columns[I]).c_str());
+    std::fprintf(Out, "\n");
+    for (const std::vector<std::string> &Row : T.Rows) {
+      for (size_t I = 0; I != Row.size(); ++I)
+        std::fprintf(Out, "%s%s", I ? "," : "", csvField(Row[I]).c_str());
+      std::fprintf(Out, "\n");
+    }
+    return;
+  }
+  case TableFormat::Json: {
+    std::fprintf(Out, "{\"title\":%s,\"columns\":[",
+                 jsonString(T.Title).c_str());
+    for (size_t I = 0; I != T.Columns.size(); ++I)
+      std::fprintf(Out, "%s%s", I ? "," : "",
+                   jsonString(T.Columns[I]).c_str());
+    std::fprintf(Out, "],\"rows\":[");
+    for (size_t R = 0; R != T.Rows.size(); ++R) {
+      std::fprintf(Out, "%s[", R ? "," : "");
+      for (size_t I = 0; I != T.Rows[R].size(); ++I)
+        std::fprintf(Out, "%s%s", I ? "," : "",
+                     jsonString(T.Rows[R][I]).c_str());
+      std::fprintf(Out, "]");
+    }
+    std::fprintf(Out, "]}\n");
+    return;
+  }
+  }
+}

@@ -1,0 +1,125 @@
+//===- ResultSink.h - Streaming result aggregation --------------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The consumer half of the streaming campaign pipeline
+/// (TestSource -> ExecBackend -> ResultSink). A sink receives each
+/// test's outcomes exactly once, keyed by the test's global submission
+/// index and with the outcomes in job-expansion order — never in
+/// completion order — so aggregation is bit-identical for every
+/// backend, worker count and shard size. Sinks aggregate as results
+/// stream past (a vote, a tally, an emitted row) and hold bounded
+/// state: a paper-scale campaign flows through without the result set
+/// ever being materialised.
+///
+/// Campaign-specific voting sinks (Tables 1/4/5) live with the
+/// campaign drivers in src/oracle/Campaign.cpp; this file provides the
+/// interface plus generic sinks and the CSV/JSON table emitters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_EXEC_RESULTSINK_H
+#define CLFUZZ_EXEC_RESULTSINK_H
+
+#include "device/Driver.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+/// Streaming consumer of campaign results.
+class ResultSink {
+public:
+  virtual ~ResultSink();
+
+  /// Called once per test, in submission order (TestIndex is the
+  /// test's global index in the source's sequence). \p Outcomes holds
+  /// the results of the test's jobs in the order they were expanded.
+  virtual void consumeTest(size_t TestIndex, const TestCase &Test,
+                           const std::vector<RunOutcome> &Outcomes) = 0;
+
+  /// Called once after the source is exhausted.
+  virtual void finish() {}
+};
+
+/// Counts outcome statuses across every job of every test.
+class OutcomeTallySink : public ResultSink {
+public:
+  void consumeTest(size_t TestIndex, const TestCase &Test,
+                   const std::vector<RunOutcome> &Outcomes) override;
+
+  unsigned Tests = 0;
+  unsigned Jobs = 0;
+  std::map<RunStatus, unsigned> ByStatus;
+};
+
+/// Streams one CSV row per (test, job) to \p Out as results arrive:
+/// test_index,test_name,job_label,status,output_hash,steps. The
+/// header is written on construction (an empty campaign is still a
+/// valid CSV). Job labels name the expansion order's cells (e.g.
+/// "12+"); when fewer labels than jobs are given, the numeric job
+/// index is used.
+class CsvOutcomeSink : public ResultSink {
+public:
+  CsvOutcomeSink(std::FILE *Out, std::vector<std::string> JobLabels);
+
+  void consumeTest(size_t TestIndex, const TestCase &Test,
+                   const std::vector<RunOutcome> &Outcomes) override;
+
+private:
+  std::FILE *Out;
+  std::vector<std::string> JobLabels;
+};
+
+/// Streams one JSON object per line (JSONL) per (test, job).
+class JsonlOutcomeSink : public ResultSink {
+public:
+  JsonlOutcomeSink(std::FILE *Out, std::vector<std::string> JobLabels);
+
+  void consumeTest(size_t TestIndex, const TestCase &Test,
+                   const std::vector<RunOutcome> &Outcomes) override;
+
+private:
+  std::FILE *Out;
+  std::vector<std::string> JobLabels;
+};
+
+//===----------------------------------------------------------------------===//
+// Table emitters
+//===----------------------------------------------------------------------===//
+
+/// A finished table (Tables 1-5, the benchmark inventory, ...) in
+/// emitter-neutral form: the harnesses build one of these from their
+/// aggregated results and render it as CSV or JSON.
+struct EmitTable {
+  std::string Title;
+  std::vector<std::string> Columns;
+  std::vector<std::vector<std::string>> Rows;
+
+  void addRow(std::vector<std::string> Row) { Rows.push_back(std::move(Row)); }
+};
+
+enum class TableFormat : uint8_t {
+  Text, ///< the harness's native printf layout (emitTable ignores it)
+  Csv,
+  Json,
+};
+
+/// Parses a --format= value ("text", "csv", "json").
+bool parseTableFormat(const std::string &Name, TableFormat &Out);
+
+/// Renders \p T to \p Out as CSV (RFC-4180-style quoting) or as a JSON
+/// object {"title", "columns", "rows"}. TableFormat::Text is the
+/// caller's own layout and is not handled here.
+void emitTable(const EmitTable &T, TableFormat Format, std::FILE *Out);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_EXEC_RESULTSINK_H

@@ -1,0 +1,114 @@
+//===- TestSource.cpp - Pull-based sharded test generation -------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/TestSource.h"
+
+#include <algorithm>
+
+using namespace clfuzz;
+
+TestSource::~TestSource() = default;
+
+GeneratorSource::GeneratorSource(GenMode Mode, const GenOptions &BaseGen,
+                                 uint64_t SeedBase, unsigned Count,
+                                 bool Prefilter, const DeviceConfig *Config1,
+                                 const RunSettings &Run, ExecBackend &Backend)
+    : BaseGen(BaseGen), Config1(Config1), Run(Run), Backend(Backend),
+      NextSeed(SeedBase), Count(Count), MaxAttempts(Count * 4),
+      Filter(Prefilter && Config1 != nullptr) {
+  this->BaseGen.Mode = Mode;
+}
+
+std::vector<TestCase> GeneratorSource::next(unsigned MaxShard) {
+  MaxShard = std::max(MaxShard, 1u);
+  std::vector<TestCase> Shard;
+
+  while (Shard.size() < MaxShard && Produced < Count &&
+         Attempts < MaxAttempts) {
+    // A wave is capped at the shard's remaining capacity, so resident
+    // TestCases (shard + in-flight candidates) never exceed MaxShard
+    // — the O(ShardSize) memory bound holds even when the backend has
+    // more workers than the shard has room. Within that cap, waves
+    // are sized to keep every worker busy.
+    unsigned Capacity =
+        MaxShard - static_cast<unsigned>(Shard.size());
+    unsigned Target = std::min<unsigned>(Count - Produced, Capacity);
+    unsigned Wave = std::min(
+        MaxAttempts - Attempts,
+        std::max(Target, std::min(Backend.concurrency(), Capacity)));
+
+    // Candidate generation is in-process work (closures over the AST
+    // stack); the prefilter runs are serializable cells and go through
+    // the backend proper.
+    std::vector<TestCase> Candidates(Wave);
+    Backend.forEachIndex(Wave, [&](size_t I) {
+      GenOptions GO = BaseGen;
+      GO.Seed = NextSeed + I;
+      Candidates[I] = TestCase::fromGenerated(generateKernel(GO));
+    });
+
+    std::vector<uint8_t> Accepted(Wave, 1);
+    if (Filter) {
+      std::vector<ExecJob> Jobs;
+      Jobs.reserve(Wave);
+      for (const TestCase &C : Candidates)
+        Jobs.push_back(ExecJob::onConfig(C, *Config1, /*Opt=*/true, Run));
+      std::vector<RunOutcome> Outs = Backend.run(Jobs);
+      for (size_t I = 0; I != Wave; ++I)
+        if (Outs[I].Status == RunStatus::BuildFailure ||
+            Outs[I].Status == RunStatus::Timeout)
+          Accepted[I] = 0;
+    }
+
+    // Acceptance scans the wave in seed order and stops only for the
+    // campaign quota, so the accepted sequence is the same no matter
+    // how it is sliced into shards (a wave never produces more than
+    // the shard's remaining capacity because it is no larger than it).
+    for (unsigned I = 0; I != Wave && Produced < Count; ++I) {
+      ++Attempts;
+      if (!Accepted[I])
+        continue;
+      ++Produced;
+      Shard.push_back(std::move(Candidates[I]));
+    }
+    NextSeed += Wave;
+  }
+  return Shard;
+}
+
+EmiVariantSource::EmiVariantSource(const GenOptions &BaseGen,
+                                   ExecBackend &Backend)
+    : BaseGen(BaseGen), Backend(Backend),
+      Sweep(paperPruneSweep(BaseGen.Seed * 41)) {}
+
+std::vector<TestCase> EmiVariantSource::next(unsigned MaxShard) {
+  MaxShard = std::max(MaxShard, 1u);
+  size_t N = std::min<size_t>(MaxShard, Sweep.size() - NextVariant);
+  std::vector<TestCase> Shard(N);
+  // Variant construction (regenerate + prune) is pure per variant and
+  // CPU-heavy; it uses the backend's in-process parallelism.
+  Backend.forEachIndex(N, [&](size_t I) {
+    Shard[I] = makeEmiVariant(BaseGen, Sweep[NextVariant + I]);
+  });
+  NextVariant += N;
+  return Shard;
+}
+
+std::vector<TestCase> VectorSource::next(unsigned MaxShard) {
+  MaxShard = std::max(MaxShard, 1u);
+  size_t N = std::min<size_t>(MaxShard, Tests.size() - NextTest);
+  std::vector<TestCase> Shard(
+      std::make_move_iterator(Tests.begin() + NextTest),
+      std::make_move_iterator(Tests.begin() + NextTest + N));
+  // Moved-from elements keep only empty shells; the vector itself is
+  // not compacted (an O(n^2) erase-from-front), so a full drain is
+  // O(n) while consumed TestCases still release their storage.
+  for (size_t I = 0; I != N; ++I)
+    Tests[NextTest + I] = TestCase();
+  NextTest += N;
+  return Shard;
+}

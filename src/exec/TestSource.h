@@ -1,0 +1,124 @@
+//===- TestSource.h - Pull-based sharded test generation --------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The producer half of the streaming campaign pipeline
+/// (TestSource -> ExecBackend -> ResultSink). A TestSource hands out
+/// kernels in bounded shards instead of materialising a whole mode's
+/// test set: a paper-scale run (10k kernels per mode) streams through
+/// the pipeline holding at most ExecOptions::ShardSize TestCases alive
+/// at a time.
+///
+/// Determinism discipline: a source's output sequence is a pure
+/// function of its seed configuration — never of the shard size, the
+/// backend, or the worker count. GeneratorSource scans consecutive
+/// seeds and accepts in seed order (prefilter runs go through the
+/// backend, acceptance happens on the calling thread), so pulling the
+/// same source in shards of 1 or 1000 yields the same tests in the
+/// same order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_EXEC_TESTSOURCE_H
+#define CLFUZZ_EXEC_TESTSOURCE_H
+
+#include "emi/Emi.h"
+#include "exec/ExecBackend.h"
+#include "gen/Generator.h"
+
+namespace clfuzz {
+
+/// Pull-based producer of test kernels.
+class TestSource {
+public:
+  virtual ~TestSource();
+
+  /// Returns the next shard: at most \p MaxShard tests, empty when the
+  /// source is exhausted. The sequence of tests (concatenated over all
+  /// pulls) is independent of how it is sliced into shards.
+  virtual std::vector<TestCase> next(unsigned MaxShard) = 0;
+
+  /// Number of tests the source aims to produce in total, when known
+  /// up front (0 = unknown). Used for progress reporting only.
+  virtual unsigned plannedTotal() const { return 0; }
+};
+
+/// Streams one generator mode's campaign test set: scans consecutive
+/// seeds from \p SeedBase (test K's kernel has seed SeedBase + scan
+/// offset; campaign drivers add their per-mode stride before
+/// constructing the source), optionally pre-filtering candidates on
+/// configuration 1+ (§7.3) through the backend, and accepts in seed
+/// order until the target count or the attempt cap is reached. The
+/// accepted sequence matches a serial scan of the same seeds for any
+/// shard size, backend or worker count.
+class GeneratorSource final : public TestSource {
+public:
+  /// \p Config1 enables the §7.3 prefilter when non-null and
+  /// \p Prefilter is set; candidates failing to build or terminate on
+  /// it (optimisations on) are skipped without counting toward the
+  /// accepted set.
+  GeneratorSource(GenMode Mode, const GenOptions &BaseGen, uint64_t SeedBase,
+                  unsigned Count, bool Prefilter, const DeviceConfig *Config1,
+                  const RunSettings &Run, ExecBackend &Backend);
+
+  std::vector<TestCase> next(unsigned MaxShard) override;
+  unsigned plannedTotal() const override { return Count; }
+
+private:
+  GenOptions BaseGen;
+  const DeviceConfig *Config1;
+  RunSettings Run;
+  ExecBackend &Backend;
+  uint64_t NextSeed;
+  unsigned Count;
+  unsigned Produced = 0;
+  unsigned Attempts = 0;
+  unsigned MaxAttempts;
+  bool Filter;
+};
+
+/// Streams the EMI prune variants of one base program (§7.4): the
+/// paper's 40-variant sweep, regenerated and pruned through the
+/// backend's in-process parallelism, shard by shard.
+class EmiVariantSource final : public TestSource {
+public:
+  EmiVariantSource(const GenOptions &BaseGen, ExecBackend &Backend);
+
+  std::vector<TestCase> next(unsigned MaxShard) override;
+  unsigned plannedTotal() const override {
+    return static_cast<unsigned>(Sweep.size());
+  }
+
+private:
+  GenOptions BaseGen;
+  ExecBackend &Backend;
+  std::vector<PruneOptions> Sweep;
+  size_t NextVariant = 0;
+};
+
+/// Wraps an already-materialised batch (bench harnesses, tests). Hands
+/// the tests out in shards by moving them out behind an advancing
+/// cursor — O(n) over the whole drain, with each consumed TestCase's
+/// storage released as its shard is taken.
+class VectorSource final : public TestSource {
+public:
+  explicit VectorSource(std::vector<TestCase> Tests)
+      : Tests(std::move(Tests)) {}
+
+  std::vector<TestCase> next(unsigned MaxShard) override;
+  unsigned plannedTotal() const override {
+    return static_cast<unsigned>(Tests.size());
+  }
+
+private:
+  std::vector<TestCase> Tests;
+  size_t NextTest = 0;
+};
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_EXEC_TESTSOURCE_H

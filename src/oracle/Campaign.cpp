@@ -5,11 +5,15 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// All three campaign drivers submit their (kernel, configuration, opt)
-// cells to the ExecutionEngine instead of looping inline. Batches are
-// aggregated strictly by submission index, so a campaign's tables are
-// bit-identical for any worker count; Settings.Exec.Threads == 1
-// reproduces the historical serial path exactly.
+// The three campaign drivers are thin compositions of the streaming
+// pipeline: a TestSource generates kernels in bounded shards, an
+// ExecBackend (inline / thread pool / isolated worker processes) runs
+// the (kernel, configuration, opt) cells, and a ResultSink votes over
+// each test's outcomes as they stream past. Aggregation is keyed
+// strictly by submission index, so a campaign's tables are
+// bit-identical for every backend, worker count and shard size;
+// Settings.Exec with one inline/thread worker reproduces the
+// historical serial path exactly.
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,92 +26,67 @@ using namespace clfuzz;
 
 namespace {
 
-/// Generates the campaign's test set for one mode, optionally
-/// pre-filtering on configuration 1+ as §7.3 prescribes. Candidate
-/// generation and the prefilter runs execute as engine jobs in waves;
-/// acceptance scans the wave in seed order, so the chosen set matches
-/// a serial scan of the same seed sequence for any thread count.
-std::vector<TestCase>
-generateTestSet(GenMode Mode, const CampaignSettings &Settings,
-                const DeviceConfig *Config1, ExecutionEngine &Engine) {
-  std::vector<TestCase> Tests;
-  uint64_t Seed = Settings.SeedBase +
-                  static_cast<uint64_t>(Mode) * 1000003ULL;
-  unsigned Attempts = 0;
-  const unsigned MaxAttempts = Settings.KernelsPerMode * 4;
-  const bool Filter = Settings.PrefilterOnConfig1 && Config1;
-
-  while (Tests.size() < Settings.KernelsPerMode &&
-         Attempts < MaxAttempts) {
-    unsigned Needed =
-        Settings.KernelsPerMode - static_cast<unsigned>(Tests.size());
-    unsigned Wave = std::min(MaxAttempts - Attempts,
-                             std::max(Needed, Engine.threadCount()));
-
-    std::vector<TestCase> Candidates(Wave);
-    std::vector<uint8_t> Accepted(Wave, 1);
-    Engine.forEachIndex(Wave, [&](size_t I) {
-      GenOptions GO = Settings.BaseGen;
-      GO.Mode = Mode;
-      GO.Seed = Seed + I;
-      Candidates[I] = TestCase::fromGenerated(generateKernel(GO));
-      if (Filter) {
-        RunOutcome O = runExecJob(ExecJob::onConfig(
-            Candidates[I], *Config1, /*Opt=*/true, Settings.Run));
-        if (O.Status == RunStatus::BuildFailure ||
-            O.Status == RunStatus::Timeout)
-          Accepted[I] = 0;
-      }
-    });
-
-    for (unsigned I = 0;
-         I != Wave && Tests.size() < Settings.KernelsPerMode; ++I) {
-      ++Attempts;
-      if (Accepted[I])
-        Tests.push_back(std::move(Candidates[I]));
-    }
-    Seed += Wave;
-  }
-  return Tests;
+/// The fixed cell order every driver expands a test into: configs in
+/// registry order, optimisations off then on.
+std::vector<ConfigKey> cellKeys(const std::vector<DeviceConfig> &Configs) {
+  std::vector<ConfigKey> Keys;
+  Keys.reserve(Configs.size() * 2);
+  for (const DeviceConfig &C : Configs)
+    for (bool Opt : {false, true})
+      Keys.push_back(ConfigKey{C.Id, Opt});
+  return Keys;
 }
 
-/// Submits every (test, config, opt) cell of one mode and returns the
-/// outcomes, indexed [test * cells + cell]. Tests are batched in
-/// groups sized to keep every worker busy, and \p OnTestsDone (tests
-/// finished so far in this mode) fires on the calling thread between
-/// groups, so a Progress consumer sees a live campaign rather than one
-/// jump at the end of the mode. With a serial engine the group size is
-/// one test — the historical per-test progress cadence.
-std::vector<RunOutcome>
-runModeBatch(const std::vector<TestCase> &Tests,
-             const std::vector<DeviceConfig> &Configs,
-             const RunSettings &Run, ExecutionEngine &Engine,
-             const std::function<void(unsigned)> &OnTestsDone) {
-  const size_t CellsPerTest = Configs.size() * 2;
-  std::vector<RunOutcome> All;
-  All.reserve(Tests.size() * CellsPerTest);
-
-  const size_t GroupTests =
-      Engine.threadCount() == 1
-          ? 1
-          : std::max<size_t>(1, Engine.threadCount() * 8 /
-                                    std::max<size_t>(CellsPerTest, 1));
-  for (size_t Start = 0; Start < Tests.size(); Start += GroupTests) {
-    size_t N = std::min(GroupTests, Tests.size() - Start);
-    std::vector<ExecJob> Jobs;
-    Jobs.reserve(N * CellsPerTest);
-    for (size_t TI = Start; TI != Start + N; ++TI)
-      for (const DeviceConfig &C : Configs)
-        for (bool Opt : {false, true})
-          Jobs.push_back(ExecJob::onConfig(Tests[TI], C, Opt, Run));
-    std::vector<RunOutcome> Group = Engine.runBatch(Jobs);
-    All.insert(All.end(), std::make_move_iterator(Group.begin()),
-               std::make_move_iterator(Group.end()));
-    if (OnTestsDone)
-      OnTestsDone(static_cast<unsigned>(Start + N));
-  }
-  return All;
+/// Appends one test's cell cube in cellKeys() order.
+std::function<void(size_t, const TestCase &, std::vector<ExecJob> &)>
+cubeExpander(const std::vector<DeviceConfig> &Configs,
+             const RunSettings &Run) {
+  return [&Configs, Run](size_t, const TestCase &T,
+                         std::vector<ExecJob> &Jobs) {
+    for (const DeviceConfig &C : Configs)
+      for (bool Opt : {false, true})
+        Jobs.push_back(ExecJob::onConfig(T, C, Opt, Run));
+  };
 }
+
+/// Streams Table 1/4-style majority voting: per test, every cell's
+/// outcome is classified against the majority of the whole set ("among
+/// all the results computed for the kernel", §7.3) and tallied into
+/// its (configuration, opt) cell. State is one OutcomeCounts per cell
+/// — independent of the campaign's length.
+class MajorityVoteSink final : public ResultSink {
+public:
+  explicit MajorityVoteSink(std::vector<ConfigKey> Keys)
+      : Keys(std::move(Keys)) {}
+
+  void consumeTest(size_t, const TestCase &,
+                   const std::vector<RunOutcome> &Outcomes) override {
+    std::vector<Verdict> Verdicts = classifyAgainstMajority(Outcomes);
+    for (size_t I = 0; I != Keys.size(); ++I)
+      Cells[Keys[I]].add(Verdicts[I]);
+  }
+
+  std::vector<ConfigKey> Keys;
+  std::map<ConfigKey, OutcomeCounts> Cells;
+};
+
+/// Streams one EMI base's variant cube: outcomes are regrouped per
+/// (configuration, opt) cell in variant order, then each cell is
+/// classified with the §7.4 EMI vote once the base's variants drain.
+/// State is outcomes-per-cell for one base — never the variants
+/// themselves, which stream through shard by shard.
+class EmiCellSink final : public ResultSink {
+public:
+  explicit EmiCellSink(size_t NumCells) : PerCell(NumCells) {}
+
+  void consumeTest(size_t, const TestCase &,
+                   const std::vector<RunOutcome> &Outcomes) override {
+    for (size_t Cell = 0; Cell != PerCell.size(); ++Cell)
+      PerCell[Cell].push_back(Outcomes[Cell]);
+  }
+
+  std::vector<std::vector<RunOutcome>> PerCell;
+};
 
 } // namespace
 
@@ -119,40 +98,36 @@ std::vector<ModeTable> clfuzz::runDifferentialCampaign(
     if (C.Id == 1)
       Config1 = &C;
 
-  ExecutionEngine Engine(Settings.Exec);
+  std::unique_ptr<ExecBackend> Backend = makeBackend(Settings.Exec);
+  const unsigned ShardSize = Settings.Exec.resolvedShardSize();
 
   unsigned TotalTests =
       static_cast<unsigned>(Modes.size()) * Settings.KernelsPerMode;
   unsigned Done = 0;
-  const size_t CellsPerTest = Configs.size() * 2;
 
   std::vector<ModeTable> Tables;
   for (GenMode Mode : Modes) {
-    ModeTable Table;
-    Table.Mode = Mode;
-    std::vector<TestCase> Tests =
-        generateTestSet(Mode, Settings, Config1, Engine);
-    Table.NumTests = static_cast<unsigned>(Tests.size());
+    GeneratorSource Source(Mode, Settings.BaseGen,
+                           Settings.SeedBase +
+                               static_cast<uint64_t>(Mode) * 1000003ULL,
+                           Settings.KernelsPerMode,
+                           Settings.PrefilterOnConfig1, Config1,
+                           Settings.Run, *Backend);
+    MajorityVoteSink Sink(cellKeys(Configs));
 
-    std::vector<RunOutcome> Batch = runModeBatch(
-        Tests, Configs, Settings.Run, Engine, [&](unsigned InMode) {
+    PipelineStats Stats = runShardedCampaign(
+        Source, *Backend, ShardSize, cubeExpander(Configs, Settings.Run),
+        Sink, [&](size_t InMode) {
           if (Settings.Progress)
-            Settings.Progress(Done + InMode, TotalTests);
+            Settings.Progress(Done + static_cast<unsigned>(InMode),
+                              TotalTests);
         });
 
-    // Vote per test over the whole result set (the paper votes "among
-    // all the results computed for the kernel"), in submission order.
-    for (size_t TI = 0; TI != Tests.size(); ++TI) {
-      std::vector<RunOutcome> Outcomes(
-          Batch.begin() + TI * CellsPerTest,
-          Batch.begin() + (TI + 1) * CellsPerTest);
-      std::vector<Verdict> Verdicts = classifyAgainstMajority(Outcomes);
-      size_t VI = 0;
-      for (const DeviceConfig &C : Configs)
-        for (bool Opt : {false, true})
-          Table.Cells[ConfigKey{C.Id, Opt}].add(Verdicts[VI++]);
-    }
-    Done += static_cast<unsigned>(Tests.size());
+    ModeTable Table;
+    Table.Mode = Mode;
+    Table.NumTests = static_cast<unsigned>(Stats.Tests);
+    Table.Cells = std::move(Sink.Cells);
+    Done += static_cast<unsigned>(Stats.Tests);
     Tables.push_back(std::move(Table));
   }
   return Tables;
@@ -167,34 +142,41 @@ clfuzz::classifyConfigurations(const std::vector<DeviceConfig> &Configs,
       GenMode::Barrier,       GenMode::AtomicSection,
       GenMode::AtomicReduction, GenMode::All};
 
-  CampaignSettings S = Settings;
-  S.PrefilterOnConfig1 = false; // the initial set is unfiltered (§7.1)
-
-  ExecutionEngine Engine(S.Exec);
+  std::unique_ptr<ExecBackend> Backend = makeBackend(Settings.Exec);
+  const unsigned ShardSize = Settings.Exec.resolvedShardSize();
 
   std::map<int, OutcomeCounts> PerConfig;
-  unsigned TotalTests = 6 * S.KernelsPerMode;
+  unsigned TotalTests = 6 * Settings.KernelsPerMode;
   unsigned Done = 0;
-  const size_t CellsPerTest = Configs.size() * 2;
   for (GenMode Mode : AllModes) {
-    std::vector<TestCase> Tests =
-        generateTestSet(Mode, S, nullptr, Engine);
-    std::vector<RunOutcome> Batch =
-        runModeBatch(Tests, Configs, S.Run, Engine, [&](unsigned InMode) {
-          if (S.Progress)
-            S.Progress(Done + InMode, TotalTests);
+    // The initial set is unfiltered (§7.1).
+    GeneratorSource Source(Mode, Settings.BaseGen,
+                           Settings.SeedBase +
+                               static_cast<uint64_t>(Mode) * 1000003ULL,
+                           Settings.KernelsPerMode, /*Prefilter=*/false,
+                           /*Config1=*/nullptr, Settings.Run, *Backend);
+    MajorityVoteSink Sink(cellKeys(Configs));
+
+    PipelineStats Stats = runShardedCampaign(
+        Source, *Backend, ShardSize, cubeExpander(Configs, Settings.Run),
+        Sink, [&](size_t InMode) {
+          if (Settings.Progress)
+            Settings.Progress(Done + static_cast<unsigned>(InMode),
+                              TotalTests);
         });
-    for (size_t TI = 0; TI != Tests.size(); ++TI) {
-      std::vector<RunOutcome> Outcomes(
-          Batch.begin() + TI * CellsPerTest,
-          Batch.begin() + (TI + 1) * CellsPerTest);
-      std::vector<Verdict> Verdicts = classifyAgainstMajority(Outcomes);
-      size_t VI = 0;
-      for (const DeviceConfig &C : Configs)
-        for (bool Opt : {false, true})
-          PerConfig[C.Id].add(Verdicts[VI++]);
+
+    // Table 1 pools both opt levels per configuration; verdict counts
+    // are additive, so summing the two cells matches voting directly
+    // into a per-config pool.
+    for (const auto &[Key, Counts] : Sink.Cells) {
+      OutcomeCounts &Pool = PerConfig[Key.ConfigId];
+      Pool.W += Counts.W;
+      Pool.BF += Counts.BF;
+      Pool.C += Counts.C;
+      Pool.TO += Counts.TO;
+      Pool.Pass += Counts.Pass;
     }
-    Done += static_cast<unsigned>(Tests.size());
+    Done += static_cast<unsigned>(Stats.Tests);
   }
 
   std::vector<ReliabilityRow> Rows;
@@ -213,114 +195,96 @@ clfuzz::runEmiCampaign(const std::vector<DeviceConfig> &Configs,
                        const EmiCampaignSettings &Settings,
                        unsigned &UsableBases) {
   const CampaignSettings &CS = Settings.Base;
-  ExecutionEngine Engine(CS.Exec);
+  std::unique_ptr<ExecBackend> Backend = makeBackend(CS.Exec);
+  const unsigned ShardSize = CS.Exec.resolvedShardSize();
 
   // --- collect usable base programs (§7.4). Each candidate needs two
   // reference runs (normal and dead-array-inverted); candidates are
-  // evaluated in waves and accepted in seed order, so the base set is
-  // thread-count-invariant. The per-candidate block-count draw comes
-  // from Rng::forkForJob so no wave job shares random state. Note this
-  // reseeds base sampling relative to the pre-engine code (which
-  // advanced one sequential stream per attempt): the same SeedBase
-  // selects a different base set than before this refactor, at every
-  // thread count — the invariance guarantee is across thread counts,
-  // not across that code change.
+  // generated in-process, their reference runs go through the backend,
+  // and acceptance scans in seed order — so the base set is invariant
+  // across backends, worker counts and wave sizes. The per-candidate
+  // block-count draw comes from Rng::forkForJob(scan position), which
+  // is baked into the candidate's GenOptions before any job is
+  // submitted: the stream survives the subprocess boundary because the
+  // serialized descriptor carries its result, not the generator.
   std::vector<GenOptions> Bases;
   uint64_t Seed = CS.SeedBase + 777;
-  unsigned Attempts = 0;
+  unsigned ScanPos = 0;
   const unsigned MaxAttempts = Settings.NumBases * 8;
   const Rng BlockCount(CS.SeedBase ^ 0xb10cULL);
 
-  while (Bases.size() < Settings.NumBases && Attempts < MaxAttempts) {
+  while (Bases.size() < Settings.NumBases && ScanPos < MaxAttempts) {
     unsigned Needed =
         Settings.NumBases - static_cast<unsigned>(Bases.size());
-    unsigned Wave = std::min(MaxAttempts - Attempts,
-                             std::max(Needed, Engine.threadCount()));
+    unsigned Wave = std::min(MaxAttempts - ScanPos,
+                             std::max(Needed, Backend->concurrency()));
 
     std::vector<GenOptions> Candidates(Wave);
-    std::vector<uint8_t> Usable(Wave, 0);
-    Engine.forEachIndex(Wave, [&](size_t I) {
+    std::vector<TestCase> Tests(Wave);
+    Backend->forEachIndex(Wave, [&](size_t I) {
       GenOptions GO = CS.BaseGen;
       GO.Mode = GenMode::All;
       GO.Seed = Seed + I;
-      Rng JobRng = BlockCount.forkForJob(Attempts + I);
+      Rng JobRng = BlockCount.forkForJob(ScanPos + I);
       GO.NumEmiBlocks = static_cast<unsigned>(JobRng.range(
           Settings.MinEmiBlocks, Settings.MaxEmiBlocks));
       Candidates[I] = GO;
-      TestCase T = TestCase::fromGenerated(generateKernel(GO));
-
-      // The base must compute a value on the reference.
-      RunOutcome Normal =
-          runExecJob(ExecJob::onReference(T, /*Opt=*/true, CS.Run));
-      if (!Normal.ok())
-        return;
-      // Inverting the dead array must change the result: otherwise
-      // every EMI block sits in code that is already dead and variants
-      // cannot exercise anything (§7.4 discards such candidates).
-      RunSettings Inverted = CS.Run;
-      Inverted.InvertDead = true;
-      RunOutcome Live =
-          runExecJob(ExecJob::onReference(T, /*Opt=*/true, Inverted));
-      if (Live.ok() && Live.OutputHash == Normal.OutputHash)
-        return;
-      Usable[I] = 1;
+      Tests[I] = TestCase::fromGenerated(generateKernel(GO));
     });
+
+    RunSettings Inverted = CS.Run;
+    Inverted.InvertDead = true;
+    std::vector<ExecJob> Jobs;
+    Jobs.reserve(2 * Wave);
+    for (const TestCase &T : Tests) {
+      Jobs.push_back(ExecJob::onReference(T, /*Opt=*/true, CS.Run));
+      Jobs.push_back(ExecJob::onReference(T, /*Opt=*/true, Inverted));
+    }
+    std::vector<RunOutcome> Outs = Backend->run(Jobs);
 
     for (unsigned I = 0;
          I != Wave && Bases.size() < Settings.NumBases; ++I) {
-      ++Attempts;
-      if (Usable[I])
-        Bases.push_back(Candidates[I]);
+      ++ScanPos;
+      // The base must compute a value on the reference, and inverting
+      // the dead array must change the result: otherwise every EMI
+      // block sits in code that is already dead and variants cannot
+      // exercise anything (§7.4 discards such candidates).
+      const RunOutcome &Normal = Outs[2 * I];
+      const RunOutcome &Live = Outs[2 * I + 1];
+      if (!Normal.ok())
+        continue;
+      if (Live.ok() && Live.OutputHash == Normal.OutputHash)
+        continue;
+      Bases.push_back(Candidates[I]);
     }
     Seed += Wave;
   }
   UsableBases = static_cast<unsigned>(Bases.size());
 
-  // --- per-base variant sweep
+  // --- per-base variant sweep: the 40 prune variants stream through
+  // the pipeline shard by shard, regrouped per (config, opt) cell and
+  // EMI-voted when the base drains.
   std::map<ConfigKey, EmiCampaignColumn> Columns;
-  for (const DeviceConfig &C : Configs)
-    for (bool Opt : {false, true}) {
-      ConfigKey K{C.Id, Opt};
-      Columns[K].Key = K;
-    }
+  for (const ConfigKey &K : cellKeys(Configs))
+    Columns[K].Key = K;
 
   unsigned Done = 0;
   for (const GenOptions &BaseGO : Bases) {
-    std::vector<PruneOptions> Sweep = paperPruneSweep(BaseGO.Seed * 41);
+    EmiVariantSource Source(BaseGO, *Backend);
+    const std::vector<ConfigKey> Keys = cellKeys(Configs);
+    EmiCellSink Sink(Keys.size());
+    runShardedCampaign(Source, *Backend, ShardSize,
+                       cubeExpander(Configs, CS.Run), Sink);
 
-    // Variant construction (regenerate + prune) is pure per variant
-    // and CPU-heavy, so it runs through the engine too.
-    std::vector<TestCase> Variants(Sweep.size());
-    Engine.forEachIndex(Sweep.size(), [&](size_t I) {
-      Variants[I] = makeEmiVariant(BaseGO, Sweep[I]);
-    });
-
-    // One batch for the base's whole (config, opt, variant) cube,
-    // indexed [cell * variants + variant].
-    std::vector<ExecJob> Jobs;
-    Jobs.reserve(Configs.size() * 2 * Variants.size());
-    for (const DeviceConfig &C : Configs)
-      for (bool Opt : {false, true})
-        for (const TestCase &V : Variants)
-          Jobs.push_back(ExecJob::onConfig(V, C, Opt, CS.Run));
-    std::vector<RunOutcome> Batch = Engine.runBatch(Jobs);
-
-    size_t Cell = 0;
-    for (const DeviceConfig &C : Configs) {
-      for (bool Opt : {false, true}) {
-        std::vector<RunOutcome> Outcomes(
-            Batch.begin() + Cell * Variants.size(),
-            Batch.begin() + (Cell + 1) * Variants.size());
-        ++Cell;
-        EmiBaseVerdict Verdict = classifyEmiVariants(Outcomes);
-        EmiCampaignColumn &Col = Columns[ConfigKey{C.Id, Opt}];
-        Col.BaseFails += Verdict.BadBase;
-        Col.Wrong += Verdict.Wrong;
-        Col.InducedBF += Verdict.InducedBF && !Verdict.BadBase;
-        Col.InducedCrash += Verdict.InducedCrash && !Verdict.BadBase;
-        Col.InducedTimeout += Verdict.InducedTimeout && !Verdict.BadBase;
-        Col.Stable += Verdict.Stable;
-      }
+    for (size_t Cell = 0; Cell != Keys.size(); ++Cell) {
+      EmiBaseVerdict Verdict = classifyEmiVariants(Sink.PerCell[Cell]);
+      EmiCampaignColumn &Col = Columns[Keys[Cell]];
+      Col.BaseFails += Verdict.BadBase;
+      Col.Wrong += Verdict.Wrong;
+      Col.InducedBF += Verdict.InducedBF && !Verdict.BadBase;
+      Col.InducedCrash += Verdict.InducedCrash && !Verdict.BadBase;
+      Col.InducedTimeout += Verdict.InducedTimeout && !Verdict.BadBase;
+      Col.Stable += Verdict.Stable;
     }
     ++Done;
     if (CS.Progress)

@@ -25,7 +25,7 @@
 #define CLFUZZ_ORACLE_CAMPAIGN_H
 
 #include "emi/Emi.h"
-#include "exec/ExecutionEngine.h"
+#include "exec/Pipeline.h"
 #include "oracle/Oracle.h"
 
 #include <functional>
@@ -52,16 +52,21 @@ struct CampaignSettings {
   /// (§7.3; keeps NVIDIA bf artificially at zero, as the paper notes).
   bool PrefilterOnConfig1 = true;
   uint64_t SeedBase = 100000;
-  /// Campaign cell scheduling: Exec.Threads == 1 runs cells inline on
-  /// the calling thread; more workers run them concurrently with
-  /// results aggregated by submission index, so the tables are
-  /// identical for any thread count. (EMI base sampling draws per-job
-  /// random streams via Rng::forkForJob, so Table 5 results for a
-  /// given seed differ from the pre-engine sequential code — but not
-  /// between thread counts.)
+  /// Campaign cell scheduling. Exec.Backend picks the ExecBackend
+  /// (inline / thread pool / isolated worker processes), Exec.Threads
+  /// the worker count, and Exec.ShardSize how many TestCases a mode
+  /// holds alive at once (tests stream through the pipeline shard by
+  /// shard). Tables are bit-identical for every backend, worker count
+  /// and shard size. (EMI base sampling draws per-job random streams
+  /// via Rng::forkForJob, so Table 5 results for a given seed differ
+  /// from the pre-engine sequential code — but not between backends
+  /// or thread counts.)
   ExecOptions Exec;
   /// Optional progress callback (tests completed, total). Always
-  /// invoked from the campaign's calling thread.
+  /// invoked from the campaign's calling thread — never from a worker
+  /// thread or subprocess; the pipeline runner relays completions to
+  /// the submitter between shards (pinned by
+  /// tests/BackendConformanceTest.cpp).
   std::function<void(unsigned, unsigned)> Progress;
 };
 

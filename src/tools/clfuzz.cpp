@@ -14,14 +14,24 @@
 ///   clfuzz hunt  --mode=M --count=N              mini campaign
 ///   clfuzz configs                               list the zoo
 ///
-/// `diff` and `hunt` accept --exec-threads=N to run their campaign
-/// cells on the ExecutionEngine's thread pool (1 = serial, 0 = one
-/// worker per core); findings are identical for any thread count.
+/// `diff` and `hunt` run their campaign cells through the streaming
+/// pipeline API and accept:
+///
+///   --backend=inline|threads|procs   execution backend (procs runs
+///                                    cells in crash-isolated worker
+///                                    subprocesses)
+///   --exec-threads=N                 workers (1 = serial, 0 = all
+///                                    cores)
+///   --shard-size=N                   kernels generated/held per shard
+///   --format=text|csv|jsonl          hunt/diff report format
+///
+/// Findings are identical for every backend, worker count and shard
+/// size.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "device/DeviceConfig.h"
-#include "exec/ExecutionEngine.h"
+#include "exec/Pipeline.h"
 #include "gen/Generator.h"
 #include "oracle/Oracle.h"
 #include "support/StringUtil.h"
@@ -29,6 +39,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 using namespace clfuzz;
@@ -148,15 +159,39 @@ int cmdRun(const CliArgs &A) {
   return O.ok() ? 0 : 1;
 }
 
+/// Validated --format value for diff/hunt ("text", "csv" or "jsonl").
+std::string reportFormatFrom(const CliArgs &A) {
+  std::string Format = A.get("format", "text");
+  if (Format != "text" && Format != "csv" && Format != "jsonl") {
+    std::fprintf(stderr,
+                 "unknown format '%s' (use text, csv or jsonl)\n",
+                 Format.c_str());
+    std::exit(1);
+  }
+  return Format;
+}
+
 ExecOptions execOptionsFrom(const CliArgs &A) {
-  return ExecOptions::withThreads(
+  ExecOptions Opts = ExecOptions::withThreads(
       static_cast<unsigned>(A.getInt("exec-threads", 1)));
+  Opts.ShardSize =
+      static_cast<unsigned>(A.getInt("shard-size", Opts.ShardSize));
+  if (A.has("backend") &&
+      !parseBackendKind(A.get("backend"), Opts.Backend)) {
+    std::fprintf(stderr,
+                 "unknown backend '%s' (use inline, threads or procs)\n",
+                 A.get("backend").c_str());
+    std::exit(1);
+  }
+  return Opts;
 }
 
 int cmdDiff(const CliArgs &A) {
+  // Validate the report format before any cell runs.
+  std::string Format = reportFormatFrom(A);
   TestCase T = TestCase::fromGenerated(generateKernel(genOptionsFrom(A)));
   std::vector<DeviceConfig> Zoo = buildConfigRegistry();
-  ExecutionEngine Engine(execOptionsFrom(A));
+  std::unique_ptr<ExecBackend> Backend = makeBackend(execOptionsFrom(A));
   std::vector<ExecJob> Jobs;
   std::vector<std::string> Labels;
   for (const DeviceConfig &C : Zoo) {
@@ -165,7 +200,18 @@ int cmdDiff(const CliArgs &A) {
       Labels.push_back(std::to_string(C.Id) + (Opt ? "+" : "-"));
     }
   }
-  std::vector<RunOutcome> Outs = Engine.runBatch(Jobs);
+  std::vector<RunOutcome> Outs = Backend->run(Jobs);
+
+  if (Format == "csv" || Format == "jsonl") {
+    std::unique_ptr<ResultSink> Sink;
+    if (Format == "csv")
+      Sink = std::make_unique<CsvOutcomeSink>(stdout, Labels);
+    else
+      Sink = std::make_unique<JsonlOutcomeSink>(stdout, Labels);
+    Sink->consumeTest(0, T, Outs);
+    Sink->finish();
+    return 0;
+  }
   std::vector<Verdict> Vs = classifyAgainstMajority(Outs);
   unsigned Wrong = 0;
   for (size_t I = 0; I != Vs.size(); ++I) {
@@ -182,58 +228,86 @@ int cmdDiff(const CliArgs &A) {
   return 0;
 }
 
-int cmdHunt(const CliArgs &A) {
-  unsigned Count = static_cast<unsigned>(A.getInt("count", 20));
-  uint64_t Seed = A.getInt("seed", 1);
-  GenMode Mode = modeByName(A.get("mode", "ALL"));
-  std::vector<DeviceConfig> Zoo = buildConfigRegistry();
-  std::vector<const DeviceConfig *> Targets;
-  for (int Id : paperAboveThresholdIds())
-    Targets.push_back(&configById(Zoo, Id));
+namespace {
 
-  ExecutionEngine Engine(execOptionsFrom(A));
+/// Streams hunt findings: votes per kernel as its cells arrive and
+/// prints wrong-code witnesses immediately, in seed order. Memory is
+/// one kernel's outcomes, regardless of --count.
+class HuntSink final : public ResultSink {
+public:
+  HuntSink(uint64_t SeedBase, std::vector<std::string> Labels)
+      : SeedBase(SeedBase), Labels(std::move(Labels)) {}
 
-  // Kernel generation is engine work too, then every (kernel, config,
-  // opt) cell goes out as one batch; report order follows seed order.
-  std::vector<TestCase> Tests(Count);
-  Engine.forEachIndex(Count, [&](size_t K) {
-    GenOptions GO;
-    GO.Mode = Mode;
-    GO.Seed = Seed + K;
-    Tests[K] = TestCase::fromGenerated(generateKernel(GO));
-  });
-
-  std::vector<std::string> Labels;
-  for (const DeviceConfig *C : Targets)
-    for (bool Opt : {false, true})
-      Labels.push_back(std::to_string(C->Id) + (Opt ? "+" : "-"));
-
-  std::vector<ExecJob> Jobs;
-  Jobs.reserve(Count * Labels.size());
-  for (const TestCase &T : Tests)
-    for (const DeviceConfig *C : Targets)
-      for (bool Opt : {false, true})
-        Jobs.push_back(ExecJob::onConfig(T, *C, Opt, RunSettings()));
-  std::vector<RunOutcome> Batch = Engine.runBatch(Jobs);
-
-  unsigned Findings = 0;
-  for (unsigned K = 0; K != Count; ++K) {
-    std::vector<RunOutcome> Outs(
-        Batch.begin() + K * Labels.size(),
-        Batch.begin() + (K + 1) * Labels.size());
+  void consumeTest(size_t TestIndex, const TestCase &,
+                   const std::vector<RunOutcome> &Outs) override {
     std::vector<Verdict> Vs = classifyAgainstMajority(Outs);
     for (size_t I = 0; I != Vs.size(); ++I) {
       if (Vs[I] != Verdict::Wrong)
         continue;
       ++Findings;
       std::printf("seed %llu: wrong code on config %s\n",
-                  static_cast<unsigned long long>(Seed + K),
+                  static_cast<unsigned long long>(SeedBase + TestIndex),
                   Labels[I].c_str());
     }
   }
-  std::printf("%u findings over %u kernels; rerun `clfuzz gen "
-              "--mode=%s --seed=<seed>` to inspect a witness\n",
-              Findings, Count, A.get("mode", "ALL").c_str());
+
+  uint64_t SeedBase;
+  std::vector<std::string> Labels;
+  unsigned Findings = 0;
+};
+
+} // namespace
+
+int cmdHunt(const CliArgs &A) {
+  unsigned Count = static_cast<unsigned>(A.getInt("count", 20));
+  uint64_t Seed = A.getInt("seed", 1);
+  GenMode Mode = modeByName(A.get("mode", "ALL"));
+  std::vector<DeviceConfig> Zoo = buildConfigRegistry();
+  std::vector<DeviceConfig> Targets;
+  for (int Id : paperAboveThresholdIds())
+    Targets.push_back(configById(Zoo, Id));
+
+  ExecOptions Opts = execOptionsFrom(A);
+  std::unique_ptr<ExecBackend> Backend = makeBackend(Opts);
+
+  // Source -> backend -> sink: kernels are generated in shards of
+  // --shard-size and reported in seed order, so a 100k-kernel hunt
+  // streams in bounded memory on any backend.
+  GenOptions BaseGen;
+  GeneratorSource Source(Mode, BaseGen, Seed, Count, /*Prefilter=*/false,
+                         /*Config1=*/nullptr, RunSettings(), *Backend);
+
+  std::vector<std::string> Labels;
+  for (const DeviceConfig &C : Targets)
+    for (bool Opt : {false, true})
+      Labels.push_back(std::to_string(C.Id) + (Opt ? "+" : "-"));
+
+  auto Expand = [&](size_t, const TestCase &T,
+                    std::vector<ExecJob> &Jobs) {
+    for (const DeviceConfig &C : Targets)
+      for (bool Opt : {false, true})
+        Jobs.push_back(ExecJob::onConfig(T, C, Opt, RunSettings()));
+  };
+
+  std::string Format = reportFormatFrom(A);
+  if (Format == "csv" || Format == "jsonl") {
+    std::unique_ptr<ResultSink> Sink;
+    if (Format == "csv")
+      Sink = std::make_unique<CsvOutcomeSink>(stdout, Labels);
+    else
+      Sink = std::make_unique<JsonlOutcomeSink>(stdout, Labels);
+    runShardedCampaign(Source, *Backend, Opts.resolvedShardSize(), Expand,
+                       *Sink);
+    return 0;
+  }
+
+  HuntSink Sink(Seed, Labels);
+  PipelineStats Stats = runShardedCampaign(
+      Source, *Backend, Opts.resolvedShardSize(), Expand, Sink);
+  std::printf("%u findings over %zu kernels on the %s backend; rerun "
+              "`clfuzz gen --mode=%s --seed=<seed>` to inspect a witness\n",
+              Sink.Findings, Stats.Tests, Backend->name(),
+              A.get("mode", "ALL").c_str());
   return 0;
 }
 
@@ -246,8 +320,9 @@ int usage() {
       "  diff    --seed=N [--mode=M]           run across the whole zoo\n"
       "  hunt    --mode=M --count=N [--seed=N] mini differential campaign\n"
       "  configs                                list the 21 configurations\n"
-      "diff/hunt also take --exec-threads=N (1 = serial, 0 = all "
-      "cores)\n");
+      "diff/hunt also take --backend=inline|threads|procs "
+      "--exec-threads=N (1 = serial, 0 = all cores) --shard-size=N "
+      "--format=text|csv|jsonl\n");
   return 2;
 }
 

@@ -92,6 +92,38 @@ TEST(ExecutionEngineTest, ForEachIndexCoversEveryIndexOnce) {
   }
 }
 
+TEST(ExecutionEngineTest, ChunkedClaimingCoversEveryIndexOnce) {
+  // Cheap batches claim several indices per lock acquisition; coverage
+  // and results must be identical to single-index claiming.
+  ExecutionEngine Engine(ExecOptions::withThreads(4));
+  for (unsigned Chunk : {1u, 2u, 8u, 64u}) {
+    const size_t N = 333; // deliberately not a multiple of any chunk
+    std::vector<std::atomic<unsigned>> Hits(N);
+    Engine.forEachIndex(N, [&](size_t I) { Hits[I].fetch_add(1); },
+                        Chunk);
+    for (size_t I = 0; I != N; ++I)
+      EXPECT_EQ(Hits[I].load(), 1u)
+          << "chunk " << Chunk << " index " << I;
+  }
+}
+
+TEST(ExecutionEngineTest, ChunkedClaimingPropagatesExceptions) {
+  ExecutionEngine Engine(ExecOptions::withThreads(4));
+  EXPECT_THROW(Engine.forEachIndex(
+                   100,
+                   [&](size_t I) {
+                     if (I == 41)
+                       throw std::runtime_error("boom");
+                   },
+                   ExecutionEngine::CheapClaimChunk),
+               std::runtime_error);
+  // The pool must still be usable with chunked claiming afterwards.
+  std::atomic<size_t> Sum{0};
+  Engine.forEachIndex(10, [&](size_t I) { Sum += I; },
+                      ExecutionEngine::CheapClaimChunk);
+  EXPECT_EQ(Sum.load(), 45u);
+}
+
 TEST(ExecutionEngineTest, ResultsKeyedBySubmissionIndex) {
   ExecutionEngine Engine(ExecOptions::withThreads(4));
   const size_t N = 300;
