@@ -10,7 +10,10 @@
 /// require a concurrency-aware static analysis to avoid introducing
 /// data races". This example finds a real miscompilation in the zoo
 /// (the Oclgrind comma bug buried in a generated kernel) and shrinks
-/// it with our dynamically-validated reducer.
+/// it with our dynamically-validated reducer, expressing the
+/// interestingness test as a backend-schedulable oracle - the same
+/// reduction can then run speculatively on a thread pool or
+/// fork-isolated under the procs backend, bit-identically.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -52,21 +55,22 @@ int main() {
     return 1;
   }
 
-  auto StillInteresting = [&](const TestCase &Candidate) {
-    RunOutcome Ref = runTestOnReference(Candidate, false);
-    RunOutcome Bad = runTestOnConfig(Candidate, Oclgrind, false);
-    return Ref.ok() && Bad.ok() && Ref.OutputHash != Bad.OutputHash;
-  };
+  // "Config 19 still miscompiles it", as probe jobs the reducer can
+  // schedule on any ExecBackend (swap in BackendKind::Procs to reduce
+  // a crashy witness under process isolation - same result).
+  DifferentialReductionOracle Oracle(Oclgrind, /*Opt=*/false);
 
   ReducerOptions Opts;
   Opts.MaxCandidates = 600;
+  Opts.Exec = ExecOptions::withBackend(BackendKind::Threads, 2);
   ReduceStats Stats;
-  TestCase Reduced = reduceTest(Witness, StillInteresting, Opts, &Stats);
+  TestCase Reduced = reduceTest(Witness, Oracle, Opts, &Stats);
 
   std::printf("reduction: %u -> %u lines (%u candidates tried, %u "
-              "kept)\n\n",
+              "kept, %u skipped; %u rounds)\n\n",
               Stats.InitialLines, Stats.FinalLines,
-              Stats.CandidatesTried, Stats.CandidatesKept);
+              Stats.CandidatesTried, Stats.CandidatesKept,
+              Stats.CandidatesSkipped, Stats.Rounds);
   std::printf("--- reduced witness ---\n%s\n", Reduced.Source.c_str());
   std::printf("(every kept step was re-validated to stay race-free "
               "and divergence-free on the reference)\n");

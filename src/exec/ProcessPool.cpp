@@ -16,6 +16,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <deque>
 #include <poll.h>
 #include <pthread.h>
 #include <stdexcept>
@@ -135,16 +136,20 @@ private:
     pid_t Pid = -1;
     int ToChild = -1;   ///< parent writes job frames here
     int FromChild = -1; ///< parent reads outcome frames here
-    bool Busy = false;
-    size_t JobIndex = 0;
+    /// Indices of the jobs in the worker's current frame whose
+    /// outcomes have not arrived yet, in submission order.
+    std::deque<size_t> InFlight;
     std::chrono::steady_clock::time_point Deadline;
+
+    bool busy() const { return !InFlight.empty(); }
   };
 
   bool spawnWorker(Worker &W);
   void stopWorker(Worker &W);
   /// Reaps a dead worker and reports how it died ("signal 6 (SIGABRT)").
   std::string reapWorker(Worker &W);
-  bool sendJob(Worker &W, const ExecJob &Job);
+  bool sendJobs(Worker &W, const std::vector<ExecJob> &Jobs,
+                const std::deque<size_t> &Indices);
 
   unsigned NumWorkers;
   unsigned TimeoutMs;
@@ -187,7 +192,7 @@ bool ProcessPoolBackend::spawnWorker(Worker &W) {
   W.Pid = Pid;
   W.ToChild = ToChild[1];
   W.FromChild = FromChild[0];
-  W.Busy = false;
+  W.InFlight.clear();
   return true;
 }
 
@@ -215,7 +220,7 @@ std::string ProcessPoolBackend::reapWorker(Worker &W) {
   ::waitpid(W.Pid, &Status, 0);
   W.Pid = -1;
   W.ToChild = W.FromChild = -1;
-  W.Busy = false;
+  W.InFlight.clear();
   if (WIFSIGNALED(Status)) {
     int Sig = WTERMSIG(Status);
     return "signal " + std::to_string(Sig) + " (" + strsignal(Sig) + ")";
@@ -225,12 +230,27 @@ std::string ProcessPoolBackend::reapWorker(Worker &W) {
   return "unknown cause";
 }
 
-bool ProcessPoolBackend::sendJob(Worker &W, const ExecJob &Job) {
-  WireWriter Wire;
-  serializeExecJob(Wire, Job);
-  uint32_t Len = static_cast<uint32_t>(Wire.buffer().size());
-  return writeFullNoSigpipe(W.ToChild, &Len, sizeof(Len)) &&
-         writeFullNoSigpipe(W.ToChild, Wire.buffer().data(), Len);
+/// Serializes every indexed job into one contiguous frame run and
+/// writes it with a single syscall - the batching amortisation. The
+/// worker protocol is unchanged: it still reads one frame, runs it,
+/// and responds, so a k-job batch is just k frames arriving at once
+/// and k outcome frames streaming back as they complete.
+bool ProcessPoolBackend::sendJobs(Worker &W, const std::vector<ExecJob> &Jobs,
+                                  const std::deque<size_t> &Indices) {
+  std::vector<uint8_t> Run;
+  for (size_t Index : Indices) {
+    WireWriter One;
+    serializeExecJob(One, Jobs[Index]);
+    // The length prefix is a raw host-order uint32_t, matching the
+    // readFull(&Len) on both protocol ends (parent and child are the
+    // same binary on the same host; the WireWriter payload is
+    // little-endian, the framing is not).
+    uint32_t Len = static_cast<uint32_t>(One.buffer().size());
+    const auto *P = reinterpret_cast<const uint8_t *>(&Len);
+    Run.insert(Run.end(), P, P + sizeof(Len));
+    Run.insert(Run.end(), One.buffer().begin(), One.buffer().end());
+  }
+  return writeFullNoSigpipe(W.ToChild, Run.data(), Run.size());
 }
 
 std::vector<RunOutcome>
@@ -240,9 +260,13 @@ ProcessPoolBackend::run(const std::vector<ExecJob> &Jobs) {
     return Results;
 
   // Lazy spawn: campaigns that stay on one backend never pay for the
-  // others, and forking before any batch keeps the child free of
-  // inherited thread state (the campaign thread is the only one live
-  // when a procs-backed run starts).
+  // others, and forking on the first batch keeps the child free of
+  // inherited thread state (campaigns and reductions both run their
+  // first batch before starting any helper thread). Mid-run respawns
+  // can fork while helper threads are allocating; that is safe on the
+  // platforms this backend compiles for because glibc/libSystem make
+  // malloc consistent across fork, and a child only ever executes
+  // workerMain's self-contained read/run/write loop.
   if (Workers.empty()) {
     Workers.resize(NumWorkers);
     for (Worker &W : Workers)
@@ -252,6 +276,20 @@ ProcessPoolBackend::run(const std::vector<ExecJob> &Jobs) {
 
   using Clock = std::chrono::steady_clock;
   size_t NextJob = 0, Done = 0;
+
+  // Adaptive batching: cheap cells are sent several to a frame so the
+  // serialization and syscall cost is amortised, sized so every worker
+  // still gets at least two frames of the batch (late stragglers can
+  // be balanced). Timeout-prone batches (a wall-clock deadline is set)
+  // stay one-in-flight so the deadline and the kill stay per-job.
+  // The cap of 8 keeps a frame run and its streamed responses far
+  // below pipe capacity, which is what keeps the protocol
+  // deadlock-free (the worker never blocks writing responses, so it
+  // always drains the frames we blocked writing).
+  const size_t MaxBatch =
+      TimeoutMs ? 1
+                : std::clamp<size_t>(
+                      Jobs.size() / (size_t(NumWorkers) * 2), 1, 8);
 
   // A worker death is ambiguous: the job may have crashed it (the
   // fault procs exists to isolate) or the worker may have died for
@@ -290,29 +328,33 @@ ProcessPoolBackend::run(const std::vector<ExecJob> &Jobs) {
     ++Done;
   };
 
-  // One job in flight per worker.
+  // One frame in flight per worker; a frame carries one retry job or
+  // up to MaxBatch fresh jobs. Retries always travel alone so a
+  // genuinely crashing job poisons nothing but itself on its second
+  // attempt.
   auto Dispatch = [&](Worker &W) {
     for (;;) {
-      size_t Index;
+      std::deque<size_t> Batch;
       if (!RetryQueue.empty()) {
-        Index = RetryQueue.back();
+        Batch.push_back(RetryQueue.back());
         RetryQueue.pop_back();
-      } else if (NextJob < Jobs.size()) {
-        Index = NextJob++;
       } else {
-        return;
+        while (Batch.size() < MaxBatch && NextJob < Jobs.size())
+          Batch.push_back(NextJob++);
       }
-      if (sendJob(W, Jobs[Index])) {
-        W.Busy = true;
-        W.JobIndex = Index;
+      if (Batch.empty())
+        return;
+      if (sendJobs(W, Jobs, Batch)) {
+        W.InFlight = std::move(Batch);
         W.Deadline = Clock::now() + std::chrono::milliseconds(
                                         TimeoutMs ? TimeoutMs : 0);
         return;
       }
-      // The worker died before the job ever ran; recycle the worker
-      // and treat it as this job's (retryable) failure.
+      // The worker died before any batched job ever ran; recycle the
+      // worker and treat it as every job's (retryable) failure.
       std::string How = reapWorker(W);
-      JobFailed(Index, How);
+      for (size_t Index : Batch)
+        JobFailed(Index, How);
       if (!spawnWorker(W))
         throw std::runtime_error("process pool: respawn failed");
     }
@@ -327,7 +369,7 @@ ProcessPoolBackend::run(const std::vector<ExecJob> &Jobs) {
     Fds.clear();
     FdOwner.clear();
     for (Worker &W : Workers)
-      if (W.Busy) {
+      if (W.busy()) {
         Fds.push_back({W.FromChild, POLLIN, 0});
         FdOwner.push_back(&W);
       }
@@ -355,7 +397,9 @@ ProcessPoolBackend::run(const std::vector<ExecJob> &Jobs) {
       if (!(Fds[I].revents & (POLLIN | POLLHUP | POLLERR)))
         continue;
       Worker &W = *FdOwner[I];
-      size_t Index = W.JobIndex;
+      // One outcome frame per readiness; further buffered responses
+      // re-arm the fd on the next poll round.
+      size_t Index = W.InFlight.front();
       uint32_t Len = 0;
       std::vector<uint8_t> Frame;
       bool Ok = readFull(W.FromChild, &Len, sizeof(Len));
@@ -372,27 +416,38 @@ ProcessPoolBackend::run(const std::vector<ExecJob> &Jobs) {
         }
       }
       if (Ok) {
-        W.Busy = false;
+        W.InFlight.pop_front();
         ++Done;
       } else {
+        // Outcomes already streamed back stand; every job still in
+        // the dead worker's frame fails (retryably).
+        std::deque<size_t> Lost = std::move(W.InFlight);
         std::string How = reapWorker(W);
-        JobFailed(Index, How);
+        for (size_t LostIndex : Lost)
+          JobFailed(LostIndex, How);
         if (!spawnWorker(W))
           throw std::runtime_error("process pool: respawn failed");
       }
-      Dispatch(W);
+      if (!W.busy())
+        Dispatch(W);
     }
 
     if (TimeoutMs) {
       auto Now = Clock::now();
       for (Worker &W : Workers) {
-        if (!W.Busy || Now < W.Deadline)
+        if (!W.busy() || Now < W.Deadline)
           continue;
-        size_t Index = W.JobIndex;
+        // Deadline frames are single-job (MaxBatch == 1 whenever
+        // TimeoutMs is set), so the head job is the runaway.
+        size_t Index = W.InFlight.front();
+        W.InFlight.pop_front();
+        std::deque<size_t> Lost = std::move(W.InFlight);
         ::kill(W.Pid, SIGKILL);
-        reapWorker(W);
+        std::string How = reapWorker(W);
         Results[Index] = TimeoutOutcome();
         ++Done;
+        for (size_t LostIndex : Lost)
+          JobFailed(LostIndex, How);
         if (!spawnWorker(W))
           throw std::runtime_error("process pool: respawn failed");
         Dispatch(W);

@@ -24,13 +24,19 @@
 ///
 /// Workers are forked lazily on the first batch and reused across
 /// batches; a dead worker is reaped and replaced without disturbing
-/// the rest of the pool. One job is in flight per worker, which keeps
-/// the pipe protocol deadlock-free (frames are written only after the
-/// previous response was fully read). A job whose worker dies gets
-/// one retry on a fresh worker: an innocent job stranded by an
-/// externally killed worker (OOM, operator) re-runs to its true
-/// result, while a genuinely crashing job — deterministic like every
-/// cell — kills the retry worker too and is recorded as a Crash.
+/// the rest of the pool. One *frame* is in flight per worker; a frame
+/// adaptively batches up to 8 cheap jobs (written with one syscall,
+/// amortising serialization) whose outcomes stream back one frame
+/// each as they complete, while timeout-prone batches — any run with
+/// a wall-clock deadline set — stay one job per frame so the deadline
+/// and the SIGKILL remain per-job. The small frame cap keeps both
+/// pipe directions far below capacity, which is what keeps the
+/// protocol deadlock-free. A job whose worker dies gets one retry,
+/// alone, on a fresh worker: an innocent job stranded by a batch
+/// neighbour's crash (or an externally killed worker - OOM, operator)
+/// re-runs to its true result, while a genuinely crashing job —
+/// deterministic like every cell — kills the retry worker too and is
+/// recorded as a Crash.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,18 +1,67 @@
-//===- Reducer.cpp - Concurrency-aware test-case reduction -------------------===//
+//===- Reducer.cpp - Backend-driven test-case reduction ----------------------===//
 //
 // Part of the clfuzz project: a reproduction of "Many-Core Compiler
 // Fuzzing" (PLDI 2015).
 //
 //===----------------------------------------------------------------------===//
+//
+// The reduction engine is a composition of the streaming campaign
+// pipeline: each round's speculative candidates are pulled from a
+// ReductionCandidateSource (which prints the next chunk's candidates
+// on a helper thread while the current chunk evaluates - the
+// pipelining is invisible in results), executed as ExecJobs on the
+// reducer's ExecBackend, and judged by a ReductionAcceptSink in
+// submission order. Acceptance is first-accepted-in-submission-order
+// and every decision (emission, skip, charge, accept) is made on the
+// calling thread from sequentially-updated state, so the reduction
+// sequence, the stats and the trace are bit-identical across
+// backends, worker counts and pipelining.
+//
+//===----------------------------------------------------------------------===//
 
 #include "oracle/Reducer.h"
+#include "exec/Pipeline.h"
 #include "minicl/ASTQueries.h"
 #include "minicl/Parser.h"
 #include "minicl/Printer.h"
 #include "minicl/Sema.h"
 #include "support/StringUtil.h"
 
+#include <algorithm>
+#include <future>
+#include <unordered_set>
+
 using namespace clfuzz;
+
+ReductionOracle::~ReductionOracle() = default;
+
+void DifferentialReductionOracle::expandJobs(
+    const TestCase &Candidate, std::vector<ExecJob> &Jobs) const {
+  // The reference probe is also the §8 concurrency-aware validation
+  // (selfValidates()): race detection rides along, so the reducer
+  // does not schedule a second reference run per candidate.
+  RunSettings Validating = Run;
+  Validating.DetectRaces = true;
+  Jobs.push_back(ExecJob::onReference(Candidate, /*Opt=*/false, Validating));
+  Jobs.push_back(ExecJob::onConfig(Candidate, Config, Opt, Run));
+}
+
+bool DifferentialReductionOracle::judge(
+    const std::vector<RunOutcome> &Outcomes) const {
+  return Outcomes.size() == 2 && Outcomes[0].ok() &&
+         !Outcomes[0].RaceFound && Outcomes[1].ok() &&
+         Outcomes[0].OutputHash != Outcomes[1].OutputHash;
+}
+
+void StatusReductionOracle::expandJobs(const TestCase &Candidate,
+                                       std::vector<ExecJob> &Jobs) const {
+  Jobs.push_back(ExecJob::onConfig(Candidate, Config, Opt, Run));
+}
+
+bool StatusReductionOracle::judge(
+    const std::vector<RunOutcome> &Outcomes) const {
+  return Outcomes.size() == 1 && Outcomes[0].Status == Want;
+}
 
 namespace {
 
@@ -30,6 +79,24 @@ struct Mutation {
   unsigned FunctionIndex;
   std::vector<unsigned> Path; ///< child indices from the body downward
 };
+
+constexpr unsigned NumMutationClasses = 5;
+
+const char *mutationClassName(Mutation::Kind K) {
+  switch (K) {
+  case Mutation::Kind::DeleteStmt:
+    return "delete-stmt";
+  case Mutation::Kind::IfToThen:
+    return "if-to-then";
+  case Mutation::Kind::DropElse:
+    return "drop-else";
+  case Mutation::Kind::LoopToBody:
+    return "loop-to-body";
+  case Mutation::Kind::DeleteFunction:
+    return "delete-function";
+  }
+  return "";
+}
 
 /// True if any function in the program calls \p F.
 bool functionIsCalled(const Program &Prog, const FunctionDecl *F) {
@@ -101,50 +168,40 @@ void collectMutations(const Program &Prog, std::vector<Mutation> &Out) {
   }
 }
 
-/// Applies \p M to a freshly parsed copy; returns the new source, or
-/// an empty string when the mutation is inapplicable or yields an
-/// invalid program.
-std::string applyMutation(const std::string &Source, const Mutation &M) {
-  ASTContext Ctx;
-  DiagEngine Diags;
-  if (!parseProgram(Source, Ctx, Diags))
-    return {};
+/// Applies one mutation to the parsed program in \p Ctx. Returns false
+/// when the mutation no longer applies.
+bool applyOneMutation(ASTContext &Ctx, const Mutation &M) {
   if (M.FunctionIndex >= Ctx.program().functions().size())
-    return {};
+    return false;
   FunctionDecl *F = Ctx.program().functions()[M.FunctionIndex];
 
   if (M.K == Mutation::Kind::DeleteFunction) {
     if (F->isKernel() || functionIsCalled(Ctx.program(), F))
-      return {};
-    if (!Ctx.program().removeFunction(F))
-      return {};
-    DiagEngine Post;
-    if (!checkProgram(Ctx, Post))
-      return {};
-    return printProgram(Ctx.program(), Ctx.types());
+      return false;
+    return Ctx.program().removeFunction(F);
   }
 
   Stmt **Slot = resolvePath(F, M.Path);
   if (!Slot)
-    return {};
+    return false;
 
   switch (M.K) {
   case Mutation::Kind::DeleteStmt:
     *Slot = Ctx.makeStmt<NullStmt>();
-    break;
+    return true;
   case Mutation::Kind::IfToThen: {
     auto *If = dyn_cast<IfStmt>(*Slot);
     if (!If)
-      return {};
+      return false;
     *Slot = If->getThen();
-    break;
+    return true;
   }
   case Mutation::Kind::DropElse: {
     auto *If = dyn_cast<IfStmt>(*Slot);
     if (!If || !If->getElse())
-      return {};
+      return false;
     If->setElse(nullptr);
-    break;
+    return true;
   }
   case Mutation::Kind::LoopToBody: {
     if (auto *For = dyn_cast<ForStmt>(*Slot)) {
@@ -153,16 +210,96 @@ std::string applyMutation(const std::string &Source, const Mutation &M) {
         Seq.push_back(For->getInit());
       Seq.push_back(For->getBody());
       *Slot = Ctx.makeStmt<CompoundStmt>(std::move(Seq));
-    } else if (auto *W = dyn_cast<WhileStmt>(*Slot)) {
-      *Slot = W->getBody();
-    } else if (auto *D = dyn_cast<DoStmt>(*Slot)) {
-      *Slot = D->getBody();
-    } else {
-      return {};
+      return true;
     }
-    break;
+    if (auto *W = dyn_cast<WhileStmt>(*Slot)) {
+      *Slot = W->getBody();
+      return true;
+    }
+    if (auto *D = dyn_cast<DoStmt>(*Slot)) {
+      *Slot = D->getBody();
+      return true;
+    }
+    return false;
   }
+  case Mutation::Kind::DeleteFunction:
+    break; // handled above
   }
+  return false;
+}
+
+/// Erases no-op null statements from every compound under \p S.
+/// DeleteStmt substitutes a NullStmt so sibling paths stay stable
+/// while a mutation group applies; stripping them before printing is
+/// what makes a deletion actually shrink the candidate instead of
+/// leaving a ";" line behind.
+void stripNullStmts(Stmt *S) {
+  if (auto *C = dyn_cast<CompoundStmt>(S)) {
+    std::vector<Stmt *> &Body = C->body();
+    for (Stmt *Child : Body)
+      stripNullStmts(Child);
+    Body.erase(std::remove_if(Body.begin(), Body.end(),
+                              [](Stmt *Child) { return isa<NullStmt>(Child); }),
+               Body.end());
+    return;
+  }
+  if (auto *If = dyn_cast<IfStmt>(S)) {
+    stripNullStmts(If->getThen());
+    if (If->getElse())
+      stripNullStmts(If->getElse());
+    return;
+  }
+  if (auto *For = dyn_cast<ForStmt>(S)) {
+    stripNullStmts(For->getBody());
+    return;
+  }
+  if (auto *W = dyn_cast<WhileStmt>(S)) {
+    stripNullStmts(W->getBody());
+    return;
+  }
+  if (auto *D = dyn_cast<DoStmt>(S)) {
+    stripNullStmts(D->getBody());
+    return;
+  }
+}
+
+void stripNullStmts(Program &Prog) {
+  for (FunctionDecl *F : Prog.functions())
+    if (F->getBody())
+      stripNullStmts(F->getBody());
+}
+
+/// Applies the mutation group [Begin, Begin+Count) to a freshly parsed
+/// copy of \p Source; returns the new source, or an empty string when
+/// the group is inapplicable or yields an invalid program. Statement
+/// mutations apply first (their paths were enumerated against the
+/// unmutated program and in-slot substitutions keep sibling paths
+/// stable); function deletions apply last in descending index order so
+/// earlier removals cannot shift a later victim's index.
+std::string applyMutationGroup(const std::string &Source,
+                               const Mutation *Begin, size_t Count) {
+  ASTContext Ctx;
+  DiagEngine Diags;
+  if (!parseProgram(Source, Ctx, Diags))
+    return {};
+
+  std::vector<const Mutation *> Stmts, Funcs;
+  for (size_t I = 0; I != Count; ++I) {
+    const Mutation &M = Begin[I];
+    (M.K == Mutation::Kind::DeleteFunction ? Funcs : Stmts).push_back(&M);
+  }
+  std::stable_sort(Funcs.begin(), Funcs.end(),
+                   [](const Mutation *A, const Mutation *B) {
+                     return A->FunctionIndex > B->FunctionIndex;
+                   });
+
+  for (const Mutation *M : Stmts)
+    if (!applyOneMutation(Ctx, *M))
+      return {};
+  for (const Mutation *M : Funcs)
+    if (!applyOneMutation(Ctx, *M))
+      return {};
+  stripNullStmts(Ctx.program());
 
   DiagEngine Post;
   if (!checkProgram(Ctx, Post))
@@ -170,103 +307,580 @@ std::string applyMutation(const std::string &Source, const Mutation &M) {
   return printProgram(Ctx.program(), Ctx.types());
 }
 
+//===----------------------------------------------------------------------===//
+// Priority-guided mutation ordering
+//===----------------------------------------------------------------------===//
+
+/// Accepted-delta history per mutation class. The score is the
+/// Laplace-smoothed expected number of lines saved per attempt; the
+/// prior encodes that dropping a dead function outshrinks unwrapping a
+/// loop outshrinks deleting one statement. History only ever reflects
+/// the deterministic observed prefix, so the ordering - and therefore
+/// the whole search - is identical on every backend.
+struct ClassHistory {
+  double Tried = 0;
+  double LinesSaved = 0;
+};
+
+constexpr double PriorWeight = 4.0;
+
+double priorMeanSaved(Mutation::Kind K) {
+  switch (K) {
+  case Mutation::Kind::DeleteFunction:
+    return 4.0;
+  case Mutation::Kind::LoopToBody:
+    return 1.5;
+  case Mutation::Kind::IfToThen:
+    return 1.25;
+  case Mutation::Kind::DropElse:
+    return 1.0;
+  case Mutation::Kind::DeleteStmt:
+    return 0.75;
+  }
+  return 0.0;
+}
+
+double classScore(const ClassHistory &H, Mutation::Kind K) {
+  return (H.LinesSaved + PriorWeight * priorMeanSaved(K)) /
+         (H.Tried + PriorWeight);
+}
+
+//===----------------------------------------------------------------------===//
+// Round state shared by the source and the sink
+//===----------------------------------------------------------------------===//
+
+/// Per-round shared state. The pipeline runner alternates source pulls
+/// and sink consumption on the calling thread, so all of this is
+/// updated sequentially; only candidate *printing* happens off-thread.
+struct RoundCtx {
+  const TestCase &Best;
+  const std::vector<Mutation> &Sorted; ///< priority order
+  unsigned Combo = 1;                  ///< mutations per candidate
+  size_t NumGroups = 0;
+
+  ReduceStats &Stats;
+  std::unordered_set<std::string> &Rejected; ///< cross-round verdict cache
+  std::unordered_set<std::string> EmittedThisRound;
+
+  /// Emission log, indexed by the round-local test index: the group
+  /// each emitted candidate came from, and how many candidates were
+  /// skipped (unprintable / duplicate / known-rejected) since the
+  /// previous emission. Skips are charged to stats only when the
+  /// emission they precede is observed, which keeps the skip counts
+  /// chunk- and backend-invariant even when a round is cut short by an
+  /// acceptance.
+  std::vector<size_t> EmittedGroup;
+  std::vector<unsigned> SkipsBeforeEmit;
+  unsigned PendingSkips = 0;
+  unsigned TrailingSkips = 0;
+
+  bool Accepted = false;
+  std::string AcceptedSource;
+  size_t AcceptedGroup = 0;
+  unsigned AcceptedCandidateNo = 0;
+
+  RoundCtx(const TestCase &Best, const std::vector<Mutation> &Sorted,
+           unsigned Combo, ReduceStats &Stats,
+           std::unordered_set<std::string> &Rejected)
+      : Best(Best), Sorted(Sorted), Combo(Combo),
+        NumGroups((Sorted.size() + Combo - 1) / Combo), Stats(Stats),
+        Rejected(Rejected) {}
+
+  size_t groupBegin(size_t Group) const { return Group * Combo; }
+  size_t groupSize(size_t Group) const {
+    return std::min<size_t>(Combo, Sorted.size() - groupBegin(Group));
+  }
+  const Mutation &groupLead(size_t Group) const {
+    return Sorted[groupBegin(Group)];
+  }
+};
+
+/// A printed (but not yet filtered) candidate.
+struct PrintedCandidate {
+  size_t Group = 0;
+  std::string Source; ///< empty = mutation group was inapplicable
+};
+
+/// Streams one round's candidates as TestCases in priority order.
+/// Printing a candidate (parse + mutate + sema + print) costs about as
+/// much as evaluating a small kernel, so when pipelining is on the
+/// next window is printed on a helper thread while the caller runs the
+/// current window's probe jobs on the backend; the prefetch reads only
+/// round-immutable state and is joined before its results are
+/// observed, so it never changes anything but wall-clock time.
+class ReductionCandidateSource final : public TestSource {
+public:
+  ReductionCandidateSource(RoundCtx &Ctx, unsigned Window, bool Pipeline,
+                           unsigned EmitBudget)
+      : Ctx(Ctx), Window(std::max(Window, 1u)), Pipeline(Pipeline),
+        EmitLeft(EmitBudget) {}
+
+  std::vector<TestCase> next(unsigned MaxShard) override {
+    std::vector<TestCase> Shard;
+    if (Ctx.Accepted || EmitLeft == 0)
+      return Shard;
+
+    for (;;) {
+      if (CarryPos == Carry.size()) {
+        if (NextGroup >= Ctx.NumGroups)
+          break;
+        Carry = takeWindow();
+        CarryPos = 0;
+      }
+      while (CarryPos != Carry.size()) {
+        if (EmitLeft == 0)
+          return Shard; // candidate budget: drop the round's tail
+        PrintedCandidate P = std::move(Carry[CarryPos++]);
+        if (P.Source.empty() || P.Source == Ctx.Best.Source ||
+            Ctx.Rejected.count(P.Source) ||
+            !Ctx.EmittedThisRound.insert(P.Source).second) {
+          ++Ctx.PendingSkips;
+          continue;
+        }
+        Ctx.EmittedGroup.push_back(P.Group);
+        Ctx.SkipsBeforeEmit.push_back(Ctx.PendingSkips);
+        Ctx.PendingSkips = 0;
+        TestCase C = Ctx.Best;
+        C.Source = std::move(P.Source);
+        Shard.push_back(std::move(C));
+        --EmitLeft;
+        if (Shard.size() == MaxShard)
+          return Shard;
+      }
+    }
+    // Full drain: the round ran to its end, so the trailing skips are
+    // observable on every backend.
+    Ctx.TrailingSkips += Ctx.PendingSkips;
+    Ctx.PendingSkips = 0;
+    return Shard;
+  }
+
+private:
+  /// Prints the mutation groups [Begin, Begin+N) against the round's
+  /// base source. Pure: reads only round-immutable state.
+  std::vector<PrintedCandidate> printWindow(size_t Begin, size_t N) const {
+    std::vector<PrintedCandidate> Out;
+    Out.reserve(N);
+    for (size_t G = Begin; G != Begin + N; ++G)
+      Out.push_back({G, applyMutationGroup(
+                            Ctx.Best.Source,
+                            Ctx.Sorted.data() + Ctx.groupBegin(G),
+                            Ctx.groupSize(G))});
+    return Out;
+  }
+
+  std::vector<PrintedCandidate> takeWindow() {
+    size_t N = std::min<size_t>(Window, Ctx.NumGroups - NextGroup);
+    std::vector<PrintedCandidate> Out =
+        Prefetch.valid() ? Prefetch.get() : printWindow(NextGroup, N);
+    NextGroup += N;
+    if (Pipeline && NextGroup < Ctx.NumGroups) {
+      size_t Ahead = std::min<size_t>(Window, Ctx.NumGroups - NextGroup);
+      Prefetch = std::async(std::launch::async,
+                            [this, Begin = NextGroup, Ahead] {
+                              return printWindow(Begin, Ahead);
+                            });
+    }
+    return Out;
+  }
+
+  RoundCtx &Ctx;
+  unsigned Window;
+  bool Pipeline;
+  unsigned EmitLeft;
+  size_t NextGroup = 0;
+  std::vector<PrintedCandidate> Carry; ///< printed, not yet filtered
+  size_t CarryPos = 0;
+  std::future<std::vector<PrintedCandidate>> Prefetch;
+};
+
+/// Judges each candidate's probe outcomes in submission order and
+/// records the first acceptance; everything past it (and past the
+/// candidate budget) is speculative work, discarded unobserved so the
+/// observable sequence replays a serial run exactly.
+class ReductionAcceptSink final : public ResultSink {
+public:
+  using JudgeFn =
+      std::function<bool(const TestCase &, const std::vector<RunOutcome> &)>;
+
+  ReductionAcceptSink(RoundCtx &Ctx, const JudgeFn &Judge,
+                      ClassHistory *History, unsigned MaxCandidates,
+                      const ReduceTraceFn &Trace)
+      : Ctx(Ctx), Judge(Judge), History(History),
+        MaxCandidates(MaxCandidates), Trace(Trace) {}
+
+  void consumeTest(size_t Index, const TestCase &T,
+                   const std::vector<RunOutcome> &Outcomes) override {
+    if (Ctx.Accepted || Ctx.Stats.CandidatesTried >= MaxCandidates)
+      return;
+    Ctx.Stats.CandidatesSkipped += Ctx.SkipsBeforeEmit[Index];
+    ++Ctx.Stats.CandidatesTried;
+    size_t Group = Ctx.EmittedGroup[Index];
+
+    if (!Judge(T, Outcomes)) {
+      Ctx.Rejected.insert(T.Source);
+      chargeGroup(Group, /*LinesSaved=*/0.0);
+      if (Trace) {
+        ReduceTraceEvent E;
+        E.K = ReduceTraceEvent::Kind::Reject;
+        E.Round = Ctx.Stats.Rounds;
+        E.Candidate = Ctx.Stats.CandidatesTried;
+        E.MutationClass = mutationClassName(Ctx.groupLead(Group).K);
+        E.Combo = Ctx.Combo;
+        Trace(E);
+      }
+      return;
+    }
+
+    Ctx.Accepted = true;
+    Ctx.AcceptedSource = T.Source;
+    Ctx.AcceptedGroup = Group;
+    Ctx.AcceptedCandidateNo = Ctx.Stats.CandidatesTried;
+  }
+
+  /// Attributes one attempt (and, for acceptances, the saved lines) to
+  /// the group's mutation classes, weighted so a combo counts as one
+  /// attempt in total.
+  void chargeGroup(size_t Group, double LinesSaved) {
+    size_t Begin = Ctx.groupBegin(Group), N = Ctx.groupSize(Group);
+    double W = 1.0 / static_cast<double>(N);
+    for (size_t I = Begin; I != Begin + N; ++I) {
+      ClassHistory &H =
+          History[static_cast<unsigned>(Ctx.Sorted[I].K)];
+      H.Tried += W;
+      H.LinesSaved += LinesSaved * W;
+    }
+  }
+
+private:
+  RoundCtx &Ctx;
+  const JudgeFn &Judge;
+  ClassHistory *History;
+  unsigned MaxCandidates;
+  const ReduceTraceFn &Trace;
+};
+
+//===----------------------------------------------------------------------===//
+// The reduction loop
+//===----------------------------------------------------------------------===//
+
+using ExpandFn =
+    std::function<void(const TestCase &, std::vector<ExecJob> &)>;
+
+TestCase reduceImpl(const TestCase &Input, const ExpandFn &Expand,
+                    const ReductionAcceptSink::JudgeFn &Judge,
+                    const ReducerOptions &Opts, ReduceStats *Stats) {
+  TestCase Best = Input;
+  ReduceStats Local;
+  // Normalise the source through the printer (null statements
+  // stripped) so line counts compare like with like.
+  {
+    ASTContext Ctx;
+    DiagEngine Diags;
+    if (parseProgram(Best.Source, Ctx, Diags)) {
+      stripNullStmts(Ctx.program());
+      Best.Source = printProgram(Ctx.program(), Ctx.types());
+    }
+  }
+  Local.InitialLines = countCodeLines(Best.Source);
+
+  std::unique_ptr<ExecBackend> Backend = makeBackend(Opts.Exec);
+
+  auto Finish = [&] {
+    Local.FinalLines = countCodeLines(Best.Source);
+    if (Opts.Trace) {
+      ReduceTraceEvent E;
+      E.K = ReduceTraceEvent::Kind::Finish;
+      E.Rounds = Local.Rounds;
+      E.Escalations = Local.Escalations;
+      E.Tried = Local.CandidatesTried;
+      E.Kept = Local.CandidatesKept;
+      E.Skipped = Local.CandidatesSkipped;
+      E.Lines = Local.FinalLines;
+      Opts.Trace(E);
+    }
+    if (Stats)
+      *Stats = Local;
+    return Best;
+  };
+
+  // Probe the witness itself first: it establishes the invariant that
+  // Best is always interesting, and (under procs) forks the worker
+  // pool before any pipelining thread exists.
+  {
+    std::vector<ExecJob> Jobs;
+    Expand(Best, Jobs);
+    std::vector<RunOutcome> Outs = Backend->run(Jobs);
+    bool Interesting = Judge(Best, Outs);
+    if (Opts.Trace) {
+      ReduceTraceEvent E;
+      E.K = ReduceTraceEvent::Kind::Witness;
+      E.Interesting = Interesting;
+      E.Lines = Local.InitialLines;
+      Opts.Trace(E);
+    }
+    if (!Interesting) {
+      Local.WitnessWasInteresting = false;
+      return Finish();
+    }
+  }
+
+  // Speculation width: serial backends evaluate one candidate at a
+  // time (the historical early-exit loop); parallel backends speculate
+  // a chunk ahead and keep the first-in-order success.
+  const unsigned Chunk =
+      Backend->concurrency() > 1 ? Backend->concurrency() * 2 : 1;
+
+  ClassHistory History[NumMutationClasses];
+  std::unordered_set<std::string> Rejected;
+  unsigned Stalls = 0;
+  unsigned Combo = 1;
+  const unsigned MaxCombo = std::max(1u, Opts.MaxMultiMutations);
+
+  while (Local.CandidatesTried < Opts.MaxCandidates) {
+    ASTContext Ctx;
+    DiagEngine Diags;
+    if (!parseProgram(Best.Source, Ctx, Diags))
+      break;
+    std::vector<Mutation> Sorted;
+    collectMutations(Ctx.program(), Sorted);
+    if (Sorted.empty())
+      break;
+
+    // Priority order: classes by expected shrinkage, stable within a
+    // class (enumeration order breaks ties), so the ordering is a pure
+    // function of the deterministic acceptance history.
+    double Score[NumMutationClasses];
+    for (unsigned K = 0; K != NumMutationClasses; ++K)
+      Score[K] = classScore(History[K], static_cast<Mutation::Kind>(K));
+    std::stable_sort(Sorted.begin(), Sorted.end(),
+                     [&](const Mutation &A, const Mutation &B) {
+                       return Score[static_cast<unsigned>(A.K)] >
+                              Score[static_cast<unsigned>(B.K)];
+                     });
+
+    ++Local.Rounds;
+    unsigned LinesBefore = countCodeLines(Best.Source);
+    RoundCtx Round(Best, Sorted, Combo, Local, Rejected);
+    if (Opts.Trace) {
+      ReduceTraceEvent E;
+      E.K = ReduceTraceEvent::Kind::Round;
+      E.Round = Local.Rounds;
+      E.Combo = Combo;
+      E.Enumerated = static_cast<unsigned>(Round.NumGroups);
+      E.Lines = LinesBefore;
+      Opts.Trace(E);
+    }
+
+    ReductionAcceptSink Sink(Round, Judge, History, Opts.MaxCandidates,
+                             Opts.Trace);
+    {
+      // The source owns the pipelining prefetch; its destruction at
+      // this scope's end joins any in-flight printing thread, so
+      // everything below - in particular the acceptance's mutation of
+      // Best.Source, which the prefetch reads - runs strictly after
+      // the round's helper work finished.
+      ReductionCandidateSource Source(
+          Round, Chunk, Opts.Pipeline,
+          Opts.MaxCandidates - Local.CandidatesTried);
+      runShardedCampaign(Source, *Backend, Chunk,
+                         [&](size_t, const TestCase &T,
+                             std::vector<ExecJob> &Jobs) {
+                           Expand(T, Jobs);
+                         },
+                         Sink);
+    }
+
+    if (Round.Accepted) {
+      Best.Source = std::move(Round.AcceptedSource);
+      unsigned LinesAfter = countCodeLines(Best.Source);
+      ++Local.CandidatesKept;
+      Sink.chargeGroup(Round.AcceptedGroup,
+                       LinesBefore > LinesAfter
+                           ? static_cast<double>(LinesBefore - LinesAfter)
+                           : 0.0);
+      if (Opts.Trace) {
+        ReduceTraceEvent E;
+        E.K = ReduceTraceEvent::Kind::Accept;
+        E.Round = Local.Rounds;
+        E.Candidate = Round.AcceptedCandidateNo;
+        E.MutationClass =
+            mutationClassName(Round.groupLead(Round.AcceptedGroup).K);
+        E.Combo = Combo;
+        E.Lines = LinesAfter;
+        Opts.Trace(E);
+      }
+      Combo = 1;
+      Stalls = 0;
+      continue;
+    }
+
+    Local.CandidatesSkipped += Round.TrailingSkips;
+
+    // A stalled round means every candidate at this combo size is
+    // known-rejected; escalate to joint mutations (2, 4, ...) before
+    // concluding the witness is minimal.
+    if (++Stalls < std::max(1u, Opts.EscalateAfterStalls))
+      continue;
+    unsigned NextCombo = Combo == 1 ? 2 : Combo * 2;
+    if (NextCombo > MaxCombo)
+      break;
+    Combo = NextCombo;
+    Stalls = 0;
+    ++Local.Escalations;
+  }
+
+  return Finish();
+}
+
 } // namespace
+
+TestCase clfuzz::reduceTest(const TestCase &Input,
+                            const ReductionOracle &Oracle,
+                            const ReducerOptions &Opts,
+                            ReduceStats *Stats) {
+  RunSettings Validate = Opts.Run;
+  Validate.DetectRaces = true;
+  const bool DoValidate =
+      Opts.ValidateOnReference && !Oracle.selfValidates();
+
+  ExpandFn Expand = [&Oracle, DoValidate,
+                     Validate](const TestCase &T,
+                               std::vector<ExecJob> &Jobs) {
+    if (DoValidate)
+      Jobs.push_back(ExecJob::onReference(T, /*Opt=*/false, Validate));
+    Oracle.expandJobs(T, Jobs);
+  };
+  ReductionAcceptSink::JudgeFn Judge =
+      [&Oracle, DoValidate](const TestCase &,
+                            const std::vector<RunOutcome> &Outs) {
+        size_t Off = 0;
+        if (DoValidate) {
+          if (Outs.empty() || !Outs[0].ok() || Outs[0].RaceFound)
+            return false;
+          Off = 1;
+        }
+        return Oracle.judge(std::vector<RunOutcome>(
+            Outs.begin() + Off, Outs.end()));
+      };
+  return reduceImpl(Input, Expand, Judge, Opts, Stats);
+}
 
 TestCase clfuzz::reduceTest(
     const TestCase &Input,
     const std::function<bool(const TestCase &)> &StillInteresting,
     const ReducerOptions &Opts, ReduceStats *Stats) {
-  TestCase Best = Input;
-  ReduceStats Local;
-  // Normalise the source through the printer so line counts compare
-  // like with like.
-  {
-    ASTContext Ctx;
-    DiagEngine Diags;
-    if (parseProgram(Best.Source, Ctx, Diags))
-      Best.Source = printProgram(Ctx.program(), Ctx.types());
-  }
-  Local.InitialLines = countCodeLines(Best.Source);
-
   RunSettings Validate = Opts.Run;
   Validate.DetectRaces = true;
+  const bool DoValidate = Opts.ValidateOnReference;
 
-  ExecutionEngine Engine(Opts.Exec);
-  // Serial engines evaluate one candidate at a time (the historical
-  // early-exit loop); parallel engines speculate a chunk ahead and
-  // keep the first-in-order success, which replays the serial
-  // acceptance sequence exactly because every evaluation is a pure
-  // function of (Best.Source, mutation).
-  const size_t Chunk =
-      Engine.threadCount() == 1 ? 1 : Engine.threadCount() * size_t(2);
-
-  /// One speculative evaluation result.
-  struct CandidateResult {
-    bool Counted = false; ///< non-empty, actually-different candidate
-    bool Good = false;    ///< validated and still interesting
-    std::string Source;
+  ExpandFn Expand = [DoValidate, Validate](const TestCase &T,
+                                           std::vector<ExecJob> &Jobs) {
+    if (DoValidate)
+      Jobs.push_back(ExecJob::onReference(T, /*Opt=*/false, Validate));
   };
+  ReductionAcceptSink::JudgeFn Judge =
+      [&StillInteresting, DoValidate](const TestCase &T,
+                                      const std::vector<RunOutcome> &Outs) {
+        if (DoValidate &&
+            (Outs.empty() || !Outs[0].ok() || Outs[0].RaceFound))
+          return false;
+        return StillInteresting(T);
+      };
+  return reduceImpl(Input, Expand, Judge, Opts, Stats);
+}
 
-  bool Progress = true;
-  while (Progress && Local.CandidatesTried < Opts.MaxCandidates) {
-    Progress = false;
+//===----------------------------------------------------------------------===//
+// JSONL trace rendering
+//===----------------------------------------------------------------------===//
 
-    ASTContext Ctx;
-    DiagEngine Diags;
-    if (!parseProgram(Best.Source, Ctx, Diags))
-      break;
-    std::vector<Mutation> Mutations;
-    collectMutations(Ctx.program(), Mutations);
+namespace {
 
-    bool Budget = true;
-    for (size_t Start = 0; Start < Mutations.size() && Budget && !Progress;
-         Start += Chunk) {
-      size_t N = std::min(Chunk, Mutations.size() - Start);
-      std::vector<CandidateResult> Results(N);
-      Engine.forEachIndex(N, [&](size_t I) {
-        CandidateResult &R = Results[I];
-        R.Source = applyMutation(Best.Source, Mutations[Start + I]);
-        if (R.Source.empty() || R.Source == Best.Source)
-          return;
-        R.Counted = true;
-
-        TestCase Candidate = Best;
-        Candidate.Source = R.Source;
-
-        // Concurrency-aware validation: the candidate must stay a
-        // clean, race-free, divergence-free deterministic kernel.
-        RunOutcome Ref = runTestOnReference(Candidate,
-                                            /*Optimize=*/false, Validate);
-        if (!Ref.ok() || Ref.RaceFound)
-          return;
-        if (!StillInteresting(Candidate))
-          return;
-        R.Good = true;
-      });
-
-      // Replay the chunk in enumeration order with serial semantics;
-      // speculative work past the first acceptance (or past the
-      // candidate budget) is discarded unobserved.
-      for (size_t I = 0; I != N; ++I) {
-        if (Local.CandidatesTried >= Opts.MaxCandidates) {
-          Budget = false;
-          break;
-        }
-        if (!Results[I].Counted)
-          continue;
-        ++Local.CandidatesTried;
-        if (!Results[I].Good)
-          continue;
-        Best.Source = std::move(Results[I].Source);
-        ++Local.CandidatesKept;
-        Progress = true;
-        break; // re-enumerate over the smaller program
-      }
+void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      Out += ' ';
+      continue;
     }
+    Out += C;
   }
+  Out += '"';
+}
 
-  Local.FinalLines = countCodeLines(Best.Source);
-  if (Stats)
-    *Stats = Local;
-  return Best;
+} // namespace
+
+std::string clfuzz::renderReduceTraceJsonl(const ReduceTraceEvent &E,
+                                           const std::string &Tag) {
+  std::string L = "{";
+  if (!Tag.empty()) {
+    L += "\"job\":";
+    appendJsonString(L, Tag);
+    L += ",";
+  }
+  auto Field = [&L](const char *Key, unsigned long long V) {
+    L += "\"";
+    L += Key;
+    L += "\":";
+    L += std::to_string(V);
+  };
+  switch (E.K) {
+  case ReduceTraceEvent::Kind::Witness:
+    L += "\"event\":\"witness\",\"interesting\":";
+    L += E.Interesting ? "true" : "false";
+    L += ",";
+    Field("lines", E.Lines);
+    break;
+  case ReduceTraceEvent::Kind::Round:
+    L += "\"event\":\"round\",";
+    Field("round", E.Round);
+    L += ",";
+    Field("combo", E.Combo);
+    L += ",";
+    Field("candidates", E.Enumerated);
+    L += ",";
+    Field("lines", E.Lines);
+    break;
+  case ReduceTraceEvent::Kind::Reject:
+  case ReduceTraceEvent::Kind::Accept:
+    L += E.K == ReduceTraceEvent::Kind::Accept ? "\"event\":\"accept\","
+                                               : "\"event\":\"reject\",";
+    Field("round", E.Round);
+    L += ",";
+    Field("candidate", E.Candidate);
+    L += ",\"class\":";
+    appendJsonString(L, E.MutationClass);
+    L += ",";
+    Field("combo", E.Combo);
+    if (E.K == ReduceTraceEvent::Kind::Accept) {
+      L += ",";
+      Field("lines", E.Lines);
+    }
+    break;
+  case ReduceTraceEvent::Kind::Finish:
+    L += "\"event\":\"done\",";
+    Field("rounds", E.Rounds);
+    L += ",";
+    Field("escalations", E.Escalations);
+    L += ",";
+    Field("tried", E.Tried);
+    L += ",";
+    Field("kept", E.Kept);
+    L += ",";
+    Field("skipped", E.Skipped);
+    L += ",";
+    Field("lines", E.Lines);
+    break;
+  }
+  L += "}\n";
+  return L;
+}
+
+ReduceTraceFn clfuzz::makeJsonlReduceTrace(std::FILE *Out, std::string Tag) {
+  return [Out, Tag = std::move(Tag)](const ReduceTraceEvent &E) {
+    std::string L = renderReduceTraceJsonl(E, Tag);
+    std::fwrite(L.data(), 1, L.size(), Out);
+  };
 }

@@ -1,0 +1,99 @@
+//===- ReductionQueue.cpp - Background reduction job queue -------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "oracle/ReductionQueue.h"
+
+#include <algorithm>
+
+using namespace clfuzz;
+
+ReductionQueue::ReductionQueue(ReducerOptions Opts, unsigned Workers,
+                               bool CaptureTrace)
+    : Opts(std::move(Opts)), CaptureTrace(CaptureTrace) {
+  Threads.reserve(std::max(Workers, 1u));
+  for (unsigned I = 0; I != std::max(Workers, 1u); ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ReductionQueue::~ReductionQueue() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  CV.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ReductionQueue::submit(ReductionJob Job) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Pending.push_back(std::move(Job));
+    ++Submitted;
+  }
+  CV.notify_one();
+}
+
+size_t ReductionQueue::submitted() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Submitted;
+}
+
+std::vector<ReductionResult> ReductionQueue::drain() {
+  std::unique_lock<std::mutex> Lock(M);
+  DoneCV.wait(Lock, [this] { return Finished == Submitted; });
+  std::vector<ReductionResult> Out = std::move(Results);
+  Results.clear();
+  std::sort(Out.begin(), Out.end(),
+            [](const ReductionResult &A, const ReductionResult &B) {
+              return A.OrderKey != B.OrderKey ? A.OrderKey < B.OrderKey
+                                              : A.Label < B.Label;
+            });
+  return Out;
+}
+
+void ReductionQueue::workerLoop() {
+  for (;;) {
+    ReductionJob Job;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      CV.wait(Lock, [this] { return Stopping || !Pending.empty(); });
+      if (Pending.empty())
+        return; // Stopping, nothing left to do
+      Job = std::move(Pending.front());
+      Pending.pop_front();
+    }
+
+    ReductionResult R;
+    R.OrderKey = Job.OrderKey;
+    R.Label = Job.Label;
+
+    // Each job reduces with its own backend (reduceTest builds one
+    // from Opts.Exec), so reductions are isolated from each other and
+    // from the campaign that submitted them.
+    ReducerOptions JobOpts = Opts;
+    if (CaptureTrace)
+      JobOpts.Trace = [&R, &Job](const ReduceTraceEvent &E) {
+        R.Trace += renderReduceTraceJsonl(E, Job.Label);
+      };
+    try {
+      R.Reduced = reduceTest(Job.Witness, *Job.Oracle, JobOpts, &R.Stats);
+    } catch (const std::exception &E) {
+      // A reduction that dies (its backend failing to fork, say) is
+      // one failed result, not a std::terminate for the whole hunt.
+      R.Reduced = std::move(Job.Witness);
+      R.Error = E.what();
+    }
+
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Results.push_back(std::move(R));
+      ++Finished;
+    }
+    DoneCV.notify_all();
+  }
+}

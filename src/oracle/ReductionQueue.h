@@ -1,0 +1,107 @@
+//===- ReductionQueue.h - Background reduction job queue --------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A background job queue that shrinks wrong-code witnesses while the
+/// campaign that found them keeps hunting at full speed - reduction is
+/// just another scheduled workload over the shared backend machinery,
+/// not a blocking epilogue. `clfuzz hunt --reduce` submits every
+/// witness here and drains the queue after the campaign; each worker
+/// thread runs reduceTest with its own ExecBackend (--reduce-backend),
+/// so crashy witnesses can reduce under process isolation while the
+/// campaign proper stays on a faster backend.
+///
+/// Determinism: each job's reduction is bit-identical regardless of
+/// which worker runs it or when (reduceTest's contract), and drain()
+/// returns results sorted by (OrderKey, Label) - so a hunt's report is
+/// byte-identical however the background work interleaves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_ORACLE_REDUCTIONQUEUE_H
+#define CLFUZZ_ORACLE_REDUCTIONQUEUE_H
+
+#include "oracle/Reducer.h"
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace clfuzz {
+
+/// One witness awaiting reduction.
+struct ReductionJob {
+  /// Primary sort key for deterministic drain order (hunt uses the
+  /// witness's test index).
+  uint64_t OrderKey = 0;
+  /// Human-readable witness tag ("seed 102 config 12+"); secondary
+  /// sort key and the trace's "job" field.
+  std::string Label;
+  TestCase Witness;
+  std::shared_ptr<const ReductionOracle> Oracle;
+};
+
+/// A finished reduction.
+struct ReductionResult {
+  uint64_t OrderKey = 0;
+  std::string Label;
+  TestCase Reduced;
+  ReduceStats Stats;
+  /// The job's JSONL trace (only when the queue captures traces).
+  std::string Trace;
+  /// Non-empty when the reduction aborted (e.g. its backend failed);
+  /// Reduced is then the unreduced witness. A failed background job
+  /// never takes the campaign down.
+  std::string Error;
+};
+
+/// Fixed-size pool of reduction workers fed from a FIFO.
+class ReductionQueue {
+public:
+  /// \p Workers background threads (>= 1) reduce jobs with \p Opts.
+  /// When \p CaptureTrace is set, each job's JSONL trace is buffered
+  /// and returned with its result (any ReducerOptions::Trace in
+  /// \p Opts is replaced).
+  ReductionQueue(ReducerOptions Opts, unsigned Workers,
+                 bool CaptureTrace = false);
+  ~ReductionQueue();
+
+  ReductionQueue(const ReductionQueue &) = delete;
+  ReductionQueue &operator=(const ReductionQueue &) = delete;
+
+  /// Enqueues a witness; returns immediately.
+  void submit(ReductionJob Job);
+
+  /// Number of jobs submitted so far.
+  size_t submitted() const;
+
+  /// Blocks until every submitted job finished; returns all results
+  /// accumulated since the last drain, sorted by (OrderKey, Label).
+  std::vector<ReductionResult> drain();
+
+private:
+  void workerLoop();
+
+  ReducerOptions Opts;
+  bool CaptureTrace;
+  std::vector<std::thread> Threads;
+
+  mutable std::mutex M;
+  std::condition_variable CV;     ///< workers: work available / stop
+  std::condition_variable DoneCV; ///< drain(): all jobs finished
+  std::deque<ReductionJob> Pending;
+  std::vector<ReductionResult> Results;
+  size_t Submitted = 0;
+  size_t Finished = 0;
+  bool Stopping = false;
+};
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_ORACLE_REDUCTIONQUEUE_H

@@ -8,11 +8,12 @@
 /// The command-line driver (the analogue of the CLsmith/cl_launcher
 /// pair the paper ships):
 ///
-///   clfuzz gen   --mode=ALL --seed=N [--emi=K]   print a kernel
-///   clfuzz run   --seed=N --config=ID [--opt]    run one kernel
-///   clfuzz diff  --seed=N                        run on the whole zoo
-///   clfuzz hunt  --mode=M --count=N              mini campaign
-///   clfuzz configs                               list the zoo
+///   clfuzz gen    --mode=ALL --seed=N [--emi=K]   print a kernel
+///   clfuzz run    --seed=N --config=ID [--opt]    run one kernel
+///   clfuzz diff   --seed=N                        run on the whole zoo
+///   clfuzz hunt   --mode=M --count=N              mini campaign
+///   clfuzz reduce --seed=N --config=ID            shrink a witness
+///   clfuzz configs                                list the zoo
 ///
 /// `diff` and `hunt` run their campaign cells through the streaming
 /// pipeline API and accept:
@@ -25,7 +26,12 @@
 ///   --shard-size=N                   kernels generated/held per shard
 ///   --format=text|csv|jsonl          hunt/diff report format
 ///
-/// Findings are identical for every backend, worker count and shard
+/// Reduction is a pipeline workload too: `reduce` evaluates its
+/// speculative candidates on --reduce-backend with --reduce-jobs
+/// workers (procs fork-isolates crashy candidates), and
+/// `hunt --reduce` hands every wrong-code witness to a background
+/// reduction queue instead of blocking the campaign. Findings and
+/// reductions are identical for every backend, worker count and shard
 /// size.
 ///
 //===----------------------------------------------------------------------===//
@@ -34,6 +40,7 @@
 #include "exec/Pipeline.h"
 #include "gen/Generator.h"
 #include "oracle/Oracle.h"
+#include "oracle/ReductionQueue.h"
 #include "support/StringUtil.h"
 
 #include <cstdio>
@@ -230,15 +237,119 @@ int cmdDiff(const CliArgs &A) {
 
 namespace {
 
+/// Reduction scheduling options shared by `reduce` and
+/// `hunt --reduce`: --reduce-backend picks the candidate-evaluation
+/// backend, --reduce-jobs the worker count (for `reduce`: speculative
+/// candidate evaluators; for `hunt`: concurrent background
+/// reductions), --reduce-max the candidate budget.
+ReducerOptions reducerOptionsFrom(const CliArgs &A) {
+  ReducerOptions RO;
+  RO.Exec = ExecOptions::withThreads(
+      static_cast<unsigned>(A.getInt("reduce-jobs", 1)));
+  if (A.has("reduce-backend") &&
+      !parseBackendKind(A.get("reduce-backend"), RO.Exec.Backend)) {
+    std::fprintf(
+        stderr,
+        "unknown reduce backend '%s' (use inline, threads or procs)\n",
+        A.get("reduce-backend").c_str());
+    std::exit(1);
+  }
+  RO.MaxCandidates = static_cast<unsigned>(
+      A.getInt("reduce-max", RO.MaxCandidates));
+  if (A.has("no-pipeline"))
+    RO.Pipeline = false;
+  return RO;
+}
+
+int cmdReduce(const CliArgs &A) {
+  if (!A.has("config")) {
+    std::fprintf(stderr, "reduce: --config=ID is required (the "
+                         "configuration the witness misbehaves on)\n");
+    return 2;
+  }
+  std::vector<DeviceConfig> Zoo = buildConfigRegistry();
+  const DeviceConfig &Config =
+      configById(Zoo, static_cast<int>(A.getInt("config", 0)));
+  bool Opt = A.has("opt");
+  TestCase T = TestCase::fromGenerated(generateKernel(genOptionsFrom(A)));
+
+  std::string Expect = A.get("expect", "wrong");
+  std::unique_ptr<ReductionOracle> Oracle;
+  if (Expect == "wrong")
+    Oracle = std::make_unique<DifferentialReductionOracle>(Config, Opt);
+  else if (Expect == "crash")
+    Oracle = std::make_unique<StatusReductionOracle>(Config, Opt,
+                                                     RunStatus::Crash);
+  else if (Expect == "timeout")
+    Oracle = std::make_unique<StatusReductionOracle>(Config, Opt,
+                                                     RunStatus::Timeout);
+  else if (Expect == "build-failure")
+    Oracle = std::make_unique<StatusReductionOracle>(
+        Config, Opt, RunStatus::BuildFailure);
+  else {
+    std::fprintf(stderr,
+                 "unknown --expect '%s' (use wrong, crash, timeout or "
+                 "build-failure)\n",
+                 Expect.c_str());
+    return 2;
+  }
+
+  ReducerOptions RO = reducerOptionsFrom(A);
+  std::FILE *TraceFile = nullptr;
+  if (A.has("trace")) {
+    std::string Path = A.get("trace");
+    TraceFile = Path == "-" ? stderr : std::fopen(Path.c_str(), "w");
+    if (!TraceFile) {
+      std::fprintf(stderr, "cannot open trace file '%s'\n", Path.c_str());
+      return 2;
+    }
+    RO.Trace = makeJsonlReduceTrace(TraceFile);
+  }
+
+  ReduceStats Stats;
+  TestCase Reduced = reduceTest(T, *Oracle, RO, &Stats);
+  if (TraceFile && TraceFile != stderr)
+    std::fclose(TraceFile);
+
+  std::string Cell = std::to_string(Config.Id) + (Opt ? "+" : "-");
+  if (!Stats.WitnessWasInteresting) {
+    std::fprintf(stderr,
+                 "witness is not interesting: seed %llu does not %s on "
+                 "config %s\n",
+                 static_cast<unsigned long long>(A.getInt("seed", 1)),
+                 Expect == "wrong" ? "miscompile" : Expect.c_str(),
+                 Cell.c_str());
+    return 1;
+  }
+
+  // The report is deliberately backend-silent: `reduce` output is
+  // byte-identical across --reduce-backend and --reduce-jobs.
+  std::printf("// reduced witness: seed %llu, config %s, %s\n",
+              static_cast<unsigned long long>(A.getInt("seed", 1)),
+              Cell.c_str(), Expect.c_str());
+  std::printf("// lines %u -> %u; %u candidates tried, %u kept, %u "
+              "skipped; %u rounds, %u escalations\n",
+              Stats.InitialLines, Stats.FinalLines, Stats.CandidatesTried,
+              Stats.CandidatesKept, Stats.CandidatesSkipped, Stats.Rounds,
+              Stats.Escalations);
+  std::printf("%s", Reduced.Source.c_str());
+  return 0;
+}
+
 /// Streams hunt findings: votes per kernel as its cells arrive and
-/// prints wrong-code witnesses immediately, in seed order. Memory is
-/// one kernel's outcomes, regardless of --count.
+/// prints wrong-code witnesses immediately, in seed order; with a
+/// reduction queue attached, every witness is also submitted for
+/// background shrinking while the hunt keeps going. Memory is one
+/// kernel's outcomes, regardless of --count.
 class HuntSink final : public ResultSink {
 public:
-  HuntSink(uint64_t SeedBase, std::vector<std::string> Labels)
-      : SeedBase(SeedBase), Labels(std::move(Labels)) {}
+  HuntSink(uint64_t SeedBase, std::vector<std::string> Labels,
+           const std::vector<DeviceConfig> &Targets,
+           ReductionQueue *Reductions)
+      : SeedBase(SeedBase), Labels(std::move(Labels)), Targets(Targets),
+        Reductions(Reductions) {}
 
-  void consumeTest(size_t TestIndex, const TestCase &,
+  void consumeTest(size_t TestIndex, const TestCase &T,
                    const std::vector<RunOutcome> &Outs) override {
     std::vector<Verdict> Vs = classifyAgainstMajority(Outs);
     for (size_t I = 0; I != Vs.size(); ++I) {
@@ -248,11 +359,24 @@ public:
       std::printf("seed %llu: wrong code on config %s\n",
                   static_cast<unsigned long long>(SeedBase + TestIndex),
                   Labels[I].c_str());
+      if (Reductions) {
+        ReductionJob Job;
+        Job.OrderKey = TestIndex * Labels.size() + I;
+        Job.Label = "seed " +
+                    std::to_string(SeedBase + TestIndex) + " config " +
+                    Labels[I];
+        Job.Witness = T;
+        Job.Oracle = std::make_shared<DifferentialReductionOracle>(
+            Targets[I / 2], /*Opt=*/I % 2 != 0);
+        Reductions->submit(std::move(Job));
+      }
     }
   }
 
   uint64_t SeedBase;
   std::vector<std::string> Labels;
+  const std::vector<DeviceConfig> &Targets;
+  ReductionQueue *Reductions;
   unsigned Findings = 0;
 };
 
@@ -269,6 +393,19 @@ int cmdHunt(const CliArgs &A) {
 
   ExecOptions Opts = execOptionsFrom(A);
   std::unique_ptr<ExecBackend> Backend = makeBackend(Opts);
+
+  // Background reduction: wrong-code witnesses are queued for
+  // shrinking as they are found and drained after the campaign, so
+  // the hunt never stalls on a reduction. --reduce-jobs concurrent
+  // reductions, each evaluating candidates on --reduce-backend.
+  std::unique_ptr<ReductionQueue> Reductions;
+  if (A.has("reduce")) {
+    ReducerOptions RO = reducerOptionsFrom(A);
+    RO.Exec.Threads = 1; // within one background job, evaluate serially
+    Reductions = std::make_unique<ReductionQueue>(
+        RO, static_cast<unsigned>(A.getInt("reduce-jobs", 2)),
+        /*CaptureTrace=*/A.has("reduce-trace"));
+  }
 
   // Source -> backend -> sink: kernels are generated in shards of
   // --shard-size and reported in seed order, so a 100k-kernel hunt
@@ -301,13 +438,49 @@ int cmdHunt(const CliArgs &A) {
     return 0;
   }
 
-  HuntSink Sink(Seed, Labels);
+  HuntSink Sink(Seed, Labels, Targets, Reductions.get());
   PipelineStats Stats = runShardedCampaign(
       Source, *Backend, Opts.resolvedShardSize(), Expand, Sink);
   std::printf("%u findings over %zu kernels on the %s backend; rerun "
               "`clfuzz gen --mode=%s --seed=<seed>` to inspect a witness\n",
               Sink.Findings, Stats.Tests, Backend->name(),
               A.get("mode", "ALL").c_str());
+
+  if (Reductions) {
+    std::vector<ReductionResult> Reduced = Reductions->drain();
+    if (!Reduced.empty())
+      std::printf("\n%zu witnesses reduced in the background:\n",
+                  Reduced.size());
+    for (const ReductionResult &R : Reduced) {
+      if (!R.Error.empty()) {
+        std::printf("\n%s: reduction failed (%s); witness kept as-is\n",
+                    R.Label.c_str(), R.Error.c_str());
+        continue;
+      }
+      std::printf("\n%s: %u -> %u lines (%u candidates tried, %u kept)\n",
+                  R.Label.c_str(), R.Stats.InitialLines,
+                  R.Stats.FinalLines, R.Stats.CandidatesTried,
+                  R.Stats.CandidatesKept);
+      std::printf("%s", R.Reduced.Source.c_str());
+    }
+    if (A.has("reduce-trace")) {
+      std::string Path = A.get("reduce-trace");
+      std::FILE *F =
+          Path == "-" ? stderr : std::fopen(Path.c_str(), "w");
+      if (!F) {
+        std::fprintf(stderr, "cannot open trace file '%s'\n",
+                     Path.c_str());
+        return 1;
+      }
+      // Traces were buffered per witness; emitting them in drain
+      // order keeps the file byte-identical however the background
+      // jobs interleaved.
+      for (const ReductionResult &R : Reduced)
+        std::fwrite(R.Trace.data(), 1, R.Trace.size(), F);
+      if (F != stderr)
+        std::fclose(F);
+    }
+  }
   return 0;
 }
 
@@ -319,10 +492,17 @@ int usage() {
       "  run     --seed=N [--config=ID] [--opt] run one kernel\n"
       "  diff    --seed=N [--mode=M]           run across the whole zoo\n"
       "  hunt    --mode=M --count=N [--seed=N] mini differential campaign\n"
+      "  reduce  --seed=N --config=ID [--opt]  shrink a witness kernel\n"
       "  configs                                list the 21 configurations\n"
       "diff/hunt also take --backend=inline|threads|procs "
       "--exec-threads=N (1 = serial, 0 = all cores) --shard-size=N "
-      "--format=text|csv|jsonl\n");
+      "--format=text|csv|jsonl\n"
+      "reduce also takes --expect=wrong|crash|timeout|build-failure "
+      "--reduce-backend=inline|threads|procs --reduce-jobs=N "
+      "--reduce-max=N --trace=FILE --no-pipeline\n"
+      "hunt --reduce shrinks witnesses in the background "
+      "(--reduce-backend, --reduce-jobs=N concurrent reductions, "
+      "--reduce-max=N, --reduce-trace=FILE)\n");
   return 2;
 }
 
@@ -338,6 +518,8 @@ int main(int Argc, char **Argv) {
     return cmdDiff(A);
   if (A.Command == "hunt")
     return cmdHunt(A);
+  if (A.Command == "reduce")
+    return cmdReduce(A);
   if (A.Command == "configs")
     return cmdConfigs();
   return usage();

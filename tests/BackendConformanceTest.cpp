@@ -299,6 +299,44 @@ TEST(BackendConformanceTest, ProcsIsolatesACrashingJob) {
   EXPECT_EQ(Again[0].Status, Clean.Status);
 }
 
+TEST(BackendConformanceTest, ProcsBatchedFramesMatchSerialReference) {
+  // A large cheap batch rides several jobs per worker frame (the
+  // adaptive batching path); results must still be keyed by submission
+  // index and identical to the serial reference, and a crash buried in
+  // the middle of a frame must fail only its own job - the batch
+  // neighbours retry alone and land on their true results.
+  std::vector<DeviceConfig> Zoo = smallZoo();
+  GenOptions GO;
+  GO.Seed = 60001;
+  TestCase T = TestCase::fromGenerated(generateKernel(GO));
+
+  std::vector<ExecJob> Jobs;
+  for (int I = 0; I != 40; ++I)
+    Jobs.push_back(
+        ExecJob::onConfig(T, Zoo[I % Zoo.size()], I % 2 == 0, RunSettings()));
+  Jobs[7].Settings.DebugHardAbort = true;
+  Jobs[23].Settings.DebugHardAbort = true;
+
+  std::unique_ptr<ExecBackend> Backend =
+      makeBackend(ExecOptions::withBackend(BackendKind::Procs, 2));
+  std::vector<RunOutcome> Got = Backend->run(Jobs);
+  ASSERT_EQ(Got.size(), Jobs.size());
+
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    if (I == 7 || I == 23) {
+      EXPECT_EQ(Got[I].Status, RunStatus::Crash) << "job " << I;
+      EXPECT_NE(Got[I].Message.find("isolated by process pool"),
+                std::string::npos)
+          << Got[I].Message;
+      continue;
+    }
+    RunOutcome Clean = runExecJob(Jobs[I]);
+    EXPECT_EQ(Got[I].Status, Clean.Status) << "job " << I;
+    EXPECT_EQ(Got[I].OutputHash, Clean.OutputHash) << "job " << I;
+    EXPECT_EQ(Got[I].Message, Clean.Message) << "job " << I;
+  }
+}
+
 TEST(BackendConformanceTest, ProcsKillsARunawayJob) {
   std::vector<DeviceConfig> Zoo = smallZoo();
   GenOptions GO;

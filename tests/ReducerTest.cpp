@@ -76,6 +76,34 @@ TEST(ReducerTest, ShrinksCommaBugWitness) {
       << Reduced.Source;
 }
 
+TEST(ReducerTest, OracleFormMatchesClosureForm) {
+  // The backend-schedulable DifferentialReductionOracle expresses the
+  // canonical "still miscompiles" predicate as probe jobs; it must
+  // walk the identical reduction sequence as the closure form of the
+  // same predicate.
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  const DeviceConfig &Oclgrind = configById(Registry, 19);
+  TestCase Input = paddedCommaBugKernel();
+
+  auto StillInteresting = [&](const TestCase &Candidate) {
+    RunOutcome R = runTestOnReference(Candidate, false);
+    RunOutcome B = runTestOnConfig(Candidate, Oclgrind, false);
+    return R.ok() && B.ok() && R.OutputHash != B.OutputHash;
+  };
+
+  ReducerOptions Opts;
+  ReduceStats ClosureStats, OracleStats;
+  TestCase ViaClosure =
+      reduceTest(Input, StillInteresting, Opts, &ClosureStats);
+  DifferentialReductionOracle Oracle(Oclgrind, /*Opt=*/false);
+  TestCase ViaOracle = reduceTest(Input, Oracle, Opts, &OracleStats);
+
+  EXPECT_EQ(ViaClosure.Source, ViaOracle.Source);
+  EXPECT_EQ(ClosureStats.CandidatesTried, OracleStats.CandidatesTried);
+  EXPECT_EQ(ClosureStats.CandidatesKept, OracleStats.CandidatesKept);
+  EXPECT_EQ(ClosureStats.FinalLines, OracleStats.FinalLines);
+}
+
 TEST(ReducerTest, RespectsCandidateBudget) {
   std::vector<DeviceConfig> Registry = buildConfigRegistry();
   const DeviceConfig &Oclgrind = configById(Registry, 19);
