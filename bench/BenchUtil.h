@@ -14,6 +14,8 @@
 ///   --seed=N      campaign seed base
 ///   --threads=N   execution workers (1 = serial, 0 = all cores)
 ///   --backend=B   inline | threads | procs (crash-isolated workers)
+///                 | remote (a `clfuzz worker` fleet over TCP)
+///   --workers=host:port,...  the remote fleet (--backend=remote)
 ///   --shard-size=N  kernels held alive per shard (streaming bound)
 ///   --format=F    text | csv | json table output
 ///
@@ -26,6 +28,7 @@
 #define CLFUZZ_BENCH_BENCHUTIL_H
 
 #include "exec/ExecutionEngine.h"
+#include "exec/RemoteBackend.h"
 #include "exec/ResultSink.h"
 
 #include <cstdint>
@@ -33,6 +36,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace clfuzz::bench {
 
@@ -49,6 +53,8 @@ struct HarnessArgs {
   unsigned ShardSize = 0;
   /// Output rendering; Text keeps each harness's native layout.
   TableFormat Format = TableFormat::Text;
+  /// Remote fleet endpoints ("host:port" each; --backend=remote).
+  std::vector<std::string> Workers;
 
   /// The ExecOptions a campaign settings struct should use.
   ExecOptions execOptions() const {
@@ -56,6 +62,12 @@ struct HarnessArgs {
     E.Backend = Backend;
     if (ShardSize)
       E.ShardSize = ShardSize;
+    E.RemoteWorkers = Workers;
+    if (Backend == BackendKind::Remote && Workers.empty()) {
+      std::fprintf(stderr,
+                   "--backend=remote needs --workers=host:port,...\n");
+      std::exit(2);
+    }
     return E;
   }
 };
@@ -75,11 +87,14 @@ inline HarnessArgs parseArgs(int Argc, char **Argv) {
       A.ShardSize = static_cast<unsigned>(std::atoi(Argv[I] + 13));
     else if (std::strncmp(Argv[I], "--backend=", 10) == 0) {
       if (!parseBackendKind(Argv[I] + 10, A.Backend)) {
-        std::fprintf(stderr,
-                     "unknown backend '%s' (inline, threads, procs)\n",
-                     Argv[I] + 10);
+        std::fprintf(
+            stderr,
+            "unknown backend '%s' (inline, threads, procs, remote)\n",
+            Argv[I] + 10);
         std::exit(2);
       }
+    } else if (std::strncmp(Argv[I], "--workers=", 10) == 0) {
+      A.Workers = splitWorkerList(Argv[I] + 10);
     } else if (std::strncmp(Argv[I], "--format=", 9) == 0) {
       if (!parseTableFormat(Argv[I] + 9, A.Format)) {
         std::fprintf(stderr, "unknown format '%s' (text, csv, json)\n",

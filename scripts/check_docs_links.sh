@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Link checker for the repo's markdown: every relative link target in
+# README.md, docs/*.md and the other top-level pages must exist, so
+# docs/ cross-references and README links cannot rot. External
+# (http/https/mailto) links are skipped — CI must not depend on the
+# network. Run from anywhere; checks the repo the script lives in.
+set -u
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+FAIL=0
+CHECKED=0
+
+# Markdown files under version control we care about (top level + docs/).
+FILES=$(find "$REPO" -maxdepth 2 -name '*.md' \
+          -not -path "$REPO/build*" -not -path "$REPO/.git/*" | sort)
+
+for MD in $FILES; do
+  DIR="$(dirname "$MD")"
+  # Extract inline link targets: [text](target). Reference-style links
+  # are not used in this repo.
+  TARGETS=$(grep -o '](\([^)]*\))' "$MD" | sed 's/^](//; s/)$//')
+  for TARGET in $TARGETS; do
+    case "$TARGET" in
+      http://*|https://*|mailto:*) continue ;;
+      '#'*) continue ;; # same-page anchor
+    esac
+    # Strip a trailing #anchor from file links.
+    FILE_PART="${TARGET%%#*}"
+    [ -z "$FILE_PART" ] && continue
+    CHECKED=$((CHECKED + 1))
+    if [ ! -e "$DIR/$FILE_PART" ]; then
+      echo "BROKEN: $MD -> $TARGET" >&2
+      FAIL=1
+    fi
+  done
+done
+
+if [ "$FAIL" -ne 0 ]; then
+  echo "docs link check failed" >&2
+  exit 1
+fi
+echo "docs link check: $CHECKED relative links OK"

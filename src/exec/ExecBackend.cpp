@@ -7,6 +7,7 @@
 
 #include "exec/ExecBackend.h"
 #include "exec/ProcessPool.h"
+#include "exec/RemoteBackend.h"
 
 using namespace clfuzz;
 
@@ -65,6 +66,8 @@ std::unique_ptr<ExecBackend> clfuzz::makeBackend(const ExecOptions &Opts) {
     return std::make_unique<ThreadPoolBackend>(Opts);
   case BackendKind::Procs:
     return makeProcessPoolBackend(Opts);
+  case BackendKind::Remote:
+    return makeRemoteBackend(Opts);
   }
   return std::make_unique<InlineBackend>();
 }

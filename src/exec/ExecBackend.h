@@ -36,6 +36,12 @@
 ///    subprocesses fed serialized job descriptors; a VM crash or a
 ///    runaway timeout kills one worker, is recorded as that job's
 ///    outcome, and the campaign keeps going.
+///  * RemoteBackend (exec/RemoteBackend.h) — the same job descriptors
+///    framed over TCP (exec/WireProtocol.h) to `clfuzz worker`
+///    processes on any number of machines; worker death requeues its
+///    in-flight jobs and results reassemble by submission index.
+///
+/// docs/architecture.md walks the whole pipeline and the invariants.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -53,7 +59,7 @@ class ExecBackend {
 public:
   virtual ~ExecBackend();
 
-  /// "inline", "threads" or "procs".
+  /// "inline", "threads", "procs" or "remote".
   virtual BackendKind kind() const = 0;
 
   /// Number of cells the backend can run concurrently (>= 1).

@@ -22,6 +22,8 @@ const char *clfuzz::backendKindName(BackendKind K) {
     return "threads";
   case BackendKind::Procs:
     return "procs";
+  case BackendKind::Remote:
+    return "remote";
   }
   return "?";
 }
@@ -33,6 +35,8 @@ bool clfuzz::parseBackendKind(const std::string &Name, BackendKind &Out) {
     Out = BackendKind::Threads;
   else if (Name == "procs")
     Out = BackendKind::Procs;
+  else if (Name == "remote")
+    Out = BackendKind::Remote;
   else
     return false;
   return true;

@@ -57,9 +57,10 @@ enum class BackendKind : uint8_t {
   Inline,  ///< serial, on the calling thread
   Threads, ///< ExecutionEngine thread pool (Threads == 1 is serial)
   Procs,   ///< fork/exec-style process pool; crashes are isolated
+  Remote,  ///< socket-fed `clfuzz worker` fleet (exec/RemoteBackend.h)
 };
 
-/// Printable name ("inline" / "threads" / "procs").
+/// Printable name ("inline" / "threads" / "procs" / "remote").
 const char *backendKindName(BackendKind K);
 /// Parses a --backend= value; returns false on an unknown name.
 bool parseBackendKind(const std::string &Name, BackendKind &Out);
@@ -90,6 +91,25 @@ struct ExecOptions {
   /// already bounds simulated runs, so this only matters for genuinely
   /// runaway executions.
   unsigned ProcTimeoutMs = 0;
+
+  /// Remote backend only: the `clfuzz worker` endpoints ("host:port"
+  /// each) the coordinator multiplexes jobs over. Required (and only
+  /// meaningful) with Backend == BackendKind::Remote.
+  std::vector<std::string> RemoteWorkers;
+
+  /// Remote backend only: coordinator-side wall-clock deadline per
+  /// dispatched job in milliseconds. A worker that blows it is
+  /// disconnected and the job requeued once (second expiry = Timeout
+  /// outcome). 0 disables. Distinct from ProcTimeoutMs, which the
+  /// *worker's* local process pool enforces per job.
+  unsigned RemoteTimeoutMs = 0;
+
+  /// Remote backend only: idle interval (ms) after which a busy,
+  /// silent worker is probed with a heartbeat frame; a probe
+  /// unanswered for another interval counts as worker death. 0
+  /// disables liveness probing (a wedged worker then hangs the
+  /// campaign unless RemoteTimeoutMs is set).
+  unsigned RemoteHeartbeatMs = 2000;
 
   /// Upper bound resolvedThreads() clamps to.
   static constexpr unsigned MaxThreads = 256;

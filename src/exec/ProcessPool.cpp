@@ -10,6 +10,7 @@
 #if defined(__unix__) || defined(__APPLE__)
 
 #include "exec/JobSerialize.h"
+#include "exec/WireProtocol.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -18,7 +19,6 @@
 #include <cstring>
 #include <deque>
 #include <poll.h>
-#include <pthread.h>
 #include <stdexcept>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -28,60 +28,13 @@ using namespace clfuzz;
 
 namespace {
 
-/// Reads exactly N bytes; false on EOF or unrecoverable error.
-bool readFull(int Fd, void *Buf, size_t N) {
-  auto *P = static_cast<uint8_t *>(Buf);
-  while (N) {
-    ssize_t R = ::read(Fd, P, N);
-    if (R > 0) {
-      P += R;
-      N -= static_cast<size_t>(R);
-      continue;
-    }
-    if (R < 0 && errno == EINTR)
-      continue;
-    return false;
-  }
-  return true;
-}
-
-/// Writes exactly N bytes; false on EPIPE (dead peer) or error.
-bool writeFull(int Fd, const void *Buf, size_t N) {
-  auto *P = static_cast<const uint8_t *>(Buf);
-  while (N) {
-    ssize_t W = ::write(Fd, P, N);
-    if (W > 0) {
-      P += W;
-      N -= static_cast<size_t>(W);
-      continue;
-    }
-    if (W < 0 && errno == EINTR)
-      continue;
-    return false;
-  }
-  return true;
-}
-
-/// writeFull with SIGPIPE suppressed for this write only: the signal
-/// is blocked on the calling thread, any SIGPIPE our write raised is
-/// drained, and the old mask is restored — so a worker dying mid-send
-/// surfaces as EPIPE without altering the program's process-wide
-/// signal disposition (a campaign piped into `head` must still die of
-/// SIGPIPE on stdout like any other process).
-bool writeFullNoSigpipe(int Fd, const void *Buf, size_t N) {
-  sigset_t Pipe, Old;
-  sigemptyset(&Pipe);
-  sigaddset(&Pipe, SIGPIPE);
-  ::pthread_sigmask(SIG_BLOCK, &Pipe, &Old);
-  bool Ok = writeFull(Fd, Buf, N);
-  if (!Ok) {
-    struct timespec Zero = {0, 0};
-    while (::sigtimedwait(&Pipe, nullptr, &Zero) == SIGPIPE) {
-    }
-  }
-  ::pthread_sigmask(SIG_SETMASK, &Old, nullptr);
-  return Ok;
-}
+// The exact-length fd I/O (readFull / writeFull / the SIGPIPE-safe
+// write) started life here and moved to exec/WireProtocol.h when the
+// remote backend arrived; the pool's pipe framing and the network
+// framing share one implementation.
+using wire::readFull;
+using wire::writeFull;
+using wire::writeFullNoSigpipe;
 
 /// Worker subprocess loop: read a framed job descriptor, execute it,
 /// write the framed outcome. A zero-length frame (or EOF) is the

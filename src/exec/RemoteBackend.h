@@ -1,0 +1,72 @@
+//===- RemoteBackend.h - Socket-fed multi-host execution backend -*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinator half of multi-host campaign execution: an
+/// ExecBackend that multiplexes a batch of campaign cells over N
+/// `clfuzz worker` connections (exec/WorkerLoop.h), speaking the
+/// framed protocol of exec/WireProtocol.h (docs/wire-protocol.md).
+/// This is the ROADMAP's "point the job frames at a TCP stream" step:
+/// the descriptors already crossed a process boundary for the process
+/// pool, so crossing a machine boundary changes scheduling and
+/// failure handling, never results.
+///
+/// Scheduling: each worker advertises its slot count in the
+/// handshake; the coordinator keeps an in-flight window of twice that
+/// many jobs per connection (enough to hide one round trip, small
+/// enough that a dying worker strands little). Outcomes arrive tagged
+/// with their submission index, in whatever order workers finish, and
+/// reassemble into Results[I] == outcome of Jobs[I] — the pipeline's
+/// bit-identity contract survives the network because job descriptors
+/// are pure (exec/JobSerialize.h) and reassembly is index-keyed, so
+/// `--backend=remote` output is byte-identical to `--backend=inline`
+/// at any worker count.
+///
+/// Failure handling mirrors the process pool, one level up:
+///
+///  * a worker that dies (EOF, reset, garbage frame) has its
+///    in-flight jobs requeued onto the surviving workers; a job
+///    whose worker dies twice is recorded as that job's Crash
+///    outcome, never silently dropped;
+///  * ExecOptions::RemoteTimeoutMs arms a per-job deadline at
+///    dispatch; a worker that blows it is disconnected and the job
+///    requeued (second expiry = Timeout outcome);
+///  * a busy worker that goes quiet is probed with heartbeat frames
+///    (ExecOptions::RemoteHeartbeatMs); a missed probe counts as
+///    worker death — this is how a wedged-but-connected worker is
+///    distinguished from a slow one;
+///  * dead endpoints are re-dialled at every batch boundary (and
+///    immediately when no worker is left), so a restarted worker
+///    rejoins the campaign without coordinator restart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_EXEC_REMOTEBACKEND_H
+#define CLFUZZ_EXEC_REMOTEBACKEND_H
+
+#include "exec/ExecBackend.h"
+
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+/// Splits a `--workers=host:port,host:port,...` value. Entries are
+/// not validated here (makeRemoteBackend rejects malformed ones).
+std::vector<std::string> splitWorkerList(const std::string &List);
+
+/// Builds the remote backend from ExecOptions::RemoteWorkers
+/// ("host:port" each), RemoteTimeoutMs and RemoteHeartbeatMs. Throws
+/// std::runtime_error when the worker list is empty or malformed, or
+/// when this platform has no socket support; workers themselves are
+/// dialled lazily (first run()), so a not-yet-started worker fleet is
+/// an execution-time error, not a construction-time one.
+std::unique_ptr<ExecBackend> makeRemoteBackend(const ExecOptions &Opts);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_EXEC_REMOTEBACKEND_H

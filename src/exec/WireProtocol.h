@@ -1,0 +1,184 @@
+//===- WireProtocol.h - Remote campaign frame protocol ----------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framed wire protocol spoken between a campaign coordinator
+/// (exec/RemoteBackend.h) and `clfuzz worker` processes
+/// (exec/WorkerLoop.h), carrying the same ExecJob / RunOutcome
+/// descriptors the process pool pipes around (exec/JobSerialize.h) —
+/// but across a real network boundary, so unlike the process pool's
+/// private framing this one is versioned, magic-tagged and paranoid
+/// about garbage.
+///
+/// The format is specified in docs/wire-protocol.md; coordinator and
+/// worker can evolve independently as long as both honour that
+/// document. Summary: every frame is a fixed 12-byte little-endian
+/// header (magic "CLFZ", protocol version, frame type, payload
+/// length) followed by a bounded payload serialized with the
+/// WireWriter primitives. A reader that sees a bad magic, an unknown
+/// version, an unknown type or an oversized length treats the
+/// connection as dead — frames are never resynchronized mid-stream.
+///
+/// This header also hosts the small POSIX fd/socket helpers shared by
+/// the worker, the remote backend and the process pool (readFull /
+/// writeFullNoSigpipe predate this file in ProcessPool.cpp and were
+/// hoisted here when the network backend arrived).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_EXEC_WIREPROTOCOL_H
+#define CLFUZZ_EXEC_WIREPROTOCOL_H
+
+#include "exec/JobSerialize.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+namespace wire {
+
+/// "CLFZ" as a little-endian u32 ('C' is the first byte on the wire).
+constexpr uint32_t FrameMagic = 0x5A464C43;
+
+/// Bumped on any incompatible change to the header or a payload
+/// layout; both ends reject frames from a different major version.
+constexpr uint8_t ProtocolVersion = 1;
+
+/// Upper bound on a frame payload. Real job descriptors are a few KiB
+/// (kernel source + buffers + config); anything near this bound is a
+/// corrupt or hostile length field, not a job.
+constexpr uint32_t MaxFramePayload = 64u << 20;
+
+/// Size of the fixed frame header on the wire.
+constexpr size_t FrameHeaderSize = 12;
+
+/// Frame types. Values are wire-visible; never renumber, only append.
+enum class FrameType : uint8_t {
+  Hello = 1,        ///< coordinator -> worker, first frame on a connection
+  HelloAck = 2,     ///< worker -> coordinator: accepts, advertises slots
+  Job = 3,          ///< coordinator -> worker: tag + ExecJob descriptor
+  Outcome = 4,      ///< worker -> coordinator: tag + RunOutcome
+  Heartbeat = 5,    ///< coordinator -> worker: liveness probe (nonce)
+  HeartbeatAck = 6, ///< worker -> coordinator: echoes the nonce
+  Shutdown = 7,     ///< either direction: polite connection close
+};
+
+/// Printable name ("job", "outcome", ...), for diagnostics.
+const char *frameTypeName(FrameType T);
+
+/// A parsed frame: validated header, raw payload bytes.
+struct Frame {
+  FrameType Type = FrameType::Shutdown;
+  std::vector<uint8_t> Payload;
+};
+
+/// What readFrame saw on the stream.
+enum class ReadStatus : uint8_t {
+  Ok,        ///< a well-formed frame was read into the out-param
+  Eof,       ///< orderly close (or fd error) before a header arrived
+  Malformed, ///< bad magic / version / type / length — connection is
+             ///< unrecoverable, the stream cannot be resynchronized
+};
+
+//===----------------------------------------------------------------------===//
+// Fd primitives (shared with the process pool)
+//===----------------------------------------------------------------------===//
+
+/// Reads exactly N bytes; false on EOF or unrecoverable error.
+bool readFull(int Fd, void *Buf, size_t N);
+
+/// Writes exactly N bytes; false on EPIPE (dead peer) or error.
+bool writeFull(int Fd, const void *Buf, size_t N);
+
+/// writeFull with SIGPIPE suppressed for this write only: the signal
+/// is blocked on the calling thread, any SIGPIPE our write raised is
+/// drained, and the old mask is restored — so a peer dying mid-send
+/// surfaces as EPIPE without altering the program's process-wide
+/// signal disposition (a campaign piped into `head` must still die of
+/// SIGPIPE on stdout like any other process).
+bool writeFullNoSigpipe(int Fd, const void *Buf, size_t N);
+
+//===----------------------------------------------------------------------===//
+// Frame I/O
+//===----------------------------------------------------------------------===//
+
+/// Reads one frame. Blocks until the whole frame arrived (callers
+/// poll() for readability first; a peer writes frames contiguously, so
+/// the residual blocking window is one partial frame).
+ReadStatus readFrame(int Fd, Frame &Out);
+
+/// Writes one frame (header + payload) in a single writeFullNoSigpipe.
+/// False when the peer is gone.
+bool writeFrame(int Fd, FrameType Type, const std::vector<uint8_t> &Payload);
+
+//===----------------------------------------------------------------------===//
+// Payload encoders / decoders
+//===----------------------------------------------------------------------===//
+//
+// Decoders throw std::runtime_error on truncated or trailing bytes
+// (via WireReader); callers treat that exactly like a Malformed frame.
+
+/// Hello carries no fields yet (magic and version live in the header);
+/// the empty payload is reserved for future capability flags.
+std::vector<uint8_t> encodeHello();
+void decodeHello(const Frame &F);
+
+/// HelloAck: u32 concurrency — the number of jobs the worker is
+/// willing to run at once on this connection. The coordinator sizes
+/// its in-flight window from it.
+std::vector<uint8_t> encodeHelloAck(uint32_t Concurrency);
+uint32_t decodeHelloAck(const Frame &F);
+
+/// Job: u64 tag + serialized ExecJob. The tag is opaque to the worker
+/// and echoed verbatim on the outcome; the coordinator uses the job's
+/// submission index, which is how results reassemble in submission
+/// order whatever the completion order across workers.
+std::vector<uint8_t> encodeJob(uint64_t Tag, const ExecJob &Job);
+struct DecodedJob {
+  uint64_t Tag = 0;
+  OwnedExecJob Job;
+};
+DecodedJob decodeJob(const Frame &F);
+
+/// Outcome: u64 tag + serialized RunOutcome.
+std::vector<uint8_t> encodeOutcome(uint64_t Tag, const RunOutcome &O);
+struct DecodedOutcome {
+  uint64_t Tag = 0;
+  RunOutcome Outcome;
+};
+DecodedOutcome decodeOutcome(const Frame &F);
+
+/// Heartbeat / HeartbeatAck: u64 nonce, echoed back.
+std::vector<uint8_t> encodeHeartbeat(uint64_t Nonce);
+uint64_t decodeHeartbeat(const Frame &F);
+
+//===----------------------------------------------------------------------===//
+// Socket helpers
+//===----------------------------------------------------------------------===//
+
+/// Connects to host:port with a bounded wait (non-blocking connect +
+/// poll). Returns the fd, or -1. TCP_NODELAY is set — frames are
+/// small and latency-sensitive.
+int connectTcp(const std::string &Host, unsigned Port, unsigned TimeoutMs);
+
+/// Arms (Ms > 0) or clears (Ms == 0) a receive timeout on the socket.
+/// A read that stalls past it fails like EOF, so a peer that dies
+/// mid-frame (partial header on the wire, then silence) cannot pin
+/// the reader forever — readers poll() before reading, so the
+/// timeout only ever fires on a genuine mid-frame stall, never on an
+/// idle-but-healthy connection.
+void setRecvTimeout(int Fd, unsigned Ms);
+
+/// Binds and listens on host:port (port 0 = ephemeral); reports the
+/// actually bound port. Returns the listen fd, or -1.
+int listenTcp(const std::string &Host, unsigned Port, unsigned &BoundPort);
+
+} // namespace wire
+} // namespace clfuzz
+
+#endif // CLFUZZ_EXEC_WIREPROTOCOL_H

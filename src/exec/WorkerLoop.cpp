@@ -1,0 +1,324 @@
+//===- WorkerLoop.cpp - clfuzz worker: socket-fed job executor ---------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/WorkerLoop.h"
+
+#include "exec/ProcessPool.h"
+#include "exec/WireProtocol.h"
+
+#include <chrono>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+using namespace clfuzz;
+
+/// Per-connection state. The service thread reads frames and feeds
+/// the queue; runner threads drain it and write outcome frames (the
+/// write mutex serializes outcomes and heartbeat acks on the socket).
+struct WorkerServer::Connection {
+  /// Written once at accept time, closed by ~Connection (which runs
+  /// only after the service thread was joined) — so every other
+  /// thread may read it freely and shutdown() it to force EOF, with
+  /// no close/reuse race.
+  int Fd = -1;
+  std::thread Service;
+  std::atomic<bool> Done{false};
+
+  ~Connection() {
+#if defined(__unix__) || defined(__APPLE__)
+    if (Fd >= 0)
+      ::close(Fd);
+#endif
+  }
+
+  std::mutex WriteMu;
+  std::mutex QueueMu;
+  std::condition_variable QueueCV;
+  std::deque<wire::DecodedJob> Queue;
+  bool Closing = false;
+};
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <cerrno>
+#include <csignal>
+#include <sys/socket.h>
+
+WorkerServer::WorkerServer(WorkerOptions O) : Opts(std::move(O)) {
+  ExecOptions E;
+  E.Threads = Opts.Jobs;
+  ResolvedJobs = E.resolvedThreads();
+}
+
+WorkerServer::~WorkerServer() { stop(); }
+
+bool WorkerServer::start() {
+  ListenFd = wire::listenTcp(Opts.Host, Opts.Port, BoundPort);
+  if (ListenFd < 0)
+    return false;
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void WorkerServer::stop() {
+  // shutdown() (not close()) wakes threads blocked in accept/read;
+  // fds are closed only here, after every thread that could touch
+  // them was joined, so there is no close/reuse race.
+  if (!Stopping.exchange(true) && ListenFd >= 0)
+    ::shutdown(ListenFd, SHUT_RDWR);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  // The acceptor is gone, so the connection set is final; wake every
+  // service and runner thread, then join and destroy them all
+  // (~Connection closes each fd).
+  closeAllSockets();
+  std::vector<std::unique_ptr<Connection>> Doomed;
+  {
+    std::lock_guard<std::mutex> Lock(ConnsMu);
+    Doomed.swap(Conns);
+  }
+  for (auto &Conn : Doomed)
+    if (Conn->Service.joinable())
+      Conn->Service.join();
+}
+
+void WorkerServer::closeAllSockets() {
+  std::lock_guard<std::mutex> Lock(ConnsMu);
+  for (auto &Conn : Conns) {
+    if (Conn->Fd >= 0)
+      ::shutdown(Conn->Fd, SHUT_RDWR);
+    std::lock_guard<std::mutex> QLock(Conn->QueueMu);
+    Conn->Closing = true;
+    Conn->QueueCV.notify_all();
+  }
+  if (ListenFd >= 0)
+    ::shutdown(ListenFd, SHUT_RDWR);
+}
+
+void WorkerServer::acceptLoop() {
+  for (;;) {
+    // Reap finished connections so a long-lived worker doesn't
+    // accumulate dead thread objects.
+    {
+      std::lock_guard<std::mutex> Lock(ConnsMu);
+      for (auto It = Conns.begin(); It != Conns.end();) {
+        if ((*It)->Done.load()) {
+          if ((*It)->Service.joinable())
+            (*It)->Service.join();
+          It = Conns.erase(It);
+        } else {
+          ++It;
+        }
+      }
+    }
+
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Stopping.load()) {
+      if (Fd >= 0)
+        ::close(Fd);
+      break;
+    }
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // listen socket gone
+    }
+
+    auto Conn = std::make_unique<Connection>();
+    Conn->Fd = Fd;
+    Connection *C = Conn.get();
+    {
+      std::lock_guard<std::mutex> Lock(ConnsMu);
+      Conns.push_back(std::move(Conn));
+    }
+    C->Service = std::thread([this, C] { serveConnection(*C); });
+  }
+  // ListenFd stays valid until stop() closes it (after this thread is
+  // joined); closing it here would race the shutdown() calls.
+}
+
+// How long a fresh connection may dawdle before its hello.
+static constexpr unsigned HandshakeTimeoutMs = 10000;
+
+void WorkerServer::serveConnection(Connection &Conn) {
+  // Handshake: the first frame must be a well-formed hello of our
+  // protocol version, and it must arrive promptly — a client that
+  // connects and says nothing (port scanner, load-balancer health
+  // probe) must not pin this thread and fd forever. After the
+  // handshake the timeout is lifted: an idle coordinator between
+  // shards is healthy. Keepalive stays on as the backstop against a
+  // coordinator machine vanishing without a FIN.
+  wire::setRecvTimeout(Conn.Fd, HandshakeTimeoutMs);
+  int KeepAlive = 1;
+  ::setsockopt(Conn.Fd, SOL_SOCKET, SO_KEEPALIVE, &KeepAlive,
+               sizeof(KeepAlive));
+  wire::Frame F;
+  bool Accepted = false;
+  if (wire::readFrame(Conn.Fd, F) == wire::ReadStatus::Ok &&
+      F.Type == wire::FrameType::Hello) {
+    try {
+      wire::decodeHello(F);
+      Accepted = wire::writeFrame(Conn.Fd, wire::FrameType::HelloAck,
+                                  wire::encodeHelloAck(ResolvedJobs));
+    } catch (const std::exception &) {
+    }
+  }
+  if (Accepted)
+    wire::setRecvTimeout(Conn.Fd, 0);
+
+  std::vector<std::thread> Runners;
+  if (Accepted && !Opts.IgnoreJobs)
+    for (unsigned I = 0; I != ResolvedJobs; ++I)
+      Runners.emplace_back([this, &Conn] { runnerLoop(Conn); });
+
+  while (Accepted) {
+    wire::ReadStatus RS = wire::readFrame(Conn.Fd, F);
+    if (RS != wire::ReadStatus::Ok)
+      break;
+    if (F.Type == wire::FrameType::Shutdown)
+      break;
+    try {
+      if (F.Type == wire::FrameType::Job) {
+        wire::DecodedJob Job = wire::decodeJob(F);
+        if (Opts.IgnoreJobs)
+          continue; // the wedged-worker model: swallow it
+        std::lock_guard<std::mutex> Lock(Conn.QueueMu);
+        Conn.Queue.push_back(std::move(Job));
+        Conn.QueueCV.notify_one();
+      } else if (F.Type == wire::FrameType::Heartbeat) {
+        if (Opts.IgnoreJobs)
+          continue;
+        std::lock_guard<std::mutex> Lock(Conn.WriteMu);
+        if (!wire::writeFrame(Conn.Fd, wire::FrameType::HeartbeatAck,
+                              F.Payload))
+          break;
+      }
+      // Other valid-but-unexpected types (hello twice, outcome from a
+      // coordinator) are ignored: the header said they are from our
+      // protocol version, so skipping keeps the stream in sync.
+    } catch (const std::exception &) {
+      break; // malformed payload: the stream is poisoned
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(Conn.QueueMu);
+    Conn.Closing = true;
+    Conn.QueueCV.notify_all();
+  }
+  for (std::thread &T : Runners)
+    T.join();
+  // Mark reapable but leave the fd to ~Connection: writing Fd here
+  // would race closeAllSockets() reading it to shutdown().
+  ::shutdown(Conn.Fd, SHUT_RDWR);
+  Conn.Done.store(true);
+}
+
+void WorkerServer::runnerLoop(Connection &Conn) {
+  // Each slot owns a single-subprocess process pool: the fork
+  // isolation, per-job wall-clock kill and crash-retry semantics (and
+  // therefore the outcome *messages*) are exactly --backend=procs'.
+  ExecOptions E;
+  E.Threads = 1;
+  E.Backend = BackendKind::Procs;
+  E.ProcTimeoutMs = Opts.ProcTimeoutMs;
+  std::unique_ptr<ExecBackend> Local = makeProcessPoolBackend(E);
+
+  for (;;) {
+    wire::DecodedJob Job;
+    {
+      std::unique_lock<std::mutex> Lock(Conn.QueueMu);
+      Conn.QueueCV.wait(Lock,
+                        [&] { return Conn.Closing || !Conn.Queue.empty(); });
+      if (Conn.Queue.empty())
+        return;
+      Job = std::move(Conn.Queue.front());
+      Conn.Queue.pop_front();
+    }
+
+    RunOutcome O;
+    try {
+      O = Local->run({Job.Job.view()}).at(0);
+    } catch (const std::exception &Ex) {
+      O.Status = RunStatus::Crash;
+      O.Message = std::string("worker: ") + Ex.what();
+    }
+
+    size_t Count = Executed.fetch_add(1) + 1;
+    if (Opts.DieAfterJobs && Count >= Opts.DieAfterJobs) {
+      // Die *before* sending this outcome: the coordinator sees the
+      // connection drop with the job (and its window-mates) still in
+      // flight — the failure mode the requeue/reassembly logic must
+      // survive.
+      if (Count == Opts.DieAfterJobs) {
+        Died.store(true);
+        closeAllSockets();
+      }
+      continue;
+    }
+
+    std::lock_guard<std::mutex> Lock(Conn.WriteMu);
+    wire::writeFrame(Conn.Fd, wire::FrameType::Outcome,
+                     wire::encodeOutcome(Job.Tag, O));
+  }
+}
+
+namespace {
+volatile std::sig_atomic_t GWorkerStop = 0;
+void workerSignal(int) { GWorkerStop = 1; }
+} // namespace
+
+int clfuzz::runWorkerCommand(const WorkerOptions &Opts) {
+  WorkerServer Server(Opts);
+  if (!Server.start()) {
+    std::fprintf(stderr, "clfuzz worker: cannot listen on %s:%u\n",
+                 Opts.Host.c_str(), Opts.Port);
+    return 1;
+  }
+  // The CI scripts parse this line to learn an ephemeral port; keep
+  // the format stable. jobs= is the count actually advertised in
+  // hello-acks, not the raw flag.
+  std::printf("clfuzz worker listening on %s:%u (jobs=%u, "
+              "proc-timeout-ms=%u)\n",
+              Opts.Host.c_str(), Server.port(),
+              Server.jobsPerConnection(), Opts.ProcTimeoutMs);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, workerSignal);
+  std::signal(SIGTERM, workerSignal);
+  while (!GWorkerStop && !Server.died())
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  Server.stop();
+  return 0;
+}
+
+#else // no sockets on this platform
+
+WorkerServer::WorkerServer(WorkerOptions O) : Opts(std::move(O)) {}
+WorkerServer::~WorkerServer() = default;
+bool WorkerServer::start() { return false; }
+void WorkerServer::stop() {}
+void WorkerServer::closeAllSockets() {}
+void WorkerServer::acceptLoop() {}
+void WorkerServer::serveConnection(Connection &) {}
+void WorkerServer::runnerLoop(Connection &) {}
+
+int clfuzz::runWorkerCommand(const WorkerOptions &) {
+  std::fprintf(stderr,
+               "clfuzz worker: POSIX sockets are unavailable on this "
+               "platform\n");
+  return 1;
+}
+
+#endif

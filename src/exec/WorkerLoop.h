@@ -1,0 +1,149 @@
+//===- WorkerLoop.h - clfuzz worker: socket-fed job executor ----*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worker half of multi-host campaign execution: a TCP server
+/// that accepts coordinator connections, speaks the framed protocol
+/// of exec/WireProtocol.h (specified in docs/wire-protocol.md), and
+/// runs each received ExecJob through a *local, fork-isolated*
+/// process-pool slot — so a job that crashes the VM or blows its
+/// wall-clock deadline kills one disposable subprocess on the worker
+/// machine, is reported back as that job's Crash/Timeout outcome, and
+/// the worker keeps serving. A `clfuzz worker` on another machine is
+/// the paper's "many cores" knob turned past one host.
+///
+/// Shape: one service thread per accepted connection (a campaign
+/// coordinator and several background reduction jobs can all be
+/// clients of the same worker at once); per connection, `Jobs`
+/// executor slots, each owning a single-subprocess ProcessPoolBackend
+/// (exec/ProcessPool.h), so outcomes stream back as they complete —
+/// possibly out of submission order, which is why every outcome
+/// echoes its job's tag. Determinism is inherited wholesale: a job
+/// descriptor is a pure function of its bytes (exec/JobSerialize.h),
+/// so where it runs is unobservable in campaign output.
+///
+/// WorkerServer is embeddable (tests/RemoteBackendTest.cpp runs
+/// loopback workers in-process); `clfuzz worker` wraps it in
+/// runWorkerCommand. The fault-injection options model the failure
+/// modes the coordinator must survive: DieAfterJobs hard-closes the
+/// server before the Nth outcome is sent (worker death with jobs in
+/// flight), IgnoreJobs swallows jobs and heartbeats (wedged worker).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_EXEC_WORKERLOOP_H
+#define CLFUZZ_EXEC_WORKERLOOP_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace clfuzz {
+
+/// Configuration for a worker server (`clfuzz worker` flags map 1:1).
+struct WorkerOptions {
+  /// Interface to bind ("127.0.0.1" for loopback-only workers;
+  /// "0.0.0.0" to serve a real fleet).
+  std::string Host = "127.0.0.1";
+
+  /// Listen port; 0 binds an ephemeral port (the bound port is
+  /// reported by WorkerServer::port() and printed by `clfuzz worker`).
+  unsigned Port = 0;
+
+  /// Executor slots per connection (0 = one per hardware thread).
+  /// Advertised to the coordinator in the hello-ack so it can size
+  /// its in-flight window.
+  unsigned Jobs = 1;
+
+  /// Wall-clock deadline per job, enforced by each slot's local
+  /// process pool (0 = none). Outcome messages match --backend=procs
+  /// with the same ProcTimeoutMs, keeping remote output bit-identical.
+  unsigned ProcTimeoutMs = 0;
+
+  /// Fault injection: after executing this many jobs (across all
+  /// connections), hard-close every socket *before* sending the Nth
+  /// outcome — a worker dying with jobs in flight. 0 disables.
+  unsigned DieAfterJobs = 0;
+
+  /// Fault injection: complete the handshake, then silently discard
+  /// every job and heartbeat — a wedged worker the coordinator can
+  /// only detect by timeout. Off by default, obviously.
+  bool IgnoreJobs = false;
+};
+
+/// A running worker server. start() binds and begins accepting;
+/// stop() (or the destructor) closes everything and joins all
+/// threads, waiting for in-flight jobs to finish or die.
+class WorkerServer {
+public:
+  explicit WorkerServer(WorkerOptions Opts = WorkerOptions());
+  ~WorkerServer();
+
+  WorkerServer(const WorkerServer &) = delete;
+  WorkerServer &operator=(const WorkerServer &) = delete;
+
+  /// Binds and starts the accept loop; false if the bind failed (port
+  /// in use, no socket support on this platform).
+  bool start();
+
+  /// The actually bound port (after start(); resolves Port == 0).
+  unsigned port() const { return BoundPort; }
+
+  /// Executor slots per connection (Opts.Jobs with 0 resolved to the
+  /// hardware concurrency) — the value advertised in every hello-ack.
+  unsigned jobsPerConnection() const { return ResolvedJobs; }
+
+  /// Closes the listen socket and every connection, then joins all
+  /// service threads. Idempotent.
+  void stop();
+
+  /// Jobs fully executed so far (outcomes sent or suppressed by
+  /// DieAfterJobs).
+  size_t jobsExecuted() const { return Executed.load(); }
+
+  /// True once DieAfterJobs tripped and the server self-destructed.
+  bool died() const { return Died.load(); }
+
+private:
+  struct Connection;
+
+  void acceptLoop();
+  void serveConnection(Connection &Conn);
+  void runnerLoop(Connection &Conn);
+  /// Abrupt self-destruction (DieAfterJobs): closes every fd so all
+  /// peers see EOF; threads wind down on their own and are joined by
+  /// stop(). Safe to call from a runner thread.
+  void closeAllSockets();
+
+  WorkerOptions Opts;
+  unsigned ResolvedJobs = 1;
+  unsigned BoundPort = 0;
+  int ListenFd = -1;
+  std::thread Acceptor;
+  std::atomic<bool> Stopping{false};
+  std::atomic<bool> Died{false};
+  std::atomic<size_t> Executed{0};
+
+  std::mutex ConnsMu;
+  std::vector<std::unique_ptr<Connection>> Conns;
+};
+
+/// Blocking entry point for `clfuzz worker`: starts a WorkerServer,
+/// prints the "listening on host:port" line (stdout, flushed — the CI
+/// scripts parse it to learn an ephemeral port), and serves until
+/// SIGINT/SIGTERM. Returns a process exit code.
+int runWorkerCommand(const WorkerOptions &Opts);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_EXEC_WORKERLOOP_H

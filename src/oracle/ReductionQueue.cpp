@@ -83,10 +83,16 @@ void ReductionQueue::workerLoop() {
     try {
       R.Reduced = reduceTest(Job.Witness, *Job.Oracle, JobOpts, &R.Stats);
     } catch (const std::exception &E) {
-      // A reduction that dies (its backend failing to fork, say) is
-      // one failed result, not a std::terminate for the whole hunt.
+      // A reduction that dies (its backend failing to fork, or the
+      // whole remote fleet unreachable) is one failed result, not a
+      // std::terminate for the whole hunt.
       R.Reduced = std::move(Job.Witness);
       R.Error = E.what();
+    } catch (...) {
+      // Anything escaping a worker thread would terminate the
+      // process; record it instead.
+      R.Reduced = std::move(Job.Witness);
+      R.Error = "unknown reduction failure";
     }
 
     {

@@ -13,7 +13,13 @@
 /// witness here and drains the queue after the campaign; each worker
 /// thread runs reduceTest with its own ExecBackend (--reduce-backend),
 /// so crashy witnesses can reduce under process isolation while the
-/// campaign proper stays on a faster backend.
+/// campaign proper stays on a faster backend — and with
+/// --reduce-backend=remote each background job dials its own
+/// connections to the `clfuzz worker` fleet (exec/RemoteBackend.h),
+/// farming candidate probes off-machine entirely. A backend failure
+/// (the whole fleet unreachable, say) is contained: it surfaces as
+/// that job's ReductionResult::Error, never as a dead campaign.
+/// docs/reduction.md documents the full design.
 ///
 /// Determinism: each job's reduction is bit-identical regardless of
 /// which worker runs it or when (reduceTest's contract), and drain()

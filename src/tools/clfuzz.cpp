@@ -13,31 +13,38 @@
 ///   clfuzz diff   --seed=N                        run on the whole zoo
 ///   clfuzz hunt   --mode=M --count=N              mini campaign
 ///   clfuzz reduce --seed=N --config=ID            shrink a witness
+///   clfuzz worker --listen=PORT                   serve remote campaigns
 ///   clfuzz configs                                list the zoo
 ///
 /// `diff` and `hunt` run their campaign cells through the streaming
 /// pipeline API and accept:
 ///
-///   --backend=inline|threads|procs   execution backend (procs runs
-///                                    cells in crash-isolated worker
-///                                    subprocesses)
+///   --backend=inline|threads|procs|remote  execution backend (procs
+///                                    runs cells in crash-isolated
+///                                    worker subprocesses; remote
+///                                    farms them to `clfuzz worker`
+///                                    processes over TCP)
 ///   --exec-threads=N                 workers (1 = serial, 0 = all
 ///                                    cores)
+///   --workers=host:port,...          the worker fleet (remote only)
 ///   --shard-size=N                   kernels generated/held per shard
 ///   --format=text|csv|jsonl          hunt/diff report format
 ///
 /// Reduction is a pipeline workload too: `reduce` evaluates its
 /// speculative candidates on --reduce-backend with --reduce-jobs
-/// workers (procs fork-isolates crashy candidates), and
-/// `hunt --reduce` hands every wrong-code witness to a background
-/// reduction queue instead of blocking the campaign. Findings and
-/// reductions are identical for every backend, worker count and shard
-/// size.
+/// workers (procs fork-isolates crashy candidates; remote farms them
+/// to the worker fleet), and `hunt --reduce` hands every wrong-code
+/// witness to a background reduction queue instead of blocking the
+/// campaign. Findings and reductions are identical for every backend,
+/// worker count and shard size. docs/architecture.md,
+/// docs/wire-protocol.md and docs/reduction.md specify all of this.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "device/DeviceConfig.h"
 #include "exec/Pipeline.h"
+#include "exec/RemoteBackend.h"
+#include "exec/WorkerLoop.h"
 #include "gen/Generator.h"
 #include "oracle/Oracle.h"
 #include "oracle/ReductionQueue.h"
@@ -178,6 +185,26 @@ std::string reportFormatFrom(const CliArgs &A) {
   return Format;
 }
 
+/// Copies the remote-fleet options into \p Opts and validates that a
+/// remote backend actually has workers to dial. \p WorkersKey lets
+/// `hunt --reduce` keep separate fleets for the campaign
+/// (--workers) and the background reductions (--reduce-workers).
+void applyRemoteOptions(const CliArgs &A, ExecOptions &Opts,
+                        const std::string &WorkersKey) {
+  std::string Workers = A.get(WorkersKey, A.get("workers"));
+  Opts.RemoteWorkers = splitWorkerList(Workers);
+  Opts.RemoteTimeoutMs = static_cast<unsigned>(
+      A.getInt("remote-timeout-ms", Opts.RemoteTimeoutMs));
+  Opts.RemoteHeartbeatMs = static_cast<unsigned>(
+      A.getInt("remote-heartbeat-ms", Opts.RemoteHeartbeatMs));
+  if (Opts.Backend == BackendKind::Remote && Opts.RemoteWorkers.empty()) {
+    std::fprintf(stderr,
+                 "the remote backend needs --workers=host:port,... "
+                 "(start workers with `clfuzz worker --listen=PORT`)\n");
+    std::exit(1);
+  }
+}
+
 ExecOptions execOptionsFrom(const CliArgs &A) {
   ExecOptions Opts = ExecOptions::withThreads(
       static_cast<unsigned>(A.getInt("exec-threads", 1)));
@@ -185,12 +212,26 @@ ExecOptions execOptionsFrom(const CliArgs &A) {
       static_cast<unsigned>(A.getInt("shard-size", Opts.ShardSize));
   if (A.has("backend") &&
       !parseBackendKind(A.get("backend"), Opts.Backend)) {
-    std::fprintf(stderr,
-                 "unknown backend '%s' (use inline, threads or procs)\n",
-                 A.get("backend").c_str());
+    std::fprintf(
+        stderr,
+        "unknown backend '%s' (use inline, threads, procs or remote)\n",
+        A.get("backend").c_str());
     std::exit(1);
   }
+  applyRemoteOptions(A, Opts, "workers");
   return Opts;
+}
+
+/// makeBackend with CLI-grade errors: a malformed --workers entry or
+/// a platform without sockets exits with a message instead of an
+/// unhandled exception.
+std::unique_ptr<ExecBackend> makeBackendOrDie(const ExecOptions &Opts) {
+  try {
+    return makeBackend(Opts);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "%s\n", E.what());
+    std::exit(1);
+  }
 }
 
 int cmdDiff(const CliArgs &A) {
@@ -198,7 +239,7 @@ int cmdDiff(const CliArgs &A) {
   std::string Format = reportFormatFrom(A);
   TestCase T = TestCase::fromGenerated(generateKernel(genOptionsFrom(A)));
   std::vector<DeviceConfig> Zoo = buildConfigRegistry();
-  std::unique_ptr<ExecBackend> Backend = makeBackend(execOptionsFrom(A));
+  std::unique_ptr<ExecBackend> Backend = makeBackendOrDie(execOptionsFrom(A));
   std::vector<ExecJob> Jobs;
   std::vector<std::string> Labels;
   for (const DeviceConfig &C : Zoo) {
@@ -248,12 +289,16 @@ ReducerOptions reducerOptionsFrom(const CliArgs &A) {
       static_cast<unsigned>(A.getInt("reduce-jobs", 1)));
   if (A.has("reduce-backend") &&
       !parseBackendKind(A.get("reduce-backend"), RO.Exec.Backend)) {
-    std::fprintf(
-        stderr,
-        "unknown reduce backend '%s' (use inline, threads or procs)\n",
-        A.get("reduce-backend").c_str());
+    std::fprintf(stderr,
+                 "unknown reduce backend '%s' (use inline, threads, "
+                 "procs or remote)\n",
+                 A.get("reduce-backend").c_str());
     std::exit(1);
   }
+  // --reduce-backend=remote farms candidate probes to the worker
+  // fleet too; it reuses --workers unless --reduce-workers names a
+  // dedicated one.
+  applyRemoteOptions(A, RO.Exec, "reduce-workers");
   RO.MaxCandidates = static_cast<unsigned>(
       A.getInt("reduce-max", RO.MaxCandidates));
   if (A.has("no-pipeline"))
@@ -392,7 +437,7 @@ int cmdHunt(const CliArgs &A) {
     Targets.push_back(configById(Zoo, Id));
 
   ExecOptions Opts = execOptionsFrom(A);
-  std::unique_ptr<ExecBackend> Backend = makeBackend(Opts);
+  std::unique_ptr<ExecBackend> Backend = makeBackendOrDie(Opts);
 
   // Background reduction: wrong-code witnesses are queued for
   // shrinking as they are found and drained after the campaign, so
@@ -484,25 +529,48 @@ int cmdHunt(const CliArgs &A) {
   return 0;
 }
 
+/// Runs a `clfuzz worker` process: a TCP job server remote campaigns
+/// dispatch cells to (see docs/wire-protocol.md).
+int cmdWorker(const CliArgs &A) {
+  WorkerOptions WO;
+  WO.Host = A.get("host", WO.Host);
+  WO.Port = static_cast<unsigned>(A.getInt("listen", 0));
+  WO.Jobs = static_cast<unsigned>(A.getInt("jobs", 1));
+  WO.ProcTimeoutMs =
+      static_cast<unsigned>(A.getInt("proc-timeout-ms", 0));
+  WO.DieAfterJobs =
+      static_cast<unsigned>(A.getInt("die-after-jobs", 0));
+  WO.IgnoreJobs = A.has("ignore-jobs");
+  return runWorkerCommand(WO);
+}
+
 int usage() {
   std::fprintf(
       stderr,
       "usage: clfuzz <command> [options]\n"
-      "  gen     --mode=M --seed=N [--emi=K]   print a generated kernel\n"
-      "  run     --seed=N [--config=ID] [--opt] run one kernel\n"
-      "  diff    --seed=N [--mode=M]           run across the whole zoo\n"
-      "  hunt    --mode=M --count=N [--seed=N] mini differential campaign\n"
-      "  reduce  --seed=N --config=ID [--opt]  shrink a witness kernel\n"
-      "  configs                                list the 21 configurations\n"
-      "diff/hunt also take --backend=inline|threads|procs "
-      "--exec-threads=N (1 = serial, 0 = all cores) --shard-size=N "
-      "--format=text|csv|jsonl\n"
-      "reduce also takes --expect=wrong|crash|timeout|build-failure "
-      "--reduce-backend=inline|threads|procs --reduce-jobs=N "
-      "--reduce-max=N --trace=FILE --no-pipeline\n"
-      "hunt --reduce shrinks witnesses in the background "
-      "(--reduce-backend, --reduce-jobs=N concurrent reductions, "
-      "--reduce-max=N, --reduce-trace=FILE)\n");
+      "  gen     --mode=M --seed=N [--emi=K]      print a generated kernel\n"
+      "  run     --seed=N [--mode=M] [--emi=K] [--config=ID] [--opt]\n"
+      "                                           run one kernel\n"
+      "  diff    --seed=N [--mode=M] [--emi=K]    run across the whole zoo\n"
+      "  hunt    --mode=M --count=N [--seed=N]    mini differential campaign\n"
+      "  reduce  --seed=N --config=ID [--opt]     shrink a witness kernel\n"
+      "  worker  [--listen=PORT] [--host=H]       serve jobs to remote\n"
+      "                                           campaigns over TCP\n"
+      "  configs                                  list the 21 configurations\n"
+      "diff/hunt: --backend=inline|threads|procs|remote --exec-threads=N\n"
+      "  (1 = serial, 0 = all cores) --shard-size=N --format=text|csv|jsonl\n"
+      "remote backend: --workers=host:port,... --remote-timeout-ms=N\n"
+      "  --remote-heartbeat-ms=N (see `clfuzz worker`, docs/wire-protocol.md)\n"
+      "reduce: --expect=wrong|crash|timeout|build-failure\n"
+      "  --reduce-backend=inline|threads|procs|remote --reduce-jobs=N\n"
+      "  --reduce-max=N --trace=FILE --no-pipeline\n"
+      "hunt --reduce: shrink witnesses in the background (--reduce-backend,\n"
+      "  --reduce-jobs=N concurrent reductions, --reduce-max=N,\n"
+      "  --reduce-trace=FILE, --no-pipeline; remote probes use\n"
+      "  --reduce-workers or --workers)\n"
+      "worker: --jobs=N executor slots (0 = all cores) --proc-timeout-ms=N\n"
+      "  per-job deadline; fault injection for tests: --die-after-jobs=N\n"
+      "  --ignore-jobs\n");
   return 2;
 }
 
@@ -510,17 +578,27 @@ int usage() {
 
 int main(int Argc, char **Argv) {
   CliArgs A = parse(Argc, Argv);
-  if (A.Command == "gen")
-    return cmdGen(A);
-  if (A.Command == "run")
-    return cmdRun(A);
-  if (A.Command == "diff")
-    return cmdDiff(A);
-  if (A.Command == "hunt")
-    return cmdHunt(A);
-  if (A.Command == "reduce")
-    return cmdReduce(A);
-  if (A.Command == "configs")
-    return cmdConfigs();
+  // Campaign-time failures (the whole remote fleet unreachable, a
+  // process pool that cannot fork) surface as exceptions from deep
+  // inside a run; report them as errors, not as std::terminate.
+  try {
+    if (A.Command == "gen")
+      return cmdGen(A);
+    if (A.Command == "run")
+      return cmdRun(A);
+    if (A.Command == "diff")
+      return cmdDiff(A);
+    if (A.Command == "hunt")
+      return cmdHunt(A);
+    if (A.Command == "reduce")
+      return cmdReduce(A);
+    if (A.Command == "worker")
+      return cmdWorker(A);
+    if (A.Command == "configs")
+      return cmdConfigs();
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "clfuzz %s: %s\n", A.Command.c_str(), E.what());
+    return 1;
+  }
   return usage();
 }

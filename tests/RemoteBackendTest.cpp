@@ -1,0 +1,578 @@
+//===- RemoteBackendTest.cpp - Remote backend + worker protocol suite --------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Pins the multi-host execution contract: a campaign on
+// --backend=remote against loopback `clfuzz worker` servers produces
+// output bit-identical to --backend=inline (raw batches and the
+// Table 1/4/5 campaign drivers), a worker dying mid-campaign has its
+// in-flight jobs requeued without corrupting results, a wedged worker
+// is evicted by heartbeat, per-job deadlines record Timeout outcomes,
+// and the wire protocol itself round-trips exactly and rejects
+// garbage instead of guessing (docs/wire-protocol.md).
+//
+// Workers run in-process (WorkerServer is embeddable) on ephemeral
+// loopback ports, so the suite needs no fixtures beyond a socket
+// stack; the `clfuzz worker` CLI wraps the same server, and CI drives
+// that path with real processes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/RemoteBackend.h"
+#include "exec/WireProtocol.h"
+#include "exec/WorkerLoop.h"
+#include "device/DeviceConfig.h"
+#include "oracle/Campaign.h"
+#include "oracle/Reducer.h"
+
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <unistd.h>
+
+using namespace clfuzz;
+
+namespace {
+
+/// ExecOptions for a remote backend over the given live servers.
+ExecOptions remoteOpts(std::initializer_list<const WorkerServer *> Servers,
+                       unsigned HeartbeatMs = 2000,
+                       unsigned TimeoutMs = 0) {
+  ExecOptions O;
+  O.Backend = BackendKind::Remote;
+  for (const WorkerServer *S : Servers)
+    O.RemoteWorkers.push_back("127.0.0.1:" + std::to_string(S->port()));
+  O.RemoteHeartbeatMs = HeartbeatMs;
+  O.RemoteTimeoutMs = TimeoutMs;
+  return O;
+}
+
+WorkerOptions loopbackWorker(unsigned Jobs) {
+  WorkerOptions WO;
+  WO.Jobs = Jobs;
+  return WO;
+}
+
+std::vector<DeviceConfig> smallZoo() {
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  std::vector<DeviceConfig> Zoo;
+  for (int Id : {1, 12, 14, 19})
+    Zoo.push_back(configById(Registry, Id));
+  return Zoo;
+}
+
+void expectSameOutcomes(const std::vector<RunOutcome> &A,
+                        const std::vector<RunOutcome> &B,
+                        const std::string &Ctx) {
+  ASSERT_EQ(A.size(), B.size()) << Ctx;
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Status, B[I].Status) << Ctx << " job " << I;
+    EXPECT_EQ(A[I].OutputHash, B[I].OutputHash) << Ctx << " job " << I;
+    EXPECT_EQ(A[I].Message, B[I].Message) << Ctx << " job " << I;
+    EXPECT_EQ(A[I].Steps, B[I].Steps) << Ctx << " job " << I;
+    EXPECT_EQ(A[I].OutputHead, B[I].OutputHead) << Ctx << " job " << I;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Wire protocol: round trips and garbage rejection
+//===----------------------------------------------------------------------===//
+
+TEST(RemoteBackendTest, FramesRoundTripThroughAnFd) {
+  int Fds[2];
+  ASSERT_EQ(::pipe(Fds), 0);
+
+  GenOptions GO;
+  GO.Seed = 31415;
+  TestCase T = TestCase::fromGenerated(generateKernel(GO));
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  RunSettings RS;
+  RS.SchedulerSeed = 7;
+  ExecJob Job = ExecJob::onConfig(T, configById(Registry, 12), true, RS);
+
+  ASSERT_TRUE(wire::writeFrame(Fds[1], wire::FrameType::Job,
+                               wire::encodeJob(42, Job)));
+  wire::Frame F;
+  ASSERT_EQ(wire::readFrame(Fds[0], F), wire::ReadStatus::Ok);
+  ASSERT_EQ(F.Type, wire::FrameType::Job);
+  wire::DecodedJob D = wire::decodeJob(F);
+  EXPECT_EQ(D.Tag, 42u);
+  EXPECT_EQ(D.Job.Test.Source, T.Source);
+  ASSERT_TRUE(D.Job.Config.has_value());
+  EXPECT_EQ(D.Job.Config->Id, 12);
+
+  // The round-tripped job must execute identically: the tag travels,
+  // the descriptor stays pure.
+  RunOutcome A = runExecJob(Job);
+  RunOutcome B = runExecJob(D.Job.view());
+  EXPECT_EQ(A.Status, B.Status);
+  EXPECT_EQ(A.OutputHash, B.OutputHash);
+
+  ASSERT_TRUE(wire::writeFrame(Fds[1], wire::FrameType::Outcome,
+                               wire::encodeOutcome(42, A)));
+  ASSERT_EQ(wire::readFrame(Fds[0], F), wire::ReadStatus::Ok);
+  ASSERT_EQ(F.Type, wire::FrameType::Outcome);
+  wire::DecodedOutcome O = wire::decodeOutcome(F);
+  EXPECT_EQ(O.Tag, 42u);
+  EXPECT_EQ(O.Outcome.Status, A.Status);
+  EXPECT_EQ(O.Outcome.OutputHash, A.OutputHash);
+  EXPECT_EQ(O.Outcome.Message, A.Message);
+
+  ASSERT_TRUE(wire::writeFrame(Fds[1], wire::FrameType::HeartbeatAck,
+                               wire::encodeHeartbeat(99)));
+  ASSERT_EQ(wire::readFrame(Fds[0], F), wire::ReadStatus::Ok);
+  EXPECT_EQ(wire::decodeHeartbeat(F), 99u);
+
+  ASSERT_TRUE(wire::writeFrame(Fds[1], wire::FrameType::HelloAck,
+                               wire::encodeHelloAck(8)));
+  ASSERT_EQ(wire::readFrame(Fds[0], F), wire::ReadStatus::Ok);
+  EXPECT_EQ(wire::decodeHelloAck(F), 8u);
+
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST(RemoteBackendTest, MalformedFramesAreRejectedNotGuessed) {
+  // Bad magic.
+  {
+    int Fds[2];
+    ASSERT_EQ(::pipe(Fds), 0);
+    const uint8_t Garbage[12] = {'G', 'E', 'T', ' ', '/', ' ',
+                                 'H', 'T', 'T', 'P', '/', '1'};
+    ASSERT_TRUE(wire::writeFull(Fds[1], Garbage, sizeof(Garbage)));
+    wire::Frame F;
+    EXPECT_EQ(wire::readFrame(Fds[0], F), wire::ReadStatus::Malformed);
+    ::close(Fds[0]);
+    ::close(Fds[1]);
+  }
+  // Right magic, wrong version.
+  {
+    int Fds[2];
+    ASSERT_EQ(::pipe(Fds), 0);
+    WireWriter W;
+    W.u32(wire::FrameMagic);
+    W.u8(wire::ProtocolVersion + 1);
+    W.u8(static_cast<uint8_t>(wire::FrameType::Hello));
+    W.u8(0);
+    W.u8(0);
+    W.u32(0);
+    ASSERT_TRUE(
+        wire::writeFull(Fds[1], W.buffer().data(), W.buffer().size()));
+    wire::Frame F;
+    EXPECT_EQ(wire::readFrame(Fds[0], F), wire::ReadStatus::Malformed);
+    ::close(Fds[0]);
+    ::close(Fds[1]);
+  }
+  // Oversized length field.
+  {
+    int Fds[2];
+    ASSERT_EQ(::pipe(Fds), 0);
+    WireWriter W;
+    W.u32(wire::FrameMagic);
+    W.u8(wire::ProtocolVersion);
+    W.u8(static_cast<uint8_t>(wire::FrameType::Job));
+    W.u8(0);
+    W.u8(0);
+    W.u32(wire::MaxFramePayload + 1);
+    ASSERT_TRUE(
+        wire::writeFull(Fds[1], W.buffer().data(), W.buffer().size()));
+    wire::Frame F;
+    EXPECT_EQ(wire::readFrame(Fds[0], F), wire::ReadStatus::Malformed);
+    ::close(Fds[0]);
+    ::close(Fds[1]);
+  }
+  // Truncated mid-header is EOF (a torn connection, not an attack).
+  {
+    int Fds[2];
+    ASSERT_EQ(::pipe(Fds), 0);
+    const uint8_t Partial[4] = {'C', 'L', 'F', 'Z'};
+    ASSERT_TRUE(wire::writeFull(Fds[1], Partial, sizeof(Partial)));
+    ::close(Fds[1]);
+    wire::Frame F;
+    EXPECT_EQ(wire::readFrame(Fds[0], F), wire::ReadStatus::Eof);
+    ::close(Fds[0]);
+  }
+}
+
+TEST(RemoteBackendTest, WorkerSurvivesAGarbageConnection) {
+  WorkerServer Server(loopbackWorker(1));
+  ASSERT_TRUE(Server.start());
+
+  // A client that speaks the wrong protocol gets dropped at the
+  // handshake...
+  int Fd = wire::connectTcp("127.0.0.1", Server.port(), 2000);
+  ASSERT_GE(Fd, 0);
+  const char Garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(wire::writeFull(Fd, Garbage, sizeof(Garbage) - 1));
+  uint8_t Byte;
+  EXPECT_FALSE(wire::readFull(Fd, &Byte, 1)); // worker hung up
+  ::close(Fd);
+
+  // ...and the server still serves a well-behaved coordinator.
+  GenOptions GO;
+  GO.Seed = 99;
+  TestCase T = TestCase::fromGenerated(generateKernel(GO));
+  std::vector<DeviceConfig> Zoo = smallZoo();
+  std::vector<ExecJob> One = {
+      ExecJob::onConfig(T, Zoo[0], true, RunSettings())};
+
+  std::unique_ptr<ExecBackend> Backend =
+      makeRemoteBackend(remoteOpts({&Server}));
+  std::vector<RunOutcome> Got = Backend->run(One);
+  ASSERT_EQ(Got.size(), 1u);
+  RunOutcome Clean = runExecJob(One[0]);
+  EXPECT_EQ(Got[0].Status, Clean.Status);
+  EXPECT_EQ(Got[0].OutputHash, Clean.OutputHash);
+}
+
+//===----------------------------------------------------------------------===//
+// Loopback bit-identity vs inline
+//===----------------------------------------------------------------------===//
+
+TEST(RemoteBackendTest, BatchesMatchSerialReference) {
+  WorkerServer W1(loopbackWorker(2)), W2(loopbackWorker(2));
+  ASSERT_TRUE(W1.start());
+  ASSERT_TRUE(W2.start());
+
+  std::vector<DeviceConfig> Zoo = smallZoo();
+  GenOptions GO;
+  GO.Mode = GenMode::All;
+  GO.Seed = 20257;
+  TestCase T = TestCase::fromGenerated(generateKernel(GO));
+  std::vector<ExecJob> Jobs;
+  for (const DeviceConfig &C : Zoo)
+    for (bool Opt : {false, true})
+      Jobs.push_back(ExecJob::onConfig(T, C, Opt, RunSettings()));
+  Jobs.push_back(ExecJob::onReference(T, true, RunSettings()));
+
+  InlineBackend Reference;
+  std::vector<RunOutcome> Expected = Reference.run(Jobs);
+
+  std::unique_ptr<ExecBackend> Remote =
+      makeRemoteBackend(remoteOpts({&W1, &W2}));
+  EXPECT_EQ(Remote->kind(), BackendKind::Remote);
+  expectSameOutcomes(Expected, Remote->run(Jobs), "remote/2 workers");
+
+  // A backend must survive empty batches between real ones, and stay
+  // usable across batch boundaries (links are persistent).
+  EXPECT_TRUE(Remote->run({}).empty());
+  expectSameOutcomes(Expected, Remote->run(Jobs), "remote second batch");
+}
+
+TEST(RemoteBackendTest, ConcurrencySumsTheFleetSlots) {
+  WorkerServer W1(loopbackWorker(3)), W2(loopbackWorker(2));
+  ASSERT_TRUE(W1.start());
+  ASSERT_TRUE(W2.start());
+  std::unique_ptr<ExecBackend> Remote =
+      makeRemoteBackend(remoteOpts({&W1, &W2}));
+  EXPECT_EQ(Remote->concurrency(), 5u);
+}
+
+TEST(RemoteBackendTest, DifferentialCampaignIdenticalToInline) {
+  // Tables 1 and 4 are runDifferentialCampaign compositions; byte-for-
+  // byte table equality across the network is the acceptance bar.
+  WorkerServer W1(loopbackWorker(2)), W2(loopbackWorker(2));
+  ASSERT_TRUE(W1.start());
+  ASSERT_TRUE(W2.start());
+
+  std::vector<DeviceConfig> Zoo = smallZoo();
+  std::vector<GenMode> Modes = {GenMode::Barrier, GenMode::All};
+
+  CampaignSettings S;
+  S.KernelsPerMode = 4;
+  S.BaseGen.MinThreads = 48;
+  S.BaseGen.MaxThreads = 128;
+
+  S.Exec = ExecOptions::withBackend(BackendKind::Inline);
+  std::vector<ModeTable> Reference =
+      runDifferentialCampaign(Zoo, Modes, S);
+  ASSERT_FALSE(Reference.empty());
+
+  S.Exec = remoteOpts({&W1, &W2});
+  std::vector<ModeTable> Got = runDifferentialCampaign(Zoo, Modes, S);
+
+  ASSERT_EQ(Reference.size(), Got.size());
+  for (size_t I = 0; I != Reference.size(); ++I) {
+    EXPECT_EQ(Reference[I].Mode, Got[I].Mode);
+    EXPECT_EQ(Reference[I].NumTests, Got[I].NumTests);
+    ASSERT_EQ(Reference[I].Cells.size(), Got[I].Cells.size());
+    auto ItA = Reference[I].Cells.begin();
+    auto ItB = Got[I].Cells.begin();
+    for (; ItA != Reference[I].Cells.end(); ++ItA, ++ItB) {
+      EXPECT_EQ(ItA->first.ConfigId, ItB->first.ConfigId);
+      EXPECT_EQ(ItA->first.Opt, ItB->first.Opt);
+      EXPECT_EQ(ItA->second.W, ItB->second.W);
+      EXPECT_EQ(ItA->second.BF, ItB->second.BF);
+      EXPECT_EQ(ItA->second.C, ItB->second.C);
+      EXPECT_EQ(ItA->second.TO, ItB->second.TO);
+      EXPECT_EQ(ItA->second.Pass, ItB->second.Pass);
+    }
+  }
+}
+
+TEST(RemoteBackendTest, EmiCampaignIdenticalToInline) {
+  // Table 5 (EMI variants) exercises generation-side forEachIndex on
+  // the calling process plus remote cell execution.
+  WorkerServer W1(loopbackWorker(2)), W2(loopbackWorker(2));
+  ASSERT_TRUE(W1.start());
+  ASSERT_TRUE(W2.start());
+
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  std::vector<DeviceConfig> Zoo = {configById(Registry, 12),
+                                   configById(Registry, 19)};
+  EmiCampaignSettings S;
+  S.NumBases = 2;
+  S.Base.BaseGen.MinThreads = 48;
+  S.Base.BaseGen.MaxThreads = 96;
+
+  S.Base.Exec = ExecOptions::withBackend(BackendKind::Inline);
+  unsigned ReferenceUsable = 0;
+  std::vector<EmiCampaignColumn> Reference =
+      runEmiCampaign(Zoo, S, ReferenceUsable);
+
+  S.Base.Exec = remoteOpts({&W1, &W2});
+  unsigned Usable = 0;
+  std::vector<EmiCampaignColumn> Got = runEmiCampaign(Zoo, S, Usable);
+
+  EXPECT_EQ(ReferenceUsable, Usable);
+  ASSERT_EQ(Reference.size(), Got.size());
+  for (size_t I = 0; I != Reference.size(); ++I) {
+    EXPECT_EQ(Reference[I].Key.ConfigId, Got[I].Key.ConfigId);
+    EXPECT_EQ(Reference[I].Key.Opt, Got[I].Key.Opt);
+    EXPECT_EQ(Reference[I].BaseFails, Got[I].BaseFails);
+    EXPECT_EQ(Reference[I].Wrong, Got[I].Wrong);
+    EXPECT_EQ(Reference[I].InducedBF, Got[I].InducedBF);
+    EXPECT_EQ(Reference[I].InducedCrash, Got[I].InducedCrash);
+    EXPECT_EQ(Reference[I].InducedTimeout, Got[I].InducedTimeout);
+    EXPECT_EQ(Reference[I].Stable, Got[I].Stable);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Failure attribution: worker death, wedge, deadline, crash isolation
+//===----------------------------------------------------------------------===//
+
+TEST(RemoteBackendTest, WorkerDeathMidCampaignRequeuesInFlightJobs) {
+  // Worker 2 self-destructs before sending its 3rd outcome — with its
+  // window full of in-flight jobs. Those jobs must land on worker 1
+  // and every result must still match the serial reference.
+  WorkerOptions Dying = loopbackWorker(2);
+  Dying.DieAfterJobs = 3;
+  WorkerServer W1(loopbackWorker(2)), W2(Dying);
+  ASSERT_TRUE(W1.start());
+  ASSERT_TRUE(W2.start());
+
+  std::vector<DeviceConfig> Zoo = smallZoo();
+  GenOptions GO;
+  GO.Seed = 60001;
+  TestCase T = TestCase::fromGenerated(generateKernel(GO));
+  std::vector<ExecJob> Jobs;
+  for (int I = 0; I != 40; ++I)
+    Jobs.push_back(
+        ExecJob::onConfig(T, Zoo[I % Zoo.size()], I % 2 == 0, RunSettings()));
+
+  InlineBackend Reference;
+  std::vector<RunOutcome> Expected = Reference.run(Jobs);
+
+  std::unique_ptr<ExecBackend> Remote =
+      makeRemoteBackend(remoteOpts({&W1, &W2}));
+  std::vector<RunOutcome> Got = Remote->run(Jobs);
+
+  EXPECT_TRUE(W2.died()) << "fault injection never tripped";
+  EXPECT_GE(W2.jobsExecuted(), 3u);
+  expectSameOutcomes(Expected, Got, "kill mid-campaign");
+}
+
+TEST(RemoteBackendTest, WedgedWorkerIsEvictedByHeartbeat) {
+  // Worker 2 completes the handshake, then swallows every job and
+  // heartbeat — the wedged-machine model. Only the missed heartbeat
+  // can unmask it; its jobs must requeue onto worker 1.
+  WorkerOptions Wedged = loopbackWorker(1);
+  Wedged.IgnoreJobs = true;
+  WorkerServer W1(loopbackWorker(2)), W2(Wedged);
+  ASSERT_TRUE(W1.start());
+  ASSERT_TRUE(W2.start());
+
+  std::vector<DeviceConfig> Zoo = smallZoo();
+  GenOptions GO;
+  GO.Seed = 777;
+  TestCase T = TestCase::fromGenerated(generateKernel(GO));
+  std::vector<ExecJob> Jobs;
+  for (int I = 0; I != 12; ++I)
+    Jobs.push_back(ExecJob::onConfig(T, Zoo[I % Zoo.size()], true,
+                                     RunSettings()));
+
+  InlineBackend Reference;
+  std::vector<RunOutcome> Expected = Reference.run(Jobs);
+
+  std::unique_ptr<ExecBackend> Remote =
+      makeRemoteBackend(remoteOpts({&W1, &W2}, /*HeartbeatMs=*/200));
+  expectSameOutcomes(Expected, Remote->run(Jobs), "wedged worker");
+}
+
+TEST(RemoteBackendTest, DeadlineExpiryRecordsATimeoutOutcome) {
+  // A lone wedged worker with a per-job deadline: the job is requeued
+  // once (onto the same endpoint after reconnect — nothing else
+  // exists) and recorded as Timeout on the second expiry. The
+  // campaign ends with an attributed outcome, not a hang.
+  WorkerOptions Wedged = loopbackWorker(1);
+  Wedged.IgnoreJobs = true;
+  WorkerServer W(Wedged);
+  ASSERT_TRUE(W.start());
+
+  GenOptions GO;
+  GO.Seed = 4242;
+  TestCase T = TestCase::fromGenerated(generateKernel(GO));
+  std::vector<DeviceConfig> Zoo = smallZoo();
+  std::vector<ExecJob> One = {
+      ExecJob::onConfig(T, Zoo[0], true, RunSettings())};
+
+  std::unique_ptr<ExecBackend> Remote = makeRemoteBackend(
+      remoteOpts({&W}, /*HeartbeatMs=*/0, /*TimeoutMs=*/200));
+  std::vector<RunOutcome> Got = Remote->run(One);
+  ASSERT_EQ(Got.size(), 1u);
+  EXPECT_EQ(Got[0].Status, RunStatus::Timeout);
+  EXPECT_NE(Got[0].Message.find("remote job deadline"), std::string::npos)
+      << Got[0].Message;
+}
+
+TEST(RemoteBackendTest, CrashIsolationMatchesProcsExactly) {
+  // A hard-aborting job kills the worker's *local subprocess slot*,
+  // not the worker and not the campaign — and because workers run
+  // jobs through the same single-slot process pools, the crash
+  // outcome message is byte-identical to --backend=procs.
+  WorkerServer W1(loopbackWorker(2));
+  ASSERT_TRUE(W1.start());
+
+  std::vector<DeviceConfig> Zoo = smallZoo();
+  GenOptions GO;
+  GO.Seed = 4242;
+  TestCase T = TestCase::fromGenerated(generateKernel(GO));
+  std::vector<ExecJob> Jobs;
+  for (int I = 0; I != 4; ++I)
+    Jobs.push_back(ExecJob::onConfig(T, Zoo[0], true, RunSettings()));
+  Jobs[1].Settings.DebugHardAbort = true;
+
+  std::unique_ptr<ExecBackend> Procs =
+      makeBackend(ExecOptions::withBackend(BackendKind::Procs, 2));
+  std::vector<RunOutcome> Expected = Procs->run(Jobs);
+
+  std::unique_ptr<ExecBackend> Remote =
+      makeRemoteBackend(remoteOpts({&W1}));
+  std::vector<RunOutcome> Got = Remote->run(Jobs);
+  ASSERT_EQ(Got.size(), 4u);
+  EXPECT_EQ(Got[1].Status, RunStatus::Crash);
+  EXPECT_EQ(Got[1].Message, Expected[1].Message);
+  for (size_t I : {size_t(0), size_t(2), size_t(3)}) {
+    EXPECT_EQ(Got[I].Status, Expected[I].Status) << "job " << I;
+    EXPECT_EQ(Got[I].OutputHash, Expected[I].OutputHash) << "job " << I;
+  }
+}
+
+TEST(RemoteBackendTest, UnreachableFleetThrowsInsteadOfHanging) {
+  // Nobody listens on this port (we bind it, learn it, and close it).
+  unsigned DeadPort = 0;
+  int Fd = wire::listenTcp("127.0.0.1", 0, DeadPort);
+  ASSERT_GE(Fd, 0);
+  ::close(Fd);
+
+  ExecOptions O;
+  O.Backend = BackendKind::Remote;
+  O.RemoteWorkers = {"127.0.0.1:" + std::to_string(DeadPort)};
+  std::unique_ptr<ExecBackend> Remote = makeRemoteBackend(O);
+
+  GenOptions GO;
+  GO.Seed = 1;
+  TestCase T = TestCase::fromGenerated(generateKernel(GO));
+  std::vector<ExecJob> One = {ExecJob::onReference(T, true, RunSettings())};
+  EXPECT_THROW(Remote->run(One), std::runtime_error);
+}
+
+TEST(RemoteBackendTest, RestartedWorkerRejoinsAtTheNextBatch) {
+  // Batch 1 runs against a worker which then restarts (new server,
+  // same port). Batch 2 must re-dial and complete — the coordinator
+  // survives a full fleet bounce between batches.
+  auto Server = std::make_unique<WorkerServer>(loopbackWorker(2));
+  ASSERT_TRUE(Server->start());
+  unsigned Port = Server->port();
+
+  ExecOptions O;
+  O.Backend = BackendKind::Remote;
+  O.RemoteWorkers = {"127.0.0.1:" + std::to_string(Port)};
+  std::unique_ptr<ExecBackend> Remote = makeRemoteBackend(O);
+
+  GenOptions GO;
+  GO.Seed = 555;
+  TestCase T = TestCase::fromGenerated(generateKernel(GO));
+  std::vector<DeviceConfig> Zoo = smallZoo();
+  std::vector<ExecJob> Jobs = {
+      ExecJob::onConfig(T, Zoo[0], true, RunSettings()),
+      ExecJob::onConfig(T, Zoo[1], false, RunSettings())};
+  InlineBackend Reference;
+  std::vector<RunOutcome> Expected = Reference.run(Jobs);
+
+  expectSameOutcomes(Expected, Remote->run(Jobs), "before restart");
+
+  Server->stop();
+  WorkerOptions Reborn = loopbackWorker(2);
+  Reborn.Port = Port;
+  Server = std::make_unique<WorkerServer>(Reborn);
+  ASSERT_TRUE(Server->start());
+  ASSERT_EQ(Server->port(), Port);
+
+  expectSameOutcomes(Expected, Remote->run(Jobs), "after restart");
+}
+
+//===----------------------------------------------------------------------===//
+// Remote reduction (the ReductionQueue farm-out path)
+//===----------------------------------------------------------------------===//
+
+TEST(RemoteBackendTest, ReductionOverRemoteMatchesInline) {
+  // reduceTest schedules candidate probes on its ExecOptions backend;
+  // pointing that at the fleet must not change the reduced kernel,
+  // the stats, or anything else — this is what lets `hunt --reduce
+  // --reduce-backend=remote` farm witness shrinking off-machine.
+  WorkerServer W1(loopbackWorker(2)), W2(loopbackWorker(2));
+  ASSERT_TRUE(W1.start());
+  ASSERT_TRUE(W2.start());
+
+  GenOptions GO;
+  GO.Mode = GenMode::Basic;
+  GO.Seed = 1029;
+  TestCase Witness = TestCase::fromGenerated(generateKernel(GO));
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  DifferentialReductionOracle Oracle(configById(Registry, 19),
+                                     /*Opt=*/false);
+
+  ReducerOptions Serial;
+  Serial.Exec = ExecOptions::withBackend(BackendKind::Inline);
+  ReduceStats SerialStats;
+  TestCase SerialReduced =
+      reduceTest(Witness, Oracle, Serial, &SerialStats);
+  ASSERT_TRUE(SerialStats.WitnessWasInteresting);
+
+  ReducerOptions RemoteRO;
+  RemoteRO.Exec = remoteOpts({&W1, &W2});
+  ReduceStats RemoteStats;
+  TestCase RemoteReduced =
+      reduceTest(Witness, Oracle, RemoteRO, &RemoteStats);
+
+  EXPECT_EQ(SerialReduced.Source, RemoteReduced.Source);
+  EXPECT_EQ(SerialStats.InitialLines, RemoteStats.InitialLines);
+  EXPECT_EQ(SerialStats.FinalLines, RemoteStats.FinalLines);
+  EXPECT_EQ(SerialStats.CandidatesTried, RemoteStats.CandidatesTried);
+  EXPECT_EQ(SerialStats.CandidatesKept, RemoteStats.CandidatesKept);
+  EXPECT_EQ(SerialStats.Rounds, RemoteStats.Rounds);
+}
+
+#else // platform without POSIX sockets: nothing to test.
+
+TEST(RemoteBackendTest, SkippedWithoutSockets) { GTEST_SKIP(); }
+
+#endif
