@@ -18,9 +18,13 @@
 ///   --workers=host:port,...  the remote fleet (--backend=remote)
 ///   --shard-size=N  kernels held alive per shard (streaming bound)
 ///   --format=F    text | csv | json table output
+///   --cache=M     off | mem | disk content-addressed outcome cache
+///   --cache-dir=D disk store root (implies --cache=disk)
+///   --cache-mem-mb=N  in-memory cache budget
 ///
-/// Tables are bit-identical for every backend, worker count and shard
-/// size; only wall-clock time and fault isolation change.
+/// Tables are bit-identical for every backend, worker count, shard
+/// size and cache mode; only wall-clock time and fault isolation
+/// change.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +32,7 @@
 #define CLFUZZ_BENCH_BENCHUTIL_H
 
 #include "exec/ExecutionEngine.h"
+#include "exec/OutcomeCache.h"
 #include "exec/RemoteBackend.h"
 #include "exec/ResultSink.h"
 
@@ -35,6 +40,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -55,6 +61,11 @@ struct HarnessArgs {
   TableFormat Format = TableFormat::Text;
   /// Remote fleet endpoints ("host:port" each; --backend=remote).
   std::vector<std::string> Workers;
+  /// Content-addressed outcome cache (--cache / --cache-dir /
+  /// --cache-mem-mb); tables are byte-identical with or without it.
+  CacheMode Cache = CacheMode::Off;
+  std::string CacheDir;
+  unsigned CacheMemMb = 0;
 
   /// The ExecOptions a campaign settings struct should use.
   ExecOptions execOptions() const {
@@ -67,6 +78,20 @@ struct HarnessArgs {
       std::fprintf(stderr,
                    "--backend=remote needs --workers=host:port,...\n");
       std::exit(2);
+    }
+    if (Cache != CacheMode::Off) {
+      OutcomeCacheOptions CO;
+      CO.Mode = Cache;
+      CO.Dir = CacheDir;
+      if (CacheMemMb)
+        CO.MemBudgetBytes = static_cast<size_t>(CacheMemMb) << 20;
+      CO.KeySalt = cacheKeySalt(E);
+      try {
+        E.Cache = makeOutcomeCache(CO);
+      } catch (const std::exception &Ex) {
+        std::fprintf(stderr, "%s\n", Ex.what());
+        std::exit(2);
+      }
     }
     return E;
   }
@@ -95,6 +120,18 @@ inline HarnessArgs parseArgs(int Argc, char **Argv) {
       }
     } else if (std::strncmp(Argv[I], "--workers=", 10) == 0) {
       A.Workers = splitWorkerList(Argv[I] + 10);
+    } else if (std::strncmp(Argv[I], "--cache=", 8) == 0) {
+      if (!parseCacheMode(Argv[I] + 8, A.Cache)) {
+        std::fprintf(stderr, "unknown cache mode '%s' (off, mem, disk)\n",
+                     Argv[I] + 8);
+        std::exit(2);
+      }
+    } else if (std::strncmp(Argv[I], "--cache-dir=", 12) == 0) {
+      A.CacheDir = Argv[I] + 12;
+      if (A.Cache == CacheMode::Off)
+        A.Cache = CacheMode::Disk;
+    } else if (std::strncmp(Argv[I], "--cache-mem-mb=", 15) == 0) {
+      A.CacheMemMb = static_cast<unsigned>(std::atoi(Argv[I] + 15));
     } else if (std::strncmp(Argv[I], "--format=", 9) == 0) {
       if (!parseTableFormat(Argv[I] + 9, A.Format)) {
         std::fprintf(stderr, "unknown format '%s' (text, csv, json)\n",

@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "device/Driver.h"
+#include "exec/JobSerialize.h"
 #include "gen/Generator.h"
 #include "minicl/Parser.h"
 #include "minicl/Printer.h"
@@ -119,6 +120,26 @@ static void BM_VmExecution(benchmark::State &State) {
   State.SetLabel("items = VM instructions");
 }
 BENCHMARK(BM_VmExecution);
+
+/// The outcome cache's key derivation (exec/OutcomeCache.h): one
+/// canonical serialization of the job descriptor plus an FNV-1a pass
+/// over the bytes. This sits on the hot dispatch path of every cached
+/// campaign cell, so its cost bounds how cheap a cache hit can be.
+static void BM_SerializeAndHashDescriptor(benchmark::State &State) {
+  TestCase T = TestCase::fromGenerated(sampleKernel());
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  ExecJob Job =
+      ExecJob::onConfig(T, configById(Registry, 12), true, RunSettings());
+  size_t Bytes = descriptorBytes(Job).size();
+  for (auto _ : State) {
+    uint64_t H = hashDescriptor(Job);
+    benchmark::DoNotOptimize(H);
+  }
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(Bytes));
+  State.SetLabel("cache-key cost per dispatched cell");
+}
+BENCHMARK(BM_SerializeAndHashDescriptor);
 
 static void BM_EndToEndDriver(benchmark::State &State) {
   TestCase T = TestCase::fromGenerated(sampleKernel());

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "exec/ExecBackend.h"
+#include "exec/OutcomeCache.h"
 #include "exec/ProcessPool.h"
 #include "exec/RemoteBackend.h"
 
@@ -59,15 +60,25 @@ void ThreadPoolBackend::forEachIndex(
 }
 
 std::unique_ptr<ExecBackend> clfuzz::makeBackend(const ExecOptions &Opts) {
+  std::unique_ptr<ExecBackend> Backend;
   switch (Opts.Backend) {
   case BackendKind::Inline:
-    return std::make_unique<InlineBackend>();
+    Backend = std::make_unique<InlineBackend>();
+    break;
   case BackendKind::Threads:
-    return std::make_unique<ThreadPoolBackend>(Opts);
+    Backend = std::make_unique<ThreadPoolBackend>(Opts);
+    break;
   case BackendKind::Procs:
-    return makeProcessPoolBackend(Opts);
+    Backend = makeProcessPoolBackend(Opts);
+    break;
   case BackendKind::Remote:
-    return makeRemoteBackend(Opts);
+    Backend = makeRemoteBackend(Opts);
+    break;
   }
-  return std::make_unique<InlineBackend>();
+  if (!Backend)
+    Backend = std::make_unique<InlineBackend>();
+  // With a cache configured, every backend is consulted
+  // content-addressed: identical descriptors are served from cache or
+  // coalesced within the batch instead of re-executing.
+  return wrapWithOutcomeCache(std::move(Backend), Opts.Cache);
 }

@@ -41,6 +41,12 @@
 ///    processes on any number of machines; worker death requeues its
 ///    in-flight jobs and results reassemble by submission index.
 ///
+/// When ExecOptions::Cache is set, makeBackend() wraps the chosen
+/// implementation in the content-addressed outcome cache
+/// (exec/OutcomeCache.h): identical job descriptors are served from
+/// cache or coalesced within a batch instead of re-executing, with
+/// byte-identical campaign output either way.
+///
 /// docs/architecture.md walks the whole pipeline and the invariants.
 ///
 //===----------------------------------------------------------------------===//

@@ -36,6 +36,7 @@
 
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -110,6 +111,15 @@ struct ExecOptions {
   /// disables liveness probing (a wedged worker then hangs the
   /// campaign unless RemoteTimeoutMs is set).
   unsigned RemoteHeartbeatMs = 2000;
+
+  /// Content-addressed outcome cache shared by whatever backends are
+  /// built from these options (exec/OutcomeCache.h); null = no
+  /// caching. makeBackend() wraps the concrete backend so identical
+  /// job descriptors are served from cache (and coalesced within a
+  /// batch) instead of re-executing. Cache hits are observationally
+  /// invisible: campaign output is byte-identical with or without a
+  /// cache — only wall-clock time and the --stats counters change.
+  std::shared_ptr<class OutcomeCache> Cache;
 
   /// Upper bound resolvedThreads() clamps to.
   static constexpr unsigned MaxThreads = 256;

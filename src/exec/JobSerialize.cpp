@@ -7,6 +7,7 @@
 
 #include "exec/JobSerialize.h"
 #include "device/DeviceConfig.h"
+#include "support/Hash.h"
 
 #include <cstring>
 #include <stdexcept>
@@ -271,6 +272,18 @@ OwnedExecJob clfuzz::deserializeExecJob(WireReader &R) {
   J.Opt = R.u8();
   J.Settings = readSettings(R);
   return J;
+}
+
+std::vector<uint8_t> clfuzz::descriptorBytes(const ExecJob &Job) {
+  WireWriter W;
+  serializeExecJob(W, Job);
+  return W.buffer();
+}
+
+uint64_t clfuzz::hashDescriptor(const ExecJob &Job) {
+  WireWriter W;
+  serializeExecJob(W, Job);
+  return fnv64(W.buffer().data(), W.buffer().size());
 }
 
 void clfuzz::serializeRunOutcome(WireWriter &W, const RunOutcome &O) {

@@ -16,7 +16,11 @@
 ///
 /// The format is a private little-endian framing between a campaign
 /// process and workers forked from the *same binary*; it carries no
-/// version negotiation and must never be written to disk.
+/// version negotiation and must never be written to disk bare. The
+/// outcome cache (exec/OutcomeCache.h) does persist descriptor bytes,
+/// but only inside its own magic-tagged, versioned, checksummed
+/// envelope — a format change there bumps OutcomeCache::FormatVersion
+/// and invalidates every stored entry.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -83,6 +87,22 @@ struct OwnedExecJob {
 
 void serializeExecJob(WireWriter &W, const ExecJob &Job);
 OwnedExecJob deserializeExecJob(WireReader &R);
+
+/// The canonical byte string of a job descriptor: exactly the
+/// serializeExecJob stream. Two jobs with equal descriptor bytes are
+/// the same pure function and must produce the same RunOutcome on
+/// every backend — the content-addressing contract the outcome cache
+/// (exec/OutcomeCache.h) hangs off.
+std::vector<uint8_t> descriptorBytes(const ExecJob &Job);
+
+/// The canonical 64-bit fingerprint of a job descriptor: FNV-1a
+/// (support/Hash.h) over descriptorBytes(). This is the single
+/// descriptor-fingerprint path in the code base — the outcome cache's
+/// key derivation and every other descriptor identity check go
+/// through here, the same Fnv64 that fingerprints kernel outputs
+/// (RunOutcome::OutputHash), so there is exactly one hashing
+/// implementation to audit.
+uint64_t hashDescriptor(const ExecJob &Job);
 
 void serializeRunOutcome(WireWriter &W, const RunOutcome &O);
 RunOutcome deserializeRunOutcome(WireReader &R);

@@ -51,6 +51,13 @@ namespace clfuzz {
 /// (0 = one per core), ExecOptions::ProcTimeoutMs wall-clock deadline
 /// per job (0 = none). On platforms without fork() this returns the
 /// serial InlineBackend instead — same results, no isolation.
+///
+/// The outcome cache layers *above* this pool, never inside it: the
+/// coordinator-side caching wrapper (makeBackend with
+/// ExecOptions::Cache) and the worker-side cache in
+/// WorkerLoop's executor slots both answer repeated descriptors
+/// before a frame is ever written to a subprocess, so a cache hit —
+/// including a remembered Crash or Timeout outcome — costs no fork.
 std::unique_ptr<ExecBackend> makeProcessPoolBackend(const ExecOptions &Opts);
 
 } // namespace clfuzz

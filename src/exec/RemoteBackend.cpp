@@ -148,7 +148,8 @@ bool RemoteBackendImpl::dialLink(Link &L, bool IgnoreBackoff) {
   bool Ok = Fd >= 0;
   if (Ok) {
     wire::setRecvTimeout(Fd, HandshakeTimeoutMs);
-    Ok = wire::writeFrame(Fd, wire::FrameType::Hello, wire::encodeHello());
+    Ok = wire::writeFrame(Fd, wire::FrameType::Hello,
+                          wire::encodeHello(wire::CacheGeneration));
   }
   wire::Frame F;
   if (Ok)

@@ -45,12 +45,18 @@ bool knownFrameType(uint8_t T) {
 // Payload encoders / decoders (platform-independent)
 //===----------------------------------------------------------------------===//
 
-std::vector<uint8_t> clfuzz::wire::encodeHello() { return {}; }
+std::vector<uint8_t> clfuzz::wire::encodeHello(uint64_t CacheGen) {
+  WireWriter W;
+  W.u64(CacheGen);
+  return W.buffer();
+}
 
-void clfuzz::wire::decodeHello(const Frame &F) {
-  // Reserved for capability flags; today any payload is a violation.
-  if (!F.Payload.empty())
-    throw std::runtime_error("hello frame with unexpected payload");
+uint64_t clfuzz::wire::decodeHello(const Frame &F) {
+  WireReader R(F.Payload.data(), F.Payload.size());
+  uint64_t CacheGen = R.u64();
+  if (!R.atEnd())
+    throw std::runtime_error("trailing bytes in hello frame");
+  return CacheGen;
 }
 
 std::vector<uint8_t> clfuzz::wire::encodeHelloAck(uint32_t Concurrency) {

@@ -47,7 +47,16 @@ constexpr uint32_t FrameMagic = 0x5A464C43;
 
 /// Bumped on any incompatible change to the header or a payload
 /// layout; both ends reject frames from a different major version.
-constexpr uint8_t ProtocolVersion = 1;
+/// v2: the hello payload gained the coordinator's u64 cache
+/// generation (was empty).
+constexpr uint8_t ProtocolVersion = 2;
+
+/// The cache generation a coordinator announces in every hello: the
+/// outcome-cache format version (OutcomeCache::FormatVersion; the two
+/// are static_assert-locked together). A worker whose outcome cache
+/// was filled under a different generation drops it on handshake, so
+/// stale cached outcomes never cross a format change.
+constexpr uint64_t CacheGeneration = 1;
 
 /// Upper bound on a frame payload. Real job descriptors are a few KiB
 /// (kernel source + buffers + config); anything near this bound is a
@@ -123,10 +132,11 @@ bool writeFrame(int Fd, FrameType Type, const std::vector<uint8_t> &Payload);
 // Decoders throw std::runtime_error on truncated or trailing bytes
 // (via WireReader); callers treat that exactly like a Malformed frame.
 
-/// Hello carries no fields yet (magic and version live in the header);
-/// the empty payload is reserved for future capability flags.
-std::vector<uint8_t> encodeHello();
-void decodeHello(const Frame &F);
+/// Hello: u64 cache generation (CacheGeneration for this build). A
+/// worker compares it against the generation its outcome cache was
+/// filled under and clears the cache on mismatch (exec/WorkerLoop.h).
+std::vector<uint8_t> encodeHello(uint64_t CacheGen);
+uint64_t decodeHello(const Frame &F);
 
 /// HelloAck: u32 concurrency — the number of jobs the worker is
 /// willing to run at once on this connection. The coordinator sizes

@@ -55,6 +55,26 @@ WorkerServer::WorkerServer(WorkerOptions O) : Opts(std::move(O)) {
   ExecOptions E;
   E.Threads = Opts.Jobs;
   ResolvedJobs = E.resolvedThreads();
+
+  // One cache for the whole server: every slot of every connection
+  // consults it, so a reference run dispatched by one coordinator
+  // serves every later coordinator too. Salted by this worker's
+  // per-job deadline, exactly like a coordinator-side cache.
+  OutcomeCacheOptions CO;
+  CO.Mode = Opts.Cache;
+  CO.Dir = Opts.CacheDir;
+  if (Opts.CacheMemMb)
+    CO.MemBudgetBytes = static_cast<size_t>(Opts.CacheMemMb) << 20;
+  ExecOptions SaltSource;
+  SaltSource.ProcTimeoutMs = Opts.ProcTimeoutMs;
+  CO.KeySalt = cacheKeySalt(SaltSource);
+  Cache = makeOutcomeCache(CO);
+}
+
+void WorkerServer::noteCacheGeneration(uint64_t Gen) {
+  uint64_t Prev = CacheGen.exchange(Gen);
+  if (Cache && Prev != 0 && Prev != Gen)
+    Cache->clear();
 }
 
 WorkerServer::~WorkerServer() { stop(); }
@@ -168,7 +188,7 @@ void WorkerServer::serveConnection(Connection &Conn) {
   if (wire::readFrame(Conn.Fd, F) == wire::ReadStatus::Ok &&
       F.Type == wire::FrameType::Hello) {
     try {
-      wire::decodeHello(F);
+      noteCacheGeneration(wire::decodeHello(F));
       Accepted = wire::writeFrame(Conn.Fd, wire::FrameType::HelloAck,
                                   wire::encodeHelloAck(ResolvedJobs));
     } catch (const std::exception &) {
@@ -247,25 +267,50 @@ void WorkerServer::runnerLoop(Connection &Conn) {
       Conn.Queue.pop_front();
     }
 
+    // Consult the worker-side outcome cache first: a repeated
+    // descriptor (the reference run every configuration column
+    // re-dispatches, a reduction re-probe) is answered without a
+    // fork. Descriptors are pure (exec/JobSerialize.h), so a cached
+    // outcome is byte-identical to a fresh execution.
     RunOutcome O;
-    try {
-      O = Local->run({Job.Job.view()}).at(0);
-    } catch (const std::exception &Ex) {
-      O.Status = RunStatus::Crash;
-      O.Message = std::string("worker: ") + Ex.what();
+    OutcomeCache::Key K;
+    bool FromCache = false;
+    if (Cache) {
+      K = Cache->keyOf(Job.Job.view());
+      FromCache = Cache->lookup(K, O);
+    }
+    if (!FromCache) {
+      bool ExecutorFailed = false;
+      try {
+        O = Local->run({Job.Job.view()}).at(0);
+      } catch (const std::exception &Ex) {
+        O.Status = RunStatus::Crash;
+        O.Message = std::string("worker: ") + Ex.what();
+        ExecutorFailed = true;
+      }
+      // Only genuine job outcomes are cacheable. A synthesized Crash
+      // from a failing *executor* (fork failure, fd exhaustion) is
+      // this worker's transient trouble, not a property of the
+      // descriptor — memoizing it would serve the failure forever.
+      if (Cache && !ExecutorFailed)
+        Cache->store(K, O);
     }
 
-    size_t Count = Executed.fetch_add(1) + 1;
-    if (Opts.DieAfterJobs && Count >= Opts.DieAfterJobs) {
-      // Die *before* sending this outcome: the coordinator sees the
-      // connection drop with the job (and its window-mates) still in
-      // flight — the failure mode the requeue/reassembly logic must
-      // survive.
-      if (Count == Opts.DieAfterJobs) {
-        Died.store(true);
-        closeAllSockets();
+    if (FromCache) {
+      CacheServed.fetch_add(1);
+    } else {
+      size_t Count = Executed.fetch_add(1) + 1;
+      if (Opts.DieAfterJobs && Count >= Opts.DieAfterJobs) {
+        // Die *before* sending this outcome: the coordinator sees the
+        // connection drop with the job (and its window-mates) still in
+        // flight — the failure mode the requeue/reassembly logic must
+        // survive.
+        if (Count == Opts.DieAfterJobs) {
+          Died.store(true);
+          closeAllSockets();
+        }
+        continue;
       }
-      continue;
     }
 
     std::lock_guard<std::mutex> Lock(Conn.WriteMu);
@@ -300,6 +345,15 @@ int clfuzz::runWorkerCommand(const WorkerOptions &Opts) {
   while (!GWorkerStop && !Server.died())
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
   Server.stop();
+  if (Opts.Cache != CacheMode::Off) {
+    // CI greps this line to assert a warm fleet actually served from
+    // cache; keep the format stable.
+    OutcomeCacheStats CS = Server.cacheStats();
+    std::printf("clfuzz worker cache: hits=%llu misses=%llu\n",
+                static_cast<unsigned long long>(CS.Hits),
+                static_cast<unsigned long long>(CS.Misses));
+    std::fflush(stdout);
+  }
   return 0;
 }
 
@@ -307,6 +361,7 @@ int clfuzz::runWorkerCommand(const WorkerOptions &Opts) {
 
 WorkerServer::WorkerServer(WorkerOptions O) : Opts(std::move(O)) {}
 WorkerServer::~WorkerServer() = default;
+void WorkerServer::noteCacheGeneration(uint64_t) {}
 bool WorkerServer::start() { return false; }
 void WorkerServer::stop() {}
 void WorkerServer::closeAllSockets() {}

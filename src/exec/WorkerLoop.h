@@ -38,6 +38,8 @@
 #ifndef CLFUZZ_EXEC_WORKERLOOP_H
 #define CLFUZZ_EXEC_WORKERLOOP_H
 
+#include "exec/OutcomeCache.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -79,6 +81,18 @@ struct WorkerOptions {
   /// every job and heartbeat — a wedged worker the coordinator can
   /// only detect by timeout. Off by default, obviously.
   bool IgnoreJobs = false;
+
+  /// Worker-side outcome cache (`--cache=off|mem|disk`): repeated
+  /// descriptors — the reference runs campaigns re-dispatch per
+  /// configuration column, reduction re-probes — are served without a
+  /// fork. Shared by every executor slot of every connection. Cleared
+  /// when a coordinator's hello announces a different cache
+  /// generation (exec/WireProtocol.h).
+  CacheMode Cache = CacheMode::Off;
+  /// Disk store root (`--cache-dir=`); survives worker restarts.
+  std::string CacheDir;
+  /// In-memory cache budget in MiB (`--cache-mem-mb=`; 0 = default).
+  unsigned CacheMemMb = 0;
 };
 
 /// A running worker server. start() binds and begins accepting;
@@ -108,14 +122,28 @@ public:
   void stop();
 
   /// Jobs fully executed so far (outcomes sent or suppressed by
-  /// DieAfterJobs).
+  /// DieAfterJobs). Cache-served jobs are not executions and are not
+  /// counted here — fault injection triggers on real work.
   size_t jobsExecuted() const { return Executed.load(); }
+
+  /// Jobs answered from the worker-side outcome cache (0 without one).
+  size_t jobsServedFromCache() const { return CacheServed.load(); }
+
+  /// Outcome-cache counters (all zero when caching is off).
+  OutcomeCacheStats cacheStats() const {
+    return Cache ? Cache->stats() : OutcomeCacheStats();
+  }
 
   /// True once DieAfterJobs tripped and the server self-destructed.
   bool died() const { return Died.load(); }
 
 private:
   struct Connection;
+
+  /// Handshake hook: a coordinator announcing a cache generation
+  /// different from the one the cache was filled under drops every
+  /// in-memory entry (disk entries are version-checked on read).
+  void noteCacheGeneration(uint64_t Gen);
 
   void acceptLoop();
   void serveConnection(Connection &Conn);
@@ -133,6 +161,9 @@ private:
   std::atomic<bool> Stopping{false};
   std::atomic<bool> Died{false};
   std::atomic<size_t> Executed{0};
+  std::atomic<size_t> CacheServed{0};
+  std::shared_ptr<OutcomeCache> Cache; ///< null when caching is off
+  std::atomic<uint64_t> CacheGen{0};   ///< generation the cache holds
 
   std::mutex ConnsMu;
   std::vector<std::unique_ptr<Connection>> Conns;

@@ -29,6 +29,16 @@
 ///   --workers=host:port,...          the worker fleet (remote only)
 ///   --shard-size=N                   kernels generated/held per shard
 ///   --format=text|csv|jsonl          hunt/diff report format
+///   --cache=off|mem|disk             content-addressed outcome cache
+///                                    (docs/caching.md); identical job
+///                                    descriptors are served from
+///                                    cache instead of re-executing,
+///                                    with byte-identical output
+///   --cache-dir=DIR                  disk store (implies --cache=disk)
+///   --cache-mem-mb=N                 in-memory cache budget
+///   --stats                          campaign counters on stderr
+///                                    (cache_hits/cache_misses/
+///                                    coalesced)
 ///
 /// Reduction is a pipeline workload too: `reduce` evaluates its
 /// speculative candidates on --reduce-backend with --reduce-jobs
@@ -42,6 +52,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "device/DeviceConfig.h"
+#include "exec/OutcomeCache.h"
 #include "exec/Pipeline.h"
 #include "exec/RemoteBackend.h"
 #include "exec/WorkerLoop.h"
@@ -205,6 +216,49 @@ void applyRemoteOptions(const CliArgs &A, ExecOptions &Opts,
   }
 }
 
+/// Parses the outcome-cache flags and attaches the cache to \p Opts.
+/// `--cache-dir=` without an explicit `--cache=` implies disk mode.
+/// Exits with a message on a bad mode or an unusable directory.
+void applyCacheOptions(const CliArgs &A, ExecOptions &Opts) {
+  OutcomeCacheOptions CO;
+  std::string Mode = A.get("cache", A.has("cache-dir") ? "disk" : "off");
+  if (!parseCacheMode(Mode, CO.Mode)) {
+    std::fprintf(stderr, "unknown cache mode '%s' (use off, mem or disk)\n",
+                 Mode.c_str());
+    std::exit(1);
+  }
+  CO.Dir = A.get("cache-dir");
+  if (CO.Mode == CacheMode::Disk && CO.Dir.empty()) {
+    std::fprintf(stderr, "--cache=disk needs --cache-dir=DIR\n");
+    std::exit(1);
+  }
+  if (A.has("cache-mem-mb"))
+    CO.MemBudgetBytes =
+        static_cast<size_t>(A.getInt("cache-mem-mb", 64)) << 20;
+  CO.KeySalt = cacheKeySalt(Opts);
+  try {
+    Opts.Cache = makeOutcomeCache(CO);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "%s\n", E.what());
+    std::exit(1);
+  }
+}
+
+/// The --stats epilogue: campaign output never changes with the
+/// cache, so the counters go to stderr, on their own line, only when
+/// asked for.
+void printCacheStats(const CliArgs &A, const ExecOptions &Opts) {
+  if (!A.has("stats"))
+    return;
+  OutcomeCacheStats S;
+  if (Opts.Cache)
+    S = Opts.Cache->stats();
+  std::fprintf(stderr, "cache_hits=%llu cache_misses=%llu coalesced=%llu\n",
+               static_cast<unsigned long long>(S.Hits),
+               static_cast<unsigned long long>(S.Misses),
+               static_cast<unsigned long long>(S.Coalesced));
+}
+
 ExecOptions execOptionsFrom(const CliArgs &A) {
   ExecOptions Opts = ExecOptions::withThreads(
       static_cast<unsigned>(A.getInt("exec-threads", 1)));
@@ -219,6 +273,7 @@ ExecOptions execOptionsFrom(const CliArgs &A) {
     std::exit(1);
   }
   applyRemoteOptions(A, Opts, "workers");
+  applyCacheOptions(A, Opts);
   return Opts;
 }
 
@@ -239,7 +294,8 @@ int cmdDiff(const CliArgs &A) {
   std::string Format = reportFormatFrom(A);
   TestCase T = TestCase::fromGenerated(generateKernel(genOptionsFrom(A)));
   std::vector<DeviceConfig> Zoo = buildConfigRegistry();
-  std::unique_ptr<ExecBackend> Backend = makeBackendOrDie(execOptionsFrom(A));
+  ExecOptions Opts = execOptionsFrom(A);
+  std::unique_ptr<ExecBackend> Backend = makeBackendOrDie(Opts);
   std::vector<ExecJob> Jobs;
   std::vector<std::string> Labels;
   for (const DeviceConfig &C : Zoo) {
@@ -258,6 +314,7 @@ int cmdDiff(const CliArgs &A) {
       Sink = std::make_unique<JsonlOutcomeSink>(stdout, Labels);
     Sink->consumeTest(0, T, Outs);
     Sink->finish();
+    printCacheStats(A, Opts);
     return 0;
   }
   std::vector<Verdict> Vs = classifyAgainstMajority(Outs);
@@ -273,6 +330,7 @@ int cmdDiff(const CliArgs &A) {
     Wrong += Vs[I] == Verdict::Wrong;
   }
   std::printf("\n%u wrong-code verdicts\n", Wrong);
+  printCacheStats(A, Opts);
   return 0;
 }
 
@@ -282,8 +340,11 @@ namespace {
 /// `hunt --reduce`: --reduce-backend picks the candidate-evaluation
 /// backend, --reduce-jobs the worker count (for `reduce`: speculative
 /// candidate evaluators; for `hunt`: concurrent background
-/// reductions), --reduce-max the candidate budget.
-ReducerOptions reducerOptionsFrom(const CliArgs &A) {
+/// reductions), --reduce-max the candidate budget. \p BuildCache is
+/// false when the caller supplies a shared cache of its own (`hunt`
+/// hands its campaign cache to the reduction queue).
+ReducerOptions reducerOptionsFrom(const CliArgs &A,
+                                  bool BuildCache = true) {
   ReducerOptions RO;
   RO.Exec = ExecOptions::withThreads(
       static_cast<unsigned>(A.getInt("reduce-jobs", 1)));
@@ -299,6 +360,11 @@ ReducerOptions reducerOptionsFrom(const CliArgs &A) {
   // fleet too; it reuses --workers unless --reduce-workers names a
   // dedicated one.
   applyRemoteOptions(A, RO.Exec, "reduce-workers");
+  // The descriptor-level cache subsumes the reducer's printed-form
+  // cache across rounds: a re-probed candidate (crash and timeout
+  // outcomes included) is answered without a fork.
+  if (BuildCache)
+    applyCacheOptions(A, RO.Exec);
   RO.MaxCandidates = static_cast<unsigned>(
       A.getInt("reduce-max", RO.MaxCandidates));
   if (A.has("no-pipeline"))
@@ -355,6 +421,7 @@ int cmdReduce(const CliArgs &A) {
   TestCase Reduced = reduceTest(T, *Oracle, RO, &Stats);
   if (TraceFile && TraceFile != stderr)
     std::fclose(TraceFile);
+  printCacheStats(A, RO.Exec);
 
   std::string Cell = std::to_string(Config.Id) + (Opt ? "+" : "-");
   if (!Stats.WitnessWasInteresting) {
@@ -445,8 +512,12 @@ int cmdHunt(const CliArgs &A) {
   // reductions, each evaluating candidates on --reduce-backend.
   std::unique_ptr<ReductionQueue> Reductions;
   if (A.has("reduce")) {
-    ReducerOptions RO = reducerOptionsFrom(A);
+    ReducerOptions RO = reducerOptionsFrom(A, /*BuildCache=*/false);
     RO.Exec.Threads = 1; // within one background job, evaluate serially
+    // Campaign and background reductions share one cache: every
+    // witness's probes start from the outcomes the hunt already paid
+    // for, and the --stats counters cover both.
+    RO.Exec.Cache = Opts.Cache;
     Reductions = std::make_unique<ReductionQueue>(
         RO, static_cast<unsigned>(A.getInt("reduce-jobs", 2)),
         /*CaptureTrace=*/A.has("reduce-trace"));
@@ -480,6 +551,7 @@ int cmdHunt(const CliArgs &A) {
       Sink = std::make_unique<JsonlOutcomeSink>(stdout, Labels);
     runShardedCampaign(Source, *Backend, Opts.resolvedShardSize(), Expand,
                        *Sink);
+    printCacheStats(A, Opts);
     return 0;
   }
 
@@ -526,6 +598,7 @@ int cmdHunt(const CliArgs &A) {
         std::fclose(F);
     }
   }
+  printCacheStats(A, Opts);
   return 0;
 }
 
@@ -541,6 +614,18 @@ int cmdWorker(const CliArgs &A) {
   WO.DieAfterJobs =
       static_cast<unsigned>(A.getInt("die-after-jobs", 0));
   WO.IgnoreJobs = A.has("ignore-jobs");
+  std::string Mode = A.get("cache", A.has("cache-dir") ? "disk" : "off");
+  if (!parseCacheMode(Mode, WO.Cache)) {
+    std::fprintf(stderr, "unknown cache mode '%s' (use off, mem or disk)\n",
+                 Mode.c_str());
+    return 2;
+  }
+  WO.CacheDir = A.get("cache-dir");
+  if (WO.Cache == CacheMode::Disk && WO.CacheDir.empty()) {
+    std::fprintf(stderr, "--cache=disk needs --cache-dir=DIR\n");
+    return 2;
+  }
+  WO.CacheMemMb = static_cast<unsigned>(A.getInt("cache-mem-mb", 0));
   return runWorkerCommand(WO);
 }
 
@@ -561,6 +646,11 @@ int usage() {
       "  (1 = serial, 0 = all cores) --shard-size=N --format=text|csv|jsonl\n"
       "remote backend: --workers=host:port,... --remote-timeout-ms=N\n"
       "  --remote-heartbeat-ms=N (see `clfuzz worker`, docs/wire-protocol.md)\n"
+      "caching (diff/hunt/reduce/worker): --cache=off|mem|disk\n"
+      "  --cache-dir=DIR (implies disk) --cache-mem-mb=N; identical job\n"
+      "  descriptors are served from cache, output stays byte-identical\n"
+      "  (docs/caching.md); --stats prints cache_hits/cache_misses/\n"
+      "  coalesced on stderr\n"
       "reduce: --expect=wrong|crash|timeout|build-failure\n"
       "  --reduce-backend=inline|threads|procs|remote --reduce-jobs=N\n"
       "  --reduce-max=N --trace=FILE --no-pipeline\n"
