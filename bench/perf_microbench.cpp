@@ -121,6 +121,83 @@ static void BM_VmExecution(benchmark::State &State) {
 }
 BENCHMARK(BM_VmExecution);
 
+/// The same workload under each dispatch strategy: isolates what
+/// token-threaded (computed-goto) dispatch buys over the portable
+/// switch loop, with fusion and engine reuse held constant. arg 0 =
+/// switch, 1 = goto (docs/vm.md).
+static void BM_DispatchHotLoop(benchmark::State &State) {
+  bool WantGoto = State.range(0) != 0;
+  if (WantGoto && !vmHasGotoDispatch()) {
+    State.SkipWithError("computed-goto dispatch not compiled in");
+    return;
+  }
+  GeneratedKernel &K = sampleKernel();
+  ASTContext Ctx;
+  DiagEngine Diags;
+  parseProgram(K.Source, Ctx, Diags);
+  CodegenResult CR = compileToBytecode(Ctx, {});
+  VmDispatch Saved = vmDispatchMode();
+  setVmDispatchMode(WantGoto ? VmDispatch::Goto : VmDispatch::Switch);
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    std::vector<Buffer> Buffers;
+    for (const BufferSpec &Spec : K.Buffers) {
+      Buffer B;
+      B.Space = Spec.Space;
+      B.Bytes = Spec.InitBytes;
+      Buffers.push_back(std::move(B));
+    }
+    std::vector<KernelArg> Args;
+    for (unsigned I = 0; I != Buffers.size(); ++I)
+      Args.push_back(KernelArg::buffer(I));
+    LaunchOptions LO;
+    LO.Range = K.Range;
+    LaunchResult LR = launchKernel(CR.Module, Buffers, Args, LO);
+    Steps += LR.StepsExecuted;
+    benchmark::DoNotOptimize(LR.Status);
+  }
+  setVmDispatchMode(Saved);
+  State.SetItemsProcessed(static_cast<int64_t>(Steps));
+  State.SetLabel(WantGoto ? "goto" : "switch");
+}
+BENCHMARK(BM_DispatchHotLoop)->DenseRange(0, 1);
+
+/// The same workload with and without superinstruction fusion: the
+/// module is compiled once per variant, execution is bit-identical,
+/// only dispatch count differs. arg 0 = unfused, 1 = fused.
+static void BM_FusedVsUnfused(benchmark::State &State) {
+  bool Fused = State.range(0) != 0;
+  GeneratedKernel &K = sampleKernel();
+  ASTContext Ctx;
+  DiagEngine Diags;
+  parseProgram(K.Source, Ctx, Diags);
+  bool SavedFusion = vmFusionEnabled();
+  setVmFusionEnabled(Fused);
+  CodegenResult CR = compileToBytecode(Ctx, {});
+  setVmFusionEnabled(SavedFusion);
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    std::vector<Buffer> Buffers;
+    for (const BufferSpec &Spec : K.Buffers) {
+      Buffer B;
+      B.Space = Spec.Space;
+      B.Bytes = Spec.InitBytes;
+      Buffers.push_back(std::move(B));
+    }
+    std::vector<KernelArg> Args;
+    for (unsigned I = 0; I != Buffers.size(); ++I)
+      Args.push_back(KernelArg::buffer(I));
+    LaunchOptions LO;
+    LO.Range = K.Range;
+    LaunchResult LR = launchKernel(CR.Module, Buffers, Args, LO);
+    Steps += LR.StepsExecuted;
+    benchmark::DoNotOptimize(LR.Status);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Steps));
+  State.SetLabel(Fused ? "fused" : "unfused");
+}
+BENCHMARK(BM_FusedVsUnfused)->DenseRange(0, 1);
+
 /// The outcome cache's key derivation (exec/OutcomeCache.h): one
 /// canonical serialization of the job descriptor plus an FNV-1a pass
 /// over the bytes. This sits on the hot dispatch path of every cached

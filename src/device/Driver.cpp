@@ -15,6 +15,8 @@
 #include "vm/Codegen.h"
 #include "vm/VM.h"
 
+#include <memory>
+
 using namespace clfuzz;
 
 const char *clfuzz::runStatusName(RunStatus S) {
@@ -189,11 +191,22 @@ double lotteryDraw(uint64_t SourceHash, uint64_t Salt, bool Opt,
   return static_cast<double>(H.value() >> 11) * 0x1.0p-53;
 }
 
+/// True when compilation with \p Bugs at \p RunOptimizer schedules no
+/// pass at all, i.e. the AST that leaves the front end is the AST the
+/// code generator sees. Mirrors buildPipeline: passes are added for
+/// the four o2 stages, BarrierCallRetvalBug, EmiDceBugRate, and the
+/// RotateFoldBug-forced constant folder.
+bool pipelineIsEmpty(const DeviceBugModel &Bugs, bool RunOptimizer) {
+  return !RunOptimizer && !Bugs.RotateFoldBug &&
+         !Bugs.BarrierCallRetvalBug && Bugs.EmiDceBugRate == 0.0;
+}
+
 RunOutcome compileAndRun(const TestCase &Test, const DeviceBugModel &Bugs,
                          bool RunOptimizer, bool OptFlagForLottery,
                          uint64_t Salt,
                          const std::vector<std::string> &IceMessages,
-                         const RunSettings &Settings) {
+                         const RunSettings &Settings,
+                         const TestFrontEnd *SharedFE) {
   RunOutcome Out;
   uint64_t SourceHash = fnv64(Test.Source);
   // Geometry hash: identical across EMI variants of one base. Crash
@@ -219,15 +232,30 @@ RunOutcome compileAndRun(const TestCase &Test, const DeviceBugModel &Bugs,
     return BaseDraw < 2.0 * Rate && VariantDraw < 0.5;
   };
 
-  // --- 1. front end (parse + sema)
-  ASTContext Ctx;
-  DiagEngine Diags;
-  if (!parseProgram(Test.Source, Ctx, Diags) ||
-      !checkProgram(Ctx, Diags)) {
-    Out.Status = RunStatus::BuildFailure;
-    Out.Message = Diags.str();
-    return Out;
+  // --- 1. front end (parse + sema). A shared front end replaces the
+  // re-parse only when the pass pipeline is empty: passes mutate the
+  // AST in place, and the shared AST must stay pristine for the other
+  // cells of the column. Codegen and the front-end defect checks only
+  // read, so handing them the shared AST is byte-identical to parsing
+  // a private copy.
+  bool UseShared = SharedFE && pipelineIsEmpty(Bugs, RunOptimizer);
+  ASTContext OwnCtx;
+  if (UseShared) {
+    if (!SharedFE->ok()) {
+      Out.Status = RunStatus::BuildFailure;
+      Out.Message = SharedFE->diagnostics();
+      return Out;
+    }
+  } else {
+    DiagEngine Diags;
+    if (!parseProgram(Test.Source, OwnCtx, Diags) ||
+        !checkProgram(OwnCtx, Diags)) {
+      Out.Status = RunStatus::BuildFailure;
+      Out.Message = Diags.str();
+      return Out;
+    }
   }
+  ASTContext &Ctx = UseShared ? SharedFE->context() : OwnCtx;
 
   // --- 2. configuration-specific front-end defects
   std::string FeError = frontEndChecks(Ctx, Bugs);
@@ -256,22 +284,25 @@ RunOutcome compileAndRun(const TestCase &Test, const DeviceBugModel &Bugs,
     return Out;
   }
 
-  // --- 3. pass pipeline
-  PassOptions PO = RunOptimizer ? PassOptions::o2() : PassOptions::o0();
-  if (!RunOptimizer && Bugs.RotateFoldBug) {
-    // Mandatory constant-folding stage (see configuration 14).
-    PO.EnableConstFold = true;
+  // --- 3. pass pipeline (skipped outright on the shared-front-end
+  // path, where pipelineIsEmpty guarantees it would schedule nothing).
+  if (!UseShared) {
+    PassOptions PO = RunOptimizer ? PassOptions::o2() : PassOptions::o0();
+    if (!RunOptimizer && Bugs.RotateFoldBug) {
+      // Mandatory constant-folding stage (see configuration 14).
+      PO.EnableConstFold = true;
+    }
+    PO.RotateFoldBug = Bugs.RotateFoldBug;
+    PO.ShiftSafeFoldBug = Bugs.ShiftSafeFoldBug;
+    PO.CmpMinusOneBug = Bugs.CmpMinusOneBug;
+    PO.BarrierCallRetvalBug = Bugs.BarrierCallRetvalBug;
+    PO.EmiDceBugRate = Bugs.EmiDceBugRate;
+    // Mix the variant's source into the salt: the defect depends on the
+    // exact surrounding code, which is what makes it EMI-sensitive.
+    PO.BugSalt = Salt ^ SourceHash;
+    PassManager PM = buildPipeline(PO, Ctx);
+    PM.run(Ctx);
   }
-  PO.RotateFoldBug = Bugs.RotateFoldBug;
-  PO.ShiftSafeFoldBug = Bugs.ShiftSafeFoldBug;
-  PO.CmpMinusOneBug = Bugs.CmpMinusOneBug;
-  PO.BarrierCallRetvalBug = Bugs.BarrierCallRetvalBug;
-  PO.EmiDceBugRate = Bugs.EmiDceBugRate;
-  // Mix the variant's source into the salt: the defect depends on the
-  // exact surrounding code, which is what makes it EMI-sensitive.
-  PO.BugSalt = Salt ^ SourceHash;
-  PassManager PM = buildPipeline(PO, Ctx);
-  PM.run(Ctx);
 
   // --- 4. code generation
   CodegenOptions CG;
@@ -366,20 +397,45 @@ RunOutcome compileAndRun(const TestCase &Test, const DeviceBugModel &Bugs,
 
 } // namespace
 
+TestFrontEnd::TestFrontEnd(const TestCase &Test)
+    : Ctx(std::make_unique<ASTContext>()) {
+  DiagEngine Diags;
+  ParseOk = parseProgram(Test.Source, *Ctx, Diags) &&
+            checkProgram(*Ctx, Diags);
+  if (!ParseOk)
+    this->Diags = Diags.str();
+}
+
+TestFrontEnd::~TestFrontEnd() = default;
+TestFrontEnd::TestFrontEnd(TestFrontEnd &&) noexcept = default;
+TestFrontEnd &TestFrontEnd::operator=(TestFrontEnd &&) noexcept = default;
+
+bool clfuzz::canShareFrontEnd(const DeviceConfig *Config, bool OptEnabled) {
+  if (!Config) {
+    // Reference runs use the clean bug model: sharing is sound exactly
+    // when the optimiser is off.
+    return !OptEnabled;
+  }
+  bool RunOptimizer = OptEnabled && !Config->NoOptimizer;
+  return pipelineIsEmpty(Config->bugs(OptEnabled), RunOptimizer);
+}
+
 RunOutcome clfuzz::runTestOnConfig(const TestCase &Test,
                                    const DeviceConfig &Config,
                                    bool OptEnabled,
-                                   const RunSettings &Settings) {
+                                   const RunSettings &Settings,
+                                   const TestFrontEnd *SharedFE) {
   const DeviceBugModel &Bugs = Config.bugs(OptEnabled);
   bool RunOptimizer = OptEnabled && !Config.NoOptimizer;
   return compileAndRun(Test, Bugs, RunOptimizer, OptEnabled, Config.Salt,
-                       Config.IceMessages, Settings);
+                       Config.IceMessages, Settings, SharedFE);
 }
 
 RunOutcome clfuzz::runTestOnReference(const TestCase &Test, bool Optimize,
-                                      const RunSettings &Settings) {
+                                      const RunSettings &Settings,
+                                      const TestFrontEnd *SharedFE) {
   DeviceBugModel Clean;
   Clean.SpeedFactor = 16.0; // a fast, reliable host
   return compileAndRun(Test, Clean, Optimize, Optimize,
-                       /*Salt=*/0, {}, Settings);
+                       /*Salt=*/0, {}, Settings, SharedFE);
 }

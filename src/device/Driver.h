@@ -23,10 +23,13 @@
 #include "device/DeviceConfig.h"
 #include "gen/Generator.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace clfuzz {
+
+class ASTContext;
 
 /// One test program plus its host-side launch plan. The source text is
 /// the canonical representation: drivers re-parse it per run,
@@ -87,17 +90,59 @@ struct RunOutcome {
   bool ok() const { return Status == RunStatus::Ok; }
 };
 
+/// A test case's parsed-and-checked front end, computed once and
+/// shared across the cells of a campaign column (one kernel run
+/// against many configurations). Parsing and semantic checking are
+/// configuration-independent — bug models only act from the
+/// configuration-specific front-end checks onwards — so the column's
+/// cells can skip the re-parse whenever the rest of their compilation
+/// leaves the shared AST untouched (see canShareFrontEnd).
+///
+/// Sharing is observationally identical to per-cell parsing: the
+/// parser is deterministic, so every cell would reconstruct this exact
+/// AST from the same source. Not thread-safe; a column executes on one
+/// worker.
+class TestFrontEnd {
+public:
+  explicit TestFrontEnd(const TestCase &Test);
+  ~TestFrontEnd();
+  TestFrontEnd(TestFrontEnd &&) noexcept;
+  TestFrontEnd &operator=(TestFrontEnd &&) noexcept;
+
+  /// False when the program failed to parse or check; every cell of
+  /// the column then reports the same BuildFailure.
+  bool ok() const { return ParseOk; }
+  const std::string &diagnostics() const { return Diags; }
+  ASTContext &context() const { return *Ctx; }
+
+private:
+  std::unique_ptr<ASTContext> Ctx;
+  bool ParseOk = false;
+  std::string Diags;
+};
+
+/// True when a run of \p Test on \p Config (null = reference) at
+/// \p OptEnabled may reuse a shared TestFrontEnd: the pass pipeline
+/// must be empty (no optimiser, no AST-mutating bug-model pass), since
+/// passes transform the AST in place and a shared AST must stay
+/// pristine for the column's other cells.
+bool canShareFrontEnd(const DeviceConfig *Config, bool OptEnabled);
+
 /// Compiles and runs \p Test on \p Config with optimisations
-/// enabled/disabled.
+/// enabled/disabled. \p SharedFE, when non-null and admissible per
+/// canShareFrontEnd, supplies the parsed front end; otherwise the
+/// source is re-parsed (byte-identical outcome either way).
 RunOutcome runTestOnConfig(const TestCase &Test,
                            const DeviceConfig &Config, bool OptEnabled,
-                           const RunSettings &Settings = RunSettings());
+                           const RunSettings &Settings = RunSettings(),
+                           const TestFrontEnd *SharedFE = nullptr);
 
 /// Reference run: no bug models, optimisations optional. Used by
 /// tests, the EMI machinery and the reducer as a well-tested baseline
 /// (the analogue of a trusted Oclgrind build).
 RunOutcome runTestOnReference(const TestCase &Test, bool Optimize,
-                              const RunSettings &Settings = RunSettings());
+                              const RunSettings &Settings = RunSettings(),
+                              const TestFrontEnd *SharedFE = nullptr);
 
 } // namespace clfuzz
 

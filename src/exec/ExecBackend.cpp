@@ -10,9 +10,22 @@
 #include "exec/ProcessPool.h"
 #include "exec/RemoteBackend.h"
 
+#include <iterator>
+
 using namespace clfuzz;
 
 ExecBackend::~ExecBackend() = default;
+
+std::vector<RunOutcome>
+ExecBackend::runColumns(const std::vector<ExecColumn> &Columns) {
+  // Flatten-and-delegate default: correct for every backend, used
+  // as-is by the caching wrapper (per-cell cache keys) and the remote
+  // backend (per-job wire protocol).
+  std::vector<ExecJob> Flat;
+  for (const ExecColumn &Col : Columns)
+    Flat.insert(Flat.end(), Col.Jobs.begin(), Col.Jobs.end());
+  return run(Flat);
+}
 
 void ExecBackend::forEachIndex(size_t N,
                                const std::function<void(size_t)> &Body) {
@@ -42,6 +55,18 @@ InlineBackend::run(const std::vector<ExecJob> &Jobs) {
   return Results;
 }
 
+std::vector<RunOutcome>
+InlineBackend::runColumns(const std::vector<ExecColumn> &Columns) {
+  std::vector<RunOutcome> Results;
+  for (const ExecColumn &Col : Columns) {
+    std::vector<RunOutcome> ColResults = runExecColumn(Col);
+    Results.insert(Results.end(),
+                   std::make_move_iterator(ColResults.begin()),
+                   std::make_move_iterator(ColResults.end()));
+  }
+  return Results;
+}
+
 ThreadPoolBackend::ThreadPoolBackend(const ExecOptions &Opts)
     : Engine(Opts) {}
 
@@ -50,6 +75,23 @@ ThreadPoolBackend::run(const std::vector<ExecJob> &Jobs) {
   // Campaign cells can be timeout-heavy (a cell may burn its whole
   // step budget), so the batch claims one index per lock acquisition.
   return Engine.runBatch(Jobs);
+}
+
+std::vector<RunOutcome>
+ThreadPoolBackend::runColumns(const std::vector<ExecColumn> &Columns) {
+  // One pool index per column so the shared front end stays on one
+  // worker; per-column results land in their own slot and flatten in
+  // submission order, keeping output keyed by index as always. Columns
+  // contain timeout-heavy cells, so claim one at a time (the default).
+  std::vector<std::vector<RunOutcome>> Per(Columns.size());
+  Engine.forEachIndex(Columns.size(),
+                      [&](size_t I) { Per[I] = runExecColumn(Columns[I]); });
+  std::vector<RunOutcome> Results;
+  for (std::vector<RunOutcome> &ColResults : Per)
+    Results.insert(Results.end(),
+                   std::make_move_iterator(ColResults.begin()),
+                   std::make_move_iterator(ColResults.end()));
+  return Results;
 }
 
 void ThreadPoolBackend::forEachIndex(

@@ -75,6 +75,17 @@ public:
   /// implementation — the bit-identity contract hangs off this.
   virtual std::vector<RunOutcome> run(const std::vector<ExecJob> &Jobs) = 0;
 
+  /// Runs a batch of campaign columns (exec/ExecutionEngine.h's
+  /// ExecColumn): the flattened outcome vector matches a run() over
+  /// the flattened job list byte for byte. Backends that can keep a
+  /// column on one worker override this to amortise the front end
+  /// across the column's cells; the default flattens and delegates to
+  /// run(), which is also what the caching wrapper does (cache keys
+  /// stay per-cell) and what the remote backend inherits (its wire
+  /// protocol stays per-job).
+  virtual std::vector<RunOutcome>
+  runColumns(const std::vector<ExecColumn> &Columns);
+
   /// Runs \p Body(I) for every I in [0, N) *in this process*. Sources
   /// use this for generation-side work (building TestCases, EMI
   /// variants) whose closures cannot cross a process boundary; only
@@ -95,6 +106,8 @@ public:
   BackendKind kind() const override { return BackendKind::Inline; }
   unsigned concurrency() const override { return 1; }
   std::vector<RunOutcome> run(const std::vector<ExecJob> &Jobs) override;
+  std::vector<RunOutcome>
+  runColumns(const std::vector<ExecColumn> &Columns) override;
 };
 
 /// Thread-pool backend over the ExecutionEngine. With Threads == 1 the
@@ -107,6 +120,8 @@ public:
   BackendKind kind() const override { return BackendKind::Threads; }
   unsigned concurrency() const override { return Engine.threadCount(); }
   std::vector<RunOutcome> run(const std::vector<ExecJob> &Jobs) override;
+  std::vector<RunOutcome>
+  runColumns(const std::vector<ExecColumn> &Columns) override;
   void forEachIndex(size_t N,
                     const std::function<void(size_t)> &Body) override;
 

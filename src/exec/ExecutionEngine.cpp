@@ -9,8 +9,10 @@
 #include "device/DeviceConfig.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cstdlib>
+#include <memory>
 
 using namespace clfuzz;
 
@@ -62,6 +64,48 @@ RunOutcome clfuzz::runExecJob(const ExecJob &Job) {
   if (Job.Config)
     return runTestOnConfig(*Job.Test, *Job.Config, Job.Opt, Job.Settings);
   return runTestOnReference(*Job.Test, Job.Opt, Job.Settings);
+}
+
+std::vector<ExecColumn>
+clfuzz::groupIntoColumns(const std::vector<ExecJob> &Jobs) {
+  std::vector<ExecColumn> Cols;
+  for (const ExecJob &J : Jobs) {
+    if (Cols.empty() || Cols.back().Jobs.front().Test != J.Test)
+      Cols.emplace_back();
+    Cols.back().Jobs.push_back(J);
+  }
+  return Cols;
+}
+
+std::vector<RunOutcome> clfuzz::runExecColumn(const ExecColumn &Column) {
+  std::vector<RunOutcome> Out;
+  Out.reserve(Column.Jobs.size());
+  // Built on the first admissible cell; columns whose every cell runs
+  // the optimiser (or an AST-mutating bug pass) never pay the parse.
+  std::unique_ptr<TestFrontEnd> FE;
+  for (const ExecJob &J : Column.Jobs) {
+    assert(J.Test == Column.Jobs.front().Test &&
+           "column cells must share one test");
+    // The fault-injection hooks bypass the driver entirely; route them
+    // through runExecJob so the process-pool isolation tests see the
+    // same behaviour on the column path.
+    if (J.Settings.DebugHardAbort || J.Settings.DebugSpinMs) {
+      Out.push_back(runExecJob(J));
+      continue;
+    }
+    const TestFrontEnd *Shared = nullptr;
+    if (canShareFrontEnd(J.Config, J.Opt)) {
+      if (!FE)
+        FE = std::make_unique<TestFrontEnd>(*J.Test);
+      Shared = FE.get();
+    }
+    Out.push_back(J.Config
+                      ? runTestOnConfig(*J.Test, *J.Config, J.Opt,
+                                        J.Settings, Shared)
+                      : runTestOnReference(*J.Test, J.Opt, J.Settings,
+                                           Shared));
+  }
+  return Out;
 }
 
 ExecutionEngine::ExecutionEngine(const ExecOptions &Opts)

@@ -165,6 +165,29 @@ struct ExecJob {
 /// workers and directly by serial fallbacks).
 RunOutcome runExecJob(const ExecJob &Job);
 
+/// A campaign column: the consecutive cells of one test — every job
+/// references the same TestCase — in submission order. Executing a
+/// column as a unit lets the worker parse and check the kernel source
+/// once and reuse the front end for every admissible cell
+/// (device/Driver.h's TestFrontEnd), instead of re-parsing per cell.
+/// Columns are an execution-granularity choice only: outcomes are
+/// byte-identical to running the same jobs cell-by-cell, and the
+/// outcome cache keeps keying per cell.
+struct ExecColumn {
+  std::vector<ExecJob> Jobs;
+};
+
+/// Groups a flat job list into maximal columns of consecutive jobs
+/// sharing one TestCase (pointer identity). Flattening the result
+/// reproduces \p Jobs exactly, so per-index outcome keying is
+/// unchanged.
+std::vector<ExecColumn> groupIntoColumns(const std::vector<ExecJob> &Jobs);
+
+/// Executes one column on the calling thread, sharing a lazily built
+/// TestFrontEnd across the cells canShareFrontEnd admits. Outcomes are
+/// in job order and byte-identical to per-cell runExecJob calls.
+std::vector<RunOutcome> runExecColumn(const ExecColumn &Column);
+
 /// The thread pool. Workers are spawned once in the constructor and
 /// parked on a condition variable between batches, so per-batch
 /// overhead is a couple of notifications rather than thread churn.

@@ -274,6 +274,48 @@ OwnedExecJob clfuzz::deserializeExecJob(WireReader &R) {
   return J;
 }
 
+ExecColumn OwnedExecColumn::view() const {
+  ExecColumn Col;
+  Col.Jobs.reserve(Cells.size());
+  for (const Cell &C : Cells) {
+    ExecJob J;
+    J.Test = &Test;
+    J.Config = C.Config ? &*C.Config : nullptr;
+    J.Opt = C.Opt;
+    J.Settings = C.Settings;
+    Col.Jobs.push_back(J);
+  }
+  return Col;
+}
+
+void clfuzz::serializeExecColumn(WireWriter &W, const ExecColumn &Column) {
+  writeTest(W, *Column.Jobs.front().Test);
+  W.u32(static_cast<uint32_t>(Column.Jobs.size()));
+  for (const ExecJob &Job : Column.Jobs) {
+    W.u8(Job.Config != nullptr);
+    if (Job.Config)
+      writeConfig(W, *Job.Config);
+    W.u8(Job.Opt);
+    writeSettings(W, Job.Settings);
+  }
+}
+
+OwnedExecColumn clfuzz::deserializeExecColumn(WireReader &R) {
+  OwnedExecColumn Col;
+  Col.Test = readTest(R);
+  uint32_t N = R.u32();
+  Col.Cells.reserve(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    OwnedExecColumn::Cell C;
+    if (R.u8())
+      C.Config = readConfig(R);
+    C.Opt = R.u8();
+    C.Settings = readSettings(R);
+    Col.Cells.push_back(std::move(C));
+  }
+  return Col;
+}
+
 std::vector<uint8_t> clfuzz::descriptorBytes(const ExecJob &Job) {
   WireWriter W;
   serializeExecJob(W, Job);

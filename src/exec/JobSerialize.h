@@ -88,6 +88,31 @@ struct OwnedExecJob {
 void serializeExecJob(WireWriter &W, const ExecJob &Job);
 OwnedExecJob deserializeExecJob(WireReader &R);
 
+/// An ExecColumn reconstructed from the wire: the shared test case is
+/// stored once, each cell keeps only its own (config, opt, settings)
+/// triple. view() materialises ExecJobs pointing into this storage.
+struct OwnedExecColumn {
+  struct Cell {
+    std::optional<DeviceConfig> Config; ///< nullopt = reference run
+    bool Opt = false;
+    RunSettings Settings;
+  };
+
+  TestCase Test;
+  std::vector<Cell> Cells;
+
+  /// A view into this object's storage; valid while it lives.
+  ExecColumn view() const;
+};
+
+/// Column framing for the process-pool backend: the test case once,
+/// then one (config, opt, settings) record per cell — the whole point
+/// of shipping a column instead of N jobs. This is transport framing
+/// only; descriptor identity (descriptorBytes / hashDescriptor) stays
+/// per-job, so outcome-cache keys are unaffected.
+void serializeExecColumn(WireWriter &W, const ExecColumn &Column);
+OwnedExecColumn deserializeExecColumn(WireReader &R);
+
 /// The canonical byte string of a job descriptor: exactly the
 /// serializeExecJob stream. Two jobs with equal descriptor bytes are
 /// the same pure function and must produce the same RunOutcome on

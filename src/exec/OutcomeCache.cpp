@@ -352,7 +352,12 @@ public:
     Cache->countCoalesced(CoalescedHere);
 
     if (!Dispatch.empty()) {
-      std::vector<RunOutcome> Outs = Inner->run(Dispatch);
+      // Misses keep their submission order, so consecutive misses of
+      // one test still form columns: a cold cache pays the parse once
+      // per surviving column, not once per cell. Cache keys were
+      // derived per cell above — column framing is transport only.
+      std::vector<RunOutcome> Outs =
+          Inner->runColumns(groupIntoColumns(Dispatch));
       for (size_t D = 0; D != Dispatch.size(); ++D) {
         size_t Leader = LeaderJob[D];
         Cache->store(Keys[Leader], Outs[D]);

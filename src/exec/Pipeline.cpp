@@ -37,7 +37,13 @@ PipelineStats clfuzz::runShardedCampaign(
     }
     JobStart[Shard.size()] = Jobs.size();
 
-    std::vector<RunOutcome> Outcomes = Backend.run(Jobs);
+    // A shard's jobs are contiguous per test by construction (one
+    // ExpandJobs call per test), so the whole configuration column of
+    // each kernel reaches the backend as one unit: backends that can
+    // parse the kernel once per column do, and the outcome vector is
+    // byte-identical to a per-cell run() either way.
+    std::vector<RunOutcome> Outcomes =
+        Backend.runColumns(groupIntoColumns(Jobs));
     Stats.Jobs += Jobs.size();
 
     // Consumption and progress both run on the calling thread — never

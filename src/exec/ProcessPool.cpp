@@ -36,9 +36,16 @@ using wire::readFull;
 using wire::writeFull;
 using wire::writeFullNoSigpipe;
 
-/// Worker subprocess loop: read a framed job descriptor, execute it,
-/// write the framed outcome. A zero-length frame (or EOF) is the
-/// shutdown signal. Never returns.
+/// First payload byte of every frame the parent sends: one job
+/// descriptor, or one campaign column (shared test serialized once,
+/// one outcome frame streamed back per cell).
+constexpr uint8_t JobFrameTag = 0;
+constexpr uint8_t ColumnFrameTag = 1;
+
+/// Worker subprocess loop: read a framed, tagged descriptor (a single
+/// job or a whole column), execute it, write one framed outcome per
+/// job. A zero-length frame (or EOF) is the shutdown signal. Never
+/// returns.
 [[noreturn]] void workerMain(int In, int Out) {
   // The worker owns its process: a parent that went away must surface
   // as a failed write (then _exit), not a SIGPIPE kill.
@@ -51,22 +58,54 @@ using wire::writeFullNoSigpipe;
     if (!readFull(In, Frame.data(), Len))
       ::_exit(1);
 
-    RunOutcome O;
+    WireReader R(Frame.data(), Frame.size());
+    uint8_t Tag;
     try {
-      WireReader R(Frame.data(), Frame.size());
-      OwnedExecJob Job = deserializeExecJob(R);
-      O = runExecJob(Job.view());
-    } catch (const std::exception &E) {
-      O.Status = RunStatus::Crash;
-      O.Message = std::string("worker: ") + E.what();
+      Tag = R.u8();
+    } catch (const std::exception &) {
+      ::_exit(1);
     }
 
-    WireWriter W;
-    serializeRunOutcome(W, O);
-    uint32_t RespLen = static_cast<uint32_t>(W.buffer().size());
-    if (!writeFull(Out, &RespLen, sizeof(RespLen)) ||
-        !writeFull(Out, W.buffer().data(), RespLen))
+    std::vector<RunOutcome> Outs;
+    if (Tag == JobFrameTag) {
+      RunOutcome O;
+      try {
+        OwnedExecJob Job = deserializeExecJob(R);
+        O = runExecJob(Job.view());
+      } catch (const std::exception &E) {
+        O.Status = RunStatus::Crash;
+        O.Message = std::string("worker: ") + E.what();
+      }
+      Outs.push_back(std::move(O));
+    } else if (Tag == ColumnFrameTag) {
+      size_t Cells = 0;
+      try {
+        OwnedExecColumn Col = deserializeExecColumn(R);
+        Cells = Col.Cells.size();
+        Outs = runExecColumn(Col.view());
+      } catch (const std::exception &E) {
+        // An unreadable column frame means a torn protocol: die and
+        // let the pool respawn us and retry the cells one by one. A
+        // throw after deserialization is attributable, so answer it.
+        if (Cells == 0)
+          ::_exit(1);
+        RunOutcome O;
+        O.Status = RunStatus::Crash;
+        O.Message = std::string("worker: ") + E.what();
+        Outs.assign(Cells, O);
+      }
+    } else {
       ::_exit(1);
+    }
+
+    for (const RunOutcome &O : Outs) {
+      WireWriter W;
+      serializeRunOutcome(W, O);
+      uint32_t RespLen = static_cast<uint32_t>(W.buffer().size());
+      if (!writeFull(Out, &RespLen, sizeof(RespLen)) ||
+          !writeFull(Out, W.buffer().data(), RespLen))
+        ::_exit(1);
+    }
   }
 }
 
@@ -83,8 +122,13 @@ public:
   BackendKind kind() const override { return BackendKind::Procs; }
   unsigned concurrency() const override { return NumWorkers; }
   std::vector<RunOutcome> run(const std::vector<ExecJob> &Jobs) override;
+  std::vector<RunOutcome>
+  runColumns(const std::vector<ExecColumn> &Columns) override;
 
 private:
+  /// (begin index, cell count) spans over a flattened job vector, one
+  /// per column.
+  using ColumnSpans = std::vector<std::pair<size_t, size_t>>;
   struct Worker {
     pid_t Pid = -1;
     int ToChild = -1;   ///< parent writes job frames here
@@ -103,6 +147,14 @@ private:
   std::string reapWorker(Worker &W);
   bool sendJobs(Worker &W, const std::vector<ExecJob> &Jobs,
                 const std::deque<size_t> &Indices);
+  bool sendColumn(Worker &W, const std::vector<ExecJob> &Jobs,
+                  const std::deque<size_t> &Indices);
+  /// The shared dispatch/poll loop behind run() and runColumns().
+  /// With \p Spans null, jobs are adaptively batched into single-job
+  /// frames; with spans, each span travels as one column frame (and
+  /// retries always travel as single-job frames).
+  std::vector<RunOutcome> execute(const std::vector<ExecJob> &Jobs,
+                                  const ColumnSpans *Spans);
 
   unsigned NumWorkers;
   unsigned TimeoutMs;
@@ -193,6 +245,7 @@ bool ProcessPoolBackend::sendJobs(Worker &W, const std::vector<ExecJob> &Jobs,
   std::vector<uint8_t> Run;
   for (size_t Index : Indices) {
     WireWriter One;
+    One.u8(JobFrameTag);
     serializeExecJob(One, Jobs[Index]);
     // The length prefix is a raw host-order uint32_t, matching the
     // readFull(&Len) on both protocol ends (parent and child are the
@@ -206,8 +259,55 @@ bool ProcessPoolBackend::sendJobs(Worker &W, const std::vector<ExecJob> &Jobs,
   return writeFullNoSigpipe(W.ToChild, Run.data(), Run.size());
 }
 
+/// Serializes the indexed jobs — consecutive cells of one test — as a
+/// single column frame: the test case crosses the pipe once and the
+/// worker parses it once, answering with one outcome frame per cell in
+/// order. Outcome frames are tens of bytes, far below pipe capacity,
+/// so the worker never blocks writing responses and the protocol stays
+/// deadlock-free.
+bool ProcessPoolBackend::sendColumn(Worker &W,
+                                    const std::vector<ExecJob> &Jobs,
+                                    const std::deque<size_t> &Indices) {
+  ExecColumn Col;
+  Col.Jobs.reserve(Indices.size());
+  for (size_t Index : Indices)
+    Col.Jobs.push_back(Jobs[Index]);
+  WireWriter One;
+  One.u8(ColumnFrameTag);
+  serializeExecColumn(One, Col);
+  uint32_t Len = static_cast<uint32_t>(One.buffer().size());
+  std::vector<uint8_t> Run;
+  const auto *P = reinterpret_cast<const uint8_t *>(&Len);
+  Run.insert(Run.end(), P, P + sizeof(Len));
+  Run.insert(Run.end(), One.buffer().begin(), One.buffer().end());
+  return writeFullNoSigpipe(W.ToChild, Run.data(), Run.size());
+}
+
 std::vector<RunOutcome>
 ProcessPoolBackend::run(const std::vector<ExecJob> &Jobs) {
+  return execute(Jobs, nullptr);
+}
+
+std::vector<RunOutcome>
+ProcessPoolBackend::runColumns(const std::vector<ExecColumn> &Columns) {
+  // A wall-clock deadline is enforced per frame head, so deadline
+  // frames must stay single-job: fall back to the flatten default and
+  // keep the kill-and-record logic exactly as it was.
+  if (TimeoutMs)
+    return ExecBackend::runColumns(Columns);
+  std::vector<ExecJob> Flat;
+  ColumnSpans Spans;
+  Spans.reserve(Columns.size());
+  for (const ExecColumn &Col : Columns) {
+    Spans.emplace_back(Flat.size(), Col.Jobs.size());
+    Flat.insert(Flat.end(), Col.Jobs.begin(), Col.Jobs.end());
+  }
+  return execute(Flat, &Spans);
+}
+
+std::vector<RunOutcome>
+ProcessPoolBackend::execute(const std::vector<ExecJob> &Jobs,
+                            const ColumnSpans *Spans) {
   std::vector<RunOutcome> Results(Jobs.size());
   if (Jobs.empty())
     return Results;
@@ -228,7 +328,7 @@ ProcessPoolBackend::run(const std::vector<ExecJob> &Jobs) {
   }
 
   using Clock = std::chrono::steady_clock;
-  size_t NextJob = 0, Done = 0;
+  size_t NextJob = 0, NextSpan = 0, Done = 0;
 
   // Adaptive batching: cheap cells are sent several to a frame so the
   // serialization and syscall cost is amortised, sized so every worker
@@ -281,23 +381,32 @@ ProcessPoolBackend::run(const std::vector<ExecJob> &Jobs) {
     ++Done;
   };
 
-  // One frame in flight per worker; a frame carries one retry job or
-  // up to MaxBatch fresh jobs. Retries always travel alone so a
-  // genuinely crashing job poisons nothing but itself on its second
-  // attempt.
+  // One frame in flight per worker; a frame carries one retry job, one
+  // column, or up to MaxBatch fresh jobs. Retries always travel alone
+  // (as single-job frames, even out of a column) so a genuinely
+  // crashing job poisons nothing but itself on its second attempt.
   auto Dispatch = [&](Worker &W) {
     for (;;) {
       std::deque<size_t> Batch;
+      bool AsColumn = false;
       if (!RetryQueue.empty()) {
         Batch.push_back(RetryQueue.back());
         RetryQueue.pop_back();
+      } else if (Spans) {
+        if (NextSpan < Spans->size()) {
+          auto Span = (*Spans)[NextSpan++];
+          for (size_t K = 0; K != Span.second; ++K)
+            Batch.push_back(Span.first + K);
+          // A one-cell column gains nothing from column framing.
+          AsColumn = Batch.size() > 1;
+        }
       } else {
         while (Batch.size() < MaxBatch && NextJob < Jobs.size())
           Batch.push_back(NextJob++);
       }
       if (Batch.empty())
         return;
-      if (sendJobs(W, Jobs, Batch)) {
+      if (AsColumn ? sendColumn(W, Jobs, Batch) : sendJobs(W, Jobs, Batch)) {
         W.InFlight = std::move(Batch);
         W.Deadline = Clock::now() + std::chrono::milliseconds(
                                         TimeoutMs ? TimeoutMs : 0);

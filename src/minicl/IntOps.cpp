@@ -9,267 +9,6 @@
 
 using namespace clfuzz;
 
-LaneType clfuzz::laneTypeOf(const Type *Ty) {
-  if (const auto *ST = dyn_cast<ScalarType>(Ty))
-    return {ST->bitWidth(), ST->isSigned()};
-  if (const auto *VT = dyn_cast<VectorType>(Ty))
-    return {VT->getElementType()->bitWidth(),
-            VT->getElementType()->isSigned()};
-  return {64, false}; // pointers
-}
-
-/// Applies a scalar binary operator on masked lane payloads. Returns
-/// false on a genuine runtime fault (division by zero).
-bool clfuzz::evalBinLane(BinOp Op, LaneType LT, uint64_t A, uint64_t B,
-                 bool VectorCompare, unsigned ResultWidth,
-                 uint64_t &Out) {
-  auto Mask = [&LT](uint64_t V) { return maskToWidth(V, LT.Width); };
-  int64_t SA = signExtend(A, LT.Width), SB = signExtend(B, LT.Width);
-  auto Bool = [&](bool C) -> uint64_t {
-    if (!VectorCompare)
-      return C ? 1 : 0;
-    return C ? maskToWidth(~0ULL, ResultWidth) : 0;
-  };
-  switch (Op) {
-  case BinOp::Add:
-    Out = Mask(A + B);
-    return true;
-  case BinOp::Sub:
-    Out = Mask(A - B);
-    return true;
-  case BinOp::Mul:
-    Out = Mask(A * B);
-    return true;
-  case BinOp::Div:
-    if (B == 0)
-      return false;
-    if (LT.Signed) {
-      if (SB == -1 && SA == signExtend(maskToWidth(1ULL << (LT.Width - 1),
-                                                   LT.Width),
-                                       LT.Width))
-        Out = Mask(static_cast<uint64_t>(SA)); // wrap INT_MIN / -1
-      else
-        Out = Mask(static_cast<uint64_t>(SA / SB));
-    } else {
-      Out = Mask(A / B);
-    }
-    return true;
-  case BinOp::Mod:
-    if (B == 0)
-      return false;
-    if (LT.Signed) {
-      if (SB == -1)
-        Out = 0;
-      else
-        Out = Mask(static_cast<uint64_t>(SA % SB));
-    } else {
-      Out = Mask(A % B);
-    }
-    return true;
-  case BinOp::Shl: {
-    uint64_t Amt = B;
-    Out = Amt >= LT.Width ? 0 : Mask(A << Amt);
-    return true;
-  }
-  case BinOp::Shr: {
-    uint64_t Amt = B;
-    if (Amt >= LT.Width)
-      Out = LT.Signed && SA < 0 ? Mask(~0ULL) : 0;
-    else if (LT.Signed)
-      Out = Mask(static_cast<uint64_t>(SA >> Amt));
-    else
-      Out = A >> Amt;
-    return true;
-  }
-  case BinOp::BitAnd:
-    Out = A & B;
-    return true;
-  case BinOp::BitOr:
-    Out = A | B;
-    return true;
-  case BinOp::BitXor:
-    Out = A ^ B;
-    return true;
-  case BinOp::LAnd:
-    Out = Bool(A != 0 && B != 0);
-    return true;
-  case BinOp::LOr:
-    Out = Bool(A != 0 || B != 0);
-    return true;
-  case BinOp::Eq:
-    Out = Bool(A == B);
-    return true;
-  case BinOp::Ne:
-    Out = Bool(A != B);
-    return true;
-  case BinOp::Lt:
-    Out = Bool(LT.Signed ? SA < SB : A < B);
-    return true;
-  case BinOp::Gt:
-    Out = Bool(LT.Signed ? SA > SB : A > B);
-    return true;
-  case BinOp::Le:
-    Out = Bool(LT.Signed ? SA <= SB : A <= B);
-    return true;
-  case BinOp::Ge:
-    Out = Bool(LT.Signed ? SA >= SB : A >= B);
-    return true;
-  case BinOp::Comma:
-    break;
-  }
-  assert(false && "unexpected binary operator in VM");
-  return false;
-}
-
-/// Evaluates a non-atomic builtin on one lane.
-uint64_t clfuzz::evalBuiltinLane(Builtin B, LaneType LT, const uint64_t *Args) {
-  auto Mask = [&LT](uint64_t V) { return maskToWidth(V, LT.Width); };
-  uint64_t X = Args[0];
-  int64_t SX = signExtend(X, LT.Width);
-  uint64_t Y = 0;
-  int64_t SY = 0;
-  uint64_t Z = 0;
-  int64_t SZ = 0;
-  Y = Args[1];
-  SY = signExtend(Y, LT.Width);
-  Z = Args[2];
-  SZ = signExtend(Z, LT.Width);
-
-  auto Less = [&LT](uint64_t A, int64_t SA, uint64_t Bv, int64_t SBv) {
-    return LT.Signed ? SA < SBv : A < Bv;
-  };
-
-  switch (B) {
-  case Builtin::Clamp:
-  case Builtin::SafeClamp:
-    // min > max is UB for raw clamp; both forms use the safe fallback
-    // (returning x), which is also what CLsmith's macro produces.
-    if (Less(Z, SZ, Y, SY))
-      return X;
-    if (Less(X, SX, Y, SY))
-      return Y;
-    if (Less(Z, SZ, X, SX))
-      return Z;
-    return X;
-  case Builtin::Rotate:
-  case Builtin::SafeRotate: {
-    uint64_t Amt = Y % LT.Width;
-    if (Amt == 0)
-      return X;
-    return Mask((X << Amt) | (X >> (LT.Width - Amt)));
-  }
-  case Builtin::Min:
-    return Less(X, SX, Y, SY) ? X : Y;
-  case Builtin::Max:
-    return Less(X, SX, Y, SY) ? Y : X;
-  case Builtin::Abs:
-    if (!LT.Signed)
-      return X;
-    return Mask(SX < 0 ? static_cast<uint64_t>(-SX) : X);
-  case Builtin::AddSat: {
-    if (LT.Signed) {
-      int64_t Lo = signExtend(maskToWidth(1ULL << (LT.Width - 1), LT.Width),
-                              LT.Width);
-      int64_t Hi = -(Lo + 1);
-      // Compute in 128-bit-free form: detect overflow via sign logic.
-      int64_t Sum = static_cast<int64_t>(
-          static_cast<uint64_t>(SX) + static_cast<uint64_t>(SY));
-      if (LT.Width < 64) {
-        int64_t Wide = SX + SY;
-        if (Wide > Hi)
-          return Mask(static_cast<uint64_t>(Hi));
-        if (Wide < Lo)
-          return Mask(static_cast<uint64_t>(Lo));
-        return Mask(static_cast<uint64_t>(Wide));
-      }
-      bool Overflow = (SY > 0 && SX > Hi - SY) || (SY < 0 && SX < Lo - SY);
-      if (Overflow)
-        return SY > 0 ? static_cast<uint64_t>(Hi)
-                      : static_cast<uint64_t>(Lo);
-      return static_cast<uint64_t>(Sum);
-    }
-    uint64_t Sum = Mask(X + Y);
-    return Sum < X ? Mask(~0ULL) : Sum;
-  }
-  case Builtin::SubSat: {
-    if (LT.Signed) {
-      int64_t Lo = signExtend(maskToWidth(1ULL << (LT.Width - 1), LT.Width),
-                              LT.Width);
-      int64_t Hi = -(Lo + 1);
-      if (LT.Width < 64) {
-        int64_t Wide = SX - SY;
-        if (Wide > Hi)
-          return Mask(static_cast<uint64_t>(Hi));
-        if (Wide < Lo)
-          return Mask(static_cast<uint64_t>(Lo));
-        return Mask(static_cast<uint64_t>(Wide));
-      }
-      bool Overflow = (SY < 0 && SX > Hi + SY) || (SY > 0 && SX < Lo + SY);
-      if (Overflow)
-        return SY < 0 ? static_cast<uint64_t>(Hi)
-                      : static_cast<uint64_t>(Lo);
-      return static_cast<uint64_t>(SX - SY);
-    }
-    return X < Y ? 0 : X - Y;
-  }
-  case Builtin::Hadd:
-    if (LT.Signed)
-      return Mask(static_cast<uint64_t>((SX & SY) + ((SX ^ SY) >> 1)));
-    return Mask((X & Y) + ((X ^ Y) >> 1));
-  case Builtin::MulHi: {
-    if (LT.Width < 64) {
-      if (LT.Signed)
-        return Mask(static_cast<uint64_t>((SX * SY) >> LT.Width));
-      return Mask((X * Y) >> LT.Width);
-    }
-    if (LT.Signed)
-      return static_cast<uint64_t>(
-          (static_cast<__int128>(SX) * SY) >> 64);
-    return static_cast<uint64_t>(
-        (static_cast<unsigned __int128>(X) * Y) >> 64);
-  }
-  case Builtin::SafeAdd:
-    return Mask(X + Y);
-  case Builtin::SafeSub:
-    return Mask(X - Y);
-  case Builtin::SafeMul:
-    return Mask(X * Y);
-  case Builtin::SafeDiv:
-    if (Y == 0)
-      return X;
-    if (LT.Signed) {
-      if (SY == -1 &&
-          SX == signExtend(maskToWidth(1ULL << (LT.Width - 1), LT.Width),
-                           LT.Width))
-        return X;
-      return Mask(static_cast<uint64_t>(SX / SY));
-    }
-    return Mask(X / Y);
-  case Builtin::SafeMod:
-    if (Y == 0)
-      return X;
-    if (LT.Signed) {
-      if (SY == -1)
-        return 0;
-      return Mask(static_cast<uint64_t>(SX % SY));
-    }
-    return Mask(X % Y);
-  case Builtin::SafeShl:
-    return Mask(X << (Y & (LT.Width - 1)));
-  case Builtin::SafeShr: {
-    uint64_t Amt = Y & (LT.Width - 1);
-    if (LT.Signed)
-      return Mask(static_cast<uint64_t>(SX >> Amt));
-    return X >> Amt;
-  }
-  case Builtin::SafeNeg:
-    return Mask(0 - X);
-  default:
-    assert(false && "unexpected builtin in evalBuiltinLane");
-    return 0;
-  }
-}
-
 /// Applies an atomic read-modify-write operation.
 uint64_t clfuzz::evalAtomic(Builtin B, bool Signed, uint64_t Old, uint64_t Arg) {
   uint32_t O = static_cast<uint32_t>(Old);

@@ -26,46 +26,6 @@ const char *clfuzz::addressSpaceName(AddressSpace AS) {
   return "";
 }
 
-unsigned ScalarType::bitWidth() const {
-  switch (SK) {
-  case ScalarKind::Char:
-  case ScalarKind::UChar:
-    return 8;
-  case ScalarKind::Short:
-  case ScalarKind::UShort:
-    return 16;
-  case ScalarKind::Bool:
-  case ScalarKind::Int:
-  case ScalarKind::UInt:
-    return 32;
-  case ScalarKind::Long:
-  case ScalarKind::ULong:
-  case ScalarKind::SizeT:
-    return 64;
-  }
-  assert(false && "unknown scalar kind");
-  return 0;
-}
-
-bool ScalarType::isSigned() const {
-  switch (SK) {
-  case ScalarKind::Bool:
-  case ScalarKind::Char:
-  case ScalarKind::Short:
-  case ScalarKind::Int:
-  case ScalarKind::Long:
-    return true;
-  case ScalarKind::UChar:
-  case ScalarKind::UShort:
-  case ScalarKind::UInt:
-  case ScalarKind::ULong:
-  case ScalarKind::SizeT:
-    return false;
-  }
-  assert(false && "unknown scalar kind");
-  return false;
-}
-
 unsigned ScalarType::rank() const {
   switch (SK) {
   case ScalarKind::Bool:

@@ -113,13 +113,50 @@ public:
   ScalarKind getScalarKind() const { return SK; }
 
   /// Width in bits (bool is modelled as 32-bit, matching OpenCL C where
-  /// relational operators yield int).
-  unsigned bitWidth() const;
+  /// relational operators yield int). Inline: the VM masks through this
+  /// on every lane of every load, store and operator.
+  unsigned bitWidth() const {
+    switch (SK) {
+    case ScalarKind::Char:
+    case ScalarKind::UChar:
+      return 8;
+    case ScalarKind::Short:
+    case ScalarKind::UShort:
+      return 16;
+    case ScalarKind::Bool:
+    case ScalarKind::Int:
+    case ScalarKind::UInt:
+      return 32;
+    case ScalarKind::Long:
+    case ScalarKind::ULong:
+    case ScalarKind::SizeT:
+      return 64;
+    }
+    assert(false && "unknown scalar kind");
+    return 0;
+  }
 
   /// Width in bytes.
   unsigned byteWidth() const { return bitWidth() / 8; }
 
-  bool isSigned() const;
+  bool isSigned() const {
+    switch (SK) {
+    case ScalarKind::Bool:
+    case ScalarKind::Char:
+    case ScalarKind::Short:
+    case ScalarKind::Int:
+    case ScalarKind::Long:
+      return true;
+    case ScalarKind::UChar:
+    case ScalarKind::UShort:
+    case ScalarKind::UInt:
+    case ScalarKind::ULong:
+    case ScalarKind::SizeT:
+      return false;
+    }
+    assert(false && "unknown scalar kind");
+    return false;
+  }
   bool isBool() const { return SK == ScalarKind::Bool; }
   bool isSizeT() const { return SK == ScalarKind::SizeT; }
 

@@ -610,7 +610,10 @@ TestCase reduceImpl(const TestCase &Input, const ExpandFn &Expand,
   {
     std::vector<ExecJob> Jobs;
     Expand(Best, Jobs);
-    std::vector<RunOutcome> Outs = Backend->run(Jobs);
+    // One test's cells: a single column, so the worker parses the
+    // witness once for all its admissible cells.
+    std::vector<RunOutcome> Outs =
+        Backend->runColumns(groupIntoColumns(Jobs));
     bool Interesting = Judge(Best, Outs);
     if (Opts.Trace) {
       ReduceTraceEvent E;

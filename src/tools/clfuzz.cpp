@@ -38,7 +38,14 @@
 ///   --cache-mem-mb=N                 in-memory cache budget
 ///   --stats                          campaign counters on stderr
 ///                                    (cache_hits/cache_misses/
-///                                    coalesced)
+///                                    coalesced plus a vm_* line:
+///                                    dispatch mode, instructions,
+///                                    fused dispatches, launches,
+///                                    engine reuses)
+///
+/// Every command also accepts --vm-dispatch=switch|goto to pick the
+/// interpreter's dispatch strategy (docs/vm.md); output is
+/// byte-identical either way, only wall-clock speed changes.
 ///
 /// Reduction is a pipeline workload too: `reduce` evaluates its
 /// speculative candidates on --reduce-backend with --reduce-jobs
@@ -60,6 +67,7 @@
 #include "oracle/Oracle.h"
 #include "oracle/ReductionQueue.h"
 #include "support/StringUtil.h"
+#include "vm/VM.h"
 
 #include <cstdio>
 #include <cstring>
@@ -158,6 +166,8 @@ int cmdConfigs() {
   return 0;
 }
 
+void printCacheStats(const CliArgs &A, const ExecOptions &Opts);
+
 int cmdRun(const CliArgs &A) {
   TestCase T = TestCase::fromGenerated(generateKernel(genOptionsFrom(A)));
   int ConfigId = static_cast<int>(A.getInt("config", 0));
@@ -181,6 +191,7 @@ int cmdRun(const CliArgs &A) {
     std::printf("  (%s)", O.Message.c_str());
   }
   std::printf("\n");
+  printCacheStats(A, ExecOptions());
   return O.ok() ? 0 : 1;
 }
 
@@ -244,9 +255,11 @@ void applyCacheOptions(const CliArgs &A, ExecOptions &Opts) {
   }
 }
 
-/// The --stats epilogue: campaign output never changes with the
-/// cache, so the counters go to stderr, on their own line, only when
-/// asked for.
+/// The --stats epilogue: campaign output never changes with the cache
+/// or the interpreter's tuning, so the counters go to stderr, on their
+/// own lines, only when asked for. The vm_* counters cover launches
+/// this process executed — under procs/remote backends the workers
+/// keep their own (the coordinator's line then reports 0 launches).
 void printCacheStats(const CliArgs &A, const ExecOptions &Opts) {
   if (!A.has("stats"))
     return;
@@ -257,6 +270,15 @@ void printCacheStats(const CliArgs &A, const ExecOptions &Opts) {
                static_cast<unsigned long long>(S.Hits),
                static_cast<unsigned long long>(S.Misses),
                static_cast<unsigned long long>(S.Coalesced));
+  VmCounters V = vmCounters();
+  std::fprintf(stderr,
+               "vm_dispatch=%s vm_instructions=%llu vm_fused=%llu "
+               "vm_launches=%llu vm_engine_reuses=%llu\n",
+               vmDispatchName(vmDispatchMode()),
+               static_cast<unsigned long long>(V.Instructions),
+               static_cast<unsigned long long>(V.FusedExecuted),
+               static_cast<unsigned long long>(V.Launches),
+               static_cast<unsigned long long>(V.EngineReuses));
 }
 
 ExecOptions execOptionsFrom(const CliArgs &A) {
@@ -304,7 +326,10 @@ int cmdDiff(const CliArgs &A) {
       Labels.push_back(std::to_string(C.Id) + (Opt ? "+" : "-"));
     }
   }
-  std::vector<RunOutcome> Outs = Backend->run(Jobs);
+  // The whole zoo runs one kernel: a single column, parsed once per
+  // worker instead of once per cell.
+  std::vector<RunOutcome> Outs =
+      Backend->runColumns(groupIntoColumns(Jobs));
 
   if (Format == "csv" || Format == "jsonl") {
     std::unique_ptr<ResultSink> Sink;
@@ -660,7 +685,10 @@ int usage() {
       "  --reduce-workers or --workers)\n"
       "worker: --jobs=N executor slots (0 = all cores) --proc-timeout-ms=N\n"
       "  per-job deadline; fault injection for tests: --die-after-jobs=N\n"
-      "  --ignore-jobs\n");
+      "  --ignore-jobs\n"
+      "all commands: --vm-dispatch=switch|goto interpreter dispatch\n"
+      "  strategy (byte-identical output, wall-clock only; docs/vm.md);\n"
+      "  --stats adds a vm_* counter line on stderr\n");
   return 2;
 }
 
@@ -668,6 +696,18 @@ int usage() {
 
 int main(int Argc, char **Argv) {
   CliArgs A = parse(Argc, Argv);
+  // Interpreter tuning applies to every command (output is
+  // byte-identical in either mode; only wall-clock speed changes).
+  // The flag wins over the CLFUZZ_VM_DISPATCH environment variable.
+  if (A.has("vm-dispatch")) {
+    VmDispatch D;
+    if (!parseVmDispatch(A.get("vm-dispatch").c_str(), D)) {
+      std::fprintf(stderr, "unknown vm dispatch '%s' (use switch or goto)\n",
+                   A.get("vm-dispatch").c_str());
+      return 1;
+    }
+    setVmDispatchMode(D);
+  }
   // Campaign-time failures (the whole remote fleet unreachable, a
   // process pool that cannot fork) surface as exceptions from deep
   // inside a run; report them as errors, not as std::terminate.

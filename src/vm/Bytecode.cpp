@@ -99,6 +99,16 @@ static const char *opName(Op O) {
     return "work_item";
   case Op::Trap:
     return "trap";
+  case Op::FusedFrameAddrLoad:
+    return "frame_addr+load";
+  case Op::FusedGepConstLoad:
+    return "gep_const+load";
+  case Op::FusedPushConstBin:
+    return "push_const+bin";
+  case Op::FusedLoadConvert:
+    return "load+convert";
+  case Op::FusedBinJumpIfFalse:
+    return "bin+jump_if_false";
   }
   return "?";
 }
@@ -146,4 +156,31 @@ std::string clfuzz::disassemble(const CompiledModule &M) {
   if (M.LocalArenaSize)
     OS << "local_arena " << M.LocalArenaSize << " bytes\n";
   return OS.str();
+}
+
+uint64_t clfuzz::fuseSuperinstructions(CompiledModule &M) {
+  uint64_t Fused = 0;
+  for (CompiledFunction &F : M.Functions) {
+    std::vector<Insn> &C = F.Code;
+    for (size_t I = 0; I + 1 < C.size(); ++I) {
+      Op A = C[I].Opcode, B = C[I + 1].Opcode;
+      Op FusedOp;
+      if (A == Op::FrameAddr && B == Op::Load)
+        FusedOp = Op::FusedFrameAddrLoad;
+      else if (A == Op::GepConst && B == Op::Load)
+        FusedOp = Op::FusedGepConstLoad;
+      else if (A == Op::PushConst && B == Op::Bin)
+        FusedOp = Op::FusedPushConstBin;
+      else if (A == Op::Load && B == Op::Convert)
+        FusedOp = Op::FusedLoadConvert;
+      else if (A == Op::Bin && B == Op::JumpIfFalse)
+        FusedOp = Op::FusedBinJumpIfFalse;
+      else
+        continue;
+      C[I].Opcode = FusedOp;
+      ++Fused;
+      ++I; // the consumed second slot must never become a first half
+    }
+  }
+  return Fused;
 }

@@ -66,7 +66,36 @@ enum class Op : uint8_t {
   BuiltinEval, ///< pop B args; evaluate builtin A; result type Ty
   WorkItem,    ///< pop dim; push work-item query A (size_t)
   Trap,        ///< abort execution with trap code A
+
+  // Superinstructions. A post-codegen peephole (fuseSuperinstructions)
+  // rewrites the FIRST opcode of a hot adjacent pair to one of these;
+  // the second instruction stays in place, unmodified, immediately
+  // after it. The fused handler executes both halves in one dispatch
+  // (reading the second half's operands at pc+1 and finishing with
+  // pc += 2), charging two steps so scheduler slices, step budgets and
+  // timeout points are bit-identical to the unfused program. Because
+  // the second slot keeps its original instruction, a jump into the
+  // middle of a pair simply executes the plain second half — no jump
+  // remapping is ever needed — and a slice or budget boundary between
+  // the halves materialises the unfused intermediate value on the
+  // operand stack and resumes at the intact second instruction.
+  FusedFrameAddrLoad,   ///< FrameAddr ; Load   (local variable read)
+  FusedGepConstLoad,    ///< GepConst  ; Load   (field / element read)
+  FusedPushConstBin,    ///< PushConst ; Bin    (arith with constant rhs)
+  FusedLoadConvert,     ///< Load      ; Convert (load + implicit cast)
+  FusedBinJumpIfFalse,  ///< Bin       ; JumpIfFalse (compare + branch)
 };
+
+/// Number of distinct opcodes (dispatch-table size).
+constexpr unsigned NumOpcodes =
+    static_cast<unsigned>(Op::FusedBinJumpIfFalse) + 1;
+
+/// True for the superinstruction opcodes introduced by the fusion
+/// peephole (never emitted directly by codegen).
+inline bool isFusedOp(Op O) {
+  return static_cast<uint8_t>(O) >=
+         static_cast<uint8_t>(Op::FusedFrameAddrLoad);
+}
 
 /// Trap codes carried by Op::Trap and runtime faults.
 enum class TrapCode : uint8_t {
@@ -145,6 +174,13 @@ struct CompiledModule {
 
 /// Renders a human-readable disassembly (used in tests and debugging).
 std::string disassemble(const CompiledModule &M);
+
+/// The superinstruction peephole: greedily rewrites the first opcode
+/// of each hot adjacent pair to its fused form (see the enum above).
+/// Greedy left-to-right with a skip over the consumed second slot, so
+/// a second half is never itself re-fused and always keeps its original
+/// opcode. Returns the number of pairs fused.
+uint64_t fuseSuperinstructions(CompiledModule &M);
 
 } // namespace clfuzz
 

@@ -7,6 +7,7 @@
 
 #include "vm/Codegen.h"
 #include "minicl/TypeRules.h"
+#include "vm/VM.h"
 
 #include <map>
 
@@ -841,6 +842,11 @@ CodegenResult Codegen::run() {
   }
   R.Ok = true;
   R.Module = std::move(Module);
+  // Superinstruction peephole: fuse hot adjacent pairs for the
+  // interpreter. Purely a dispatch-count optimisation — fused and
+  // unfused modules execute bit-identically (see docs/vm.md).
+  if (vmFusionEnabled())
+    fuseSuperinstructions(R.Module);
   return R;
 }
 

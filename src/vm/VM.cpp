@@ -4,16 +4,32 @@
 // Fuzzing" (PLDI 2015).
 //
 //===----------------------------------------------------------------------===//
+//
+// The interpreter hot path lives in VMInterp.inc, which this file
+// expands twice: once as a portable switch loop and once (on GCC and
+// Clang) as a token-threaded computed-goto loop. See docs/vm.md for
+// the dispatch, superinstruction and launch-reuse design.
+//
+//===----------------------------------------------------------------------===//
 
 #include "vm/VM.h"
 #include "minicl/IntOps.h"
 #include "support/Rng.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <unordered_map>
 
 using namespace clfuzz;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CLFUZZ_VM_HAVE_GOTO 1
+#else
+#define CLFUZZ_VM_HAVE_GOTO 0
+#endif
 
 //===----------------------------------------------------------------------===//
 // Buffer helpers
@@ -51,8 +67,88 @@ const char *clfuzz::launchStatusName(LaunchStatus S) {
 }
 
 //===----------------------------------------------------------------------===//
-// Scalar operator semantics
+// Interpreter tuning state and counters
 //===----------------------------------------------------------------------===//
+
+namespace {
+
+std::atomic<int> GDispatchMode{-1}; // -1 unresolved, else VmDispatch
+std::atomic<int> GFusionMode{-1};   // -1 unresolved, else 0/1
+
+std::atomic<uint64_t> GInstructions{0};
+std::atomic<uint64_t> GFusedExecuted{0};
+std::atomic<uint64_t> GLaunches{0};
+std::atomic<uint64_t> GEngineReuses{0};
+
+} // namespace
+
+bool clfuzz::vmHasGotoDispatch() { return CLFUZZ_VM_HAVE_GOTO != 0; }
+
+const char *clfuzz::vmDispatchName(VmDispatch D) {
+  return D == VmDispatch::Goto ? "goto" : "switch";
+}
+
+bool clfuzz::parseVmDispatch(const char *Name, VmDispatch &Out) {
+  if (!Name)
+    return false;
+  if (std::strcmp(Name, "switch") == 0) {
+    Out = VmDispatch::Switch;
+    return true;
+  }
+  if (std::strcmp(Name, "goto") == 0) {
+    Out = VmDispatch::Goto;
+    return true;
+  }
+  return false;
+}
+
+void clfuzz::setVmDispatchMode(VmDispatch D) {
+  if (D == VmDispatch::Goto && !vmHasGotoDispatch())
+    D = VmDispatch::Switch;
+  GDispatchMode.store(static_cast<int>(D), std::memory_order_relaxed);
+}
+
+VmDispatch clfuzz::vmDispatchMode() {
+  int Mode = GDispatchMode.load(std::memory_order_relaxed);
+  if (Mode >= 0)
+    return static_cast<VmDispatch>(Mode);
+  VmDispatch D =
+      vmHasGotoDispatch() ? VmDispatch::Goto : VmDispatch::Switch;
+  if (const char *Env = std::getenv("CLFUZZ_VM_DISPATCH")) {
+    VmDispatch Parsed;
+    if (parseVmDispatch(Env, Parsed))
+      D = Parsed;
+  }
+  if (D == VmDispatch::Goto && !vmHasGotoDispatch())
+    D = VmDispatch::Switch;
+  GDispatchMode.store(static_cast<int>(D), std::memory_order_relaxed);
+  return D;
+}
+
+void clfuzz::setVmFusionEnabled(bool Enabled) {
+  GFusionMode.store(Enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool clfuzz::vmFusionEnabled() {
+  int Mode = GFusionMode.load(std::memory_order_relaxed);
+  if (Mode >= 0)
+    return Mode != 0;
+  bool On = true;
+  if (const char *Env = std::getenv("CLFUZZ_VM_FUSE"))
+    On = !(std::strcmp(Env, "0") == 0 || std::strcmp(Env, "off") == 0 ||
+           std::strcmp(Env, "false") == 0);
+  GFusionMode.store(On ? 1 : 0, std::memory_order_relaxed);
+  return On;
+}
+
+VmCounters clfuzz::vmCounters() {
+  VmCounters C;
+  C.Instructions = GInstructions.load(std::memory_order_relaxed);
+  C.FusedExecuted = GFusedExecuted.load(std::memory_order_relaxed);
+  C.Launches = GLaunches.load(std::memory_order_relaxed);
+  C.EngineReuses = GEngineReuses.load(std::memory_order_relaxed);
+  return C;
+}
 
 namespace {
 
@@ -110,6 +206,14 @@ public:
 
   /// Local memory is re-used between groups; forget its history.
   void resetLocal() { LocalBytes.clear(); }
+
+  /// Forgets everything (launch-session reuse).
+  void reset() {
+    Found = false;
+    Message.clear();
+    LocalBytes.clear();
+    GlobalBytes.clear();
+  }
 
 private:
   struct ByteState {
@@ -176,22 +280,199 @@ struct ThreadCtx {
   uint32_t BarrierSite = 0;
   uint32_t BarrierCount = 0;
   uint8_t PendingFence = 0;
+  /// High-water mark of arena bytes written this launch. On engine
+  /// reuse only [0, ArenaDirtyHigh) needs re-poisoning to 0xab — the
+  /// bytes above it still carry the poison from the initial fill.
+  uint64_t ArenaDirtyHigh = 0;
+  /// Engine launch id this thread's arena poison is valid for.
+  uint64_t LaunchStamp = 0;
 };
 
 enum class StepResult : uint8_t { Continue, Blocked, Done, Trapped };
 
-/// The per-launch execution engine.
+//===----------------------------------------------------------------------===//
+// In-place Value helpers
+//===----------------------------------------------------------------------===//
+//
+// Handlers mutate operand-stack slots in place instead of round-
+// tripping 152-byte Values through locals. Every producer must leave
+// lanes at index >= NumLanes zeroed: VecShuffle and BuiltinEval read
+// beyond an operand's lane count and rely on the zeros that Value's
+// constructors would have provided.
+
+/// Zeroes lanes [From, 16).
+inline void clearLanesFrom(Value &V, unsigned From) {
+  for (unsigned L = From; L < 16; ++L)
+    V.Lanes[L] = 0;
+}
+
+/// Pushes a fresh scalar (or raw pointer when \p Ty is null), masking
+/// to the type width — Value::scalar semantics without the copy.
+inline void pushScalarInPlace(std::vector<Value> &Ops, const Type *Ty,
+                              uint64_t Bits) {
+  Ops.emplace_back(); // default ctor zeroes all lanes
+  Value &V = Ops.back();
+  V.Ty = Ty;
+  if (const auto *ST = dyn_cast_if_present<ScalarType>(Ty))
+    V.Lanes[0] = maskToWidth(Bits, ST->bitWidth());
+  else
+    V.Lanes[0] = Bits;
+}
+
+/// Rewrites an existing slot to a scalar, clearing stale upper lanes.
+inline void setScalarInPlace(Value &V, const Type *Ty, uint64_t Bits) {
+  clearLanesFrom(V, 1);
+  V.NumLanes = 1;
+  V.Ty = Ty;
+  if (const auto *ST = dyn_cast_if_present<ScalarType>(Ty))
+    V.Lanes[0] = maskToWidth(Bits, ST->bitWidth());
+  else
+    V.Lanes[0] = Bits;
+}
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+#define CLFUZZ_VM_LE_HOST 1
+#else
+#define CLFUZZ_VM_LE_HOST 0
+#endif
+
+/// Reads a little-endian scalar of 1/2/4/8 bytes. On little-endian
+/// hosts the memcpy compiles to a single load; the portable loop is
+/// the fallback (and the non-power-of-two path).
+inline uint64_t readLE(const uint8_t *P, unsigned Bytes) {
+#if CLFUZZ_VM_LE_HOST
+  switch (Bytes) {
+  case 1:
+    return P[0];
+  case 2: {
+    uint16_t V;
+    std::memcpy(&V, P, 2);
+    return V;
+  }
+  case 4: {
+    uint32_t V;
+    std::memcpy(&V, P, 4);
+    return V;
+  }
+  case 8: {
+    uint64_t V;
+    std::memcpy(&V, P, 8);
+    return V;
+  }
+  default:
+    break;
+  }
+#endif
+  uint64_t V = 0;
+  for (unsigned I = 0; I != Bytes; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  return V;
+}
+
+/// Writes a little-endian scalar of 1/2/4/8 bytes (single store on
+/// little-endian hosts).
+inline void writeLE(uint8_t *P, unsigned Bytes, uint64_t Bits) {
+#if CLFUZZ_VM_LE_HOST
+  switch (Bytes) {
+  case 1:
+    P[0] = static_cast<uint8_t>(Bits);
+    return;
+  case 2: {
+    uint16_t V = static_cast<uint16_t>(Bits);
+    std::memcpy(P, &V, 2);
+    return;
+  }
+  case 4: {
+    uint32_t V = static_cast<uint32_t>(Bits);
+    std::memcpy(P, &V, 4);
+    return;
+  }
+  case 8: {
+    std::memcpy(P, &Bits, 8);
+    return;
+  }
+  default:
+    break;
+  }
+#endif
+  for (unsigned I = 0; I != Bytes; ++I)
+    P[I] = static_cast<uint8_t>(Bits >> (8 * I));
+}
+
+/// Bytes touched by a Load/Store of \p Ty.
+inline uint64_t accessSize(const Type *Ty) {
+  if (const auto *ST = dyn_cast<ScalarType>(Ty))
+    return ST->byteWidth();
+  if (const auto *VT = dyn_cast<VectorType>(Ty))
+    return static_cast<uint64_t>(VT->getElementType()->byteWidth()) *
+           VT->getNumLanes();
+  return 8;
+}
+
+/// Op::Convert semantics applied to a slot in place (no trap paths).
+/// Shared by the plain handler and FusedLoadConvert.
+inline void convertInPlace(Value &V, const Insn &I) {
+  if (const auto *VT = dyn_cast<VectorType>(I.Ty)) {
+    const auto *SrcVT = cast<VectorType>(V.Ty);
+    bool SrcSigned = SrcVT->getElementType()->isSigned();
+    unsigned SrcW = SrcVT->getElementType()->bitWidth();
+    unsigned DstW = VT->getElementType()->bitWidth();
+    unsigned N = VT->getNumLanes();
+    for (unsigned L = 0; L != N; ++L) {
+      uint64_t Bits =
+          SrcSigned ? static_cast<uint64_t>(signExtend(V.Lanes[L], SrcW))
+                    : V.Lanes[L];
+      V.Lanes[L] = maskToWidth(Bits, DstW);
+    }
+    if (V.NumLanes > N)
+      clearLanesFrom(V, N);
+    V.NumLanes = N;
+    V.Ty = VT;
+    return;
+  }
+  if (isa<PointerType>(I.Ty)) {
+    if (V.NumLanes > 1)
+      clearLanesFrom(V, 1);
+    V.NumLanes = 1;
+    V.Ty = I.Ty;
+    return;
+  }
+  const auto *DstST = cast<ScalarType>(I.Ty);
+  uint64_t Bits = V.Lanes[0];
+  if (const auto *SrcST = dyn_cast_if_present<ScalarType>(V.Ty))
+    if (SrcST->isSigned())
+      Bits = static_cast<uint64_t>(signExtend(Bits, SrcST->bitWidth()));
+  if (V.NumLanes > 1)
+    clearLanesFrom(V, 1);
+  V.Lanes[0] = maskToWidth(Bits, DstST->bitWidth());
+  V.NumLanes = 1;
+  V.Ty = I.Ty;
+}
+
+//===----------------------------------------------------------------------===//
+// The execution engine
+//===----------------------------------------------------------------------===//
+
+/// The execution engine. Default-constructed once and reusable: run()
+/// re-binds the module/buffers/options and resets all per-launch state,
+/// while thread contexts, operand stacks and arenas keep their
+/// capacity (and their 0xab poison above the previous launch's
+/// high-water mark) across launches — the zero-allocation fast path.
 class Engine {
 public:
-  Engine(const CompiledModule &M, std::vector<Buffer> &Buffers,
-         const std::vector<KernelArg> &Args, const LaunchOptions &Opts)
-      : M(M), Buffers(Buffers), Args(Args), Opts(Opts),
-        Sched(Opts.SchedulerSeed ^ 0x9e3779b97f4a7c15ULL) {}
+  Engine() : Sched(0) {}
 
-  LaunchResult run();
+  LaunchResult run(const CompiledModule &Mod, std::vector<Buffer> &Bufs,
+                   const std::vector<KernelArg> &ArgList,
+                   const LaunchOptions &OptsIn);
 
 private:
-  StepResult step(ThreadCtx &T);
+  StepResult runSliceSwitch(ThreadCtx &T, uint64_t MaxSteps,
+                            uint64_t &ExecutedOut);
+#if CLFUZZ_VM_HAVE_GOTO
+  StepResult runSliceGoto(ThreadCtx &T, uint64_t MaxSteps,
+                          uint64_t &ExecutedOut);
+#endif
   bool runGroup(uint32_t GX, uint32_t GY, uint32_t GZ);
 
   uint8_t *resolve(ThreadCtx &T, uint64_t Ptr, uint64_t Size,
@@ -199,18 +480,26 @@ private:
   void recordAccess(ThreadCtx &T, uint64_t Ptr, uint64_t Size, bool Write,
                     bool Atomic);
 
-  Value loadValue(const uint8_t *P, const Type *Ty);
-  void storeValue(uint8_t *P, const Value &V);
+  /// Resolves, race-checks and loads through \p PtrBits into \p Slot
+  /// (fully overwriting it, stale lanes included). False on trap.
+  bool loadIntoSlot(ThreadCtx &T, Value &Slot, uint64_t PtrBits,
+                    const Insn &I);
+  /// Op::Bin semantics: L op= R in place. False on division by zero
+  /// (trap already reported). Shared by Bin and the fused handlers.
+  bool binInPlace(ThreadCtx &T, const Insn &I, Value &L, const Value &R);
+
+  static void loadInto(Value &Out, const uint8_t *P, const Type *Ty);
+  static void storeValue(uint8_t *P, const Value &V);
 
   void trap(ThreadCtx &T, TrapCode TC, const std::string &Extra = "");
 
-  const CompiledModule &M;
-  std::vector<Buffer> &Buffers;
-  const std::vector<KernelArg> &Args;
+  const CompiledModule *M = nullptr;
+  std::vector<Buffer> *Buffers = nullptr;
+  const std::vector<KernelArg> *Args = nullptr;
   LaunchOptions Opts;
   Rng Sched;
 
-  std::vector<ThreadCtx> Threads;
+  std::vector<ThreadCtx> Threads; // high-water sized; use [0, W) only
   std::vector<uint8_t> LocalArena;
   RaceDetector Races;
   uint32_t LocalEpoch = 0;
@@ -220,6 +509,9 @@ private:
   uint64_t Steps = 0;
   LaunchResult Result;
   bool Aborted = false;
+  bool UseGoto = false;
+  uint64_t LaunchId = 0;      // monotonically increasing, 1-based
+  uint64_t FusedInLaunch = 0; // superinstruction dispatches this launch
 };
 
 } // namespace
@@ -242,6 +534,8 @@ uint8_t *Engine::resolve(ThreadCtx &T, uint64_t Ptr, uint64_t Size,
       TC = TrapCode::OutOfBounds;
       return nullptr;
     }
+    if (ForWrite && Off + Size > T.ArenaDirtyHigh)
+      T.ArenaDirtyHigh = Off + Size;
     return T.Arena.data() + Off;
   case AddressSpace::Local:
     if (Off + Size > LocalArena.size()) {
@@ -252,11 +546,11 @@ uint8_t *Engine::resolve(ThreadCtx &T, uint64_t Ptr, uint64_t Size,
   case AddressSpace::Global:
   case AddressSpace::Constant: {
     unsigned Buf = vmptr::buffer(Ptr);
-    if (Buf >= Buffers.size()) {
+    if (Buf >= Buffers->size()) {
       TC = TrapCode::BadPointer;
       return nullptr;
     }
-    Buffer &B = Buffers[Buf];
+    Buffer &B = (*Buffers)[Buf];
     if (ForWrite && B.Space == AddressSpace::Constant) {
       TC = TrapCode::BadPointer;
       return nullptr;
@@ -290,42 +584,48 @@ void Engine::recordAccess(ThreadCtx &T, uint64_t Ptr, uint64_t Size,
                  vmptr::offset(Ptr), Size, A);
 }
 
-Value Engine::loadValue(const uint8_t *P, const Type *Ty) {
-  auto ReadScalar = [P](unsigned Bytes, unsigned At) {
-    uint64_t V = 0;
-    for (unsigned I = 0; I != Bytes; ++I)
-      V |= static_cast<uint64_t>(P[At + I]) << (8 * I);
-    return V;
-  };
+void Engine::loadInto(Value &Out, const uint8_t *P, const Type *Ty) {
+  // \p Out satisfies the stack invariant on entry (lanes >= NumLanes
+  // zero), so only lanes [N, Out.NumLanes) can hold stale data. The
+  // common case — loading a scalar over the pointer that addressed it —
+  // clears nothing.
+  unsigned Prev = Out.NumLanes;
   if (const auto *VT = dyn_cast<VectorType>(Ty)) {
     unsigned EB = VT->getElementType()->byteWidth();
-    std::array<uint64_t, 16> Lanes = {};
-    for (unsigned L = 0; L != VT->getNumLanes(); ++L)
-      Lanes[L] = ReadScalar(EB, L * EB);
-    return Value::vector(VT, Lanes);
+    unsigned W = VT->getElementType()->bitWidth();
+    unsigned N = VT->getNumLanes();
+    for (unsigned L = 0; L != N; ++L)
+      Out.Lanes[L] = maskToWidth(readLE(P + L * EB, EB), W);
+    for (unsigned L = N; L < Prev; ++L)
+      Out.Lanes[L] = 0;
+    Out.Ty = VT;
+    Out.NumLanes = N;
+    return;
   }
-  if (const auto *ST = dyn_cast<ScalarType>(Ty))
-    return Value::scalar(ST, ReadScalar(ST->byteWidth(), 0));
+  for (unsigned L = 1; L < Prev; ++L)
+    Out.Lanes[L] = 0;
+  Out.NumLanes = 1;
+  Out.Ty = Ty;
+  if (const auto *ST = dyn_cast<ScalarType>(Ty)) {
+    Out.Lanes[0] = maskToWidth(readLE(P, ST->byteWidth()), ST->bitWidth());
+    return;
+  }
   assert(isa<PointerType>(Ty) && "loading a non-loadable type");
-  return Value::scalar(Ty, ReadScalar(8, 0));
+  Out.Lanes[0] = readLE(P, 8);
 }
 
 void Engine::storeValue(uint8_t *P, const Value &V) {
-  auto WriteScalar = [P](unsigned Bytes, unsigned At, uint64_t Bits) {
-    for (unsigned I = 0; I != Bytes; ++I)
-      P[At + I] = static_cast<uint8_t>(Bits >> (8 * I));
-  };
   if (const auto *VT = dyn_cast<VectorType>(V.Ty)) {
     unsigned EB = VT->getElementType()->byteWidth();
     for (unsigned L = 0; L != VT->getNumLanes(); ++L)
-      WriteScalar(EB, L * EB, V.Lanes[L]);
+      writeLE(P + L * EB, EB, V.Lanes[L]);
     return;
   }
   if (const auto *ST = dyn_cast<ScalarType>(V.Ty)) {
-    WriteScalar(ST->byteWidth(), 0, V.Lanes[0]);
+    writeLE(P, ST->byteWidth(), V.Lanes[0]);
     return;
   }
-  WriteScalar(8, 0, V.Lanes[0]);
+  writeLE(P, 8, V.Lanes[0]);
 }
 
 void Engine::trap(ThreadCtx &T, TrapCode TC, const std::string &Extra) {
@@ -338,443 +638,71 @@ void Engine::trap(ThreadCtx &T, TrapCode TC, const std::string &Extra) {
   Result.Message = OS.str();
 }
 
-//===----------------------------------------------------------------------===//
-// Instruction interpretation
-//===----------------------------------------------------------------------===//
-
-StepResult Engine::step(ThreadCtx &T) {
-  Frame &F = T.Stack.back();
-  const CompiledFunction &Fn = M.Functions[F.Func];
-  assert(F.PC < Fn.Code.size() && "program counter out of range");
-  const Insn &I = Fn.Code[F.PC++];
-  auto &Ops = T.Operands;
-
-  auto PopV = [&Ops]() {
-    Value V = std::move(Ops.back());
-    Ops.pop_back();
-    return V;
-  };
-
-  switch (I.Opcode) {
-  case Op::PushConst:
-    Ops.push_back(Value::scalar(I.Ty, I.Imm));
-    return StepResult::Continue;
-  case Op::FrameAddr:
-    Ops.push_back(Value::scalar(
-        nullptr, vmptr::make(AddressSpace::Private, 0, F.Base + I.Imm)));
-    return StepResult::Continue;
-  case Op::GroupAddr:
-    Ops.push_back(Value::scalar(
-        nullptr, vmptr::make(AddressSpace::Local, 0, I.Imm)));
-    return StepResult::Continue;
-  case Op::Load: {
-    Value Ptr = PopV();
-    uint64_t Size = 0;
-    if (const auto *ST = dyn_cast<ScalarType>(I.Ty))
-      Size = ST->byteWidth();
-    else if (const auto *VT = dyn_cast<VectorType>(I.Ty))
-      Size = static_cast<uint64_t>(VT->getElementType()->byteWidth()) *
-             VT->getNumLanes();
-    else
-      Size = 8;
-    TrapCode TC;
-    uint8_t *P = resolve(T, Ptr.bits(), Size, /*ForWrite=*/false, TC);
-    if (!P) {
-      trap(T, TC, "load");
-      return StepResult::Trapped;
-    }
-    recordAccess(T, Ptr.bits(), Size, /*Write=*/false, /*Atomic=*/false);
-    Ops.push_back(loadValue(P, I.Ty));
-    return StepResult::Continue;
+bool Engine::loadIntoSlot(ThreadCtx &T, Value &Slot, uint64_t PtrBits,
+                          const Insn &I) {
+  uint64_t Size = accessSize(I.Ty);
+  TrapCode TC;
+  uint8_t *P = resolve(T, PtrBits, Size, /*ForWrite=*/false, TC);
+  if (!P) {
+    trap(T, TC, "load");
+    return false;
   }
-  case Op::Store:
-  case Op::StoreKeep: {
-    Value V = PopV();
-    Value Ptr = PopV();
-    if (!V.Ty)
-      V.Ty = I.Ty;
-    uint64_t Size = 0;
-    if (const auto *ST = dyn_cast<ScalarType>(I.Ty))
-      Size = ST->byteWidth();
-    else if (const auto *VT = dyn_cast<VectorType>(I.Ty))
-      Size = static_cast<uint64_t>(VT->getElementType()->byteWidth()) *
-             VT->getNumLanes();
-    else
-      Size = 8;
-    TrapCode TC;
-    uint8_t *P = resolve(T, Ptr.bits(), Size, /*ForWrite=*/true, TC);
-    if (!P) {
-      trap(T, TC, "store");
-      return StepResult::Trapped;
-    }
-    recordAccess(T, Ptr.bits(), Size, /*Write=*/true, /*Atomic=*/false);
-    storeValue(P, V);
-    if (I.Opcode == Op::StoreKeep)
-      Ops.push_back(std::move(V));
-    return StepResult::Continue;
-  }
-  case Op::MemCopy: {
-    Value Src = PopV();
-    Value Dst = PopV();
-    TrapCode TC;
-    uint8_t *SP = resolve(T, Src.bits(), I.Imm, /*ForWrite=*/false, TC);
-    if (!SP) {
-      trap(T, TC, "copy source");
-      return StepResult::Trapped;
-    }
-    uint8_t *DP = resolve(T, Dst.bits(), I.Imm, /*ForWrite=*/true, TC);
-    if (!DP) {
-      trap(T, TC, "copy destination");
-      return StepResult::Trapped;
-    }
-    recordAccess(T, Src.bits(), I.Imm, false, false);
-    recordAccess(T, Dst.bits(), I.Imm, true, false);
-    std::memmove(DP, SP, I.Imm);
-    return StepResult::Continue;
-  }
-  case Op::MemSet: {
-    Value Dst = PopV();
-    TrapCode TC;
-    uint8_t *DP = resolve(T, Dst.bits(), I.Imm, /*ForWrite=*/true, TC);
-    if (!DP) {
-      trap(T, TC, "memset");
-      return StepResult::Trapped;
-    }
-    recordAccess(T, Dst.bits(), I.Imm, true, false);
-    std::memset(DP, static_cast<int>(I.A), I.Imm);
-    return StepResult::Continue;
-  }
-  case Op::GepConst: {
-    Value Ptr = PopV();
-    Ptr.Lanes[0] += I.Imm; // offset arithmetic stays inside the box
-    Ops.push_back(std::move(Ptr));
-    return StepResult::Continue;
-  }
-  case Op::GepScaled: {
-    Value Index = PopV();
-    Value Ptr = PopV();
-    int64_t Idx = Index.Ty && cast<ScalarType>(Index.Ty)->isSigned()
-                      ? Index.asSigned()
-                      : static_cast<int64_t>(Index.bits());
-    Ptr.Lanes[0] += static_cast<uint64_t>(Idx * static_cast<int64_t>(I.Imm));
-    Ops.push_back(std::move(Ptr));
-    return StepResult::Continue;
-  }
-  case Op::Bin: {
-    Value R = PopV();
-    Value L = PopV();
-    BinOp BO = static_cast<BinOp>(I.A);
-    LaneType LT = laneTypeOf(L.Ty ? L.Ty : I.Ty);
-    Value Out;
-    Out.Ty = I.Ty;
-    if (const auto *VT = dyn_cast<VectorType>(I.Ty)) {
-      Out.NumLanes = VT->getNumLanes();
-      unsigned RW = VT->getElementType()->bitWidth();
-      bool VecCmp = isComparisonOp(BO) || isLogicalOp(BO);
-      for (unsigned Lane = 0; Lane != Out.NumLanes; ++Lane) {
-        if (!evalBinLane(BO, LT, L.Lanes[Lane], R.Lanes[Lane], VecCmp, RW,
-                         Out.Lanes[Lane])) {
-          trap(T, TrapCode::DivByZero);
-          return StepResult::Trapped;
-        }
-      }
-    } else {
-      Out.NumLanes = 1;
-      if (!evalBinLane(BO, LT, L.Lanes[0], R.Lanes[0], false, 32,
-                       Out.Lanes[0])) {
-        trap(T, TrapCode::DivByZero);
-        return StepResult::Trapped;
-      }
-      if (const auto *ST = dyn_cast<ScalarType>(I.Ty))
-        Out.Lanes[0] = maskToWidth(Out.Lanes[0], ST->bitWidth());
-    }
-    Ops.push_back(std::move(Out));
-    return StepResult::Continue;
-  }
-  case Op::Un: {
-    Value V = PopV();
-    UnOp UO = static_cast<UnOp>(I.A);
-    LaneType LT = laneTypeOf(V.Ty ? V.Ty : I.Ty);
-    Value Out;
-    Out.Ty = I.Ty;
-    Out.NumLanes = V.NumLanes;
-    for (unsigned Lane = 0; Lane != V.NumLanes; ++Lane) {
-      switch (UO) {
-      case UnOp::Minus:
-        Out.Lanes[Lane] = maskToWidth(0 - V.Lanes[Lane], LT.Width);
-        break;
-      case UnOp::BitNot:
-        Out.Lanes[Lane] = maskToWidth(~V.Lanes[Lane], LT.Width);
-        break;
-      case UnOp::Not:
-        Out.Lanes[Lane] = V.Lanes[Lane] == 0 ? 1 : 0;
-        break;
-      default:
-        assert(false && "unexpected unary op in VM");
-        break;
-      }
-    }
-    Ops.push_back(std::move(Out));
-    return StepResult::Continue;
-  }
-  case Op::Convert: {
-    Value V = PopV();
-    Value Out;
-    Out.Ty = I.Ty;
-    if (const auto *VT = dyn_cast<VectorType>(I.Ty)) {
-      const auto *SrcVT = cast<VectorType>(V.Ty);
-      bool SrcSigned = SrcVT->getElementType()->isSigned();
-      unsigned SrcW = SrcVT->getElementType()->bitWidth();
-      unsigned DstW = VT->getElementType()->bitWidth();
-      Out.NumLanes = VT->getNumLanes();
-      for (unsigned L = 0; L != Out.NumLanes; ++L) {
-        uint64_t Bits = SrcSigned
-                            ? static_cast<uint64_t>(
-                                  signExtend(V.Lanes[L], SrcW))
-                            : V.Lanes[L];
-        Out.Lanes[L] = maskToWidth(Bits, DstW);
-      }
-    } else if (isa<PointerType>(I.Ty)) {
-      Out.NumLanes = 1;
-      Out.Lanes[0] = V.Lanes[0];
-    } else {
-      const auto *DstST = cast<ScalarType>(I.Ty);
-      Out.NumLanes = 1;
-      uint64_t Bits = V.Lanes[0];
-      if (const auto *SrcST = dyn_cast_if_present<ScalarType>(V.Ty))
-        if (SrcST->isSigned())
-          Bits = static_cast<uint64_t>(
-              signExtend(Bits, SrcST->bitWidth()));
-      Out.Lanes[0] = maskToWidth(Bits, DstST->bitWidth());
-    }
-    Ops.push_back(std::move(Out));
-    return StepResult::Continue;
-  }
-  case Op::Splat: {
-    Value V = PopV();
-    const auto *VT = cast<VectorType>(I.Ty);
-    Value Out;
-    Out.Ty = VT;
-    Out.NumLanes = VT->getNumLanes();
-    uint64_t Bits =
-        maskToWidth(V.Lanes[0], VT->getElementType()->bitWidth());
-    for (unsigned L = 0; L != Out.NumLanes; ++L)
-      Out.Lanes[L] = Bits;
-    Ops.push_back(std::move(Out));
-    return StepResult::Continue;
-  }
-  case Op::VecBuild: {
-    const auto *VT = cast<VectorType>(I.Ty);
-    std::vector<Value> Elems(I.A);
-    for (unsigned K = I.A; K != 0; --K)
-      Elems[K - 1] = PopV();
-    Value Out;
-    Out.Ty = VT;
-    Out.NumLanes = VT->getNumLanes();
-    unsigned Lane = 0;
-    for (const Value &E : Elems)
-      for (unsigned L = 0; L != E.NumLanes && Lane < 16; ++L)
-        Out.Lanes[Lane++] = E.Lanes[L];
-    Ops.push_back(std::move(Out));
-    return StepResult::Continue;
-  }
-  case Op::VecExtract: {
-    Value V = PopV();
-    Ops.push_back(Value::scalar(I.Ty, V.Lanes[I.A]));
-    return StepResult::Continue;
-  }
-  case Op::VecShuffle: {
-    Value V = PopV();
-    const auto *VT = cast<VectorType>(I.Ty);
-    Value Out;
-    Out.Ty = VT;
-    Out.NumLanes = VT->getNumLanes();
-    for (unsigned K = 0; K != I.A; ++K)
-      Out.Lanes[K] = V.Lanes[(I.Imm >> (4 * K)) & 0xf];
-    Ops.push_back(std::move(Out));
-    return StepResult::Continue;
-  }
-  case Op::VecInsert: {
-    Value S = PopV();
-    Value V = PopV();
-    V.Lanes[I.A] = maskToWidth(
-        S.Lanes[0],
-        cast<VectorType>(V.Ty)->getElementType()->bitWidth());
-    Ops.push_back(std::move(V));
-    return StepResult::Continue;
-  }
-  case Op::Call: {
-    if (T.Stack.size() >= Opts.MaxCallDepth) {
-      trap(T, TrapCode::CallDepth);
-      return StepResult::Trapped;
-    }
-    const CompiledFunction &Callee = M.Functions[I.A];
-    uint64_t Base = (T.ArenaTop + 7) & ~7ULL;
-    if (Base + Callee.FrameSize > T.Arena.size()) {
-      trap(T, TrapCode::StackOverflow);
-      return StepResult::Trapped;
-    }
-    // Deterministic garbage so uninitialised reads cannot distinguish
-    // pass pipelines.
-    std::memset(T.Arena.data() + Base, 0xab, Callee.FrameSize);
-    // Pop arguments (pushed left-to-right) into parameter slots.
-    for (size_t K = Callee.Params.size(); K != 0; --K) {
-      Value A = PopV();
-      if (!A.Ty)
-        A.Ty = Callee.Params[K - 1].Ty;
-      storeValue(T.Arena.data() + Base + Callee.Params[K - 1].FrameOffset,
-                 A);
-    }
-    T.ArenaTop = Base + Callee.FrameSize;
-    T.Stack.push_back(Frame{I.A, 0, Base});
-    return StepResult::Continue;
-  }
-  case Op::Ret:
-  case Op::RetVoid: {
-    uint64_t Base = T.Stack.back().Base;
-    T.Stack.pop_back();
-    T.ArenaTop = Base;
-    if (T.Stack.empty()) {
-      T.State = TState::Finished;
-      return StepResult::Done;
-    }
-    return StepResult::Continue;
-  }
-  case Op::Jump:
-    F.PC = I.A;
-    return StepResult::Continue;
-  case Op::JumpIfFalse: {
-    Value V = PopV();
-    if (!V.truthy())
-      F.PC = I.A;
-    return StepResult::Continue;
-  }
-  case Op::Pop:
-    Ops.pop_back();
-    return StepResult::Continue;
-  case Op::Dup:
-    Ops.push_back(Ops.back());
-    return StepResult::Continue;
-  case Op::Rot3: {
-    size_t N = Ops.size();
-    assert(N >= 3 && "Rot3 needs three operands");
-    std::swap(Ops[N - 1], Ops[N - 2]); // [x z y]
-    std::swap(Ops[N - 2], Ops[N - 3]); // [z x y]
-    return StepResult::Continue;
-  }
-  case Op::Barrier:
-    T.State = TState::AtBarrier;
-    T.BarrierSite = I.A;
-    ++T.BarrierCount;
-    T.PendingFence = static_cast<uint8_t>(I.B);
-    return StepResult::Blocked;
-  case Op::AtomicRMW: {
-    Value Operand;
-    bool HasOperand = I.B == 0;
-    if (HasOperand)
-      Operand = PopV();
-    Value Ptr = PopV();
-    TrapCode TC;
-    uint8_t *P = resolve(T, Ptr.bits(), 4, /*ForWrite=*/true, TC);
-    if (!P) {
-      trap(T, TC, "atomic");
-      return StepResult::Trapped;
-    }
-    recordAccess(T, Ptr.bits(), 4, /*Write=*/true, /*Atomic=*/true);
-    uint32_t Old;
-    std::memcpy(&Old, P, 4);
-    bool Signed = cast<ScalarType>(I.Ty)->isSigned();
-    uint32_t New = static_cast<uint32_t>(
-        evalAtomic(static_cast<Builtin>(I.A), Signed, Old,
-                   static_cast<uint32_t>(Operand.Lanes[0])));
-    std::memcpy(P, &New, 4);
-    Ops.push_back(Value::scalar(I.Ty, Old));
-    return StepResult::Continue;
-  }
-  case Op::AtomicCas: {
-    Value NewV = PopV();
-    Value CmpV = PopV();
-    Value Ptr = PopV();
-    TrapCode TC;
-    uint8_t *P = resolve(T, Ptr.bits(), 4, /*ForWrite=*/true, TC);
-    if (!P) {
-      trap(T, TC, "atomic_cmpxchg");
-      return StepResult::Trapped;
-    }
-    recordAccess(T, Ptr.bits(), 4, /*Write=*/true, /*Atomic=*/true);
-    uint32_t Old;
-    std::memcpy(&Old, P, 4);
-    if (Old == static_cast<uint32_t>(CmpV.Lanes[0])) {
-      uint32_t New = static_cast<uint32_t>(NewV.Lanes[0]);
-      std::memcpy(P, &New, 4);
-    }
-    Ops.push_back(Value::scalar(I.Ty, Old));
-    return StepResult::Continue;
-  }
-  case Op::BuiltinEval: {
-    Builtin B = static_cast<Builtin>(I.A);
-    Value A2, A1, A0;
-    if (I.B >= 3)
-      A2 = PopV();
-    if (I.B >= 2)
-      A1 = PopV();
-    A0 = PopV();
-    LaneType LT = laneTypeOf(A0.Ty ? A0.Ty : I.Ty);
-    Value Out;
-    Out.Ty = I.Ty;
-    Out.NumLanes = A0.NumLanes;
-    for (unsigned L = 0; L != A0.NumLanes; ++L) {
-      uint64_t ArgBits[3] = {A0.Lanes[L], A1.Lanes[L], A2.Lanes[L]};
-      Out.Lanes[L] = evalBuiltinLane(B, LT, ArgBits);
-    }
-    Ops.push_back(std::move(Out));
-    return StepResult::Continue;
-  }
-  case Op::WorkItem: {
-    Value Dim = PopV();
-    uint64_t D = Dim.bits();
-    Builtin B = static_cast<Builtin>(I.A);
-    uint64_t V = 0;
-    if (D > 2) {
-      V = (B == Builtin::GetGlobalId || B == Builtin::GetLocalId ||
-           B == Builtin::GetGroupId)
-              ? 0
-              : 1;
-    } else {
-      switch (B) {
-      case Builtin::GetGlobalId:
-        V = T.GlobalId[D];
-        break;
-      case Builtin::GetLocalId:
-        V = T.LocalId[D];
-        break;
-      case Builtin::GetGroupId:
-        V = T.GroupId[D];
-        break;
-      case Builtin::GetGlobalSize:
-        V = Opts.Range.Global[D];
-        break;
-      case Builtin::GetLocalSize:
-        V = Opts.Range.Local[D];
-        break;
-      case Builtin::GetNumGroups:
-        V = Opts.Range.numGroups(static_cast<unsigned>(D));
-        break;
-      default:
-        assert(false && "unexpected work-item builtin");
-        break;
-      }
-    }
-    Ops.push_back(Value::scalar(I.Ty, V));
-    return StepResult::Continue;
-  }
-  case Op::Trap:
-    trap(T, static_cast<TrapCode>(I.A));
-    return StepResult::Trapped;
-  }
-  assert(false && "unknown opcode");
-  return StepResult::Trapped;
+  if (Opts.DetectRaces)
+    recordAccess(T, PtrBits, Size, /*Write=*/false, /*Atomic=*/false);
+  loadInto(Slot, P, I.Ty);
+  return true;
 }
+
+bool Engine::binInPlace(ThreadCtx &T, const Insn &I, Value &L,
+                        const Value &R) {
+  BinOp BO = static_cast<BinOp>(I.A);
+  LaneType LT = laneTypeOf(L.Ty ? L.Ty : I.Ty);
+  if (const auto *VT = dyn_cast<VectorType>(I.Ty)) {
+    unsigned N = VT->getNumLanes();
+    unsigned RW = VT->getElementType()->bitWidth();
+    bool VecCmp = isComparisonOp(BO) || isLogicalOp(BO);
+    for (unsigned Lane = 0; Lane != N; ++Lane) {
+      // evalBinLane takes the inputs by value, so the output may alias
+      // lane storage; each lane depends only on its own inputs.
+      if (!evalBinLane(BO, LT, L.Lanes[Lane], R.Lanes[Lane], VecCmp, RW,
+                       L.Lanes[Lane])) {
+        trap(T, TrapCode::DivByZero);
+        return false;
+      }
+    }
+    if (L.NumLanes > N)
+      clearLanesFrom(L, N);
+    L.NumLanes = N;
+  } else {
+    uint64_t Out = 0;
+    if (!evalBinLane(BO, LT, L.Lanes[0], R.Lanes[0], false, 32, Out)) {
+      trap(T, TrapCode::DivByZero);
+      return false;
+    }
+    if (const auto *ST = dyn_cast<ScalarType>(I.Ty))
+      Out = maskToWidth(Out, ST->bitWidth());
+    if (L.NumLanes > 1)
+      clearLanesFrom(L, 1);
+    L.Lanes[0] = Out;
+    L.NumLanes = 1;
+  }
+  L.Ty = I.Ty;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction interpretation (two expansions of one implementation)
+//===----------------------------------------------------------------------===//
+
+#define VMI_FN_NAME runSliceSwitch
+#define VMI_USE_GOTO 0
+#include "vm/VMInterp.inc"
+
+#if CLFUZZ_VM_HAVE_GOTO
+#define VMI_FN_NAME runSliceGoto
+#define VMI_USE_GOTO 1
+#include "vm/VMInterp.inc"
+#endif
 
 //===----------------------------------------------------------------------===//
 // Group execution and scheduling
@@ -791,9 +719,12 @@ bool Engine::runGroup(uint32_t GX, uint32_t GY, uint32_t GZ) {
   Races.resetLocal();
   std::fill(LocalArena.begin(), LocalArena.end(), 0xab);
 
-  const CompiledFunction &Kernel = M.kernel();
+  const CompiledFunction &Kernel = M->kernel();
 
-  Threads.resize(W);
+  // Never shrink: a later launch with fewer work-items must not free
+  // the arenas a bigger one allocated. Only [0, W) is live.
+  if (Threads.size() < W)
+    Threads.resize(W);
   uint32_t TIdx = 0;
   for (uint32_t LZ = 0; LZ != R.Local[2]; ++LZ) {
     for (uint32_t LY = 0; LY != R.Local[1]; ++LY) {
@@ -802,8 +733,18 @@ bool Engine::runGroup(uint32_t GX, uint32_t GY, uint32_t GZ) {
         T.State = TState::Runnable;
         T.Stack.clear();
         T.Operands.clear();
-        if (T.Arena.size() != Opts.PrivateArenaSize)
+        if (T.Arena.size() != Opts.PrivateArenaSize) {
           T.Arena.assign(Opts.PrivateArenaSize, 0xab);
+          T.ArenaDirtyHigh = 0;
+        } else if (T.LaunchStamp != LaunchId) {
+          // Engine reuse: re-poison only what the previous launch
+          // dirtied; everything above still holds 0xab.
+          std::memset(T.Arena.data(), 0xab,
+                      static_cast<size_t>(std::min<uint64_t>(
+                          T.ArenaDirtyHigh, T.Arena.size())));
+          T.ArenaDirtyHigh = 0;
+        }
+        T.LaunchStamp = LaunchId;
         T.ArenaTop = 8;
         T.LocalId[0] = LX;
         T.LocalId[1] = LY;
@@ -822,42 +763,48 @@ bool Engine::runGroup(uint32_t GX, uint32_t GY, uint32_t GZ) {
         T.LocalLinear = (LZ * R.Local[1] + LY) * R.Local[0] + LX;
         T.BarrierSite = 0;
         T.BarrierCount = 0;
+        T.PendingFence = 0;
 
         uint64_t Base = (T.ArenaTop + 7) & ~7ULL;
         std::memset(T.Arena.data() + Base, 0xab, Kernel.FrameSize);
+        if (Base + Kernel.FrameSize > T.ArenaDirtyHigh)
+          T.ArenaDirtyHigh = Base + Kernel.FrameSize;
         // Bind kernel arguments into the entry frame.
-        for (size_t AI = 0; AI != Args.size(); ++AI) {
+        for (size_t AI = 0; AI != Args->size(); ++AI) {
           const CompiledParam &P = Kernel.Params[AI];
           Value V;
-          if (Args[AI].IsBuffer) {
-            const Buffer &B = Buffers[Args[AI].BufferIndex];
+          if ((*Args)[AI].IsBuffer) {
+            const Buffer &B = (*Buffers)[(*Args)[AI].BufferIndex];
             V = Value::scalar(
-                P.Ty, vmptr::make(B.Space, Args[AI].BufferIndex, 0));
+                P.Ty, vmptr::make(B.Space, (*Args)[AI].BufferIndex, 0));
           } else {
-            V = Args[AI].Scalar;
+            V = (*Args)[AI].Scalar;
             V.Ty = P.Ty;
           }
           storeValue(T.Arena.data() + Base + P.FrameOffset, V);
         }
         T.ArenaTop = Base + Kernel.FrameSize;
-        T.Stack.push_back(Frame{M.KernelIndex, 0, Base});
+        T.Stack.push_back(Frame{M->KernelIndex, 0, Base});
       }
     }
   }
 
-  std::vector<uint32_t> Runnable;
-  Runnable.reserve(W);
+  // The runnable set, kept sorted by thread index and maintained
+  // incrementally: only the picked thread can leave it (quantum expiry
+  // keeps it runnable; a barrier or return removes it), and a barrier
+  // release re-admits every thread. Indexing the sorted list with the
+  // scheduler draw is therefore byte-identical to the historical
+  // rebuild-and-scan loop while costing O(1) per slice instead of
+  // O(work-group size).
+  std::vector<uint32_t> Runnable(W);
+  for (uint32_t K = 0; K != W; ++K)
+    Runnable[K] = K;
   for (;;) {
-    Runnable.clear();
-    for (uint32_t K = 0; K != W; ++K)
-      if (Threads[K].State == TState::Runnable)
-        Runnable.push_back(K);
-
     if (Runnable.empty()) {
       uint32_t Blocked = 0, Finished = 0;
-      for (const ThreadCtx &T : Threads) {
-        Blocked += T.State == TState::AtBarrier;
-        Finished += T.State == TState::Finished;
+      for (uint32_t K = 0; K != W; ++K) {
+        Blocked += Threads[K].State == TState::AtBarrier;
+        Finished += Threads[K].State == TState::Finished;
       }
       if (Blocked == 0)
         return true; // group complete
@@ -871,7 +818,8 @@ bool Engine::runGroup(uint32_t GX, uint32_t GY, uint32_t GZ) {
       // All blocked: sites and arrival counts must agree.
       uint32_t Site = Threads[0].BarrierSite;
       uint32_t Count = Threads[0].BarrierCount;
-      for (const ThreadCtx &T : Threads) {
+      for (uint32_t K = 0; K != W; ++K) {
+        const ThreadCtx &T = Threads[K];
         if (T.BarrierSite != Site || T.BarrierCount != Count) {
           Result.Status = LaunchStatus::BarrierDivergence;
           std::ostringstream OS;
@@ -889,52 +837,101 @@ bool Engine::runGroup(uint32_t GX, uint32_t GY, uint32_t GZ) {
         ++LocalEpoch;
       if (Fence & BarrierStmt::GlobalFence)
         ++GlobalEpoch;
-      for (ThreadCtx &T : Threads)
-        T.State = TState::Runnable;
+      Runnable.resize(W);
+      for (uint32_t K = 0; K != W; ++K) {
+        Threads[K].State = TState::Runnable;
+        Runnable[K] = K;
+      }
       continue;
     }
 
-    uint32_t Pick = Runnable[Sched.below(Runnable.size())];
+    uint32_t Slot = static_cast<uint32_t>(Sched.below(Runnable.size()));
+    uint32_t Pick = Runnable[Slot];
     uint64_t Slice = 64 + Sched.below(448);
-    ThreadCtx &T = Threads[Pick];
-    for (uint64_t S = 0; S != Slice; ++S) {
-      if (++Steps > Opts.StepBudget) {
-        Result.Status = LaunchStatus::Timeout;
-        Result.Message = "step budget exhausted";
-        Aborted = true;
-        return false;
-      }
-      StepResult SR = step(T);
-      if (SR == StepResult::Trapped)
-        return false;
-      if (SR != StepResult::Continue)
-        break;
+    // The scheduler draws happen before the budget check, exactly as
+    // the old per-instruction loop ordered them.
+    uint64_t BudgetLeft = Opts.StepBudget - Steps;
+    if (BudgetLeft == 0) {
+      ++Steps; // the step that would have exceeded the budget
+      Result.Status = LaunchStatus::Timeout;
+      Result.Message = "step budget exhausted";
+      Aborted = true;
+      return false;
     }
+    ThreadCtx &T = Threads[Pick];
+    uint64_t Max = std::min(Slice, BudgetLeft);
+    uint64_t Executed = 0;
+#if CLFUZZ_VM_HAVE_GOTO
+    StepResult SR = UseGoto ? runSliceGoto(T, Max, Executed)
+                            : runSliceSwitch(T, Max, Executed);
+#else
+    StepResult SR = runSliceSwitch(T, Max, Executed);
+#endif
+    Steps += Executed;
+    if (SR == StepResult::Trapped)
+      return false;
+    if (T.State != TState::Runnable)
+      Runnable.erase(Runnable.begin() + Slot);
   }
 }
 
-LaunchResult Engine::run() {
+LaunchResult Engine::run(const CompiledModule &Mod,
+                         std::vector<Buffer> &Bufs,
+                         const std::vector<KernelArg> &ArgList,
+                         const LaunchOptions &OptsIn) {
+  M = &Mod;
+  Buffers = &Bufs;
+  Args = &ArgList;
+  Opts = OptsIn;
+  // Per-launch reset: identical state to a freshly constructed engine,
+  // minus the allocations.
+  Sched.reseed(Opts.SchedulerSeed ^ 0x9e3779b97f4a7c15ULL);
+  Steps = 0;
+  Result = LaunchResult();
+  Aborted = false;
+  Races.reset();
+  LocalEpoch = 0;
+  GlobalEpoch = 0;
+  CurGroupLinear = 0;
+  FusedInLaunch = 0;
+  UseGoto = vmDispatchMode() == VmDispatch::Goto;
+  bool Reused = LaunchId != 0;
+  ++LaunchId;
+
+  auto Finish = [&]() -> LaunchResult {
+    GInstructions.fetch_add(Steps, std::memory_order_relaxed);
+    GFusedExecuted.fetch_add(FusedInLaunch, std::memory_order_relaxed);
+    GLaunches.fetch_add(1, std::memory_order_relaxed);
+    if (Reused)
+      GEngineReuses.fetch_add(1, std::memory_order_relaxed);
+    return Result;
+  };
+
   const NDRange &R = Opts.Range;
   if (!R.valid()) {
     Result.Status = LaunchStatus::InvalidLaunch;
     Result.Message = "work-group sizes must divide the global sizes";
-    return Result;
+    return Finish();
   }
-  const CompiledFunction &Kernel = M.kernel();
-  if (Args.size() != Kernel.Params.size()) {
+  const CompiledFunction &Kernel = M->kernel();
+  if (Args->size() != Kernel.Params.size()) {
     Result.Status = LaunchStatus::InvalidLaunch;
     Result.Message = "kernel argument count mismatch";
-    return Result;
+    return Finish();
   }
-  for (const KernelArg &A : Args) {
-    if (A.IsBuffer && A.BufferIndex >= Buffers.size()) {
+  for (const KernelArg &A : *Args) {
+    if (A.IsBuffer && A.BufferIndex >= Buffers->size()) {
       Result.Status = LaunchStatus::InvalidLaunch;
       Result.Message = "kernel argument names a missing buffer";
-      return Result;
+      return Finish();
     }
   }
 
-  LocalArena.assign(std::max<uint64_t>(M.LocalArenaSize, 1), 0xab);
+  // runGroup poisons the local arena before each group, so reuse only
+  // needs the size to match.
+  uint64_t LASize = std::max<uint64_t>(M->LocalArenaSize, 1);
+  if (LocalArena.size() != LASize)
+    LocalArena.resize(LASize);
 
   for (uint32_t GZ = 0; GZ != R.numGroups(2) && !Aborted; ++GZ)
     for (uint32_t GY = 0; GY != R.numGroups(1) && !Aborted; ++GY)
@@ -949,13 +946,35 @@ LaunchResult Engine::run() {
     Result.RaceFound = true;
     Result.RaceMessage = Races.Message;
   }
-  return Result;
+  return Finish();
+}
+
+//===----------------------------------------------------------------------===//
+// Launch API
+//===----------------------------------------------------------------------===//
+
+struct VmInstance::Impl {
+  Engine E;
+};
+
+VmInstance::VmInstance() : P(std::make_unique<Impl>()) {}
+VmInstance::~VmInstance() = default;
+VmInstance::VmInstance(VmInstance &&) noexcept = default;
+VmInstance &VmInstance::operator=(VmInstance &&) noexcept = default;
+
+LaunchResult VmInstance::launch(const CompiledModule &Module,
+                                std::vector<Buffer> &Buffers,
+                                const std::vector<KernelArg> &Args,
+                                const LaunchOptions &Opts) {
+  return P->E.run(Module, Buffers, Args, Opts);
 }
 
 LaunchResult clfuzz::launchKernel(const CompiledModule &Module,
                                   std::vector<Buffer> &Buffers,
                                   const std::vector<KernelArg> &Args,
                                   const LaunchOptions &Opts) {
-  Engine E(Module, Buffers, Args, Opts);
-  return E.run();
+  // One engine per thread: back-to-back launches (campaign cells,
+  // reduction probes) hit the zero-allocation reuse path.
+  thread_local VmInstance PerThreadVm;
+  return PerThreadVm.launch(Module, Buffers, Args, Opts);
 }

@@ -37,6 +37,7 @@
 #include "vm/Bytecode.h"
 #include "vm/Value.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -138,9 +139,87 @@ struct LaunchResult {
   bool ok() const { return Status == LaunchStatus::Success; }
 };
 
+//===----------------------------------------------------------------------===//
+// Interpreter tuning (dispatch strategy, superinstruction fusion)
+//===----------------------------------------------------------------------===//
+
+/// Dispatch strategy for the interpreter hot loop. Both strategies
+/// share one handler-body implementation and are bit-identical in
+/// every observable output; only wall-clock speed differs.
+enum class VmDispatch : uint8_t {
+  Switch, ///< portable for(;;)/switch loop
+  Goto,   ///< token-threaded computed-goto loop (GCC/Clang extension)
+};
+
+/// True when the binary was compiled with computed-goto support.
+bool vmHasGotoDispatch();
+
+/// The process-wide dispatch mode. Resolved once from
+/// `CLFUZZ_VM_DISPATCH=switch|goto` (default: goto where compiled in),
+/// unless overridden via setVmDispatchMode (the `--vm-dispatch=` flag,
+/// conformance tests). Requests for Goto degrade to Switch when the
+/// feature is not compiled in.
+VmDispatch vmDispatchMode();
+void setVmDispatchMode(VmDispatch D);
+const char *vmDispatchName(VmDispatch D);
+/// Parses "switch" / "goto"; returns false on anything else.
+bool parseVmDispatch(const char *Name, VmDispatch &Out);
+
+/// Process-wide superinstruction-fusion toggle, resolved once from
+/// `CLFUZZ_VM_FUSE=0|1` (default on) unless overridden. Read at
+/// codegen time; fused and unfused modules execute bit-identically.
+bool vmFusionEnabled();
+void setVmFusionEnabled(bool Enabled);
+
+/// Cumulative per-process interpreter counters (monotonic, updated
+/// once per launch — never from the hot loop). Worker processes
+/// (procs/remote backends) accumulate their own; the coordinator only
+/// sees launches it executed in-process.
+struct VmCounters {
+  uint64_t Instructions = 0;  ///< dynamic instructions (fused pair = 2)
+  uint64_t FusedExecuted = 0; ///< superinstruction dispatches (pair = 1)
+  uint64_t Launches = 0;      ///< kernel launches executed
+  uint64_t EngineReuses = 0;  ///< launches served by a reused engine
+};
+VmCounters vmCounters();
+
+//===----------------------------------------------------------------------===//
+// Launch API
+//===----------------------------------------------------------------------===//
+
+/// A reusable launch session. Successive launches reuse the engine's
+/// thread contexts, operand stacks and arenas (re-poisoned to the
+/// deterministic 0xab fill up to their previous high-water mark), so
+/// the cells of a campaign column pay the allocation cost once. Reuse
+/// is observationally identical to constructing a fresh engine per
+/// launch — including after a Trap, Timeout or BarrierDivergence —
+/// which VmDispatchConformanceTest pins. Not thread-safe; use one
+/// instance per thread.
+class VmInstance {
+public:
+  VmInstance();
+  ~VmInstance();
+  VmInstance(VmInstance &&) noexcept;
+  VmInstance &operator=(VmInstance &&) noexcept;
+
+  /// Executes \p Module over \p Opts.Range, binding \p Args (buffer
+  /// arguments index into \p Buffers, which the kernel mutates in
+  /// place).
+  LaunchResult launch(const CompiledModule &Module,
+                      std::vector<Buffer> &Buffers,
+                      const std::vector<KernelArg> &Args,
+                      const LaunchOptions &Opts);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
+
 /// Executes \p Module over \p Opts.Range, binding \p Args (buffer
 /// arguments index into \p Buffers, which the kernel mutates in
-/// place).
+/// place). Launches run on a per-thread VmInstance, so back-to-back
+/// launches on one thread reuse engine state (zero-allocation fast
+/// path); construct a VmInstance directly for explicit control.
 LaunchResult launchKernel(const CompiledModule &Module,
                           std::vector<Buffer> &Buffers,
                           const std::vector<KernelArg> &Args,
