@@ -1,0 +1,203 @@
+//===- scheduler_throughput.cpp - Campaign-scheduler overhead ----------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures what multiplexing costs: the same three campaigns (diff,
+/// hunt, EMI) run twice over one backend —
+///
+///   solo         one after another through runCampaignTask, the
+///                pre-scheduler way
+///   interleaved  concurrently through CampaignScheduler (round-robin)
+///
+/// and the run reports the wall-clock ratio, the scheduler's fairness
+/// (grant spread over the window where every campaign is live; 1.0 =
+/// perfectly even), and — the part that actually matters — an
+/// identity check: every campaign's interleaved report must be
+/// byte-identical to its solo run. A mismatch fails the bench with a
+/// nonzero exit, so CI can gate on it.
+///
+/// Emits machine-readable `BENCH_sched.json`; the committed copy
+/// lives at bench/BENCH_sched.json.
+///
+///   --kernels=N   hunt campaign size (default 6; --full = 40)
+///   --threads=N --backend=B --shard-size=N --cache=M  as everywhere
+///   --json=PATH   where to write BENCH_sched.json (default: CWD)
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "device/DeviceConfig.h"
+#include "sched/CampaignScheduler.h"
+#include "sched/Campaigns.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace clfuzz;
+using namespace clfuzz::bench;
+
+namespace {
+
+/// Reads everything written to \p F and closes it.
+std::string readAll(std::FILE *F) {
+  std::fflush(F);
+  std::rewind(F);
+  std::string S;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    S.append(Buf, N);
+  std::fclose(F);
+  return S;
+}
+
+struct CampaignSet {
+  std::vector<std::unique_ptr<CampaignTask>> Tasks;
+  HuntCampaign Hunt; ///< keeps the hunt's queue alive
+  std::vector<std::FILE *> Outs;
+  std::vector<const char *> Names;
+};
+
+/// Builds the bench's three campaigns against \p Backend, each with a
+/// fresh tmpfile report stream.
+CampaignSet buildCampaigns(const HarnessArgs &Args, ExecBackend &Backend,
+                           unsigned ShardSize, unsigned HuntKernels) {
+  CampaignSet S;
+  DiffSpec DS;
+  DS.Gen.Seed = Args.Seed + 9;
+  HuntSpec HS;
+  HS.Mode = GenMode::Basic;
+  HS.ModeName = "BASIC";
+  HS.Seed = Args.Seed;
+  HS.Count = HuntKernels;
+  EmiSpec ES;
+  ES.Bases = Args.Full ? 2 : 1;
+  ES.SeedBase = Args.Seed + 4242;
+
+  S.Outs = {std::tmpfile(), std::tmpfile(), std::tmpfile()};
+  for (std::FILE *F : S.Outs)
+    if (!F) {
+      std::fprintf(stderr, "tmpfile failed\n");
+      std::exit(1);
+    }
+  S.Names = {"diff", "hunt", "emi"};
+  S.Tasks.push_back(makeDiffTask(DS, Backend, S.Outs[0]));
+  S.Hunt = makeHuntCampaign(HS, ShardSize, Backend, S.Outs[1]);
+  S.Tasks.push_back(makeEmiTask(ES, ShardSize, Backend, S.Outs[2]));
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // Peel off --json= (harness-local) before the shared flag parser
+  // sees it.
+  std::string JsonPath = "BENCH_sched.json";
+  std::vector<char *> Rest = {Argv[0]};
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+    else
+      Rest.push_back(Argv[I]);
+  }
+  HarnessArgs Args = parseArgs(static_cast<int>(Rest.size()), Rest.data());
+  unsigned HuntKernels = Args.Kernels ? Args.Kernels : (Args.Full ? 40 : 6);
+
+  ExecOptions Opts = Args.execOptions();
+  std::unique_ptr<ExecBackend> Backend = makeBackend(Opts);
+  unsigned ShardSize = Opts.resolvedShardSize();
+
+  std::printf("scheduler throughput: diff + hunt(%u kernels) + emi over "
+              "the %s backend (%u workers)\n\n",
+              HuntKernels, backendKindName(Opts.Backend), Opts.Threads);
+
+  // Phase 1: solo-sequential — each campaign owns the backend
+  // end-to-end, the pre-scheduler baseline.
+  CampaignSet Solo = buildCampaigns(Args, *Backend, ShardSize, HuntKernels);
+  auto Start = std::chrono::steady_clock::now();
+  runCampaignTask(*Solo.Tasks[0]);
+  runCampaignTask(*Solo.Hunt.Main);
+  runCampaignTask(*Solo.Tasks[1]);
+  std::chrono::duration<double> SoloElapsed =
+      std::chrono::steady_clock::now() - Start;
+  std::vector<std::string> Want = {readAll(Solo.Outs[0]),
+                                   readAll(Solo.Outs[1]),
+                                   readAll(Solo.Outs[2])};
+
+  // Phase 2: interleaved — the scheduler round-robins shards of all
+  // three campaigns over the same backend.
+  CampaignSet Inter = buildCampaigns(Args, *Backend, ShardSize, HuntKernels);
+  CampaignScheduler Sched(*Backend);
+  Sched.add("diff", *Inter.Tasks[0]);
+  Sched.add("hunt", *Inter.Hunt.Main);
+  Sched.add("emi", *Inter.Tasks[1]);
+  Start = std::chrono::steady_clock::now();
+  Sched.runToCompletion();
+  std::chrono::duration<double> InterElapsed =
+      std::chrono::steady_clock::now() - Start;
+  std::vector<std::string> Got = {readAll(Inter.Outs[0]),
+                                  readAll(Inter.Outs[1]),
+                                  readAll(Inter.Outs[2])};
+
+  bool Identical = Got == Want;
+  double Overhead = SoloElapsed.count() > 0.0
+                        ? InterElapsed.count() / SoloElapsed.count()
+                        : 1.0;
+
+  // Fairness: over the window where every campaign is still live
+  // (the shortest campaign's step count, times the campaign count),
+  // round-robin should spread grants evenly. 1.0 = perfectly even.
+  size_t MinSteps = static_cast<size_t>(-1);
+  for (const ScheduledCampaign &C : Sched.campaigns())
+    MinSteps = std::min(MinSteps, C.Stats.Steps);
+  size_t Window =
+      std::min(Sched.allocationTrace().size(),
+               MinSteps * Sched.campaigns().size());
+  std::vector<size_t> Grants(Sched.campaigns().size(), 0);
+  for (size_t I = 0; I != Window; ++I)
+    ++Grants[Sched.allocationTrace()[I]];
+  size_t MaxG = *std::max_element(Grants.begin(), Grants.end());
+  size_t MinG = *std::min_element(Grants.begin(), Grants.end());
+  double Fairness =
+      MaxG ? static_cast<double>(MinG) / static_cast<double>(MaxG) : 1.0;
+
+  std::printf("%-14s %10s  %s\n", "phase", "seconds", "result");
+  printRule();
+  std::printf("%-14s %10.3f  baseline\n", "solo", SoloElapsed.count());
+  std::printf("%-14s %10.3f  %s\n", "interleaved", InterElapsed.count(),
+              Identical ? "identical to solo" : "MISMATCH vs solo");
+  std::printf("\ninterleaved/solo: %.3fx wall-clock, fairness %.2f over "
+              "%zu grants (%zu total)\n",
+              Overhead, Fairness, Window,
+              Sched.allocationTrace().size());
+  for (const ScheduledCampaign &C : Sched.campaigns())
+    std::printf("  %-5s steps=%zu tests=%zu jobs=%zu witnesses=%zu\n",
+                C.Name.c_str(), C.Stats.Steps, C.Stats.Tests, C.Stats.Jobs,
+                C.Stats.Witnesses);
+
+  std::FILE *J = std::fopen(JsonPath.c_str(), "w");
+  if (!J) {
+    std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+    return 1;
+  }
+  std::fprintf(J,
+               "{\"bench\":\"scheduler_throughput\",\"backend\":\"%s\","
+               "\"hunt_kernels\":%u,\"solo_seconds\":%.6f,"
+               "\"interleaved_seconds\":%.6f,\"overhead\":%.4f,"
+               "\"fairness_ratio\":%.4f,\"grants\":%zu,"
+               "\"identical\":%s}\n",
+               backendKindName(Opts.Backend), HuntKernels,
+               SoloElapsed.count(), InterElapsed.count(), Overhead,
+               Fairness, Sched.allocationTrace().size(),
+               Identical ? "true" : "false");
+  std::fclose(J);
+  std::printf("wrote %s\n", JsonPath.c_str());
+
+  return Identical ? 0 : 1;
+}

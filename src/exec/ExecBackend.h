@@ -86,6 +86,21 @@ public:
   virtual std::vector<RunOutcome>
   runColumns(const std::vector<ExecColumn> &Columns);
 
+  /// Runs a batch of columns with per-column dispatch priorities
+  /// (higher first). The scheduler uses this as its soft-preemption
+  /// hook: columns belonging to a higher-priority campaign lane (e.g.
+  /// reductions) enter the backend's in-flight window before the rest
+  /// of the shard, so under a saturated fleet they claim slots first —
+  /// but every column still runs, and the returned outcome vector is
+  /// re-keyed to the *submission* column order, byte-identical to
+  /// runColumns(Columns) for any priority assignment. Priorities never
+  /// enter job descriptors: cache keys and the wire format are
+  /// untouched. Non-virtual by design — the permutation layer sits on
+  /// top of whichever runColumns() the concrete backend provides.
+  std::vector<RunOutcome>
+  runColumnsPrioritized(const std::vector<ExecColumn> &Columns,
+                        const std::vector<unsigned> &Priorities);
+
   /// Runs \p Body(I) for every I in [0, N) *in this process*. Sources
   /// use this for generation-side work (building TestCases, EMI
   /// variants) whose closures cannot cross a process boundary; only

@@ -37,6 +37,55 @@ struct PipelineStats {
   size_t PeakResidentTests = 0;
 };
 
+/// Stepwise form of the sharded campaign runner: each step() pulls one
+/// shard from the source, runs it on the backend, and feeds the sink —
+/// exactly one backend batch per step. The campaign scheduler
+/// (src/sched/) interleaves many of these over one shared backend at
+/// shard granularity; because each step is a self-contained
+/// pull-run-consume cycle in the campaign's own submission order, an
+/// interleaved campaign's source pulls, backend batches and sink
+/// calls are byte-for-byte the same sequence as its solo run. This is
+/// also the scheduler's preemption point: a campaign can only lose the
+/// backend between steps (drain-then-reassign at shard boundaries,
+/// never mid-job).
+///
+/// Sink.finish() fires exactly once, on the step() that exhausts the
+/// source. runShardedCampaign() below is a loop over this class.
+class ShardedCampaignRun {
+public:
+  /// See runShardedCampaign for the ExpandJobs / Progress contracts.
+  ShardedCampaignRun(
+      TestSource &Source, ExecBackend &Backend, unsigned ShardSize,
+      std::function<void(size_t TestIndex, const TestCase &Test,
+                         std::vector<ExecJob> &Jobs)>
+          ExpandJobs,
+      ResultSink &Sink, std::function<void(size_t TestsDone)> Progress = {});
+
+  /// Runs one shard; returns false once the source is exhausted (the
+  /// exhausting call finishes the sink and returns false; later calls
+  /// are no-ops returning false). \p DispatchPriority, when nonzero,
+  /// is applied to every column of this shard's batch via
+  /// ExecBackend::runColumnsPrioritized — outcomes are unchanged, but
+  /// the shard's columns enter a contended backend's in-flight window
+  /// ahead of priority-0 work.
+  bool step(unsigned DispatchPriority = 0);
+
+  bool done() const { return Done; }
+  const PipelineStats &stats() const { return Stats; }
+
+private:
+  TestSource &Source;
+  ExecBackend &Backend;
+  unsigned ShardSize;
+  std::function<void(size_t TestIndex, const TestCase &Test,
+                     std::vector<ExecJob> &Jobs)>
+      ExpandJobs;
+  ResultSink &Sink;
+  std::function<void(size_t TestsDone)> Progress;
+  PipelineStats Stats;
+  bool Done = false;
+};
+
 /// Runs the pipeline until \p Source is exhausted.
 ///
 /// \p ExpandJobs appends the jobs of one test (in a fixed cell order

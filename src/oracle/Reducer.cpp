@@ -584,7 +584,14 @@ TestCase reduceImpl(const TestCase &Input, const ExpandFn &Expand,
   }
   Local.InitialLines = countCodeLines(Best.Source);
 
-  std::unique_ptr<ExecBackend> Backend = makeBackend(Opts.Exec);
+  // A caller-injected backend (Opts.Backend — the scheduler's shared
+  // fleet) takes precedence; otherwise the reducer owns its own.
+  std::unique_ptr<ExecBackend> Owned;
+  ExecBackend *Backend = Opts.Backend;
+  if (!Backend) {
+    Owned = makeBackend(Opts.Exec);
+    Backend = Owned.get();
+  }
 
   auto Finish = [&] {
     Local.FinalLines = countCodeLines(Best.Source);
@@ -612,8 +619,13 @@ TestCase reduceImpl(const TestCase &Input, const ExpandFn &Expand,
     Expand(Best, Jobs);
     // One test's cells: a single column, so the worker parses the
     // witness once for all its admissible cells.
+    std::vector<ExecColumn> Cols = groupIntoColumns(Jobs);
     std::vector<RunOutcome> Outs =
-        Backend->runColumns(groupIntoColumns(Jobs));
+        Opts.DispatchPriority != 0
+            ? Backend->runColumnsPrioritized(
+                  Cols, std::vector<unsigned>(Cols.size(),
+                                              Opts.DispatchPriority))
+            : Backend->runColumns(Cols);
     bool Interesting = Judge(Best, Outs);
     if (Opts.Trace) {
       ReduceTraceEvent E;
@@ -686,12 +698,14 @@ TestCase reduceImpl(const TestCase &Input, const ExpandFn &Expand,
       ReductionCandidateSource Source(
           Round, Chunk, Opts.Pipeline,
           Opts.MaxCandidates - Local.CandidatesTried);
-      runShardedCampaign(Source, *Backend, Chunk,
-                         [&](size_t, const TestCase &T,
-                             std::vector<ExecJob> &Jobs) {
-                           Expand(T, Jobs);
-                         },
-                         Sink);
+      ShardedCampaignRun CandidateRun(
+          Source, *Backend, Chunk,
+          [&](size_t, const TestCase &T, std::vector<ExecJob> &Jobs) {
+            Expand(T, Jobs);
+          },
+          Sink);
+      while (CandidateRun.step(Opts.DispatchPriority))
+        ;
     }
 
     if (Round.Accepted) {

@@ -185,6 +185,21 @@ struct ReducerOptions {
   /// Largest number of mutations combined into one candidate during
   /// escalation (combo sizes double: 2, 4, ... up to this cap).
   unsigned MaxMultiMutations = 4;
+  /// When set, candidate probes run on this caller-owned backend and
+  /// Exec only tunes shard size; when null (the default) the reducer
+  /// builds its own backend from Exec. The campaign scheduler injects
+  /// its shared backend here — safe because it serializes every step
+  /// it grants, so no two reductions (or a reduction and a campaign
+  /// shard) ever contend for the batch state. Threaded ReductionQueue
+  /// workers must leave this null: concurrent jobs sharing one
+  /// backend would race.
+  ExecBackend *Backend = nullptr;
+  /// Dispatch priority for the candidate-probe batches (see
+  /// ExecBackend::runColumnsPrioritized). The scheduler's reduction
+  /// lane sets this nonzero so reduction probes enter a contended
+  /// backend's in-flight window ahead of priority-0 work; outcomes —
+  /// and therefore the reduction — are byte-identical at any value.
+  unsigned DispatchPriority = 0;
   /// Optional deterministic trace sink.
   ReduceTraceFn Trace;
 };

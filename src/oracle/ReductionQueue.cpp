@@ -14,8 +14,10 @@ using namespace clfuzz;
 ReductionQueue::ReductionQueue(ReducerOptions Opts, unsigned Workers,
                                bool CaptureTrace)
     : Opts(std::move(Opts)), CaptureTrace(CaptureTrace) {
-  Threads.reserve(std::max(Workers, 1u));
-  for (unsigned I = 0; I != std::max(Workers, 1u); ++I)
+  // Workers == 0 is the scheduler-driven mode: a passive store with no
+  // threads, serviced by runNextPending().
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I != Workers; ++I)
     Threads.emplace_back([this] { workerLoop(); });
 }
 
@@ -43,6 +45,34 @@ size_t ReductionQueue::submitted() const {
   return Submitted;
 }
 
+bool ReductionQueue::hasPending() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return !Pending.empty();
+}
+
+bool ReductionQueue::allDone() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Finished == Submitted;
+}
+
+bool ReductionQueue::runNextPending() {
+  ReductionJob Job;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Pending.empty())
+      return false;
+    Job = std::move(Pending.front());
+    Pending.pop_front();
+  }
+  runJob(std::move(Job));
+  return true;
+}
+
+void ReductionQueue::waitAll() {
+  std::unique_lock<std::mutex> Lock(M);
+  DoneCV.wait(Lock, [this] { return Finished == Submitted; });
+}
+
 std::vector<ReductionResult> ReductionQueue::drain() {
   std::unique_lock<std::mutex> Lock(M);
   DoneCV.wait(Lock, [this] { return Finished == Submitted; });
@@ -56,6 +86,42 @@ std::vector<ReductionResult> ReductionQueue::drain() {
   return Out;
 }
 
+void ReductionQueue::runJob(ReductionJob Job) {
+  ReductionResult R;
+  R.OrderKey = Job.OrderKey;
+  R.Label = Job.Label;
+
+  // Each job reduces with its own backend (reduceTest builds one from
+  // Opts.Exec) unless Opts.Backend injects a shared one — the
+  // scheduler does that, and serializes jobs so the share is safe.
+  ReducerOptions JobOpts = Opts;
+  if (CaptureTrace)
+    JobOpts.Trace = [&R, &Job](const ReduceTraceEvent &E) {
+      R.Trace += renderReduceTraceJsonl(E, Job.Label);
+    };
+  try {
+    R.Reduced = reduceTest(Job.Witness, *Job.Oracle, JobOpts, &R.Stats);
+  } catch (const std::exception &E) {
+    // A reduction that dies (its backend failing to fork, or the
+    // whole remote fleet unreachable) is one failed result, not a
+    // std::terminate for the whole hunt.
+    R.Reduced = std::move(Job.Witness);
+    R.Error = E.what();
+  } catch (...) {
+    // Anything escaping a worker thread would terminate the
+    // process; record it instead.
+    R.Reduced = std::move(Job.Witness);
+    R.Error = "unknown reduction failure";
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Results.push_back(std::move(R));
+    ++Finished;
+  }
+  DoneCV.notify_all();
+}
+
 void ReductionQueue::workerLoop() {
   for (;;) {
     ReductionJob Job;
@@ -67,39 +133,6 @@ void ReductionQueue::workerLoop() {
       Job = std::move(Pending.front());
       Pending.pop_front();
     }
-
-    ReductionResult R;
-    R.OrderKey = Job.OrderKey;
-    R.Label = Job.Label;
-
-    // Each job reduces with its own backend (reduceTest builds one
-    // from Opts.Exec), so reductions are isolated from each other and
-    // from the campaign that submitted them.
-    ReducerOptions JobOpts = Opts;
-    if (CaptureTrace)
-      JobOpts.Trace = [&R, &Job](const ReduceTraceEvent &E) {
-        R.Trace += renderReduceTraceJsonl(E, Job.Label);
-      };
-    try {
-      R.Reduced = reduceTest(Job.Witness, *Job.Oracle, JobOpts, &R.Stats);
-    } catch (const std::exception &E) {
-      // A reduction that dies (its backend failing to fork, or the
-      // whole remote fleet unreachable) is one failed result, not a
-      // std::terminate for the whole hunt.
-      R.Reduced = std::move(Job.Witness);
-      R.Error = E.what();
-    } catch (...) {
-      // Anything escaping a worker thread would terminate the
-      // process; record it instead.
-      R.Reduced = std::move(Job.Witness);
-      R.Error = "unknown reduction failure";
-    }
-
-    {
-      std::lock_guard<std::mutex> Lock(M);
-      Results.push_back(std::move(R));
-      ++Finished;
-    }
-    DoneCV.notify_all();
+    runJob(std::move(Job));
   }
 }

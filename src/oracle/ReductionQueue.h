@@ -21,6 +21,19 @@
 /// that job's ReductionResult::Error, never as a dead campaign.
 /// docs/reduction.md documents the full design.
 ///
+/// Two execution modes:
+///
+///  * Threaded (Workers >= 1): the historical mode. A fixed pool of
+///    background threads pops jobs FIFO, each reducing with its own
+///    backend built from Opts.Exec.
+///  * Scheduler-driven (Workers == 0): no threads are spawned; the
+///    queue is a passive job store and the campaign scheduler
+///    (src/sched/) pulls jobs one at a time via runNextPending() on
+///    its own thread — the queue's priority lane. In this mode
+///    ReducerOptions::Backend typically points at the scheduler's
+///    shared backend, which is safe precisely because the scheduler
+///    serializes steps.
+///
 /// Determinism: each job's reduction is bit-identical regardless of
 /// which worker runs it or when (reduceTest's contract), and drain()
 /// returns results sorted by (OrderKey, Label) - so a hunt's report is
@@ -67,10 +80,13 @@ struct ReductionResult {
   std::string Error;
 };
 
-/// Fixed-size pool of reduction workers fed from a FIFO.
+/// Pool of reduction workers fed from a FIFO — or, with Workers == 0,
+/// a passive store the campaign scheduler services.
 class ReductionQueue {
 public:
-  /// \p Workers background threads (>= 1) reduce jobs with \p Opts.
+  /// \p Workers background threads reduce jobs with \p Opts; with
+  /// Workers == 0 no threads are spawned and jobs only run when a
+  /// driver calls runNextPending() (the scheduler-driven mode above).
   /// When \p CaptureTrace is set, each job's JSONL trace is buffered
   /// and returned with its result (any ReducerOptions::Trace in
   /// \p Opts is replaced).
@@ -87,12 +103,31 @@ public:
   /// Number of jobs submitted so far.
   size_t submitted() const;
 
+  /// True while at least one submitted job has not been picked up yet.
+  bool hasPending() const;
+
+  /// True once every submitted job has finished (trivially true when
+  /// nothing was submitted).
+  bool allDone() const;
+
+  /// Runs the oldest pending job to completion on the calling thread;
+  /// returns false if nothing was pending. The scheduler's service
+  /// entry point in Workers == 0 mode; also safe (but unusual) beside
+  /// worker threads — the FIFO pop is atomic either way.
+  bool runNextPending();
+
+  /// Blocks until every submitted job finished. With Workers == 0 this
+  /// only returns once some thread ran the jobs via runNextPending();
+  /// a solo (threaded) driver uses it as its wait-for-quiet point.
+  void waitAll();
+
   /// Blocks until every submitted job finished; returns all results
   /// accumulated since the last drain, sorted by (OrderKey, Label).
   std::vector<ReductionResult> drain();
 
 private:
   void workerLoop();
+  void runJob(ReductionJob Job);
 
   ReducerOptions Opts;
   bool CaptureTrace;

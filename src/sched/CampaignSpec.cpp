@@ -1,0 +1,140 @@
+//===- CampaignSpec.cpp - --campaigns= specification parsing -----------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/CampaignSpec.h"
+
+#include <cstdio>
+
+using namespace clfuzz;
+
+namespace {
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t\r\n");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r\n");
+  return S.substr(B, E - B + 1);
+}
+
+bool parseOneDecl(const std::string &Entry, CampaignDecl &D,
+                  std::string &Error) {
+  size_t Open = Entry.find('(');
+  std::string Type = trim(Open == std::string::npos
+                              ? Entry
+                              : Entry.substr(0, Open));
+  if (Type != "hunt" && Type != "diff" && Type != "emi" &&
+      Type != "reduce") {
+    Error = "unknown campaign type '" + Type +
+            "' (use hunt, diff, emi or reduce)";
+    return false;
+  }
+  D.Type = Type;
+  if (Open == std::string::npos)
+    return true;
+  if (Entry.back() != ')') {
+    Error = "missing ')' in campaign '" + Entry + "'";
+    return false;
+  }
+  std::string Params = Entry.substr(Open + 1, Entry.size() - Open - 2);
+  size_t Pos = 0;
+  while (Pos <= Params.size()) {
+    size_t Comma = Params.find(',', Pos);
+    std::string P = trim(Comma == std::string::npos
+                             ? Params.substr(Pos)
+                             : Params.substr(Pos, Comma - Pos));
+    if (!P.empty()) {
+      size_t Eq = P.find('=');
+      if (Eq == std::string::npos)
+        D.Params[P] = "1"; // bare flag, like the CLI's --reduce
+      else
+        D.Params[trim(P.substr(0, Eq))] = trim(P.substr(Eq + 1));
+    }
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return true;
+}
+
+} // namespace
+
+bool clfuzz::parseCampaignSpec(const std::string &Spec,
+                               std::vector<CampaignDecl> &Out,
+                               std::string &Error) {
+  std::string Text = Spec;
+  if (!Text.empty() && Text[0] == '@') {
+    std::string Path = Text.substr(1);
+    std::FILE *F = std::fopen(Path.c_str(), "r");
+    if (!F) {
+      Error = "cannot open campaign file '" + Path + "'";
+      return false;
+    }
+    Text.clear();
+    char Buf[4096];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+      Text.append(Buf, N);
+    std::fclose(F);
+    // Config-file niceties: '#' comments, one declaration per line.
+    std::string Joined;
+    size_t Pos = 0;
+    while (Pos <= Text.size()) {
+      size_t Nl = Text.find('\n', Pos);
+      std::string Line = Nl == std::string::npos
+                             ? Text.substr(Pos)
+                             : Text.substr(Pos, Nl - Pos);
+      size_t Hash = Line.find('#');
+      if (Hash != std::string::npos)
+        Line = Line.substr(0, Hash);
+      Line = trim(Line);
+      if (!Line.empty()) {
+        if (!Joined.empty())
+          Joined += ';';
+        Joined += Line;
+      }
+      if (Nl == std::string::npos)
+        break;
+      Pos = Nl + 1;
+    }
+    Text = Joined;
+  }
+
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    // Split on ';' at paren depth 0 (param values never nest, but a
+    // future value could contain ';' inside parens).
+    int Depth = 0;
+    size_t End = Pos;
+    while (End < Text.size() && (Text[End] != ';' || Depth != 0)) {
+      if (Text[End] == '(')
+        ++Depth;
+      else if (Text[End] == ')')
+        --Depth;
+      ++End;
+    }
+    std::string Entry = trim(Text.substr(Pos, End - Pos));
+    if (!Entry.empty()) {
+      CampaignDecl D;
+      if (!parseOneDecl(Entry, D, Error))
+        return false;
+      auto It = D.Params.find("name");
+      D.Name = It != D.Params.end()
+                   ? It->second
+                   : "c" + std::to_string(Out.size()) + "-" + D.Type;
+      Out.push_back(std::move(D));
+    }
+    if (End >= Text.size())
+      break;
+    Pos = End + 1;
+  }
+  if (Out.empty()) {
+    Error = "empty --campaigns= specification";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,48 @@
+//===- CampaignSpec.h - --campaigns= specification parsing ------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the `clfuzz sched --campaigns=` specification: a
+/// semicolon-separated list of campaign declarations,
+///
+///   hunt(mode=BASIC,count=50,seed=1,reduce);diff(seed=9);emi(bases=2)
+///
+/// each `type(key=value,flag,...)` with types hunt, diff, emi and
+/// reduce; a bare `type` takes every default. `--campaigns=@FILE`
+/// reads the same grammar from a config file, one declaration per
+/// line (or ';'-separated), with '#' comments and blank lines
+/// ignored. Every declaration may carry `name=` — otherwise campaign
+/// I is named "c<I>-<type>". docs/scheduler.md tabulates the per-type
+/// keys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_SCHED_CAMPAIGNSPEC_H
+#define CLFUZZ_SCHED_CAMPAIGNSPEC_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+/// One parsed campaign declaration.
+struct CampaignDecl {
+  std::string Type; ///< "hunt", "diff", "emi" or "reduce"
+  std::string Name; ///< `name=` param or the "c<I>-<type>" default
+  std::map<std::string, std::string> Params; ///< flags map to "1"
+};
+
+/// Parses \p Spec (the literal --campaigns= value; a leading '@'
+/// loads the named file first). On success returns true and fills
+/// \p Out; on failure returns false and puts a message in \p Error.
+bool parseCampaignSpec(const std::string &Spec,
+                       std::vector<CampaignDecl> &Out, std::string &Error);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_SCHED_CAMPAIGNSPEC_H

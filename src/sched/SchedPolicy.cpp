@@ -1,0 +1,82 @@
+//===- SchedPolicy.cpp - Campaign slot-allocation policies -------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/SchedPolicy.h"
+
+#include <cassert>
+
+using namespace clfuzz;
+
+const char *clfuzz::schedPolicyName(SchedPolicyKind K) {
+  switch (K) {
+  case SchedPolicyKind::RoundRobin:
+    return "rr";
+  case SchedPolicyKind::YieldWeighted:
+    return "yield";
+  }
+  return "rr";
+}
+
+bool clfuzz::parseSchedPolicy(const std::string &Name,
+                              SchedPolicyKind &Out) {
+  if (Name == "rr" || Name == "round-robin") {
+    Out = SchedPolicyKind::RoundRobin;
+    return true;
+  }
+  if (Name == "yield" || Name == "yield-weighted") {
+    Out = SchedPolicyKind::YieldWeighted;
+    return true;
+  }
+  return false;
+}
+
+const char *clfuzz::schedLaneName(SchedLane L) {
+  switch (L) {
+  case SchedLane::Foreground:
+    return "fg";
+  case SchedLane::Reduction:
+    return "reduce";
+  }
+  return "fg";
+}
+
+size_t SchedPolicy::pick(const std::vector<size_t> &Candidates,
+                         const std::vector<unsigned> &Weights) {
+  assert(!Candidates.empty() && "pick() needs at least one candidate");
+  assert(Weights.size() == Candidates.size());
+
+  if (Kind == SchedPolicyKind::RoundRobin) {
+    // First candidate id strictly after the last winner, cyclically:
+    // with a stable ready set this is exact round-robin; when
+    // campaigns come and go it degrades gracefully to "next in id
+    // order".
+    for (size_t Id : Candidates)
+      if (Id > LastPick)
+        return LastPick = Id;
+    return LastPick = Candidates.front();
+  }
+
+  // Smooth weighted round-robin: every candidate earns its weight,
+  // the highest credit wins (tie: smaller id, because Candidates is
+  // increasing and the comparison is strict), and the winner is
+  // charged the round's total weight.
+  long long Total = 0;
+  for (unsigned W : Weights)
+    Total += W;
+  size_t Winner = Candidates.front();
+  long long Best = 0;
+  for (size_t I = 0; I != Candidates.size(); ++I) {
+    long long &C = Credit[Candidates[I]];
+    C += Weights[I];
+    if (I == 0 || C > Best) {
+      Best = C;
+      Winner = Candidates[I];
+    }
+  }
+  Credit[Winner] -= Total;
+  return Winner;
+}

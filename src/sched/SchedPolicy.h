@@ -1,0 +1,94 @@
+//===- SchedPolicy.h - Campaign slot-allocation policies --------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Slot-allocation policies for the campaign scheduler (src/sched/):
+/// given the set of campaigns that are ready to run, decide which one
+/// gets the backend for its next shard. Policies never touch
+/// execution — a pick only reorders *when* a campaign's next shard
+/// runs, never *what* it runs — so every policy preserves the
+/// byte-identity invariant by construction.
+///
+///  * RoundRobin: cycle through the ready set in campaign order; the
+///    fair-share baseline.
+///  * YieldWeighted: smooth weighted round-robin (the classic nginx
+///    algorithm: integer credits, no floats, no randomness) with each
+///    campaign's weight boosted by the distinct witnesses it produced
+///    over its recent steps — budget shifts toward campaigns currently
+///    yielding, per "Fuzzing at Scale: The Untold Story of the
+///    Scheduler" (PAPERS.md), while barren campaigns keep a weight-1
+///    floor so they are never starved outright.
+///
+/// docs/scheduler.md describes both policies and the determinism
+/// argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_SCHED_SCHEDPOLICY_H
+#define CLFUZZ_SCHED_SCHEDPOLICY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace clfuzz {
+
+enum class SchedPolicyKind : uint8_t {
+  RoundRobin,
+  YieldWeighted,
+};
+
+/// "rr" or "yield".
+const char *schedPolicyName(SchedPolicyKind K);
+
+/// Parses a --sched-policy= value; returns false on an unknown name.
+bool parseSchedPolicy(const std::string &Name, SchedPolicyKind &Out);
+
+/// Campaign lanes. The scheduler services Reduction-lane campaigns
+/// before Foreground ones whenever both are ready — the explicit
+/// priority lane that keeps `hunt --reduce` reductions from starving
+/// under a busy foreground campaign.
+enum class SchedLane : uint8_t {
+  Foreground,
+  Reduction,
+};
+
+/// "fg" or "reduce".
+const char *schedLaneName(SchedLane L);
+
+/// Deterministic slot-allocation policy. pick() is a pure function of
+/// the pick history and its arguments: no clocks, no randomness.
+class SchedPolicy {
+public:
+  explicit SchedPolicy(SchedPolicyKind Kind) : Kind(Kind) {}
+
+  SchedPolicyKind kind() const { return Kind; }
+
+  /// Picks one campaign id out of \p Candidates (non-empty, strictly
+  /// increasing ids). \p Weights[I] is Candidates[I]'s current weight
+  /// (>= 1); RoundRobin ignores it.
+  size_t pick(const std::vector<size_t> &Candidates,
+              const std::vector<unsigned> &Weights);
+
+private:
+  SchedPolicyKind Kind;
+  /// RoundRobin: the last winner, so the next pick is the first ready
+  /// campaign after it in cyclic id order.
+  size_t LastPick = static_cast<size_t>(-1);
+  /// YieldWeighted: smooth-WRR credit per campaign id. Each pick adds
+  /// every candidate's weight to its credit, picks the highest credit
+  /// (tie: smaller id), and charges the winner the round's total — so
+  /// over time each campaign's share of picks converges to its share
+  /// of the weights, with no bursts.
+  std::map<size_t, long long> Credit;
+};
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_SCHED_SCHEDPOLICY_H

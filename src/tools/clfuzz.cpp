@@ -13,6 +13,7 @@
 ///   clfuzz diff   --seed=N                        run on the whole zoo
 ///   clfuzz hunt   --mode=M --count=N              mini campaign
 ///   clfuzz reduce --seed=N --config=ID            shrink a witness
+///   clfuzz sched  --campaigns=SPEC                N campaigns, one fleet
 ///   clfuzz worker --listen=PORT                   serve remote campaigns
 ///   clfuzz configs                                list the zoo
 ///
@@ -56,6 +57,11 @@
 /// worker count and shard size. docs/architecture.md,
 /// docs/wire-protocol.md and docs/reduction.md specify all of this.
 ///
+/// `sched` multiplexes N of these campaigns over one shared backend
+/// (src/sched/, docs/scheduler.md): each campaign's report is
+/// byte-identical to its solo run, and --stats breaks every counter
+/// down per campaign.
+///
 //===----------------------------------------------------------------------===//
 
 #include "device/DeviceConfig.h"
@@ -66,9 +72,14 @@
 #include "gen/Generator.h"
 #include "oracle/Oracle.h"
 #include "oracle/ReductionQueue.h"
+#include "sched/CampaignScheduler.h"
+#include "sched/CampaignSpec.h"
+#include "sched/Campaigns.h"
 #include "support/StringUtil.h"
 #include "vm/VM.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -166,7 +177,8 @@ int cmdConfigs() {
   return 0;
 }
 
-void printCacheStats(const CliArgs &A, const ExecOptions &Opts);
+void printCacheStats(const CliArgs &A, const ExecOptions &Opts,
+                     const char *Campaign);
 
 int cmdRun(const CliArgs &A) {
   TestCase T = TestCase::fromGenerated(generateKernel(genOptionsFrom(A)));
@@ -191,7 +203,7 @@ int cmdRun(const CliArgs &A) {
     std::printf("  (%s)", O.Message.c_str());
   }
   std::printf("\n");
-  printCacheStats(A, ExecOptions());
+  printCacheStats(A, ExecOptions(), "run");
   return O.ok() ? 0 : 1;
 }
 
@@ -257,24 +269,30 @@ void applyCacheOptions(const CliArgs &A, ExecOptions &Opts) {
 
 /// The --stats epilogue: campaign output never changes with the cache
 /// or the interpreter's tuning, so the counters go to stderr, on their
-/// own lines, only when asked for. The vm_* counters cover launches
-/// this process executed — under procs/remote backends the workers
-/// keep their own (the coordinator's line then reports 0 launches).
-void printCacheStats(const CliArgs &A, const ExecOptions &Opts) {
+/// own lines, only when asked for. Every line is tagged with the
+/// campaign it covers (`campaign=hunt`, or the per-campaign names
+/// under `clfuzz sched`; `campaign=total` sums a sched run). The vm_*
+/// counters cover launches this process executed — under procs/remote
+/// backends the workers keep their own (the coordinator's line then
+/// reports 0 launches).
+void printCacheStats(const CliArgs &A, const ExecOptions &Opts,
+                     const char *Campaign) {
   if (!A.has("stats"))
     return;
   OutcomeCacheStats S;
   if (Opts.Cache)
     S = Opts.Cache->stats();
-  std::fprintf(stderr, "cache_hits=%llu cache_misses=%llu coalesced=%llu\n",
-               static_cast<unsigned long long>(S.Hits),
+  std::fprintf(stderr,
+               "campaign=%s cache_hits=%llu cache_misses=%llu "
+               "coalesced=%llu\n",
+               Campaign, static_cast<unsigned long long>(S.Hits),
                static_cast<unsigned long long>(S.Misses),
                static_cast<unsigned long long>(S.Coalesced));
   VmCounters V = vmCounters();
   std::fprintf(stderr,
-               "vm_dispatch=%s vm_instructions=%llu vm_fused=%llu "
-               "vm_launches=%llu vm_engine_reuses=%llu\n",
-               vmDispatchName(vmDispatchMode()),
+               "campaign=%s vm_dispatch=%s vm_instructions=%llu "
+               "vm_fused=%llu vm_launches=%llu vm_engine_reuses=%llu\n",
+               Campaign, vmDispatchName(vmDispatchMode()),
                static_cast<unsigned long long>(V.Instructions),
                static_cast<unsigned long long>(V.FusedExecuted),
                static_cast<unsigned long long>(V.Launches),
@@ -312,51 +330,18 @@ std::unique_ptr<ExecBackend> makeBackendOrDie(const ExecOptions &Opts) {
 }
 
 int cmdDiff(const CliArgs &A) {
+  DiffSpec Spec;
   // Validate the report format before any cell runs.
-  std::string Format = reportFormatFrom(A);
-  TestCase T = TestCase::fromGenerated(generateKernel(genOptionsFrom(A)));
-  std::vector<DeviceConfig> Zoo = buildConfigRegistry();
+  Spec.Format = reportFormatFrom(A);
+  Spec.Gen = genOptionsFrom(A);
   ExecOptions Opts = execOptionsFrom(A);
   std::unique_ptr<ExecBackend> Backend = makeBackendOrDie(Opts);
-  std::vector<ExecJob> Jobs;
-  std::vector<std::string> Labels;
-  for (const DeviceConfig &C : Zoo) {
-    for (bool Opt : {false, true}) {
-      Jobs.push_back(ExecJob::onConfig(T, C, Opt, RunSettings()));
-      Labels.push_back(std::to_string(C.Id) + (Opt ? "+" : "-"));
-    }
-  }
-  // The whole zoo runs one kernel: a single column, parsed once per
-  // worker instead of once per cell.
-  std::vector<RunOutcome> Outs =
-      Backend->runColumns(groupIntoColumns(Jobs));
-
-  if (Format == "csv" || Format == "jsonl") {
-    std::unique_ptr<ResultSink> Sink;
-    if (Format == "csv")
-      Sink = std::make_unique<CsvOutcomeSink>(stdout, Labels);
-    else
-      Sink = std::make_unique<JsonlOutcomeSink>(stdout, Labels);
-    Sink->consumeTest(0, T, Outs);
-    Sink->finish();
-    printCacheStats(A, Opts);
-    return 0;
-  }
-  std::vector<Verdict> Vs = classifyAgainstMajority(Outs);
-  unsigned Wrong = 0;
-  for (size_t I = 0; I != Vs.size(); ++I) {
-    std::printf("%-5s %-4s", Labels[I].c_str(),
-                verdictName(Vs[I]));
-    if (Outs[I].ok())
-      std::printf(" %s", toHex(Outs[I].OutputHash).c_str());
-    else
-      std::printf(" %s", Outs[I].Message.c_str());
-    std::printf("\n");
-    Wrong += Vs[I] == Verdict::Wrong;
-  }
-  std::printf("\n%u wrong-code verdicts\n", Wrong);
-  printCacheStats(A, Opts);
-  return 0;
+  // The task code is shared with `clfuzz sched`: a diff campaign
+  // interleaved with others steps through exactly this path.
+  std::unique_ptr<CampaignTask> Task = makeDiffTask(Spec, *Backend, stdout);
+  runCampaignTask(*Task);
+  printCacheStats(A, Opts, "diff");
+  return Task->exitCode();
 }
 
 namespace {
@@ -403,130 +388,42 @@ int cmdReduce(const CliArgs &A) {
                          "configuration the witness misbehaves on)\n");
     return 2;
   }
-  std::vector<DeviceConfig> Zoo = buildConfigRegistry();
-  const DeviceConfig &Config =
-      configById(Zoo, static_cast<int>(A.getInt("config", 0)));
-  bool Opt = A.has("opt");
-  TestCase T = TestCase::fromGenerated(generateKernel(genOptionsFrom(A)));
-
-  std::string Expect = A.get("expect", "wrong");
-  std::unique_ptr<ReductionOracle> Oracle;
-  if (Expect == "wrong")
-    Oracle = std::make_unique<DifferentialReductionOracle>(Config, Opt);
-  else if (Expect == "crash")
-    Oracle = std::make_unique<StatusReductionOracle>(Config, Opt,
-                                                     RunStatus::Crash);
-  else if (Expect == "timeout")
-    Oracle = std::make_unique<StatusReductionOracle>(Config, Opt,
-                                                     RunStatus::Timeout);
-  else if (Expect == "build-failure")
-    Oracle = std::make_unique<StatusReductionOracle>(
-        Config, Opt, RunStatus::BuildFailure);
-  else {
+  ReduceSpec Spec;
+  Spec.Expect = A.get("expect", "wrong");
+  if (Spec.Expect != "wrong" && Spec.Expect != "crash" &&
+      Spec.Expect != "timeout" && Spec.Expect != "build-failure") {
     std::fprintf(stderr,
                  "unknown --expect '%s' (use wrong, crash, timeout or "
                  "build-failure)\n",
-                 Expect.c_str());
+                 Spec.Expect.c_str());
     return 2;
   }
-
-  ReducerOptions RO = reducerOptionsFrom(A);
-  std::FILE *TraceFile = nullptr;
-  if (A.has("trace")) {
-    std::string Path = A.get("trace");
-    TraceFile = Path == "-" ? stderr : std::fopen(Path.c_str(), "w");
-    if (!TraceFile) {
-      std::fprintf(stderr, "cannot open trace file '%s'\n", Path.c_str());
-      return 2;
-    }
-    RO.Trace = makeJsonlReduceTrace(TraceFile);
-  }
-
-  ReduceStats Stats;
-  TestCase Reduced = reduceTest(T, *Oracle, RO, &Stats);
-  if (TraceFile && TraceFile != stderr)
-    std::fclose(TraceFile);
-  printCacheStats(A, RO.Exec);
-
-  std::string Cell = std::to_string(Config.Id) + (Opt ? "+" : "-");
-  if (!Stats.WitnessWasInteresting) {
-    std::fprintf(stderr,
-                 "witness is not interesting: seed %llu does not %s on "
-                 "config %s\n",
-                 static_cast<unsigned long long>(A.getInt("seed", 1)),
-                 Expect == "wrong" ? "miscompile" : Expect.c_str(),
-                 Cell.c_str());
-    return 1;
-  }
-
-  // The report is deliberately backend-silent: `reduce` output is
-  // byte-identical across --reduce-backend and --reduce-jobs.
-  std::printf("// reduced witness: seed %llu, config %s, %s\n",
-              static_cast<unsigned long long>(A.getInt("seed", 1)),
-              Cell.c_str(), Expect.c_str());
-  std::printf("// lines %u -> %u; %u candidates tried, %u kept, %u "
-              "skipped; %u rounds, %u escalations\n",
-              Stats.InitialLines, Stats.FinalLines, Stats.CandidatesTried,
-              Stats.CandidatesKept, Stats.CandidatesSkipped, Stats.Rounds,
-              Stats.Escalations);
-  std::printf("%s", Reduced.Source.c_str());
-  return 0;
+  Spec.Gen = genOptionsFrom(A);
+  Spec.ConfigId = static_cast<int>(A.getInt("config", 0));
+  Spec.Opt = A.has("opt");
+  Spec.Opts = reducerOptionsFrom(A);
+  Spec.TracePath = A.get("trace");
+  // The task code is shared with `clfuzz sched` (which additionally
+  // points Spec.Opts.Backend at its shared backend); the report is
+  // deliberately backend-silent, byte-identical across
+  // --reduce-backend and --reduce-jobs.
+  std::unique_ptr<CampaignTask> Task = makeReduceTask(Spec, stdout);
+  runCampaignTask(*Task);
+  printCacheStats(A, Spec.Opts.Exec, "reduce");
+  return Task->exitCode();
 }
-
-/// Streams hunt findings: votes per kernel as its cells arrive and
-/// prints wrong-code witnesses immediately, in seed order; with a
-/// reduction queue attached, every witness is also submitted for
-/// background shrinking while the hunt keeps going. Memory is one
-/// kernel's outcomes, regardless of --count.
-class HuntSink final : public ResultSink {
-public:
-  HuntSink(uint64_t SeedBase, std::vector<std::string> Labels,
-           const std::vector<DeviceConfig> &Targets,
-           ReductionQueue *Reductions)
-      : SeedBase(SeedBase), Labels(std::move(Labels)), Targets(Targets),
-        Reductions(Reductions) {}
-
-  void consumeTest(size_t TestIndex, const TestCase &T,
-                   const std::vector<RunOutcome> &Outs) override {
-    std::vector<Verdict> Vs = classifyAgainstMajority(Outs);
-    for (size_t I = 0; I != Vs.size(); ++I) {
-      if (Vs[I] != Verdict::Wrong)
-        continue;
-      ++Findings;
-      std::printf("seed %llu: wrong code on config %s\n",
-                  static_cast<unsigned long long>(SeedBase + TestIndex),
-                  Labels[I].c_str());
-      if (Reductions) {
-        ReductionJob Job;
-        Job.OrderKey = TestIndex * Labels.size() + I;
-        Job.Label = "seed " +
-                    std::to_string(SeedBase + TestIndex) + " config " +
-                    Labels[I];
-        Job.Witness = T;
-        Job.Oracle = std::make_shared<DifferentialReductionOracle>(
-            Targets[I / 2], /*Opt=*/I % 2 != 0);
-        Reductions->submit(std::move(Job));
-      }
-    }
-  }
-
-  uint64_t SeedBase;
-  std::vector<std::string> Labels;
-  const std::vector<DeviceConfig> &Targets;
-  ReductionQueue *Reductions;
-  unsigned Findings = 0;
-};
 
 } // namespace
 
 int cmdHunt(const CliArgs &A) {
-  unsigned Count = static_cast<unsigned>(A.getInt("count", 20));
-  uint64_t Seed = A.getInt("seed", 1);
-  GenMode Mode = modeByName(A.get("mode", "ALL"));
-  std::vector<DeviceConfig> Zoo = buildConfigRegistry();
-  std::vector<DeviceConfig> Targets;
-  for (int Id : paperAboveThresholdIds())
-    Targets.push_back(configById(Zoo, Id));
+  HuntSpec Spec;
+  Spec.ModeName = A.get("mode", "ALL");
+  Spec.Mode = modeByName(Spec.ModeName);
+  Spec.Seed = A.getInt("seed", 1);
+  Spec.Count = static_cast<unsigned>(A.getInt("count", 20));
+  Spec.Format = reportFormatFrom(A);
+  Spec.Reduce = A.has("reduce");
+  Spec.ReduceTracePath = A.get("reduce-trace");
 
   ExecOptions Opts = execOptionsFrom(A);
   std::unique_ptr<ExecBackend> Backend = makeBackendOrDie(Opts);
@@ -535,96 +432,251 @@ int cmdHunt(const CliArgs &A) {
   // shrinking as they are found and drained after the campaign, so
   // the hunt never stalls on a reduction. --reduce-jobs concurrent
   // reductions, each evaluating candidates on --reduce-backend.
-  std::unique_ptr<ReductionQueue> Reductions;
-  if (A.has("reduce")) {
+  if (Spec.Reduce) {
     ReducerOptions RO = reducerOptionsFrom(A, /*BuildCache=*/false);
     RO.Exec.Threads = 1; // within one background job, evaluate serially
     // Campaign and background reductions share one cache: every
     // witness's probes start from the outcomes the hunt already paid
     // for, and the --stats counters cover both.
     RO.Exec.Cache = Opts.Cache;
-    Reductions = std::make_unique<ReductionQueue>(
-        RO, static_cast<unsigned>(A.getInt("reduce-jobs", 2)),
-        /*CaptureTrace=*/A.has("reduce-trace"));
+    Spec.ReduceOpts = RO;
+    // Solo hunts drain reductions on background threads — at least
+    // one (ReduceWorkers == 0 means the scheduler-driven lane, and
+    // there is no scheduler here to service it).
+    Spec.ReduceWorkers = std::max<unsigned>(
+        1, static_cast<unsigned>(A.getInt("reduce-jobs", 2)));
   }
 
-  // Source -> backend -> sink: kernels are generated in shards of
-  // --shard-size and reported in seed order, so a 100k-kernel hunt
-  // streams in bounded memory on any backend.
-  GenOptions BaseGen;
-  GeneratorSource Source(Mode, BaseGen, Seed, Count, /*Prefilter=*/false,
-                         /*Config1=*/nullptr, RunSettings(), *Backend);
+  // The task code is shared with `clfuzz sched`: a hunt campaign
+  // interleaved with others steps through exactly this path, so the
+  // reports match byte for byte.
+  HuntCampaign C =
+      makeHuntCampaign(Spec, Opts.resolvedShardSize(), *Backend, stdout);
+  runCampaignTask(*C.Main);
+  printCacheStats(A, Opts, "hunt");
+  return C.Main->exitCode();
+}
 
-  std::vector<std::string> Labels;
-  for (const DeviceConfig &C : Targets)
-    for (bool Opt : {false, true})
-      Labels.push_back(std::to_string(C.Id) + (Opt ? "+" : "-"));
-
-  auto Expand = [&](size_t, const TestCase &T,
-                    std::vector<ExecJob> &Jobs) {
-    for (const DeviceConfig &C : Targets)
-      for (bool Opt : {false, true})
-        Jobs.push_back(ExecJob::onConfig(T, C, Opt, RunSettings()));
-  };
-
-  std::string Format = reportFormatFrom(A);
-  if (Format == "csv" || Format == "jsonl") {
-    std::unique_ptr<ResultSink> Sink;
-    if (Format == "csv")
-      Sink = std::make_unique<CsvOutcomeSink>(stdout, Labels);
-    else
-      Sink = std::make_unique<JsonlOutcomeSink>(stdout, Labels);
-    runShardedCampaign(Source, *Backend, Opts.resolvedShardSize(), Expand,
-                       *Sink);
-    printCacheStats(A, Opts);
-    return 0;
+/// The multi-campaign driver: `clfuzz sched --campaigns=SPEC` parses
+/// a declaration list (sched/CampaignSpec.h grammar), builds one
+/// CampaignTask per declaration through the same factories the solo
+/// commands use, and multiplexes them over ONE shared backend via
+/// CampaignScheduler. Each campaign writes to its own stream
+/// (--out-dir=DIR files, or tmpfiles replayed to stdout in
+/// declaration order), so every report is byte-identical to the
+/// campaign's solo run. hunt(...,reduce) campaigns drain their
+/// witnesses through a Reduction-lane task on the shared backend at
+/// elevated dispatch priority. docs/scheduler.md is the manual.
+int cmdSched(const CliArgs &A) {
+  if (!A.has("campaigns")) {
+    std::fprintf(
+        stderr,
+        "sched: --campaigns=SPEC (or --campaigns=@FILE) is required, "
+        "e.g. --campaigns='hunt(count=50,reduce);diff(seed=9)'\n");
+    return 2;
+  }
+  std::vector<CampaignDecl> Decls;
+  std::string SpecError;
+  if (!parseCampaignSpec(A.get("campaigns"), Decls, SpecError)) {
+    std::fprintf(stderr, "sched: %s\n", SpecError.c_str());
+    return 2;
   }
 
-  HuntSink Sink(Seed, Labels, Targets, Reductions.get());
-  PipelineStats Stats = runShardedCampaign(
-      Source, *Backend, Opts.resolvedShardSize(), Expand, Sink);
-  std::printf("%u findings over %zu kernels on the %s backend; rerun "
-              "`clfuzz gen --mode=%s --seed=<seed>` to inspect a witness\n",
-              Sink.Findings, Stats.Tests, Backend->name(),
-              A.get("mode", "ALL").c_str());
+  SchedOptions SO;
+  if (A.has("sched-policy") &&
+      !parseSchedPolicy(A.get("sched-policy"), SO.Policy)) {
+    std::fprintf(stderr, "unknown sched policy '%s' (use rr or yield)\n",
+                 A.get("sched-policy").c_str());
+    return 2;
+  }
+  SO.YieldWindow =
+      static_cast<unsigned>(A.getInt("yield-window", SO.YieldWindow));
+  SO.YieldBoost =
+      static_cast<unsigned>(A.getInt("yield-boost", SO.YieldBoost));
 
-  if (Reductions) {
-    std::vector<ReductionResult> Reduced = Reductions->drain();
-    if (!Reduced.empty())
-      std::printf("\n%zu witnesses reduced in the background:\n",
-                  Reduced.size());
-    for (const ReductionResult &R : Reduced) {
-      if (!R.Error.empty()) {
-        std::printf("\n%s: reduction failed (%s); witness kept as-is\n",
-                    R.Label.c_str(), R.Error.c_str());
-        continue;
-      }
-      std::printf("\n%s: %u -> %u lines (%u candidates tried, %u kept)\n",
-                  R.Label.c_str(), R.Stats.InitialLines,
-                  R.Stats.FinalLines, R.Stats.CandidatesTried,
-                  R.Stats.CandidatesKept);
-      std::printf("%s", R.Reduced.Source.c_str());
+  ExecOptions Opts = execOptionsFrom(A);
+  SO.Cache = Opts.Cache;
+  std::unique_ptr<ExecBackend> Backend = makeBackendOrDie(Opts);
+
+  // Per-campaign report streams: --out-dir=DIR writes
+  // <dir>/<name>.txt; otherwise each campaign buffers into a tmpfile
+  // replayed to stdout in declaration order after the run, so
+  // interleaving never scrambles a report.
+  std::string OutDir = A.get("out-dir");
+  std::vector<std::FILE *> Files;
+  std::vector<std::string> Paths;
+  for (const CampaignDecl &D : Decls) {
+    std::FILE *F = nullptr;
+    std::string Path;
+    if (!OutDir.empty()) {
+      std::string Base;
+      for (char Ch : D.Name)
+        Base += (std::isalnum(static_cast<unsigned char>(Ch)) ||
+                 Ch == '.' || Ch == '_' || Ch == '-')
+                    ? Ch
+                    : '_';
+      Path = OutDir + "/" + Base + ".txt";
+      F = std::fopen(Path.c_str(), "w");
+    } else {
+      F = std::tmpfile();
     }
-    if (A.has("reduce-trace")) {
-      std::string Path = A.get("reduce-trace");
-      std::FILE *F =
-          Path == "-" ? stderr : std::fopen(Path.c_str(), "w");
-      if (!F) {
-        std::fprintf(stderr, "cannot open trace file '%s'\n",
-                     Path.c_str());
-        return 1;
+    if (!F) {
+      std::fprintf(stderr, "sched: cannot open report stream %s\n",
+                   Path.empty() ? "(tmpfile)" : Path.c_str());
+      for (std::FILE *Open : Files)
+        std::fclose(Open);
+      return 1;
+    }
+    Files.push_back(F);
+    Paths.push_back(Path);
+  }
+
+  CampaignScheduler Sched(*Backend, SO);
+  std::vector<HuntCampaign> Hunts;
+  std::vector<std::unique_ptr<CampaignTask>> Tasks;
+  for (size_t I = 0; I != Decls.size(); ++I) {
+    const CampaignDecl &D = Decls[I];
+    // Declaration params reuse the solo flag names, so the spec
+    // builders below mirror cmdDiff/cmdHunt/cmdReduce exactly.
+    CliArgs Sub;
+    Sub.Command = D.Type;
+    Sub.Options = D.Params;
+    std::FILE *Out = Files[I];
+    unsigned ShardSize = static_cast<unsigned>(
+        Sub.getInt("shard-size", Opts.resolvedShardSize()));
+    if (D.Type == "diff") {
+      DiffSpec Spec;
+      Spec.Format = reportFormatFrom(Sub);
+      Spec.Gen = genOptionsFrom(Sub);
+      Tasks.push_back(makeDiffTask(Spec, *Backend, Out));
+      Sched.add(D.Name, *Tasks.back());
+    } else if (D.Type == "hunt") {
+      HuntSpec Spec;
+      Spec.ModeName = Sub.get("mode", "ALL");
+      Spec.Mode = modeByName(Spec.ModeName);
+      Spec.Seed = Sub.getInt("seed", 1);
+      Spec.Count = static_cast<unsigned>(Sub.getInt("count", 20));
+      Spec.Format = reportFormatFrom(Sub);
+      Spec.Reduce = Sub.has("reduce");
+      Spec.ReduceTracePath = Sub.get("reduce-trace");
+      if (Spec.Reduce) {
+        // Scheduler-driven reduction: witnesses queue up and the
+        // Reduction-lane task drains them through the SHARED backend
+        // at elevated dispatch priority — no private threads, no
+        // private backend.
+        Spec.ReduceOpts.Backend = Backend.get();
+        Spec.ReduceOpts.DispatchPriority = 1;
+        Spec.ReduceOpts.Exec.Threads = 1;
+        Spec.ReduceOpts.MaxCandidates = static_cast<unsigned>(Sub.getInt(
+            "reduce-max", Spec.ReduceOpts.MaxCandidates));
+        if (Sub.has("no-pipeline"))
+          Spec.ReduceOpts.Pipeline = false;
+        Spec.ReduceWorkers = 0;
       }
-      // Traces were buffered per witness; emitting them in drain
-      // order keeps the file byte-identical however the background
-      // jobs interleaved.
-      for (const ReductionResult &R : Reduced)
-        std::fwrite(R.Trace.data(), 1, R.Trace.size(), F);
-      if (F != stderr)
-        std::fclose(F);
+      HuntCampaign C = makeHuntCampaign(Spec, ShardSize, *Backend, Out);
+      Sched.add(D.Name, *C.Main);
+      if (C.Lane)
+        Sched.add(D.Name + "/reduce", *C.Lane);
+      Hunts.push_back(std::move(C));
+    } else if (D.Type == "emi") {
+      EmiSpec Spec;
+      Spec.Bases = static_cast<unsigned>(Sub.getInt("bases", Spec.Bases));
+      Spec.MinBlocks =
+          static_cast<unsigned>(Sub.getInt("min-blocks", Spec.MinBlocks));
+      Spec.MaxBlocks =
+          static_cast<unsigned>(Sub.getInt("max-blocks", Spec.MaxBlocks));
+      Spec.SeedBase = Sub.getInt("seed", Spec.SeedBase);
+      Tasks.push_back(makeEmiTask(Spec, ShardSize, *Backend, Out));
+      Sched.add(D.Name, *Tasks.back());
+    } else { // "reduce" — parseCampaignSpec validated the type
+      if (!Sub.has("config")) {
+        std::fprintf(stderr,
+                     "sched: campaign '%s': config=ID is required\n",
+                     D.Name.c_str());
+        return 2;
+      }
+      ReduceSpec Spec;
+      Spec.Expect = Sub.get("expect", "wrong");
+      if (Spec.Expect != "wrong" && Spec.Expect != "crash" &&
+          Spec.Expect != "timeout" && Spec.Expect != "build-failure") {
+        std::fprintf(stderr,
+                     "sched: campaign '%s': unknown expect '%s' (use "
+                     "wrong, crash, timeout or build-failure)\n",
+                     D.Name.c_str(), Spec.Expect.c_str());
+        return 2;
+      }
+      Spec.Gen = genOptionsFrom(Sub);
+      Spec.ConfigId = static_cast<int>(Sub.getInt("config", 0));
+      Spec.Opt = Sub.has("opt");
+      Spec.TracePath = Sub.get("trace");
+      Spec.Opts.Backend = Backend.get();
+      Spec.Opts.Exec.Threads = 1;
+      Spec.Opts.MaxCandidates = static_cast<unsigned>(
+          Sub.getInt("reduce-max", Spec.Opts.MaxCandidates));
+      if (Sub.has("no-pipeline"))
+        Spec.Opts.Pipeline = false;
+      Tasks.push_back(makeReduceTask(Spec, Out));
+      Sched.add(D.Name, *Tasks.back());
     }
   }
-  printCacheStats(A, Opts);
-  return 0;
+
+  Sched.runToCompletion();
+
+  int Exit = 0;
+  for (const ScheduledCampaign &C : Sched.campaigns())
+    Exit = std::max(Exit, C.Task->exitCode());
+
+  for (size_t I = 0; I != Decls.size(); ++I) {
+    std::fflush(Files[I]);
+    if (!OutDir.empty()) {
+      std::printf("campaign %s: %s\n", Decls[I].Name.c_str(),
+                  Paths[I].c_str());
+    } else {
+      std::printf("=== campaign %s ===\n", Decls[I].Name.c_str());
+      std::rewind(Files[I]);
+      char Buf[4096];
+      size_t N;
+      while ((N = std::fread(Buf, 1, sizeof(Buf), Files[I])) > 0)
+        std::fwrite(Buf, 1, N, stdout);
+    }
+    std::fclose(Files[I]);
+  }
+  std::printf("sched: %zu campaigns completed on the %s backend "
+              "(policy %s, %zu grants)\n",
+              Decls.size(), Backend->name(), schedPolicyName(SO.Policy),
+              Sched.allocationTrace().size());
+
+  // The per-campaign --stats breakdown. Serialized steps make the
+  // attribution exact: the breakdown's cache and vm sums equal the
+  // campaign=total lines (pinned by SchedulerConformanceTest).
+  if (A.has("stats")) {
+    for (const ScheduledCampaign &C : Sched.campaigns()) {
+      std::fprintf(stderr,
+                   "campaign=%s lane=%s steps=%zu tests=%zu jobs=%zu "
+                   "witnesses=%zu\n",
+                   C.Name.c_str(), schedLaneName(C.Task->lane()),
+                   C.Stats.Steps, C.Stats.Tests, C.Stats.Jobs,
+                   C.Stats.Witnesses);
+      std::fprintf(
+          stderr,
+          "campaign=%s cache_hits=%llu cache_misses=%llu coalesced=%llu\n",
+          C.Name.c_str(),
+          static_cast<unsigned long long>(C.Stats.Cache.Hits),
+          static_cast<unsigned long long>(C.Stats.Cache.Misses),
+          static_cast<unsigned long long>(C.Stats.Cache.Coalesced));
+      std::fprintf(
+          stderr,
+          "campaign=%s vm_dispatch=%s vm_instructions=%llu vm_fused=%llu "
+          "vm_launches=%llu vm_engine_reuses=%llu\n",
+          C.Name.c_str(), vmDispatchName(vmDispatchMode()),
+          static_cast<unsigned long long>(C.Stats.VmInstructions),
+          static_cast<unsigned long long>(C.Stats.VmFused),
+          static_cast<unsigned long long>(C.Stats.VmLaunches),
+          static_cast<unsigned long long>(C.Stats.VmEngineReuses));
+    }
+    printCacheStats(A, Opts, "total");
+  }
+  return Exit;
 }
 
 /// Runs a `clfuzz worker` process: a TCP job server remote campaigns
@@ -664,6 +716,8 @@ int usage() {
       "  diff    --seed=N [--mode=M] [--emi=K]    run across the whole zoo\n"
       "  hunt    --mode=M --count=N [--seed=N]    mini differential campaign\n"
       "  reduce  --seed=N --config=ID [--opt]     shrink a witness kernel\n"
+      "  sched   --campaigns=SPEC|@FILE           multiplex N campaigns\n"
+      "                                           over one shared backend\n"
       "  worker  [--listen=PORT] [--host=H]       serve jobs to remote\n"
       "                                           campaigns over TCP\n"
       "  configs                                  list the 21 configurations\n"
@@ -683,6 +737,15 @@ int usage() {
       "  --reduce-jobs=N concurrent reductions, --reduce-max=N,\n"
       "  --reduce-trace=FILE, --no-pipeline; remote probes use\n"
       "  --reduce-workers or --workers)\n"
+      "sched: --campaigns='type(key=val,flag,...);...' with types hunt,\n"
+      "  diff, emi, reduce; keys mirror the solo flags (e.g.\n"
+      "  hunt(mode=BASIC,count=50,reduce); name=ID labels a campaign);\n"
+      "  --sched-policy=rr|yield (--yield-window=N --yield-boost=N)\n"
+      "  --out-dir=DIR per-campaign report files (default: buffered and\n"
+      "  replayed to stdout); reductions run in a priority lane on the\n"
+      "  shared backend; --stats adds campaign=<name> breakdown lines on\n"
+      "  stderr; every report is byte-identical to the campaign's solo\n"
+      "  run (docs/scheduler.md)\n"
       "worker: --jobs=N executor slots (0 = all cores) --proc-timeout-ms=N\n"
       "  per-job deadline; fault injection for tests: --die-after-jobs=N\n"
       "  --ignore-jobs\n"
@@ -722,6 +785,8 @@ int main(int Argc, char **Argv) {
       return cmdHunt(A);
     if (A.Command == "reduce")
       return cmdReduce(A);
+    if (A.Command == "sched")
+      return cmdSched(A);
     if (A.Command == "worker")
       return cmdWorker(A);
     if (A.Command == "configs")
