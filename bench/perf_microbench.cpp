@@ -16,10 +16,13 @@
 #include "device/Driver.h"
 #include "exec/JobSerialize.h"
 #include "gen/Generator.h"
+#include "minicl/ASTClone.h"
 #include "minicl/Parser.h"
 #include "minicl/Printer.h"
+#include "minicl/Sema.h"
 #include "opt/Pass.h"
 #include "oracle/Campaign.h"
+#include "support/Arena.h"
 #include "vm/Codegen.h"
 #include "vm/VM.h"
 
@@ -66,6 +69,81 @@ static void BM_ParseAndSema(benchmark::State &State) {
   State.SetBytesProcessed(State.iterations() * Source.size());
 }
 BENCHMARK(BM_ParseAndSema);
+
+/// Parsing alone (no sema), the irreducible cost of admitting one
+/// kernel source — what every cell of a column used to pay and the
+/// shared front end now pays once.
+static void BM_ParseOnly(benchmark::State &State) {
+  const std::string &Source = sampleKernel().Source;
+  for (auto _ : State) {
+    ASTContext Ctx;
+    DiagEngine Diags;
+    bool Ok = parseProgram(Source, Ctx, Diags);
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetBytesProcessed(State.iterations() * Source.size());
+  State.SetLabel("parse, no sema");
+}
+BENCHMARK(BM_ParseOnly);
+
+/// The clone-vs-reparse race the column fast path is built on: arg 0
+/// re-runs parse + sema from source (the pre-clone per-cell cost), arg
+/// 1 deep-clones a checked front end (minicl/ASTClone.h). Both produce
+/// a structurally identical private AST ready for the PassManager.
+static void BM_CloneVsReparse(benchmark::State &State) {
+  bool Clone = State.range(0) != 0;
+  const std::string &Source = sampleKernel().Source;
+  ASTContext Src;
+  DiagEngine Diags;
+  parseProgram(Source, Src, Diags);
+  checkProgram(Src, Diags);
+  for (auto _ : State) {
+    if (Clone) {
+      std::unique_ptr<ASTContext> Copy = cloneContext(Src);
+      benchmark::DoNotOptimize(&Copy->program());
+    } else {
+      ASTContext Ctx;
+      DiagEngine D2;
+      bool Ok = parseProgram(Source, Ctx, D2) && checkProgram(Ctx, D2);
+      benchmark::DoNotOptimize(Ok);
+    }
+  }
+  State.SetLabel(Clone ? "cloneContext" : "parse+sema");
+}
+BENCHMARK(BM_CloneVsReparse)->DenseRange(0, 1);
+
+/// Raw allocation throughput: the AST arena's bump allocator (arg 1)
+/// against individual heap allocations of the same sizes (arg 0) —
+/// the reason AST node construction and O(1) context teardown got
+/// cheap. 4096 allocations of 32/48/64-byte nodes per iteration.
+static void BM_ArenaAllocVsHeap(benchmark::State &State) {
+  bool UseArena = State.range(0) != 0;
+  constexpr size_t N = 4096;
+  constexpr size_t Sizes[3] = {32, 48, 64};
+  if (UseArena) {
+    for (auto _ : State) {
+      BumpArena A;
+      for (size_t I = 0; I != N; ++I) {
+        void *P = A.allocate(Sizes[I % 3], alignof(std::max_align_t));
+        benchmark::DoNotOptimize(P);
+      }
+    }
+  } else {
+    std::vector<void *> Ptrs(N);
+    for (auto _ : State) {
+      for (size_t I = 0; I != N; ++I) {
+        Ptrs[I] = ::operator new(Sizes[I % 3]);
+        benchmark::DoNotOptimize(Ptrs[I]);
+      }
+      for (size_t I = 0; I != N; ++I)
+        ::operator delete(Ptrs[I]);
+    }
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(N));
+  State.SetLabel(UseArena ? "bump arena" : "operator new/delete");
+}
+BENCHMARK(BM_ArenaAllocVsHeap)->DenseRange(0, 1);
 
 static void BM_OptimisePipeline(benchmark::State &State) {
   const std::string &Source = sampleKernel().Source;

@@ -1,0 +1,46 @@
+//===- CompileCounters.cpp - Per-phase compile profiler ----------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "device/CompileCounters.h"
+
+#include <atomic>
+
+using namespace clfuzz;
+
+namespace {
+
+struct PhaseCell {
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Ns{0};
+};
+
+// Indexed by CompilePhase.
+PhaseCell GPhases[6];
+
+} // namespace
+
+void clfuzz::addCompilePhaseSample(CompilePhase P, uint64_t Ns) {
+  PhaseCell &C = GPhases[static_cast<unsigned>(P)];
+  C.Count.fetch_add(1, std::memory_order_relaxed);
+  C.Ns.fetch_add(Ns, std::memory_order_relaxed);
+}
+
+CompileCounters clfuzz::compileCounters() {
+  auto Read = [](CompilePhase P, uint64_t &Count, uint64_t &Ns) {
+    const PhaseCell &C = GPhases[static_cast<unsigned>(P)];
+    Count = C.Count.load(std::memory_order_relaxed);
+    Ns = C.Ns.load(std::memory_order_relaxed);
+  };
+  CompileCounters S;
+  Read(CompilePhase::Parse, S.Parses, S.ParseNs);
+  Read(CompilePhase::Sema, S.Semas, S.SemaNs);
+  Read(CompilePhase::Clone, S.Clones, S.CloneNs);
+  Read(CompilePhase::Opt, S.Opts, S.OptNs);
+  Read(CompilePhase::Codegen, S.Codegens, S.CodegenNs);
+  Read(CompilePhase::Exec, S.Execs, S.ExecNs);
+  return S;
+}

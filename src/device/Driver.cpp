@@ -6,6 +6,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "device/Driver.h"
+#include "device/CompileCounters.h"
+#include "minicl/ASTClone.h"
 #include "minicl/ASTQueries.h"
 #include "minicl/Parser.h"
 #include "minicl/Sema.h"
@@ -15,6 +17,10 @@
 #include "vm/Codegen.h"
 #include "vm/VM.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 using namespace clfuzz;
@@ -44,6 +50,25 @@ TestCase TestCase::fromGenerated(const GeneratedKernel &K) {
 }
 
 namespace {
+
+/// Phase-timing scope: charges elapsed wall-clock to one CompilePhase
+/// counter on destruction.
+class PhaseTimer {
+public:
+  explicit PhaseTimer(CompilePhase P)
+      : P(P), Start(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    addCompilePhaseSample(
+        P, static_cast<uint64_t>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - Start)
+                   .count()));
+  }
+
+private:
+  CompilePhase P;
+  std::chrono::steady_clock::time_point Start;
+};
 
 /// Strips implicit casts for pattern checks against the pre-conversion
 /// operand types.
@@ -96,9 +121,7 @@ std::string frontEndChecks(const ASTContext &Ctx,
   for (const FunctionDecl *F : Ctx.program().functions()) {
     if (!F->getBody() || !Error.empty())
       break;
-    forEachExpr(F->getBody(), [&](const Expr *E) {
-      if (!Error.empty())
-        return;
+    forEachExprUntil(F->getBody(), [&](const Expr *E) -> bool {
       if (Bugs.RejectSizeTMix) {
         // Compound assignments mixing int with size_t (`x |= gx`, §6).
         if (const auto *A = dyn_cast<AssignExpr>(E)) {
@@ -109,7 +132,7 @@ std::string frontEndChecks(const ASTContext &Ctx,
                 mentionsSizeT(stripImplicit(A->getRHS()))) {
               Error = "error: invalid operands to binary expression "
                       "('int' and 'size_t')";
-              return;
+              return true;
             }
           }
         }
@@ -119,7 +142,7 @@ std::string frontEndChecks(const ASTContext &Ctx,
             B->getLHS()->getType()->isVector()) {
           Error = "error: logical operation on vector operands is not "
                   "supported";
-          return;
+          return true;
         }
         if (Bugs.RejectSizeTMix && !isComparisonOp(B->getOp()) &&
             !isLogicalOp(B->getOp()) && B->getOp() != BinOp::Comma) {
@@ -135,29 +158,33 @@ std::string frontEndChecks(const ASTContext &Ctx,
             if (Mixes) {
               Error = "error: invalid operands to binary expression "
                       "('int' and 'size_t')";
-              return;
+              return true;
             }
           }
         }
       }
+      return false;
     });
     if (Bugs.CompileHangOnInfiniteLoop && Error.empty()) {
-      forEachStmt(F->getBody(), [&](const Stmt *S) {
-        if (!Error.empty())
-          return;
+      forEachStmtUntil(F->getBody(), [&](const Stmt *S) -> bool {
         const Expr *Cond = nullptr;
         if (const auto *W = dyn_cast<WhileStmt>(S))
           Cond = W->getCond();
         else if (const auto *Fo = dyn_cast<ForStmt>(S))
           Cond = Fo->getCond();
         if (!Cond) {
-          if (isa<ForStmt>(S) && !cast<ForStmt>(S)->getCond())
+          if (isa<ForStmt>(S) && !cast<ForStmt>(S)->getCond()) {
             Error = "<compile hang>"; // for(;;)
-          return;
+            return true;
+          }
+          return false;
         }
         if (auto V = evalConstExpr(Cond))
-          if (V->Lanes[0] != 0)
+          if (V->Lanes[0] != 0) {
             Error = "<compile hang>";
+            return true;
+          }
+        return false;
       });
     }
   }
@@ -233,29 +260,48 @@ RunOutcome compileAndRun(const TestCase &Test, const DeviceBugModel &Bugs,
   };
 
   // --- 1. front end (parse + sema). A shared front end replaces the
-  // re-parse only when the pass pipeline is empty: passes mutate the
-  // AST in place, and the shared AST must stay pristine for the other
-  // cells of the column. Codegen and the front-end defect checks only
-  // read, so handing them the shared AST is byte-identical to parsing
-  // a private copy.
-  bool UseShared = SharedFE && pipelineIsEmpty(Bugs, RunOptimizer);
+  // per-cell re-parse. Pass-free cells read it directly: codegen and
+  // the front-end defect checks never mutate. Cells whose pipeline
+  // mutates the AST deep-clone it instead — structurally identical to
+  // what a re-parse would build, so outputs are byte-identical — and
+  // hand the private copy to the PassManager, leaving the shared AST
+  // pristine for the other cells of the column.
+  bool PipelineEmpty = pipelineIsEmpty(Bugs, RunOptimizer);
   ASTContext OwnCtx;
-  if (UseShared) {
+  std::unique_ptr<ASTContext> ClonedCtx;
+  ASTContext *CtxPtr = nullptr;
+  if (SharedFE && (PipelineEmpty || compileCloneEnabled())) {
     if (!SharedFE->ok()) {
       Out.Status = RunStatus::BuildFailure;
       Out.Message = SharedFE->diagnostics();
       return Out;
     }
+    if (PipelineEmpty) {
+      CtxPtr = &SharedFE->context();
+    } else {
+      PhaseTimer T(CompilePhase::Clone);
+      ClonedCtx = cloneContext(SharedFE->context());
+      CtxPtr = ClonedCtx.get();
+    }
   } else {
     DiagEngine Diags;
-    if (!parseProgram(Test.Source, OwnCtx, Diags) ||
-        !checkProgram(OwnCtx, Diags)) {
+    bool FeOk;
+    {
+      PhaseTimer T(CompilePhase::Parse);
+      FeOk = parseProgram(Test.Source, OwnCtx, Diags);
+    }
+    if (FeOk) {
+      PhaseTimer T(CompilePhase::Sema);
+      FeOk = checkProgram(OwnCtx, Diags);
+    }
+    if (!FeOk) {
       Out.Status = RunStatus::BuildFailure;
       Out.Message = Diags.str();
       return Out;
     }
+    CtxPtr = &OwnCtx;
   }
-  ASTContext &Ctx = UseShared ? SharedFE->context() : OwnCtx;
+  ASTContext &Ctx = *CtxPtr;
 
   // --- 2. configuration-specific front-end defects
   std::string FeError = frontEndChecks(Ctx, Bugs);
@@ -284,9 +330,11 @@ RunOutcome compileAndRun(const TestCase &Test, const DeviceBugModel &Bugs,
     return Out;
   }
 
-  // --- 3. pass pipeline (skipped outright on the shared-front-end
-  // path, where pipelineIsEmpty guarantees it would schedule nothing).
-  if (!UseShared) {
+  // --- 3. pass pipeline (skipped outright when pipelineIsEmpty
+  // guarantees buildPipeline would schedule nothing; running an empty
+  // PassManager is a no-op, so skipping changes nothing).
+  if (!PipelineEmpty) {
+    PhaseTimer T(CompilePhase::Opt);
     PassOptions PO = RunOptimizer ? PassOptions::o2() : PassOptions::o0();
     if (!RunOptimizer && Bugs.RotateFoldBug) {
       // Mandatory constant-folding stage (see configuration 14).
@@ -310,7 +358,10 @@ RunOutcome compileAndRun(const TestCase &Test, const DeviceBugModel &Bugs,
   CG.CommaDropsRhsBug = Bugs.CommaDropsRhsBug;
   CG.SwizzleHighLaneBug = Bugs.SwizzleHighLaneBug;
   CG.VolatileStructCopyBug = Bugs.VolatileStructCopyBug;
-  CodegenResult CR = compileToBytecode(Ctx, CG);
+  CodegenResult CR = [&] {
+    PhaseTimer T(CompilePhase::Codegen);
+    return compileToBytecode(Ctx, CG);
+  }();
   if (!CR.Ok) {
     Out.Status = RunStatus::BuildFailure;
     Out.Message = CR.Error;
@@ -364,7 +415,10 @@ RunOutcome compileAndRun(const TestCase &Test, const DeviceBugModel &Bugs,
   if (LO.StepBudget == 0)
     LO.StepBudget = 1;
 
-  LaunchResult LR = launchKernel(CR.Module, Buffers, Args, LO);
+  LaunchResult LR = [&] {
+    PhaseTimer T(CompilePhase::Exec);
+    return launchKernel(CR.Module, Buffers, Args, LO);
+  }();
   Out.Steps = LR.StepsExecuted;
   Out.RaceFound = LR.RaceFound;
   Out.RaceMessage = LR.RaceMessage;
@@ -400,8 +454,14 @@ RunOutcome compileAndRun(const TestCase &Test, const DeviceBugModel &Bugs,
 TestFrontEnd::TestFrontEnd(const TestCase &Test)
     : Ctx(std::make_unique<ASTContext>()) {
   DiagEngine Diags;
-  ParseOk = parseProgram(Test.Source, *Ctx, Diags) &&
-            checkProgram(*Ctx, Diags);
+  {
+    PhaseTimer T(CompilePhase::Parse);
+    ParseOk = parseProgram(Test.Source, *Ctx, Diags);
+  }
+  if (ParseOk) {
+    PhaseTimer T(CompilePhase::Sema);
+    ParseOk = checkProgram(*Ctx, Diags);
+  }
   if (!ParseOk)
     this->Diags = Diags.str();
 }
@@ -410,14 +470,45 @@ TestFrontEnd::~TestFrontEnd() = default;
 TestFrontEnd::TestFrontEnd(TestFrontEnd &&) noexcept = default;
 TestFrontEnd &TestFrontEnd::operator=(TestFrontEnd &&) noexcept = default;
 
-bool clfuzz::canShareFrontEnd(const DeviceConfig *Config, bool OptEnabled) {
-  if (!Config) {
-    // Reference runs use the clean bug model: sharing is sound exactly
-    // when the optimiser is off.
-    return !OptEnabled;
+namespace {
+
+/// -1 = unresolved (consult the environment once), else 0/1.
+std::atomic<int> GCloneMode{-1};
+
+} // namespace
+
+bool clfuzz::compileCloneEnabled() {
+  int Mode = GCloneMode.load(std::memory_order_relaxed);
+  if (Mode < 0) {
+    Mode = 1;
+    if (const char *Env = std::getenv("CLFUZZ_COMPILE_CLONE"))
+      if (std::strcmp(Env, "0") == 0 || std::strcmp(Env, "off") == 0 ||
+          std::strcmp(Env, "false") == 0)
+        Mode = 0;
+    GCloneMode.store(Mode, std::memory_order_relaxed);
   }
-  bool RunOptimizer = OptEnabled && !Config->NoOptimizer;
-  return pipelineIsEmpty(Config->bugs(OptEnabled), RunOptimizer);
+  return Mode != 0;
+}
+
+void clfuzz::setCompileCloneEnabled(bool Enabled) {
+  GCloneMode.store(Enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+FrontEndUse clfuzz::frontEndUseFor(const DeviceConfig *Config,
+                                   bool OptEnabled) {
+  bool Empty;
+  if (!Config) {
+    // Reference runs use the clean bug model: its pipeline is empty
+    // exactly when the optimiser is off.
+    Empty = !OptEnabled;
+  } else {
+    bool RunOptimizer = OptEnabled && !Config->NoOptimizer;
+    Empty = pipelineIsEmpty(Config->bugs(OptEnabled), RunOptimizer);
+  }
+  if (Empty)
+    return FrontEndUse::ReadShared;
+  return compileCloneEnabled() ? FrontEndUse::ClonePrivate
+                               : FrontEndUse::Reparse;
 }
 
 RunOutcome clfuzz::runTestOnConfig(const TestCase &Test,

@@ -94,14 +94,17 @@ struct RunOutcome {
 /// shared across the cells of a campaign column (one kernel run
 /// against many configurations). Parsing and semantic checking are
 /// configuration-independent — bug models only act from the
-/// configuration-specific front-end checks onwards — so the column's
-/// cells can skip the re-parse whenever the rest of their compilation
-/// leaves the shared AST untouched (see canShareFrontEnd).
+/// configuration-specific front-end checks onwards — so every cell of
+/// a column can start from this one AST: pass-free cells read it
+/// directly, and cells whose pipeline mutates the AST deep-clone it
+/// (minicl/ASTClone.h) instead of re-running parse + sema (see
+/// frontEndUseFor).
 ///
 /// Sharing is observationally identical to per-cell parsing: the
 /// parser is deterministic, so every cell would reconstruct this exact
-/// AST from the same source. Not thread-safe; a column executes on one
-/// worker.
+/// AST from the same source, and a clone is structurally identical to
+/// the AST a re-parse would build. Not thread-safe; a column executes
+/// on one worker.
 class TestFrontEnd {
 public:
   explicit TestFrontEnd(const TestCase &Test);
@@ -121,17 +124,37 @@ private:
   std::string Diags;
 };
 
-/// True when a run of \p Test on \p Config (null = reference) at
-/// \p OptEnabled may reuse a shared TestFrontEnd: the pass pipeline
-/// must be empty (no optimiser, no AST-mutating bug-model pass), since
-/// passes transform the AST in place and a shared AST must stay
-/// pristine for the column's other cells.
-bool canShareFrontEnd(const DeviceConfig *Config, bool OptEnabled);
+/// How a cell consumes a shared TestFrontEnd. The single admission
+/// rule for column execution and the driver (they must agree, so it
+/// lives in exactly one helper).
+enum class FrontEndUse : uint8_t {
+  /// The cell's pass pipeline is empty: codegen and the front-end
+  /// defect checks only read, so the cell uses the shared AST as-is.
+  ReadShared,
+  /// The pipeline mutates the AST: the cell deep-clones the shared
+  /// front end and hands the private copy to the PassManager.
+  ClonePrivate,
+  /// Clone-based sharing is disabled (compileCloneEnabled() == false)
+  /// and the pipeline is non-empty: the cell re-parses the source —
+  /// the pre-clone behaviour, kept as a byte-identity baseline.
+  Reparse,
+};
+
+/// The admission rule for a run of \p Config (null = reference) at
+/// \p OptEnabled against a shared TestFrontEnd.
+FrontEndUse frontEndUseFor(const DeviceConfig *Config, bool OptEnabled);
+
+/// Process-wide clone-don't-reparse toggle, resolved once from
+/// `CLFUZZ_COMPILE_CLONE=0|off|false` (default on) unless overridden
+/// (the `--compile-clone=` flag, conformance tests). Output is
+/// byte-identical either way; off restores the per-cell re-parse.
+bool compileCloneEnabled();
+void setCompileCloneEnabled(bool Enabled);
 
 /// Compiles and runs \p Test on \p Config with optimisations
-/// enabled/disabled. \p SharedFE, when non-null and admissible per
-/// canShareFrontEnd, supplies the parsed front end; otherwise the
-/// source is re-parsed (byte-identical outcome either way).
+/// enabled/disabled. \p SharedFE, when non-null, supplies the parsed
+/// front end, read or cloned per frontEndUseFor; otherwise the source
+/// is re-parsed (byte-identical outcome either way).
 RunOutcome runTestOnConfig(const TestCase &Test,
                            const DeviceConfig &Config, bool OptEnabled,
                            const RunSettings &Settings = RunSettings(),

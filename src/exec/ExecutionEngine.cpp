@@ -80,8 +80,9 @@ clfuzz::groupIntoColumns(const std::vector<ExecJob> &Jobs) {
 std::vector<RunOutcome> clfuzz::runExecColumn(const ExecColumn &Column) {
   std::vector<RunOutcome> Out;
   Out.reserve(Column.Jobs.size());
-  // Built on the first admissible cell; columns whose every cell runs
-  // the optimiser (or an AST-mutating bug pass) never pay the parse.
+  // Built on the first admissible cell; with cloning disabled, columns
+  // whose every cell runs the optimiser (or an AST-mutating bug pass)
+  // never pay the parse.
   std::unique_ptr<TestFrontEnd> FE;
   for (const ExecJob &J : Column.Jobs) {
     assert(J.Test == Column.Jobs.front().Test &&
@@ -94,7 +95,7 @@ std::vector<RunOutcome> clfuzz::runExecColumn(const ExecColumn &Column) {
       continue;
     }
     const TestFrontEnd *Shared = nullptr;
-    if (canShareFrontEnd(J.Config, J.Opt)) {
+    if (frontEndUseFor(J.Config, J.Opt) != FrontEndUse::Reparse) {
       if (!FE)
         FE = std::make_unique<TestFrontEnd>(*J.Test);
       Shared = FE.get();

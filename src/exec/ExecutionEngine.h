@@ -168,9 +168,10 @@ RunOutcome runExecJob(const ExecJob &Job);
 /// A campaign column: the consecutive cells of one test — every job
 /// references the same TestCase — in submission order. Executing a
 /// column as a unit lets the worker parse and check the kernel source
-/// once and reuse the front end for every admissible cell
-/// (device/Driver.h's TestFrontEnd), instead of re-parsing per cell.
-/// Columns are an execution-granularity choice only: outcomes are
+/// once and reuse the front end for every cell (device/Driver.h's
+/// TestFrontEnd): pass-free cells read it, optimising cells deep-clone
+/// it (see frontEndUseFor) — instead of re-parsing per cell. Columns
+/// are an execution-granularity choice only: outcomes are
 /// byte-identical to running the same jobs cell-by-cell, and the
 /// outcome cache keeps keying per cell.
 struct ExecColumn {
@@ -184,8 +185,9 @@ struct ExecColumn {
 std::vector<ExecColumn> groupIntoColumns(const std::vector<ExecJob> &Jobs);
 
 /// Executes one column on the calling thread, sharing a lazily built
-/// TestFrontEnd across the cells canShareFrontEnd admits. Outcomes are
-/// in job order and byte-identical to per-cell runExecJob calls.
+/// TestFrontEnd across the cells frontEndUseFor admits (read or
+/// clone). Outcomes are in job order and byte-identical to per-cell
+/// runExecJob calls.
 std::vector<RunOutcome> runExecColumn(const ExecColumn &Column);
 
 /// The thread pool. Workers are spawned once in the constructor and

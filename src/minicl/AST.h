@@ -19,6 +19,7 @@
 #define CLFUZZ_MINICL_AST_H
 
 #include "minicl/Type.h"
+#include "support/Arena.h"
 #include "support/Diag.h"
 
 #include <memory>
@@ -821,7 +822,13 @@ private:
 
 /// Arena that owns every AST node plus the associated TypeContext and
 /// Program. Generators, the parser, the EMI injector and the reducer
-/// all allocate through one ASTContext so node lifetime is uniform.
+/// all allocate through one ASTContext so node lifetime is uniform:
+/// nodes are bump-allocated (support/Arena.h) and live until the
+/// context dies, which makes teardown O(slabs) and deep cloning
+/// (minicl/ASTClone.h) a linear walk into consecutive memory.
+/// BumpArena::create calls each node's destructor through its concrete
+/// type, so the hierarchies keep their protected non-virtual base
+/// destructors.
 class ASTContext {
 public:
   ASTContext() : Prog(std::make_unique<Program>()) {}
@@ -835,34 +842,21 @@ public:
 
   /// Allocates an expression node.
   template <typename T, typename... Args> T *makeExpr(Args &&...A) {
-    auto Node = std::make_shared<T>(std::forward<Args>(A)...);
-    T *Raw = Node.get();
-    ExprNodes.push_back(std::move(Node));
-    return Raw;
+    return Nodes.create<T>(std::forward<Args>(A)...);
   }
 
   /// Allocates a statement node.
   template <typename T, typename... Args> T *makeStmt(Args &&...A) {
-    auto Node = std::make_shared<T>(std::forward<Args>(A)...);
-    T *Raw = Node.get();
-    StmtNodes.push_back(std::move(Node));
-    return Raw;
+    return Nodes.create<T>(std::forward<Args>(A)...);
   }
 
   VarDecl *makeVar(std::string Name, const Type *Ty, AddressSpace AS) {
-    auto Node = std::make_unique<VarDecl>(std::move(Name), Ty, AS);
-    VarDecl *Raw = Node.get();
-    VarNodes.push_back(std::move(Node));
-    return Raw;
+    return Nodes.create<VarDecl>(std::move(Name), Ty, AS);
   }
 
   FunctionDecl *makeFunction(std::string Name, const Type *ReturnTy,
                              bool IsKernel) {
-    auto Node =
-        std::make_unique<FunctionDecl>(std::move(Name), ReturnTy, IsKernel);
-    FunctionDecl *Raw = Node.get();
-    FuncNodes.push_back(std::move(Node));
-    return Raw;
+    return Nodes.create<FunctionDecl>(std::move(Name), ReturnTy, IsKernel);
   }
 
   // Convenience factories used heavily by the generator and corpus.
@@ -875,16 +869,13 @@ public:
   }
   DeclRef *ref(const VarDecl *D) { return makeExpr<DeclRef>(D); }
 
+  /// Node-arena payload bytes (types excluded); bench instrumentation.
+  size_t nodeBytesAllocated() const { return Nodes.bytesAllocated(); }
+
 private:
   TypeContext Types;
   std::unique_ptr<Program> Prog;
-  // shared_ptr<void> captures the concrete deleter at construction, so
-  // the pools destroy nodes correctly despite the hierarchies having
-  // protected non-virtual base destructors.
-  std::vector<std::shared_ptr<void>> ExprNodes;
-  std::vector<std::shared_ptr<void>> StmtNodes;
-  std::vector<std::unique_ptr<VarDecl>> VarNodes;
-  std::vector<std::unique_ptr<FunctionDecl>> FuncNodes;
+  BumpArena Nodes;
 };
 
 } // namespace clfuzz

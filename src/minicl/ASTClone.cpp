@@ -1,0 +1,280 @@
+//===- ASTClone.cpp - Deep copy of a parsed translation unit ----------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicl/ASTClone.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace clfuzz;
+
+namespace {
+
+/// One clone run. Memoises decls so shared references stay shared
+/// (every DeclRef to one VarDecl maps to one cloned VarDecl; CallExprs
+/// keep pointing at the one cloned callee).
+class Cloner {
+public:
+  Cloner(const ASTContext &Src, ASTContext &Dst) : Src(Src), Dst(Dst) {}
+
+  void run() {
+    // Records first, in source creation order: fields may reference
+    // other records (pointers allow self-reference), so shells are
+    // created before any field is mapped, and order is preserved
+    // because the front-end defect checks scan records() in order.
+    for (const RecordType *RT : Src.types().records())
+      RecordMap[RT] = Dst.types().createRecord(RT->getName(), RT->isUnion());
+    for (const RecordType *RT : Src.types().records()) {
+      RecordType *N = RecordMap[RT];
+      for (const RecordField &F : RT->fields())
+        N->addField(RecordField{F.Name, mapType(F.Ty), F.IsVolatile});
+      if (RT->isComplete())
+        N->setComplete();
+    }
+
+    // Function shells before any body: calls may target functions
+    // defined later in the unit.
+    for (const FunctionDecl *F : Src.program().functions()) {
+      FunctionDecl *N = Dst.makeFunction(F->getName(),
+                                         mapType(F->getReturnType()),
+                                         F->isKernel());
+      FuncMap[F] = N;
+      for (const VarDecl *P : F->params())
+        N->addParam(mapVar(P));
+      Dst.program().addFunction(N);
+    }
+    for (const FunctionDecl *F : Src.program().functions())
+      if (F->getBody())
+        FuncMap[F]->setBody(cast<CompoundStmt>(cloneStmt(F->getBody())));
+  }
+
+private:
+  const Type *mapType(const Type *T) {
+    if (!T)
+      return nullptr;
+    switch (T->getKind()) {
+    case Type::TypeKind::Void:
+      return Dst.types().voidTy();
+    case Type::TypeKind::Scalar:
+      return Dst.types().scalar(cast<ScalarType>(T)->getScalarKind());
+    case Type::TypeKind::Vector: {
+      const auto *VT = cast<VectorType>(T);
+      return Dst.types().vector(
+          cast<ScalarType>(mapType(VT->getElementType())),
+          VT->getNumLanes());
+    }
+    case Type::TypeKind::Record: {
+      auto It = RecordMap.find(cast<RecordType>(T));
+      assert(It != RecordMap.end() && "record not pre-registered");
+      return It->second;
+    }
+    case Type::TypeKind::Array: {
+      const auto *AT = cast<ArrayType>(T);
+      return Dst.types().array(mapType(AT->getElementType()),
+                               AT->getNumElements());
+    }
+    case Type::TypeKind::Pointer: {
+      const auto *PT = cast<PointerType>(T);
+      return Dst.types().pointer(mapType(PT->getPointeeType()),
+                                 PT->getAddressSpace(),
+                                 PT->isPointeeVolatile());
+    }
+    }
+    assert(false && "unknown type kind");
+    return nullptr;
+  }
+
+  /// Clones \p D on first touch (a DeclStmt and every DeclRef resolve
+  /// to the same clone). The map entry is inserted before the
+  /// initialiser is cloned so a self-referential init cannot recurse.
+  VarDecl *mapVar(const VarDecl *D) {
+    auto It = VarMap.find(D);
+    if (It != VarMap.end())
+      return It->second;
+    VarDecl *N =
+        Dst.makeVar(D->getName(), mapType(D->getType()), D->getAddressSpace());
+    N->setParam(D->isParam());
+    N->setVolatile(D->isVolatile());
+    N->setConst(D->isConst());
+    VarMap[D] = N;
+    if (D->getInit())
+      N->setInit(cloneExpr(D->getInit()));
+    return N;
+  }
+
+  Expr *cloneExpr(const Expr *E) {
+    if (!E)
+      return nullptr;
+    Expr *N = cloneExprImpl(E);
+    N->setLoc(E->getLoc());
+    return N;
+  }
+
+  Expr *cloneExprImpl(const Expr *E) {
+    const Type *Ty = mapType(E->getType());
+    switch (E->getKind()) {
+    case Expr::ExprKind::IntLiteral:
+      return Dst.makeExpr<IntLiteral>(cast<IntLiteral>(E)->getValue(),
+                                      cast<ScalarType>(Ty));
+    case Expr::ExprKind::DeclRef:
+      return Dst.makeExpr<DeclRef>(mapVar(cast<DeclRef>(E)->getDecl()));
+    case Expr::ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      return Dst.makeExpr<UnaryExpr>(U->getOp(), cloneExpr(U->getSubExpr()),
+                                     Ty);
+    }
+    case Expr::ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      return Dst.makeExpr<BinaryExpr>(B->getOp(), cloneExpr(B->getLHS()),
+                                      cloneExpr(B->getRHS()), Ty);
+    }
+    case Expr::ExprKind::Assign: {
+      const auto *A = cast<AssignExpr>(E);
+      return Dst.makeExpr<AssignExpr>(A->getOp(), cloneExpr(A->getLHS()),
+                                      cloneExpr(A->getRHS()), Ty);
+    }
+    case Expr::ExprKind::Conditional: {
+      const auto *C = cast<ConditionalExpr>(E);
+      return Dst.makeExpr<ConditionalExpr>(cloneExpr(C->getCond()),
+                                           cloneExpr(C->getTrueExpr()),
+                                           cloneExpr(C->getFalseExpr()), Ty);
+    }
+    case Expr::ExprKind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      auto It = FuncMap.find(C->getCallee());
+      assert(It != FuncMap.end() && "call to a function outside the unit");
+      std::vector<Expr *> Args;
+      Args.reserve(C->args().size());
+      for (const Expr *A : C->args())
+        Args.push_back(cloneExpr(A));
+      return Dst.makeExpr<CallExpr>(It->second, std::move(Args), Ty);
+    }
+    case Expr::ExprKind::BuiltinCall: {
+      const auto *C = cast<BuiltinCallExpr>(E);
+      std::vector<Expr *> Args;
+      Args.reserve(C->args().size());
+      for (const Expr *A : C->args())
+        Args.push_back(cloneExpr(A));
+      return Dst.makeExpr<BuiltinCallExpr>(C->getBuiltin(), std::move(Args),
+                                           Ty);
+    }
+    case Expr::ExprKind::Index: {
+      const auto *I = cast<IndexExpr>(E);
+      return Dst.makeExpr<IndexExpr>(cloneExpr(I->getBase()),
+                                     cloneExpr(I->getIndex()), Ty);
+    }
+    case Expr::ExprKind::Member: {
+      const auto *M = cast<MemberExpr>(E);
+      return Dst.makeExpr<MemberExpr>(cloneExpr(M->getBase()),
+                                      M->getFieldIndex(), M->isArrow(), Ty);
+    }
+    case Expr::ExprKind::Swizzle: {
+      const auto *S = cast<SwizzleExpr>(E);
+      return Dst.makeExpr<SwizzleExpr>(cloneExpr(S->getBase()), S->indices(),
+                                       Ty);
+    }
+    case Expr::ExprKind::Cast:
+      return Dst.makeExpr<CastExpr>(
+          cloneExpr(cast<CastExpr>(E)->getSubExpr()), Ty);
+    case Expr::ExprKind::ImplicitCast: {
+      const auto *IC = cast<ImplicitCastExpr>(E);
+      return Dst.makeExpr<ImplicitCastExpr>(IC->getCastKind(),
+                                            cloneExpr(IC->getSubExpr()), Ty);
+    }
+    case Expr::ExprKind::VectorConstruct: {
+      const auto *V = cast<VectorConstructExpr>(E);
+      std::vector<Expr *> Elems;
+      Elems.reserve(V->elements().size());
+      for (const Expr *Elem : V->elements())
+        Elems.push_back(cloneExpr(Elem));
+      return Dst.makeExpr<VectorConstructExpr>(std::move(Elems),
+                                               cast<VectorType>(Ty));
+    }
+    case Expr::ExprKind::InitList: {
+      const auto *IL = cast<InitListExpr>(E);
+      std::vector<Expr *> Inits;
+      Inits.reserve(IL->inits().size());
+      for (const Expr *I : IL->inits())
+        Inits.push_back(cloneExpr(I));
+      return Dst.makeExpr<InitListExpr>(std::move(Inits), Ty);
+    }
+    }
+    assert(false && "unknown expression kind");
+    return nullptr;
+  }
+
+  Stmt *cloneStmt(const Stmt *S) {
+    if (!S)
+      return nullptr;
+    switch (S->getKind()) {
+    case Stmt::StmtKind::Compound: {
+      std::vector<Stmt *> Body;
+      Body.reserve(cast<CompoundStmt>(S)->body().size());
+      for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+        Body.push_back(cloneStmt(Child));
+      return Dst.makeStmt<CompoundStmt>(std::move(Body));
+    }
+    case Stmt::StmtKind::Decl:
+      return Dst.makeStmt<DeclStmt>(mapVar(cast<DeclStmt>(S)->getDecl()));
+    case Stmt::StmtKind::Expr:
+      return Dst.makeStmt<ExprStmt>(cloneExpr(cast<ExprStmt>(S)->getExpr()));
+    case Stmt::StmtKind::If: {
+      const auto *If = cast<IfStmt>(S);
+      auto *N = Dst.makeStmt<IfStmt>(cloneExpr(If->getCond()),
+                                     cloneStmt(If->getThen()),
+                                     cloneStmt(If->getElse()));
+      N->setEmiId(If->getEmiId());
+      return N;
+    }
+    case Stmt::StmtKind::For: {
+      const auto *For = cast<ForStmt>(S);
+      return Dst.makeStmt<ForStmt>(cloneStmt(For->getInit()),
+                                   cloneExpr(For->getCond()),
+                                   cloneExpr(For->getStep()),
+                                   cloneStmt(For->getBody()));
+    }
+    case Stmt::StmtKind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      return Dst.makeStmt<WhileStmt>(cloneExpr(W->getCond()),
+                                     cloneStmt(W->getBody()));
+    }
+    case Stmt::StmtKind::Do: {
+      const auto *D = cast<DoStmt>(S);
+      return Dst.makeStmt<DoStmt>(cloneStmt(D->getBody()),
+                                  cloneExpr(D->getCond()));
+    }
+    case Stmt::StmtKind::Return:
+      return Dst.makeStmt<ReturnStmt>(
+          cloneExpr(cast<ReturnStmt>(S)->getValue()));
+    case Stmt::StmtKind::Break:
+      return Dst.makeStmt<BreakStmt>();
+    case Stmt::StmtKind::Continue:
+      return Dst.makeStmt<ContinueStmt>();
+    case Stmt::StmtKind::Barrier:
+      return Dst.makeStmt<BarrierStmt>(
+          cast<BarrierStmt>(S)->getFenceFlags());
+    case Stmt::StmtKind::Null:
+      return Dst.makeStmt<NullStmt>();
+    }
+    assert(false && "unknown statement kind");
+    return nullptr;
+  }
+
+  const ASTContext &Src;
+  ASTContext &Dst;
+  std::unordered_map<const RecordType *, RecordType *> RecordMap;
+  std::unordered_map<const FunctionDecl *, FunctionDecl *> FuncMap;
+  std::unordered_map<const VarDecl *, VarDecl *> VarMap;
+};
+
+} // namespace
+
+std::unique_ptr<ASTContext> clfuzz::cloneContext(const ASTContext &Src) {
+  auto Dst = std::make_unique<ASTContext>();
+  Cloner(Src, *Dst).run();
+  return Dst;
+}

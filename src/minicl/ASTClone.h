@@ -1,0 +1,45 @@
+//===- ASTClone.h - Deep copy of a parsed translation unit ------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-clones an ASTContext: program, type table and every decl
+/// reference land in a fresh context with no pointers back into the
+/// source. This is what lets a campaign column parse its kernel ONCE
+/// and still run AST-mutating pass pipelines per cell — each
+/// optimising cell clones the shared front end and hands the private
+/// copy to the PassManager, instead of re-running parse + sema
+/// (device/Driver.cpp).
+///
+/// The clone is structurally identical to the source: printProgram on
+/// both yields the same text (pinned by CompilePipelineConformanceTest)
+/// and every interning relation is preserved — types that were
+/// pointer-equal in the source are pointer-equal in the clone, record
+/// types are recreated in source creation order (front-end checks scan
+/// records in order, so error selection must not change), and shared
+/// decl references stay shared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_MINICL_ASTCLONE_H
+#define CLFUZZ_MINICL_ASTCLONE_H
+
+#include "minicl/AST.h"
+
+#include <memory>
+
+namespace clfuzz {
+
+/// Returns a fresh context holding a complete deep copy of \p Src.
+/// The result owns all of its nodes and types; \p Src is untouched and
+/// the two contexts have independent lifetimes. (Returned by pointer
+/// because ASTContext is immovable: its TypeContext hands out interior
+/// pointers to by-value scalar singletons.)
+std::unique_ptr<ASTContext> cloneContext(const ASTContext &Src);
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_MINICL_ASTCLONE_H

@@ -215,6 +215,121 @@ void clfuzz::forEachExpr(const Stmt *S,
   });
 }
 
+bool clfuzz::forEachStmtUntil(const Stmt *S,
+                              const std::function<bool(const Stmt *)> &Fn) {
+  if (Fn(S))
+    return true;
+  switch (S->getKind()) {
+  case Stmt::StmtKind::Compound:
+    for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+      if (forEachStmtUntil(Child, Fn))
+        return true;
+    return false;
+  case Stmt::StmtKind::If: {
+    const auto *If = cast<IfStmt>(S);
+    if (forEachStmtUntil(If->getThen(), Fn))
+      return true;
+    return If->getElse() && forEachStmtUntil(If->getElse(), Fn);
+  }
+  case Stmt::StmtKind::For: {
+    const auto *For = cast<ForStmt>(S);
+    if (For->getInit() && forEachStmtUntil(For->getInit(), Fn))
+      return true;
+    return forEachStmtUntil(For->getBody(), Fn);
+  }
+  case Stmt::StmtKind::While:
+    return forEachStmtUntil(cast<WhileStmt>(S)->getBody(), Fn);
+  case Stmt::StmtKind::Do:
+    return forEachStmtUntil(cast<DoStmt>(S)->getBody(), Fn);
+  default:
+    return false;
+  }
+}
+
+bool clfuzz::forEachExprUntil(const Stmt *S,
+                              const std::function<bool(const Expr *)> &Fn) {
+  // Same walk as forEachExpr (statement roots in forEachStmt order,
+  // each expression tree pre-order), with early exit threaded through.
+  std::function<bool(const Expr *)> Walk = [&](const Expr *E) -> bool {
+    if (Fn(E))
+      return true;
+    bool Stopped = false;
+    switch (E->getKind()) {
+    case Expr::ExprKind::IntLiteral:
+    case Expr::ExprKind::DeclRef:
+      return false;
+    case Expr::ExprKind::Unary:
+      return Walk(cast<UnaryExpr>(E)->getSubExpr());
+    case Expr::ExprKind::Binary:
+      return Walk(cast<BinaryExpr>(E)->getLHS()) ||
+             Walk(cast<BinaryExpr>(E)->getRHS());
+    case Expr::ExprKind::Assign:
+      return Walk(cast<AssignExpr>(E)->getLHS()) ||
+             Walk(cast<AssignExpr>(E)->getRHS());
+    case Expr::ExprKind::Conditional:
+      return Walk(cast<ConditionalExpr>(E)->getCond()) ||
+             Walk(cast<ConditionalExpr>(E)->getTrueExpr()) ||
+             Walk(cast<ConditionalExpr>(E)->getFalseExpr());
+    case Expr::ExprKind::Call:
+      for (const Expr *A : cast<CallExpr>(E)->args())
+        Stopped = Stopped || Walk(A);
+      return Stopped;
+    case Expr::ExprKind::BuiltinCall:
+      for (const Expr *A : cast<BuiltinCallExpr>(E)->args())
+        Stopped = Stopped || Walk(A);
+      return Stopped;
+    case Expr::ExprKind::Index:
+      return Walk(cast<IndexExpr>(E)->getBase()) ||
+             Walk(cast<IndexExpr>(E)->getIndex());
+    case Expr::ExprKind::Member:
+      return Walk(cast<MemberExpr>(E)->getBase());
+    case Expr::ExprKind::Swizzle:
+      return Walk(cast<SwizzleExpr>(E)->getBase());
+    case Expr::ExprKind::Cast:
+      return Walk(cast<CastExpr>(E)->getSubExpr());
+    case Expr::ExprKind::ImplicitCast:
+      return Walk(cast<ImplicitCastExpr>(E)->getSubExpr());
+    case Expr::ExprKind::VectorConstruct:
+      for (const Expr *Elem : cast<VectorConstructExpr>(E)->elements())
+        Stopped = Stopped || Walk(Elem);
+      return Stopped;
+    case Expr::ExprKind::InitList:
+      for (const Expr *Sub : cast<InitListExpr>(E)->inits())
+        Stopped = Stopped || Walk(Sub);
+      return Stopped;
+    }
+    return false;
+  };
+  return forEachStmtUntil(S, [&](const Stmt *Node) -> bool {
+    switch (Node->getKind()) {
+    case Stmt::StmtKind::Decl:
+      if (const Expr *Init = cast<DeclStmt>(Node)->getDecl()->getInit())
+        return Walk(Init);
+      return false;
+    case Stmt::StmtKind::Expr:
+      return Walk(cast<ExprStmt>(Node)->getExpr());
+    case Stmt::StmtKind::If:
+      return Walk(cast<IfStmt>(Node)->getCond());
+    case Stmt::StmtKind::For: {
+      const auto *For = cast<ForStmt>(Node);
+      if (For->getCond() && Walk(For->getCond()))
+        return true;
+      return For->getStep() && Walk(For->getStep());
+    }
+    case Stmt::StmtKind::While:
+      return Walk(cast<WhileStmt>(Node)->getCond());
+    case Stmt::StmtKind::Do:
+      return Walk(cast<DoStmt>(Node)->getCond());
+    case Stmt::StmtKind::Return:
+      if (const Expr *V = cast<ReturnStmt>(Node)->getValue())
+        return Walk(V);
+      return false;
+    default:
+      return false;
+    }
+  });
+}
+
 bool clfuzz::containsBarrier(const Stmt *S) {
   bool Found = false;
   forEachStmt(S, [&Found](const Stmt *Node) {

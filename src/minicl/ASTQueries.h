@@ -54,6 +54,17 @@ void forEachExpr(const Stmt *S, const std::function<void(const Expr *)> &Fn);
 /// Visits every statement in the subtree (pre-order, including \p S).
 void forEachStmt(const Stmt *S, const std::function<void(const Stmt *)> &Fn);
 
+/// Like forEachExpr, but stops the traversal as soon as \p Fn returns
+/// true (same pre-order, so "first match" is identical). Returns true
+/// when a callback did.
+bool forEachExprUntil(const Stmt *S,
+                      const std::function<bool(const Expr *)> &Fn);
+
+/// Like forEachStmt, but stops the traversal as soon as \p Fn returns
+/// true. Returns true when a callback did.
+bool forEachStmtUntil(const Stmt *S,
+                      const std::function<bool(const Stmt *)> &Fn);
+
 /// The set of variables whose address is taken anywhere in \p F.
 std::set<const VarDecl *> collectAddressTaken(const FunctionDecl *F);
 

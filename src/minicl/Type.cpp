@@ -140,10 +140,9 @@ const VectorType *TypeContext::vector(const ScalarType *Elem,
   auto Key = std::make_pair(Elem, NumLanes);
   auto It = Vectors.find(Key);
   if (It != Vectors.end())
-    return It->second.get();
-  auto VT = std::make_unique<VectorType>(Elem, NumLanes);
-  const VectorType *Result = VT.get();
-  Vectors.emplace(Key, std::move(VT));
+    return It->second;
+  const VectorType *Result = Types.create<VectorType>(Elem, NumLanes);
+  Vectors.emplace(Key, Result);
   return Result;
 }
 
@@ -152,10 +151,9 @@ const ArrayType *TypeContext::array(const Type *Elem,
   auto Key = std::make_pair(Elem, NumElements);
   auto It = Arrays.find(Key);
   if (It != Arrays.end())
-    return It->second.get();
-  auto AT = std::make_unique<ArrayType>(Elem, NumElements);
-  const ArrayType *Result = AT.get();
-  Arrays.emplace(Key, std::move(AT));
+    return It->second;
+  const ArrayType *Result = Types.create<ArrayType>(Elem, NumElements);
+  Arrays.emplace(Key, Result);
   return Result;
 }
 
@@ -165,17 +163,15 @@ const PointerType *TypeContext::pointer(const Type *Pointee,
   auto Key = std::make_tuple(Pointee, AS, PointeeVolatile);
   auto It = Pointers.find(Key);
   if (It != Pointers.end())
-    return It->second.get();
-  auto PT = std::make_unique<PointerType>(Pointee, AS, PointeeVolatile);
-  const PointerType *Result = PT.get();
-  Pointers.emplace(Key, std::move(PT));
+    return It->second;
+  const PointerType *Result =
+      Types.create<PointerType>(Pointee, AS, PointeeVolatile);
+  Pointers.emplace(Key, Result);
   return Result;
 }
 
 RecordType *TypeContext::createRecord(std::string Name, bool IsUnion) {
-  auto RT = std::make_unique<RecordType>(std::move(Name), IsUnion);
-  RecordType *Result = RT.get();
-  Records.push_back(std::move(RT));
+  RecordType *Result = Types.create<RecordType>(std::move(Name), IsUnion);
   RecordList.push_back(Result);
   return Result;
 }

@@ -26,6 +26,7 @@
 #ifndef CLFUZZ_MINICL_TYPE_H
 #define CLFUZZ_MINICL_TYPE_H
 
+#include "support/Arena.h"
 #include "support/Casting.h"
 
 #include <cassert>
@@ -324,15 +325,16 @@ public:
 private:
   VoidType VoidT;
   ScalarType Scalars[10];
-  std::map<std::pair<const ScalarType *, unsigned>,
-           std::unique_ptr<VectorType>>
+  // Derived types are bump-allocated; the maps only intern. Records
+  // register destructors with the arena (they own strings/fields), the
+  // trivially-destructible vector/array/pointer types do not.
+  BumpArena Types;
+  std::map<std::pair<const ScalarType *, unsigned>, const VectorType *>
       Vectors;
-  std::map<std::pair<const Type *, uint64_t>, std::unique_ptr<ArrayType>>
-      Arrays;
+  std::map<std::pair<const Type *, uint64_t>, const ArrayType *> Arrays;
   std::map<std::tuple<const Type *, AddressSpace, bool>,
-           std::unique_ptr<PointerType>>
+           const PointerType *>
       Pointers;
-  std::vector<std::unique_ptr<RecordType>> Records;
   std::vector<RecordType *> RecordList;
 };
 

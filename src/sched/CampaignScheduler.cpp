@@ -91,12 +91,14 @@ bool CampaignScheduler::stepOnce() {
   size_t Picked = Policy.pick(Candidates, Weights);
   ScheduledCampaign &C = Campaigns[Picked];
 
-  // Serialized steps make attribution exact: every cache lookup and
-  // VM launch between the snapshots belongs to this campaign's step.
+  // Serialized steps make attribution exact: every cache lookup,
+  // compile phase and VM launch between the snapshots belongs to this
+  // campaign's step.
   OutcomeCacheStats Cache0;
   if (Opts.Cache)
     Cache0 = Opts.Cache->stats();
   VmCounters Vm0 = vmCounters();
+  CompileCounters Cc0 = compileCounters();
   size_t Witness0 = C.Task->distinctWitnesses();
 
   C.Task->step();
@@ -114,6 +116,19 @@ bool CampaignScheduler::stepOnce() {
   C.Stats.VmFused += Vm1.FusedExecuted - Vm0.FusedExecuted;
   C.Stats.VmLaunches += Vm1.Launches - Vm0.Launches;
   C.Stats.VmEngineReuses += Vm1.EngineReuses - Vm0.EngineReuses;
+  CompileCounters Cc1 = compileCounters();
+  C.Stats.Compile.Parses += Cc1.Parses - Cc0.Parses;
+  C.Stats.Compile.ParseNs += Cc1.ParseNs - Cc0.ParseNs;
+  C.Stats.Compile.Semas += Cc1.Semas - Cc0.Semas;
+  C.Stats.Compile.SemaNs += Cc1.SemaNs - Cc0.SemaNs;
+  C.Stats.Compile.Clones += Cc1.Clones - Cc0.Clones;
+  C.Stats.Compile.CloneNs += Cc1.CloneNs - Cc0.CloneNs;
+  C.Stats.Compile.Opts += Cc1.Opts - Cc0.Opts;
+  C.Stats.Compile.OptNs += Cc1.OptNs - Cc0.OptNs;
+  C.Stats.Compile.Codegens += Cc1.Codegens - Cc0.Codegens;
+  C.Stats.Compile.CodegenNs += Cc1.CodegenNs - Cc0.CodegenNs;
+  C.Stats.Compile.Execs += Cc1.Execs - Cc0.Execs;
+  C.Stats.Compile.ExecNs += Cc1.ExecNs - Cc0.ExecNs;
 
   ++C.Stats.Steps;
   C.Stats.Tests = C.Task->testsDone();

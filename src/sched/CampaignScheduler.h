@@ -48,6 +48,7 @@
 #ifndef CLFUZZ_SCHED_CAMPAIGNSCHEDULER_H
 #define CLFUZZ_SCHED_CAMPAIGNSCHEDULER_H
 
+#include "device/CompileCounters.h"
 #include "exec/ExecBackend.h"
 #include "exec/OutcomeCache.h"
 #include "sched/SchedPolicy.h"
@@ -122,6 +123,10 @@ struct CampaignStats {
   uint64_t VmFused = 0;
   uint64_t VmLaunches = 0;
   uint64_t VmEngineReuses = 0;
+  /// Per-phase compile profiler deltas during its steps (zero-valued,
+  /// like the VM counters, when the backend compiles in worker
+  /// processes the coordinator cannot see).
+  CompileCounters Compile;
 };
 
 /// A campaign's handle inside the scheduler.

@@ -39,14 +39,18 @@
 ///   --cache-mem-mb=N                 in-memory cache budget
 ///   --stats                          campaign counters on stderr
 ///                                    (cache_hits/cache_misses/
-///                                    coalesced plus a vm_* line:
-///                                    dispatch mode, instructions,
-///                                    fused dispatches, launches,
-///                                    engine reuses)
+///                                    coalesced, a vm_* line: dispatch
+///                                    mode, instructions, fused
+///                                    dispatches, launches, engine
+///                                    reuses, and a compile_* line:
+///                                    per-phase parse/sema/clone/opt/
+///                                    codegen/exec counts and ns)
 ///
 /// Every command also accepts --vm-dispatch=switch|goto to pick the
-/// interpreter's dispatch strategy (docs/vm.md); output is
-/// byte-identical either way, only wall-clock speed changes.
+/// interpreter's dispatch strategy (docs/vm.md) and
+/// --compile-clone=on|off to toggle clone-based front-end sharing
+/// (docs/compile-pipeline.md); output is byte-identical either way,
+/// only wall-clock speed changes.
 ///
 /// Reduction is a pipeline workload too: `reduce` evaluates its
 /// speculative candidates on --reduce-backend with --reduce-jobs
@@ -64,7 +68,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "device/CompileCounters.h"
 #include "device/DeviceConfig.h"
+#include "device/Driver.h"
 #include "exec/OutcomeCache.h"
 #include "exec/Pipeline.h"
 #include "exec/RemoteBackend.h"
@@ -275,6 +281,35 @@ void applyCacheOptions(const CliArgs &A, ExecOptions &Opts) {
 /// counters cover launches this process executed — under procs/remote
 /// backends the workers keep their own (the coordinator's line then
 /// reports 0 launches).
+/// One `compile_*` breakdown line: the per-phase compile profiler
+/// (device/CompileCounters.h) for \p Campaign. The same formatter
+/// serves the global counters and the scheduler's per-campaign deltas,
+/// so the per-campaign lines sum field-by-field to the campaign=total
+/// line (pinned by SchedulerConformanceTest).
+void printCompileLine(const char *Campaign, const CompileCounters &C) {
+  std::fprintf(
+      stderr,
+      "campaign=%s compile_clone=%s compile_parses=%llu "
+      "compile_parse_ns=%llu compile_semas=%llu compile_sema_ns=%llu "
+      "compile_clones=%llu compile_clone_ns=%llu compile_opts=%llu "
+      "compile_opt_ns=%llu compile_codegens=%llu compile_codegen_ns=%llu "
+      "compile_execs=%llu compile_exec_ns=%llu compile_total_ns=%llu\n",
+      Campaign, compileCloneEnabled() ? "on" : "off",
+      static_cast<unsigned long long>(C.Parses),
+      static_cast<unsigned long long>(C.ParseNs),
+      static_cast<unsigned long long>(C.Semas),
+      static_cast<unsigned long long>(C.SemaNs),
+      static_cast<unsigned long long>(C.Clones),
+      static_cast<unsigned long long>(C.CloneNs),
+      static_cast<unsigned long long>(C.Opts),
+      static_cast<unsigned long long>(C.OptNs),
+      static_cast<unsigned long long>(C.Codegens),
+      static_cast<unsigned long long>(C.CodegenNs),
+      static_cast<unsigned long long>(C.Execs),
+      static_cast<unsigned long long>(C.ExecNs),
+      static_cast<unsigned long long>(C.totalNs()));
+}
+
 void printCacheStats(const CliArgs &A, const ExecOptions &Opts,
                      const char *Campaign) {
   if (!A.has("stats"))
@@ -297,6 +332,7 @@ void printCacheStats(const CliArgs &A, const ExecOptions &Opts,
                static_cast<unsigned long long>(V.FusedExecuted),
                static_cast<unsigned long long>(V.Launches),
                static_cast<unsigned long long>(V.EngineReuses));
+  printCompileLine(Campaign, compileCounters());
 }
 
 ExecOptions execOptionsFrom(const CliArgs &A) {
@@ -673,6 +709,7 @@ int cmdSched(const CliArgs &A) {
           static_cast<unsigned long long>(C.Stats.VmFused),
           static_cast<unsigned long long>(C.Stats.VmLaunches),
           static_cast<unsigned long long>(C.Stats.VmEngineReuses));
+      printCompileLine(C.Name.c_str(), C.Stats.Compile);
     }
     printCacheStats(A, Opts, "total");
   }
@@ -751,7 +788,9 @@ int usage() {
       "  --ignore-jobs\n"
       "all commands: --vm-dispatch=switch|goto interpreter dispatch\n"
       "  strategy (byte-identical output, wall-clock only; docs/vm.md);\n"
-      "  --stats adds a vm_* counter line on stderr\n");
+      "  --compile-clone=on|off clone-don't-reparse front-end sharing\n"
+      "  (byte-identical output, wall-clock only; docs/compile-pipeline.md);\n"
+      "  --stats adds vm_* and compile_* counter lines on stderr\n");
   return 2;
 }
 
@@ -770,6 +809,18 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     setVmDispatchMode(D);
+  }
+  // Front-end sharing tuning, same contract as --vm-dispatch: output
+  // is byte-identical on or off, only wall-clock speed changes. The
+  // flag wins over the CLFUZZ_COMPILE_CLONE environment variable.
+  if (A.has("compile-clone")) {
+    std::string Mode = A.get("compile-clone");
+    if (Mode != "on" && Mode != "off") {
+      std::fprintf(stderr, "unknown compile-clone mode '%s' (use on or off)\n",
+                   Mode.c_str());
+      return 1;
+    }
+    setCompileCloneEnabled(Mode == "on");
   }
   // Campaign-time failures (the whole remote fleet unreachable, a
   // process pool that cannot fork) surface as exceptions from deep
