@@ -21,6 +21,8 @@
 ///   --cache=M     off | mem | disk content-addressed outcome cache
 ///   --cache-dir=D disk store root (implies --cache=disk)
 ///   --cache-mem-mb=N  in-memory cache budget
+///   --triage-witnesses=N  witnesses the triage harness bisects
+///   --triage-opt  triage at the optimising level (default -O0)
 ///
 /// Tables are bit-identical for every backend, worker count, shard
 /// size and cache mode; only wall-clock time and fault isolation
@@ -66,6 +68,10 @@ struct HarnessArgs {
   CacheMode Cache = CacheMode::Off;
   std::string CacheDir;
   unsigned CacheMemMb = 0;
+  /// Witness count for the triage harness (0 = harness default).
+  unsigned TriageWitnesses = 0;
+  /// Triage probes run at the optimising level instead of -O0.
+  bool TriageOpt = false;
 
   /// The ExecOptions a campaign settings struct should use.
   ExecOptions execOptions() const {
@@ -132,6 +138,10 @@ inline HarnessArgs parseArgs(int Argc, char **Argv) {
         A.Cache = CacheMode::Disk;
     } else if (std::strncmp(Argv[I], "--cache-mem-mb=", 15) == 0) {
       A.CacheMemMb = static_cast<unsigned>(std::atoi(Argv[I] + 15));
+    } else if (std::strncmp(Argv[I], "--triage-witnesses=", 19) == 0) {
+      A.TriageWitnesses = static_cast<unsigned>(std::atoi(Argv[I] + 19));
+    } else if (std::strcmp(Argv[I], "--triage-opt") == 0) {
+      A.TriageOpt = true;
     } else if (std::strncmp(Argv[I], "--format=", 9) == 0) {
       if (!parseTableFormat(Argv[I] + 9, A.Format)) {
         std::fprintf(stderr, "unknown format '%s' (text, csv, json)\n",

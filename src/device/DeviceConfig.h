@@ -65,6 +65,13 @@ struct DeviceBugModel {
   /// Per-occurrence probability of the EMI-sensitive empty-block
   /// elimination defect (variants of one base diverge, §7.4).
   double EmiDceBugRate = 0.0;
+  /// Fault-injection passes for the triage conformance suite — no
+  /// registry configuration sets these; tests build custom configs
+  /// with known minimal faulty pass sets (opt/Pass.h documents each).
+  bool BreakOnShiftBug = false;
+  bool BreakOnAndBug = false;
+  bool ShiftMarkBug = false;
+  bool MarkBreakBug = false;
 
   // --- runtime
   /// Kernel crashes when any helper function contains a barrier

@@ -225,7 +225,35 @@ double lotteryDraw(uint64_t SourceHash, uint64_t Salt, bool Opt,
 /// RotateFoldBug-forced constant folder.
 bool pipelineIsEmpty(const DeviceBugModel &Bugs, bool RunOptimizer) {
   return !RunOptimizer && !Bugs.RotateFoldBug &&
-         !Bugs.BarrierCallRetvalBug && Bugs.EmiDceBugRate == 0.0;
+         !Bugs.BarrierCallRetvalBug && Bugs.EmiDceBugRate == 0.0 &&
+         !Bugs.BreakOnShiftBug && !Bugs.BreakOnAndBug &&
+         !Bugs.ShiftMarkBug && !Bugs.MarkBreakBug;
+}
+
+/// The PassOptions the pipeline stage runs with — shared between
+/// compileAndRun and the exported passPipelineOptionsFor so the
+/// triage bisector names exactly the passes a cell executed.
+PassOptions passPipelineOptions(const DeviceBugModel &Bugs,
+                                bool RunOptimizer, uint64_t Salt,
+                                uint64_t SourceHash) {
+  PassOptions PO = RunOptimizer ? PassOptions::o2() : PassOptions::o0();
+  if (!RunOptimizer && Bugs.RotateFoldBug) {
+    // Mandatory constant-folding stage (see configuration 14).
+    PO.EnableConstFold = true;
+  }
+  PO.RotateFoldBug = Bugs.RotateFoldBug;
+  PO.ShiftSafeFoldBug = Bugs.ShiftSafeFoldBug;
+  PO.CmpMinusOneBug = Bugs.CmpMinusOneBug;
+  PO.BarrierCallRetvalBug = Bugs.BarrierCallRetvalBug;
+  PO.EmiDceBugRate = Bugs.EmiDceBugRate;
+  PO.BreakOnShiftBug = Bugs.BreakOnShiftBug;
+  PO.BreakOnAndBug = Bugs.BreakOnAndBug;
+  PO.ShiftMarkBug = Bugs.ShiftMarkBug;
+  PO.MarkBreakBug = Bugs.MarkBreakBug;
+  // Mix the variant's source into the salt: the defect depends on the
+  // exact surrounding code, which is what makes it EMI-sensitive.
+  PO.BugSalt = Salt ^ SourceHash;
+  return PO;
 }
 
 RunOutcome compileAndRun(const TestCase &Test, const DeviceBugModel &Bugs,
@@ -335,21 +363,12 @@ RunOutcome compileAndRun(const TestCase &Test, const DeviceBugModel &Bugs,
   // PassManager is a no-op, so skipping changes nothing).
   if (!PipelineEmpty) {
     PhaseTimer T(CompilePhase::Opt);
-    PassOptions PO = RunOptimizer ? PassOptions::o2() : PassOptions::o0();
-    if (!RunOptimizer && Bugs.RotateFoldBug) {
-      // Mandatory constant-folding stage (see configuration 14).
-      PO.EnableConstFold = true;
-    }
-    PO.RotateFoldBug = Bugs.RotateFoldBug;
-    PO.ShiftSafeFoldBug = Bugs.ShiftSafeFoldBug;
-    PO.CmpMinusOneBug = Bugs.CmpMinusOneBug;
-    PO.BarrierCallRetvalBug = Bugs.BarrierCallRetvalBug;
-    PO.EmiDceBugRate = Bugs.EmiDceBugRate;
-    // Mix the variant's source into the salt: the defect depends on the
-    // exact surrounding code, which is what makes it EMI-sensitive.
-    PO.BugSalt = Salt ^ SourceHash;
+    PassOptions PO =
+        passPipelineOptions(Bugs, RunOptimizer, Salt, SourceHash);
     PassManager PM = buildPipeline(PO, Ctx);
-    PM.run(Ctx);
+    // The triage bisector's subset probes select pipeline positions
+    // via Settings.PassMask; the default mask runs everything.
+    PM.run(Ctx, Settings.PassMask);
   }
 
   // --- 4. code generation
@@ -520,6 +539,15 @@ RunOutcome clfuzz::runTestOnConfig(const TestCase &Test,
   bool RunOptimizer = OptEnabled && !Config.NoOptimizer;
   return compileAndRun(Test, Bugs, RunOptimizer, OptEnabled, Config.Salt,
                        Config.IceMessages, Settings, SharedFE);
+}
+
+PassOptions clfuzz::passPipelineOptionsFor(const DeviceConfig &Config,
+                                           bool OptEnabled,
+                                           const TestCase &Test) {
+  const DeviceBugModel &Bugs = Config.bugs(OptEnabled);
+  bool RunOptimizer = OptEnabled && !Config.NoOptimizer;
+  return passPipelineOptions(Bugs, RunOptimizer, Config.Salt,
+                             fnv64(Test.Source));
 }
 
 RunOutcome clfuzz::runTestOnReference(const TestCase &Test, bool Optimize,

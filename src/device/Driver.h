@@ -22,6 +22,7 @@
 
 #include "device/DeviceConfig.h"
 #include "gen/Generator.h"
+#include "opt/Pass.h"
 
 #include <memory>
 #include <string>
@@ -56,6 +57,14 @@ struct RunSettings {
   /// in already-dead code (§7.4).
   bool InvertDead = false;
   bool DetectRaces = false;
+
+  /// Pass-pipeline subset selector: bit I set means the pass at
+  /// pipeline position I runs (in pipeline order). The default ~0
+  /// runs the full pipeline — the everyday case. The triage bisector
+  /// (src/triage/) probes subsets by varying this, so a probe is an
+  /// ordinary ExecJob: serialized on the wire, cached by descriptor,
+  /// executed on any backend unchanged.
+  uint64_t PassMask = ~uint64_t(0);
 
   /// Fault-injection hooks, honoured by runExecJob() before the driver
   /// is entered. They exist so tests can prove the process-pool
@@ -166,6 +175,14 @@ RunOutcome runTestOnConfig(const TestCase &Test,
 RunOutcome runTestOnReference(const TestCase &Test, bool Optimize,
                               const RunSettings &Settings = RunSettings(),
                               const TestFrontEnd *SharedFE = nullptr);
+
+/// The exact PassOptions the driver would hand buildPipeline for a
+/// run of \p Test on \p Config at \p OptEnabled — the single source
+/// of truth for the pipeline a cell executes (compileAndRun uses the
+/// same derivation). The triage bisector calls this to learn the
+/// pipeline's pass names without re-running compilation.
+PassOptions passPipelineOptionsFor(const DeviceConfig &Config,
+                                   bool OptEnabled, const TestCase &Test);
 
 } // namespace clfuzz
 

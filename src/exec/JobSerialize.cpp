@@ -120,6 +120,10 @@ void writeBugModel(WireWriter &W, const DeviceBugModel &B) {
   W.u8(B.CmpMinusOneBug);
   W.u8(B.BarrierCallRetvalBug);
   W.f64(B.EmiDceBugRate);
+  W.u8(B.BreakOnShiftBug);
+  W.u8(B.BreakOnAndBug);
+  W.u8(B.ShiftMarkBug);
+  W.u8(B.MarkBreakBug);
   W.u8(B.BarrierInFunctionCrash);
   W.f64(B.CrashLottery);
   W.f64(B.SpeedFactor);
@@ -142,6 +146,10 @@ DeviceBugModel readBugModel(WireReader &R) {
   B.CmpMinusOneBug = R.u8();
   B.BarrierCallRetvalBug = R.u8();
   B.EmiDceBugRate = R.f64();
+  B.BreakOnShiftBug = R.u8();
+  B.BreakOnAndBug = R.u8();
+  B.ShiftMarkBug = R.u8();
+  B.MarkBreakBug = R.u8();
   B.BarrierInFunctionCrash = R.u8();
   B.CrashLottery = R.f64();
   B.SpeedFactor = R.f64();
@@ -231,6 +239,7 @@ void writeSettings(WireWriter &W, const RunSettings &S) {
   W.u8(S.DetectRaces);
   W.u8(S.DebugHardAbort);
   W.u32(S.DebugSpinMs);
+  W.u64(S.PassMask);
 }
 
 RunSettings readSettings(WireReader &R) {
@@ -241,6 +250,7 @@ RunSettings readSettings(WireReader &R) {
   S.DetectRaces = R.u8();
   S.DebugHardAbort = R.u8();
   S.DebugSpinMs = R.u32();
+  S.PassMask = R.u64();
   return S;
 }
 

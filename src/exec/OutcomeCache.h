@@ -112,7 +112,7 @@ public:
   /// rejected (never reinterpreted). Mirrored on the wire as the hello
   /// frame's cache generation so coordinators drop stale worker
   /// caches (exec/WireProtocol.h).
-  static constexpr uint32_t FormatVersion = 1;
+  static constexpr uint32_t FormatVersion = 2;
 
   explicit OutcomeCache(OutcomeCacheOptions Opts);
 

@@ -56,7 +56,7 @@ constexpr uint8_t ProtocolVersion = 2;
 /// are static_assert-locked together). A worker whose outcome cache
 /// was filled under a different generation drops it on handshake, so
 /// stale cached outcomes never cross a format change.
-constexpr uint64_t CacheGeneration = 1;
+constexpr uint64_t CacheGeneration = 2;
 
 /// Upper bound on a frame payload. Real job descriptors are a few KiB
 /// (kernel source + buffers + config); anything near this bound is a

@@ -89,16 +89,12 @@ bool WorkerServer::start() {
 
 void WorkerServer::stop() {
   // shutdown() (not close()) wakes threads blocked in accept/read;
-  // fds are closed only here, after every thread that could touch
-  // them was joined, so there is no close/reuse race.
+  // fds are closed only after every thread that could touch them was
+  // joined, so there is no close/reuse race.
   if (!Stopping.exchange(true) && ListenFd >= 0)
     ::shutdown(ListenFd, SHUT_RDWR);
   if (Acceptor.joinable())
     Acceptor.join();
-  if (ListenFd >= 0) {
-    ::close(ListenFd);
-    ListenFd = -1;
-  }
   // The acceptor is gone, so the connection set is final; wake every
   // service and runner thread, then join and destroy them all
   // (~Connection closes each fd).
@@ -111,6 +107,12 @@ void WorkerServer::stop() {
   for (auto &Conn : Doomed)
     if (Conn->Service.joinable())
       Conn->Service.join();
+  // A DieAfterJobs runner thread may call closeAllSockets() — which
+  // shutdown()s the listen fd — right up until the joins above, so
+  // only now may its number be closed and released for reuse.
+  int Fd = ListenFd.exchange(-1);
+  if (Fd >= 0)
+    ::close(Fd);
 }
 
 void WorkerServer::closeAllSockets() {

@@ -156,7 +156,7 @@ private:
   WorkerOptions Opts;
   unsigned ResolvedJobs = 1;
   unsigned BoundPort = 0;
-  int ListenFd = -1;
+  std::atomic<int> ListenFd{-1};
   std::thread Acceptor;
   std::atomic<bool> Stopping{false};
   std::atomic<bool> Died{false};

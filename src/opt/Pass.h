@@ -55,6 +55,28 @@ struct PassOptions {
   /// pruned-to-empty EMI block), it occasionally deletes the following
   /// statement too. Probability per occurrence; 0 disables.
   double EmiDceBugRate = 0.0;
+
+  // Fault-injection passes for the triage conformance suite
+  // (tests/TriageConformanceTest.cpp). No registry configuration sets
+  // these; they exist so tests can pin pass bisection against known
+  // minimal faulty sets. Each is a standalone pass appended after the
+  // regular pipeline (see buildPipeline).
+  /// Rewrites every scalar safe_lshift(x,y) into safe_rshift(x,y) — a
+  /// single-pass wrong-code bug; bisection must name exactly it.
+  bool BreakOnShiftBug = false;
+  /// Rewrites every scalar `x & y` into `x | y` — a second independent
+  /// single-pass bug, distinct from BreakOnShiftBug for clustering.
+  bool BreakOnAndBug = false;
+  /// Neutral marker pass: rewrites scalar safe_lshift(x,y) into
+  /// `safe_lshift(x,y) + (11181 & 0)`. Harmless alone (adds zero);
+  /// wrong only in combination with MarkBreakBug below — the
+  /// minimal-faulty-*combination* fixture.
+  bool ShiftMarkBug = false;
+  /// Rewrites the exact marker expression `11181 & 0` into `1`. A
+  /// no-op unless ShiftMarkBug planted the marker, so the minimal
+  /// faulty set is the {shift-mark, mark-break} pair.
+  bool MarkBreakBug = false;
+
   /// Salt for the EmiDceBugRate trigger hash (per configuration).
   uint64_t BugSalt = 0;
 
@@ -88,8 +110,17 @@ public:
   /// Runs each pass, in order, over each function.
   void run(ASTContext &Ctx);
 
+  /// Runs the subset of passes selected by \p EnabledMask (bit I set
+  /// means pipeline position I runs, in the original order). The
+  /// triage bisector probes pass subsets through this overload; the
+  /// default-mask run is identical to run(Ctx).
+  void run(ASTContext &Ctx, uint64_t EnabledMask);
+
   /// Names of scheduled passes (for reporting and tests).
   std::vector<std::string> passNames() const;
+
+  /// Number of scheduled passes.
+  size_t size() const { return Passes.size(); }
 
 private:
   std::vector<std::unique_ptr<Pass>> Passes;
@@ -102,9 +133,16 @@ std::unique_ptr<Pass> createCopyPropPass();
 std::unique_ptr<Pass> createDCEPass();
 std::unique_ptr<Pass> createBarrierLoweringPass(const ASTContext &Ctx);
 std::unique_ptr<Pass> createEmptyBlockElimPass(const PassOptions &Opts);
+// Fault-injection passes (test-only; see the PassOptions knobs).
+std::unique_ptr<Pass> createShiftMarkPass();
+std::unique_ptr<Pass> createMarkBreakPass();
+std::unique_ptr<Pass> createBreakOnShiftPass();
+std::unique_ptr<Pass> createBreakOnAndPass();
 
 /// Builds the pipeline for \p Opts: [BarrierLowering(bug)] ConstFold,
-/// Simplify, CopyProp, ConstFold, Simplify, DCE (enabled subsets).
+/// Simplify, CopyProp, ConstFold, Simplify, DCE (enabled subsets),
+/// then any enabled fault-injection passes (after DCE so nothing
+/// folds or deletes their planted shapes).
 PassManager buildPipeline(const PassOptions &Opts, const ASTContext &Ctx);
 
 } // namespace clfuzz

@@ -20,6 +20,15 @@ void PassManager::run(ASTContext &Ctx) {
       P->runOnFunction(F, Ctx);
 }
 
+void PassManager::run(ASTContext &Ctx, uint64_t EnabledMask) {
+  for (size_t I = 0; I != Passes.size(); ++I) {
+    if (I < 64 && !(EnabledMask & (uint64_t(1) << I)))
+      continue;
+    for (FunctionDecl *F : Ctx.program().functions())
+      Passes[I]->runOnFunction(F, Ctx);
+  }
+}
+
 std::vector<std::string> PassManager::passNames() const {
   std::vector<std::string> Names;
   for (const auto &P : Passes)
@@ -213,6 +222,132 @@ clfuzz::createEmptyBlockElimPass(const PassOptions &Opts) {
   return std::make_unique<EmptyBlockElimPass>(Opts);
 }
 
+namespace {
+
+/// The literal marker ShiftMarkPass plants and MarkBreakPass consumes:
+/// `11181 & 0`. Pure literals, so evaluation is side-effect free and
+/// nothing is double-evaluated.
+constexpr uint64_t TriageMarkerValue = 11181;
+
+/// True when \p E is the planted marker `11181 & 0`.
+bool isTriageMarker(const Expr *E) {
+  const auto *B = dyn_cast<BinaryExpr>(E);
+  if (!B || B->getOp() != BinOp::BitAnd)
+    return false;
+  const auto *L = dyn_cast<IntLiteral>(B->getLHS());
+  const auto *R = dyn_cast<IntLiteral>(B->getRHS());
+  return L && R && L->getValue() == TriageMarkerValue &&
+         R->getValue() == 0;
+}
+
+/// Fault injection (conjunctive half 1): wraps every scalar
+/// safe_lshift in `+ (11181 & 0)`. Adding zero is semantically
+/// neutral, so this pass alone never changes an outcome; it only
+/// becomes wrong when MarkBreakPass rewrites the marker to 1.
+class ShiftMarkPass : public Pass {
+public:
+  const char *name() const override { return "shift-mark(test-bug)"; }
+
+  void runOnFunction(FunctionDecl *F, ASTContext &Ctx) override {
+    rewriteFunction(
+        Ctx, F,
+        [&Ctx](Expr *E) -> Expr * {
+          const auto *C = dyn_cast<BuiltinCallExpr>(E);
+          if (!C || C->getBuiltin() != Builtin::SafeShl)
+            return E;
+          if (!isa<ScalarType>(C->getType()))
+            return E;
+          const auto *ST = cast<ScalarType>(C->getType());
+          Expr *Marker = Ctx.makeExpr<BinaryExpr>(
+              BinOp::BitAnd, Ctx.intLit(TriageMarkerValue, ST),
+              Ctx.intLit(0, ST), C->getType());
+          return Ctx.makeExpr<BinaryExpr>(BinOp::Add, E, Marker,
+                                          C->getType());
+        },
+        nullptr);
+  }
+};
+
+/// Fault injection (conjunctive half 2): rewrites the exact marker
+/// `11181 & 0` to `1`. Without ShiftMarkPass the marker never exists,
+/// so this pass alone is a no-op — the minimal faulty set is the
+/// {shift-mark, mark-break} *pair*.
+class MarkBreakPass : public Pass {
+public:
+  const char *name() const override { return "mark-break(test-bug)"; }
+
+  void runOnFunction(FunctionDecl *F, ASTContext &Ctx) override {
+    rewriteFunction(
+        Ctx, F,
+        [&Ctx](Expr *E) -> Expr * {
+          if (!isTriageMarker(E) || !isa<ScalarType>(E->getType()))
+            return E;
+          return Ctx.intLit(1, cast<ScalarType>(E->getType()));
+        },
+        nullptr);
+  }
+};
+
+/// Fault injection: every scalar safe_lshift becomes safe_rshift — a
+/// single-pass wrong-code defect bisection must name exactly.
+class BreakOnShiftPass : public Pass {
+public:
+  const char *name() const override { return "break-on-shift(test-bug)"; }
+
+  void runOnFunction(FunctionDecl *F, ASTContext &Ctx) override {
+    rewriteFunction(
+        Ctx, F,
+        [&Ctx](Expr *E) -> Expr * {
+          const auto *C = dyn_cast<BuiltinCallExpr>(E);
+          if (!C || C->getBuiltin() != Builtin::SafeShl)
+            return E;
+          if (!isa<ScalarType>(C->getType()))
+            return E;
+          return Ctx.makeExpr<BuiltinCallExpr>(Builtin::SafeShr,
+                                               C->args(), C->getType());
+        },
+        nullptr);
+  }
+};
+
+/// Fault injection: every scalar `x & y` becomes `x | y` — a second
+/// independent single-pass defect, feature-distinct from the shift
+/// one so the two land in different triage clusters.
+class BreakOnAndPass : public Pass {
+public:
+  const char *name() const override { return "break-on-and(test-bug)"; }
+
+  void runOnFunction(FunctionDecl *F, ASTContext &Ctx) override {
+    rewriteFunction(
+        Ctx, F,
+        [&Ctx](Expr *E) -> Expr * {
+          const auto *B = dyn_cast<BinaryExpr>(E);
+          if (!B || B->getOp() != BinOp::BitAnd)
+            return E;
+          if (!isa<ScalarType>(B->getType()))
+            return E;
+          return Ctx.makeExpr<BinaryExpr>(BinOp::BitOr, B->getLHS(),
+                                          B->getRHS(), B->getType());
+        },
+        nullptr);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> clfuzz::createShiftMarkPass() {
+  return std::make_unique<ShiftMarkPass>();
+}
+std::unique_ptr<Pass> clfuzz::createMarkBreakPass() {
+  return std::make_unique<MarkBreakPass>();
+}
+std::unique_ptr<Pass> clfuzz::createBreakOnShiftPass() {
+  return std::make_unique<BreakOnShiftPass>();
+}
+std::unique_ptr<Pass> clfuzz::createBreakOnAndPass() {
+  return std::make_unique<BreakOnAndPass>();
+}
+
 PassManager clfuzz::buildPipeline(const PassOptions &Opts,
                                   const ASTContext &Ctx) {
   PassManager PM;
@@ -232,5 +367,15 @@ PassManager clfuzz::buildPipeline(const PassOptions &Opts,
     PM.add(createSimplifyPass(Opts));
   if (Opts.EnableDCE)
     PM.add(createDCEPass());
+  // Fault-injection passes run last: nothing downstream may fold or
+  // delete their planted shapes, or bisection could not isolate them.
+  if (Opts.ShiftMarkBug)
+    PM.add(createShiftMarkPass());
+  if (Opts.MarkBreakBug)
+    PM.add(createMarkBreakPass());
+  if (Opts.BreakOnShiftBug)
+    PM.add(createBreakOnShiftPass());
+  if (Opts.BreakOnAndBug)
+    PM.add(createBreakOnAndPass());
   return PM;
 }

@@ -101,6 +101,19 @@ void ReductionQueue::runJob(ReductionJob Job) {
     };
   try {
     R.Reduced = reduceTest(Job.Witness, *Job.Oracle, JobOpts, &R.Stats);
+    if (Job.Triage) {
+      // Bisection probes ride the job's own scheduling: same backend,
+      // same dispatch priority, same run settings as the reduction's
+      // candidate probes — cache- and remote-transparent by
+      // construction.
+      TriageOptions TO;
+      TO.Exec = JobOpts.Exec;
+      TO.Backend = JobOpts.Backend;
+      TO.DispatchPriority = JobOpts.DispatchPriority;
+      TO.Run = JobOpts.Run;
+      R.Triage = triageWitness(R.Reduced, Job.Triage->Config,
+                               Job.Triage->Opt, TO);
+    }
   } catch (const std::exception &E) {
     // A reduction that dies (its backend failing to fork, or the
     // whole remote fleet unreachable) is one failed result, not a

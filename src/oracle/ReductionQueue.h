@@ -45,14 +45,25 @@
 #define CLFUZZ_ORACLE_REDUCTIONQUEUE_H
 
 #include "oracle/Reducer.h"
+#include "triage/Triage.h"
 
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 namespace clfuzz {
+
+/// Asks the queue to triage the reduced witness after reduction
+/// succeeds (src/triage/): bisection probes ride the job's own
+/// scheduling — the job's backend, priority and run settings — so
+/// triage works identically threaded and scheduler-driven.
+struct TriageRequest {
+  DeviceConfig Config; ///< the configuration the witness misbehaves on
+  bool Opt = false;    ///< the misbehaving opt level
+};
 
 /// One witness awaiting reduction.
 struct ReductionJob {
@@ -64,6 +75,9 @@ struct ReductionJob {
   std::string Label;
   TestCase Witness;
   std::shared_ptr<const ReductionOracle> Oracle;
+  /// When set, the reduced witness is triaged in the same job
+  /// (`hunt --reduce --triage`, `clfuzz triage`).
+  std::optional<TriageRequest> Triage;
 };
 
 /// A finished reduction.
@@ -72,6 +86,9 @@ struct ReductionResult {
   std::string Label;
   TestCase Reduced;
   ReduceStats Stats;
+  /// The triage verdict, when the job requested one and reduction
+  /// succeeded.
+  std::optional<TriageResult> Triage;
   /// The job's JSONL trace (only when the queue captures traces).
   std::string Trace;
   /// Non-empty when the reduction aborted (e.g. its backend failed);

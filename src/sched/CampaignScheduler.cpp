@@ -99,6 +99,7 @@ bool CampaignScheduler::stepOnce() {
     Cache0 = Opts.Cache->stats();
   VmCounters Vm0 = vmCounters();
   CompileCounters Cc0 = compileCounters();
+  TriageCounters Tr0 = triageCounters();
   size_t Witness0 = C.Task->distinctWitnesses();
 
   C.Task->step();
@@ -129,6 +130,10 @@ bool CampaignScheduler::stepOnce() {
   C.Stats.Compile.CodegenNs += Cc1.CodegenNs - Cc0.CodegenNs;
   C.Stats.Compile.Execs += Cc1.Execs - Cc0.Execs;
   C.Stats.Compile.ExecNs += Cc1.ExecNs - Cc0.ExecNs;
+  TriageCounters Tr1 = triageCounters();
+  C.Stats.Triage.Witnesses += Tr1.Witnesses - Tr0.Witnesses;
+  C.Stats.Triage.Probes += Tr1.Probes - Tr0.Probes;
+  C.Stats.Triage.Clusters += Tr1.Clusters - Tr0.Clusters;
 
   ++C.Stats.Steps;
   C.Stats.Tests = C.Task->testsDone();

@@ -52,6 +52,7 @@
 #include "exec/ExecBackend.h"
 #include "exec/OutcomeCache.h"
 #include "sched/SchedPolicy.h"
+#include "triage/Triage.h"
 
 #include <deque>
 #include <memory>
@@ -127,6 +128,12 @@ struct CampaignStats {
   /// like the VM counters, when the backend compiles in worker
   /// processes the coordinator cannot see).
   CompileCounters Compile;
+  /// Triage counter deltas during its steps. Witnesses/Probes accrue
+  /// in the step that runs the triage (the reduction lane's, for a
+  /// hunt), Clusters in the consuming campaign's drain step; both are
+  /// inside serialized steps, so per-campaign lines sum exactly to
+  /// the global counters.
+  TriageCounters Triage;
 };
 
 /// A campaign's handle inside the scheduler.

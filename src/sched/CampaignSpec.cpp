@@ -28,9 +28,9 @@ bool parseOneDecl(const std::string &Entry, CampaignDecl &D,
                               ? Entry
                               : Entry.substr(0, Open));
   if (Type != "hunt" && Type != "diff" && Type != "emi" &&
-      Type != "reduce") {
+      Type != "reduce" && Type != "triage") {
     Error = "unknown campaign type '" + Type +
-            "' (use hunt, diff, emi or reduce)";
+            "' (use hunt, diff, emi, reduce or triage)";
     return false;
   }
   D.Type = Type;

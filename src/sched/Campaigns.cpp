@@ -19,6 +19,7 @@
 #include "oracle/Oracle.h"
 #include "support/Rng.h"
 #include "support/StringUtil.h"
+#include "triage/Triage.h"
 
 #include <algorithm>
 #include <set>
@@ -113,9 +114,9 @@ class HuntSink final : public ResultSink {
 public:
   HuntSink(uint64_t SeedBase, std::vector<std::string> Labels,
            const std::vector<DeviceConfig> &Targets,
-           ReductionQueue *Reductions, std::FILE *Out)
+           ReductionQueue *Reductions, bool Triage, std::FILE *Out)
       : SeedBase(SeedBase), Labels(std::move(Labels)), Targets(Targets),
-        Reductions(Reductions), Out(Out) {}
+        Reductions(Reductions), Triage(Triage), Out(Out) {}
 
   void consumeTest(size_t TestIndex, const TestCase &T,
                    const std::vector<RunOutcome> &Outs) override {
@@ -141,6 +142,8 @@ public:
         Job.Witness = T;
         Job.Oracle = std::make_shared<DifferentialReductionOracle>(
             Targets[I / 2], /*Opt=*/I % 2 != 0);
+        if (Triage)
+          Job.Triage = TriageRequest{Targets[I / 2], /*Opt=*/I % 2 != 0};
         Reductions->submit(std::move(Job));
       }
     }
@@ -150,6 +153,7 @@ public:
   std::vector<std::string> Labels;
   const std::vector<DeviceConfig> &Targets;
   ReductionQueue *Reductions;
+  bool Triage;
   std::FILE *Out;
   unsigned Findings = 0;
   std::set<uint64_t> Fingerprints;
@@ -177,7 +181,8 @@ public:
       Sink = std::make_unique<JsonlOutcomeSink>(Out, Labels);
     else {
       auto HS = std::make_unique<HuntSink>(this->Spec.Seed, Labels,
-                                           Targets, Queue, Out);
+                                           Targets, Queue,
+                                           this->Spec.Triage, Out);
       Findings = HS.get();
       Sink = std::move(HS);
     }
@@ -268,7 +273,12 @@ private:
                    R.Stats.FinalLines, R.Stats.CandidatesTried,
                    R.Stats.CandidatesKept);
       std::fprintf(Out, "%s", R.Reduced.Source.c_str());
+      if (R.Triage)
+        std::fprintf(Out, "%s: %s\n", R.Label.c_str(),
+                     renderTriageLine(*R.Triage).c_str());
     }
+    if (Spec.Triage)
+      printTriageSummary(Reduced);
     if (!Spec.ReduceTracePath.empty()) {
       std::FILE *F = Spec.ReduceTracePath == "-"
                          ? stderr
@@ -287,6 +297,54 @@ private:
       if (F != stderr)
         std::fclose(F);
     }
+  }
+
+  /// The distinct-bug epilogue for `hunt --reduce --triage`: one
+  /// summary line on the report stream, plus the optional csv/jsonl
+  /// sink file. Drain order is deterministic, so both are
+  /// byte-identical however the background jobs interleaved.
+  void printTriageSummary(const std::vector<ReductionResult> &Reduced) {
+    std::set<std::string> Keys;
+    size_t Triaged = 0;
+    for (const ReductionResult &R : Reduced)
+      if (R.Triage) {
+        ++Triaged;
+        if (!R.Triage->ClusterKey.empty())
+          Keys.insert(R.Triage->ClusterKey);
+      }
+    // Charged here (not in triageWitness) so the increment lands
+    // inside this campaign's own step under the scheduler: the
+    // per-campaign stats delta attributes it exactly.
+    addTriageClusters(Keys.size());
+    if (Triaged)
+      std::fprintf(Out,
+                   "\ntriage: %zu distinct bug cluster(s) across %zu "
+                   "triaged witness(es)\n",
+                   Keys.size(), Triaged);
+    if (Spec.TriageOut.empty())
+      return;
+    std::FILE *F = Spec.TriageOut == "-"
+                       ? stderr
+                       : std::fopen(Spec.TriageOut.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot open triage report file '%s'\n",
+                   Spec.TriageOut.c_str());
+      ExitCodeV = 1;
+      return;
+    }
+    std::string Report;
+    if (Spec.TriageFormat == "csv")
+      Report += triageCsvHeader();
+    for (const ReductionResult &R : Reduced) {
+      if (!R.Triage)
+        continue;
+      Report += Spec.TriageFormat == "csv"
+                    ? renderTriageCsvRow(R.Label, *R.Triage)
+                    : renderTriageJsonl(R.Label, *R.Triage);
+    }
+    std::fwrite(Report.data(), 1, Report.size(), F);
+    if (F != stderr)
+      std::fclose(F);
   }
 
   HuntSpec Spec;
@@ -628,6 +686,98 @@ private:
   int ExitCodeV = 0;
 };
 
+//===----------------------------------------------------------------------===//
+// triage
+//===----------------------------------------------------------------------===//
+
+/// One witness reduced then bisected, as a campaign. Like ReduceTask
+/// the whole job is one coarse step (the reducer's fixpoint loop and
+/// the bisection's greedy loop are both internally sharded but not
+/// re-entrant). Triage is wrong-code-only: the bisection oracle is
+/// output divergence against the reference.
+class TriageTask final : public CampaignTask {
+public:
+  TriageTask(TriageSpec Spec, std::FILE *Out)
+      : Spec(std::move(Spec)), Out(Out) {}
+
+  bool done() const override { return Finished; }
+
+  void step() override {
+    Finished = true;
+    std::vector<DeviceConfig> Zoo = buildConfigRegistry();
+    const DeviceConfig &Config = configById(Zoo, Spec.ConfigId);
+    DifferentialReductionOracle Oracle(Config, Spec.Opt);
+
+    TestCase T = TestCase::fromGenerated(generateKernel(Spec.Gen));
+    ReduceStats Stats;
+    TestCase Reduced = reduceTest(T, Oracle, Spec.Opts, &Stats);
+    CandidatesTried = Stats.CandidatesTried;
+
+    std::string Cell =
+        std::to_string(Config.Id) + (Spec.Opt ? "+" : "-");
+    if (!Stats.WitnessWasInteresting) {
+      std::fprintf(stderr,
+                   "witness is not interesting: seed %llu does not "
+                   "miscompile on config %s\n",
+                   static_cast<unsigned long long>(Spec.Gen.Seed),
+                   Cell.c_str());
+      ExitCodeV = 1;
+      return;
+    }
+    Interesting = true;
+
+    // Probes ride the reducer's scheduling verbatim: same backend
+    // (shared under the scheduler), same priority, same settings.
+    TriageOptions TO;
+    TO.Exec = Spec.Opts.Exec;
+    TO.Backend = Spec.Opts.Backend;
+    TO.DispatchPriority = Spec.Opts.DispatchPriority;
+    TO.Run = Spec.Opts.Run;
+    TriageResult R = triageWitness(Reduced, Config, Spec.Opt, TO);
+    Probes = R.Probes;
+    // One witness: its cluster (if any) is first-seen by definition.
+    addTriageClusters(R.ClusterKey.empty() ? 0 : 1);
+
+    std::string Label = "seed " +
+                        std::to_string(Spec.Gen.Seed) + " config " + Cell;
+    if (Spec.Format == "csv") {
+      std::string Report = triageCsvHeader() + renderTriageCsvRow(Label, R);
+      std::fwrite(Report.data(), 1, Report.size(), Out);
+      return;
+    }
+    if (Spec.Format == "jsonl") {
+      std::string Report = renderTriageJsonl(Label, R);
+      std::fwrite(Report.data(), 1, Report.size(), Out);
+      return;
+    }
+    // Text report, backend-silent like `reduce`: the reduced witness
+    // first (the thing a human files upstream), then the verdict.
+    std::fprintf(Out, "// triaged witness: seed %llu, config %s\n",
+                 static_cast<unsigned long long>(Spec.Gen.Seed),
+                 Cell.c_str());
+    std::fprintf(Out, "// lines %u -> %u; %u candidates tried\n",
+                 Stats.InitialLines, Stats.FinalLines,
+                 Stats.CandidatesTried);
+    std::fprintf(Out, "%s", Reduced.Source.c_str());
+    std::fprintf(Out, "%s: %s\n", Label.c_str(),
+                 renderTriageLine(R).c_str());
+  }
+
+  size_t distinctWitnesses() const override { return Interesting ? 1 : 0; }
+  size_t testsDone() const override { return Finished ? 1 : 0; }
+  size_t jobsDone() const override { return CandidatesTried + Probes; }
+  int exitCode() const override { return ExitCodeV; }
+
+private:
+  TriageSpec Spec;
+  std::FILE *Out;
+  bool Finished = false;
+  bool Interesting = false;
+  size_t CandidatesTried = 0;
+  unsigned Probes = 0;
+  int ExitCodeV = 0;
+};
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -676,4 +826,9 @@ std::unique_ptr<CampaignTask> clfuzz::makeEmiTask(const EmiSpec &Spec,
 std::unique_ptr<CampaignTask> clfuzz::makeReduceTask(const ReduceSpec &Spec,
                                                      std::FILE *Out) {
   return std::make_unique<ReduceTask>(Spec, Out);
+}
+
+std::unique_ptr<CampaignTask> clfuzz::makeTriageTask(const TriageSpec &Spec,
+                                                     std::FILE *Out) {
+  return std::make_unique<TriageTask>(Spec, Out);
 }

@@ -6,10 +6,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// CampaignTask implementations for the four campaign types the
+/// CampaignTask implementations for the five campaign types the
 /// scheduler multiplexes — differential diff, hunt (with background
-/// reduction), EMI, and witness reduction — plus the ReductionQueue
-/// priority lane. The solo commands (`clfuzz hunt/diff/reduce`) and
+/// reduction and optional triage), EMI, witness reduction, and
+/// witness triage — plus the ReductionQueue priority lane. The solo commands (`clfuzz hunt/diff/reduce`) and
 /// the multi-campaign driver (`clfuzz sched`) build their campaigns
 /// through these same factories and run the same step() code, so a
 /// campaign's report is byte-identical solo or interleaved *by
@@ -65,6 +65,16 @@ struct HuntSpec {
   /// Buffer per-job JSONL traces and write them to this path after
   /// the drain ("" = no trace, "-" = stderr).
   std::string ReduceTracePath;
+  /// Triage every reduced witness (pass bisection + bug clustering,
+  /// src/triage/): each reduction job carries a TriageRequest and the
+  /// drain report gains per-witness triage lines plus a distinct-bug
+  /// summary. Requires Reduce.
+  bool Triage = false;
+  /// Write a machine-readable triage report here ("" = none,
+  /// "-" = stderr) in TriageFormat.
+  std::string TriageOut;
+  /// "csv" or "jsonl" for TriageOut.
+  std::string TriageFormat = "csv";
 };
 
 /// EMI campaign over the above-threshold configurations: usable bases
@@ -89,6 +99,20 @@ struct ReduceSpec {
   /// shared (scheduler-owned) backend.
   ReducerOptions Opts;
   std::string TracePath; ///< JSONL trace ("" = none, "-" = stderr)
+};
+
+/// `clfuzz triage`: reduce one wrong-code witness, then bisect the
+/// optimisation pipeline and derive its cluster key (src/triage/).
+struct TriageSpec {
+  GenOptions Gen;
+  int ConfigId = 0;
+  bool Opt = false;
+  /// Candidate/probe evaluation tuning; Opts.Backend (shared,
+  /// scheduler-owned) and Opts.DispatchPriority flow through to the
+  /// bisection probes unchanged.
+  ReducerOptions Opts;
+  /// "text", "csv" or "jsonl".
+  std::string Format = "text";
 };
 
 /// Services a scheduler-driven ReductionQueue (Workers == 0): each
@@ -150,6 +174,11 @@ std::unique_ptr<CampaignTask> makeEmiTask(const EmiSpec &Spec,
 /// or a shared backend is Spec.Opts.Backend's choice; the report goes
 /// to \p Out.
 std::unique_ptr<CampaignTask> makeReduceTask(const ReduceSpec &Spec,
+                                             std::FILE *Out);
+
+/// Builds a triage campaign: one witness reduced then bisected, the
+/// report (text line or csv/jsonl row) written to \p Out.
+std::unique_ptr<CampaignTask> makeTriageTask(const TriageSpec &Spec,
                                              std::FILE *Out);
 
 } // namespace clfuzz

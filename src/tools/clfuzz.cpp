@@ -13,6 +13,8 @@
 ///   clfuzz diff   --seed=N                        run on the whole zoo
 ///   clfuzz hunt   --mode=M --count=N              mini campaign
 ///   clfuzz reduce --seed=N --config=ID            shrink a witness
+///   clfuzz triage --seed=N --config=ID            reduce, then bisect the
+///                                                 pass pipeline + cluster
 ///   clfuzz sched  --campaigns=SPEC                N campaigns, one fleet
 ///   clfuzz worker --listen=PORT                   serve remote campaigns
 ///   clfuzz configs                                list the zoo
@@ -52,6 +54,16 @@
 /// (docs/compile-pipeline.md); output is byte-identical either way,
 /// only wall-clock speed changes.
 ///
+/// Triage (src/triage/, docs/triage.md) is post-reduction analysis:
+/// `hunt --reduce --triage` bisects each reduced witness over the
+/// optimisation pass pipeline to name the minimal faulty pass
+/// combination and clusters witnesses by (pass set, kernel-feature
+/// signature), reporting distinct-bug counts alongside raw witness
+/// counts; `clfuzz triage` does the same for one witness. Bisection
+/// probes are ordinary jobs — cached, remoted and prioritized like
+/// any other — and the triage report is byte-identical across
+/// backends, worker counts and cache states.
+///
 /// Reduction is a pipeline workload too: `reduce` evaluates its
 /// speculative candidates on --reduce-backend with --reduce-jobs
 /// workers (procs fork-isolates crashy candidates; remote farms them
@@ -82,6 +94,7 @@
 #include "sched/CampaignSpec.h"
 #include "sched/Campaigns.h"
 #include "support/StringUtil.h"
+#include "triage/Triage.h"
 #include "vm/VM.h"
 
 #include <algorithm>
@@ -225,6 +238,19 @@ std::string reportFormatFrom(const CliArgs &A) {
   return Format;
 }
 
+/// Validated --triage-format value ("csv" or "jsonl") for the
+/// machine-readable triage sink (--triage-out).
+std::string triageFormatFrom(const CliArgs &A) {
+  std::string Format = A.get("triage-format", "csv");
+  if (Format != "csv" && Format != "jsonl") {
+    std::fprintf(stderr,
+                 "unknown triage format '%s' (use csv or jsonl)\n",
+                 Format.c_str());
+    std::exit(1);
+  }
+  return Format;
+}
+
 /// Copies the remote-fleet options into \p Opts and validates that a
 /// remote backend actually has workers to dial. \p WorkersKey lets
 /// `hunt --reduce` keep separate fleets for the campaign
@@ -310,6 +336,19 @@ void printCompileLine(const char *Campaign, const CompileCounters &C) {
       static_cast<unsigned long long>(C.totalNs()));
 }
 
+/// One `triage_*` breakdown line: witnesses triaged, bisection probes
+/// dispatched, first-seen bug clusters. Shared by the global counters
+/// and the scheduler's per-campaign deltas, so the per-campaign lines
+/// sum field-by-field to the campaign=total line.
+void printTriageLine(const char *Campaign, const TriageCounters &T) {
+  std::fprintf(stderr,
+               "campaign=%s triage_witnesses=%llu triage_probes=%llu "
+               "triage_clusters=%llu\n",
+               Campaign, static_cast<unsigned long long>(T.Witnesses),
+               static_cast<unsigned long long>(T.Probes),
+               static_cast<unsigned long long>(T.Clusters));
+}
+
 void printCacheStats(const CliArgs &A, const ExecOptions &Opts,
                      const char *Campaign) {
   if (!A.has("stats"))
@@ -333,6 +372,7 @@ void printCacheStats(const CliArgs &A, const ExecOptions &Opts,
                static_cast<unsigned long long>(V.Launches),
                static_cast<unsigned long long>(V.EngineReuses));
   printCompileLine(Campaign, compileCounters());
+  printTriageLine(Campaign, triageCounters());
 }
 
 ExecOptions execOptionsFrom(const CliArgs &A) {
@@ -449,6 +489,32 @@ int cmdReduce(const CliArgs &A) {
   return Task->exitCode();
 }
 
+/// `clfuzz triage`: reduce one wrong-code witness, then bisect the
+/// optimisation pass pipeline for the minimal faulty pass combination
+/// and derive the witness's bug-cluster key (src/triage/,
+/// docs/triage.md). Probes evaluate on the reducer's backend
+/// (--reduce-backend/--reduce-jobs), so the report is byte-identical
+/// across backends, worker counts and cache states.
+int cmdTriage(const CliArgs &A) {
+  if (!A.has("config")) {
+    std::fprintf(stderr, "triage: --config=ID is required (the "
+                         "configuration the witness misbehaves on)\n");
+    return 2;
+  }
+  TriageSpec Spec;
+  Spec.Gen = genOptionsFrom(A);
+  Spec.ConfigId = static_cast<int>(A.getInt("config", 0));
+  Spec.Opt = A.has("opt");
+  Spec.Opts = reducerOptionsFrom(A);
+  Spec.Format = reportFormatFrom(A);
+  // The task code is shared with `clfuzz sched` (which points
+  // Spec.Opts.Backend at its shared backend instead).
+  std::unique_ptr<CampaignTask> Task = makeTriageTask(Spec, stdout);
+  runCampaignTask(*Task);
+  printCacheStats(A, Spec.Opts.Exec, "triage");
+  return Task->exitCode();
+}
+
 } // namespace
 
 int cmdHunt(const CliArgs &A) {
@@ -460,6 +526,16 @@ int cmdHunt(const CliArgs &A) {
   Spec.Format = reportFormatFrom(A);
   Spec.Reduce = A.has("reduce");
   Spec.ReduceTracePath = A.get("reduce-trace");
+  Spec.Triage = A.has("triage");
+  if (Spec.Triage && !Spec.Reduce) {
+    std::fprintf(stderr,
+                 "hunt: --triage bisects *reduced* witnesses and needs "
+                 "--reduce (add --reduce, or use `clfuzz triage` for a "
+                 "single witness)\n");
+    return 2;
+  }
+  Spec.TriageOut = A.get("triage-out");
+  Spec.TriageFormat = triageFormatFrom(A);
 
   ExecOptions Opts = execOptionsFrom(A);
   std::unique_ptr<ExecBackend> Backend = makeBackendOrDie(Opts);
@@ -595,6 +671,16 @@ int cmdSched(const CliArgs &A) {
       Spec.Format = reportFormatFrom(Sub);
       Spec.Reduce = Sub.has("reduce");
       Spec.ReduceTracePath = Sub.get("reduce-trace");
+      Spec.Triage = Sub.has("triage");
+      if (Spec.Triage && !Spec.Reduce) {
+        std::fprintf(stderr,
+                     "sched: campaign '%s': triage needs reduce (it "
+                     "bisects *reduced* witnesses)\n",
+                     D.Name.c_str());
+        return 2;
+      }
+      Spec.TriageOut = Sub.get("triage-out");
+      Spec.TriageFormat = triageFormatFrom(Sub);
       if (Spec.Reduce) {
         // Scheduler-driven reduction: witnesses queue up and the
         // Reduction-lane task drains them through the SHARED backend
@@ -623,6 +709,26 @@ int cmdSched(const CliArgs &A) {
           static_cast<unsigned>(Sub.getInt("max-blocks", Spec.MaxBlocks));
       Spec.SeedBase = Sub.getInt("seed", Spec.SeedBase);
       Tasks.push_back(makeEmiTask(Spec, ShardSize, *Backend, Out));
+      Sched.add(D.Name, *Tasks.back());
+    } else if (D.Type == "triage") {
+      if (!Sub.has("config")) {
+        std::fprintf(stderr,
+                     "sched: campaign '%s': config=ID is required\n",
+                     D.Name.c_str());
+        return 2;
+      }
+      TriageSpec Spec;
+      Spec.Gen = genOptionsFrom(Sub);
+      Spec.ConfigId = static_cast<int>(Sub.getInt("config", 0));
+      Spec.Opt = Sub.has("opt");
+      Spec.Format = reportFormatFrom(Sub);
+      Spec.Opts.Backend = Backend.get();
+      Spec.Opts.Exec.Threads = 1;
+      Spec.Opts.MaxCandidates = static_cast<unsigned>(
+          Sub.getInt("reduce-max", Spec.Opts.MaxCandidates));
+      if (Sub.has("no-pipeline"))
+        Spec.Opts.Pipeline = false;
+      Tasks.push_back(makeTriageTask(Spec, Out));
       Sched.add(D.Name, *Tasks.back());
     } else { // "reduce" — parseCampaignSpec validated the type
       if (!Sub.has("config")) {
@@ -710,6 +816,7 @@ int cmdSched(const CliArgs &A) {
           static_cast<unsigned long long>(C.Stats.VmLaunches),
           static_cast<unsigned long long>(C.Stats.VmEngineReuses));
       printCompileLine(C.Name.c_str(), C.Stats.Compile);
+      printTriageLine(C.Name.c_str(), C.Stats.Triage);
     }
     printCacheStats(A, Opts, "total");
   }
@@ -753,6 +860,9 @@ int usage() {
       "  diff    --seed=N [--mode=M] [--emi=K]    run across the whole zoo\n"
       "  hunt    --mode=M --count=N [--seed=N]    mini differential campaign\n"
       "  reduce  --seed=N --config=ID [--opt]     shrink a witness kernel\n"
+      "  triage  --seed=N --config=ID [--opt]     reduce a witness, bisect\n"
+      "                                           the pass pipeline, derive\n"
+      "                                           its bug-cluster key\n"
       "  sched   --campaigns=SPEC|@FILE           multiplex N campaigns\n"
       "                                           over one shared backend\n"
       "  worker  [--listen=PORT] [--host=H]       serve jobs to remote\n"
@@ -762,7 +872,7 @@ int usage() {
       "  (1 = serial, 0 = all cores) --shard-size=N --format=text|csv|jsonl\n"
       "remote backend: --workers=host:port,... --remote-timeout-ms=N\n"
       "  --remote-heartbeat-ms=N (see `clfuzz worker`, docs/wire-protocol.md)\n"
-      "caching (diff/hunt/reduce/worker): --cache=off|mem|disk\n"
+      "caching (diff/hunt/reduce/triage/worker): --cache=off|mem|disk\n"
       "  --cache-dir=DIR (implies disk) --cache-mem-mb=N; identical job\n"
       "  descriptors are served from cache, output stays byte-identical\n"
       "  (docs/caching.md); --stats prints cache_hits/cache_misses/\n"
@@ -774,8 +884,16 @@ int usage() {
       "  --reduce-jobs=N concurrent reductions, --reduce-max=N,\n"
       "  --reduce-trace=FILE, --no-pipeline; remote probes use\n"
       "  --reduce-workers or --workers)\n"
+      "triage (and hunt --reduce --triage): bisect each reduced witness\n"
+      "  over the optimization pass pipeline for the minimal faulty pass\n"
+      "  combination; cluster by (pass set, feature signature) and report\n"
+      "  distinct bugs vs raw witnesses (docs/triage.md); --triage needs\n"
+      "  --reduce; --triage-out=FILE --triage-format=csv|jsonl write a\n"
+      "  machine-readable report; `triage` accepts the reduce flags and\n"
+      "  --format=text|csv|jsonl; reports are byte-identical across\n"
+      "  backends, worker counts and cache states\n"
       "sched: --campaigns='type(key=val,flag,...);...' with types hunt,\n"
-      "  diff, emi, reduce; keys mirror the solo flags (e.g.\n"
+      "  diff, emi, reduce, triage; keys mirror the solo flags (e.g.\n"
       "  hunt(mode=BASIC,count=50,reduce); name=ID labels a campaign);\n"
       "  --sched-policy=rr|yield (--yield-window=N --yield-boost=N)\n"
       "  --out-dir=DIR per-campaign report files (default: buffered and\n"
@@ -836,6 +954,8 @@ int main(int Argc, char **Argv) {
       return cmdHunt(A);
     if (A.Command == "reduce")
       return cmdReduce(A);
+    if (A.Command == "triage")
+      return cmdTriage(A);
     if (A.Command == "sched")
       return cmdSched(A);
     if (A.Command == "worker")
