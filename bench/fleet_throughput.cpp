@@ -1,0 +1,239 @@
+//===- fleet_throughput.cpp - Elastic-fleet churn overhead -------------------===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures what fleet churn costs: the same campaign cell batch runs
+/// twice over loopback worker fleets —
+///
+///   static   two listen-mode workers, named up front, no churn
+///   churn    one static worker plus a join+kill schedule: a
+///            rendezvous worker joins mid-run, a second joins and
+///            then self-destructs (--die-after-jobs), its in-flight
+///            window requeuing onto the survivors
+///
+/// and reports cells/sec for both, the churn/static ratio, and — the
+/// part that actually matters — an identity check: both runs must be
+/// outcome-identical to the inline reference (docs/fleet.md). A
+/// mismatch fails the bench with a nonzero exit, so CI can gate on it.
+///
+/// Emits machine-readable `BENCH_fleet.json`; the committed copy
+/// lives at bench/BENCH_fleet.json.
+///
+///   --kernels=N   batch size knob (default 8; --full = 24)
+///   --seed=N      kernel seed base
+///   --json=PATH   where to write BENCH_fleet.json (default: CWD)
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "device/DeviceConfig.h"
+#include "exec/FleetRegistry.h"
+#include "exec/WorkerLoop.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <thread>
+
+using namespace clfuzz;
+using namespace clfuzz::bench;
+
+namespace {
+
+/// The campaign cell batch: every kernel against a 4-config zoo at
+/// both opt levels plus one reference run — the shape a hunt shard
+/// dispatches.
+std::vector<ExecJob> buildBatch(const std::vector<TestCase> &Tests,
+                                const std::vector<DeviceConfig> &Zoo) {
+  std::vector<ExecJob> Jobs;
+  for (const TestCase &T : Tests) {
+    for (const DeviceConfig &C : Zoo)
+      for (bool Opt : {false, true})
+        Jobs.push_back(ExecJob::onConfig(T, C, Opt, RunSettings()));
+    Jobs.push_back(ExecJob::onReference(T, true, RunSettings()));
+  }
+  return Jobs;
+}
+
+bool sameOutcomes(const std::vector<RunOutcome> &A,
+                  const std::vector<RunOutcome> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (A[I].Status != B[I].Status || A[I].OutputHash != B[I].OutputHash ||
+        A[I].Message != B[I].Message || A[I].Steps != B[I].Steps)
+      return false;
+  return true;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // Peel off --json= (harness-local) before the shared flag parser
+  // sees it.
+  std::string JsonPath = "BENCH_fleet.json";
+  std::vector<char *> Rest = {Argv[0]};
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+    else
+      Rest.push_back(Argv[I]);
+  }
+  HarnessArgs Args = parseArgs(static_cast<int>(Rest.size()), Rest.data());
+  unsigned Kernels = Args.Kernels ? Args.Kernels : (Args.Full ? 24 : 8);
+
+  std::vector<DeviceConfig> Registry = buildConfigRegistry();
+  std::vector<DeviceConfig> Zoo;
+  for (int Id : {1, 12, 14, 19})
+    Zoo.push_back(configById(Registry, Id));
+
+  std::vector<TestCase> Tests;
+  for (unsigned I = 0; I != Kernels; ++I) {
+    GenOptions GO;
+    GO.Mode = GenMode::All;
+    GO.Seed = Args.Seed + I;
+    Tests.push_back(TestCase::fromGenerated(generateKernel(GO)));
+  }
+  std::vector<ExecJob> Jobs = buildBatch(Tests, Zoo);
+
+  std::printf("fleet throughput: %zu cells (%u kernels x %zu configs x 2 "
+              "opt + ref)\n\n",
+              Jobs.size(), Kernels, Zoo.size());
+
+  InlineBackend Reference;
+  std::vector<RunOutcome> Want = Reference.run(Jobs);
+
+  // Phase 1: a static two-worker fleet, no churn.
+  double StaticSec;
+  bool StaticIdentical;
+  {
+    WorkerOptions WO;
+    WO.Jobs = 2;
+    WorkerServer W1(WO), W2(WO);
+    if (!W1.start() || !W2.start()) {
+      std::fprintf(stderr, "cannot start loopback workers\n");
+      return 1;
+    }
+    ExecOptions O;
+    O.Backend = BackendKind::Remote;
+    O.RemoteWorkers = {"127.0.0.1:" + std::to_string(W1.port()),
+                       "127.0.0.1:" + std::to_string(W2.port())};
+    std::unique_ptr<ExecBackend> B = makeRemoteBackend(O);
+    auto Start = std::chrono::steady_clock::now();
+    std::vector<RunOutcome> Got = B->run(Jobs);
+    StaticSec = secondsSince(Start);
+    StaticIdentical = sameOutcomes(Want, Got);
+  }
+
+  // Phase 2: the same fleet capacity arriving as churn — one static
+  // worker up front, one rendezvous joiner, and one joiner that dies
+  // mid-run with jobs in flight.
+  double ChurnSec;
+  bool ChurnIdentical;
+  FleetCounters Delta;
+  {
+    WorkerOptions WO;
+    WO.Jobs = 2;
+    WorkerServer Static(WO);
+    if (!Static.start()) {
+      std::fprintf(stderr, "cannot start loopback worker\n");
+      return 1;
+    }
+    std::shared_ptr<FleetRegistry> R = makeFleetRegistry("127.0.0.1", 0);
+    WorkerOptions JO;
+    JO.Connect = "127.0.0.1:" + std::to_string(R->port());
+    JO.Jobs = 2;
+    WorkerOptions KO = JO;
+    KO.DieAfterJobs = 7;
+    WorkerServer Joiner(JO), Dying(KO);
+    std::thread Churn([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      Joiner.start();
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      Dying.start();
+    });
+
+    ExecOptions O;
+    O.Backend = BackendKind::Remote;
+    O.RemoteWorkers = {"127.0.0.1:" + std::to_string(Static.port())};
+    O.Fleet = R;
+    std::unique_ptr<ExecBackend> B = makeRemoteBackend(O);
+    FleetCounters F0 = fleetCounters();
+    auto Start = std::chrono::steady_clock::now();
+    std::vector<RunOutcome> Got = B->run(Jobs);
+    ChurnSec = secondsSince(Start);
+    FleetCounters F1 = fleetCounters();
+    Churn.join();
+    ChurnIdentical = sameOutcomes(Want, Got);
+    Delta.Joins = F1.Joins - F0.Joins;
+    Delta.Leaves = F1.Leaves - F0.Leaves;
+    Delta.Evictions = F1.Evictions - F0.Evictions;
+    Delta.Redials = F1.Redials - F0.Redials;
+    Delta.Requeues = F1.Requeues - F0.Requeues;
+  }
+
+  bool Identical = StaticIdentical && ChurnIdentical;
+  double StaticRate = StaticSec > 0.0 ? Jobs.size() / StaticSec : 0.0;
+  double ChurnRate = ChurnSec > 0.0 ? Jobs.size() / ChurnSec : 0.0;
+  double Ratio = StaticRate > 0.0 ? ChurnRate / StaticRate : 0.0;
+
+  std::printf("%-14s %10s %12s  %s\n", "fleet", "seconds", "cells/sec",
+              "result");
+  printRule();
+  std::printf("%-14s %10.3f %12.1f  %s\n", "static x2", StaticSec,
+              StaticRate,
+              StaticIdentical ? "identical to inline" : "MISMATCH");
+  std::printf("%-14s %10.3f %12.1f  %s\n", "churn", ChurnSec, ChurnRate,
+              ChurnIdentical ? "identical to inline" : "MISMATCH");
+  std::printf("\nchurn/static: %.3fx throughput; churn saw "
+              "joins=%llu evictions=%llu requeues=%llu\n",
+              Ratio, static_cast<unsigned long long>(Delta.Joins),
+              static_cast<unsigned long long>(Delta.Evictions),
+              static_cast<unsigned long long>(Delta.Requeues));
+
+  std::FILE *J = std::fopen(JsonPath.c_str(), "w");
+  if (!J) {
+    std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+    return 1;
+  }
+  std::fprintf(J,
+               "{\"bench\":\"fleet_throughput\",\"cells\":%zu,"
+               "\"kernels\":%u,\"static_seconds\":%.6f,"
+               "\"churn_seconds\":%.6f,\"static_cells_per_sec\":%.1f,"
+               "\"churn_cells_per_sec\":%.1f,\"churn_ratio\":%.4f,"
+               "\"joins\":%llu,\"evictions\":%llu,\"requeues\":%llu,"
+               "\"identical\":%s}\n",
+               Jobs.size(), Kernels, StaticSec, ChurnSec, StaticRate,
+               ChurnRate, Ratio,
+               static_cast<unsigned long long>(Delta.Joins),
+               static_cast<unsigned long long>(Delta.Evictions),
+               static_cast<unsigned long long>(Delta.Requeues),
+               Identical ? "true" : "false");
+  std::fclose(J);
+  std::printf("wrote %s\n", JsonPath.c_str());
+
+  return Identical ? 0 : 1;
+}
+
+#else // platform without POSIX sockets: nothing to measure.
+
+int main() {
+  std::printf("fleet_throughput: no socket support on this platform\n");
+  return 0;
+}
+
+#endif

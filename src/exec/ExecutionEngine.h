@@ -121,6 +121,15 @@ struct ExecOptions {
   /// cache — only wall-clock time and the --stats counters change.
   std::shared_ptr<class OutcomeCache> Cache;
 
+  /// Remote backend only: the rendezvous registry rendering the fleet
+  /// elastic (exec/FleetRegistry.h); null = static fleet. When set,
+  /// the remote backend adopts workers the registry has admitted at
+  /// every dispatch boundary, so the fleet grows mid-campaign; with a
+  /// registry present RemoteWorkers may be empty (the fleet is then
+  /// built entirely from joins). Share one registry with exactly one
+  /// backend at a time — an adopted socket has a single owner.
+  std::shared_ptr<class FleetRegistry> Fleet;
+
   /// Upper bound resolvedThreads() clamps to.
   static constexpr unsigned MaxThreads = 256;
 

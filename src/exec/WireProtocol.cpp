@@ -28,6 +28,12 @@ const char *clfuzz::wire::frameTypeName(FrameType T) {
     return "heartbeat-ack";
   case FrameType::Shutdown:
     return "shutdown";
+  case FrameType::Join:
+    return "join";
+  case FrameType::JoinAck:
+    return "join-ack";
+  case FrameType::Leave:
+    return "leave";
   }
   return "?";
 }
@@ -36,7 +42,7 @@ namespace {
 
 bool knownFrameType(uint8_t T) {
   return T >= static_cast<uint8_t>(FrameType::Hello) &&
-         T <= static_cast<uint8_t>(FrameType::Shutdown);
+         T <= static_cast<uint8_t>(FrameType::Leave);
 }
 
 } // namespace
@@ -123,6 +129,44 @@ uint64_t clfuzz::wire::decodeHeartbeat(const Frame &F) {
   return Nonce;
 }
 
+std::vector<uint8_t> clfuzz::wire::encodeJoin(uint64_t CacheGen,
+                                              uint32_t Concurrency) {
+  WireWriter W;
+  W.u64(CacheGen);
+  W.u32(Concurrency);
+  return W.buffer();
+}
+
+DecodedJoin clfuzz::wire::decodeJoin(const Frame &F) {
+  WireReader R(F.Payload.data(), F.Payload.size());
+  DecodedJoin D;
+  D.CacheGen = R.u64();
+  D.Concurrency = R.u32();
+  if (!R.atEnd())
+    throw std::runtime_error("trailing bytes in join frame");
+  return D;
+}
+
+std::vector<uint8_t> clfuzz::wire::encodeJoinAck(bool Accepted,
+                                                 uint64_t CacheGen) {
+  WireWriter W;
+  W.u8(Accepted ? 1 : 0);
+  W.u64(CacheGen);
+  return W.buffer();
+}
+
+DecodedJoinAck clfuzz::wire::decodeJoinAck(const Frame &F) {
+  WireReader R(F.Payload.data(), F.Payload.size());
+  DecodedJoinAck D;
+  D.Accepted = R.u8() != 0;
+  D.CacheGen = R.u64();
+  if (!R.atEnd())
+    throw std::runtime_error("trailing bytes in join-ack frame");
+  return D;
+}
+
+std::vector<uint8_t> clfuzz::wire::encodeLeave() { return {}; }
+
 //===----------------------------------------------------------------------===//
 // Fd primitives and frame I/O (POSIX)
 //===----------------------------------------------------------------------===//
@@ -189,7 +233,7 @@ bool clfuzz::wire::writeFullNoSigpipe(int Fd, const void *Buf, size_t N) {
   return Ok;
 }
 
-ReadStatus clfuzz::wire::readFrame(int Fd, Frame &Out) {
+ReadStatus clfuzz::wire::readFrame(int Fd, Frame &Out, std::string *Why) {
   uint8_t Header[FrameHeaderSize];
   if (!readFull(Fd, Header, sizeof(Header)))
     return ReadStatus::Eof;
@@ -202,10 +246,22 @@ ReadStatus clfuzz::wire::readFrame(int Fd, Frame &Out) {
   uint8_t Reserved1 = R.u8();
   uint32_t Len = R.u32();
 
-  if (Magic != FrameMagic || Version != ProtocolVersion ||
-      !knownFrameType(Type) || Reserved0 != 0 || Reserved1 != 0 ||
-      Len > MaxFramePayload)
+  const char *Bad = nullptr;
+  if (Magic != FrameMagic)
+    Bad = "bad magic";
+  else if (Version != ProtocolVersion)
+    Bad = "version mismatch";
+  else if (!knownFrameType(Type))
+    Bad = "unknown frame type";
+  else if (Reserved0 != 0 || Reserved1 != 0)
+    Bad = "nonzero reserved bytes";
+  else if (Len > MaxFramePayload)
+    Bad = "oversized payload";
+  if (Bad) {
+    if (Why)
+      *Why = Bad;
     return ReadStatus::Malformed;
+  }
 
   Out.Type = static_cast<FrameType>(Type);
   Out.Payload.resize(Len);
@@ -332,7 +388,9 @@ bool clfuzz::wire::writeFull(int, const void *, size_t) { return false; }
 bool clfuzz::wire::writeFullNoSigpipe(int, const void *, size_t) {
   return false;
 }
-ReadStatus clfuzz::wire::readFrame(int, Frame &) { return ReadStatus::Eof; }
+ReadStatus clfuzz::wire::readFrame(int, Frame &, std::string *) {
+  return ReadStatus::Eof;
+}
 bool clfuzz::wire::writeFrame(int, FrameType, const std::vector<uint8_t> &) {
   return false;
 }

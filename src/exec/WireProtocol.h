@@ -49,7 +49,11 @@ constexpr uint32_t FrameMagic = 0x5A464C43;
 /// layout; both ends reject frames from a different major version.
 /// v2: the hello payload gained the coordinator's u64 cache
 /// generation (was empty).
-constexpr uint8_t ProtocolVersion = 2;
+/// v3: join / join-ack / leave frames for rendezvous workers
+/// (exec/FleetRegistry.h). The v2 flows are untouched — a
+/// statically-listed worker speaks exactly the v2 hello/hello-ack
+/// sequence, just with the new version byte.
+constexpr uint8_t ProtocolVersion = 3;
 
 /// The cache generation a coordinator announces in every hello: the
 /// outcome-cache format version (OutcomeCache::FormatVersion; the two
@@ -75,6 +79,10 @@ enum class FrameType : uint8_t {
   Heartbeat = 5,    ///< coordinator -> worker: liveness probe (nonce)
   HeartbeatAck = 6, ///< worker -> coordinator: echoes the nonce
   Shutdown = 7,     ///< either direction: polite connection close
+  Join = 8,         ///< worker -> registry: rendezvous registration
+  JoinAck = 9,      ///< registry -> worker: accept/reject + cache gen
+  Leave = 10,       ///< worker -> coordinator: drain request — finish
+                    ///< my in-flight jobs, send me nothing new
 };
 
 /// Printable name ("job", "outcome", ...), for diagnostics.
@@ -118,8 +126,12 @@ bool writeFullNoSigpipe(int Fd, const void *Buf, size_t N);
 
 /// Reads one frame. Blocks until the whole frame arrived (callers
 /// poll() for readability first; a peer writes frames contiguously, so
-/// the residual blocking window is one partial frame).
-ReadStatus readFrame(int Fd, Frame &Out);
+/// the residual blocking window is one partial frame). On Malformed,
+/// \p Why (when non-null) names the header check that failed
+/// ("bad magic", "version mismatch", "unknown frame type",
+/// "nonzero reserved bytes", "oversized payload") — feeding the
+/// structured drop-reason logs the fleet layer emits.
+ReadStatus readFrame(int Fd, Frame &Out, std::string *Why = nullptr);
 
 /// Writes one frame (header + payload) in a single writeFullNoSigpipe.
 /// False when the peer is gone.
@@ -166,6 +178,34 @@ DecodedOutcome decodeOutcome(const Frame &F);
 /// Heartbeat / HeartbeatAck: u64 nonce, echoed back.
 std::vector<uint8_t> encodeHeartbeat(uint64_t Nonce);
 uint64_t decodeHeartbeat(const Frame &F);
+
+/// Join: the first frame a rendezvous worker sends after dialling a
+/// coordinator's fleet registry — the cache generation its outcome
+/// cache was filled under plus the concurrency it advertises. The
+/// registry rejects a stale generation (JoinAck accepted=0) so a
+/// worker never serves outcomes cached under another format.
+std::vector<uint8_t> encodeJoin(uint64_t CacheGen, uint32_t Concurrency);
+struct DecodedJoin {
+  uint64_t CacheGen = 0;
+  uint32_t Concurrency = 1;
+};
+DecodedJoin decodeJoin(const Frame &F);
+
+/// JoinAck: u8 accepted (0/1) + the coordinator's u64 cache
+/// generation. On rejection the worker clears its cache and redials
+/// with backoff; on acceptance the connection proceeds straight to
+/// the v2 job/outcome flow (no hello exchange — join subsumes it).
+std::vector<uint8_t> encodeJoinAck(bool Accepted, uint64_t CacheGen);
+struct DecodedJoinAck {
+  bool Accepted = false;
+  uint64_t CacheGen = 0;
+};
+DecodedJoinAck decodeJoinAck(const Frame &F);
+
+/// Leave: empty payload. A draining worker announces it after its
+/// last wanted job; the coordinator stops dispatching to the link,
+/// lets the in-flight window finish, then closes — zero requeues.
+std::vector<uint8_t> encodeLeave();
 
 //===----------------------------------------------------------------------===//
 // Socket helpers

@@ -7,11 +7,15 @@
 
 #include "exec/WorkerLoop.h"
 
+#include "exec/FleetRegistry.h"
 #include "exec/ProcessPool.h"
 #include "exec/WireProtocol.h"
+#include "support/Backoff.h"
+#include "support/Hash.h"
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -43,6 +47,13 @@ struct WorkerServer::Connection {
   std::condition_variable QueueCV;
   std::deque<wire::DecodedJob> Queue;
   bool Closing = false;
+
+  /// Rendezvous connections arrive with the join handshake already
+  /// done by the dialer; serveConnection skips straight to frames.
+  bool PreAccepted = false;
+  /// Executions on this connection only — the FlapAfterJobs trigger
+  /// (flapping is per die/redial cycle, unlike DieAfterJobs).
+  std::atomic<size_t> SessionExecuted{0};
 };
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -69,6 +80,7 @@ WorkerServer::WorkerServer(WorkerOptions O) : Opts(std::move(O)) {
   SaltSource.ProcTimeoutMs = Opts.ProcTimeoutMs;
   CO.KeySalt = cacheKeySalt(SaltSource);
   Cache = makeOutcomeCache(CO);
+  StaleLeft.store(Opts.StaleJoins);
 }
 
 void WorkerServer::noteCacheGeneration(uint64_t Gen) {
@@ -80,6 +92,21 @@ void WorkerServer::noteCacheGeneration(uint64_t Gen) {
 WorkerServer::~WorkerServer() { stop(); }
 
 bool WorkerServer::start() {
+  if (!Opts.Connect.empty()) {
+    // Rendezvous mode: no listener — the dialer owns the (single)
+    // coordinator connection and its redial schedule.
+    size_t Colon = Opts.Connect.rfind(':');
+    if (Colon == std::string::npos || Colon == 0 ||
+        Colon + 1 == Opts.Connect.size())
+      return false;
+    long Port = std::atol(Opts.Connect.c_str() + Colon + 1);
+    if (Port <= 0 || Port > 65535)
+      return false;
+    DialHost = Opts.Connect.substr(0, Colon);
+    DialPort = static_cast<unsigned>(Port);
+    Dialer = std::thread([this] { dialerLoop(); });
+    return true;
+  }
   ListenFd = wire::listenTcp(Opts.Host, Opts.Port, BoundPort);
   if (ListenFd < 0)
     return false;
@@ -93,12 +120,17 @@ void WorkerServer::stop() {
   // joined, so there is no close/reuse race.
   if (!Stopping.exchange(true) && ListenFd >= 0)
     ::shutdown(ListenFd, SHUT_RDWR);
+  StopCV.notify_all(); // wake a dialer parked in its backoff sleep
   if (Acceptor.joinable())
     Acceptor.join();
-  // The acceptor is gone, so the connection set is final; wake every
+  // The acceptor is gone and the dialer (below) will find Stopping
+  // set under ConnsMu before registering anything new, so after
+  // closeAllSockets the connection set only shrinks; wake every
   // service and runner thread, then join and destroy them all
   // (~Connection closes each fd).
   closeAllSockets();
+  if (Dialer.joinable())
+    Dialer.join();
   std::vector<std::unique_ptr<Connection>> Doomed;
   {
     std::lock_guard<std::mutex> Lock(ConnsMu);
@@ -116,16 +148,122 @@ void WorkerServer::stop() {
 }
 
 void WorkerServer::closeAllSockets() {
-  std::lock_guard<std::mutex> Lock(ConnsMu);
-  for (auto &Conn : Conns) {
-    if (Conn->Fd >= 0)
-      ::shutdown(Conn->Fd, SHUT_RDWR);
-    std::lock_guard<std::mutex> QLock(Conn->QueueMu);
-    Conn->Closing = true;
-    Conn->QueueCV.notify_all();
+  {
+    std::lock_guard<std::mutex> Lock(ConnsMu);
+    for (auto &Conn : Conns) {
+      if (Conn->Fd >= 0)
+        ::shutdown(Conn->Fd, SHUT_RDWR);
+      std::lock_guard<std::mutex> QLock(Conn->QueueMu);
+      Conn->Closing = true;
+      Conn->QueueCV.notify_all();
+    }
+    if (ListenFd >= 0)
+      ::shutdown(ListenFd, SHUT_RDWR);
   }
-  if (ListenFd >= 0)
-    ::shutdown(ListenFd, SHUT_RDWR);
+  StopCV.notify_all(); // a dialer parked in backoff must re-check Died
+}
+
+void WorkerServer::sleepInterruptible(unsigned Ms) {
+  std::unique_lock<std::mutex> Lock(StopMu);
+  StopCV.wait_for(Lock, std::chrono::milliseconds(Ms),
+                  [this] { return Stopping.load() || Died.load(); });
+}
+
+// How long a fresh connection may dawdle before its hello (listen
+// mode) or the coordinator before its join-ack (rendezvous mode).
+static constexpr unsigned HandshakeTimeoutMs = 10000;
+
+// Redial schedule of a rendezvous worker: quick first retry, settle
+// at a few seconds. Jitter is seeded per endpoint so a bounced fleet
+// does not thunder back in lockstep, yet each worker's schedule is
+// reproducible.
+static BackoffPolicy workerRedialPolicy() {
+  BackoffPolicy P;
+  P.InitialMs = 100;
+  P.MaxMs = 5000;
+  P.Multiplier = 2;
+  P.Jitter = 0.2;
+  return P;
+}
+
+void WorkerServer::dialerLoop() {
+  Backoff Redial(workerRedialPolicy(), fnv64(Opts.Connect) ^ fnv64(Opts.Host));
+  while (!Stopping.load() && !Died.load() && !Drained.load()) {
+    int Fd = wire::connectTcp(DialHost, DialPort, 2000);
+    if (Fd < 0) {
+      sleepInterruptible(Redial.nextDelayMs());
+      continue;
+    }
+
+    // Join handshake: announce our cache generation and concurrency,
+    // wait for the verdict. StaleJoins rehearses the stale-generation
+    // path by lying for the first N attempts.
+    wire::setRecvTimeout(Fd, HandshakeTimeoutMs);
+    uint64_t Gen = wire::CacheGeneration;
+    bool LieAboutGen = StaleLeft.load() > 0;
+    if (LieAboutGen)
+      Gen += 1;
+    bool Ok = wire::writeFrame(Fd, wire::FrameType::Join,
+                               wire::encodeJoin(Gen, ResolvedJobs));
+    wire::Frame F;
+    std::string Why;
+    if (Ok) {
+      wire::ReadStatus RS = wire::readFrame(Fd, F, &Why);
+      Ok = RS == wire::ReadStatus::Ok && F.Type == wire::FrameType::JoinAck;
+      if (!Ok)
+        logFleetDrop("worker", Opts.Connect,
+                     RS == wire::ReadStatus::Malformed
+                         ? (Why == "version mismatch"
+                                ? "handshake-version-mismatch"
+                                : "handshake-garbage")
+                         : "peer-reset");
+    } else {
+      logFleetDrop("worker", Opts.Connect, "peer-reset");
+    }
+    wire::DecodedJoinAck Ack;
+    if (Ok) {
+      try {
+        Ack = wire::decodeJoinAck(F);
+      } catch (const std::exception &) {
+        logFleetDrop("worker", Opts.Connect, "malformed-payload");
+        Ok = false;
+      }
+    }
+    if (Ok && !Ack.Accepted) {
+      // Refused — almost always a stale cache generation. Adopt the
+      // coordinator's generation (clearing a mismatched cache) and
+      // redial; the next join announces the right one.
+      logFleetDrop("worker", Opts.Connect, "stale-cache-generation");
+      noteCacheGeneration(Ack.CacheGen);
+      if (LieAboutGen)
+        StaleLeft.fetch_sub(1);
+      Ok = false;
+    }
+    if (!Ok) {
+      ::close(Fd);
+      sleepInterruptible(Redial.nextDelayMs());
+      continue;
+    }
+
+    noteCacheGeneration(Ack.CacheGen);
+    wire::setRecvTimeout(Fd, 0);
+    Redial.reset();
+
+    auto Conn = std::make_unique<Connection>();
+    Conn->Fd = Fd;
+    Conn->PreAccepted = true;
+    Connection *C = Conn.get();
+    {
+      std::lock_guard<std::mutex> Lock(ConnsMu);
+      if (Stopping.load())
+        break; // ~Connection closes the fd
+      Conns.push_back(std::move(Conn));
+    }
+    Joins.fetch_add(1);
+    // Serve inline: the dialer owns exactly one connection at a time,
+    // and a connection ending is precisely the redial trigger.
+    serveConnection(*C);
+  }
 }
 
 void WorkerServer::acceptLoop() {
@@ -170,34 +308,44 @@ void WorkerServer::acceptLoop() {
   // joined); closing it here would race the shutdown() calls.
 }
 
-// How long a fresh connection may dawdle before its hello.
-static constexpr unsigned HandshakeTimeoutMs = 10000;
-
 void WorkerServer::serveConnection(Connection &Conn) {
-  // Handshake: the first frame must be a well-formed hello of our
-  // protocol version, and it must arrive promptly — a client that
-  // connects and says nothing (port scanner, load-balancer health
-  // probe) must not pin this thread and fd forever. After the
-  // handshake the timeout is lifted: an idle coordinator between
-  // shards is healthy. Keepalive stays on as the backstop against a
-  // coordinator machine vanishing without a FIN.
-  wire::setRecvTimeout(Conn.Fd, HandshakeTimeoutMs);
+  // Keepalive is the backstop against a coordinator machine vanishing
+  // without a FIN. DropReason feeds the structured teardown log: every
+  // connection end names its cause on stderr, greppable in chaos CI.
   int KeepAlive = 1;
   ::setsockopt(Conn.Fd, SOL_SOCKET, SO_KEEPALIVE, &KeepAlive,
                sizeof(KeepAlive));
+  std::string Peer = peerName(Conn.Fd);
+  std::string DropReason = "peer-reset";
   wire::Frame F;
-  bool Accepted = false;
-  if (wire::readFrame(Conn.Fd, F) == wire::ReadStatus::Ok &&
-      F.Type == wire::FrameType::Hello) {
-    try {
-      noteCacheGeneration(wire::decodeHello(F));
-      Accepted = wire::writeFrame(Conn.Fd, wire::FrameType::HelloAck,
-                                  wire::encodeHelloAck(ResolvedJobs));
-    } catch (const std::exception &) {
+  bool Accepted = Conn.PreAccepted;
+  if (!Accepted) {
+    // Handshake: the first frame must be a well-formed hello of our
+    // protocol version, and it must arrive promptly — a client that
+    // connects and says nothing (port scanner, load-balancer health
+    // probe) must not pin this thread and fd forever. After the
+    // handshake the timeout is lifted: an idle coordinator between
+    // shards is healthy.
+    wire::setRecvTimeout(Conn.Fd, HandshakeTimeoutMs);
+    std::string Why;
+    wire::ReadStatus RS = wire::readFrame(Conn.Fd, F, &Why);
+    if (RS == wire::ReadStatus::Ok && F.Type == wire::FrameType::Hello) {
+      try {
+        noteCacheGeneration(wire::decodeHello(F));
+        Accepted = wire::writeFrame(Conn.Fd, wire::FrameType::HelloAck,
+                                    wire::encodeHelloAck(ResolvedJobs));
+      } catch (const std::exception &) {
+        DropReason = "malformed-payload";
+      }
+    } else if (RS == wire::ReadStatus::Malformed) {
+      DropReason = Why == "version mismatch" ? "handshake-version-mismatch"
+                                             : "handshake-garbage";
+    } else if (RS == wire::ReadStatus::Ok) {
+      DropReason = "handshake-garbage"; // well-formed, but not a hello
     }
+    if (Accepted)
+      wire::setRecvTimeout(Conn.Fd, 0);
   }
-  if (Accepted)
-    wire::setRecvTimeout(Conn.Fd, 0);
 
   std::vector<std::thread> Runners;
   if (Accepted && !Opts.IgnoreJobs)
@@ -205,11 +353,17 @@ void WorkerServer::serveConnection(Connection &Conn) {
       Runners.emplace_back([this, &Conn] { runnerLoop(Conn); });
 
   while (Accepted) {
-    wire::ReadStatus RS = wire::readFrame(Conn.Fd, F);
-    if (RS != wire::ReadStatus::Ok)
+    std::string Why;
+    wire::ReadStatus RS = wire::readFrame(Conn.Fd, F, &Why);
+    if (RS != wire::ReadStatus::Ok) {
+      DropReason =
+          RS == wire::ReadStatus::Malformed ? "garbage-frame" : "peer-reset";
       break;
-    if (F.Type == wire::FrameType::Shutdown)
+    }
+    if (F.Type == wire::FrameType::Shutdown) {
+      DropReason = "shutdown";
       break;
+    }
     try {
       if (F.Type == wire::FrameType::Job) {
         wire::DecodedJob Job = wire::decodeJob(F);
@@ -223,14 +377,17 @@ void WorkerServer::serveConnection(Connection &Conn) {
           continue;
         std::lock_guard<std::mutex> Lock(Conn.WriteMu);
         if (!wire::writeFrame(Conn.Fd, wire::FrameType::HeartbeatAck,
-                              F.Payload))
+                              F.Payload)) {
+          DropReason = "peer-reset";
           break;
+        }
       }
       // Other valid-but-unexpected types (hello twice, outcome from a
       // coordinator) are ignored: the header said they are from our
       // protocol version, so skipping keeps the stream in sync.
     } catch (const std::exception &) {
-      break; // malformed payload: the stream is poisoned
+      DropReason = "malformed-payload";
+      break; // the stream is poisoned
     }
   }
 
@@ -241,6 +398,13 @@ void WorkerServer::serveConnection(Connection &Conn) {
   }
   for (std::thread &T : Runners)
     T.join();
+  // A graceful drain ends with the coordinator's shutdown frame once
+  // our window emptied — only then is the drain complete.
+  if (DrainRequested.load() && DropReason == "shutdown") {
+    DropReason = "drained";
+    Drained.store(true);
+  }
+  logFleetDrop("worker", Peer, DropReason);
   // Mark reapable but leave the fd to ~Connection: writing Fd here
   // would race closeAllSockets() reading it to shutdown().
   ::shutdown(Conn.Fd, SHUT_RDWR);
@@ -298,6 +462,7 @@ void WorkerServer::runnerLoop(Connection &Conn) {
         Cache->store(K, O);
     }
 
+    bool RequestDrain = false;
     if (FromCache) {
       CacheServed.fetch_add(1);
     } else {
@@ -308,16 +473,37 @@ void WorkerServer::runnerLoop(Connection &Conn) {
         // flight — the failure mode the requeue/reassembly logic must
         // survive.
         if (Count == Opts.DieAfterJobs) {
+          logFleetDrop("worker", peerName(Conn.Fd), "die-injected");
           Died.store(true);
           closeAllSockets();
         }
         continue;
       }
+      size_t Session = Conn.SessionExecuted.fetch_add(1) + 1;
+      if (Opts.FlapAfterJobs && Session >= Opts.FlapAfterJobs) {
+        // Flap: suppress this outcome and kill just this connection —
+        // the dialer (rendezvous) or the coordinator (static list)
+        // redials, and the cycle repeats. Unlike DieAfterJobs the
+        // server survives.
+        if (Session == Opts.FlapAfterJobs) {
+          logFleetDrop("worker", peerName(Conn.Fd), "flap-injected");
+          ::shutdown(Conn.Fd, SHUT_RDWR);
+        }
+        continue;
+      }
+      // Drain *after* this outcome goes out: the leave frame follows
+      // the last executed job under the same write lock, so the
+      // coordinator's view is "outcome, then leave" — never a lost
+      // job.
+      if (Opts.DrainAfterJobs && Count == Opts.DrainAfterJobs)
+        RequestDrain = true;
     }
 
     std::lock_guard<std::mutex> Lock(Conn.WriteMu);
     wire::writeFrame(Conn.Fd, wire::FrameType::Outcome,
                      wire::encodeOutcome(Job.Tag, O));
+    if (RequestDrain && !DrainRequested.exchange(true))
+      wire::writeFrame(Conn.Fd, wire::FrameType::Leave, wire::encodeLeave());
   }
 }
 
@@ -329,22 +515,32 @@ void workerSignal(int) { GWorkerStop = 1; }
 int clfuzz::runWorkerCommand(const WorkerOptions &Opts) {
   WorkerServer Server(Opts);
   if (!Server.start()) {
-    std::fprintf(stderr, "clfuzz worker: cannot listen on %s:%u\n",
-                 Opts.Host.c_str(), Opts.Port);
+    if (!Opts.Connect.empty())
+      std::fprintf(stderr, "clfuzz worker: bad --connect endpoint '%s'\n",
+                   Opts.Connect.c_str());
+    else
+      std::fprintf(stderr, "clfuzz worker: cannot listen on %s:%u\n",
+                   Opts.Host.c_str(), Opts.Port);
     return 1;
   }
-  // The CI scripts parse this line to learn an ephemeral port; keep
-  // the format stable. jobs= is the count actually advertised in
-  // hello-acks, not the raw flag.
-  std::printf("clfuzz worker listening on %s:%u (jobs=%u, "
-              "proc-timeout-ms=%u)\n",
-              Opts.Host.c_str(), Server.port(),
-              Server.jobsPerConnection(), Opts.ProcTimeoutMs);
+  // The CI scripts parse these lines (ephemeral port in listen mode,
+  // liveness in rendezvous mode); keep the formats stable. jobs= is
+  // the count actually advertised in hello-acks / joins, not the raw
+  // flag.
+  if (!Opts.Connect.empty())
+    std::printf("clfuzz worker dialing %s (jobs=%u, proc-timeout-ms=%u)\n",
+                Opts.Connect.c_str(), Server.jobsPerConnection(),
+                Opts.ProcTimeoutMs);
+  else
+    std::printf("clfuzz worker listening on %s:%u (jobs=%u, "
+                "proc-timeout-ms=%u)\n",
+                Opts.Host.c_str(), Server.port(),
+                Server.jobsPerConnection(), Opts.ProcTimeoutMs);
   std::fflush(stdout);
 
   std::signal(SIGINT, workerSignal);
   std::signal(SIGTERM, workerSignal);
-  while (!GWorkerStop && !Server.died())
+  while (!GWorkerStop && !Server.died() && !Server.drained())
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
   Server.stop();
   if (Opts.Cache != CacheMode::Off) {
@@ -368,6 +564,8 @@ bool WorkerServer::start() { return false; }
 void WorkerServer::stop() {}
 void WorkerServer::closeAllSockets() {}
 void WorkerServer::acceptLoop() {}
+void WorkerServer::dialerLoop() {}
+void WorkerServer::sleepInterruptible(unsigned) {}
 void WorkerServer::serveConnection(Connection &) {}
 void WorkerServer::runnerLoop(Connection &) {}
 

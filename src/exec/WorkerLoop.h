@@ -26,12 +26,24 @@
 /// descriptor is a pure function of its bytes (exec/JobSerialize.h),
 /// so where it runs is unobservable in campaign output.
 ///
+/// Two ways onto a fleet (docs/fleet.md): listen mode (the worker
+/// binds a port and coordinators dial it — the static `--workers=`
+/// flow) and rendezvous mode (`--connect=host:port`: the worker dials
+/// the coordinator's FleetRegistry, registers with a wire-v3 join
+/// frame, and redials on a jittered exponential backoff whenever the
+/// connection drops — so the fleet grows mid-campaign and a bounced
+/// worker rejoins by itself).
+///
 /// WorkerServer is embeddable (tests/RemoteBackendTest.cpp runs
 /// loopback workers in-process); `clfuzz worker` wraps it in
 /// runWorkerCommand. The fault-injection options model the failure
 /// modes the coordinator must survive: DieAfterJobs hard-closes the
 /// server before the Nth outcome is sent (worker death with jobs in
-/// flight), IgnoreJobs swallows jobs and heartbeats (wedged worker).
+/// flight), IgnoreJobs swallows jobs and heartbeats (wedged worker),
+/// DrainAfterJobs leaves gracefully, FlapAfterJobs kills and redials
+/// the connection in a loop, StaleJoins rehearses the
+/// stale-cache-generation rejection. Every connection teardown emits
+/// the structured drop line of exec/FleetRegistry.h.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,6 +74,12 @@ struct WorkerOptions {
   /// reported by WorkerServer::port() and printed by `clfuzz worker`).
   unsigned Port = 0;
 
+  /// Rendezvous mode (`--connect=host:port`): dial this coordinator's
+  /// fleet registry and register instead of listening. Host/Port are
+  /// ignored when set; the worker redials with jittered exponential
+  /// backoff whenever the connection drops or a join is refused.
+  std::string Connect;
+
   /// Executor slots per connection (0 = one per hardware thread).
   /// Advertised to the coordinator in the hello-ack so it can size
   /// its in-flight window.
@@ -81,6 +99,30 @@ struct WorkerOptions {
   /// every job and heartbeat — a wedged worker the coordinator can
   /// only detect by timeout. Off by default, obviously.
   bool IgnoreJobs = false;
+
+  /// Fault injection / operations: after executing this many jobs
+  /// (across all connections), send a wire-v3 leave frame — the
+  /// coordinator finishes this worker's in-flight window, dispatches
+  /// nothing new, and closes gracefully with zero requeues. The
+  /// worker process then exits (runWorkerCommand) or reports
+  /// drained(). 0 disables.
+  unsigned DrainAfterJobs = 0;
+
+  /// Fault injection: a flapping worker — after executing this many
+  /// jobs *on one connection*, suppress that outcome and hard-close
+  /// the connection, then (in rendezvous mode) redial with backoff
+  /// and do it again. Models the die/redial loop of a machine cycling
+  /// under an unstable supply of anything. 0 disables. Keep it above
+  /// the in-flight window (2 x Jobs) so every killed job completes on
+  /// its retry before the next flap — the byte-identity chaos tests
+  /// rely on that. 0 disables.
+  unsigned FlapAfterJobs = 0;
+
+  /// Fault injection, rendezvous mode only: announce a wrong cache
+  /// generation in the first N join frames. The registry must refuse
+  /// each (join-ack accepted=0), the worker must clear its cache and
+  /// redial with backoff, and join N+1 succeeds. 0 disables.
+  unsigned StaleJoins = 0;
 
   /// Worker-side outcome cache (`--cache=off|mem|disk`): repeated
   /// descriptors — the reference runs campaigns re-dispatch per
@@ -137,6 +179,14 @@ public:
   /// True once DieAfterJobs tripped and the server self-destructed.
   bool died() const { return Died.load(); }
 
+  /// True once a DrainAfterJobs leave completed (the draining
+  /// connection was closed by the coordinator with its window empty).
+  bool drained() const { return Drained.load(); }
+
+  /// Rendezvous mode: joins accepted by the registry so far (a
+  /// flapping worker accumulates one per redial cycle).
+  size_t joinsCompleted() const { return Joins.load(); }
+
 private:
   struct Connection;
 
@@ -146,6 +196,11 @@ private:
   void noteCacheGeneration(uint64_t Gen);
 
   void acceptLoop();
+  /// Rendezvous mode: dial-join-serve-redial, on the worker-side
+  /// backoff schedule, until stopped, died, or drained.
+  void dialerLoop();
+  /// Backoff/retry sleep that stop() and die/drain can interrupt.
+  void sleepInterruptible(unsigned Ms);
   void serveConnection(Connection &Conn);
   void runnerLoop(Connection &Conn);
   /// Abrupt self-destruction (DieAfterJobs): closes every fd so all
@@ -158,8 +213,17 @@ private:
   unsigned BoundPort = 0;
   std::atomic<int> ListenFd{-1};
   std::thread Acceptor;
+  std::string DialHost; ///< parsed from Opts.Connect
+  unsigned DialPort = 0;
+  std::thread Dialer;
+  std::mutex StopMu;
+  std::condition_variable StopCV;
   std::atomic<bool> Stopping{false};
   std::atomic<bool> Died{false};
+  std::atomic<bool> Drained{false};
+  std::atomic<bool> DrainRequested{false};
+  std::atomic<size_t> Joins{0};
+  std::atomic<unsigned> StaleLeft{0};
   std::atomic<size_t> Executed{0};
   std::atomic<size_t> CacheServed{0};
   std::shared_ptr<OutcomeCache> Cache; ///< null when caching is off

@@ -100,6 +100,7 @@ bool CampaignScheduler::stepOnce() {
   VmCounters Vm0 = vmCounters();
   CompileCounters Cc0 = compileCounters();
   TriageCounters Tr0 = triageCounters();
+  FleetCounters Fl0 = fleetCounters();
   size_t Witness0 = C.Task->distinctWitnesses();
 
   C.Task->step();
@@ -134,6 +135,12 @@ bool CampaignScheduler::stepOnce() {
   C.Stats.Triage.Witnesses += Tr1.Witnesses - Tr0.Witnesses;
   C.Stats.Triage.Probes += Tr1.Probes - Tr0.Probes;
   C.Stats.Triage.Clusters += Tr1.Clusters - Tr0.Clusters;
+  FleetCounters Fl1 = fleetCounters();
+  C.Stats.Fleet.Joins += Fl1.Joins - Fl0.Joins;
+  C.Stats.Fleet.Leaves += Fl1.Leaves - Fl0.Leaves;
+  C.Stats.Fleet.Evictions += Fl1.Evictions - Fl0.Evictions;
+  C.Stats.Fleet.Redials += Fl1.Redials - Fl0.Redials;
+  C.Stats.Fleet.Requeues += Fl1.Requeues - Fl0.Requeues;
 
   ++C.Stats.Steps;
   C.Stats.Tests = C.Task->testsDone();

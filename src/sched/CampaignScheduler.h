@@ -50,6 +50,7 @@
 
 #include "device/CompileCounters.h"
 #include "exec/ExecBackend.h"
+#include "exec/FleetRegistry.h"
 #include "exec/OutcomeCache.h"
 #include "sched/SchedPolicy.h"
 #include "triage/Triage.h"
@@ -134,6 +135,13 @@ struct CampaignStats {
   /// inside serialized steps, so per-campaign lines sum exactly to
   /// the global counters.
   TriageCounters Triage;
+
+  /// Fleet counter deltas during its steps (exec/FleetRegistry.h):
+  /// joins adopted, drains completed, evictions, redials and job
+  /// requeues its remote shards incurred. All counting happens inside
+  /// RemoteBackend::run() — inside this campaign's serialized step —
+  /// so per-campaign fleet_* lines sum exactly to the global totals.
+  FleetCounters Fleet;
 };
 
 /// A campaign's handle inside the scheduler.

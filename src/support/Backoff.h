@@ -1,0 +1,124 @@
+//===- Backoff.h - Jittered exponential retry backoff ----------*- C++ -*-===//
+//
+// Part of the clfuzz project: a reproduction of "Many-Core Compiler
+// Fuzzing" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The retry-delay schedule shared by every reconnect path in the
+/// fleet layer: the coordinator re-dialling a dead static worker
+/// (exec/RemoteBackend.h), a rendezvous worker re-dialling its
+/// coordinator (exec/WorkerLoop.h), and the desperate no-worker-left
+/// loop. One policy object, three properties:
+///
+///  * exponential growth — the base delay doubles (Multiplier) per
+///    consecutive failure, so a dead endpoint costs one connect
+///    attempt per widening window instead of one per batch;
+///  * a hard cap (MaxMs) — a worker that is down for an hour is
+///    probed every few seconds, not every few hours;
+///  * deterministic jitter — each delay is spread over
+///    [base*(1-Jitter), base*(1+Jitter)] by a seeded Rng, so a fleet
+///    of workers bounced by the same outage does not re-dial the
+///    coordinator in lockstep. Seeded means reproducible: the same
+///    seed yields the same schedule, which is what makes the
+///    schedule unit-testable (tests/SupportTest.cpp).
+///
+/// Header-only: the whole schedule is a dozen integer operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLFUZZ_SUPPORT_BACKOFF_H
+#define CLFUZZ_SUPPORT_BACKOFF_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+
+namespace clfuzz {
+
+/// Tuning for a Backoff schedule. The defaults suit LAN reconnects
+/// (first retry fast, settle at a few seconds).
+struct BackoffPolicy {
+  /// Base delay of the first retry, in milliseconds (clamped to >= 1).
+  unsigned InitialMs = 100;
+  /// Hard cap on the base delay (jitter may exceed it by at most
+  /// MaxMs * Jitter).
+  unsigned MaxMs = 5000;
+  /// Base-delay growth factor per consecutive failure (clamped >= 1).
+  unsigned Multiplier = 2;
+  /// Jitter fraction in [0, 1): each delay is uniform in
+  /// [base*(1-Jitter), base*(1+Jitter)]. 0 = deterministic base.
+  double Jitter = 0.2;
+};
+
+/// A retry schedule instance: one per endpoint being re-dialled.
+/// nextDelayMs() yields the delay before the next attempt and
+/// advances; reset() on success rewinds to the initial delay.
+class Backoff {
+public:
+  Backoff() : Backoff(BackoffPolicy(), 0) {}
+  Backoff(const BackoffPolicy &P, uint64_t Seed) : Policy(P), R(Seed) {
+    if (Policy.InitialMs == 0)
+      Policy.InitialMs = 1;
+    if (Policy.Multiplier == 0)
+      Policy.Multiplier = 1;
+    if (Policy.MaxMs < Policy.InitialMs)
+      Policy.MaxMs = Policy.InitialMs;
+    if (Policy.Jitter < 0.0)
+      Policy.Jitter = 0.0;
+    if (Policy.Jitter >= 1.0)
+      Policy.Jitter = 0.99;
+  }
+
+  /// Un-jittered base delay of attempt \p Attempt (0-based):
+  /// min(InitialMs * Multiplier^Attempt, MaxMs), computed with
+  /// saturation so large attempt counts cannot overflow.
+  unsigned baseDelayMs(unsigned Attempt) const {
+    uint64_t Base = Policy.InitialMs;
+    for (unsigned I = 0; I != Attempt && Base < Policy.MaxMs; ++I)
+      Base *= Policy.Multiplier;
+    if (Base > Policy.MaxMs)
+      Base = Policy.MaxMs;
+    return static_cast<unsigned>(Base);
+  }
+
+  /// Consecutive failures recorded so far (the attempt index the next
+  /// nextDelayMs() call will use).
+  unsigned attempts() const { return Attempt; }
+
+  /// Delay in milliseconds before the next retry: the current
+  /// attempt's base, spread by the seeded jitter, never below 1 ms.
+  /// Advances the attempt counter.
+  unsigned nextDelayMs() {
+    uint64_t Base = baseDelayMs(Attempt);
+    if (Attempt != ~0u)
+      ++Attempt;
+    if (Policy.Jitter <= 0.0)
+      return static_cast<unsigned>(Base);
+    // Uniform in [-1, 1] from the top 53 bits (the usual double trick).
+    double Unit = static_cast<double>(R.next() >> 11) *
+                  (1.0 / 9007199254740992.0);
+    double Spread = static_cast<double>(Base) * Policy.Jitter *
+                    (2.0 * Unit - 1.0);
+    double Delay = static_cast<double>(Base) + Spread;
+    if (Delay < 1.0)
+      Delay = 1.0;
+    return static_cast<unsigned>(Delay);
+  }
+
+  /// Rewinds the schedule after a successful attempt: the next
+  /// failure starts over at InitialMs.
+  void reset() { Attempt = 0; }
+
+  const BackoffPolicy &policy() const { return Policy; }
+
+private:
+  BackoffPolicy Policy;
+  Rng R;
+  unsigned Attempt = 0;
+};
+
+} // namespace clfuzz
+
+#endif // CLFUZZ_SUPPORT_BACKOFF_H

@@ -17,6 +17,10 @@
 ///                                                 pass pipeline + cluster
 ///   clfuzz sched  --campaigns=SPEC                N campaigns, one fleet
 ///   clfuzz worker --listen=PORT                   serve remote campaigns
+///   clfuzz worker --connect=HOST:PORT             dial a coordinator's
+///                                                 fleet registry instead
+///                                                 (rendezvous mode,
+///                                                 docs/fleet.md)
 ///   clfuzz configs                                list the zoo
 ///
 /// `diff` and `hunt` run their campaign cells through the streaming
@@ -83,6 +87,7 @@
 #include "device/CompileCounters.h"
 #include "device/DeviceConfig.h"
 #include "device/Driver.h"
+#include "exec/FleetRegistry.h"
 #include "exec/OutcomeCache.h"
 #include "exec/Pipeline.h"
 #include "exec/RemoteBackend.h"
@@ -263,10 +268,16 @@ void applyRemoteOptions(const CliArgs &A, ExecOptions &Opts,
       A.getInt("remote-timeout-ms", Opts.RemoteTimeoutMs));
   Opts.RemoteHeartbeatMs = static_cast<unsigned>(
       A.getInt("remote-heartbeat-ms", Opts.RemoteHeartbeatMs));
-  if (Opts.Backend == BackendKind::Remote && Opts.RemoteWorkers.empty()) {
+  // --fleet-listen opens a rendezvous registry on the campaign
+  // backend (wired in execOptionsFrom), so a remote campaign may
+  // start with no static workers at all and be populated entirely by
+  // `clfuzz worker --connect=` joins.
+  if (Opts.Backend == BackendKind::Remote && Opts.RemoteWorkers.empty() &&
+      !A.has("fleet-listen")) {
     std::fprintf(stderr,
                  "the remote backend needs --workers=host:port,... "
-                 "(start workers with `clfuzz worker --listen=PORT`)\n");
+                 "(start workers with `clfuzz worker --listen=PORT`) or "
+                 "--fleet-listen=PORT for rendezvous workers\n");
     std::exit(1);
   }
 }
@@ -349,6 +360,23 @@ void printTriageLine(const char *Campaign, const TriageCounters &T) {
                static_cast<unsigned long long>(T.Clusters));
 }
 
+/// One `fleet_*` breakdown line: rendezvous joins adopted, graceful
+/// drains, evictions, redials, and requeued jobs on the remote
+/// backend (exec/FleetRegistry.h). Shared by the global counters and
+/// the scheduler's per-campaign deltas, so the per-campaign lines sum
+/// field-by-field to the campaign=total line.
+void printFleetLine(const char *Campaign, const FleetCounters &F) {
+  std::fprintf(stderr,
+               "campaign=%s fleet_joins=%llu fleet_leaves=%llu "
+               "fleet_evictions=%llu fleet_redials=%llu "
+               "fleet_requeues=%llu\n",
+               Campaign, static_cast<unsigned long long>(F.Joins),
+               static_cast<unsigned long long>(F.Leaves),
+               static_cast<unsigned long long>(F.Evictions),
+               static_cast<unsigned long long>(F.Redials),
+               static_cast<unsigned long long>(F.Requeues));
+}
+
 void printCacheStats(const CliArgs &A, const ExecOptions &Opts,
                      const char *Campaign) {
   if (!A.has("stats"))
@@ -373,6 +401,7 @@ void printCacheStats(const CliArgs &A, const ExecOptions &Opts,
                static_cast<unsigned long long>(V.EngineReuses));
   printCompileLine(Campaign, compileCounters());
   printTriageLine(Campaign, triageCounters());
+  printFleetLine(Campaign, fleetCounters());
 }
 
 ExecOptions execOptionsFrom(const CliArgs &A) {
@@ -390,6 +419,26 @@ ExecOptions execOptionsFrom(const CliArgs &A) {
   }
   applyRemoteOptions(A, Opts, "workers");
   applyCacheOptions(A, Opts);
+  if (A.has("fleet-listen")) {
+    if (Opts.Backend != BackendKind::Remote) {
+      std::fprintf(stderr,
+                   "--fleet-listen only makes sense with --backend=remote\n");
+      std::exit(1);
+    }
+    std::string FleetHost = A.get("fleet-host", "127.0.0.1");
+    try {
+      Opts.Fleet = makeFleetRegistry(
+          FleetHost, static_cast<unsigned>(A.getInt("fleet-listen", 0)));
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "%s\n", E.what());
+      std::exit(1);
+    }
+    // Scripts parse this line to learn an ephemeral registry port;
+    // stderr, because campaign stdout is byte-compared across fleet
+    // shapes. Keep the format stable.
+    std::fprintf(stderr, "clfuzz fleet: listening on %s:%u\n",
+                 FleetHost.c_str(), Opts.Fleet->port());
+  }
   return Opts;
 }
 
@@ -817,6 +866,7 @@ int cmdSched(const CliArgs &A) {
           static_cast<unsigned long long>(C.Stats.VmEngineReuses));
       printCompileLine(C.Name.c_str(), C.Stats.Compile);
       printTriageLine(C.Name.c_str(), C.Stats.Triage);
+      printFleetLine(C.Name.c_str(), C.Stats.Fleet);
     }
     printCacheStats(A, Opts, "total");
   }
@@ -829,12 +879,18 @@ int cmdWorker(const CliArgs &A) {
   WorkerOptions WO;
   WO.Host = A.get("host", WO.Host);
   WO.Port = static_cast<unsigned>(A.getInt("listen", 0));
+  WO.Connect = A.get("connect");
   WO.Jobs = static_cast<unsigned>(A.getInt("jobs", 1));
   WO.ProcTimeoutMs =
       static_cast<unsigned>(A.getInt("proc-timeout-ms", 0));
   WO.DieAfterJobs =
       static_cast<unsigned>(A.getInt("die-after-jobs", 0));
   WO.IgnoreJobs = A.has("ignore-jobs");
+  WO.DrainAfterJobs =
+      static_cast<unsigned>(A.getInt("drain-after-jobs", 0));
+  WO.FlapAfterJobs =
+      static_cast<unsigned>(A.getInt("flap-after-jobs", 0));
+  WO.StaleJoins = static_cast<unsigned>(A.getInt("stale-joins", 0));
   std::string Mode = A.get("cache", A.has("cache-dir") ? "disk" : "off");
   if (!parseCacheMode(Mode, WO.Cache)) {
     std::fprintf(stderr, "unknown cache mode '%s' (use off, mem or disk)\n",
@@ -866,12 +922,18 @@ int usage() {
       "  sched   --campaigns=SPEC|@FILE           multiplex N campaigns\n"
       "                                           over one shared backend\n"
       "  worker  [--listen=PORT] [--host=H]       serve jobs to remote\n"
-      "                                           campaigns over TCP\n"
+      "          [--connect=HOST:PORT]            campaigns over TCP (or\n"
+      "                                           dial a coordinator's\n"
+      "                                           fleet registry)\n"
       "  configs                                  list the 21 configurations\n"
       "diff/hunt: --backend=inline|threads|procs|remote --exec-threads=N\n"
       "  (1 = serial, 0 = all cores) --shard-size=N --format=text|csv|jsonl\n"
       "remote backend: --workers=host:port,... --remote-timeout-ms=N\n"
       "  --remote-heartbeat-ms=N (see `clfuzz worker`, docs/wire-protocol.md)\n"
+      "  --fleet-listen=PORT (0 = ephemeral) --fleet-host=H open a\n"
+      "  rendezvous registry: `clfuzz worker --connect=` workers join and\n"
+      "  leave mid-campaign, output stays byte-identical (docs/fleet.md);\n"
+      "  --stats adds a fleet_* counter line\n"
       "caching (diff/hunt/reduce/triage/worker): --cache=off|mem|disk\n"
       "  --cache-dir=DIR (implies disk) --cache-mem-mb=N; identical job\n"
       "  descriptors are served from cache, output stays byte-identical\n"
@@ -902,8 +964,10 @@ int usage() {
       "  stderr; every report is byte-identical to the campaign's solo\n"
       "  run (docs/scheduler.md)\n"
       "worker: --jobs=N executor slots (0 = all cores) --proc-timeout-ms=N\n"
-      "  per-job deadline; fault injection for tests: --die-after-jobs=N\n"
-      "  --ignore-jobs\n"
+      "  per-job deadline; --drain-after-jobs=N leave gracefully after N\n"
+      "  jobs; fault injection for tests: --die-after-jobs=N --ignore-jobs\n"
+      "  --flap-after-jobs=N (die/redial loop) --stale-joins=N (announce a\n"
+      "  stale cache generation in the first N joins)\n"
       "all commands: --vm-dispatch=switch|goto interpreter dispatch\n"
       "  strategy (byte-identical output, wall-clock only; docs/vm.md);\n"
       "  --compile-clone=on|off clone-don't-reparse front-end sharing\n"

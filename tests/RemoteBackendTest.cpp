@@ -21,6 +21,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "exec/FleetRegistry.h"
 #include "exec/RemoteBackend.h"
 #include "exec/WireProtocol.h"
 #include "exec/WorkerLoop.h"
@@ -32,6 +33,9 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 
+#include <chrono>
+#include <functional>
+#include <thread>
 #include <unistd.h>
 
 using namespace clfuzz;
@@ -55,6 +59,37 @@ WorkerOptions loopbackWorker(unsigned Jobs) {
   WorkerOptions WO;
   WO.Jobs = Jobs;
   return WO;
+}
+
+/// WorkerOptions for a rendezvous-mode worker dialling the registry.
+WorkerOptions rendezvousWorker(unsigned RegistryPort, unsigned Jobs) {
+  WorkerOptions WO;
+  WO.Connect = "127.0.0.1:" + std::to_string(RegistryPort);
+  WO.Jobs = Jobs;
+  return WO;
+}
+
+/// Polls \p Cond every 10 ms for up to \p Ms milliseconds.
+bool waitUntil(const std::function<bool()> &Cond, unsigned Ms) {
+  auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
+  while (std::chrono::steady_clock::now() < Deadline) {
+    if (Cond())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return Cond();
+}
+
+/// N campaign cells cycling over the zoo — the standard churn load.
+std::vector<ExecJob> churnBatch(const TestCase &T,
+                                const std::vector<DeviceConfig> &Zoo,
+                                int N) {
+  std::vector<ExecJob> Jobs;
+  for (int I = 0; I != N; ++I)
+    Jobs.push_back(
+        ExecJob::onConfig(T, Zoo[I % Zoo.size()], I % 2 == 0, RunSettings()));
+  return Jobs;
 }
 
 std::vector<DeviceConfig> smallZoo() {
@@ -527,6 +562,274 @@ TEST(RemoteBackendTest, RestartedWorkerRejoinsAtTheNextBatch) {
   ASSERT_EQ(Server->port(), Port);
 
   expectSameOutcomes(Expected, Remote->run(Jobs), "after restart");
+}
+
+//===----------------------------------------------------------------------===//
+// Elastic fleet: rendezvous joins, drain, flap, stale generations
+//===----------------------------------------------------------------------===//
+
+TEST(RemoteBackendTest, JoinFramesRoundTripAndNameTheirFailure) {
+  int Fds[2];
+  ASSERT_EQ(::pipe(Fds), 0);
+
+  ASSERT_TRUE(wire::writeFrame(Fds[1], wire::FrameType::Join,
+                               wire::encodeJoin(7, 3)));
+  wire::Frame F;
+  ASSERT_EQ(wire::readFrame(Fds[0], F), wire::ReadStatus::Ok);
+  ASSERT_EQ(F.Type, wire::FrameType::Join);
+  wire::DecodedJoin J = wire::decodeJoin(F);
+  EXPECT_EQ(J.CacheGen, 7u);
+  EXPECT_EQ(J.Concurrency, 3u);
+
+  ASSERT_TRUE(wire::writeFrame(Fds[1], wire::FrameType::JoinAck,
+                               wire::encodeJoinAck(false, 9)));
+  ASSERT_EQ(wire::readFrame(Fds[0], F), wire::ReadStatus::Ok);
+  ASSERT_EQ(F.Type, wire::FrameType::JoinAck);
+  wire::DecodedJoinAck Ack = wire::decodeJoinAck(F);
+  EXPECT_FALSE(Ack.Accepted);
+  EXPECT_EQ(Ack.CacheGen, 9u);
+
+  ASSERT_TRUE(wire::writeFrame(Fds[1], wire::FrameType::Leave,
+                               wire::encodeLeave()));
+  ASSERT_EQ(wire::readFrame(Fds[0], F), wire::ReadStatus::Ok);
+  EXPECT_EQ(F.Type, wire::FrameType::Leave);
+  EXPECT_TRUE(F.Payload.empty());
+
+  // readFrame's Why out-param names the failed header check — that
+  // string picks the structured drop-reason slug.
+  WireWriter W;
+  W.u32(wire::FrameMagic);
+  W.u8(wire::ProtocolVersion + 1);
+  W.u8(static_cast<uint8_t>(wire::FrameType::Join));
+  W.u8(0);
+  W.u8(0);
+  W.u32(0);
+  ASSERT_TRUE(wire::writeFull(Fds[1], W.buffer().data(), W.buffer().size()));
+  std::string Why;
+  EXPECT_EQ(wire::readFrame(Fds[0], F, &Why), wire::ReadStatus::Malformed);
+  EXPECT_EQ(Why, "version mismatch");
+
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST(RemoteBackendTest, RendezvousOnlyFleetMatchesInline) {
+  // A fleet built from nothing but joins: no --workers at all, two
+  // rendezvous workers dial the registry, and the campaign output is
+  // byte-identical to inline.
+  std::shared_ptr<FleetRegistry> R = makeFleetRegistry("127.0.0.1", 0);
+  WorkerServer W1(rendezvousWorker(R->port(), 2));
+  WorkerServer W2(rendezvousWorker(R->port(), 2));
+  ASSERT_TRUE(W1.start());
+  ASSERT_TRUE(W2.start());
+  ASSERT_TRUE(waitUntil(
+      [&] { return W1.joinsCompleted() == 1 && W2.joinsCompleted() == 1; },
+      3000));
+
+  std::vector<DeviceConfig> Zoo = smallZoo();
+  GenOptions GO;
+  GO.Seed = 81001;
+  TestCase T = TestCase::fromGenerated(generateKernel(GO));
+  std::vector<ExecJob> Jobs = churnBatch(T, Zoo, 40);
+
+  InlineBackend Reference;
+  std::vector<RunOutcome> Expected = Reference.run(Jobs);
+
+  ExecOptions O;
+  O.Backend = BackendKind::Remote;
+  O.Fleet = R;
+  std::unique_ptr<ExecBackend> Remote = makeRemoteBackend(O);
+  std::vector<RunOutcome> Got = Remote->run(Jobs);
+  expectSameOutcomes(Expected, Got, "rendezvous-only fleet");
+  EXPECT_GT(W1.jobsExecuted() + W2.jobsExecuted(), 0u);
+  // Once adopted, joined slots count toward the fleet's concurrency.
+  EXPECT_EQ(Remote->concurrency(), 4u);
+}
+
+TEST(RemoteBackendTest, WorkerJoiningMidCampaignReceivesJobs) {
+  // The campaign starts on one static single-slot worker; a
+  // rendezvous worker joins shortly after the batch is dispatched and
+  // must be adopted at a dispatch boundary and pull real jobs.
+  WorkerServer Static(loopbackWorker(1));
+  ASSERT_TRUE(Static.start());
+  std::shared_ptr<FleetRegistry> R = makeFleetRegistry("127.0.0.1", 0);
+
+  std::vector<DeviceConfig> Zoo = smallZoo();
+  GenOptions GO;
+  GO.Seed = 81002;
+  TestCase T = TestCase::fromGenerated(generateKernel(GO));
+  std::vector<ExecJob> Jobs = churnBatch(T, Zoo, 200);
+
+  InlineBackend Reference;
+  std::vector<RunOutcome> Expected = Reference.run(Jobs);
+
+  ExecOptions O = remoteOpts({&Static});
+  O.Fleet = R;
+  std::unique_ptr<ExecBackend> Remote = makeRemoteBackend(O);
+
+  WorkerServer Late(rendezvousWorker(R->port(), 2));
+  std::thread Joiner([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_TRUE(Late.start());
+  });
+  std::vector<RunOutcome> Got = Remote->run(Jobs);
+  Joiner.join();
+
+  expectSameOutcomes(Expected, Got, "mid-campaign join");
+  EXPECT_GE(Late.joinsCompleted(), 1u);
+  EXPECT_GT(Late.jobsExecuted(), 0u)
+      << "the joined worker never received a job";
+}
+
+TEST(RemoteBackendTest, DrainingWorkerFinishesItsWindowWithZeroRequeues) {
+  // A graceful leave: the draining worker announces it, finishes its
+  // in-flight window, and hands the rest of the campaign back — no
+  // job is requeued, nothing is lost, output is byte-identical.
+  WorkerServer Static(loopbackWorker(2));
+  ASSERT_TRUE(Static.start());
+  std::shared_ptr<FleetRegistry> R = makeFleetRegistry("127.0.0.1", 0);
+  WorkerOptions DO = rendezvousWorker(R->port(), 2);
+  DO.DrainAfterJobs = 6;
+  WorkerServer Draining(DO);
+  ASSERT_TRUE(Draining.start());
+  ASSERT_TRUE(waitUntil([&] { return Draining.joinsCompleted() == 1; }, 3000));
+
+  std::vector<DeviceConfig> Zoo = smallZoo();
+  GenOptions GO;
+  GO.Seed = 81003;
+  TestCase T = TestCase::fromGenerated(generateKernel(GO));
+  std::vector<ExecJob> Jobs = churnBatch(T, Zoo, 60);
+
+  InlineBackend Reference;
+  std::vector<RunOutcome> Expected = Reference.run(Jobs);
+
+  ExecOptions O = remoteOpts({&Static});
+  O.Fleet = R;
+  std::unique_ptr<ExecBackend> Remote = makeRemoteBackend(O);
+  FleetCounters F0 = fleetCounters();
+  std::vector<RunOutcome> Got = Remote->run(Jobs);
+  FleetCounters F1 = fleetCounters();
+
+  expectSameOutcomes(Expected, Got, "draining worker");
+  EXPECT_TRUE(waitUntil([&] { return Draining.drained(); }, 3000))
+      << "the drain never completed";
+  EXPECT_EQ(F1.Requeues - F0.Requeues, 0u)
+      << "a graceful drain must not requeue anything";
+  EXPECT_EQ(F1.Leaves - F0.Leaves, 1u);
+  EXPECT_EQ(F1.Joins - F0.Joins, 1u);
+}
+
+TEST(RemoteBackendTest, FlappingWorkerNeverCorruptsReassembly) {
+  // A worker cycling die/redial: each flap kills its in-flight window
+  // (requeued, completed elsewhere or on the rejoined link before the
+  // next flap), and submission-index reassembly keeps the output
+  // byte-identical to inline. FlapAfterJobs (9) is above the in-flight
+  // window (2 x 2 slots) — the constraint WorkerOptions documents.
+  WorkerServer Static(loopbackWorker(2));
+  ASSERT_TRUE(Static.start());
+  std::shared_ptr<FleetRegistry> R = makeFleetRegistry("127.0.0.1", 0);
+  WorkerOptions FO = rendezvousWorker(R->port(), 2);
+  FO.FlapAfterJobs = 9;
+  WorkerServer Flapper(FO);
+  ASSERT_TRUE(Flapper.start());
+  ASSERT_TRUE(waitUntil([&] { return Flapper.joinsCompleted() == 1; }, 3000));
+
+  std::vector<DeviceConfig> Zoo = smallZoo();
+  GenOptions GO;
+  GO.Seed = 81004;
+  TestCase T = TestCase::fromGenerated(generateKernel(GO));
+  std::vector<ExecJob> Jobs = churnBatch(T, Zoo, 80);
+
+  InlineBackend Reference;
+  std::vector<RunOutcome> Expected = Reference.run(Jobs);
+
+  ExecOptions O = remoteOpts({&Static});
+  O.Fleet = R;
+  std::unique_ptr<ExecBackend> Remote = makeRemoteBackend(O);
+  FleetCounters F0 = fleetCounters();
+  std::vector<RunOutcome> Got = Remote->run(Jobs);
+  FleetCounters F1 = fleetCounters();
+
+  expectSameOutcomes(Expected, Got, "flapping worker");
+  EXPECT_GE(F1.Evictions - F0.Evictions, 1u)
+      << "the flap was never observed by the coordinator";
+  EXPECT_GE(Flapper.joinsCompleted(), 2u)
+      << "the flapper never redialled";
+}
+
+TEST(RemoteBackendTest, StaleGenerationJoinIsRejectedThenAccepted) {
+  // A worker announcing a stale cache generation is refused at the
+  // registry (join-ack accepted=0, with the current generation), and
+  // its redial with the corrected generation is accepted — the
+  // campaign then runs normally on it.
+  std::shared_ptr<FleetRegistry> R = makeFleetRegistry("127.0.0.1", 0);
+  WorkerOptions SO = rendezvousWorker(R->port(), 2);
+  SO.StaleJoins = 1;
+  WorkerServer W(SO);
+  ASSERT_TRUE(W.start());
+  ASSERT_TRUE(waitUntil([&] { return W.joinsCompleted() == 1; }, 5000))
+      << "the corrected rejoin never landed";
+  EXPECT_EQ(R->joinsRejected(), 1u);
+  EXPECT_EQ(R->joinsAccepted(), 1u);
+
+  std::vector<DeviceConfig> Zoo = smallZoo();
+  GenOptions GO;
+  GO.Seed = 81005;
+  TestCase T = TestCase::fromGenerated(generateKernel(GO));
+  std::vector<ExecJob> Jobs = churnBatch(T, Zoo, 8);
+
+  InlineBackend Reference;
+  std::vector<RunOutcome> Expected = Reference.run(Jobs);
+
+  ExecOptions O;
+  O.Backend = BackendKind::Remote;
+  O.Fleet = R;
+  std::unique_ptr<ExecBackend> Remote = makeRemoteBackend(O);
+  expectSameOutcomes(Expected, Remote->run(Jobs), "post-stale rejoin");
+}
+
+TEST(RemoteBackendTest, ChurnScheduleMatchesInline) {
+  // The acceptance scenario: a campaign that starts on one static
+  // worker, gains two rendezvous joiners mid-run, loses one to
+  // DieAfterJobs and the other to a graceful drain — and still
+  // produces byte-identical output.
+  WorkerServer Static(loopbackWorker(1));
+  ASSERT_TRUE(Static.start());
+  std::shared_ptr<FleetRegistry> R = makeFleetRegistry("127.0.0.1", 0);
+
+  std::vector<DeviceConfig> Zoo = smallZoo();
+  GenOptions GO;
+  GO.Seed = 81006;
+  TestCase T = TestCase::fromGenerated(generateKernel(GO));
+  std::vector<ExecJob> Jobs = churnBatch(T, Zoo, 200);
+
+  InlineBackend Reference;
+  std::vector<RunOutcome> Expected = Reference.run(Jobs);
+
+  WorkerOptions DieOpts = rendezvousWorker(R->port(), 2);
+  DieOpts.DieAfterJobs = 7;
+  WorkerOptions DrainOpts = rendezvousWorker(R->port(), 2);
+  DrainOpts.DrainAfterJobs = 9;
+  WorkerServer Dying(DieOpts), Draining(DrainOpts);
+  std::thread Joiner([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_TRUE(Dying.start());
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_TRUE(Draining.start());
+  });
+
+  ExecOptions O = remoteOpts({&Static});
+  O.Fleet = R;
+  std::unique_ptr<ExecBackend> Remote = makeRemoteBackend(O);
+  FleetCounters F0 = fleetCounters();
+  std::vector<RunOutcome> Got = Remote->run(Jobs);
+  FleetCounters F1 = fleetCounters();
+  Joiner.join();
+
+  expectSameOutcomes(Expected, Got, "churn schedule");
+  EXPECT_GE(F1.Joins - F0.Joins, 2u);
+  EXPECT_TRUE(Dying.died());
+  EXPECT_GE(F1.Evictions - F0.Evictions, 1u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -366,6 +366,58 @@ TEST(SchedulerConformanceTest, InterleavedMatchesSoloOnRemoteFleet) {
   W2.stop();
 }
 
+TEST(SchedulerConformanceTest, FleetCountersSumPerCampaignToGlobal) {
+  // Every fleet event (join adoption, drain, eviction, requeue)
+  // happens inside RemoteBackend::run(), which the scheduler
+  // serializes per step — so the per-campaign fleet_* deltas must sum
+  // field-by-field to the global counter movement, exactly.
+  WorkerOptions StaticO;
+  StaticO.Jobs = 2;
+  WorkerServer Static(StaticO);
+  ASSERT_TRUE(Static.start());
+  std::shared_ptr<FleetRegistry> R = makeFleetRegistry("127.0.0.1", 0);
+  WorkerOptions DrainO;
+  DrainO.Connect = "127.0.0.1:" + std::to_string(R->port());
+  DrainO.Jobs = 2;
+  DrainO.DrainAfterJobs = 10;
+  WorkerServer Draining(DrainO);
+  ASSERT_TRUE(Draining.start());
+
+  ExecOptions O;
+  O.Backend = BackendKind::Remote;
+  O.RemoteWorkers = {"127.0.0.1:" + std::to_string(Static.port())};
+  O.Fleet = R;
+  std::unique_ptr<ExecBackend> B = makeBackend(O);
+
+  FleetCounters Before = fleetCounters();
+  CampaignScheduler Sched(*B);
+  std::FILE *FD = std::tmpfile(), *FH = std::tmpfile();
+  std::unique_ptr<CampaignTask> D = makeDiffTask(diffSpec(), *B, FD);
+  HuntCampaign H = makeHuntCampaign(huntSpec(), O.resolvedShardSize(), *B, FH);
+  Sched.add("d", *D);
+  Sched.add("h", *H.Main);
+  Sched.runToCompletion();
+  FleetCounters After = fleetCounters();
+
+  FleetCounters Sum;
+  for (const ScheduledCampaign &C : Sched.campaigns()) {
+    Sum.Joins += C.Stats.Fleet.Joins;
+    Sum.Leaves += C.Stats.Fleet.Leaves;
+    Sum.Evictions += C.Stats.Fleet.Evictions;
+    Sum.Redials += C.Stats.Fleet.Redials;
+    Sum.Requeues += C.Stats.Fleet.Requeues;
+  }
+  EXPECT_EQ(Sum.Joins, After.Joins - Before.Joins);
+  EXPECT_EQ(Sum.Leaves, After.Leaves - Before.Leaves);
+  EXPECT_EQ(Sum.Evictions, After.Evictions - Before.Evictions);
+  EXPECT_EQ(Sum.Redials, After.Redials - Before.Redials);
+  EXPECT_EQ(Sum.Requeues, After.Requeues - Before.Requeues);
+  // The rendezvous worker joined inside some campaign's step.
+  EXPECT_GE(Sum.Joins, 1u);
+  readAll(FD);
+  readAll(FH);
+}
+
 #endif // unix
 
 //===----------------------------------------------------------------------===//

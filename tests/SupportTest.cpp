@@ -5,6 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Backoff.h"
 #include "support/Hash.h"
 #include "support/Rng.h"
 #include "support/StringUtil.h"
@@ -130,6 +131,79 @@ TEST(StringUtilTest, Pad) {
   EXPECT_EQ(padLeft("ab", 4), "  ab");
   EXPECT_EQ(padRight("ab", 4), "ab  ");
   EXPECT_EQ(padLeft("abcd", 2), "abcd");
+}
+
+TEST(BackoffTest, BaseDelayGrowsMonotonically) {
+  Backoff B(BackoffPolicy{100, 5000, 2, 0.0}, 1);
+  unsigned Prev = 0;
+  for (unsigned A = 0; A != 12; ++A) {
+    unsigned D = B.baseDelayMs(A);
+    EXPECT_GE(D, Prev) << "attempt " << A;
+    Prev = D;
+  }
+  EXPECT_EQ(B.baseDelayMs(0), 100u);
+  EXPECT_EQ(B.baseDelayMs(1), 200u);
+  EXPECT_EQ(B.baseDelayMs(3), 800u);
+}
+
+TEST(BackoffTest, BaseDelaySaturatesAtCap) {
+  Backoff B(BackoffPolicy{100, 5000, 2, 0.0}, 1);
+  EXPECT_EQ(B.baseDelayMs(6), 5000u);  // 6400 clamped
+  EXPECT_EQ(B.baseDelayMs(40), 5000u); // far past the cap
+  // A huge attempt count must not overflow the 64-bit base.
+  EXPECT_EQ(B.baseDelayMs(~0u - 1), 5000u);
+}
+
+TEST(BackoffTest, JitterStaysWithinBounds) {
+  BackoffPolicy P{100, 5000, 2, 0.2};
+  Backoff B(P, 99);
+  for (int Round = 0; Round != 50; ++Round) {
+    unsigned Attempt = B.attempts();
+    unsigned Base = B.baseDelayMs(Attempt);
+    unsigned D = B.nextDelayMs();
+    EXPECT_GE(D, static_cast<unsigned>(Base * (1.0 - P.Jitter)) - 1)
+        << "attempt " << Attempt;
+    EXPECT_LE(D, static_cast<unsigned>(Base * (1.0 + P.Jitter)) + 1)
+        << "attempt " << Attempt;
+    EXPECT_GE(D, 1u);
+  }
+}
+
+TEST(BackoffTest, SeededScheduleIsDeterministic) {
+  Backoff A(BackoffPolicy{100, 5000, 2, 0.2}, 42);
+  Backoff B(BackoffPolicy{100, 5000, 2, 0.2}, 42);
+  for (int I = 0; I != 20; ++I)
+    EXPECT_EQ(A.nextDelayMs(), B.nextDelayMs()) << "step " << I;
+  Backoff C(BackoffPolicy{100, 5000, 2, 0.2}, 43);
+  unsigned Same = 0;
+  Backoff A2(BackoffPolicy{100, 5000, 2, 0.2}, 42);
+  for (int I = 0; I != 20; ++I)
+    Same += A2.nextDelayMs() == C.nextDelayMs();
+  EXPECT_LT(Same, 20u); // a different seed shifts at least one delay
+}
+
+TEST(BackoffTest, ResetRewindsToInitialDelay) {
+  Backoff B(BackoffPolicy{100, 5000, 2, 0.0}, 7);
+  for (int I = 0; I != 5; ++I)
+    B.nextDelayMs();
+  EXPECT_EQ(B.attempts(), 5u);
+  EXPECT_EQ(B.nextDelayMs(), 3200u);
+  B.reset();
+  EXPECT_EQ(B.attempts(), 0u);
+  EXPECT_EQ(B.nextDelayMs(), 100u);
+}
+
+TEST(BackoffTest, DegeneratePoliciesAreClamped) {
+  // Zero initial, zero multiplier, cap below initial, jitter >= 1:
+  // the constructor sanitizes all of them instead of dividing the
+  // schedule into zeros or letting the delay go negative.
+  Backoff B(BackoffPolicy{0, 0, 0, 2.0}, 5);
+  EXPECT_GE(B.policy().InitialMs, 1u);
+  EXPECT_GE(B.policy().Multiplier, 1u);
+  EXPECT_GE(B.policy().MaxMs, B.policy().InitialMs);
+  EXPECT_LT(B.policy().Jitter, 1.0);
+  for (int I = 0; I != 10; ++I)
+    EXPECT_GE(B.nextDelayMs(), 1u);
 }
 
 TEST(StringUtilTest, CountCodeLines) {
